@@ -1,0 +1,170 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each bench measures a *metric* (printed once per run) while Criterion
+//! times the simulation, so a bench run doubles as an ablation report:
+//!
+//! * sub-block dirty bits (partial write-backs) vs whole-line write-backs
+//! * associativity's effect on write-cache-relative effectiveness
+//! * the combined write-buffer/write-cache reserve of Section 3.2
+
+use std::sync::Once;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwp_buffers::CoalescingWriteBuffer;
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_core::sim::simulate;
+use cwp_trace::{workloads, Scale};
+
+fn bench_partial_writeback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-partial-writeback");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    static REPORT: Once = Once::new();
+    for partial in [false, true] {
+        let config = CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .line_bytes(64)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .partial_writeback(partial)
+            .build()
+            .unwrap();
+        let name = if partial {
+            "subblock-dirty-bits"
+        } else {
+            "whole-line"
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = simulate(workloads::ccom().as_ref(), Scale::Test, &config);
+                out.traffic_total.write_back.bytes
+            });
+        });
+        REPORT.call_once(|| {
+            let whole = simulate(
+                workloads::ccom().as_ref(),
+                Scale::Test,
+                &config.to_builder().partial_writeback(false).build().unwrap(),
+            );
+            let sub = simulate(
+                workloads::ccom().as_ref(),
+                Scale::Test,
+                &config.to_builder().partial_writeback(true).build().unwrap(),
+            );
+            eprintln!(
+                "[ablation] 64B lines, ccom: write-back bytes whole-line={} subblock={} ({:.1}% saved)",
+                whole.traffic_total.write_back.bytes,
+                sub.traffic_total.write_back.bytes,
+                100.0
+                    * (1.0
+                        - sub.traffic_total.write_back.bytes as f64
+                            / whole.traffic_total.write_back.bytes as f64)
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_associativity_vs_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-associativity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    static REPORT: Once = Once::new();
+    for ways in [1u32, 4] {
+        let config = CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .associativity(ways)
+            .write_hit(WriteHitPolicy::WriteThrough)
+            .write_miss(WriteMissPolicy::WriteValidate)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::from_parameter(format!("{ways}-way")), |b| {
+            b.iter(|| {
+                simulate(workloads::liver().as_ref(), Scale::Test, &config)
+                    .stats
+                    .fetches
+            });
+        });
+    }
+    REPORT.call_once(|| {
+        let fetches = |ways: u32| {
+            let config = CacheConfig::builder()
+                .size_bytes(8 * 1024)
+                .associativity(ways)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(WriteMissPolicy::WriteValidate)
+                .build()
+                .unwrap();
+            simulate(workloads::liver().as_ref(), Scale::Test, &config).stats.fetches
+        };
+        eprintln!(
+            "[ablation] liver, 8KB write-validate: fetches 1-way={} 4-way={} (paper studied direct-mapped only)",
+            fetches(1),
+            fetches(4)
+        );
+    });
+    group.finish();
+}
+
+fn bench_write_buffer_reserve(c: &mut Criterion) {
+    // The Section 3.2 combined structure: an m-entry buffer that drains
+    // only above n pending entries behaves like a write cache in front of
+    // a write buffer.
+    let mut group = c.benchmark_group("ablation-wb-reserve");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    static REPORT: Once = Once::new();
+
+    let collect = |reserve: usize| {
+        let mut stream = Vec::new();
+        {
+            let mut cycle = 0u64;
+            let mut sink = |r: cwp_trace::MemRef| {
+                cycle += u64::from(r.before_insts);
+                if r.is_write() {
+                    stream.push((cycle, r.addr));
+                }
+            };
+            workloads::yacc().run(Scale::Test, &mut sink);
+        }
+        let mut wb = CoalescingWriteBuffer::new(8, 16, 4).with_reserve(reserve);
+        for (cycle, addr) in stream {
+            wb.write(cycle, addr);
+        }
+        wb.flush();
+        wb.stats()
+    };
+
+    for reserve in [0usize, 6] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("reserve-{reserve}")),
+            |b| {
+                b.iter(|| collect(reserve).merged);
+            },
+        );
+    }
+    REPORT.call_once(|| {
+        let plain = collect(0);
+        let reserved = collect(6);
+        eprintln!(
+            "[ablation] yacc, 8-entry buffer @4-cycle retire: merged plain={} with-6-reserve={}",
+            plain.merged, reserved.merged
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partial_writeback,
+    bench_associativity_vs_policy,
+    bench_write_buffer_reserve
+);
+criterion_main!(benches);

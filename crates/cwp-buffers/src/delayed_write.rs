@@ -1,0 +1,199 @@
+//! The delayed-write (last-write) register for write-back caches
+//! (Figure 4).
+
+use std::fmt;
+
+/// How many cache cycles a store consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreCycles {
+    /// Probe and (delayed) data write overlapped: one cycle.
+    One,
+    /// The data write could not be overlapped: probe then write.
+    Two,
+}
+
+impl StoreCycles {
+    /// The cycle count as a number.
+    pub fn cycles(self) -> u32 {
+        match self {
+            StoreCycles::One => 1,
+            StoreCycles::Two => 2,
+        }
+    }
+}
+
+impl fmt::Display for StoreCycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycle(s)", self.cycles())
+    }
+}
+
+/// Counters reported by a [`DelayedWriteRegister`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelayedWriteStats {
+    /// Stores processed.
+    pub stores: u64,
+    /// Stores that completed in one cycle.
+    pub one_cycle: u64,
+    /// Stores that needed a second cycle.
+    pub two_cycle: u64,
+    /// Reads satisfied by forwarding from the register.
+    pub forwards: u64,
+}
+
+impl DelayedWriteStats {
+    /// Fraction of stores that took a single cycle.
+    pub fn one_cycle_fraction(&self) -> Option<f64> {
+        (self.stores > 0).then(|| self.one_cycle as f64 / self.stores as f64)
+    }
+
+    /// Average cycles per store.
+    pub fn cycles_per_store(&self) -> Option<f64> {
+        (self.stores > 0).then(|| (self.one_cycle + 2 * self.two_cycle) as f64 / self.stores as f64)
+    }
+}
+
+/// Models the delayed-write method of Figure 4 (used in the VAX 8800).
+///
+/// A write-back (or set-associative) cache must probe its tags before
+/// writing data, which naively costs two cycles per store. With separate
+/// tag and data address lines, the probe of the *current* store can happen
+/// in the same cycle as the data write of the *previous* store — as long as
+/// the previous probe hit and no intervening miss replaced its line. A
+/// comparator on the register forwards its data to reads of the same
+/// address.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_buffers::{DelayedWriteRegister, StoreCycles};
+///
+/// let mut dw = DelayedWriteRegister::new();
+/// assert_eq!(dw.store(0x100, true), StoreCycles::One);
+/// assert_eq!(dw.store(0x108, true), StoreCycles::One, "steady state");
+/// dw.read_miss();
+/// assert_eq!(dw.store(0x110, true), StoreCycles::Two, "pipeline broken");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DelayedWriteRegister {
+    /// Address of the store whose data write is still pending.
+    pending: Option<u64>,
+    /// A miss since the pending probe: its line may have been replaced, so
+    /// the overlapped write is no longer known-safe.
+    disturbed: bool,
+    stats: DelayedWriteStats,
+}
+
+impl DelayedWriteRegister {
+    /// Creates an idle register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> DelayedWriteStats {
+        self.stats
+    }
+
+    /// Processes a store whose tag probe `probe_hit` says hit or missed.
+    ///
+    /// Returns the cycles the store consumed at the cache interface. Store
+    /// misses themselves cost [`StoreCycles::Two`] here; the miss penalty
+    /// proper is accounted by the cache model, not the register.
+    pub fn store(&mut self, addr: u64, probe_hit: bool) -> StoreCycles {
+        self.stats.stores += 1;
+        let overlapped = self.pending.is_none() || !self.disturbed;
+        let cycles = if probe_hit && overlapped {
+            StoreCycles::One
+        } else {
+            StoreCycles::Two
+        };
+        match cycles {
+            StoreCycles::One => self.stats.one_cycle += 1,
+            StoreCycles::Two => self.stats.two_cycle += 1,
+        }
+        // The previous pending write is retired this cycle; the current
+        // store becomes pending if its probe hit (a missing line is
+        // handled by the miss path instead).
+        self.pending = probe_hit.then_some(addr);
+        self.disturbed = false;
+        cycles
+    }
+
+    /// Processes a read probe; returns `true` if the register forwarded
+    /// its pending data (same address).
+    pub fn read(&mut self, addr: u64) -> bool {
+        let hit = self.pending == Some(addr);
+        if hit {
+            self.stats.forwards += 1;
+        }
+        hit
+    }
+
+    /// Notes a read miss: the pending write's line may be replaced, so the
+    /// next store cannot blindly overlap its data write.
+    pub fn read_miss(&mut self) {
+        if self.pending.is_some() {
+            self.disturbed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_hitting_stores_take_one_cycle() {
+        let mut dw = DelayedWriteRegister::new();
+        for i in 0..10u64 {
+            assert_eq!(dw.store(i * 8, true), StoreCycles::One);
+        }
+        assert_eq!(dw.stats().one_cycle_fraction(), Some(1.0));
+        assert_eq!(dw.stats().cycles_per_store(), Some(1.0));
+    }
+
+    #[test]
+    fn store_misses_take_two_cycles() {
+        let mut dw = DelayedWriteRegister::new();
+        assert_eq!(dw.store(0x0, false), StoreCycles::Two);
+        // The next hitting store can still overlap (nothing pending).
+        assert_eq!(dw.store(0x8, true), StoreCycles::One);
+    }
+
+    #[test]
+    fn read_miss_breaks_the_overlap_once() {
+        let mut dw = DelayedWriteRegister::new();
+        dw.store(0x0, true);
+        dw.read_miss();
+        assert_eq!(dw.store(0x8, true), StoreCycles::Two);
+        assert_eq!(
+            dw.store(0x10, true),
+            StoreCycles::One,
+            "recovers immediately"
+        );
+    }
+
+    #[test]
+    fn read_miss_with_nothing_pending_is_harmless() {
+        let mut dw = DelayedWriteRegister::new();
+        dw.read_miss();
+        assert_eq!(dw.store(0x0, true), StoreCycles::One);
+    }
+
+    #[test]
+    fn register_forwards_reads_of_the_pending_address() {
+        let mut dw = DelayedWriteRegister::new();
+        dw.store(0x40, true);
+        assert!(dw.read(0x40));
+        assert!(!dw.read(0x48));
+        assert_eq!(dw.stats().forwards, 1);
+    }
+
+    #[test]
+    fn empty_stats_yield_none() {
+        let s = DelayedWriteStats::default();
+        assert_eq!(s.one_cycle_fraction(), None);
+        assert_eq!(s.cycles_per_store(), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Write-side support structures from Sections 3.1-3.3 of the paper.
+//!
+//! High-performance write-through and write-back caches each need a small
+//! amount of help to perform well (the paper's Table 3):
+//!
+//! | feature | write-back | write-through |
+//! |---|---|---|
+//! | exit-traffic buffer | [`VictimBuffer`] | [`CoalescingWriteBuffer`] |
+//! | bandwidth improvement | [`DelayedWriteRegister`] | [`WriteCache`] |
+//!
+//! * [`CoalescingWriteBuffer`] is the timing instrument behind Figure 5:
+//!   it shows that a plain coalescing write buffer merges few writes unless
+//!   it is kept nearly full, at ruinous stall cost.
+//! * [`WriteCache`] is the paper's proposed structure (Figure 6): a small
+//!   fully-associative cache of 8B lines behind a write-through cache that
+//!   removes most of the write traffic a write-back cache would.
+//! * [`VictimBuffer`] holds dirty victims so a write-back cache can start
+//!   its fetch immediately.
+//! * [`DelayedWriteRegister`] gives a write-back cache one-cycle stores by
+//!   writing the *previous* store's data during the current store's probe
+//!   (Figure 4, as in the VAX 8800).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delayed_write;
+pub mod victim_buffer;
+pub mod write_buffer;
+pub mod write_cache;
+
+pub use delayed_write::{DelayedWriteRegister, DelayedWriteStats, StoreCycles};
+pub use victim_buffer::VictimBuffer;
+pub use write_buffer::{CoalescingWriteBuffer, WriteBufferStats};
+pub use write_cache::{WriteCache, WriteCacheStats};

@@ -1,0 +1,199 @@
+//! The dirty-victim buffer for write-back caches.
+
+use std::collections::VecDeque;
+
+use cwp_mem::NextLevel;
+
+/// A small FIFO buffer holding dirty victims between a write-back cache
+/// and the next level.
+///
+/// "In the event of a miss a dirty victim can be transferred into the
+/// dirty victim buffer at the same time as the fetch of the requested word
+/// is begun" (Section 3) — the buffer lets the fetch start immediately and
+/// empties when the next level is free. The paper argues a single entry
+/// usually suffices; [`VictimBuffer::forced_drains`] counts how often a
+/// deeper buffer would have helped.
+///
+/// Implements [`NextLevel`] so it slots directly under a `cwp-cache`
+/// cache. Fetches drain overlapping pending victims first (preserving
+/// transparency) and drain the remainder after the fetch is served, when
+/// the next level is free.
+#[derive(Debug, Clone)]
+pub struct VictimBuffer<N> {
+    capacity: usize,
+    pending: VecDeque<(u64, Vec<u8>)>,
+    forced_drains: u64,
+    accepted: u64,
+    peak_occupancy: usize,
+    next: N,
+}
+
+impl<N: NextLevel> VictimBuffer<N> {
+    /// Creates a buffer holding up to `capacity` victims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, next: N) -> Self {
+        assert!(capacity > 0, "a victim buffer needs at least one entry");
+        VictimBuffer {
+            capacity,
+            pending: VecDeque::with_capacity(capacity),
+            forced_drains: 0,
+            accepted: 0,
+            peak_occupancy: 0,
+            next,
+        }
+    }
+
+    /// Victims accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Times a victim arrived with the buffer full, forcing a synchronous
+    /// drain (a stall in real hardware).
+    pub fn forced_drains(&self) -> u64 {
+        self.forced_drains
+    }
+
+    /// Highest occupancy reached.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Shared access to the next level.
+    pub fn next_level(&self) -> &N {
+        &self.next
+    }
+
+    /// Mutable access to the next level.
+    pub fn next_level_mut(&mut self) -> &mut N {
+        &mut self.next
+    }
+
+    /// Unwraps the buffer, returning the next level. Pending victims are
+    /// *not* drained; call [`VictimBuffer::flush`] first if it matters.
+    pub fn into_next_level(self) -> N {
+        self.next
+    }
+
+    /// Drains every pending victim downstream.
+    pub fn flush(&mut self) {
+        while let Some((addr, data)) = self.pending.pop_front() {
+            self.next.write_back(addr, &data);
+        }
+    }
+
+    fn drain_overlapping(&mut self, addr: u64, len: usize) {
+        let end = addr + len as u64;
+        // Drain in FIFO order up to and including the last overlapping
+        // entry, preserving write ordering.
+        while let Some(pos) = self
+            .pending
+            .iter()
+            .position(|(a, d)| *a < end && a + d.len() as u64 > addr)
+        {
+            for _ in 0..=pos {
+                let (a, d) = self.pending.pop_front().expect("position was in range");
+                self.next.write_back(a, &d);
+            }
+        }
+    }
+}
+
+impl<N: NextLevel> NextLevel for VictimBuffer<N> {
+    fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
+        self.drain_overlapping(addr, buf.len());
+        self.next.fetch_line(addr, buf);
+        // "Once the next lower level is ready to service another request,
+        // the dirty victim can be emptied out" (Section 3): after serving
+        // the fetch, the next level is free, so pending victims drain.
+        self.flush();
+    }
+
+    fn write_back(&mut self, addr: u64, data: &[u8]) {
+        self.accepted += 1;
+        if self.pending.len() == self.capacity {
+            self.forced_drains += 1;
+            if let Some((a, d)) = self.pending.pop_front() {
+                self.next.write_back(a, &d);
+            }
+        }
+        self.pending.push_back((addr, data.to_vec()));
+        self.peak_occupancy = self.peak_occupancy.max(self.pending.len());
+    }
+
+    fn write_through(&mut self, addr: u64, data: &[u8]) {
+        // Ordering: a write-through must not overtake a pending victim of
+        // the same address.
+        self.drain_overlapping(addr, data.len());
+        self.next.write_through(addr, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_mem::{MainMemory, TrafficRecorder};
+
+    fn vb(cap: usize) -> VictimBuffer<TrafficRecorder<MainMemory>> {
+        VictimBuffer::new(cap, TrafficRecorder::new(MainMemory::new()))
+    }
+
+    #[test]
+    fn victims_wait_in_the_buffer() {
+        let mut b = vb(2);
+        b.write_back(0x00, &[1u8; 16]);
+        assert_eq!(b.next_level().traffic().write_back.transactions, 0);
+        assert_eq!(b.peak_occupancy(), 1);
+        b.flush();
+        assert_eq!(b.next_level().traffic().write_back.transactions, 1);
+    }
+
+    #[test]
+    fn overflow_forces_a_drain() {
+        let mut b = vb(1);
+        b.write_back(0x00, &[1u8; 16]);
+        b.write_back(0x10, &[2u8; 16]);
+        assert_eq!(b.forced_drains(), 1);
+        assert_eq!(b.next_level().inner().read_byte(0x00), 1);
+    }
+
+    #[test]
+    fn fetch_drains_overlapping_victims_first() {
+        let mut b = vb(4);
+        b.write_back(0x20, &[9u8; 16]);
+        let mut buf = [0u8; 16];
+        b.fetch_line(0x20, &mut buf);
+        assert_eq!(buf, [9u8; 16], "fetch observed the pending victim");
+    }
+
+    #[test]
+    fn victims_drain_once_the_next_level_served_the_fetch() {
+        // The usual miss sequence: the victim enters the buffer while the
+        // fetch starts, and drains as soon as the next level is free.
+        let mut b = vb(4);
+        b.write_back(0x20, &[9u8; 16]);
+        let mut buf = [0u8; 16];
+        b.fetch_line(0x100, &mut buf);
+        assert_eq!(b.next_level().traffic().write_back.transactions, 1);
+        assert_eq!(b.forced_drains(), 0, "the common case never stalls");
+    }
+
+    #[test]
+    fn write_through_respects_victim_ordering() {
+        let mut b = vb(4);
+        b.write_back(0x40, &[1u8; 16]);
+        b.write_through(0x44, &[2u8; 4]);
+        // The victim must land first, then the write-through over it.
+        assert_eq!(b.next_level().inner().read_byte(0x44), 2);
+        assert_eq!(b.next_level().inner().read_byte(0x40), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = VictimBuffer::new(0, MainMemory::new());
+    }
+}

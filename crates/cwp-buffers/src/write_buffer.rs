@@ -1,0 +1,289 @@
+//! The coalescing write buffer timing model (Figure 5).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Counters reported by a [`CoalescingWriteBuffer`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteBufferStats {
+    /// Writes presented to the buffer.
+    pub writes: u64,
+    /// Writes merged into an already-pending entry.
+    pub merged: u64,
+    /// Entries retired to the next level.
+    pub retired: u64,
+    /// Cycles the processor stalled because the buffer was full.
+    pub stall_cycles: u64,
+}
+
+impl WriteBufferStats {
+    /// Fraction of writes merged (Figure 5's left axis).
+    pub fn merged_fraction(&self) -> Option<f64> {
+        (self.writes > 0).then(|| self.merged as f64 / self.writes as f64)
+    }
+
+    /// Stall cycles per instruction, given the run's instruction count
+    /// (Figure 5's right axis).
+    pub fn stall_cpi(&self, instructions: u64) -> f64 {
+        self.stall_cycles as f64 / instructions as f64
+    }
+}
+
+impl fmt::Display for WriteBufferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} writes, {} merged, {} retired, {} stall cycles",
+            self.writes, self.merged, self.retired, self.stall_cycles
+        )
+    }
+}
+
+/// A coalescing write buffer with a fixed retirement interval.
+///
+/// Entries are one cache line wide; a write whose line matches a pending
+/// entry merges into it. The buffer retires its oldest entry every
+/// `retire_interval` cycles (modelling the next level's service rate), and
+/// a write arriving to a full buffer stalls until the in-progress
+/// retirement completes.
+///
+/// Following the paper's method, time is the dynamic instruction count:
+/// "since cache miss service effectively stops processor execution in many
+/// processors, cache misses were ignored. This allows a fixed time between
+/// writes to be used as a reasonable model of the write buffer operation."
+///
+/// # Examples
+///
+/// ```
+/// use cwp_buffers::CoalescingWriteBuffer;
+///
+/// let mut wb = CoalescingWriteBuffer::new(8, 16, 5);
+/// wb.write(0, 0x100);
+/// wb.write(1, 0x108); // same 16B line: merges
+/// assert_eq!(wb.stats().merged, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoalescingWriteBuffer {
+    entries: usize,
+    line_shift: u32,
+    retire_interval: u64,
+    /// Entries below this occupancy are not retired, turning the head of
+    /// the buffer into a write cache (the Section 3.2 combined structure).
+    reserve: usize,
+    pending: VecDeque<u64>,
+    /// Completion time of the retirement in progress, if any.
+    now: u64,
+    next_retire: u64,
+    stats: WriteBufferStats,
+}
+
+impl CoalescingWriteBuffer {
+    /// Creates a buffer of `entries` lines of `line_bytes` each, retiring
+    /// one entry every `retire_interval` cycles. An interval of 0 retires
+    /// entries immediately (no merging can occur).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0 or `line_bytes` is not a power of two.
+    pub fn new(entries: usize, line_bytes: u32, retire_interval: u64) -> Self {
+        assert!(entries > 0, "a write buffer needs at least one entry");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        CoalescingWriteBuffer {
+            entries,
+            line_shift: line_bytes.trailing_zeros(),
+            retire_interval,
+            reserve: 0,
+            pending: VecDeque::with_capacity(entries),
+            now: 0,
+            next_retire: retire_interval,
+            stats: WriteBufferStats::default(),
+        }
+    }
+
+    /// Converts the buffer into the combined write-cache/write-buffer of
+    /// Section 3.2: entries are only retired while more than `reserve`
+    /// are pending, so the most recent `reserve` entries linger and keep
+    /// merging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve >= entries`.
+    pub fn with_reserve(mut self, reserve: usize) -> Self {
+        assert!(
+            reserve < self.entries,
+            "reserve must leave at least one retirable entry"
+        );
+        self.reserve = reserve;
+        self
+    }
+
+    /// Number of pending entries.
+    pub fn occupancy(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> WriteBufferStats {
+        self.stats
+    }
+
+    /// Retires entries whose service slots have elapsed by `cycle`.
+    fn drain_until(&mut self, cycle: u64) {
+        if self.retire_interval == 0 {
+            self.stats.retired += self.pending.len() as u64;
+            self.pending.clear();
+            return;
+        }
+        while self.pending.len() > self.reserve && self.next_retire <= cycle {
+            self.pending.pop_front();
+            self.stats.retired += 1;
+            self.next_retire += self.retire_interval;
+        }
+        if self.pending.len() <= self.reserve {
+            // Nothing eligible: the retirement clock restarts when the
+            // next retirable entry arrives.
+            self.next_retire = self.next_retire.max(cycle + self.retire_interval);
+        }
+    }
+
+    /// Presents a write at time `cycle` (in instructions). Returns the
+    /// number of stall cycles this write incurred.
+    ///
+    /// `cycle` values must be non-decreasing across calls.
+    pub fn write(&mut self, cycle: u64, addr: u64) -> u64 {
+        self.now = self.now.max(cycle);
+        self.drain_until(self.now);
+        self.stats.writes += 1;
+        let line = addr >> self.line_shift;
+
+        if self.pending.iter().any(|&l| l == line) {
+            self.stats.merged += 1;
+            return 0;
+        }
+
+        let mut stalled = 0u64;
+        if self.pending.len() == self.entries {
+            // Full: wait for the in-progress retirement.
+            let resume = self.next_retire;
+            stalled = resume.saturating_sub(self.now);
+            self.now = self.now.max(resume);
+            self.drain_until(self.now);
+            self.stats.stall_cycles += stalled;
+        }
+        self.pending.push_back(line);
+        stalled
+    }
+
+    /// Drains everything, counting the retirements (end of run).
+    pub fn flush(&mut self) {
+        self.stats.retired += self.pending.len() as u64;
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_writes_merge() {
+        let mut wb = CoalescingWriteBuffer::new(4, 16, 100);
+        wb.write(0, 0x100);
+        wb.write(1, 0x104);
+        wb.write(2, 0x10c);
+        assert_eq!(wb.stats().merged, 2);
+        assert_eq!(wb.occupancy(), 1);
+    }
+
+    #[test]
+    fn zero_interval_never_merges_or_stalls() {
+        let mut wb = CoalescingWriteBuffer::new(2, 16, 0);
+        for i in 0..100u64 {
+            // Alternate between two lines: plenty of merge opportunity.
+            assert_eq!(wb.write(i, (i % 2) * 16), 0);
+        }
+        assert_eq!(wb.stats().merged, 0);
+        assert_eq!(wb.stats().stall_cycles, 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_a_retirement() {
+        let mut wb = CoalescingWriteBuffer::new(2, 16, 10);
+        wb.write(0, 0x00); // retires at t=10
+        wb.write(1, 0x10); // retires at t=20
+                           // Distinct line at t=2 with the buffer full: stall until t=10.
+        let stall = wb.write(2, 0x20);
+        assert_eq!(stall, 8);
+        assert_eq!(wb.stats().stall_cycles, 8);
+        assert_eq!(wb.occupancy(), 2);
+    }
+
+    #[test]
+    fn slow_retirement_enables_merging() {
+        // Writes every cycle to the same two lines, retire every 50.
+        let mut fast = CoalescingWriteBuffer::new(8, 16, 1);
+        let mut slow = CoalescingWriteBuffer::new(8, 16, 50);
+        for i in 0..200u64 {
+            let addr = (i % 2) * 16;
+            fast.write(i * 4, addr);
+            slow.write(i * 4, addr);
+        }
+        assert!(slow.stats().merged > fast.stats().merged);
+    }
+
+    #[test]
+    fn reserve_keeps_recent_entries_for_merging() {
+        // With a reserve, entries linger even when the next level is fast.
+        let mut plain = CoalescingWriteBuffer::new(8, 16, 2);
+        let mut reserved = CoalescingWriteBuffer::new(8, 16, 2).with_reserve(6);
+        for i in 0..400u64 {
+            let addr = (i % 5) * 16;
+            plain.write(i * 8, addr);
+            reserved.write(i * 8, addr);
+        }
+        assert!(
+            reserved.stats().merged > plain.stats().merged,
+            "reserved {} vs plain {}",
+            reserved.stats().merged,
+            plain.stats().merged
+        );
+    }
+
+    #[test]
+    fn flush_retires_the_remainder() {
+        let mut wb = CoalescingWriteBuffer::new(4, 16, 1000);
+        wb.write(0, 0x00);
+        wb.write(1, 0x10);
+        wb.flush();
+        assert_eq!(wb.occupancy(), 0);
+        assert_eq!(wb.stats().retired, 2);
+    }
+
+    #[test]
+    fn merged_fraction_and_cpi() {
+        let s = WriteBufferStats {
+            writes: 100,
+            merged: 25,
+            retired: 75,
+            stall_cycles: 50,
+        };
+        assert_eq!(s.merged_fraction(), Some(0.25));
+        assert_eq!(s.stall_cpi(1000), 0.05);
+        assert_eq!(WriteBufferStats::default().merged_fraction(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = CoalescingWriteBuffer::new(0, 16, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve")]
+    fn reserve_must_leave_room() {
+        let _ = CoalescingWriteBuffer::new(4, 16, 1).with_reserve(4);
+    }
+}

@@ -1,0 +1,358 @@
+//! The write cache (Figure 6): the paper's proposed structure.
+
+use std::fmt;
+
+use cwp_mem::NextLevel;
+
+/// Counters reported by a [`WriteCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteCacheStats {
+    /// Write (sub-)accesses presented.
+    pub writes: u64,
+    /// Writes merged into a pending entry.
+    pub merged: u64,
+    /// Entries evicted to the next level during operation.
+    pub evictions: u64,
+    /// Entries written out by [`WriteCache::flush`].
+    pub drained: u64,
+    /// Reads supplied (wholly or partly) from pending entries.
+    pub read_forwards: u64,
+}
+
+impl WriteCacheStats {
+    /// Write transactions that left the structure.
+    pub fn outbound(&self) -> u64 {
+        self.evictions + self.drained
+    }
+
+    /// Fraction of writes removed: `1 - outbound / writes` (Figure 7).
+    pub fn removed_fraction(&self) -> Option<f64> {
+        (self.writes > 0).then(|| 1.0 - self.outbound() as f64 / self.writes as f64)
+    }
+}
+
+impl fmt::Display for WriteCacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} writes, {} merged, {} out",
+            self.writes,
+            self.merged,
+            self.outbound()
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Line number (address >> line shift).
+    line: u64,
+    /// Per-byte validity of `data`.
+    mask: u64,
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+/// A small fully-associative cache of write data (Figure 6).
+///
+/// Sits behind a write-through data cache and in front of the write buffer
+/// or next level: every store enters it; stores to a pending line merge;
+/// when a store misses and the write cache is full, the LRU entry is
+/// written out. Unlike a write buffer, entries *stay* until evicted, so a
+/// handful of 8B entries captures most write locality: "a write cache of
+/// only five 8B lines can eliminate 50% of the writes for most programs"
+/// (Section 3.2).
+///
+/// The structure is data-carrying and implements [`NextLevel`], so it can
+/// be stacked under a `cwp-cache` cache; reads passing through it are
+/// overlaid with pending write data ("data to cache if miss in data cache
+/// but hit in write cache", Figure 6).
+///
+/// # Examples
+///
+/// ```
+/// use cwp_buffers::WriteCache;
+/// use cwp_mem::{MainMemory, NextLevel};
+///
+/// let mut wc = WriteCache::new(5, 8, MainMemory::new());
+/// wc.write_through(0x100, &[1u8; 8]);
+/// wc.write_through(0x100, &[2u8; 8]); // merges: no traffic downstream
+/// assert_eq!(wc.stats().merged, 1);
+/// assert_eq!(wc.stats().outbound(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteCache<N> {
+    entries: usize,
+    line_bytes: u32,
+    line_shift: u32,
+    slots: Vec<Slot>,
+    tick: u64,
+    stats: WriteCacheStats,
+    next: N,
+}
+
+impl<N: NextLevel> WriteCache<N> {
+    /// Creates a write cache of `entries` lines of `line_bytes` each
+    /// (the paper uses 8B lines: "no writes larger than 8B exist in most
+    /// architectures, and write paths leaving chips are often 8B").
+    ///
+    /// `entries == 0` is allowed and turns the structure into a plain
+    /// pass-through, the zero point of Figure 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two in 1..=64.
+    pub fn new(entries: usize, line_bytes: u32, next: N) -> Self {
+        assert!(
+            line_bytes.is_power_of_two() && (1..=64).contains(&line_bytes),
+            "write-cache line size must be a power of two in 1..=64"
+        );
+        WriteCache {
+            entries,
+            line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
+            slots: Vec::with_capacity(entries),
+            tick: 0,
+            stats: WriteCacheStats::default(),
+            next,
+        }
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> WriteCacheStats {
+        self.stats
+    }
+
+    /// Pending entries.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Shared access to the next level.
+    pub fn next_level(&self) -> &N {
+        &self.next
+    }
+
+    /// Mutable access to the next level.
+    pub fn next_level_mut(&mut self) -> &mut N {
+        &mut self.next
+    }
+
+    /// Unwraps the write cache, returning the next level. Pending entries
+    /// are *not* drained; call [`WriteCache::flush`] first if it matters.
+    pub fn into_next_level(self) -> N {
+        self.next
+    }
+
+    /// Writes out and clears every pending entry.
+    pub fn flush(&mut self) {
+        for i in 0..self.slots.len() {
+            self.stats.drained += 1;
+            Self::emit(
+                &mut self.next,
+                &self.slots[i],
+                self.line_bytes,
+                self.line_shift,
+            );
+        }
+        self.slots.clear();
+    }
+
+    /// Writes the valid byte-runs of a slot downstream.
+    fn emit(next: &mut N, slot: &Slot, line_bytes: u32, line_shift: u32) {
+        let base = slot.line << line_shift;
+        let mut i = 0u32;
+        while i < line_bytes {
+            if slot.mask & (1 << i) != 0 {
+                let start = i;
+                while i < line_bytes && slot.mask & (1 << i) != 0 {
+                    i += 1;
+                }
+                next.write_through(
+                    base + u64::from(start),
+                    &slot.data[start as usize..i as usize],
+                );
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn write_piece(&mut self, addr: u64, data: &[u8]) {
+        self.stats.writes += 1;
+        if self.entries == 0 {
+            self.stats.evictions += 1;
+            self.next.write_through(addr, data);
+            return;
+        }
+        let line = addr >> self.line_shift;
+        let offset = (addr & (u64::from(self.line_bytes) - 1)) as usize;
+        self.tick += 1;
+        let tick = self.tick;
+
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.line == line) {
+            self.stats.merged += 1;
+            slot.data[offset..offset + data.len()].copy_from_slice(data);
+            slot.mask |= (((1u128 << data.len()) - 1) as u64) << offset;
+            slot.last_used = tick;
+            return;
+        }
+
+        if self.slots.len() == self.entries {
+            let (lru, _) = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .expect("buffer is full, so nonempty");
+            let victim = self.slots.swap_remove(lru);
+            self.stats.evictions += 1;
+            Self::emit(&mut self.next, &victim, self.line_bytes, self.line_shift);
+        }
+
+        let mut slot = Slot {
+            line,
+            mask: (((1u128 << data.len()) - 1) as u64) << offset,
+            data: vec![0u8; self.line_bytes as usize],
+            last_used: tick,
+        };
+        slot.data[offset..offset + data.len()].copy_from_slice(data);
+        self.slots.push(slot);
+    }
+
+    fn write_split(&mut self, addr: u64, data: &[u8]) {
+        let line = u64::from(self.line_bytes);
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let room = (line - (a & (line - 1))) as usize;
+            let take = room.min(data.len() - pos);
+            self.write_piece(a, &data[pos..pos + take]);
+            pos += take;
+        }
+    }
+}
+
+impl<N: NextLevel> NextLevel for WriteCache<N> {
+    fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
+        self.next.fetch_line(addr, buf);
+        // Overlay pending write data that intersects the fetched range.
+        let end = addr + buf.len() as u64;
+        let mut forwarded = false;
+        for slot in &self.slots {
+            let base = slot.line << self.line_shift;
+            for i in 0..self.line_bytes as u64 {
+                if slot.mask & (1 << i) != 0 {
+                    let a = base + i;
+                    if a >= addr && a < end {
+                        buf[(a - addr) as usize] = slot.data[i as usize];
+                        forwarded = true;
+                    }
+                }
+            }
+        }
+        if forwarded {
+            self.stats.read_forwards += 1;
+        }
+    }
+
+    fn write_back(&mut self, addr: u64, data: &[u8]) {
+        self.write_split(addr, data);
+    }
+
+    fn write_through(&mut self, addr: u64, data: &[u8]) {
+        self.write_split(addr, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_mem::{MainMemory, TrafficRecorder};
+
+    fn wc(entries: usize) -> WriteCache<TrafficRecorder<MainMemory>> {
+        WriteCache::new(entries, 8, TrafficRecorder::new(MainMemory::new()))
+    }
+
+    #[test]
+    fn merging_suppresses_downstream_traffic() {
+        let mut w = wc(4);
+        for _ in 0..10 {
+            w.write_through(0x40, &[7u8; 8]);
+        }
+        assert_eq!(w.stats().writes, 10);
+        assert_eq!(w.stats().merged, 9);
+        assert_eq!(w.next_level().traffic().write_through.transactions, 0);
+        w.flush();
+        assert_eq!(w.next_level().traffic().write_through.transactions, 1);
+        assert_eq!(w.stats().removed_fraction(), Some(0.9));
+    }
+
+    #[test]
+    fn lru_entry_is_evicted_when_full() {
+        let mut w = wc(2);
+        w.write_through(0x00, &[1u8; 8]);
+        w.write_through(0x08, &[2u8; 8]);
+        w.write_through(0x00, &[3u8; 8]); // touch 0x00: 0x08 becomes LRU
+        w.write_through(0x10, &[4u8; 8]); // evicts 0x08
+        assert_eq!(w.stats().evictions, 1);
+        assert_eq!(w.next_level().inner().read_byte(0x08), 2);
+        assert_eq!(
+            w.next_level().inner().read_byte(0x00),
+            0,
+            "0x00 still pending"
+        );
+    }
+
+    #[test]
+    fn reads_see_pending_write_data() {
+        let mut w = wc(4);
+        w.write_through(0x20, &[9u8; 4]);
+        let mut buf = [0u8; 8];
+        w.fetch_line(0x20, &mut buf);
+        assert_eq!(&buf[..4], &[9u8; 4]);
+        assert_eq!(&buf[4..], &[0u8; 4]);
+        assert_eq!(w.stats().read_forwards, 1);
+    }
+
+    #[test]
+    fn zero_entry_cache_is_a_pass_through() {
+        let mut w = wc(0);
+        w.write_through(0x00, &[1u8; 8]);
+        w.write_through(0x00, &[2u8; 8]);
+        assert_eq!(w.stats().merged, 0);
+        assert_eq!(w.stats().removed_fraction(), Some(0.0));
+        assert_eq!(w.next_level().traffic().write_through.transactions, 2);
+    }
+
+    #[test]
+    fn partial_entries_emit_only_valid_runs() {
+        let mut w = wc(1);
+        w.write_through(0x00, &[5u8; 4]); // low half of the 8B line
+        w.write_through(0x10, &[6u8; 8]); // evicts it
+        let t = w.next_level().traffic();
+        assert_eq!(t.write_through.transactions, 1);
+        assert_eq!(t.write_through.bytes, 4, "only the valid 4 bytes move");
+    }
+
+    #[test]
+    fn wide_writes_split_across_entries() {
+        let mut w = WriteCache::new(4, 4, TrafficRecorder::new(MainMemory::new()));
+        w.write_through(0x10, &[1u8; 8]); // two 4B entries
+        assert_eq!(w.stats().writes, 2);
+        assert_eq!(w.occupancy(), 2);
+    }
+
+    #[test]
+    fn five_entry_cache_captures_cyclic_write_locality() {
+        // Cycling over 5 lines with a 5-entry write cache: after warm-up
+        // everything merges.
+        let mut w = wc(5);
+        for i in 0..500u64 {
+            w.write_through((i % 5) * 8, &[i as u8; 8]);
+        }
+        w.flush();
+        let frac = w.stats().removed_fraction().unwrap();
+        assert!(frac > 0.98, "got {frac}");
+    }
+}

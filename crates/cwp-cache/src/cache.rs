@@ -1,0 +1,826 @@
+//! The cache engine: lookup, replacement, and the policy state machines.
+
+use cwp_mem::{MainMemory, NextLevel, Traffic, TrafficRecorder};
+
+use crate::config::CacheConfig;
+use crate::mask;
+use crate::policy::{WriteHitPolicy, WriteMissPolicy};
+use crate::stats::CacheStats;
+
+/// Per-line metadata: tag plus per-byte valid and dirty masks.
+#[derive(Debug, Clone, Copy)]
+struct LineMeta {
+    tag: u64,
+    /// Byte `i` of the line holds correct data iff bit `i` is set.
+    valid: u64,
+    /// Byte `i` differs from the next level iff bit `i` is set.
+    dirty: u64,
+    /// LRU timestamp.
+    last_used: u64,
+}
+
+impl LineMeta {
+    const EMPTY: LineMeta = LineMeta {
+        tag: 0,
+        valid: 0,
+        dirty: 0,
+        last_used: 0,
+    };
+}
+
+/// A simulated set-associative, data-carrying cache.
+///
+/// `N` is the next-lower level of the hierarchy: [`cwp_mem::MainMemory`],
+/// a [`cwp_mem::TrafficRecorder`], a write buffer from `cwp-buffers`, or
+/// another `Cache` (caches implement [`NextLevel`], so hierarchies stack).
+///
+/// See the crate documentation for policy semantics and an example.
+#[derive(Debug, Clone)]
+pub struct Cache<N> {
+    config: CacheConfig,
+    line_bytes: u32,
+    line_shift: u32,
+    set_count: u32,
+    ways: u32,
+    meta: Vec<LineMeta>,
+    data: Vec<u8>,
+    scratch: Vec<u8>,
+    tick: u64,
+    stats: CacheStats,
+    next: N,
+}
+
+/// The common standalone configuration: a cache over main memory with a
+/// traffic recorder at its back side.
+pub type MemoryCache = Cache<TrafficRecorder<MainMemory>>;
+
+impl MemoryCache {
+    /// Creates a cache backed by fresh [`MainMemory`] behind a
+    /// [`TrafficRecorder`].
+    pub fn with_memory(config: CacheConfig) -> Self {
+        Cache::new(config, TrafficRecorder::new(MainMemory::new()))
+    }
+
+    /// The back-side traffic recorded so far.
+    pub fn traffic(&self) -> Traffic {
+        self.next.traffic()
+    }
+}
+
+impl<N: NextLevel> Cache<N> {
+    /// Creates a cache with `next` as the next-lower hierarchy level.
+    pub fn new(config: CacheConfig, next: N) -> Self {
+        let line_bytes = config.line_bytes();
+        let lines = config.lines() as usize;
+        Cache {
+            config,
+            line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
+            set_count: config.sets(),
+            ways: config.associativity(),
+            meta: vec![LineMeta::EMPTY; lines],
+            data: vec![0u8; lines * line_bytes as usize],
+            scratch: vec![0u8; line_bytes as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+            next,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Event counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the event counters (the cache contents are untouched), e.g.
+    /// to measure steady-state behaviour after a warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Shared access to the next level.
+    pub fn next_level(&self) -> &N {
+        &self.next
+    }
+
+    /// Mutable access to the next level.
+    pub fn next_level_mut(&mut self) -> &mut N {
+        &mut self.next
+    }
+
+    /// Unwraps the cache, returning the next level.
+    ///
+    /// Dirty data still resident is *not* written back; call
+    /// [`Cache::flush`] first if it matters.
+    pub fn into_next_level(self) -> N {
+        self.next
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, faulting lines in as needed.
+    /// Accesses may span any number of lines; each line-sized piece counts
+    /// as one access.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        let line = u64::from(self.line_bytes);
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let room = (line - (a & (line - 1))) as usize;
+            let take = room.min(buf.len() - pos);
+            self.read_within(a, pos, pos + take, buf);
+            pos += take;
+        }
+    }
+
+    /// Writes `data` at `addr` under the configured policies. Accesses may
+    /// span any number of lines; each line-sized piece counts as one
+    /// access.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let line = u64::from(self.line_bytes);
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let room = (line - (a & (line - 1))) as usize;
+            let take = room.min(data.len() - pos);
+            self.write_within(a, &data[pos..pos + take]);
+            pos += take;
+        }
+    }
+
+    /// Writes back any dirty data and counts every resident line as a
+    /// flush victim ("flush stop", Section 5).
+    pub fn flush(&mut self) {
+        for idx in 0..self.meta.len() {
+            let m = self.meta[idx];
+            if m.valid == 0 {
+                continue;
+            }
+            self.stats.flush.total += 1;
+            if m.dirty != 0 {
+                self.stats.flush.dirty += 1;
+                self.stats.flush.dirty_bytes += u64::from(mask::count(m.dirty));
+                self.write_back_line(idx);
+            }
+            self.meta[idx] = LineMeta::EMPTY;
+        }
+    }
+
+    /// Invalidates everything without writing back (for tests and for
+    /// modelling the error-recovery path of parity-protected write-through
+    /// caches, which may discard any line).
+    pub fn invalidate_all(&mut self) {
+        for m in &mut self.meta {
+            *m = LineMeta::EMPTY;
+        }
+    }
+
+    /// Returns `true` if every byte of `addr..addr+len` is resident and
+    /// valid (a read would hit).
+    pub fn is_resident(&self, addr: u64, len: usize) -> bool {
+        let line = u64::from(self.line_bytes);
+        let mut pos = 0usize;
+        while pos < len {
+            let a = addr + pos as u64;
+            let room = (line - (a & (line - 1))) as usize;
+            let take = room.min(len - pos);
+            let (set, tag, offset) = self.decompose(a);
+            let hit = self.find_way(set, tag).is_some_and(|way| {
+                let m = &self.meta[self.line_index(set, way)];
+                let need = mask::span(offset, take as u32);
+                m.valid & need == need
+            });
+            if !hit {
+                return false;
+            }
+            pos += take;
+        }
+        true
+    }
+
+    /// Executes a cache-line *allocation instruction* (Section 4): claims
+    /// the line containing `addr` without fetching it, marking every byte
+    /// valid (and dirty, under write-back). The line's data is zero-filled
+    /// here, standing in for the undefined contents real hardware leaves.
+    ///
+    /// This models the instructions of the 801, MultiTitan, and PA-RISC
+    /// that the paper compares write-validate against. It carries the
+    /// hazards the paper lists: if the program does not overwrite the
+    /// whole line (or is context-switched first), the allocation has
+    /// destroyed the memory locations' old contents — the cache is no
+    /// longer transparent. `examples/alloc_instructions.rs` demonstrates
+    /// both the payoff and the hazard.
+    ///
+    /// Counts as neither a hit nor a miss; the allocation itself is
+    /// tallied in [`CacheStats::line_allocations`].
+    ///
+    /// [`CacheStats::line_allocations`]: crate::stats::CacheStats::line_allocations
+    pub fn allocate_line(&mut self, addr: u64) {
+        let (set, tag, _offset) = self.decompose(addr);
+        self.stats.line_allocations += 1;
+        let way = match self.find_way(set, tag) {
+            Some(way) => way,
+            None => {
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                way
+            }
+        };
+        let idx = self.line_index(set, way);
+        let full = mask::full(self.line_bytes);
+        self.line_data(idx).fill(0);
+        let write_back = self.config.write_hit() == WriteHitPolicy::WriteBack;
+        let m = &mut self.meta[idx];
+        m.tag = tag;
+        m.valid = full;
+        m.dirty = if write_back { full } else { 0 };
+        self.touch(set, way);
+    }
+
+    // ------------------------------------------------------------------
+    // Address plumbing
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn decompose(&self, addr: u64) -> (u32, u64, u32) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % u64::from(self.set_count)) as u32;
+        let tag = line_addr / u64::from(self.set_count);
+        let offset = (addr & (u64::from(self.line_bytes) - 1)) as u32;
+        (set, tag, offset)
+    }
+
+    #[inline]
+    fn line_addr(&self, set: u32, tag: u64) -> u64 {
+        (tag * u64::from(self.set_count) + u64::from(set)) << self.line_shift
+    }
+
+    #[inline]
+    fn line_index(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
+
+    #[inline]
+    fn line_data(&mut self, idx: usize) -> &mut [u8] {
+        let lb = self.line_bytes as usize;
+        &mut self.data[idx * lb..(idx + 1) * lb]
+    }
+
+    #[inline]
+    fn find_way(&self, set: u32, tag: u64) -> Option<u32> {
+        (0..self.ways).find(|&way| {
+            let m = &self.meta[self.line_index(set, way)];
+            m.valid != 0 && m.tag == tag
+        })
+    }
+
+    /// Picks the way a miss in `set` would replace: an invalid way if one
+    /// exists, else the least recently used.
+    #[inline]
+    fn victim_way(&self, set: u32) -> u32 {
+        let mut best = 0u32;
+        let mut best_used = u64::MAX;
+        for way in 0..self.ways {
+            let m = &self.meta[self.line_index(set, way)];
+            if m.valid == 0 {
+                return way;
+            }
+            if m.last_used < best_used {
+                best_used = m.last_used;
+                best = way;
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn touch(&mut self, set: u32, way: u32) {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.line_index(set, way);
+        self.meta[idx].last_used = tick;
+    }
+
+    // ------------------------------------------------------------------
+    // Line movement
+    // ------------------------------------------------------------------
+
+    /// Writes the dirty bytes of line `idx` to the next level.
+    ///
+    /// A partially valid line (possible only under write-validate) must
+    /// write back only its dirty runs even in whole-line mode: the invalid
+    /// bytes were never fetched and hold garbage. This is the paper's
+    /// observation that "write-validate also requires that lower levels in
+    /// the memory system support writes of partial cache lines".
+    fn write_back_line(&mut self, idx: usize) {
+        let m = self.meta[idx];
+        let base = self.line_addr_of(idx);
+        let lb = self.line_bytes;
+        if self.config.partial_writeback() || m.valid != mask::full(lb) {
+            let runs: Vec<(u32, u32)> = mask::runs(m.dirty, lb).collect();
+            for (off, len) in runs {
+                let lo = idx * lb as usize + off as usize;
+                let chunk = self.data[lo..lo + len as usize].to_vec();
+                self.next.write_back(base + u64::from(off), &chunk);
+            }
+        } else {
+            let lbu = lb as usize;
+            let chunk = self.data[idx * lbu..(idx + 1) * lbu].to_vec();
+            self.next.write_back(base, &chunk);
+        }
+    }
+
+    fn line_addr_of(&self, idx: usize) -> u64 {
+        let set = idx as u32 / self.ways;
+        let m = &self.meta[idx];
+        self.line_addr(set, m.tag)
+    }
+
+    /// Evicts the line at (`set`, `way`), recording victim statistics and
+    /// writing back dirty bytes. Leaves the way invalid.
+    fn evict(&mut self, set: u32, way: u32) {
+        let idx = self.line_index(set, way);
+        let m = self.meta[idx];
+        if m.valid != 0 {
+            self.stats.victims.total += 1;
+            if m.dirty != 0 {
+                self.stats.victims.dirty += 1;
+                self.stats.victims.dirty_bytes += u64::from(mask::count(m.dirty));
+                self.write_back_line(idx);
+            }
+        }
+        self.meta[idx] = LineMeta::EMPTY;
+    }
+
+    /// Fetches the whole line for (`set`, `tag`) into `way`, merging with
+    /// any valid bytes already present (write-validate refill semantics:
+    /// valid bytes are newer than memory and must be kept).
+    fn fetch_line(&mut self, set: u32, way: u32, tag: u64) {
+        self.stats.fetches += 1;
+        let addr = self.line_addr(set, tag);
+        let idx = self.line_index(set, way);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.next.fetch_line(addr, &mut scratch);
+        let keep = self.meta[idx].valid;
+        let line = self.line_data(idx);
+        for (i, b) in scratch.iter().enumerate() {
+            if keep & (1u64 << i) == 0 {
+                line[i] = *b;
+            }
+        }
+        self.scratch = scratch;
+        let full = mask::full(self.line_bytes);
+        let m = &mut self.meta[idx];
+        m.tag = tag;
+        m.valid = full;
+    }
+
+    // ------------------------------------------------------------------
+    // The access state machines
+    // ------------------------------------------------------------------
+
+    fn read_within(&mut self, addr: u64, lo: usize, hi: usize, out: &mut [u8]) {
+        self.stats.reads += 1;
+        let (set, tag, offset) = self.decompose(addr);
+        let need = mask::span(offset, (hi - lo) as u32);
+
+        let way = match self.find_way(set, tag) {
+            Some(way) => {
+                let idx = self.line_index(set, way);
+                if self.meta[idx].valid & need == need {
+                    self.stats.read_hits += 1;
+                } else {
+                    // Tag match but some requested bytes invalid: a miss
+                    // that refills the line, merging around valid bytes.
+                    self.stats.read_misses += 1;
+                    self.stats.partial_read_misses += 1;
+                    self.fetch_line(set, way, tag);
+                }
+                way
+            }
+            None => {
+                self.stats.read_misses += 1;
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                self.fetch_line(set, way, tag);
+                way
+            }
+        };
+
+        let idx = self.line_index(set, way);
+        let src = idx * self.line_bytes as usize + offset as usize;
+        out[lo..hi].copy_from_slice(&self.data[src..src + (hi - lo)]);
+        self.touch(set, way);
+    }
+
+    fn write_within(&mut self, addr: u64, data: &[u8]) {
+        self.stats.writes += 1;
+        let (set, tag, offset) = self.decompose(addr);
+        let span = mask::span(offset, data.len() as u32);
+
+        if let Some(way) = self.find_way(set, tag) {
+            // Write hit: the tag is resident. Writing validates the bytes
+            // regardless of their previous valid state.
+            self.stats.write_hits += 1;
+            self.store_into(set, way, offset, data, span);
+            if self.config.write_hit() == WriteHitPolicy::WriteThrough {
+                self.next.write_through(addr, data);
+            }
+            self.touch(set, way);
+            return;
+        }
+
+        self.stats.write_misses += 1;
+        match self.config.write_miss() {
+            WriteMissPolicy::FetchOnWrite => {
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                self.fetch_line(set, way, tag);
+                self.store_into(set, way, offset, data, span);
+                if self.config.write_hit() == WriteHitPolicy::WriteThrough {
+                    self.next.write_through(addr, data);
+                }
+                self.touch(set, way);
+            }
+            WriteMissPolicy::WriteValidate => {
+                // Allocate without fetching: valid bits cover only the
+                // written bytes.
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                let idx = self.line_index(set, way);
+                self.meta[idx].tag = tag;
+                self.store_into(set, way, offset, data, span);
+                if self.config.write_hit() == WriteHitPolicy::WriteThrough {
+                    self.next.write_through(addr, data);
+                }
+                self.touch(set, way);
+            }
+            WriteMissPolicy::WriteAround => {
+                // Bypass: the old line (if any) stays resident.
+                self.next.write_through(addr, data);
+            }
+            WriteMissPolicy::WriteInvalidate => {
+                // The concurrent data write corrupted the indexed line, so
+                // invalidate it and pass the data on. Write-through caches
+                // hold no unique data, so nothing is lost.
+                let way = self.victim_way(set);
+                let idx = self.line_index(set, way);
+                debug_assert_eq!(
+                    self.meta[idx].dirty, 0,
+                    "write-invalidate requires write-through"
+                );
+                if self.meta[idx].valid != 0 {
+                    self.stats.invalidations += 1;
+                }
+                self.meta[idx] = LineMeta::EMPTY;
+                self.next.write_through(addr, data);
+            }
+        }
+    }
+
+    /// Stores `data` into a resident line, updating valid/dirty masks and
+    /// the writes-to-already-dirty counter.
+    #[inline]
+    fn store_into(&mut self, set: u32, way: u32, offset: u32, data: &[u8], span: u64) {
+        let write_back = self.config.write_hit() == WriteHitPolicy::WriteBack;
+        let idx = self.line_index(set, way);
+        if write_back && self.meta[idx].dirty != 0 {
+            self.stats.writes_to_dirty += 1;
+        }
+        let lo = idx * self.line_bytes as usize + offset as usize;
+        self.data[lo..lo + data.len()].copy_from_slice(data);
+        let m = &mut self.meta[idx];
+        m.valid |= span;
+        if write_back {
+            m.dirty |= span;
+        }
+    }
+}
+
+impl<N: NextLevel> NextLevel for Cache<N> {
+    fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
+        self.read(addr, buf);
+    }
+
+    fn write_back(&mut self, addr: u64, data: &[u8]) {
+        self.write(addr, data);
+    }
+
+    fn write_through(&mut self, addr: u64, data: &[u8]) {
+        self.write(addr, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn cfg(hit: WriteHitPolicy, miss: WriteMissPolicy) -> CacheConfig {
+        CacheConfig::builder()
+            .size_bytes(1024)
+            .line_bytes(16)
+            .write_hit(hit)
+            .write_miss(miss)
+            .build()
+            .unwrap()
+    }
+
+    fn wb_fow() -> MemoryCache {
+        Cache::with_memory(cfg(
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::FetchOnWrite,
+        ))
+    }
+
+    #[test]
+    fn read_after_write_returns_written_data() {
+        let mut c = wb_fow();
+        c.write(0x100, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        c.read(0x100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn second_read_hits() {
+        let mut c = wb_fow();
+        let mut buf = [0u8; 8];
+        c.read(0x40, &mut buf);
+        c.read(0x40, &mut buf);
+        assert_eq!(c.stats().read_misses, 1);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().fetches, 1);
+    }
+
+    #[test]
+    fn write_back_defers_traffic_until_eviction() {
+        let mut c = wb_fow();
+        c.write(0x0, &[9; 8]);
+        assert_eq!(c.traffic().write_back.transactions, 0);
+        assert_eq!(c.traffic().write_through.transactions, 0);
+        // Conflicting line (same set in a 1KB direct-mapped cache).
+        c.write(0x400, &[8; 8]);
+        assert_eq!(c.traffic().write_back.transactions, 1);
+        assert_eq!(c.traffic().write_back.bytes, 16, "whole-line write-back");
+    }
+
+    #[test]
+    fn write_through_sends_every_store() {
+        let mut c = Cache::with_memory(cfg(
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::FetchOnWrite,
+        ));
+        c.write(0x0, &[1; 4]);
+        c.write(0x0, &[2; 4]);
+        c.write(0x4, &[3; 4]);
+        let t = c.traffic();
+        assert_eq!(t.write_through.transactions, 3);
+        assert_eq!(t.write_through.bytes, 12);
+        assert_eq!(t.write_back.transactions, 0);
+    }
+
+    #[test]
+    fn writes_to_dirty_counts_second_write_to_a_line() {
+        let mut c = wb_fow();
+        c.write(0x10, &[1; 4]); // miss, fetch, line becomes dirty
+        c.write(0x14, &[2; 4]); // hit on the now-dirty line
+        c.write(0x18, &[3; 4]); // hit, dirty again
+        assert_eq!(c.stats().writes_to_dirty, 2);
+        assert_eq!(c.stats().dirty_write_fraction(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn fetch_on_write_fetches_the_missed_line() {
+        let mut c = wb_fow();
+        c.write(0x20, &[7; 4]);
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.stats().fetches, 1);
+        // The unwritten bytes of the line hold memory's contents.
+        let mut buf = [0xffu8; 4];
+        c.read(0x24, &mut buf);
+        assert_eq!(c.stats().read_hits, 1, "rest of the fetched line is valid");
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn write_validate_skips_the_fetch_and_tracks_validity() {
+        let mut c = Cache::with_memory(cfg(
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::WriteValidate,
+        ));
+        c.write(0x20, &[7; 4]);
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.stats().fetches, 0, "write-validate never fetches");
+        assert!(c.is_resident(0x20, 4));
+        assert!(!c.is_resident(0x24, 4), "unwritten bytes are invalid");
+        // Reading the invalid part triggers a merging refill.
+        let mut buf = [0u8; 4];
+        c.read(0x24, &mut buf);
+        assert_eq!(c.stats().partial_read_misses, 1);
+        assert_eq!(c.stats().fetches, 1);
+        // The written bytes survived the merge.
+        let mut buf = [0u8; 4];
+        c.read(0x20, &mut buf);
+        assert_eq!(buf, [7; 4]);
+    }
+
+    #[test]
+    fn write_around_bypasses_and_preserves_the_old_line() {
+        let mut c = Cache::with_memory(cfg(
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::WriteAround,
+        ));
+        // Fault in line at 0x0 by reading it.
+        let mut buf = [0u8; 4];
+        c.read(0x0, &mut buf);
+        // Write to the conflicting line 0x400: goes around.
+        c.write(0x400, &[5; 4]);
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.stats().fetches, 1, "only the initial read fetched");
+        assert!(c.is_resident(0x0, 4), "old line still resident");
+        assert!(!c.is_resident(0x400, 4));
+        // Memory still saw the write.
+        c.read(0x400, &mut buf);
+        assert_eq!(buf, [5; 4]);
+    }
+
+    #[test]
+    fn write_invalidate_clears_the_indexed_line() {
+        let mut c = Cache::with_memory(cfg(
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::WriteInvalidate,
+        ));
+        let mut buf = [0u8; 4];
+        c.read(0x0, &mut buf);
+        assert!(c.is_resident(0x0, 4));
+        c.write(0x400, &[5; 4]);
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(!c.is_resident(0x0, 4), "the corrupted line is gone");
+        assert!(!c.is_resident(0x400, 4));
+        c.read(0x400, &mut buf);
+        assert_eq!(buf, [5; 4]);
+    }
+
+    #[test]
+    fn flush_writes_dirty_lines_and_counts_all_resident() {
+        let mut c = wb_fow();
+        c.write(0x0, &[1; 8]);
+        let mut buf = [0u8; 8];
+        c.read(0x100, &mut buf); // clean resident line
+        c.flush();
+        assert_eq!(c.stats().flush.total, 2);
+        assert_eq!(c.stats().flush.dirty, 1);
+        assert_eq!(c.stats().flush.dirty_bytes, 8);
+        assert_eq!(c.traffic().write_back.transactions, 1);
+        assert!(!c.is_resident(0x0, 1));
+    }
+
+    #[test]
+    fn victims_count_only_valid_replacements() {
+        let mut c = wb_fow();
+        let mut buf = [0u8; 4];
+        c.read(0x0, &mut buf); // cold fill, no victim
+        assert_eq!(c.stats().victims.total, 0);
+        c.read(0x400, &mut buf); // replaces the clean line
+        assert_eq!(c.stats().victims.total, 1);
+        assert_eq!(c.stats().victims.dirty, 0);
+        c.write(0x400, &[1; 4]);
+        c.read(0x800, &mut buf); // replaces a dirty line
+        let v = c.stats().victims;
+        assert_eq!(v.total, 2);
+        assert_eq!(v.dirty, 1);
+        assert_eq!(v.dirty_bytes, 4);
+    }
+
+    #[test]
+    fn partial_writeback_moves_only_dirty_runs() {
+        let config = CacheConfig::builder()
+            .size_bytes(1024)
+            .line_bytes(16)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::WriteValidate)
+            .partial_writeback(true)
+            .build()
+            .unwrap();
+        let mut c = Cache::with_memory(config);
+        c.write(0x0, &[1; 4]); // only 4 dirty bytes on the line
+        c.write(0x400, &[2; 4]); // conflict evicts it
+        assert_eq!(c.traffic().write_back.transactions, 1);
+        assert_eq!(c.traffic().write_back.bytes, 4);
+    }
+
+    #[test]
+    fn lru_replacement_in_a_set_associative_cache() {
+        let config = CacheConfig::builder()
+            .size_bytes(1024)
+            .line_bytes(16)
+            .associativity(2)
+            .build()
+            .unwrap();
+        let mut c = Cache::with_memory(config);
+        let mut buf = [0u8; 4];
+        // 32 sets; addresses 0x0, 0x200, 0x400 all map to set 0.
+        c.read(0x0, &mut buf);
+        c.read(0x200, &mut buf);
+        c.read(0x0, &mut buf); // refresh 0x0
+        c.read(0x400, &mut buf); // must evict 0x200, the LRU
+        assert!(c.is_resident(0x0, 4));
+        assert!(!c.is_resident(0x200, 4));
+        assert!(c.is_resident(0x400, 4));
+    }
+
+    #[test]
+    fn accesses_spanning_lines_are_split() {
+        let config = CacheConfig::builder()
+            .size_bytes(1024)
+            .line_bytes(4)
+            .build()
+            .unwrap();
+        let mut c = Cache::with_memory(config);
+        c.write(0x8, &[1, 2, 3, 4, 5, 6, 7, 8]); // 8B store, 4B lines
+        assert_eq!(c.stats().writes, 2, "split into two line-sized writes");
+        let mut buf = [0u8; 8];
+        c.read(0x8, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.stats().reads, 2);
+    }
+
+    #[test]
+    fn caches_stack_as_next_levels() {
+        let l2_cfg = CacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(32)
+            .build()
+            .unwrap();
+        let l1_cfg = cfg(WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround);
+        let l2 = Cache::new(l2_cfg, TrafficRecorder::new(MainMemory::new()));
+        let mut l1 = Cache::new(l1_cfg, l2);
+        l1.write(0x123 & !3, &[9; 4]);
+        let mut buf = [0u8; 4];
+        l1.read(0x120, &mut buf);
+        assert_eq!(buf[0], 9);
+        assert!(l1.next_level().stats().accesses() > 0, "L2 saw traffic");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = wb_fow();
+        c.write(0x40, &[3; 4]);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.is_resident(0x40, 4));
+    }
+
+    #[test]
+    fn allocate_line_claims_without_fetching() {
+        let mut c = wb_fow();
+        c.allocate_line(0x200);
+        assert_eq!(c.stats().fetches, 0, "allocation must not fetch");
+        assert_eq!(c.stats().line_allocations, 1);
+        assert!(c.is_resident(0x200, 16), "the whole line is valid");
+        // Subsequent writes to the allocated line are hits.
+        c.write(0x200, &[7; 8]);
+        assert_eq!(c.stats().write_hits, 1);
+        assert_eq!(c.stats().write_misses, 0);
+    }
+
+    #[test]
+    fn allocate_line_writes_back_the_displaced_victim() {
+        let mut c = wb_fow();
+        c.write(0x0, &[9; 8]);
+        c.allocate_line(0x400); // conflicts in the 1KB direct-mapped cache
+        assert_eq!(c.traffic().write_back.transactions, 1);
+        assert_eq!(c.stats().victims.dirty, 1);
+    }
+
+    #[test]
+    fn partial_overwrite_after_allocation_is_the_papers_hazard() {
+        // "Context switches after a line has been allocated and partially
+        // written ... result in dirty and incorrect cache lines."
+        let mut c = wb_fow();
+        // Memory holds known data at the back half of the line.
+        c.write(0x108, &[5; 8]);
+        c.flush();
+        // Allocate the line, overwrite only the front half, then flush
+        // (a context switch writing the "dirty and incorrect" line back).
+        c.allocate_line(0x100);
+        c.write(0x100, &[1; 8]);
+        c.flush();
+        let mut buf = [0u8; 8];
+        c.read(0x108, &mut buf);
+        assert_eq!(buf, [0; 8], "the old memory contents were destroyed");
+    }
+
+    #[test]
+    fn allocating_an_already_resident_line_is_idempotent_on_tags() {
+        let mut c = wb_fow();
+        c.write(0x80, &[3; 4]);
+        c.allocate_line(0x80);
+        assert_eq!(c.stats().victims.total, 0, "no self-eviction");
+        assert!(c.is_resident(0x80, 16));
+    }
+}

@@ -1,0 +1,407 @@
+//! Cache configuration and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::mask::MAX_LINE_BYTES;
+use crate::policy::{WriteHitPolicy, WriteMissPolicy};
+
+/// A validated cache geometry and policy selection.
+///
+/// Build one with [`CacheConfig::builder`]; construction checks every
+/// invariant the simulator relies on, including the paper's policy
+/// compatibility rule: "write-around and write-invalidate (i.e., policies
+/// with no-write-allocate) are only useful with write-through caches"
+/// (Section 4).
+///
+/// # Examples
+///
+/// ```
+/// use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+///
+/// let config = CacheConfig::builder()
+///     .size_bytes(4 * 1024)
+///     .line_bytes(16)
+///     .associativity(2)
+///     .write_hit(WriteHitPolicy::WriteBack)
+///     .write_miss(WriteMissPolicy::WriteValidate)
+///     .build()
+///     .expect("a valid configuration");
+/// assert_eq!(config.sets(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u32,
+    line_bytes: u32,
+    associativity: u32,
+    write_hit: WriteHitPolicy,
+    write_miss: WriteMissPolicy,
+    partial_writeback: bool,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration. Defaults: 8KB, 16B lines,
+    /// direct-mapped, write-back, fetch-on-write, whole-line write-backs —
+    /// the paper's most common setup.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::new()
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Ways per set (1 = direct-mapped).
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u32 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// The write-hit policy.
+    pub fn write_hit(&self) -> WriteHitPolicy {
+        self.write_hit
+    }
+
+    /// The write-miss policy.
+    pub fn write_miss(&self) -> WriteMissPolicy {
+        self.write_miss
+    }
+
+    /// Whether dirty victims write back only their dirty byte runs
+    /// (sub-block dirty bits) instead of the whole line.
+    pub fn partial_writeback(&self) -> bool {
+        self.partial_writeback
+    }
+
+    /// Returns a builder seeded with this configuration, for deriving
+    /// variants in parameter sweeps.
+    pub fn to_builder(&self) -> CacheConfigBuilder {
+        CacheConfigBuilder { config: *self }
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 16,
+            associativity: 1,
+            write_hit: WriteHitPolicy::WriteBack,
+            write_miss: WriteMissPolicy::FetchOnWrite,
+            partial_writeback: false,
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B/{}-way {} {}",
+            self.size_bytes / 1024,
+            self.line_bytes,
+            self.associativity,
+            self.write_hit,
+            self.write_miss
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`]. See [`CacheConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    config: CacheConfig,
+}
+
+impl CacheConfigBuilder {
+    fn new() -> Self {
+        CacheConfigBuilder {
+            config: CacheConfig::default(),
+        }
+    }
+
+    /// Sets the total capacity in bytes (power of two).
+    pub fn size_bytes(mut self, size: u32) -> Self {
+        self.config.size_bytes = size;
+        self
+    }
+
+    /// Sets the line size in bytes (power of two, 4..=64).
+    pub fn line_bytes(mut self, line: u32) -> Self {
+        self.config.line_bytes = line;
+        self
+    }
+
+    /// Sets the ways per set (power of two; 1 = direct-mapped).
+    pub fn associativity(mut self, ways: u32) -> Self {
+        self.config.associativity = ways;
+        self
+    }
+
+    /// Sets the write-hit policy.
+    pub fn write_hit(mut self, policy: WriteHitPolicy) -> Self {
+        self.config.write_hit = policy;
+        self
+    }
+
+    /// Sets the write-miss policy.
+    pub fn write_miss(mut self, policy: WriteMissPolicy) -> Self {
+        self.config.write_miss = policy;
+        self
+    }
+
+    /// Enables or disables sub-block (dirty-byte-run) write-backs.
+    pub fn partial_writeback(mut self, enabled: bool) -> Self {
+        self.config.partial_writeback = enabled;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any geometry value is not a power of
+    /// two, the line size is outside 4..=64, the geometry implies zero
+    /// sets, or a no-write-allocate miss policy is combined with
+    /// write-back hits.
+    pub fn build(self) -> Result<CacheConfig, ConfigError> {
+        let c = self.config;
+        if !c.size_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                value: c.size_bytes,
+            });
+        }
+        if !c.line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: c.line_bytes,
+            });
+        }
+        if !c.associativity.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "associativity",
+                value: c.associativity,
+            });
+        }
+        if c.line_bytes < 4 || c.line_bytes > MAX_LINE_BYTES {
+            return Err(ConfigError::LineSizeRange {
+                value: c.line_bytes,
+            });
+        }
+        if c.line_bytes * c.associativity > c.size_bytes {
+            return Err(ConfigError::NoSets {
+                size: c.size_bytes,
+                line: c.line_bytes,
+                ways: c.associativity,
+            });
+        }
+        if c.write_miss.bypasses() && c.write_hit == WriteHitPolicy::WriteBack {
+            return Err(ConfigError::PolicyConflict { miss: c.write_miss });
+        }
+        Ok(c)
+    }
+}
+
+/// Why a cache configuration was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A geometry parameter must be a power of two.
+    NotPowerOfTwo {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// Line size must be between 4 and 64 bytes.
+    LineSizeRange {
+        /// The offending value.
+        value: u32,
+    },
+    /// size / (line * ways) must be at least one set.
+    NoSets {
+        /// Cache size in bytes.
+        size: u32,
+        /// Line size in bytes.
+        line: u32,
+        /// Associativity.
+        ways: u32,
+    },
+    /// No-write-allocate miss policies require write-through hits: with a
+    /// write-back cache the bypassed data would be shadowed by a later
+    /// dirty write-back of a stale line.
+    PolicyConflict {
+        /// The no-write-allocate policy that was combined with write-back.
+        miss: WriteMissPolicy,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::LineSizeRange { value } => {
+                write!(f, "line size must be between 4 and 64 bytes, got {value}")
+            }
+            ConfigError::NoSets { size, line, ways } => {
+                write!(
+                    f,
+                    "{size}B cache with {line}B lines and {ways} ways has no sets"
+                )
+            }
+            ConfigError::PolicyConflict { miss } => {
+                write!(
+                    f,
+                    "{miss} requires a write-through cache (no-write-allocate)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_the_papers_workhorse() {
+        let c = CacheConfig::builder().build().unwrap();
+        assert_eq!(c.size_bytes(), 8 * 1024);
+        assert_eq!(c.line_bytes(), 16);
+        assert_eq!(c.associativity(), 1);
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.lines(), 512);
+        assert!(!c.partial_writeback());
+    }
+
+    #[test]
+    fn non_power_of_two_values_are_rejected() {
+        assert!(matches!(
+            CacheConfig::builder().size_bytes(3000).build(),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CacheConfig::builder().line_bytes(24).build(),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CacheConfig::builder().associativity(3).build(),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn line_size_bounds() {
+        assert!(matches!(
+            CacheConfig::builder().line_bytes(2).build(),
+            Err(ConfigError::LineSizeRange { value: 2 })
+        ));
+        assert!(matches!(
+            CacheConfig::builder().line_bytes(128).build(),
+            Err(ConfigError::LineSizeRange { value: 128 })
+        ));
+        assert!(CacheConfig::builder().line_bytes(64).build().is_ok());
+        assert!(CacheConfig::builder().line_bytes(4).build().is_ok());
+    }
+
+    #[test]
+    fn geometry_must_leave_at_least_one_set() {
+        let err = CacheConfig::builder()
+            .size_bytes(64)
+            .line_bytes(32)
+            .associativity(4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::NoSets { .. }));
+        // Fully associative (one set) is allowed.
+        let ok = CacheConfig::builder()
+            .size_bytes(64)
+            .line_bytes(16)
+            .associativity(4)
+            .build();
+        assert_eq!(ok.unwrap().sets(), 1);
+    }
+
+    #[test]
+    fn no_write_allocate_requires_write_through() {
+        for miss in [
+            WriteMissPolicy::WriteAround,
+            WriteMissPolicy::WriteInvalidate,
+        ] {
+            let err = CacheConfig::builder()
+                .write_hit(WriteHitPolicy::WriteBack)
+                .write_miss(miss)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::PolicyConflict { miss });
+            assert!(CacheConfig::builder()
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(miss)
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn write_validate_works_with_both_hit_policies() {
+        for hit in WriteHitPolicy::ALL {
+            assert!(CacheConfig::builder()
+                .write_hit(hit)
+                .write_miss(WriteMissPolicy::WriteValidate)
+                .build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn to_builder_round_trips() {
+        let base = CacheConfig::builder()
+            .size_bytes(32 * 1024)
+            .build()
+            .unwrap();
+        let derived = base.to_builder().line_bytes(32).build().unwrap();
+        assert_eq!(derived.size_bytes(), 32 * 1024);
+        assert_eq!(derived.line_bytes(), 32);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = CacheConfig::default();
+        assert_eq!(c.to_string(), "8KB/16B/1-way write-back fetch-on-write");
+    }
+
+    #[test]
+    fn error_display_is_lowercase_without_trailing_punctuation() {
+        let e = ConfigError::LineSizeRange { value: 1 }.to_string();
+        assert!(e.starts_with(char::is_lowercase));
+        assert!(!e.ends_with('.'));
+    }
+}

@@ -1,0 +1,61 @@
+//! The first-level data-cache simulator at the heart of `cwp`.
+//!
+//! Implements the full write-policy matrix the paper studies:
+//!
+//! * **Write hits** (Section 3): [`WriteHitPolicy::WriteThrough`] passes
+//!   every store to the next level; [`WriteHitPolicy::WriteBack`] marks
+//!   lines dirty and writes them back on eviction.
+//! * **Write misses** (Section 4, Figure 12): the four useful combinations
+//!   of fetch-on-write / write-allocate / write-invalidate —
+//!   [`WriteMissPolicy::FetchOnWrite`], [`WriteMissPolicy::WriteValidate`]
+//!   (sub-block valid bits, no fetch), [`WriteMissPolicy::WriteAround`]
+//!   (bypass, leave the old line), and [`WriteMissPolicy::WriteInvalidate`]
+//!   (invalidate the indexed line, bypass).
+//!
+//! The cache is *data-carrying*: lines hold real bytes with per-byte valid
+//! and dirty masks, so correctness is testable (any policy must be
+//! functionally transparent over [`cwp_mem::MainMemory`]) and the paper's
+//! byte-granularity dirty-victim statistics (Figures 20-25) fall out
+//! directly.
+//!
+//! # Examples
+//!
+//! An 8KB direct-mapped write-back cache over recorded main memory:
+//!
+//! ```
+//! use cwp_cache::{Cache, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+//!
+//! # fn main() -> Result<(), cwp_cache::ConfigError> {
+//! let config = CacheConfig::builder()
+//!     .size_bytes(8 * 1024)
+//!     .line_bytes(16)
+//!     .write_hit(WriteHitPolicy::WriteBack)
+//!     .write_miss(WriteMissPolicy::FetchOnWrite)
+//!     .build()?;
+//! let mut cache = Cache::with_memory(config);
+//!
+//! cache.write(0x1000, &[0xaa; 8]);
+//! let mut buf = [0u8; 8];
+//! cache.read(0x1000, &mut buf);
+//! assert_eq!(buf, [0xaa; 8]);
+//! assert_eq!(cache.stats().write_misses, 1);
+//! assert_eq!(cache.stats().read_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod mask;
+pub mod metrics;
+pub mod overhead;
+pub mod policy;
+pub mod stats;
+
+pub use cache::{Cache, MemoryCache};
+pub use config::{CacheConfig, CacheConfigBuilder, ConfigError};
+pub use policy::{WriteHitPolicy, WriteMissPolicy};
+pub use stats::{CacheStats, FlushStats, VictimStats};

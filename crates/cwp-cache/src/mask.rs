@@ -1,0 +1,146 @@
+//! Per-byte line masks.
+//!
+//! Valid and dirty state is tracked per byte with a `u64` bitmask, so lines
+//! up to 64 bytes are supported — exactly the paper's 4B..64B sweep range.
+//! Bit `i` of a mask corresponds to byte `i` of the line.
+
+/// Largest supported line size in bytes.
+pub const MAX_LINE_BYTES: u32 = 64;
+
+/// A mask covering `len` bytes starting at byte `offset` of a line.
+///
+/// # Panics
+///
+/// Panics in debug builds if the range overruns 64 bytes.
+#[inline]
+pub fn span(offset: u32, len: u32) -> u64 {
+    debug_assert!(
+        offset + len <= MAX_LINE_BYTES,
+        "span {offset}+{len} exceeds 64 bytes"
+    );
+    if len == 0 {
+        return 0;
+    }
+    let ones = if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    ones << offset
+}
+
+/// A mask covering all bytes of a `line_bytes`-byte line.
+#[inline]
+pub fn full(line_bytes: u32) -> u64 {
+    span(0, line_bytes)
+}
+
+/// Number of bytes set in a mask.
+#[inline]
+pub fn count(mask: u64) -> u32 {
+    mask.count_ones()
+}
+
+/// Iterates over the contiguous `(offset, len)` runs of set bytes in
+/// `mask`, restricted to the low `line_bytes` bits.
+///
+/// Used for partial write-backs: each run becomes one contiguous data
+/// transfer.
+pub fn runs(mask: u64, line_bytes: u32) -> Runs {
+    Runs {
+        mask: mask & full(line_bytes),
+        pos: 0,
+        line_bytes,
+    }
+}
+
+/// Iterator over contiguous set-byte runs of a mask. See [`runs`].
+#[derive(Debug, Clone)]
+pub struct Runs {
+    mask: u64,
+    pos: u32,
+    line_bytes: u32,
+}
+
+impl Iterator for Runs {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        while self.pos < self.line_bytes {
+            if self.mask & (1u64 << self.pos) != 0 {
+                let start = self.pos;
+                while self.pos < self.line_bytes && self.mask & (1u64 << self.pos) != 0 {
+                    self.pos += 1;
+                }
+                return Some((start, self.pos - start));
+            }
+            self.pos += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_places_bits() {
+        assert_eq!(span(0, 4), 0b1111);
+        assert_eq!(span(4, 4), 0b1111_0000);
+        assert_eq!(span(0, 0), 0);
+        assert_eq!(span(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn full_covers_the_line() {
+        assert_eq!(full(16), 0xffff);
+        assert_eq!(count(full(64)), 64);
+        assert_eq!(count(full(4)), 4);
+    }
+
+    #[test]
+    fn runs_finds_contiguous_spans() {
+        let m = span(0, 4) | span(8, 8);
+        let got: Vec<(u32, u32)> = runs(m, 16).collect();
+        assert_eq!(got, [(0, 4), (8, 8)]);
+    }
+
+    #[test]
+    fn runs_ignores_bits_past_the_line() {
+        let m = span(0, 2) | span(20, 4);
+        let got: Vec<(u32, u32)> = runs(m, 16).collect();
+        assert_eq!(got, [(0, 2)]);
+    }
+
+    #[test]
+    fn runs_of_empty_mask_is_empty() {
+        assert_eq!(runs(0, 64).count(), 0);
+    }
+
+    #[cfg(test)]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn runs_partition_the_mask(mask: u64, line in prop::sample::select(vec![4u32, 8, 16, 32, 64])) {
+                let clipped = mask & full(line);
+                let mut rebuilt = 0u64;
+                let mut total = 0u32;
+                for (off, len) in runs(mask, line) {
+                    prop_assert!(len >= 1);
+                    // Runs are maximal: bytes just outside are clear.
+                    if off > 0 {
+                        prop_assert_eq!(clipped & (1 << (off - 1)), 0);
+                    }
+                    rebuilt |= span(off, len);
+                    total += len;
+                }
+                prop_assert_eq!(rebuilt, clipped);
+                prop_assert_eq!(total, count(clipped));
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! SRAM metadata and error-protection overhead arithmetic (Section 3).
+//!
+//! The paper's fourth dimension of write-hit comparison is error
+//! tolerance: "a write-through cache can function with either hard or soft
+//! single-bit errors, if parity is provided... A write-back cache can not
+//! tolerate a single-bit error of any type unless ECC is provided." This
+//! module reproduces the paper's bit arithmetic:
+//!
+//! * single-error-correct ECC needs 6 check bits per 32-bit word
+//!   (18.75% of data), and byte stores must read-decode-modify-encode;
+//! * byte parity needs 4 bits per 32-bit word (12.5%), two-thirds of the
+//!   ECC overhead, while tolerating one error *per byte* — four per word;
+//! * write-validate needs sub-block valid bits: one per word (3.1%) or,
+//!   for architectures with byte writes, one per byte (12.5%).
+
+use crate::config::CacheConfig;
+use crate::policy::{WriteHitPolicy, WriteMissPolicy};
+
+/// Error-protection scheme for the data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// No protection bits.
+    None,
+    /// One parity bit per byte: detects (and, by refetching, corrects)
+    /// single-bit errors in clean data. Sufficient only for write-through
+    /// caches, which hold no unique dirty data.
+    ByteParity,
+    /// Single-error-correcting ECC over each 32-bit word: 6 check bits.
+    /// Required for write-back caches.
+    EccPerWord,
+}
+
+impl Protection {
+    /// Check bits per 32-bit data word.
+    pub fn bits_per_word(self) -> u32 {
+        match self {
+            Protection::None => 0,
+            Protection::ByteParity => 4,
+            Protection::EccPerWord => 6,
+        }
+    }
+
+    /// Correctable single-bit errors per 32-bit word (by refetch for
+    /// parity in a write-through cache, in place for ECC).
+    ///
+    /// The paper: "byte parity on a four-byte word would allow four
+    /// single-bit errors to be corrected by refetching a write-through
+    /// line in comparison to only one error for an ECC-protected
+    /// write-back cache word."
+    pub fn correctable_errors_per_word(self, refetch_possible: bool) -> u32 {
+        match self {
+            Protection::None => 0,
+            Protection::ByteParity => {
+                if refetch_possible {
+                    4
+                } else {
+                    0
+                }
+            }
+            Protection::EccPerWord => 1,
+        }
+    }
+
+    /// The protection the paper says a cache with this write-hit policy
+    /// needs for single-bit error safety.
+    pub fn required_for(hit: WriteHitPolicy) -> Protection {
+        match hit {
+            WriteHitPolicy::WriteThrough => Protection::ByteParity,
+            WriteHitPolicy::WriteBack => Protection::EccPerWord,
+        }
+    }
+}
+
+/// A bit-level inventory of one cache configuration's SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitBudget {
+    /// Data bits.
+    pub data_bits: u64,
+    /// Address tag bits (assuming 32-bit physical addresses).
+    pub tag_bits: u64,
+    /// Line/sub-block valid bits.
+    pub valid_bits: u64,
+    /// Dirty bits (zero for write-through).
+    pub dirty_bits: u64,
+    /// Parity or ECC check bits.
+    pub protection_bits: u64,
+}
+
+impl BitBudget {
+    /// Everything except the data bits.
+    pub fn overhead_bits(&self) -> u64 {
+        self.tag_bits + self.valid_bits + self.dirty_bits + self.protection_bits
+    }
+
+    /// Overhead as a fraction of the data bits.
+    pub fn overhead_fraction(&self) -> f64 {
+        self.overhead_bits() as f64 / self.data_bits as f64
+    }
+
+    /// Total SRAM bits.
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.overhead_bits()
+    }
+}
+
+/// Computes the bit budget of a configuration under a protection scheme.
+///
+/// Valid bits: one per line normally; one per 32-bit word when the miss
+/// policy is write-validate (the sub-block valid bits it requires). Dirty
+/// bits: one per line for write-back (or one per word with
+/// [`CacheConfig::partial_writeback`]); none for write-through.
+pub fn bit_budget(config: &CacheConfig, protection: Protection) -> BitBudget {
+    let lines = u64::from(config.lines());
+    let line_bits = u64::from(config.line_bytes()) * 8;
+    let words_per_line = u64::from(config.line_bytes()) / 4;
+
+    // 32-bit physical address: offset + index bits are implicit.
+    let offset_bits = config.line_bytes().trailing_zeros();
+    let index_bits = config.sets().trailing_zeros();
+    let tag_bits_per_line = u64::from(32 - offset_bits - index_bits);
+
+    let valid_per_line = if config.write_miss() == WriteMissPolicy::WriteValidate {
+        words_per_line
+    } else {
+        1
+    };
+    let dirty_per_line = match config.write_hit() {
+        WriteHitPolicy::WriteThrough => 0,
+        WriteHitPolicy::WriteBack => {
+            if config.partial_writeback() {
+                words_per_line
+            } else {
+                1
+            }
+        }
+    };
+
+    BitBudget {
+        data_bits: lines * line_bits,
+        tag_bits: lines * tag_bits_per_line,
+        valid_bits: lines * valid_per_line,
+        dirty_bits: lines * dirty_per_line,
+        protection_bits: lines * words_per_line * u64::from(protection.bits_per_word()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(hit: WriteHitPolicy, miss: WriteMissPolicy) -> CacheConfig {
+        CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .line_bytes(16)
+            .write_hit(hit)
+            .write_miss(miss)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn papers_protection_arithmetic() {
+        // "single bit detection and correction ECC requires 6 bits per 32
+        // bit word versus 4 bits per 8 bit byte giving 16 bits per 4
+        // bytes" — i.e. 4 parity bits per word.
+        assert_eq!(Protection::EccPerWord.bits_per_word(), 6);
+        assert_eq!(Protection::ByteParity.bits_per_word(), 4);
+        // "byte parity requires only two-thirds of the overhead of word ECC"
+        assert_eq!(
+            Protection::ByteParity.bits_per_word() * 3,
+            Protection::EccPerWord.bits_per_word() * 2
+        );
+        // "four single-bit errors ... in comparison to only one"
+        assert_eq!(Protection::ByteParity.correctable_errors_per_word(true), 4);
+        assert_eq!(Protection::EccPerWord.correctable_errors_per_word(true), 1);
+        // Parity cannot correct unique dirty data (no refetch possible).
+        assert_eq!(Protection::ByteParity.correctable_errors_per_word(false), 0);
+    }
+
+    #[test]
+    fn required_protection_follows_the_hit_policy() {
+        assert_eq!(
+            Protection::required_for(WriteHitPolicy::WriteThrough),
+            Protection::ByteParity
+        );
+        assert_eq!(
+            Protection::required_for(WriteHitPolicy::WriteBack),
+            Protection::EccPerWord
+        );
+    }
+
+    #[test]
+    fn write_through_parity_is_cheaper_than_write_back_ecc() {
+        let wt = cfg(WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite);
+        let wb = cfg(WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite);
+        let wt_bits = bit_budget(&wt, Protection::required_for(wt.write_hit()));
+        let wb_bits = bit_budget(&wb, Protection::required_for(wb.write_hit()));
+        assert!(wt_bits.total_bits() < wb_bits.total_bits());
+        assert_eq!(wt_bits.dirty_bits, 0, "write-through needs no dirty bits");
+        assert_eq!(wb_bits.dirty_bits, u64::from(wb.lines()));
+    }
+
+    #[test]
+    fn write_validate_adds_word_valid_bits() {
+        let fow = cfg(WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite);
+        let wv = cfg(WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteValidate);
+        let fow_bits = bit_budget(&fow, Protection::None);
+        let wv_bits = bit_budget(&wv, Protection::None);
+        // 16B lines = 4 words: 4 valid bits instead of 1.
+        assert_eq!(wv_bits.valid_bits, 4 * fow_bits.valid_bits);
+        // "a valid bit per word (3.1%)" — of the data bits.
+        let valid_fraction = wv_bits.valid_bits as f64 / wv_bits.data_bits as f64;
+        assert!((valid_fraction - 1.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subblock_dirty_bits_cost_a_bit_per_word() {
+        let whole = cfg(WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite);
+        let partial = whole.to_builder().partial_writeback(true).build().unwrap();
+        let a = bit_budget(&whole, Protection::None);
+        let b = bit_budget(&partial, Protection::None);
+        assert_eq!(b.dirty_bits, 4 * a.dirty_bits);
+    }
+
+    #[test]
+    fn budget_totals_are_consistent() {
+        let c = cfg(WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite);
+        let b = bit_budget(&c, Protection::EccPerWord);
+        assert_eq!(b.total_bits(), b.data_bits + b.overhead_bits());
+        assert_eq!(b.data_bits, 8 * 1024 * 8);
+        assert!(b.overhead_fraction() > 0.0 && b.overhead_fraction() < 0.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! The write-hit and write-miss policy enums (Sections 3 and 4).
+
+use std::fmt;
+
+/// What happens when a write *hits* in the cache (Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WriteHitPolicy {
+    /// Store into the cache *and* pass the data to the next level
+    /// ("store-through").
+    WriteThrough,
+    /// Store only into the cache, marking the line dirty; the data reaches
+    /// the next level when the dirty line is evicted ("store-in",
+    /// "copy-back").
+    WriteBack,
+}
+
+impl WriteHitPolicy {
+    /// Both policies, write-through first.
+    pub const ALL: [WriteHitPolicy; 2] = [WriteHitPolicy::WriteThrough, WriteHitPolicy::WriteBack];
+}
+
+impl fmt::Display for WriteHitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteHitPolicy::WriteThrough => f.write_str("write-through"),
+            WriteHitPolicy::WriteBack => f.write_str("write-back"),
+        }
+    }
+}
+
+/// What happens when a write *misses* in the cache (Section 4, Figure 12).
+///
+/// The paper derives these four from three semi-independent bits:
+/// fetch-on-write?, write-allocate?, and write-invalidate?. The other four
+/// combinations are not useful (fetching data only to discard it, or
+/// allocating a line only to invalidate it), so they are unrepresentable
+/// here — the enum *is* Figure 12's decision tree.
+///
+/// | Policy | fetch? | allocate? | invalidate? |
+/// |---|---|---|---|
+/// | `FetchOnWrite` | yes | yes | no |
+/// | `WriteValidate` | no | yes | no |
+/// | `WriteAround` | no | no | no |
+/// | `WriteInvalidate` | no | no | yes |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WriteMissPolicy {
+    /// Fetch the missed line, allocate it, then write: the literature's
+    /// near-universal default, and the baseline of Figures 13-16.
+    FetchOnWrite,
+    /// Allocate the line without fetching; valid bits cover only the bytes
+    /// written. Requires sub-block valid bits and partial-line writes in
+    /// lower levels. The paper's best performer.
+    WriteValidate,
+    /// Pass the write to the next level, leaving the cached line's old
+    /// contents in place. Only meaningful with write-through hits.
+    WriteAround,
+    /// Invalidate the indexed line and pass the write on. Models a
+    /// direct-mapped write-through cache that writes data concurrently
+    /// with the tag probe and corrupts the line when the probe misses.
+    /// Only meaningful with write-through hits.
+    WriteInvalidate,
+}
+
+impl WriteMissPolicy {
+    /// All four policies, in Figure 17's most-traffic-first order.
+    pub const ALL: [WriteMissPolicy; 4] = [
+        WriteMissPolicy::FetchOnWrite,
+        WriteMissPolicy::WriteInvalidate,
+        WriteMissPolicy::WriteAround,
+        WriteMissPolicy::WriteValidate,
+    ];
+
+    /// Does a write miss fetch the missed line from the next level?
+    pub fn fetches_on_write(self) -> bool {
+        matches!(self, WriteMissPolicy::FetchOnWrite)
+    }
+
+    /// Does a write miss allocate a line for the written address?
+    pub fn allocates(self) -> bool {
+        matches!(
+            self,
+            WriteMissPolicy::FetchOnWrite | WriteMissPolicy::WriteValidate
+        )
+    }
+
+    /// Does a write miss invalidate the line it indexed?
+    pub fn invalidates(self) -> bool {
+        matches!(self, WriteMissPolicy::WriteInvalidate)
+    }
+
+    /// Does the written data bypass the cache to the next level on a miss?
+    ///
+    /// True exactly for the no-write-allocate policies.
+    pub fn bypasses(self) -> bool {
+        !self.allocates()
+    }
+}
+
+impl fmt::Display for WriteMissPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteMissPolicy::FetchOnWrite => f.write_str("fetch-on-write"),
+            WriteMissPolicy::WriteValidate => f.write_str("write-validate"),
+            WriteMissPolicy::WriteAround => f.write_str("write-around"),
+            WriteMissPolicy::WriteInvalidate => f.write_str("write-invalidate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_12_decision_bits() {
+        use WriteMissPolicy::*;
+        // (policy, fetch?, allocate?, invalidate?)
+        let table = [
+            (FetchOnWrite, true, true, false),
+            (WriteValidate, false, true, false),
+            (WriteAround, false, false, false),
+            (WriteInvalidate, false, false, true),
+        ];
+        for (p, fetch, alloc, inval) in table {
+            assert_eq!(p.fetches_on_write(), fetch, "{p}");
+            assert_eq!(p.allocates(), alloc, "{p}");
+            assert_eq!(p.invalidates(), inval, "{p}");
+            assert_eq!(p.bypasses(), !alloc, "{p}");
+        }
+    }
+
+    #[test]
+    fn all_lists_are_complete_and_distinct() {
+        assert_eq!(WriteMissPolicy::ALL.len(), 4);
+        assert_eq!(WriteHitPolicy::ALL.len(), 2);
+        let mut seen = std::collections::HashSet::new();
+        assert!(WriteMissPolicy::ALL.iter().all(|p| seen.insert(*p)));
+    }
+
+    #[test]
+    fn display_names_match_the_paper() {
+        assert_eq!(WriteMissPolicy::WriteValidate.to_string(), "write-validate");
+        assert_eq!(WriteHitPolicy::WriteBack.to_string(), "write-back");
+    }
+}

@@ -1,0 +1,254 @@
+//! Cache event counters and victim statistics.
+
+use std::fmt;
+
+/// Statistics about evicted lines ("victims"), at byte granularity.
+///
+/// The paper's Figures 20-25 are built from exactly these counters. A
+/// *victim* is a valid line replaced on a miss; filling a previously
+/// invalid way is not an eviction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VictimStats {
+    /// Valid lines replaced.
+    pub total: u64,
+    /// Victims with at least one dirty byte.
+    pub dirty: u64,
+    /// Total dirty bytes over all dirty victims.
+    pub dirty_bytes: u64,
+}
+
+impl VictimStats {
+    /// Fraction of victims with at least one dirty byte (Figure 20/23).
+    ///
+    /// Returns `None` when there were no victims.
+    pub fn dirty_fraction(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.dirty as f64 / self.total as f64)
+    }
+
+    /// Average fraction of bytes dirty within dirty victims (Figure 21/24).
+    pub fn bytes_dirty_in_dirty_fraction(&self, line_bytes: u32) -> Option<f64> {
+        (self.dirty > 0)
+            .then(|| self.dirty_bytes as f64 / (self.dirty * u64::from(line_bytes)) as f64)
+    }
+
+    /// Average fraction of bytes dirty over *all* victims (Figure 22/25).
+    pub fn bytes_dirty_per_victim_fraction(&self, line_bytes: u32) -> Option<f64> {
+        (self.total > 0)
+            .then(|| self.dirty_bytes as f64 / (self.total * u64::from(line_bytes)) as f64)
+    }
+
+    /// Adds another victim tally into this one.
+    pub fn absorb(&mut self, other: VictimStats) {
+        self.total += other.total;
+        self.dirty += other.dirty;
+        self.dirty_bytes += other.dirty_bytes;
+    }
+}
+
+impl fmt::Display for VictimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} victims ({} dirty, {} dirty bytes)",
+            self.total, self.dirty, self.dirty_bytes
+        )
+    }
+}
+
+/// Statistics from flushing the cache after a run ("flush stop").
+///
+/// The paper distinguishes *cold stop* (measure only evictions during
+/// execution) from *flush stop* (also write out what remains in the cache);
+/// Section 5 shows cold stop badly undercounts write-back traffic for
+/// benchmarks whose working set fits the cache.
+pub type FlushStats = VictimStats;
+
+/// Event counters for one cache over one run.
+///
+/// Accesses wider than a line are split at line boundaries and each piece
+/// counts separately, matching how the paper's 4B-line configurations see
+/// 8B stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read sub-accesses.
+    pub reads: u64,
+    /// Write sub-accesses.
+    pub writes: u64,
+    /// Reads whose tag matched with all accessed bytes valid.
+    pub read_hits: u64,
+    /// Reads that required a line fetch (tag mismatch, or invalid bytes).
+    pub read_misses: u64,
+    /// Subset of `read_misses` where the tag matched but some accessed
+    /// bytes were invalid (possible only after write-validate allocations).
+    pub partial_read_misses: u64,
+    /// Writes whose tag matched a resident line.
+    pub write_hits: u64,
+    /// Writes with no matching tag.
+    pub write_misses: u64,
+    /// Writes (hits) to lines that already had a dirty byte — the metric
+    /// behind Figures 1 and 2.
+    pub writes_to_dirty: u64,
+    /// Lines fetched from the next level (read misses, partial-validity
+    /// refills, and fetch-on-write misses).
+    pub fetches: u64,
+    /// Lines invalidated by write-invalidate misses.
+    pub invalidations: u64,
+    /// Lines claimed by cache-line allocation instructions
+    /// ([`crate::Cache::allocate_line`]).
+    pub line_allocations: u64,
+    /// Evictions during execution (cold stop).
+    pub victims: VictimStats,
+    /// Lines written out / discarded by [`crate::Cache::flush`].
+    pub flush: FlushStats,
+}
+
+impl CacheStats {
+    /// Total sub-accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Raw miss events: reads or writes whose tag (or validity) missed,
+    /// regardless of whether a fetch resulted.
+    pub fn total_misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss events per access.
+    pub fn miss_rate(&self) -> f64 {
+        self.total_misses() as f64 / self.accesses() as f64
+    }
+
+    /// Misses that actually stall for a fetch: the quantity Figures 13-16
+    /// compare across write-miss policies. Under fetch-on-write this equals
+    /// [`CacheStats::total_misses`]; under the no-fetch policies writes
+    /// never fetch, so only (possibly extra) read misses remain.
+    pub fn fetch_misses(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Fraction of all misses that are write misses (Figures 10 and 11).
+    pub fn write_miss_fraction(&self) -> Option<f64> {
+        let total = self.total_misses();
+        (total > 0).then(|| self.write_misses as f64 / total as f64)
+    }
+
+    /// Fraction of writes that hit already-dirty lines (Figures 1 and 2).
+    ///
+    /// For a write-back cache this is exactly the fraction of write traffic
+    /// the cache removes relative to write-through, when whole dirty lines
+    /// are written back.
+    pub fn dirty_write_fraction(&self) -> Option<f64> {
+        (self.writes > 0).then(|| self.writes_to_dirty as f64 / self.writes as f64)
+    }
+
+    /// Victim statistics including the flush ("flush stop", the paper's
+    /// dotted lines in Figure 20).
+    pub fn victims_with_flush(&self) -> VictimStats {
+        let mut v = self.victims;
+        v.absorb(self.flush);
+        v
+    }
+
+    /// Adds another run's counters into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.partial_read_misses += other.partial_read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.writes_to_dirty += other.writes_to_dirty;
+        self.fetches += other.fetches;
+        self.invalidations += other.invalidations;
+        self.line_allocations += other.line_allocations;
+        self.victims.absorb(other.victims);
+        self.flush.absorb(other.flush);
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads ({} miss), {} writes ({} miss), {} fetches",
+            self.reads, self.read_misses, self.writes, self.write_misses, self.fetches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_fractions() {
+        let v = VictimStats {
+            total: 10,
+            dirty: 5,
+            dirty_bytes: 40,
+        };
+        assert_eq!(v.dirty_fraction(), Some(0.5));
+        assert_eq!(v.bytes_dirty_in_dirty_fraction(16), Some(0.5));
+        assert_eq!(v.bytes_dirty_per_victim_fraction(16), Some(0.25));
+    }
+
+    #[test]
+    fn empty_victims_yield_none() {
+        let v = VictimStats::default();
+        assert_eq!(v.dirty_fraction(), None);
+        assert_eq!(v.bytes_dirty_in_dirty_fraction(16), None);
+        assert_eq!(v.bytes_dirty_per_victim_fraction(16), None);
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let mut s = CacheStats {
+            reads: 80,
+            writes: 20,
+            read_hits: 70,
+            read_misses: 10,
+            write_hits: 15,
+            write_misses: 5,
+            writes_to_dirty: 9,
+            fetches: 15,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 100);
+        assert_eq!(s.total_misses(), 15);
+        assert!((s.miss_rate() - 0.15).abs() < 1e-12);
+        assert_eq!(s.write_miss_fraction(), Some(5.0 / 15.0));
+        assert_eq!(s.dirty_write_fraction(), Some(0.45));
+        let other = s;
+        s.absorb(&other);
+        assert_eq!(s.accesses(), 200);
+        assert_eq!(s.fetches, 30);
+    }
+
+    #[test]
+    fn victims_with_flush_combines_both() {
+        let s = CacheStats {
+            victims: VictimStats {
+                total: 3,
+                dirty: 1,
+                dirty_bytes: 16,
+            },
+            flush: VictimStats {
+                total: 2,
+                dirty: 2,
+                dirty_bytes: 20,
+            },
+            ..CacheStats::default()
+        };
+        let all = s.victims_with_flush();
+        assert_eq!(
+            all,
+            VictimStats {
+                total: 5,
+                dirty: 3,
+                dirty_bytes: 36
+            }
+        );
+    }
+}

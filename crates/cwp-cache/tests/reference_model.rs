@@ -1,0 +1,192 @@
+//! Differential testing against an independent reference model.
+//!
+//! A deliberately naive tag-only simulator re-implements the lookup,
+//! LRU replacement, and policy semantics with different data structures
+//! (per-set `VecDeque` recency lists instead of timestamps, no data).
+//! Hit/miss/victim counts must match the real cache exactly on random
+//! access streams across geometries and policies.
+
+use std::collections::VecDeque;
+
+use cwp_cache::{Cache, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::MainMemory;
+use proptest::prelude::*;
+
+/// Counts produced by either model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Counts {
+    read_hits: u64,
+    read_misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+    fetches: u64,
+    victims: u64,
+    dirty_victims: u64,
+}
+
+/// The naive model: per set, a recency-ordered list of (tag, dirty).
+/// Front = most recent. No partial validity (fetch-on-write and
+/// write-around/write-invalidate only — policies whose lines are always
+/// whole).
+struct Reference {
+    sets: Vec<VecDeque<(u64, bool)>>,
+    ways: usize,
+    line_shift: u32,
+    hit: WriteHitPolicy,
+    miss: WriteMissPolicy,
+    counts: Counts,
+}
+
+impl Reference {
+    fn new(config: &CacheConfig) -> Self {
+        Reference {
+            sets: vec![VecDeque::new(); config.sets() as usize],
+            ways: config.associativity() as usize,
+            line_shift: config.line_bytes().trailing_zeros(),
+            hit: config.write_hit(),
+            miss: config.write_miss(),
+            counts: Counts::default(),
+        }
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    fn evict_for_fill(&mut self, set: usize) {
+        if self.sets[set].len() == self.ways {
+            let (_tag, dirty) = self.sets[set].pop_back().expect("set is full");
+            self.counts.victims += 1;
+            if dirty {
+                self.counts.dirty_victims += 1;
+            }
+        }
+    }
+
+    fn read(&mut self, addr: u64) {
+        let (set, tag) = self.locate(addr);
+        if let Some(pos) = self.sets[set].iter().position(|&(t, _)| t == tag) {
+            self.counts.read_hits += 1;
+            let entry = self.sets[set].remove(pos).expect("position just found");
+            self.sets[set].push_front(entry);
+        } else {
+            self.counts.read_misses += 1;
+            self.counts.fetches += 1;
+            self.evict_for_fill(set);
+            self.sets[set].push_front((tag, false));
+        }
+    }
+
+    fn write(&mut self, addr: u64) {
+        let (set, tag) = self.locate(addr);
+        let dirty = self.hit == WriteHitPolicy::WriteBack;
+        if let Some(pos) = self.sets[set].iter().position(|&(t, _)| t == tag) {
+            self.counts.write_hits += 1;
+            let (t, was_dirty) = self.sets[set].remove(pos).expect("position just found");
+            self.sets[set].push_front((t, was_dirty || dirty));
+            return;
+        }
+        self.counts.write_misses += 1;
+        match self.miss {
+            WriteMissPolicy::FetchOnWrite => {
+                self.counts.fetches += 1;
+                self.evict_for_fill(set);
+                self.sets[set].push_front((tag, dirty));
+            }
+            WriteMissPolicy::WriteValidate => {
+                self.evict_for_fill(set);
+                self.sets[set].push_front((tag, dirty));
+            }
+            WriteMissPolicy::WriteAround => {}
+            WriteMissPolicy::WriteInvalidate => {
+                // Invalidate the way a fill would have replaced: the LRU
+                // (or nothing if the set has a free way).
+                if self.sets[set].len() == self.ways {
+                    self.sets[set].pop_back();
+                }
+            }
+        }
+    }
+}
+
+/// Single-line accesses only: the reference has no split logic, so keep
+/// each access within one line.
+fn access_strategy(line: u64) -> impl Strategy<Value = (bool, u64)> {
+    (any::<bool>(), 0u64..1024).prop_map(move |(is_write, slot)| (is_write, slot * line))
+}
+
+fn compare(config: CacheConfig, ops: &[(bool, u64)]) {
+    let mut real = Cache::new(config, MainMemory::new());
+    let mut reference = Reference::new(&config);
+    let line = config.line_bytes() as usize;
+    let mut buf = vec![0u8; line];
+    for &(is_write, addr) in ops {
+        if is_write {
+            real.write(addr, &buf[..4.min(line)]);
+            reference.write(addr);
+        } else {
+            real.read(addr, &mut buf[..4.min(line)]);
+            reference.read(addr);
+        }
+    }
+    let s = real.stats();
+    let got = Counts {
+        read_hits: s.read_hits,
+        read_misses: s.read_misses,
+        write_hits: s.write_hits,
+        write_misses: s.write_misses,
+        fetches: s.fetches,
+        victims: s.victims.total,
+        dirty_victims: s.victims.dirty,
+    };
+    assert_eq!(got, reference.counts, "divergence under {config}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn real_cache_matches_reference_model(
+        ops in prop::collection::vec(access_strategy(16), 1..400),
+        size in prop::sample::select(vec![256u32, 512, 1024]),
+        ways in prop::sample::select(vec![1u32, 2, 4]),
+        hit_wb: bool,
+        miss_idx in 0usize..4,
+    ) {
+        let miss = WriteMissPolicy::ALL[miss_idx];
+        let hit = if hit_wb && !miss.bypasses() {
+            WriteHitPolicy::WriteBack
+        } else {
+            WriteHitPolicy::WriteThrough
+        };
+        let config = CacheConfig::builder()
+            .size_bytes(size)
+            .line_bytes(16)
+            .associativity(ways)
+            .write_hit(hit)
+            .write_miss(miss)
+            .build()
+            .expect("valid configuration");
+        compare(config, &ops);
+    }
+
+    #[test]
+    fn reference_agreement_holds_across_line_sizes(
+        ops in prop::collection::vec(access_strategy(4), 1..300),
+        line in prop::sample::select(vec![4u32, 8, 32, 64]),
+    ) {
+        // Addresses are 4B-slot-aligned; accesses are 4B so they never
+        // span lines at any of these line sizes.
+        let config = CacheConfig::builder()
+            .size_bytes(512)
+            .line_bytes(line)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .expect("valid configuration");
+        compare(config, &ops);
+    }
+}

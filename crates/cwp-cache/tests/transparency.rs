@@ -1,0 +1,148 @@
+//! Functional-transparency property tests.
+//!
+//! Whatever the geometry and policy combination, a cache must be invisible
+//! to software: reads return exactly what a flat memory would return. This
+//! is the load-bearing correctness property for the write-miss policies —
+//! write-validate's sub-block valid bits, write-around's bypassing, and
+//! write-invalidate's corruption rule all have to preserve it.
+
+use cwp_cache::{Cache, CacheConfig, ConfigError, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::MainMemory;
+use proptest::prelude::*;
+
+/// One logical access in a generated program.
+#[derive(Debug, Clone)]
+enum Op {
+    Read { addr: u64, len: usize },
+    Write { addr: u64, fill: u8, len: usize },
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small address space with few lines forces heavy conflicts.
+    let addr = 0u64..512;
+    let len = 1usize..=16;
+    prop_oneof![
+        4 => (addr.clone(), len.clone()).prop_map(|(addr, len)| Op::Read { addr, len }),
+        4 => (addr, any::<u8>(), len).prop_map(|(addr, fill, len)| Op::Write { addr, fill, len }),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn all_configs(size: u32, line: u32, ways: u32) -> Vec<CacheConfig> {
+    let mut configs = Vec::new();
+    for hit in WriteHitPolicy::ALL {
+        for miss in WriteMissPolicy::ALL {
+            match CacheConfig::builder()
+                .size_bytes(size)
+                .line_bytes(line)
+                .associativity(ways)
+                .write_hit(hit)
+                .write_miss(miss)
+                .build()
+            {
+                Ok(c) => configs.push(c),
+                Err(ConfigError::PolicyConflict { .. }) => {}
+                Err(e) => panic!("unexpected config error: {e}"),
+            }
+        }
+    }
+    configs
+}
+
+fn run_program(config: CacheConfig, ops: &[Op]) {
+    let mut cache = Cache::new(config, MainMemory::new());
+    let mut golden = MainMemory::new();
+    let mut seq: u8 = 0;
+    for op in ops {
+        match *op {
+            Op::Read { addr, len } => {
+                let mut got = vec![0u8; len];
+                cache.read(addr, &mut got);
+                let mut want = vec![0u8; len];
+                golden.read(addr, &mut want);
+                assert_eq!(got, want, "{config}: read {len}B at {addr:#x} diverged");
+            }
+            Op::Write { addr, fill, len } => {
+                seq = seq.wrapping_add(1);
+                let data: Vec<u8> = (0..len).map(|i| fill.wrapping_add(i as u8) ^ seq).collect();
+                cache.write(addr, &data);
+                golden.write(addr, &data);
+            }
+            Op::Flush => cache.flush(),
+        }
+    }
+    // After a final flush the next level must hold the complete state.
+    cache.flush();
+    let memory = cache.into_next_level();
+    for addr in 0..512u64 {
+        assert_eq!(
+            memory.read_byte(addr),
+            golden.read_byte(addr),
+            "{config}: memory byte {addr:#x} diverged after flush"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_policy_combination_is_transparent(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        line in prop::sample::select(vec![4u32, 8, 16, 32, 64]),
+        ways in prop::sample::select(vec![1u32, 2, 4]),
+    ) {
+        // A tiny cache (256B) over a tiny address space maximizes evictions,
+        // partial-validity refills, and policy interactions.
+        for config in all_configs(256, line, ways) {
+            run_program(config, &ops);
+        }
+    }
+
+    #[test]
+    fn two_level_hierarchies_are_transparent(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+    ) {
+        let l1_cfg = CacheConfig::builder()
+            .size_bytes(128)
+            .line_bytes(8)
+            .write_hit(WriteHitPolicy::WriteThrough)
+            .write_miss(WriteMissPolicy::WriteValidate)
+            .build()
+            .unwrap();
+        let l2_cfg = CacheConfig::builder()
+            .size_bytes(512)
+            .line_bytes(32)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .unwrap();
+        let l2 = Cache::new(l2_cfg, MainMemory::new());
+        let mut l1 = Cache::new(l1_cfg, l2);
+        let mut golden = MainMemory::new();
+        let mut seq: u8 = 0;
+        for op in &ops {
+            match *op {
+                Op::Read { addr, len } => {
+                    let mut got = vec![0u8; len];
+                    l1.read(addr, &mut got);
+                    let mut want = vec![0u8; len];
+                    golden.read(addr, &mut want);
+                    prop_assert_eq!(got, want, "two-level read at {:#x} diverged", addr);
+                }
+                Op::Write { addr, fill, len } => {
+                    seq = seq.wrapping_add(1);
+                    let data: Vec<u8> =
+                        (0..len).map(|i| fill.wrapping_add(i as u8) ^ seq).collect();
+                    l1.write(addr, &data);
+                    golden.write(addr, &data);
+                }
+                Op::Flush => {
+                    l1.flush();
+                    l1.next_level_mut().flush();
+                }
+            }
+        }
+    }
+}

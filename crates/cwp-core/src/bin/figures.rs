@@ -1,0 +1,94 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--scale test|quick|paper|<factor>] [--csv] <id>... | all | list
+//! ```
+
+use std::process::ExitCode;
+
+use cwp_core::experiments;
+use cwp_core::Lab;
+use cwp_trace::Scale;
+
+fn usage() -> &'static str {
+    "usage: figures [--scale test|quick|paper|<factor>] [--csv] <id>... | all | list\n\
+     ids: table1-table3, fig01-fig25"
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut csv = false;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                scale = match v.as_str() {
+                    "test" => Scale::Test,
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => match other.parse::<f64>() {
+                        Ok(f) if f > 0.0 => Scale::Custom(f),
+                        _ => {
+                            eprintln!("bad scale '{other}'\n{}", usage());
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                };
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if ids.iter().any(|i| i == "list") {
+        for e in experiments::all() {
+            println!("{:8} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let selected: Vec<experiments::Experiment> = if ids.iter().any(|i| i == "all") {
+        experiments::all()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match experiments::by_id(id) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment '{id}'; try 'list'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    let mut lab = Lab::new(scale);
+    for e in selected {
+        eprintln!("running {} — {} (scale {})", e.id, e.title, scale);
+        for table in e.run(&mut lab) {
+            if csv {
+                println!("# {}", table.title());
+                println!("{}", table.to_csv());
+            } else {
+                println!("{}", table.to_markdown());
+            }
+        }
+    }
+    eprintln!("done: {} simulations", lab.runs());
+    ExitCode::SUCCESS
+}

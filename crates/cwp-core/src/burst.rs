@@ -1,0 +1,139 @@
+//! Burstiness measurement: inter-event gap statistics.
+//!
+//! Section 3 argues burstiness matters for write-buffer sizing, and
+//! Section 5.2 leaves victim burstiness explicitly unstudied: "Since
+//! misses are known to be bursty, dirty victims are likely to be bursty as
+//! well." The [`GapHistogram`] quantifies both: feed it event times (in
+//! instructions) and read back gap percentiles and burst-run lengths.
+
+/// Streaming inter-event gap statistics.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_core::burst::GapHistogram;
+///
+/// let mut h = GapHistogram::new();
+/// for t in [10u64, 11, 12, 40, 41, 90] {
+///     h.event(t);
+/// }
+/// assert_eq!(h.events(), 6);
+/// assert_eq!(h.max_run(), 3, "three back-to-back events at 10..=12");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GapHistogram {
+    last: Option<u64>,
+    gaps: Vec<u64>,
+    current_run: u64,
+    max_run: u64,
+}
+
+impl GapHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event at time `t` (non-decreasing).
+    pub fn event(&mut self, t: u64) {
+        if let Some(last) = self.last {
+            let gap = t.saturating_sub(last);
+            self.gaps.push(gap);
+            if gap <= 1 {
+                self.current_run += 1;
+            } else {
+                self.current_run = 1;
+            }
+        } else {
+            self.current_run = 1;
+        }
+        self.max_run = self.max_run.max(self.current_run);
+        self.last = Some(t);
+    }
+
+    /// Number of events recorded.
+    pub fn events(&self) -> u64 {
+        self.gaps.len() as u64 + u64::from(self.last.is_some())
+    }
+
+    /// Mean inter-event gap, if at least two events were seen.
+    pub fn mean_gap(&self) -> Option<f64> {
+        (!self.gaps.is_empty())
+            .then(|| self.gaps.iter().sum::<u64>() as f64 / self.gaps.len() as f64)
+    }
+
+    /// The `q`-quantile gap (0.0..=1.0), if at least two events were seen.
+    pub fn quantile_gap(&self, q: f64) -> Option<u64> {
+        if self.gaps.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0..=1");
+        let mut sorted = self.gaps.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Fraction of gaps no larger than `bound` — how often events arrive
+    /// in bursts tighter than `bound` instructions.
+    pub fn fraction_within(&self, bound: u64) -> Option<f64> {
+        (!self.gaps.is_empty()).then(|| {
+            self.gaps.iter().filter(|&&g| g <= bound).count() as f64 / self.gaps.len() as f64
+        })
+    }
+
+    /// Longest run of back-to-back events (gap <= 1).
+    pub fn max_run(&self) -> u64 {
+        self.max_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_and_runs() {
+        let mut h = GapHistogram::new();
+        for t in [0u64, 1, 2, 3, 50, 51, 200] {
+            h.event(t);
+        }
+        assert_eq!(h.events(), 7);
+        assert_eq!(h.max_run(), 4);
+        assert_eq!(h.quantile_gap(0.0), Some(1));
+        assert_eq!(h.quantile_gap(1.0), Some(149));
+        let within = h.fraction_within(1).unwrap();
+        assert!((within - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_event_cases() {
+        let mut h = GapHistogram::new();
+        assert_eq!(h.events(), 0);
+        assert_eq!(h.mean_gap(), None);
+        assert_eq!(h.quantile_gap(0.5), None);
+        assert_eq!(h.fraction_within(10), None);
+        h.event(42);
+        assert_eq!(h.events(), 1);
+        assert_eq!(h.mean_gap(), None);
+        assert_eq!(h.max_run(), 1);
+    }
+
+    #[test]
+    fn mean_gap_is_total_span_over_intervals() {
+        let mut h = GapHistogram::new();
+        h.event(0);
+        h.event(10);
+        h.event(30);
+        assert_eq!(h.mean_gap(), Some(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let mut h = GapHistogram::new();
+        h.event(0);
+        h.event(1);
+        let _ = h.quantile_gap(1.5);
+    }
+}

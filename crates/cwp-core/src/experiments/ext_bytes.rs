@@ -1,0 +1,120 @@
+//! Extension: back-side traffic measured in bytes, and the sub-block
+//! dirty-bit question.
+//!
+//! Section 5.2 asks: "Should a write-back write out an entire cache line,
+//! or just write out subblocks with dirty bytes? (i.e., are subblock dirty
+//! bits useful?)" and concludes they pay off for lines of 32B and up.
+//! This experiment measures the actual byte traffic both ways.
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{b, LINES};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::{Cell, Table};
+
+fn config(line: u32, partial: bool) -> CacheConfig {
+    CacheConfig::builder()
+        .size_bytes(8 * 1024)
+        .line_bytes(line)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .partial_writeback(partial)
+        .build()
+        .expect("geometry is valid")
+}
+
+/// Sweeps line size at 8KB, reporting bytes per instruction for fetches,
+/// whole-line write-backs, and sub-block write-backs, averaged over the
+/// six workloads.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "ext_bytes",
+        "Extension: back-side bytes per 1000 instructions vs line size (8KB write-back)",
+        "line size",
+    );
+    t.columns([
+        "fetch bytes",
+        "write-back bytes (whole line)",
+        "write-back bytes (subblock)",
+        "subblock savings %",
+    ]);
+    for line in LINES {
+        let mut fetch = 0.0;
+        let mut whole = 0.0;
+        let mut partial = 0.0;
+        for name in WORKLOAD_NAMES {
+            let w = lab.outcome(name, &config(line, false));
+            let p = lab.outcome(name, &config(line, true));
+            let insts = w.summary.instructions as f64 / 1000.0;
+            fetch += w.traffic_total.fetch.bytes as f64 / insts;
+            whole += w.traffic_total.write_back.bytes as f64 / insts;
+            partial += p.traffic_total.write_back.bytes as f64 / insts;
+        }
+        let n = WORKLOAD_NAMES.len() as f64;
+        let savings = 100.0 * (1.0 - partial / whole);
+        t.row(
+            b(line),
+            [
+                Cell::Num(fetch / n),
+                Cell::Num(whole / n),
+                Cell::Num(partial / n),
+                Cell::Num(savings),
+            ],
+        );
+    }
+    t.note(
+        "Paper conclusion (Section 6): with 4B lines every dirty byte moves either way; by \
+         64B lines under half the bytes on a dirty victim are dirty, so 'it may be \
+         worthwhile to add subblock dirty bits to speedup write-backs' for lines >= 32B.",
+    );
+    t.note(
+        "Average write-back bandwidth relative to fetch bandwidth is also visible here: \
+         the paper estimates roughly half (Section 5.2).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subblock_savings_grow_with_line_size() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let at4 = t.value("4B", "subblock savings %").unwrap();
+        let at64 = t.value("64B", "subblock savings %").unwrap();
+        assert!(at4 < 2.0, "4B lines have nothing to save, got {at4:.1}%");
+        assert!(
+            at64 > 25.0,
+            "64B lines should save substantially, got {at64:.1}%"
+        );
+        assert!(at64 > at4);
+    }
+
+    #[test]
+    fn subblock_writebacks_never_move_more_bytes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for line in ["4B", "8B", "16B", "32B", "64B"] {
+            let whole = t.value(line, "write-back bytes (whole line)").unwrap();
+            let partial = t.value(line, "write-back bytes (subblock)").unwrap();
+            assert!(partial <= whole + 1e-9, "{line}: {partial} > {whole}");
+        }
+    }
+
+    #[test]
+    fn write_back_bandwidth_is_a_fraction_of_fetch_bandwidth() {
+        // Paper: "an average write bandwidth corresponding to half of the
+        // read bandwidth is sufficient".
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let fetch = t.value("16B", "fetch bytes").unwrap();
+        let wb = t.value("16B", "write-back bytes (whole line)").unwrap();
+        let ratio = wb / fetch;
+        assert!(
+            (0.15..=1.0).contains(&ratio),
+            "write-back/fetch byte ratio {ratio:.2}"
+        );
+    }
+}

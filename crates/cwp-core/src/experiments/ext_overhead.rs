@@ -1,0 +1,122 @@
+//! Extension: SRAM bit budgets and error-protection overheads.
+//!
+//! Quantifies Section 3's fault-tolerance argument: a write-through cache
+//! needs only byte parity (its data is never unique), a write-back cache
+//! needs word ECC, and write-validate adds sub-block valid bits. The
+//! paper's conclusion — "write-through caches with parity have better
+//! error-tolerance at a smaller cost than write-back caches with ECC" —
+//! becomes a bit count.
+
+use cwp_cache::overhead::{bit_budget, Protection};
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::lab::Lab;
+use crate::report::{Cell, Table};
+
+/// Tabulates bit budgets for the interesting 8KB/16B configurations.
+pub fn run(_lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "ext_overhead",
+        "Extension: SRAM bit budget by configuration (8KB, 16B lines, 32-bit addresses)",
+        "configuration",
+    );
+    t.columns([
+        "tag bits",
+        "valid bits",
+        "dirty bits",
+        "protection bits",
+        "overhead %",
+        "correctable errors/word",
+    ]);
+
+    let rows: [(&str, WriteHitPolicy, WriteMissPolicy, bool); 4] = [
+        (
+            "WT + fetch-on-write + parity",
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::FetchOnWrite,
+            false,
+        ),
+        (
+            "WT + write-validate + parity",
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::WriteValidate,
+            false,
+        ),
+        (
+            "WB + fetch-on-write + ECC",
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::FetchOnWrite,
+            false,
+        ),
+        (
+            "WB + FOW + ECC + subblock dirty",
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::FetchOnWrite,
+            true,
+        ),
+    ];
+    for (label, hit, miss, partial) in rows {
+        let config = CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .line_bytes(16)
+            .write_hit(hit)
+            .write_miss(miss)
+            .partial_writeback(partial)
+            .build()
+            .expect("valid configuration");
+        let protection = Protection::required_for(hit);
+        let budget = bit_budget(&config, protection);
+        let refetchable = hit == WriteHitPolicy::WriteThrough;
+        t.row(
+            label,
+            [
+                Cell::Int(budget.tag_bits),
+                Cell::Int(budget.valid_bits),
+                Cell::Int(budget.dirty_bits),
+                Cell::Int(budget.protection_bits),
+                Cell::Num(budget.overhead_fraction() * 100.0),
+                Cell::Int(u64::from(
+                    protection.correctable_errors_per_word(refetchable),
+                )),
+            ],
+        );
+    }
+    t.note(
+        "Byte parity costs two-thirds of word ECC yet corrects four single-bit errors per \
+         word (by refetching) where ECC corrects one — and only write-through caches can \
+         refetch, since they hold no unique dirty data (Section 3).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_write_through_beats_ecc_write_back_on_both_axes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let wt = "WT + fetch-on-write + parity";
+        let wb = "WB + fetch-on-write + ECC";
+        let wt_overhead = t.value(wt, "overhead %").unwrap();
+        let wb_overhead = t.value(wb, "overhead %").unwrap();
+        assert!(wt_overhead < wb_overhead);
+        let wt_correct = t.value(wt, "correctable errors/word").unwrap();
+        let wb_correct = t.value(wb, "correctable errors/word").unwrap();
+        assert!(wt_correct > wb_correct);
+    }
+
+    #[test]
+    fn write_validate_valid_bits_are_word_granular() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let plain = t
+            .value("WT + fetch-on-write + parity", "valid bits")
+            .unwrap();
+        let wv = t
+            .value("WT + write-validate + parity", "valid bits")
+            .unwrap();
+        assert_eq!(wv, plain * 4.0, "16B lines hold 4 words");
+    }
+}

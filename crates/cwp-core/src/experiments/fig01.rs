@@ -1,0 +1,75 @@
+//! Figure 1: percentage of writes to already-dirty lines, 8KB caches,
+//! line sizes 4B..64B.
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{b, row_with_average, workload_columns, LINES};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// Runs the line-size sweep over an 8KB write-back cache.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig01",
+        "Percentage of writes to already dirty lines vs line size (8KB write-back)",
+        "line size",
+    );
+    t.columns(workload_columns());
+    for line in LINES {
+        let config = CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .line_bytes(line)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .expect("sweep geometry is valid");
+        let values: Vec<Option<f64>> = WORKLOAD_NAMES
+            .iter()
+            .map(|name| {
+                lab.outcome(name, &config)
+                    .stats
+                    .dirty_write_fraction()
+                    .map(|f| f * 100.0)
+            })
+            .collect();
+        t.row(b(line), row_with_average(&values));
+    }
+    t.note(
+        "Assuming whole dirty lines are written back, this is the percent write-traffic \
+         reduction of write-back over write-through (Section 3).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_write_fraction_grows_with_line_size() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let at4 = t.value("4B", "average").unwrap();
+        let at64 = t.value("64B", "average").unwrap();
+        assert!(
+            at64 > at4 + 10.0,
+            "longer lines capture more writes: 4B={at4:.1}%, 64B={at64:.1}%"
+        );
+    }
+
+    #[test]
+    fn numeric_codes_have_identical_4b_and_8b_behaviour() {
+        // Paper: linpack and liver use 8B doubles, so 4B and 8B lines see
+        // one write per line either way.
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for name in ["linpack", "liver"] {
+            let at4 = t.value("4B", name).unwrap();
+            let at8 = t.value("8B", name).unwrap();
+            assert!(
+                (at4 - at8).abs() < 8.0,
+                "{name}: 4B={at4:.1}% vs 8B={at8:.1}% should be nearly identical"
+            );
+        }
+    }
+}

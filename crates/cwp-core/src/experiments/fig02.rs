@@ -1,0 +1,88 @@
+//! Figure 2: percentage of writes to already-dirty lines, 16B lines,
+//! cache sizes 1KB..128KB.
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{kb, row_with_average, workload_columns, SIZES};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// Runs the cache-size sweep with 16B lines.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig02",
+        "Percentage of writes to already dirty lines vs cache size (16B lines, write-back)",
+        "cache size",
+    );
+    t.columns(workload_columns());
+    for size in SIZES {
+        let config = CacheConfig::builder()
+            .size_bytes(size)
+            .line_bytes(16)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .expect("sweep geometry is valid");
+        let values: Vec<Option<f64>> = WORKLOAD_NAMES
+            .iter()
+            .map(|name| {
+                lab.outcome(name, &config)
+                    .stats
+                    .dirty_write_fraction()
+                    .map(|f| f * 100.0)
+            })
+            .collect();
+        t.row(kb(size), row_with_average(&values));
+    }
+    t.note(
+        "Paper shape: grr, yacc, and met reach >=80%; linpack and liver stay low until \
+         the cache exceeds their streaming working sets (Section 3).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cad_and_utility_codes_have_high_write_locality() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for name in ["grr", "yacc"] {
+            let v = t.value("16KB", name).unwrap();
+            assert!(
+                v >= 70.0,
+                "{name} at 16KB should show high write locality, got {v:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_codes_improve_only_at_large_sizes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for name in ["linpack", "liver"] {
+            let small = t.value("8KB", name).unwrap();
+            let large = t.value("128KB", name).unwrap();
+            assert!(
+                large > small + 5.0,
+                "{name}: expected growth from 8KB ({small:.1}%) to 128KB ({large:.1}%)"
+            );
+            assert!(
+                small < 70.0,
+                "{name} at 8KB should be poor, got {small:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn average_write_traffic_reduction_is_majority_at_moderate_sizes() {
+        // Section 3: "On average ... the write-back cache is able to remove
+        // the majority of writes."
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let avg = t.value("8KB", "average").unwrap();
+        assert!(avg > 45.0, "average at 8KB was {avg:.1}%");
+    }
+}

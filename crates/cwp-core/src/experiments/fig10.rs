@@ -1,0 +1,67 @@
+//! Figure 10: write misses as a percent of all misses vs cache size.
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{kb, row_with_average, workload_columns, SIZES};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// Builds the fetch-on-write baseline configuration used throughout the
+/// write-miss studies (write-through hits so every miss policy shares hit
+/// behaviour).
+pub fn baseline(size: u32, line: u32) -> CacheConfig {
+    CacheConfig::builder()
+        .size_bytes(size)
+        .line_bytes(line)
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .expect("geometry is valid")
+}
+
+/// Sweeps cache size (16B lines), reporting write misses as a percent of
+/// all misses under fetch-on-write.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig10",
+        "Write misses as a percent of all misses vs cache size (16B lines)",
+        "cache size",
+    );
+    t.columns(workload_columns());
+    for size in SIZES {
+        let config = baseline(size, 16);
+        let values: Vec<Option<f64>> = WORKLOAD_NAMES
+            .iter()
+            .map(|name| {
+                lab.outcome(name, &config)
+                    .stats
+                    .write_miss_fraction()
+                    .map(|f| f * 100.0)
+            })
+            .collect();
+        t.row(kb(size), row_with_average(&values));
+    }
+    t.note(
+        "Paper: write misses average about one-third of all misses, so stores are about as \
+         likely to miss as loads given the 2.4:1 load:store ratio (Section 4).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_misses_are_roughly_a_third_of_misses() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for size in ["4KB", "8KB", "16KB"] {
+            let avg = t.value(size, "average").unwrap();
+            assert!(
+                (15.0..=60.0).contains(&avg),
+                "average write-miss share at {size} was {avg:.1}%"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 11: write misses as a percent of all misses vs line size.
+
+use crate::experiments::fig10::baseline;
+use crate::experiments::{b, row_with_average, workload_columns, LINES};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// Sweeps line size (8KB cache), reporting write misses as a percent of
+/// all misses under fetch-on-write.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig11",
+        "Write misses as a percent of all misses vs line size (8KB caches)",
+        "line size",
+    );
+    t.columns(workload_columns());
+    for line in LINES {
+        let config = baseline(8 * 1024, line);
+        let values: Vec<Option<f64>> = WORKLOAD_NAMES
+            .iter()
+            .map(|name| {
+                lab.outcome(name, &config)
+                    .stats
+                    .write_miss_fraction()
+                    .map(|f| f * 100.0)
+            })
+            .collect();
+        t.row(b(line), row_with_average(&values));
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_stays_in_a_sensible_band_across_line_sizes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for line in ["4B", "16B", "64B"] {
+            let avg = t.value(line, "average").unwrap();
+            assert!(
+                (10.0..=65.0).contains(&avg),
+                "average write-miss share at {line} was {avg:.1}%"
+            );
+        }
+    }
+}

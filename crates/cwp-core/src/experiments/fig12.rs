@@ -1,0 +1,65 @@
+//! Figure 12: the write-miss policy taxonomy.
+
+use cwp_cache::WriteMissPolicy;
+
+use crate::lab::Lab;
+use crate::report::{Cell, Table};
+
+/// Renders the decision table of Figure 12 directly from the policy
+/// enum's predicate methods, so the table can never drift from the
+/// simulator's behaviour.
+pub fn run(_lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new("fig12", "Write miss alternatives", "policy");
+    t.columns([
+        "fetch-on-write?",
+        "write-allocate?",
+        "write-invalidate?",
+        "bypasses to next level?",
+    ]);
+    for policy in WriteMissPolicy::ALL {
+        let yn = |b: bool| Cell::Text(if b { "yes" } else { "no" }.to_string());
+        t.row(
+            policy.to_string(),
+            [
+                yn(policy.fetches_on_write()),
+                yn(policy.allocates()),
+                yn(policy.invalidates()),
+                yn(policy.bypasses()),
+            ],
+        );
+    }
+    t.note(
+        "The other four combinations of the three bits are not useful (fetching data only \
+         to discard it, or allocating a line only to invalidate it) and are unrepresentable \
+         in the simulator (Section 4).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_matches_figure_12() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        assert_eq!(t.len(), 4);
+        assert_eq!(
+            t.cell("write-validate", "fetch-on-write?"),
+            Some(&Cell::Text("no".into()))
+        );
+        assert_eq!(
+            t.cell("write-validate", "write-allocate?"),
+            Some(&Cell::Text("yes".into()))
+        );
+        assert_eq!(
+            t.cell("write-invalidate", "write-invalidate?"),
+            Some(&Cell::Text("yes".into()))
+        );
+        assert_eq!(
+            t.cell("fetch-on-write", "bypasses to next level?"),
+            Some(&Cell::Text("no".into()))
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 14: total miss-rate reductions of the three no-fetch strategies
+//! vs cache size (16B lines).
+
+use crate::experiments::policy_sweep::{reduction_tables, size_points, Reduction};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the cache-size sweep, reporting reductions in *total* misses.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut tables = reduction_tables(
+        lab,
+        "fig14",
+        "Percentage of all misses removed vs cache size (16B lines)",
+        &size_points(),
+        Reduction::TotalMisses,
+    );
+    if let Some(t) = tables.first_mut() {
+        t.note(
+            "This is essentially Figure 13 multiplied by Figure 10 (the write-miss share). \
+             Paper: write-validate removes 30-35% of all misses on average for 8KB-128KB \
+             caches; ccom and liver benefit most, linpack least (Section 4).",
+        );
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_validate_removes_a_meaningful_share_of_all_misses() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let avg = ts[0].value("8KB", "average").unwrap();
+        assert!(
+            (15.0..=60.0).contains(&avg),
+            "write-validate total-miss reduction at 8KB was {avg:.1}% (paper: ~31%)"
+        );
+    }
+
+    #[test]
+    fn linpack_benefits_least_from_write_validate() {
+        // linpack's writes are read-modify-write, so write-validate has
+        // little to remove.
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let linpack = ts[0].value("8KB", "linpack").unwrap();
+        let ccom = ts[0].value("8KB", "ccom").unwrap();
+        assert!(
+            ccom > linpack,
+            "ccom ({ccom:.1}%) should gain more than linpack ({linpack:.1}%)"
+        );
+    }
+
+    #[test]
+    fn figure_14_is_figure_13_times_figure_10() {
+        use crate::experiments::{fig10, fig13};
+        let mut lab = crate::experiments::testlab::lock();
+        let f14 = run(&mut lab);
+        let f13 = fig13::run(&mut lab);
+        let f10 = fig10::run(&mut lab);
+        for size in ["8KB", "32KB"] {
+            let total = f14[0].value(size, "average").unwrap();
+            let write = f13[0].value(size, "average").unwrap();
+            let share = f10[0].value(size, "average").unwrap();
+            let predicted = write * share / 100.0;
+            // Averages of products differ from products of averages, so
+            // allow a loose band.
+            assert!(
+                (total - predicted).abs() < 15.0,
+                "{size}: fig14 {total:.1}% vs fig13*fig10 {predicted:.1}%"
+            );
+        }
+    }
+}

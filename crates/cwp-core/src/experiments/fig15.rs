@@ -1,0 +1,70 @@
+//! Figure 15: write-miss rate reductions of the three no-fetch strategies
+//! vs line size (8KB caches).
+
+use crate::experiments::policy_sweep::{line_points, reduction_tables, Reduction};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the line-size sweep, reporting reductions in write misses.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut tables = reduction_tables(
+        lab,
+        "fig15",
+        "Percentage of write misses removed vs line size (8KB caches)",
+        &line_points(),
+        Reduction::WriteMisses,
+    );
+    if let Some(t) = tables.first_mut() {
+        t.note(
+            "Paper shape: all three strategies help most at short lines; with longer lines \
+             the old data on the line is more likely to be wanted, shrinking the advantage \
+             (Section 4).",
+        );
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_validate_stays_high_across_line_sizes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        for line in ["4B", "16B", "64B"] {
+            let avg = ts[0].value(line, "average").unwrap();
+            assert!(
+                avg > 60.0,
+                "write-validate at {line} removed only {avg:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn write_invalidate_loses_ground_to_write_around_as_lines_grow() {
+        // Longer lines throw away more information on invalidation. The
+        // robust form of the paper's claim is comparative: write-invalidate
+        // falls behind write-around (identical except it keeps the old
+        // line) as the invalidated line carries more bytes.
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let gap_at = |line: &str| {
+            ts[1].value(line, "average").unwrap() - ts[2].value(line, "average").unwrap()
+        };
+        let gap4 = gap_at("4B");
+        let gap64 = gap_at("64B");
+        assert!(
+            gap64 >= gap4 - 3.0,
+            "the write-around advantage over write-invalidate should not shrink with \
+             line size: 4B gap {gap4:.1} pts, 64B gap {gap64:.1} pts"
+        );
+        // And write-invalidate must not improve dramatically with line size.
+        let at4 = ts[2].value("4B", "average").unwrap();
+        let at64 = ts[2].value("64B", "average").unwrap();
+        assert!(
+            at64 < at4 + 15.0,
+            "write-invalidate should not gain with line size: 4B={at4:.1}%, 64B={at64:.1}%"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 16: total miss-rate reduction of the three no-fetch strategies
+//! vs line size (8KB caches).
+
+use crate::experiments::policy_sweep::{line_points, reduction_tables, Reduction};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the line-size sweep, reporting reductions in total misses.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut tables = reduction_tables(
+        lab,
+        "fig16",
+        "Percentage of all misses removed vs line size (8KB caches)",
+        &line_points(),
+        Reduction::TotalMisses,
+    );
+    if let Some(t) = tables.first_mut() {
+        t.note(
+            "The write-validate/write-around gap narrows as lines grow: write-validate \
+             invalidates more bytes per allocation while write-around keeps whole lines \
+             valid (Section 4).",
+        );
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fetch_policies_beat_the_baseline_at_every_line_size() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        for t in &ts {
+            for line in ["4B", "8B", "16B", "32B", "64B"] {
+                let avg = t.value(line, "average").unwrap();
+                assert!(avg > 0.0, "{}: no gain at {line} ({avg:.1}%)", t.id());
+            }
+        }
+    }
+
+    #[test]
+    fn write_validate_beats_write_invalidate_everywhere() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        for line in ["4B", "16B", "64B"] {
+            let wv = ts[0].value(line, "average").unwrap();
+            let wi = ts[2].value(line, "average").unwrap();
+            assert!(wv > wi, "{line}: wv {wv:.1}% <= wi {wi:.1}%");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 17: the partial order of fetch traffic across write-miss
+//! policies, verified empirically.
+
+use cwp_cache::WriteMissPolicy;
+
+use crate::experiments::policy_sweep::config;
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::{Cell, Table};
+
+/// Measures lines fetched per workload under each policy (8KB, 16B lines)
+/// and checks the partial order of Figure 17: fetch-on-write fetches the
+/// most; write-invalidate less; write-around and write-validate the least.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig17",
+        "Lines fetched by write-miss policy (8KB, 16B lines) and the Figure 17 partial order",
+        "program",
+    );
+    t.columns([
+        "fetch-on-write",
+        "write-invalidate",
+        "write-around",
+        "write-validate",
+        "order holds",
+    ]);
+    for name in WORKLOAD_NAMES {
+        let fetch = |lab: &mut Lab, p: WriteMissPolicy| {
+            lab.outcome(name, &config(8 * 1024, 16, p)).stats.fetches
+        };
+        let fow = fetch(lab, WriteMissPolicy::FetchOnWrite);
+        let wi = fetch(lab, WriteMissPolicy::WriteInvalidate);
+        let wa = fetch(lab, WriteMissPolicy::WriteAround);
+        let wv = fetch(lab, WriteMissPolicy::WriteValidate);
+        let holds = fow >= wi && wi >= wa && wi >= wv;
+        t.row(
+            name,
+            [
+                Cell::Int(fow),
+                Cell::Int(wi),
+                Cell::Int(wa),
+                Cell::Int(wv),
+                Cell::Text(if holds { "yes" } else { "NO" }.to_string()),
+            ],
+        );
+    }
+    t.note(
+        "Figure 17's partial order: fetch-on-write >= write-invalidate >= {write-around, \
+         write-validate}. Write-around and write-validate are incomparable: usually the \
+         data just written is the more useful to keep, but not always (Section 4).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_order_holds_for_every_workload() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for name in WORKLOAD_NAMES {
+            assert_eq!(
+                t.cell(name, "order holds"),
+                Some(&Cell::Text("yes".into())),
+                "partial order violated for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_validate_usually_beats_write_around() {
+        // "In general write-validate outperforms write-around since data
+        // just written is more likely to be accessed soon again."
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let mut wv_wins = 0;
+        for name in WORKLOAD_NAMES {
+            let wv = t.value(name, "write-validate").unwrap();
+            let wa = t.value(name, "write-around").unwrap();
+            if wv <= wa {
+                wv_wins += 1;
+            }
+        }
+        assert!(
+            wv_wins >= 4,
+            "write-validate won only {wv_wins}/6 workloads"
+        );
+    }
+}

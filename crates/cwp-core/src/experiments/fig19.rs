@@ -1,0 +1,63 @@
+//! Figure 19: components of back-side traffic vs line size.
+
+use crate::experiments::fig18::{traffic_components, COLUMNS};
+use crate::experiments::{b, LINES};
+use crate::lab::Lab;
+use crate::report::{Cell, Table};
+
+/// Sweeps line size (8KB cache), reporting transactions per instruction.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "fig19",
+        "Back-end transactions per instruction vs line size (8KB caches, average of 6)",
+        "line size",
+    );
+    t.columns(COLUMNS);
+    for line in LINES {
+        let c = traffic_components(lab, 8 * 1024, line);
+        t.row(b(line), c.map(Cell::Num));
+    }
+    t.note(
+        "As lines grow, transaction counts fall (though bytes moved grow); write-through \
+         traffic stays store-dominated, varying by less than 2x over the decade of line \
+         sizes (Section 5.1).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_fall_as_lines_grow() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for col in ["write-back", "read misses"] {
+            let at4 = t.value("4B", col).unwrap();
+            let at64 = t.value("64B", col).unwrap();
+            assert!(
+                at4 > at64,
+                "{col}: {at4:.4} at 4B should exceed {at64:.4} at 64B"
+            );
+        }
+    }
+
+    #[test]
+    fn write_through_varies_less_than_the_miss_components() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let wt_ratio =
+            t.value("4B", "write-through").unwrap() / t.value("64B", "write-through").unwrap();
+        let rm_ratio =
+            t.value("4B", "read misses").unwrap() / t.value("64B", "read misses").unwrap();
+        assert!(
+            wt_ratio < rm_ratio,
+            "store-dominated WT traffic should be flatter: WT {wt_ratio:.2}x vs read-miss {rm_ratio:.2}x"
+        );
+        assert!(
+            wt_ratio < 2.5,
+            "paper: WT varies by less than ~2x, got {wt_ratio:.2}x"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 20: percent of victims with dirty bytes vs cache size.
+
+use crate::experiments::policy_sweep::size_points;
+use crate::experiments::victim_sweep::{victim_table, VictimMetric};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the cache-size sweep (16B lines, write-back), producing the
+/// cold-stop and flush-stop tables (the paper's solid and dotted lines).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let points = size_points();
+    let mut cold = victim_table(
+        lab,
+        "fig20/cold-stop",
+        "Percent of victims dirty vs cache size (16B lines, cold stop)",
+        "cache size",
+        &points,
+        VictimMetric::DirtyFractionColdStop,
+    );
+    cold.note(
+        "Cold stop counts only victims evicted during execution; for large caches most \
+         written lines never leave, so the paper prefers the flush-stop numbers below \
+         (Section 5).",
+    );
+    let flush = victim_table(
+        lab,
+        "fig20/flush-stop",
+        "Percent of victims dirty vs cache size (16B lines, flush stop)",
+        "cache size",
+        &points,
+        VictimMetric::DirtyFractionFlushStop,
+    );
+    vec![cold, flush]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_half_of_victims_are_dirty_on_average() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let avg = ts[1].value("8KB", "average").unwrap();
+        assert!(
+            (30.0..=75.0).contains(&avg),
+            "paper: ~50% of victims dirty on average, got {avg:.1}%"
+        );
+    }
+
+    #[test]
+    fn flush_stop_covers_resident_write_data() {
+        // For a 128KB cache, benchmarks that fit leave most written lines
+        // resident; flush-stop victim counts must not be smaller than
+        // cold-stop ones.
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        for name in ["liver", "yacc"] {
+            let cold = ts[0].value("128KB", name);
+            let flush = ts[1].value("128KB", name).unwrap();
+            assert!(flush > 0.0, "{name}: flush stop must see dirty lines");
+            if let Some(c) = cold {
+                // Both defined: flush stop mixes in the resident lines.
+                assert!(
+                    (flush - c).abs() <= 100.0,
+                    "{name}: nonsensical percentages {c} vs {flush}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 21: percent of bytes dirty in a dirty victim vs cache size.
+
+use crate::experiments::policy_sweep::size_points;
+use crate::experiments::victim_sweep::{victim_table, VictimMetric};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the cache-size sweep (16B lines, write-back, flush stop).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = victim_table(
+        lab,
+        "fig21",
+        "Percent of bytes dirty in a dirty victim vs cache size (16B lines)",
+        "cache size",
+        &size_points(),
+        VictimMetric::BytesDirtyInDirty,
+    );
+    t.note(
+        "Paper shape: ~70% for small caches rising toward 90% — bigger caches let more \
+         writes land on a line before it is replaced. Unit-stride numeric codes dirty \
+         whole lines (Section 5.2).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_victims_are_mostly_dirty_bytes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let avg = t.value("8KB", "average").unwrap();
+        assert!((45.0..=100.0).contains(&avg), "got {avg:.1}% at 8KB");
+    }
+
+    #[test]
+    fn numeric_codes_dirty_whole_lines() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        for name in ["linpack", "liver"] {
+            let v = t.value("8KB", name).unwrap();
+            assert!(
+                v > 60.0,
+                "{name}: unit-stride writes should dirty most bytes, got {v:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_grows_with_cache_size() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let small = t.value("1KB", "average").unwrap();
+        let large = t.value("64KB", "average").unwrap();
+        assert!(
+            large >= small - 5.0,
+            "larger caches accumulate more dirty bytes per line: 1KB={small:.1}%, 64KB={large:.1}%"
+        );
+    }
+}

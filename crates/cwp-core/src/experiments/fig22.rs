@@ -1,0 +1,62 @@
+//! Figure 22: percent of bytes dirty per victim (all victims) vs cache
+//! size.
+
+use crate::experiments::policy_sweep::size_points;
+use crate::experiments::victim_sweep::{victim_table, VictimMetric};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the cache-size sweep (16B lines, write-back, flush stop, averaged
+/// over all victims whether clean or dirty).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = victim_table(
+        lab,
+        "fig22",
+        "Percent of bytes dirty per victim vs cache size (16B lines, all victims)",
+        "cache size",
+        &size_points(),
+        VictimMetric::BytesDirtyPerVictim,
+    );
+    t.note(
+        "Effectively Figure 20 times Figure 21 (flush-stop data): the higher miss rate of \
+         small caches prematurely cleans out partially dirty lines (Section 5.2).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_identity_with_figures_20_and_21() {
+        use crate::experiments::{fig20, fig21};
+        let mut lab = crate::experiments::testlab::lock();
+        let f22 = run(&mut lab);
+        let f20 = fig20::run(&mut lab);
+        let f21 = fig21::run(&mut lab);
+        for size in ["4KB", "16KB"] {
+            for name in ["ccom", "grr", "linpack"] {
+                let dirty_frac = f20[1].value(size, name).unwrap() / 100.0;
+                let bytes_in_dirty = f21[0].value(size, name).unwrap() / 100.0;
+                let per_victim = f22[0].value(size, name).unwrap() / 100.0;
+                let predicted = dirty_frac * bytes_in_dirty;
+                assert!(
+                    (per_victim - predicted).abs() < 0.02,
+                    "{name}@{size}: fig22 {per_victim:.3} != fig20*fig21 {predicted:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_victim_dirtiness_is_below_in_dirty_dirtiness() {
+        use crate::experiments::fig21;
+        let mut lab = crate::experiments::testlab::lock();
+        let f22 = run(&mut lab);
+        let f21 = fig21::run(&mut lab);
+        let all = f22[0].value("8KB", "average").unwrap();
+        let dirty_only = f21[0].value("8KB", "average").unwrap();
+        assert!(all <= dirty_only + 1e-9);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 23: percent of victims with dirty bytes vs line size.
+
+use crate::experiments::policy_sweep::line_points;
+use crate::experiments::victim_sweep::{victim_table, VictimMetric};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the line-size sweep (8KB, write-back, flush stop).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = victim_table(
+        lab,
+        "fig23",
+        "Percent of victims dirty vs line size (8KB caches, flush stop)",
+        "line size",
+        &line_points(),
+        VictimMetric::DirtyFractionFlushStop,
+    );
+    t.note(
+        "Paper: roughly flat or slightly decreasing with line size, implying writes are \
+         slightly more clustered than reads (Section 5.2).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_victim_share_is_roughly_flat_across_line_sizes() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let at4 = t.value("4B", "average").unwrap();
+        let at64 = t.value("64B", "average").unwrap();
+        assert!(
+            (at4 - at64).abs() < 30.0,
+            "expected a roughly flat trend: 4B={at4:.1}%, 64B={at64:.1}%"
+        );
+        for line in ["4B", "16B", "64B"] {
+            let v = t.value(line, "average").unwrap();
+            assert!((20.0..=90.0).contains(&v), "{line}: {v:.1}%");
+        }
+    }
+}

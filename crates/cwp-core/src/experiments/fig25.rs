@@ -1,0 +1,41 @@
+//! Figure 25: percent of bytes dirty per victim (all victims) vs line
+//! size.
+
+use crate::experiments::policy_sweep::line_points;
+use crate::experiments::victim_sweep::{victim_table, VictimMetric};
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the line-size sweep (8KB, write-back, flush stop, all victims).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = victim_table(
+        lab,
+        "fig25",
+        "Percent of bytes dirty per victim vs line size (8KB caches, all victims)",
+        "line size",
+        &line_points(),
+        VictimMetric::BytesDirtyPerVictim,
+    );
+    t.note(
+        "The average percentage of dirty bytes per victim falls sharply as lines grow, \
+         because a lower percentage of the extra data is useful (Section 5.2).",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_bytes_per_victim_fall_sharply_with_line_size() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        let at4 = t.value("4B", "average").unwrap();
+        let at64 = t.value("64B", "average").unwrap();
+        assert!(
+            at4 > at64 * 1.3,
+            "expected a sharp decline: 4B={at4:.1}%, 64B={at64:.1}%"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! One module per table and figure of the paper.
+//!
+//! Every experiment takes a [`Lab`] (memoized simulation runs) and returns
+//! one or more [`Table`]s containing the same rows/series the paper plots.
+//! The registry in [`all`] is what the `figures` binary and the Criterion
+//! benches iterate over.
+
+use crate::lab::Lab;
+use crate::report::{Cell, Table};
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig24;
+pub mod fig25;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub mod ext_alloc;
+pub mod ext_assoc;
+pub mod ext_burst;
+pub mod ext_bytes;
+pub mod ext_l2;
+pub mod ext_overhead;
+
+pub(crate) mod policy_sweep;
+pub(crate) mod victim_sweep;
+
+/// Shared lab for the experiment test modules: one memoized
+/// [`Lab`] at `Scale::Quick` across the whole test binary, so overlapping
+/// sweeps are simulated once.
+#[cfg(test)]
+pub(crate) mod testlab {
+    use std::sync::{Mutex, OnceLock};
+
+    use cwp_trace::Scale;
+
+    use crate::lab::Lab;
+
+    /// Locks the shared quick-scale lab for one test's use.
+    pub fn lock() -> std::sync::MutexGuard<'static, Lab> {
+        static LAB: OnceLock<Mutex<Lab>> = OnceLock::new();
+        LAB.get_or_init(|| Mutex::new(Lab::new(Scale::Quick)))
+            .lock()
+            // A test that failed an assertion while holding the lab does
+            // not invalidate the memoized outcomes.
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A registered experiment: id, title, and its runner.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Short id, e.g. `"fig13"` or `"table1"`.
+    pub id: &'static str,
+    /// The paper item it regenerates.
+    pub title: &'static str,
+    runner: fn(&mut Lab) -> Vec<Table>,
+}
+
+impl Experiment {
+    /// Runs the experiment in `lab`, returning its tables.
+    pub fn run(&self, lab: &mut Lab) -> Vec<Table> {
+        (self.runner)(lab)
+    }
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Experiment({})", self.id)
+    }
+}
+
+macro_rules! registry {
+    ($($module:ident => $title:expr),+ $(,)?) => {
+        /// All experiments, in paper order.
+        pub fn all() -> Vec<Experiment> {
+            vec![$(Experiment {
+                id: stringify!($module),
+                title: $title,
+                runner: $module::run,
+            }),+]
+        }
+    };
+}
+
+registry! {
+    table1 => "Test program characteristics",
+    fig01 => "Write-back vs write-through behavior for 8KB caches",
+    fig02 => "Write-back vs write-through behavior for 16B lines",
+    fig03 => "Direct-mapped write-through and write-back pipelines",
+    fig04 => "Delayed write method for write-back caches",
+    fig05 => "Coalescing write buffer merges vs CPI",
+    fig06 => "Write cache organization",
+    fig07 => "Write cache absolute traffic reduction",
+    fig08 => "Write cache traffic reduction relative to a 4KB write-back cache",
+    fig09 => "Relative traffic reduction of a write cache vs write-back cache size",
+    fig10 => "Write misses as a percent of all misses vs cache size for 16B lines",
+    fig11 => "Write misses as a percent of all misses vs line size for 8KB caches",
+    fig12 => "Write miss alternatives",
+    fig13 => "Write miss rate reductions of three write strategies for 16B lines",
+    fig14 => "Total miss rate reductions of three write strategies for 16B lines",
+    fig15 => "Write miss rate reductions of three write strategies for 8KB caches",
+    fig16 => "Total miss rate reduction of three write strategies for 8KB caches",
+    fig17 => "Relative order of fetch traffic for write miss alternatives",
+    fig18 => "Components of traffic vs cache size",
+    fig19 => "Components of traffic vs cache line size",
+    fig20 => "Percent of victims with dirty bytes vs cache size for 16B lines",
+    fig21 => "Percent of bytes dirty in a dirty victim vs cache size for 16B lines",
+    fig22 => "Percent of bytes dirty per victim vs cache size for 16B lines",
+    fig23 => "Percent of victims with dirty bytes vs line size for 8KB caches",
+    fig24 => "Percent of bytes dirty in a dirty victim vs line size for 8KB caches",
+    fig25 => "Percent of bytes dirty per victim vs line size for 8KB caches",
+    table2 => "Advantages and disadvantages of write-through and write-back caches",
+    table3 => "Hardware requirements for high performance caches",
+    ext_burst => "Extension: store and dirty-victim burstiness",
+    ext_alloc => "Extension: oracle bound for cache-line allocation instructions",
+    ext_bytes => "Extension: byte traffic and subblock dirty bits",
+    ext_assoc => "Extension: write-miss policies under associativity",
+    ext_l2 => "Extension: two-level hierarchy effects",
+    ext_overhead => "Extension: SRAM bit budgets and error protection",
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+// ---------------------------------------------------------------------
+// Shared sweep vocabulary
+// ---------------------------------------------------------------------
+
+/// The paper's cache-size sweep (bytes), 1KB..128KB.
+pub const SIZES: [u32; 8] = [
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+];
+
+/// The paper's line-size sweep (bytes), 4B..64B.
+pub const LINES: [u32; 5] = [4, 8, 16, 32, 64];
+
+/// Formats a size in bytes as the paper labels it ("8KB").
+pub fn kb(bytes: u32) -> String {
+    format!("{}KB", bytes / 1024)
+}
+
+/// Formats a line size ("16B").
+pub fn b(bytes: u32) -> String {
+    format!("{bytes}B")
+}
+
+/// Column headers: the six workloads plus "average".
+pub fn workload_columns() -> Vec<String> {
+    let mut cols: Vec<String> = crate::lab::WORKLOAD_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    cols.push("average".to_string());
+    cols
+}
+
+/// Builds a row of per-workload values followed by their arithmetic mean
+/// (the paper averages the six benchmarks' percentages directly).
+pub fn row_with_average(values: &[Option<f64>]) -> Vec<Cell> {
+    let mut cells: Vec<Cell> = values.iter().map(|v| Cell::from(*v)).collect();
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    cells.push(if present.is_empty() {
+        Cell::Missing
+    } else {
+        Cell::Num(present.iter().sum::<f64>() / present.len() as f64)
+    });
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 34, "3 tables + 25 figures + 6 extensions");
+        for n in 1..=25 {
+            assert!(
+                ids.contains(&format!("fig{n:02}").as_str()),
+                "missing fig{n:02}"
+            );
+        }
+        for n in 1..=3 {
+            assert!(ids.contains(&format!("table{n}").as_str()));
+        }
+    }
+
+    #[test]
+    fn by_id_finds_and_misses() {
+        assert_eq!(by_id("fig13").unwrap().id, "fig13");
+        assert!(by_id("fig99").is_none());
+    }
+
+    #[test]
+    fn averages_ignore_missing_values() {
+        let cells = row_with_average(&[Some(10.0), None, Some(20.0)]);
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[3].as_f64(), Some(15.0));
+        let empty = row_with_average(&[None, None]);
+        assert_eq!(empty[2].as_f64(), None);
+    }
+
+    #[test]
+    fn label_helpers() {
+        assert_eq!(kb(8192), "8KB");
+        assert_eq!(b(16), "16B");
+        assert_eq!(workload_columns().len(), 7);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared machinery for the write-miss policy comparisons (Figures 13-16).
+
+use cwp_cache::{metrics, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{row_with_average, workload_columns};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// The three alternatives compared against fetch-on-write, in the paper's
+/// legend order.
+pub const ALTERNATIVES: [WriteMissPolicy; 3] = [
+    WriteMissPolicy::WriteValidate,
+    WriteMissPolicy::WriteAround,
+    WriteMissPolicy::WriteInvalidate,
+];
+
+/// Which reduction a sweep reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Figures 13/15: misses removed as a percentage of the baseline's
+    /// *write* misses.
+    WriteMisses,
+    /// Figures 14/16: misses removed as a percentage of *all* baseline
+    /// misses.
+    TotalMisses,
+}
+
+/// A cache configuration for the write-miss studies: write-through hits
+/// (so all four miss policies are legal and hit behaviour is shared) with
+/// the given miss policy.
+pub fn config(size: u32, line: u32, miss: WriteMissPolicy) -> CacheConfig {
+    CacheConfig::builder()
+        .size_bytes(size)
+        .line_bytes(line)
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(miss)
+        .build()
+        .expect("sweep geometry is valid")
+}
+
+/// Builds one table per alternative policy over a sweep axis.
+///
+/// `points` are `(row_label, size_bytes, line_bytes)` triples.
+pub fn reduction_tables(
+    lab: &mut Lab,
+    id: &str,
+    title: &str,
+    points: &[(String, u32, u32)],
+    reduction: Reduction,
+) -> Vec<Table> {
+    ALTERNATIVES
+        .iter()
+        .map(|&policy| {
+            let mut t = Table::new(
+                format!("{id}/{policy}"),
+                format!("{title} — {policy}"),
+                "configuration",
+            );
+            t.columns(workload_columns());
+            for (label, size, line) in points {
+                let base_cfg = config(*size, *line, WriteMissPolicy::FetchOnWrite);
+                let pol_cfg = config(*size, *line, policy);
+                let values: Vec<Option<f64>> = WORKLOAD_NAMES
+                    .iter()
+                    .map(|name| {
+                        let base = lab.outcome(name, &base_cfg);
+                        let pol = lab.outcome(name, &pol_cfg);
+                        let frac = match reduction {
+                            Reduction::WriteMisses => {
+                                metrics::write_miss_reduction(&base.stats, &pol.stats)
+                            }
+                            Reduction::TotalMisses => {
+                                metrics::total_miss_reduction(&base.stats, &pol.stats)
+                            }
+                        };
+                        frac.map(|f| f * 100.0)
+                    })
+                    .collect();
+                t.row(label.clone(), row_with_average(&values));
+            }
+            t
+        })
+        .collect()
+}
+
+/// Sweep points over cache size at a fixed 16B line.
+pub fn size_points() -> Vec<(String, u32, u32)> {
+    crate::experiments::SIZES
+        .iter()
+        .map(|&s| (crate::experiments::kb(s), s, 16))
+        .collect()
+}
+
+/// Sweep points over line size at a fixed 8KB capacity.
+pub fn line_points() -> Vec<(String, u32, u32)> {
+    crate::experiments::LINES
+        .iter()
+        .map(|&l| (crate::experiments::b(l), 8 * 1024, l))
+        .collect()
+}

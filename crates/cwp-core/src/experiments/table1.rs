@@ -1,0 +1,90 @@
+//! Table 1: test program characteristics.
+
+use cwp_cache::CacheConfig;
+
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::{Cell, Table};
+
+/// Descriptions as Table 1 gives them.
+const PROGRAM_TYPES: [&str; 6] = [
+    "C compiler",
+    "PC board CAD tool",
+    "Unix utility",
+    "PC board CAD tool",
+    "numeric, 100x100",
+    "Livermore loops 1-14",
+];
+
+/// Regenerates Table 1 at the lab's scale: dynamic instructions, data
+/// reads, data writes, and total references per benchmark.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new("table1", "Test program characteristics", "program");
+    t.columns([
+        "dynamic instr.",
+        "data reads",
+        "data writes",
+        "total refs.",
+        "reads/write",
+        "program type",
+    ]);
+
+    let config = CacheConfig::default();
+    let mut totals = (0u64, 0u64, 0u64);
+    for (i, name) in WORKLOAD_NAMES.iter().enumerate() {
+        let out = lab.outcome(name, &config);
+        let s = out.summary;
+        totals.0 += s.instructions;
+        totals.1 += s.reads;
+        totals.2 += s.writes;
+        t.row(
+            *name,
+            [
+                Cell::Int(s.instructions),
+                Cell::Int(s.reads),
+                Cell::Int(s.writes),
+                Cell::Int(s.total_refs()),
+                Cell::Num(s.read_write_ratio()),
+                PROGRAM_TYPES[i].into(),
+            ],
+        );
+    }
+    let (i, r, w) = totals;
+    t.row(
+        "total",
+        [
+            Cell::Int(i),
+            Cell::Int(r),
+            Cell::Int(w),
+            Cell::Int(i + r + w),
+            Cell::Num(r as f64 / w as f64),
+            "".into(),
+        ],
+    );
+    t.note(format!(
+        "Counts are at scale '{}'; the paper's runs total 484.5M instructions with a 2.42 \
+         overall read/write ratio. Total refs counts one instruction fetch per instruction, \
+         as the paper does.",
+        lab.scale()
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_and_overall_ratio() {
+        let mut lab = crate::experiments::testlab::lock();
+        let tables = run(&mut lab);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.len(), 7, "six programs plus a total row");
+        // Paper: loads outnumber stores roughly 2.4:1 overall.
+        let ratio = t.value("total", "reads/write").unwrap();
+        assert!(
+            (1.7..=3.2).contains(&ratio),
+            "overall read/write ratio {ratio:.2}"
+        );
+    }
+}

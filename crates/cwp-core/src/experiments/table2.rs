@@ -1,0 +1,134 @@
+//! Table 2: advantages and disadvantages of write-through and write-back
+//! caches, with the quantitative rows measured.
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_pipeline::{StorePipeline, StoreTiming};
+
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::{Cell, Table};
+
+/// Regenerates Table 2. The qualitative rows carry the paper's judgements;
+/// the traffic and cycles-per-write rows are measured on the six
+/// workloads (8KB, 16B lines).
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut t = Table::new(
+        "table2",
+        "Write-through vs write-back (8KB, 16B lines; measured where quantitative)",
+        "feature",
+    );
+    t.columns(["write-through", "write-back"]);
+
+    // Measured: back-side transactions per instruction.
+    let wt_cfg = CacheConfig::builder()
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .expect("default geometry");
+    let wb_cfg = wt_cfg
+        .to_builder()
+        .write_hit(WriteHitPolicy::WriteBack)
+        .build()
+        .unwrap();
+    let mut wt_tpi = 0.0;
+    let mut wb_tpi = 0.0;
+    for name in WORKLOAD_NAMES {
+        let wt = lab.outcome(name, &wt_cfg);
+        let wb = lab.outcome(name, &wb_cfg);
+        wt_tpi += wt.transactions_per_instruction();
+        wb_tpi += wb.transactions_per_instruction();
+    }
+    let n = WORKLOAD_NAMES.len() as f64;
+    t.row(
+        "traffic (txns/instr)",
+        [
+            Cell::Text(format!("- more ({:.4})", wt_tpi / n)),
+            Cell::Text(format!("+ less ({:.4})", wb_tpi / n)),
+        ],
+    );
+
+    t.row(
+        "additional buffers",
+        [
+            Cell::Text("- write buffer needed".into()),
+            Cell::Text("- dirty victim buffer needed".into()),
+        ],
+    );
+    t.row(
+        "bursty writes",
+        [
+            Cell::Text("- write buffer can overflow".into()),
+            Cell::Text("+ OK unless misses with dirty victims".into()),
+        ],
+    );
+    t.row(
+        "single-bit error safe",
+        [
+            Cell::Text("+ with parity (no unique dirty data)".into()),
+            Cell::Text("- only with ECC".into()),
+        ],
+    );
+    t.row(
+        "pipelining",
+        [
+            Cell::Text("+ same as loads if direct-mapped".into()),
+            Cell::Text("- doesn't match".into()),
+        ],
+    );
+
+    // Measured: cycles per write at the cache interface.
+    let scale = lab.scale();
+    let mut wt_cpw = 0.0;
+    let mut wb_cpw = 0.0;
+    for name in WORKLOAD_NAMES {
+        let mut fast = StorePipeline::for_timing(StoreTiming::WriteThroughDirectMapped);
+        lab.workload(name).run(scale, &mut fast);
+        let mut slow = StorePipeline::for_timing(StoreTiming::ProbeThenWrite);
+        lab.workload(name).run(scale, &mut slow);
+        wt_cpw += 1.0;
+        wb_cpw += 1.0 + slow.stats().interlock_cycles as f64 / slow.stats().stores as f64;
+    }
+    t.row(
+        "cycles per write",
+        [
+            Cell::Text(format!("+ {:.2}", wt_cpw / n)),
+            Cell::Text(format!("- {:.2} (incl. probe)", wb_cpw / n)),
+        ],
+    );
+    t.note("Signs follow the paper's Table 2; numbers in parentheses are measured.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rows_favor_the_papers_signs() {
+        let mut lab = crate::experiments::testlab::lock();
+        let t = &run(&mut lab)[0];
+        assert_eq!(t.len(), 6, "six feature rows as in Table 2");
+        let traffic_wt = match t.cell("traffic (txns/instr)", "write-through").unwrap() {
+            Cell::Text(s) => s.clone(),
+            other => panic!("unexpected cell {other:?}"),
+        };
+        assert!(traffic_wt.starts_with("- more"));
+        // Extract the two numbers and check WT > WB.
+        let grab = |s: &str| -> f64 {
+            s.split('(')
+                .nth(1)
+                .unwrap()
+                .trim_end_matches(')')
+                .parse()
+                .unwrap()
+        };
+        let wt = grab(&traffic_wt);
+        let wb = match t.cell("traffic (txns/instr)", "write-back").unwrap() {
+            Cell::Text(s) => grab(s),
+            _ => unreachable!(),
+        };
+        assert!(
+            wt > wb,
+            "write-through traffic ({wt}) must exceed write-back ({wb})"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared machinery for the dirty-victim statistics (Figures 20-25).
+
+use cwp_cache::{CacheConfig, VictimStats, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{row_with_average, workload_columns};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::Table;
+
+/// Which victim percentage a figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimMetric {
+    /// Figures 20/23: percent of victims with at least one dirty byte,
+    /// cold stop (execution only).
+    DirtyFractionColdStop,
+    /// Figures 20/23 dotted lines: same, flush stop.
+    DirtyFractionFlushStop,
+    /// Figures 21/24: percent of bytes dirty within dirty victims.
+    BytesDirtyInDirty,
+    /// Figures 22/25: percent of bytes dirty over all victims (flush stop).
+    BytesDirtyPerVictim,
+}
+
+impl VictimMetric {
+    fn evaluate(self, cold: VictimStats, flush_inclusive: VictimStats, line: u32) -> Option<f64> {
+        let frac = match self {
+            VictimMetric::DirtyFractionColdStop => cold.dirty_fraction(),
+            VictimMetric::DirtyFractionFlushStop => flush_inclusive.dirty_fraction(),
+            VictimMetric::BytesDirtyInDirty => flush_inclusive.bytes_dirty_in_dirty_fraction(line),
+            VictimMetric::BytesDirtyPerVictim => {
+                flush_inclusive.bytes_dirty_per_victim_fraction(line)
+            }
+        };
+        frac.map(|f| f * 100.0)
+    }
+}
+
+/// The write-back configuration used by the victim studies.
+pub fn config(size: u32, line: u32) -> CacheConfig {
+    CacheConfig::builder()
+        .size_bytes(size)
+        .line_bytes(line)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .expect("sweep geometry is valid")
+}
+
+/// Builds one victim-statistics table over `points` =
+/// `(row_label, size, line)`.
+pub fn victim_table(
+    lab: &mut Lab,
+    id: &str,
+    title: &str,
+    x_label: &str,
+    points: &[(String, u32, u32)],
+    metric: VictimMetric,
+) -> Table {
+    let mut t = Table::new(id, title, x_label);
+    t.columns(workload_columns());
+    for (label, size, line) in points {
+        let cfg = config(*size, *line);
+        let values: Vec<Option<f64>> = WORKLOAD_NAMES
+            .iter()
+            .map(|name| {
+                let out = lab.outcome(name, &cfg);
+                metric.evaluate(out.stats.victims, out.stats.victims_with_flush(), *line)
+            })
+            .collect();
+        t.row(label.clone(), row_with_average(&values));
+    }
+    t
+}

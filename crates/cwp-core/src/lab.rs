@@ -1,0 +1,255 @@
+//! The [`Lab`]: memoized simulation runs shared across experiments.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cwp_cache::CacheConfig;
+use cwp_trace::{workloads, MemRef, Scale, TraceSink, Workload};
+
+use crate::sim::{simulate, SimOutcome};
+
+/// One store extracted from a trace, with its arrival time in instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEvent {
+    /// Dynamic instruction count at which the store issues.
+    pub cycle: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Store width (4 or 8).
+    pub size: u8,
+}
+
+/// A workload's store stream: the input to write buffers and write caches.
+#[derive(Debug, Clone, Default)]
+pub struct WriteStream {
+    /// The stores, in program order.
+    pub events: Vec<WriteEvent>,
+    /// Total dynamic instructions in the run.
+    pub instructions: u64,
+}
+
+impl TraceSink for WriteStream {
+    fn record(&mut self, r: MemRef) {
+        self.instructions += u64::from(r.before_insts);
+        if r.is_write() {
+            self.events.push(WriteEvent {
+                cycle: self.instructions,
+                addr: r.addr,
+                size: r.size,
+            });
+        }
+    }
+}
+
+/// The six benchmark names in Table 1 order.
+pub const WORKLOAD_NAMES: [&str; 6] = ["ccom", "grr", "yacc", "met", "linpack", "liver"];
+
+/// Runs simulations on demand and memoizes the outcomes.
+///
+/// Figures share most of their underlying runs (e.g. Figures 10, 13, 14,
+/// and 18 all need fetch-on-write sweeps over cache sizes), so the lab
+/// keys results by `(workload, configuration)` and simulates each pair at
+/// most once per scale.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_cache::CacheConfig;
+/// use cwp_core::Lab;
+/// use cwp_trace::Scale;
+///
+/// let mut lab = Lab::new(Scale::Test);
+/// let a = lab.outcome("yacc", &CacheConfig::default());
+/// let b = lab.outcome("yacc", &CacheConfig::default());
+/// assert_eq!(a.stats.accesses(), b.stats.accesses());
+/// assert_eq!(lab.runs(), 1, "second call was memoized");
+/// ```
+pub struct Lab {
+    scale: Scale,
+    workloads: Vec<Box<dyn Workload>>,
+    memo: HashMap<(String, CacheConfig), Arc<SimOutcome>>,
+    streams: HashMap<String, Arc<WriteStream>>,
+    runs: u64,
+}
+
+impl Lab {
+    /// Creates a lab over the six paper workloads at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        Self::with_workloads(scale, workloads::suite())
+    }
+
+    /// Creates a lab over a custom workload set — e.g. `cwp-cpu` assembly
+    /// programs, or a subset of the paper suite for faster sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty or contains duplicate names.
+    pub fn with_workloads(scale: Scale, workloads: Vec<Box<dyn Workload>>) -> Self {
+        assert!(!workloads.is_empty(), "a lab needs at least one workload");
+        let mut names = std::collections::HashSet::new();
+        for w in &workloads {
+            assert!(
+                names.insert(w.name()),
+                "duplicate workload name '{}'",
+                w.name()
+            );
+        }
+        Lab {
+            scale,
+            workloads,
+            memo: HashMap::new(),
+            streams: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// The scale every simulation runs at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Number of actual (non-memoized) simulations performed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The workloads in Table 1 order.
+    pub fn workload_names(&self) -> Vec<&'static str> {
+        self.workloads.iter().map(|w| w.name()).collect()
+    }
+
+    /// Looks up a workload by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of the six benchmarks.
+    pub fn workload(&self, name: &str) -> &dyn Workload {
+        self.workloads
+            .iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"))
+            .as_ref()
+    }
+
+    /// The simulation outcome for (`workload`, `config`), running it if
+    /// not already memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is not one of the six benchmarks.
+    pub fn outcome(&mut self, workload: &str, config: &CacheConfig) -> Arc<SimOutcome> {
+        let key = (workload.to_string(), *config);
+        if let Some(hit) = self.memo.get(&key) {
+            return Arc::clone(hit);
+        }
+        let w = self
+            .workloads
+            .iter()
+            .find(|w| w.name() == workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let outcome = Arc::new(simulate(w.as_ref(), self.scale, config));
+        self.runs += 1;
+        self.memo.insert(key, Arc::clone(&outcome));
+        outcome
+    }
+
+    /// Outcomes for all six workloads under one configuration, in Table 1
+    /// order.
+    pub fn outcomes_all(&mut self, config: &CacheConfig) -> Vec<(&'static str, Arc<SimOutcome>)> {
+        WORKLOAD_NAMES
+            .iter()
+            .map(|name| (*name, self.outcome(name, config)))
+            .collect()
+    }
+
+    /// The workload's store stream (memoized): input for write buffers and
+    /// write caches, which sit behind a write-through cache and therefore
+    /// see every store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is not one of the six benchmarks.
+    pub fn write_stream(&mut self, workload: &str) -> Arc<WriteStream> {
+        if let Some(hit) = self.streams.get(workload) {
+            return Arc::clone(hit);
+        }
+        let w = self
+            .workloads
+            .iter()
+            .find(|w| w.name() == workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        let mut stream = WriteStream::default();
+        w.run(self.scale, &mut stream);
+        let stream = Arc::new(stream);
+        self.streams
+            .insert(workload.to_string(), Arc::clone(&stream));
+        stream
+    }
+}
+
+impl std::fmt::Debug for Lab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab")
+            .field("scale", &self.scale)
+            .field("memoized", &self.memo.len())
+            .field("runs", &self.runs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoization_avoids_rework() {
+        let mut lab = Lab::new(Scale::Test);
+        let cfg = CacheConfig::default();
+        lab.outcome("ccom", &cfg);
+        lab.outcome("ccom", &cfg);
+        let other = CacheConfig::builder().size_bytes(4096).build().unwrap();
+        lab.outcome("ccom", &other);
+        assert_eq!(lab.runs(), 2);
+    }
+
+    #[test]
+    fn outcomes_all_covers_the_suite_in_order() {
+        let mut lab = Lab::new(Scale::Test);
+        let all = lab.outcomes_all(&CacheConfig::default());
+        let names: Vec<&str> = all.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, WORKLOAD_NAMES);
+        assert_eq!(lab.runs(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let mut lab = Lab::new(Scale::Test);
+        lab.outcome("cobol", &CacheConfig::default());
+    }
+
+    #[test]
+    fn custom_workload_sets_are_supported() {
+        let mut lab = Lab::with_workloads(Scale::Test, vec![workloads::yacc(), workloads::liver()]);
+        assert_eq!(lab.workload_names(), ["yacc", "liver"]);
+        let out = lab.outcome("yacc", &CacheConfig::default());
+        assert!(out.stats.accesses() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate workload name")]
+    fn duplicate_workloads_are_rejected() {
+        let _ = Lab::with_workloads(Scale::Test, vec![workloads::yacc(), workloads::yacc()]);
+    }
+
+    #[test]
+    fn write_streams_are_memoized_and_monotonic() {
+        let mut lab = Lab::new(Scale::Test);
+        let s1 = lab.write_stream("liver");
+        let s2 = lab.write_stream("liver");
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert!(!s1.events.is_empty());
+        assert!(s1.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(s1.instructions >= s1.events.len() as u64);
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment drivers for the `cwp` reproduction of Jouppi's
+//! *"Cache Write Policies and Performance"* (WRL 91/12 / ISCA 1993).
+//!
+//! Every table and figure in the paper's evaluation has a module under
+//! [`experiments`] that regenerates it from the synthetic workloads in
+//! `cwp-trace` and the simulators in `cwp-cache`, `cwp-buffers`, and
+//! `cwp-pipeline`. The `figures` binary prints any of them:
+//!
+//! ```text
+//! cargo run --release -p cwp-core --bin figures -- --scale quick fig13
+//! cargo run --release -p cwp-core --bin figures -- all
+//! ```
+//!
+//! The building blocks are reusable:
+//!
+//! * [`sim::simulate`] runs one workload through one cache configuration
+//!   and returns stats plus back-side traffic.
+//! * [`lab::Lab`] memoizes simulation outcomes across experiments so a
+//!   full figure run never simulates the same (workload, configuration)
+//!   pair twice.
+//! * [`report::Table`] renders results as aligned text, markdown, or CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod experiments;
+pub mod lab;
+pub mod report;
+pub mod sim;
+
+pub use lab::{Lab, WriteEvent, WriteStream};
+pub use report::Table;
+pub use sim::{simulate, SimOutcome};

@@ -1,0 +1,300 @@
+//! Result tables: the textual form of every regenerated figure.
+
+use std::fmt;
+
+/// One cell of a result table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A numeric result, rendered with two decimals.
+    Num(f64),
+    /// An integer count.
+    Int(u64),
+    /// Free text.
+    Text(String),
+    /// No data (e.g. a denominator was zero).
+    Missing,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Num(v) => format!("{v:.2}"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Text(s) => s.clone(),
+            Cell::Missing => "-".to_string(),
+        }
+    }
+
+    /// The numeric value, if the cell holds one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Num(v) => Some(*v),
+            Cell::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(v: Option<f64>) -> Self {
+        v.map_or(Cell::Missing, Cell::Num)
+    }
+}
+
+/// A labelled grid of results; one per regenerated table or figure.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_core::report::Table;
+///
+/// let mut t = Table::new("fig99", "A demo", "x");
+/// t.columns(["alpha", "beta"]);
+/// t.row("1", [1.0.into(), 2.0.into()]);
+/// assert!(t.to_markdown().contains("alpha"));
+/// assert!(t.to_csv().starts_with("x,alpha,beta"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    id: String,
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<Cell>)>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with an experiment id (e.g. `"fig13"`), a
+    /// human title, and the label of the row-key column.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the data column headers.
+    pub fn columns<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, names: I) -> &mut Self {
+        self.columns = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells does not match the column count.
+    pub fn row<I: IntoIterator<Item = Cell>>(
+        &mut self,
+        key: impl Into<String>,
+        cells: I,
+    ) -> &mut Self {
+        let cells: Vec<Cell> = cells.into_iter().collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match the {} columns",
+            self.columns.len()
+        );
+        self.rows.push((key.into(), cells));
+        self
+    }
+
+    /// Appends a free-text note rendered under the table.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// The experiment id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a cell by row key and column name.
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&Cell> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let (_, cells) = self.rows.iter().find(|(k, _)| k == row_key)?;
+        cells.get(col)
+    }
+
+    /// Numeric value of a cell, if present.
+    pub fn value(&self, row_key: &str, column: &str) -> Option<f64> {
+        self.cell(row_key, column)?.as_f64()
+    }
+
+    /// Iterates over `(row_key, cells)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Cell])> {
+        self.rows.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Renders a GitHub-flavored markdown table with a title line.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |", self.x_label));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(self.columns.len() + 1));
+        out.push_str("|\n");
+        for (key, cells) in &self.rows {
+            out.push_str(&format!("| {key} |"));
+            for c in cells {
+                out.push_str(&format!(" {} |", c.render()));
+            }
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+
+    /// Renders comma-separated values (header row first, notes omitted).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = escape(&self.x_label);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&escape(c));
+        }
+        out.push('\n');
+        for (key, cells) in &self.rows {
+            out.push_str(&escape(key));
+            for c in cells {
+                out.push(',');
+                out.push_str(&escape(&c.render()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("fig00", "Sample", "size");
+        t.columns(["a", "b"]);
+        t.row("1KB", [Cell::Num(1.5), Cell::Missing]);
+        t.row("2KB", [Cell::Int(3), "x".into()]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn lookups_by_key_and_column() {
+        let t = sample();
+        assert_eq!(t.value("1KB", "a"), Some(1.5));
+        assert_eq!(t.value("2KB", "a"), Some(3.0));
+        assert_eq!(t.value("1KB", "b"), None);
+        assert_eq!(t.cell("9KB", "a"), None);
+        assert_eq!(t.cell("1KB", "zzz"), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_has_header_rows_and_notes() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### fig00 — Sample"));
+        assert!(md.contains("| size | a | b |"));
+        assert!(md.contains("| 1KB | 1.50 | - |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", "t", "k");
+        t.columns(["a,b"]);
+        t.row("r", ["v\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"v\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", "t", "k");
+        t.columns(["a", "b"]);
+        t.row("r", [Cell::Num(1.0)]);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from(2.0_f64).as_f64(), Some(2.0));
+        assert_eq!(Cell::from(7_u64).as_f64(), Some(7.0));
+        assert_eq!(Cell::from(Some(1.0)).as_f64(), Some(1.0));
+        assert_eq!(Cell::from(None).as_f64(), None);
+        assert_eq!(Cell::from("hi").as_f64(), None);
+    }
+}

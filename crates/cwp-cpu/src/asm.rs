@@ -1,0 +1,530 @@
+//! The assembler: text to [`Program`](crate::Program).
+//!
+//! Two-pass, line-oriented. Supported syntax:
+//!
+//! ```text
+//! # comment
+//! .data
+//! table:  .dword 1, 2, 3        # 8-byte values
+//!         .word  4, 5           # 4-byte values
+//! buffer: .space 64             # zeroed bytes
+//!         .align 16
+//! .text
+//! main:
+//!     li    r1, table           # pseudo: address of a data label
+//!     ld    r2, 8(r1)           # doubleword load
+//!     lw    r3, 0(r1)           # word load
+//!     addi  r2, r2, -1
+//!     add   r2, r2, r3          # also sub/mul/and/or/xor/sll/srl/slt/sltu
+//!     sd    r2, 16(r1)
+//!     mv    r4, r2              # pseudo: addi r4, r2, 0
+//!     beq   r2, r0, done        # also bne/blt/bge
+//!     jal   r31, subroutine     # link register gets the return index
+//!     j     main                # pseudo: jal r0, main
+//!     jr    r31
+//! done:
+//!     halt
+//! ```
+//!
+//! Branch/jump targets are instruction *indices* (there is no binary
+//! encoding); `li` of a text label yields its index, so `jr` works for
+//! computed returns.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{AluOp, Cond, Instruction, Reg};
+use crate::workload::Program;
+
+/// Base virtual address of the data segment.
+pub const DATA_BASE: u64 = 0x1000_0000;
+
+/// An assembly error, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Text,
+    Data,
+}
+
+/// A symbol's resolved meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symbol {
+    /// Byte address in the data segment.
+    Data(u64),
+    /// Instruction index in the text segment.
+    Text(usize),
+}
+
+/// Strips a comment and whitespace.
+fn clean(line: &str) -> &str {
+    line.split('#').next().unwrap_or("").trim()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let digits = tok.strip_prefix('r').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected register, got '{tok}'"),
+    })?;
+    match digits.parse::<u8>() {
+        Ok(n) if n < 32 => Ok(Reg::new(n)),
+        _ => err(line, format!("bad register '{tok}'")),
+    }
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad integer '{tok}'")),
+    }
+}
+
+/// Parses `imm` or a symbol (data address / text index).
+fn parse_value(tok: &str, symbols: &HashMap<String, Symbol>, line: usize) -> Result<i64, AsmError> {
+    if tok.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+        return parse_int(tok, line);
+    }
+    match symbols.get(tok) {
+        Some(Symbol::Data(addr)) => Ok(*addr as i64),
+        Some(Symbol::Text(idx)) => Ok(*idx as i64),
+        None => err(line, format!("undefined symbol '{tok}'")),
+    }
+}
+
+/// Parses `offset(rN)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let open = tok.find('(').ok_or_else(|| AsmError {
+        line,
+        message: format!("expected off(reg), got '{tok}'"),
+    })?;
+    if !tok.ends_with(')') {
+        return err(line, format!("expected off(reg), got '{tok}'"));
+    }
+    let off_str = &tok[..open];
+    let reg_str = &tok[open + 1..tok.len() - 1];
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_int(off_str, line)?
+    };
+    Ok((offset, parse_reg(reg_str, line)?))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+struct FirstPass {
+    symbols: HashMap<String, Symbol>,
+    data: Vec<u8>,
+    /// (line number, mnemonic, operands) for pass two.
+    text: Vec<(usize, String, Vec<String>)>,
+}
+
+fn first_pass(source: &str) -> Result<FirstPass, AsmError> {
+    let mut segment = Segment::Text;
+    let mut symbols = HashMap::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut text: Vec<(usize, String, Vec<String>)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = clean(raw);
+        if line.is_empty() {
+            continue;
+        }
+
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = line.find(':') {
+            let (name, rest) = line.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || name.starts_with(|c: char| c.is_ascii_digit())
+            {
+                break;
+            }
+            let symbol = match segment {
+                Segment::Text => Symbol::Text(text.len()),
+                Segment::Data => Symbol::Data(DATA_BASE + data.len() as u64),
+            };
+            if symbols.insert(name.to_string(), symbol).is_some() {
+                return err(lineno, format!("duplicate label '{name}'"));
+            }
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        let (head, rest) = match line.split_once(char::is_whitespace) {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+
+        match head {
+            ".text" => segment = Segment::Text,
+            ".data" => segment = Segment::Data,
+            ".word" | ".dword" => {
+                if segment != Segment::Data {
+                    return err(lineno, format!("{head} outside .data"));
+                }
+                let width = if head == ".word" { 4 } else { 8 };
+                // Natural alignment for the values.
+                while !data.len().is_multiple_of(width) {
+                    data.push(0);
+                }
+                for tok in split_operands(rest) {
+                    let v = parse_int(&tok, lineno)?;
+                    data.extend_from_slice(&(v as u64).to_le_bytes()[..width]);
+                }
+            }
+            ".space" => {
+                if segment != Segment::Data {
+                    return err(lineno, ".space outside .data");
+                }
+                let n = parse_int(rest, lineno)?;
+                if n < 0 {
+                    return err(lineno, "negative .space");
+                }
+                data.resize(data.len() + n as usize, 0);
+            }
+            ".align" => {
+                if segment != Segment::Data {
+                    return err(lineno, ".align outside .data");
+                }
+                let n = parse_int(rest, lineno)?;
+                if n <= 0 || (n as u64) & (n as u64 - 1) != 0 {
+                    return err(lineno, "alignment must be a positive power of two");
+                }
+                while !(data.len() as u64).is_multiple_of(n as u64) {
+                    data.push(0);
+                }
+            }
+            directive if directive.starts_with('.') => {
+                return err(lineno, format!("unknown directive '{directive}'"));
+            }
+            mnemonic => {
+                if segment != Segment::Text {
+                    return err(lineno, format!("instruction '{mnemonic}' outside .text"));
+                }
+                text.push((lineno, mnemonic.to_string(), split_operands(rest)));
+            }
+        }
+    }
+    Ok(FirstPass {
+        symbols,
+        data,
+        text,
+    })
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" | "addi" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" | "andi" => AluOp::And,
+        "or" | "ori" => AluOp::Or,
+        "xor" | "xori" => AluOp::Xor,
+        "sll" | "slli" => AluOp::Sll,
+        "srl" | "srli" => AluOp::Srl,
+        "slt" | "slti" => AluOp::Slt,
+        "sltu" | "sltui" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "beq" => Cond::Eq,
+        "bne" => Cond::Ne,
+        "blt" => Cond::Lt,
+        "bge" => Cond::Ge,
+        _ => return None,
+    })
+}
+
+fn want(ops: &[String], n: usize, line: usize, mnemonic: &str) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        err(
+            line,
+            format!("'{mnemonic}' takes {n} operands, got {}", ops.len()),
+        )
+    }
+}
+
+fn text_target(
+    tok: &str,
+    symbols: &HashMap<String, Symbol>,
+    line: usize,
+) -> Result<usize, AsmError> {
+    match symbols.get(tok) {
+        Some(Symbol::Text(idx)) => Ok(*idx),
+        Some(Symbol::Data(_)) => err(line, format!("'{tok}' is a data label, not code")),
+        None => err(line, format!("undefined label '{tok}'")),
+    }
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let FirstPass {
+        symbols,
+        data,
+        text,
+    } = first_pass(source)?;
+    let mut insts = Vec::with_capacity(text.len());
+
+    for (line, mnemonic, ops) in &text {
+        let line = *line;
+        let inst = match mnemonic.as_str() {
+            m if alu_op(m).is_some() => {
+                let op = alu_op(m).expect("checked by the guard");
+                want(ops, 3, line, m)?;
+                let rd = parse_reg(&ops[0], line)?;
+                let rs = parse_reg(&ops[1], line)?;
+                if m.ends_with('i') {
+                    let imm = parse_value(&ops[2], &symbols, line)?;
+                    Instruction::AluImm { op, rd, rs, imm }
+                } else if ops[2].starts_with('r') && parse_reg(&ops[2], line).is_ok() {
+                    let rt = parse_reg(&ops[2], line)?;
+                    Instruction::Alu { op, rd, rs, rt }
+                } else {
+                    let imm = parse_value(&ops[2], &symbols, line)?;
+                    Instruction::AluImm { op, rd, rs, imm }
+                }
+            }
+            "li" => {
+                want(ops, 2, line, "li")?;
+                Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd: parse_reg(&ops[0], line)?,
+                    rs: Reg::ZERO,
+                    imm: parse_value(&ops[1], &symbols, line)?,
+                }
+            }
+            "mv" => {
+                want(ops, 2, line, "mv")?;
+                Instruction::AluImm {
+                    op: AluOp::Add,
+                    rd: parse_reg(&ops[0], line)?,
+                    rs: parse_reg(&ops[1], line)?,
+                    imm: 0,
+                }
+            }
+            "ld" | "lw" => {
+                want(ops, 2, line, mnemonic)?;
+                let (offset, rs) = parse_mem(&ops[1], line)?;
+                Instruction::Load {
+                    rd: parse_reg(&ops[0], line)?,
+                    rs,
+                    offset,
+                    bytes: if mnemonic == "ld" { 8 } else { 4 },
+                }
+            }
+            "sd" | "sw" => {
+                want(ops, 2, line, mnemonic)?;
+                let (offset, rs) = parse_mem(&ops[1], line)?;
+                Instruction::Store {
+                    rt: parse_reg(&ops[0], line)?,
+                    rs,
+                    offset,
+                    bytes: if mnemonic == "sd" { 8 } else { 4 },
+                }
+            }
+            m if branch_cond(m).is_some() => {
+                want(ops, 3, line, m)?;
+                Instruction::Branch {
+                    cond: branch_cond(m).expect("checked by the guard"),
+                    rs: parse_reg(&ops[0], line)?,
+                    rt: parse_reg(&ops[1], line)?,
+                    target: text_target(&ops[2], &symbols, line)?,
+                }
+            }
+            "jal" => {
+                want(ops, 2, line, "jal")?;
+                Instruction::Jal {
+                    rd: parse_reg(&ops[0], line)?,
+                    target: text_target(&ops[1], &symbols, line)?,
+                }
+            }
+            "j" => {
+                want(ops, 1, line, "j")?;
+                Instruction::Jal {
+                    rd: Reg::ZERO,
+                    target: text_target(&ops[0], &symbols, line)?,
+                }
+            }
+            "jr" => {
+                want(ops, 1, line, "jr")?;
+                Instruction::Jr {
+                    rs: parse_reg(&ops[0], line)?,
+                }
+            }
+            "halt" => {
+                want(ops, 0, line, "halt")?;
+                Instruction::Halt
+            }
+            other => return err(line, format!("unknown instruction '{other}'")),
+        };
+        insts.push(inst);
+    }
+
+    let entry = match symbols.get("main") {
+        Some(Symbol::Text(idx)) => *idx,
+        Some(Symbol::Data(_)) => return err(0, "'main' must be a text label"),
+        None => 0,
+    };
+    let data_symbols = symbols
+        .into_iter()
+        .map(|(name, sym)| match sym {
+            Symbol::Data(addr) => (name, addr),
+            Symbol::Text(idx) => (name, idx as u64),
+        })
+        .collect();
+    Ok(Program::from_parts(
+        insts,
+        data,
+        DATA_BASE,
+        data_symbols,
+        entry,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_minimal_program() {
+        let p = assemble("main:\n  li r1, 5\n  halt\n").unwrap();
+        assert_eq!(p.instructions().len(), 2);
+        assert_eq!(p.entry(), 0);
+    }
+
+    #[test]
+    fn data_labels_resolve_to_addresses() {
+        let p = assemble(".data\nx: .dword 7\ny: .word 1, 2\n.text\nmain: halt\n").unwrap();
+        assert_eq!(p.symbol("x"), Some(DATA_BASE));
+        assert_eq!(p.symbol("y"), Some(DATA_BASE + 8));
+        assert_eq!(p.data().len(), 16);
+        assert_eq!(p.data()[0], 7);
+    }
+
+    #[test]
+    fn alignment_and_space() {
+        let p = assemble(".data\n.word 1\n.align 16\nbuf: .space 32\n.text\nmain: halt\n").unwrap();
+        assert_eq!(p.symbol("buf"), Some(DATA_BASE + 16));
+        assert_eq!(p.data().len(), 48);
+    }
+
+    #[test]
+    fn branches_resolve_forward_and_backward() {
+        let p = assemble(
+            "main:\n  li r1, 3\nloop:\n  addi r1, r1, -1\n  bne r1, r0, loop\n  beq r0, r0, end\n  halt\nend:\n  halt\n",
+        )
+        .unwrap();
+        match p.instructions()[2] {
+            Instruction::Branch { target, .. } => assert_eq!(target, 1),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+        match p.instructions()[3] {
+            Instruction::Branch { target, .. } => assert_eq!(target, 5),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("main:\n  frob r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frob"));
+        let e = assemble("main:\n  beq r1, r0, nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+        let e = assemble("x: .word 1\n").unwrap_err();
+        assert!(e.message.contains("outside .data"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let e = assemble("main:\nmain: halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let p = assemble("main:\n  ld r1, -8(r2)\n  sw r3, (r4)\n  halt\n").unwrap();
+        assert_eq!(
+            p.instructions()[0],
+            Instruction::Load {
+                rd: Reg::new(1),
+                rs: Reg::new(2),
+                offset: -8,
+                bytes: 8
+            }
+        );
+        assert_eq!(
+            p.instructions()[1],
+            Instruction::Store {
+                rt: Reg::new(3),
+                rs: Reg::new(4),
+                offset: 0,
+                bytes: 4
+            }
+        );
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("main:\n  li r1, 0x10\n  li r2, -3\n  halt\n").unwrap();
+        match p.instructions()[0] {
+            Instruction::AluImm { imm, .. } => assert_eq!(imm, 16),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match p.instructions()[1] {
+            Instruction::AluImm { imm, .. } => assert_eq!(imm, -3),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! The interpreter.
+
+use std::error::Error;
+use std::fmt;
+
+use cwp_trace::{MemRef, TraceSink, TraceSummary};
+
+use crate::isa::Instruction;
+use crate::port::DataPort;
+use crate::workload::Program;
+
+/// A runtime fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Control flow left the instruction vector.
+    BadPc {
+        /// The offending instruction index.
+        pc: u64,
+    },
+    /// A memory access was not aligned to its width (the MultiTitan has no
+    /// unaligned accesses).
+    Unaligned {
+        /// The access address.
+        addr: u64,
+        /// The access width.
+        bytes: u8,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::BadPc { pc } => write!(f, "control transfer to bad index {pc}"),
+            CpuError::Unaligned { addr, bytes } => {
+                write!(f, "unaligned {bytes}B access at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for CpuError {}
+
+/// What a [`Cpu::run`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// `true` if the program executed `halt`; `false` if the step budget
+    /// ran out first.
+    pub halted: bool,
+    /// Instruction/load/store totals.
+    pub summary: TraceSummary,
+}
+
+/// The interpreter: a [`Program`] plus 32 registers over a [`DataPort`].
+#[derive(Debug)]
+pub struct Cpu<P> {
+    program: Program,
+    regs: [u64; 32],
+    pc: usize,
+    port: P,
+    loaded: bool,
+}
+
+impl<P: DataPort> Cpu<P> {
+    /// Creates a CPU with `program` over `port`. The data segment is
+    /// loaded into the port on the first run.
+    pub fn new(program: Program, port: P) -> Self {
+        let pc = program.entry();
+        Cpu {
+            program,
+            regs: [0; 32],
+            pc,
+            port,
+            loaded: false,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, index: usize) -> u64 {
+        self.regs[index]
+    }
+
+    /// The memory port (e.g. to inspect cache statistics afterwards).
+    pub fn port(&self) -> &P {
+        &self.port
+    }
+
+    /// Mutable access to the memory port.
+    pub fn port_mut(&mut self) -> &mut P {
+        &mut self.port
+    }
+
+    /// Consumes the CPU, returning the port.
+    pub fn into_port(self) -> P {
+        self.port
+    }
+
+    fn load_data_segment(&mut self) {
+        if !self.loaded {
+            self.port
+                .store(self.program.data_base(), self.program.data());
+            self.loaded = true;
+        }
+    }
+
+    /// Runs until `halt` or `max_steps` instructions, with memory
+    /// references flowing only to the port.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CpuError`] on a bad control transfer or unaligned
+    /// access.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, CpuError> {
+        struct Null;
+        impl TraceSink for Null {
+            fn record(&mut self, _r: MemRef) {}
+        }
+        self.run_traced(max_steps, &mut Null)
+    }
+
+    /// Like [`Cpu::run`], also emitting every data reference into `sink`
+    /// (with instruction gaps counting non-memory instructions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CpuError`] on a bad control transfer or unaligned
+    /// access.
+    pub fn run_traced(
+        &mut self,
+        max_steps: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutcome, CpuError> {
+        self.load_data_segment();
+        let mut summary = TraceSummary::default();
+        let mut gap: u32 = 0;
+        let mut halted = false;
+
+        while summary.instructions < max_steps {
+            let Some(&inst) = self.program.instructions().get(self.pc) else {
+                return Err(CpuError::BadPc { pc: self.pc as u64 });
+            };
+            summary.instructions += 1;
+            gap += 1;
+            self.pc += 1;
+
+            match inst {
+                Instruction::Alu { op, rd, rs, rt } => {
+                    self.write_reg(rd, op.apply(self.regs[rs.index()], self.regs[rt.index()]));
+                }
+                Instruction::AluImm { op, rd, rs, imm } => {
+                    self.write_reg(rd, op.apply(self.regs[rs.index()], imm as u64));
+                }
+                Instruction::Load {
+                    rd,
+                    rs,
+                    offset,
+                    bytes,
+                } => {
+                    let addr = self.regs[rs.index()].wrapping_add(offset as u64);
+                    self.check_aligned(addr, bytes)?;
+                    let mut buf = [0u8; 8];
+                    self.port.load(addr, &mut buf[..bytes as usize]);
+                    self.write_reg(rd, u64::from_le_bytes(buf));
+                    summary.reads += 1;
+                    sink.record(MemRef::read(addr, bytes).with_gap(gap));
+                    gap = 0;
+                }
+                Instruction::Store {
+                    rt,
+                    rs,
+                    offset,
+                    bytes,
+                } => {
+                    let addr = self.regs[rs.index()].wrapping_add(offset as u64);
+                    self.check_aligned(addr, bytes)?;
+                    let buf = self.regs[rt.index()].to_le_bytes();
+                    self.port.store(addr, &buf[..bytes as usize]);
+                    summary.writes += 1;
+                    sink.record(MemRef::write(addr, bytes).with_gap(gap));
+                    gap = 0;
+                }
+                Instruction::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
+                    if cond.holds(self.regs[rs.index()], self.regs[rt.index()]) {
+                        self.pc = target;
+                    }
+                }
+                Instruction::Jal { rd, target } => {
+                    self.write_reg(rd, self.pc as u64);
+                    self.pc = target;
+                }
+                Instruction::Jr { rs } => {
+                    self.pc = self.regs[rs.index()] as usize;
+                }
+                Instruction::Halt => {
+                    halted = true;
+                    break;
+                }
+            }
+        }
+        Ok(RunOutcome { halted, summary })
+    }
+
+    #[inline]
+    fn write_reg(&mut self, rd: crate::isa::Reg, value: u64) {
+        if rd.index() != 0 {
+            self.regs[rd.index()] = value;
+        }
+    }
+
+    #[inline]
+    fn check_aligned(&self, addr: u64, bytes: u8) -> Result<(), CpuError> {
+        if !addr.is_multiple_of(u64::from(bytes)) {
+            Err(CpuError::Unaligned { addr, bytes })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_mem::MainMemory;
+
+    fn run_program(src: &str) -> Cpu<MainMemory> {
+        let program = Program::assemble(src).expect("test program assembles");
+        let mut cpu = Cpu::new(program, MainMemory::new());
+        let outcome = cpu.run(100_000).expect("no fault");
+        assert!(outcome.halted, "program must halt");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_registers() {
+        let cpu =
+            run_program("main:\n li r1, 6\n li r2, 7\n mul r3, r1, r2\n addi r4, r3, -2\n halt\n");
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(cpu.reg(4), 40);
+    }
+
+    #[test]
+    fn r0_is_hardwired_to_zero() {
+        let cpu = run_program("main:\n li r0, 99\n addi r1, r0, 1\n halt\n");
+        assert_eq!(cpu.reg(0), 0);
+        assert_eq!(cpu.reg(1), 1);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let cpu = run_program(
+            ".data\nx: .dword 10\ny: .dword 0\n.text\nmain:\n li r1, x\n ld r2, 0(r1)\n addi r2, r2, 32\n sd r2, 8(r1)\n halt\n",
+        );
+        let y = cpu.program().symbol("y").unwrap();
+        let mut cpu = cpu;
+        let mut buf = [0u8; 8];
+        cpu.port_mut().load(y, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf), 42);
+    }
+
+    #[test]
+    fn word_loads_zero_extend() {
+        let cpu = run_program(
+            ".data\nx: .word 0xffffffff\n.text\nmain:\n li r1, x\n lw r2, 0(r1)\n halt\n",
+        );
+        assert_eq!(cpu.reg(2), 0xffff_ffff);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10.
+        let cpu = run_program(
+            "main:\n li r1, 10\n li r2, 0\nloop:\n add r2, r2, r1\n addi r1, r1, -1\n bne r1, r0, loop\n halt\n",
+        );
+        assert_eq!(cpu.reg(2), 55);
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let cpu = run_program(
+            "main:\n li r1, 5\n jal r31, double\n mv r3, r2\n halt\ndouble:\n add r2, r1, r1\n jr r31\n",
+        );
+        assert_eq!(cpu.reg(3), 10);
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loops() {
+        let program = Program::assemble("main:\n j main\n").unwrap();
+        let mut cpu = Cpu::new(program, MainMemory::new());
+        let outcome = cpu.run(1000).unwrap();
+        assert!(!outcome.halted);
+        assert_eq!(outcome.summary.instructions, 1000);
+    }
+
+    #[test]
+    fn unaligned_access_faults() {
+        let program = Program::assemble("main:\n li r1, 0x1001\n ld r2, 0(r1)\n halt\n").unwrap();
+        let mut cpu = Cpu::new(program, MainMemory::new());
+        let err = cpu.run(100).unwrap_err();
+        assert!(matches!(err, CpuError::Unaligned { bytes: 8, .. }));
+    }
+
+    #[test]
+    fn jump_off_the_end_faults() {
+        let program = Program::assemble("main:\n li r1, 99\n jr r1\n").unwrap();
+        let mut cpu = Cpu::new(program, MainMemory::new());
+        assert!(matches!(cpu.run(100), Err(CpuError::BadPc { .. })));
+    }
+
+    #[test]
+    fn falling_off_the_end_faults() {
+        let program = Program::assemble("main:\n li r1, 1\n").unwrap();
+        let mut cpu = Cpu::new(program, MainMemory::new());
+        assert!(matches!(cpu.run(100), Err(CpuError::BadPc { .. })));
+    }
+}

@@ -1,0 +1,217 @@
+//! The instruction set: a minimal MultiTitan-flavoured load/store RISC.
+//!
+//! Thirty-two 64-bit general registers (`r0` hardwired to zero), word and
+//! doubleword memory operations only (the MultiTitan "does not support
+//! byte loads and stores"), and a handful of ALU and control instructions.
+//! The interpreter works on this enum directly; there is no binary
+//! encoding, so immediates are full `i64`s.
+
+use std::fmt;
+
+/// A general register, `r0`..`r31`. `r0` always reads as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register index {n} out of range");
+        Reg(n)
+    }
+
+    /// The register number.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by the low 6 bits of the right operand).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Set if less than (unsigned): 1 or 0.
+    Sltu,
+    /// Set if less than (signed): 1 or 0.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        }
+    }
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Lt,
+    /// Signed greater or equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    pub fn holds(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+        }
+    }
+}
+
+/// One instruction. Branch and jump targets are indices into the
+/// program's instruction vector (the assembler resolves labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `rd = rs OP rt`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+    },
+    /// `rd = rs OP imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        rs: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// Load `bytes` (4 or 8, zero-extended) from `rs + offset` into `rd`.
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width: 4 or 8.
+        bytes: u8,
+    },
+    /// Store the low `bytes` of `rt` to `rs + offset`.
+    Store {
+        /// Source.
+        rt: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width: 4 or 8.
+        bytes: u8,
+    },
+    /// Branch to `target` if `cond(rs, rt)`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        rs: Reg,
+        /// Right operand.
+        rt: Reg,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Unconditional jump, saving the return index+1 in `rd`.
+    Jal {
+        /// Link register (often `r0` to discard).
+        rd: Reg,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Indirect jump to the instruction index in `rs`.
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0, "wrapping");
+        assert_eq!(AluOp::Sub.apply(3, 5), u64::MAX - 1);
+        assert_eq!(AluOp::Mul.apply(7, 6), 42);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2, "shift masks to 6 bits");
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1, "signed: -1 < 0");
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0, "unsigned: max > 0");
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(Cond::Eq.holds(4, 4));
+        assert!(Cond::Ne.holds(4, 5));
+        assert!(Cond::Lt.holds(u64::MAX, 0), "signed less-than");
+        assert!(Cond::Ge.holds(0, u64::MAX));
+    }
+
+    #[test]
+    fn register_bounds() {
+        assert_eq!(Reg::new(31).index(), 31);
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_32_is_rejected() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,66 @@
+//! A MultiTitan-style RISC interpreter and assembler.
+//!
+//! The paper's data comes from "modifying a simulator for the MultiTitan
+//! architecture" and running real programs on it. This crate closes that
+//! methodological loop for `cwp`: a small load/store RISC with no byte
+//! memory operations (word and doubleword only, like the MultiTitan), an
+//! assembler for it, and an interpreter whose data references flow through
+//! any [`DataPort`] — a flat memory, or any cache hierarchy from
+//! `cwp-cache`.
+//!
+//! Assembled programs also implement [`cwp_trace::Workload`], so
+//! user-written assembly plugs into the whole experiment harness exactly
+//! like the six built-in benchmarks.
+//!
+//! # Examples
+//!
+//! Assemble and run a program against a write-validate cache:
+//!
+//! ```
+//! use cwp_cache::{Cache, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+//! use cwp_cpu::{Cpu, DataPort, Program};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Program::assemble(
+//!     r#"
+//!     .data
+//!     value: .dword 5
+//!     .text
+//!     main:
+//!         li   r1, value
+//!         ld   r2, 0(r1)
+//!         addi r2, r2, 37
+//!         sd   r2, 0(r1)
+//!         halt
+//!     "#,
+//! )?;
+//! let config = CacheConfig::builder()
+//!     .write_hit(WriteHitPolicy::WriteThrough)
+//!     .write_miss(WriteMissPolicy::WriteValidate)
+//!     .build()?;
+//! let mut cpu = Cpu::new(program, Cache::with_memory(config));
+//! let outcome = cpu.run(1_000)?;
+//! assert!(outcome.halted);
+//! let mut buf = [0u8; 8];
+//! let addr = cpu.program().symbol("value").unwrap();
+//! cpu.port_mut().load(addr, &mut buf);
+//! assert_eq!(u64::from_le_bytes(buf), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod isa;
+pub mod port;
+pub mod programs;
+pub mod workload;
+
+pub use asm::AsmError;
+pub use cpu::{Cpu, CpuError, RunOutcome};
+pub use isa::{Instruction, Reg};
+pub use port::DataPort;
+pub use workload::{CpuWorkload, Program};

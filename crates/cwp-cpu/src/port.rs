@@ -1,0 +1,59 @@
+//! The [`DataPort`]: where the CPU's loads and stores go.
+
+use cwp_cache::Cache;
+use cwp_mem::{MainMemory, NextLevel};
+
+/// The CPU-side memory interface: byte-addressed loads and stores.
+///
+/// A flat [`MainMemory`] is the simplest port; a [`Cache`] (over any
+/// hierarchy) is the interesting one — running the same program over
+/// different ports must produce identical architectural results, which is
+/// the ISA-level form of the transparency property.
+pub trait DataPort {
+    /// Fills `buf` from `addr`.
+    fn load(&mut self, addr: u64, buf: &mut [u8]);
+
+    /// Writes `data` at `addr`.
+    fn store(&mut self, addr: u64, data: &[u8]);
+}
+
+impl DataPort for MainMemory {
+    fn load(&mut self, addr: u64, buf: &mut [u8]) {
+        self.read(addr, buf);
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) {
+        self.write(addr, data);
+    }
+}
+
+impl<N: NextLevel> DataPort for Cache<N> {
+    fn load(&mut self, addr: u64, buf: &mut [u8]) {
+        self.read(addr, buf);
+    }
+
+    fn store(&mut self, addr: u64, data: &[u8]) {
+        self.write(addr, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_cache::CacheConfig;
+
+    #[test]
+    fn memory_and_cache_ports_agree() {
+        let mut flat = MainMemory::new();
+        let mut cached = Cache::new(CacheConfig::default(), MainMemory::new());
+        for port in [
+            &mut flat as &mut dyn DataPort,
+            &mut cached as &mut dyn DataPort,
+        ] {
+            port.store(0x40, &[1, 2, 3, 4]);
+            let mut buf = [0u8; 4];
+            port.load(0x40, &mut buf);
+            assert_eq!(buf, [1, 2, 3, 4]);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! [`Program`]: an assembled binary, and [`CpuWorkload`]: a program as a
+//! first-class `cwp-trace` workload.
+
+use std::collections::HashMap;
+
+use cwp_mem::MainMemory;
+use cwp_trace::{Scale, TraceSink, TraceSummary, Workload};
+
+use crate::asm::{self, AsmError};
+use crate::cpu::Cpu;
+use crate::isa::Instruction;
+
+/// An assembled program: instructions, initialized data, and symbols.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Instruction>,
+    data: Vec<u8>,
+    data_base: u64,
+    symbols: HashMap<String, u64>,
+    entry: usize,
+}
+
+impl Program {
+    /// Assembles source text. See [`crate::asm`] for the syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] with the offending source line.
+    pub fn assemble(source: &str) -> Result<Program, AsmError> {
+        asm::assemble(source)
+    }
+
+    pub(crate) fn from_parts(
+        insts: Vec<Instruction>,
+        data: Vec<u8>,
+        data_base: u64,
+        symbols: HashMap<String, u64>,
+        entry: usize,
+    ) -> Program {
+        Program {
+            insts,
+            data,
+            data_base,
+            symbols,
+            entry,
+        }
+    }
+
+    /// The instruction vector.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// The initialized data segment image.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Base address the data segment loads at.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Entry instruction index (`main`, or 0).
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Resolves a label: data labels yield their byte address, text labels
+    /// their instruction index.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// Wraps a [`Program`] as a [`Workload`], so user assembly runs through
+/// the same experiment harness as the built-in benchmarks.
+///
+/// The program executes on a private flat memory; every load and store is
+/// emitted as a trace record, with the instruction gap counting the
+/// non-memory instructions executed since the previous reference. `Scale`
+/// multiplies the whole-program repetition count (data is re-initialized
+/// between repetitions).
+#[derive(Debug, Clone)]
+pub struct CpuWorkload {
+    name: &'static str,
+    description: &'static str,
+    program: Program,
+    /// Repetitions at (test, quick, paper) scale.
+    reps: (u32, u32, u32),
+    max_steps: u64,
+}
+
+impl CpuWorkload {
+    /// Creates a workload from an assembled program.
+    ///
+    /// `reps` gives the whole-program repetition counts at test, quick,
+    /// and paper scale; `max_steps` bounds each repetition (a safety rail
+    /// against non-terminating programs).
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        program: Program,
+        reps: (u32, u32, u32),
+        max_steps: u64,
+    ) -> CpuWorkload {
+        CpuWorkload {
+            name,
+            description,
+            program,
+            reps,
+            max_steps,
+        }
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl Workload for CpuWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
+        let reps = scale.pick(self.reps.0, self.reps.1, self.reps.2);
+        let mut summary = TraceSummary::default();
+        for _ in 0..reps {
+            let mut cpu = Cpu::new(self.program.clone(), MainMemory::new());
+            let outcome = cpu
+                .run_traced(self.max_steps, sink)
+                .expect("assembled program must not fault");
+            assert!(
+                outcome.halted,
+                "program '{}' exceeded {} steps without halting",
+                self.name, self.max_steps
+            );
+            summary.absorb(outcome.summary);
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_trace::stats::TraceStats;
+
+    const LOOPY: &str = r#"
+        .data
+        buf: .space 256
+        .text
+        main:
+            li   r1, buf
+            li   r2, 32          # elements
+        loop:
+            ld   r3, 0(r1)
+            addi r3, r3, 1
+            sd   r3, 0(r1)
+            addi r1, r1, 8
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+    "#;
+
+    #[test]
+    fn cpu_workload_emits_the_programs_references() {
+        let program = Program::assemble(LOOPY).unwrap();
+        let w = CpuWorkload::new("loopy", "increment a buffer", program, (1, 2, 4), 10_000);
+        let mut stats = TraceStats::new();
+        let summary = w.run(Scale::Test, &mut stats);
+        assert_eq!(stats.reads(), 32);
+        assert_eq!(stats.writes(), 32);
+        assert_eq!(summary.reads, 32);
+        // 2 setup + 32 * 6 loop instructions + halt.
+        assert_eq!(summary.instructions, 2 + 32 * 6 + 1);
+    }
+
+    #[test]
+    fn scale_multiplies_repetitions() {
+        let program = Program::assemble(LOOPY).unwrap();
+        let w = CpuWorkload::new("loopy", "increment a buffer", program, (1, 2, 4), 10_000);
+        let mut a = TraceStats::new();
+        w.run(Scale::Test, &mut a);
+        let mut b = TraceStats::new();
+        w.run(Scale::Quick, &mut b);
+        assert_eq!(b.reads(), 2 * a.reads());
+    }
+}

@@ -1,0 +1,129 @@
+//! ISA-level transparency: the same program must compute the same result
+//! over a flat memory and over every cache configuration.
+
+use cwp_cache::{Cache, CacheConfig, ConfigError, WriteHitPolicy, WriteMissPolicy};
+use cwp_cpu::{programs, Cpu, CpuWorkload, DataPort};
+use cwp_mem::MainMemory;
+
+fn all_configs() -> Vec<CacheConfig> {
+    let mut configs = Vec::new();
+    for hit in WriteHitPolicy::ALL {
+        for miss in WriteMissPolicy::ALL {
+            for (size, line) in [(1 << 10, 16u32), (2 << 10, 8)] {
+                match CacheConfig::builder()
+                    .size_bytes(size)
+                    .line_bytes(line)
+                    .write_hit(hit)
+                    .write_miss(miss)
+                    .build()
+                {
+                    Ok(c) => configs.push(c),
+                    Err(ConfigError::PolicyConflict { .. }) => {}
+                    Err(e) => panic!("unexpected config error: {e}"),
+                }
+            }
+        }
+    }
+    configs
+}
+
+/// Runs the program to completion over `port` and returns the bytes of
+/// its whole data segment afterwards.
+fn final_data_segment<P: DataPort>(w: &CpuWorkload, port: P) -> (Vec<u8>, P) {
+    let mut cpu = Cpu::new(w.program().clone(), port);
+    let outcome = cpu.run(50_000_000).expect("program must not fault");
+    assert!(outcome.halted, "{} must halt", w.program().data().len());
+    let base = w.program().data_base();
+    let len = w.program().data().len();
+    let mut image = vec![0u8; len];
+    let mut port = cpu.into_port();
+    port.load(base, &mut image);
+    (image, port)
+}
+
+#[test]
+fn every_policy_computes_the_same_results() {
+    for w in [
+        programs::axpy(),
+        programs::memcpy(),
+        programs::fill(),
+        programs::sort(),
+    ] {
+        let (golden, _) = final_data_segment(&w, MainMemory::new());
+        for config in all_configs() {
+            let cache = Cache::new(config, MainMemory::new());
+            let (got, mut cache) = final_data_segment(&w, cache);
+            // Reading through the cache already merges pending state; the
+            // image must match byte for byte.
+            assert_eq!(got, golden, "{config}: data segment diverged");
+            // And after a flush, memory itself must hold the same image.
+            cache.flush();
+            let mut flat = vec![0u8; golden.len()];
+            cache
+                .next_level_mut()
+                .load(w.program().data_base(), &mut flat);
+            assert_eq!(flat, golden, "{config}: memory diverged after flush");
+        }
+    }
+}
+
+/// Runs the program over a fresh write-through cache with the given miss
+/// policy and returns the fetch count (no verification reads, which would
+/// add fetches of their own).
+fn run_fetches(w: &CpuWorkload, miss: WriteMissPolicy) -> u64 {
+    let config = CacheConfig::builder()
+        .size_bytes(1 << 10)
+        .line_bytes(16)
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(miss)
+        .build()
+        .unwrap();
+    let mut cpu = Cpu::new(w.program().clone(), Cache::new(config, MainMemory::new()));
+    // Load the data segment (a bulk store) and discard its traffic so only
+    // the program's own references are counted.
+    cpu.run(0).expect("segment load cannot fault");
+    cpu.port_mut().reset_stats();
+    let outcome = cpu.run(50_000_000).expect("program must not fault");
+    assert!(outcome.halted);
+    cpu.port().stats().fetches
+}
+
+#[test]
+fn block_copy_policy_traffic_matches_the_papers_argument() {
+    // Section 4: on a large copy, fetch-on-write fetches the destination
+    // lines only to overwrite them; write-validate skips those fetches.
+    let w = programs::memcpy();
+    let fow = run_fetches(&w, WriteMissPolicy::FetchOnWrite);
+    let wv = run_fetches(&w, WriteMissPolicy::WriteValidate);
+    assert!(
+        wv * 3 < fow * 2,
+        "write-validate ({wv}) should fetch about half of fetch-on-write ({fow})"
+    );
+}
+
+#[test]
+fn axpy_gains_little_from_write_validate() {
+    // linpack's inner loop is read-modify-write: the load fetches the line
+    // before the store, so write-validate has nothing left to remove.
+    let w = programs::axpy();
+    let fow = run_fetches(&w, WriteMissPolicy::FetchOnWrite);
+    let wv = run_fetches(&w, WriteMissPolicy::WriteValidate);
+    // Every store follows a load of the same line, so there is nothing
+    // for write-validate to remove.
+    assert!(
+        wv * 10 > fow * 9,
+        "axpy should not benefit much from write-validate: {wv} vs {fow}"
+    );
+}
+
+#[test]
+fn fill_is_the_ideal_write_validate_case() {
+    let w = programs::fill();
+    let fow = run_fetches(&w, WriteMissPolicy::FetchOnWrite);
+    let wv = run_fetches(&w, WriteMissPolicy::WriteValidate);
+    assert!(
+        fow >= 256,
+        "filling 4KB through 16B lines must miss every line"
+    );
+    assert_eq!(wv, 0, "write-validate never fetches on a pure fill");
+}

@@ -1,0 +1,274 @@
+//! The five-stage pipeline store-timing model (Figure 3, Table 2).
+//!
+//! The paper's sixth dimension of write-hit comparison is how stores fit
+//! the machine pipeline (IF RF ALU MEM WB):
+//!
+//! * A **direct-mapped write-through** cache writes data and probes the tag
+//!   in the same cycle — every store costs one cycle.
+//! * A **write-back (or set-associative) cache** must probe before writing:
+//!   two cycles of cache occupancy, interlocking when a load or store
+//!   follows immediately.
+//! * The **delayed-write method** (Figure 4) recovers one-cycle stores by
+//!   writing the previous store's data during the current store's probe.
+//!
+//! [`StorePipeline`] consumes a workload trace (it is a
+//! [`cwp_trace::TraceSink`]), runs an embedded cache to learn which probes
+//! hit, and charges interlock cycles per the selected [`StoreTiming`].
+//! Cache-miss service itself is excluded, as in the paper's write-buffer
+//! analysis — the model isolates the *store bandwidth* question.
+//!
+//! # Examples
+//!
+//! ```
+//! use cwp_pipeline::{StorePipeline, StoreTiming};
+//! use cwp_trace::{workloads, Scale, Workload};
+//!
+//! let mut pipe = StorePipeline::for_timing(StoreTiming::ProbeThenWrite);
+//! workloads::yacc().run(Scale::Test, &mut pipe);
+//! assert!(pipe.stats().cpi() > 1.0, "probe-then-write costs interlocks");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use cwp_buffers::{DelayedWriteRegister, StoreCycles};
+use cwp_cache::{Cache, CacheConfig, MemoryCache, WriteHitPolicy, WriteMissPolicy};
+use cwp_trace::{AccessKind, MemRef, TraceSink};
+
+/// How stores are timed at the first-level cache interface (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreTiming {
+    /// Direct-mapped write-through: data write and tag probe share the MEM
+    /// cycle. One cycle per store, no interlocks.
+    WriteThroughDirectMapped,
+    /// Straightforward write-back or set-associative write-through: probe
+    /// in MEM, write in WB. A memory reference in the very next
+    /// instruction interlocks for one cycle.
+    ProbeThenWrite,
+    /// The delayed-write register (Figure 4): one cycle per store while
+    /// the previous probe hit and no read miss intervened.
+    DelayedWrite,
+}
+
+impl StoreTiming {
+    /// All three timings.
+    pub const ALL: [StoreTiming; 3] = [
+        StoreTiming::WriteThroughDirectMapped,
+        StoreTiming::ProbeThenWrite,
+        StoreTiming::DelayedWrite,
+    ];
+}
+
+impl fmt::Display for StoreTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreTiming::WriteThroughDirectMapped => f.write_str("write-through direct-mapped"),
+            StoreTiming::ProbeThenWrite => f.write_str("probe-then-write"),
+            StoreTiming::DelayedWrite => f.write_str("delayed-write"),
+        }
+    }
+}
+
+/// Cycle accounting from a [`StorePipeline`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Dynamic instructions.
+    pub instructions: u64,
+    /// Loads processed.
+    pub loads: u64,
+    /// Stores processed.
+    pub stores: u64,
+    /// Extra cycles charged to store/reference structural interlocks.
+    pub interlock_cycles: u64,
+    /// Stores that needed a second cache cycle.
+    pub two_cycle_stores: u64,
+}
+
+impl PipelineStats {
+    /// Total cycles: one per instruction plus interlocks (miss service
+    /// excluded by construction).
+    pub fn cycles(&self) -> u64 {
+        self.instructions + self.interlock_cycles
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles() as f64 / self.instructions as f64
+    }
+
+    /// Fraction of stores needing two cache cycles.
+    pub fn two_cycle_store_fraction(&self) -> Option<f64> {
+        (self.stores > 0).then(|| self.two_cycle_stores as f64 / self.stores as f64)
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts, {} cycles (CPI {:.3})",
+            self.instructions,
+            self.cycles(),
+            self.cpi()
+        )
+    }
+}
+
+/// A trace-driven store-timing simulator. See the crate documentation.
+#[derive(Debug)]
+pub struct StorePipeline {
+    timing: StoreTiming,
+    cache: MemoryCache,
+    register: DelayedWriteRegister,
+    /// The previous store still occupies the cache for one more cycle.
+    blocking: bool,
+    stats: PipelineStats,
+    scratch: Vec<u8>,
+}
+
+impl StorePipeline {
+    /// Creates a pipeline over a cache with the given configuration.
+    pub fn new(timing: StoreTiming, config: CacheConfig) -> Self {
+        StorePipeline {
+            timing,
+            cache: Cache::with_memory(config),
+            register: DelayedWriteRegister::new(),
+            blocking: false,
+            stats: PipelineStats::default(),
+            scratch: vec![0u8; 8],
+        }
+    }
+
+    /// Creates a pipeline over the natural cache for each timing: an 8KB
+    /// direct-mapped cache, write-through for
+    /// [`StoreTiming::WriteThroughDirectMapped`] and write-back otherwise.
+    pub fn for_timing(timing: StoreTiming) -> Self {
+        let hit = match timing {
+            StoreTiming::WriteThroughDirectMapped => WriteHitPolicy::WriteThrough,
+            _ => WriteHitPolicy::WriteBack,
+        };
+        let config = CacheConfig::builder()
+            .write_hit(hit)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .expect("default geometry is valid");
+        Self::new(timing, config)
+    }
+
+    /// The timing model in effect.
+    pub fn timing(&self) -> StoreTiming {
+        self.timing
+    }
+
+    /// Cycle accounting so far.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// The embedded cache (for inspecting hit/miss counts).
+    pub fn cache(&self) -> &MemoryCache {
+        &self.cache
+    }
+}
+
+impl TraceSink for StorePipeline {
+    fn record(&mut self, r: MemRef) {
+        self.stats.instructions += u64::from(r.before_insts);
+
+        // A store occupying the cache interlocks a reference issued in the
+        // immediately following instruction.
+        if self.blocking && r.before_insts == 1 {
+            self.stats.interlock_cycles += 1;
+        }
+        self.blocking = false;
+
+        let len = r.size as usize;
+        match r.kind {
+            AccessKind::Read => {
+                self.stats.loads += 1;
+                let misses_before = self.cache.stats().read_misses;
+                let forwarded = self.register.read(r.addr);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                self.cache.read(r.addr, &mut scratch[..len]);
+                self.scratch = scratch;
+                if self.cache.stats().read_misses > misses_before && !forwarded {
+                    self.register.read_miss();
+                }
+            }
+            AccessKind::Write => {
+                self.stats.stores += 1;
+                let probe_hit = self.cache.is_resident(r.addr, len);
+                let scratch = std::mem::take(&mut self.scratch);
+                self.cache.write(r.addr, &scratch[..len]);
+                self.scratch = scratch;
+                let slow = match self.timing {
+                    StoreTiming::WriteThroughDirectMapped => false,
+                    StoreTiming::ProbeThenWrite => true,
+                    StoreTiming::DelayedWrite => {
+                        self.register.store(r.addr, probe_hit) == StoreCycles::Two
+                    }
+                };
+                if slow {
+                    self.stats.two_cycle_stores += 1;
+                    self.blocking = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_trace::{workloads, Scale};
+
+    fn run(timing: StoreTiming) -> PipelineStats {
+        let mut pipe = StorePipeline::for_timing(timing);
+        workloads::ccom().run(Scale::Test, &mut pipe);
+        pipe.stats()
+    }
+
+    #[test]
+    fn write_through_direct_mapped_has_no_interlocks() {
+        let s = run(StoreTiming::WriteThroughDirectMapped);
+        assert_eq!(s.interlock_cycles, 0);
+        assert_eq!(s.cpi(), 1.0);
+        assert_eq!(s.two_cycle_store_fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn probe_then_write_pays_interlocks() {
+        let s = run(StoreTiming::ProbeThenWrite);
+        assert!(s.interlock_cycles > 0);
+        assert!(s.cpi() > 1.0);
+        assert_eq!(s.two_cycle_stores, s.stores);
+    }
+
+    #[test]
+    fn delayed_write_recovers_most_of_the_gap() {
+        let plain = run(StoreTiming::ProbeThenWrite);
+        let delayed = run(StoreTiming::DelayedWrite);
+        let fast = run(StoreTiming::WriteThroughDirectMapped);
+        assert!(delayed.cpi() < plain.cpi());
+        assert!(delayed.cpi() >= fast.cpi());
+        // Most probes hit, so most stores should be single-cycle.
+        assert!(delayed.two_cycle_store_fraction().unwrap() < 0.5);
+    }
+
+    #[test]
+    fn instruction_counts_match_the_trace() {
+        let mut pipe = StorePipeline::for_timing(StoreTiming::DelayedWrite);
+        let summary = workloads::liver().run(Scale::Test, &mut pipe);
+        assert_eq!(pipe.stats().instructions, summary.instructions);
+        assert_eq!(pipe.stats().loads, summary.reads);
+        assert_eq!(pipe.stats().stores, summary.writes);
+    }
+
+    #[test]
+    fn timing_display_names() {
+        assert_eq!(StoreTiming::DelayedWrite.to_string(), "delayed-write");
+        assert_eq!(StoreTiming::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! In-memory trace capture, for tests and small-scale inspection.
+
+use crate::record::MemRef;
+use crate::workload::TraceSink;
+
+/// A [`TraceSink`] that stores every record in a `Vec`.
+///
+/// Intended for tests and for inspecting short runs; full-scale traces run
+/// to tens of millions of records, so prefer streaming sinks for real
+/// simulations.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_trace::{capture::Capture, workloads, Scale, Workload};
+///
+/// let mut capture = Capture::new();
+/// workloads::liver().run(Scale::Test, &mut capture);
+/// assert!(!capture.records().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    records: Vec<MemRef>,
+}
+
+impl Capture {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a capture buffer with space for `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        Capture {
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// The captured records, in emission order.
+    pub fn records(&self) -> &[MemRef] {
+        &self.records
+    }
+
+    /// Consumes the capture, returning the records.
+    pub fn into_records(self) -> Vec<MemRef> {
+        self.records
+    }
+
+    /// Number of captured records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over captured records.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemRef> {
+        self.records.iter()
+    }
+}
+
+impl TraceSink for Capture {
+    #[inline]
+    fn record(&mut self, r: MemRef) {
+        self.records.push(r);
+    }
+}
+
+impl Extend<MemRef> for Capture {
+    fn extend<T: IntoIterator<Item = MemRef>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<MemRef> for Capture {
+    fn from_iter<T: IntoIterator<Item = MemRef>>(iter: T) -> Self {
+        Capture {
+            records: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Capture {
+    type Item = &'a MemRef;
+    type IntoIter = std::slice::Iter<'a, MemRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Capture {
+    type Item = MemRef;
+    type IntoIter = std::vec::IntoIter<MemRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_preserves_order() {
+        let mut c = Capture::new();
+        c.record(MemRef::read(0x10, 4));
+        c.record(MemRef::write(0x20, 8));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.records()[0].addr, 0x10);
+        assert_eq!(c.records()[1].addr, 0x20);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let refs = [MemRef::read(0x0, 4), MemRef::read(0x8, 8)];
+        let c: Capture = refs.iter().copied().collect();
+        let addrs: Vec<u64> = (&c).into_iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, [0x0, 0x8]);
+        let owned: Vec<MemRef> = c.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut c = Capture::with_capacity(4);
+        c.extend([MemRef::write(0x40, 4)]);
+        assert_eq!(c.into_records().len(), 1);
+    }
+}

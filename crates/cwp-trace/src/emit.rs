@@ -1,0 +1,156 @@
+//! The [`Emitter`]: the pen that workload generators write traces with.
+
+use crate::record::{AccessKind, MemRef};
+use crate::workload::{TraceSink, TraceSummary};
+
+/// Accumulates instruction gaps and forwards references to a [`TraceSink`].
+///
+/// Generators call [`Emitter::insts`] for compute-only instructions and
+/// [`Emitter::load`]/[`Emitter::store`] for memory instructions; the emitter
+/// attaches the accumulated gap to the next reference, keeping generator
+/// code free of bookkeeping. It also tallies the [`TraceSummary`] that
+/// [`crate::Workload::run`] returns.
+pub struct Emitter<'a> {
+    sink: &'a mut dyn TraceSink,
+    pending_insts: u64,
+    summary: TraceSummary,
+}
+
+impl<'a> Emitter<'a> {
+    /// Wraps a sink in a fresh emitter.
+    pub fn new(sink: &'a mut dyn TraceSink) -> Self {
+        Emitter {
+            sink,
+            pending_insts: 0,
+            summary: TraceSummary::default(),
+        }
+    }
+
+    /// Records `n` compute-only (non-memory) instructions.
+    #[inline]
+    pub fn insts(&mut self, n: u32) {
+        self.pending_insts += u64::from(n);
+    }
+
+    /// Emits an aligned load of `size` bytes (4 or 8) at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 4 or 8 or `addr` is unaligned.
+    #[inline]
+    pub fn load(&mut self, addr: u64, size: u8) {
+        self.emit(AccessKind::Read, addr, size);
+    }
+
+    /// Emits an aligned store of `size` bytes (4 or 8) at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 4 or 8 or `addr` is unaligned.
+    #[inline]
+    pub fn store(&mut self, addr: u64, size: u8) {
+        self.emit(AccessKind::Write, addr, size);
+    }
+
+    /// Emits an 8-byte load; doubles are MultiTitan's native word for
+    /// numeric code.
+    #[inline]
+    pub fn load8(&mut self, addr: u64) {
+        self.load(addr, 8);
+    }
+
+    /// Emits an 8-byte store.
+    #[inline]
+    pub fn store8(&mut self, addr: u64) {
+        self.store(addr, 8);
+    }
+
+    /// Emits a 4-byte load.
+    #[inline]
+    pub fn load4(&mut self, addr: u64) {
+        self.load(addr, 4);
+    }
+
+    /// Emits a 4-byte store.
+    #[inline]
+    pub fn store4(&mut self, addr: u64) {
+        self.store(addr, 4);
+    }
+
+    #[inline]
+    fn emit(&mut self, kind: AccessKind, addr: u64, size: u8) {
+        // The referencing instruction itself plus any pending compute gap.
+        let gap = (self.pending_insts + 1).min(u64::from(u32::MAX)) as u32;
+        self.pending_insts = 0;
+        self.summary.instructions += u64::from(gap);
+        match kind {
+            AccessKind::Read => self.summary.reads += 1,
+            AccessKind::Write => self.summary.writes += 1,
+        }
+        let r = match kind {
+            AccessKind::Read => MemRef::read(addr, size),
+            AccessKind::Write => MemRef::write(addr, size),
+        };
+        self.sink.record(r.with_gap(gap));
+    }
+
+    /// Finishes the run: folds any trailing compute-only instructions into
+    /// the instruction count and returns the totals.
+    pub fn finish(mut self) -> TraceSummary {
+        self.summary.instructions += self.pending_insts;
+        self.pending_insts = 0;
+        self.summary
+    }
+
+    /// The totals so far, excluding any pending compute gap.
+    pub fn summary(&self) -> TraceSummary {
+        self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_attach_to_the_next_reference() {
+        let mut seen = Vec::new();
+        let mut sink = |r: MemRef| seen.push(r);
+        let mut e = Emitter::new(&mut sink);
+        e.insts(3);
+        e.load8(0x100);
+        e.store4(0x200);
+        let summary = e.finish();
+
+        assert_eq!(seen[0].before_insts, 4, "3 compute + the load itself");
+        assert_eq!(seen[1].before_insts, 1);
+        assert_eq!(summary.instructions, 5);
+        assert_eq!(summary.reads, 1);
+        assert_eq!(summary.writes, 1);
+    }
+
+    #[test]
+    fn trailing_compute_counts_toward_instructions() {
+        let mut sink = |_r: MemRef| {};
+        let mut e = Emitter::new(&mut sink);
+        e.load4(0x10);
+        e.insts(9);
+        assert_eq!(e.summary().instructions, 1, "pending gap not yet folded in");
+        let summary = e.finish();
+        assert_eq!(summary.instructions, 10);
+    }
+
+    #[test]
+    fn width_helpers_set_sizes() {
+        let mut seen = Vec::new();
+        let mut sink = |r: MemRef| seen.push(r);
+        let mut e = Emitter::new(&mut sink);
+        e.load4(0x4);
+        e.load8(0x8);
+        e.store4(0xc);
+        e.store8(0x10);
+        e.finish();
+        let sizes: Vec<u8> = seen.iter().map(|r| r.size).collect();
+        assert_eq!(sizes, [4, 8, 4, 8]);
+    }
+}

@@ -1,0 +1,328 @@
+//! `ccom`: a multi-pass C-compiler model.
+//!
+//! Models the MultiTitan C compiler front end: for each function it lexes a
+//! token stream, builds an AST in an arena, type-checks it, emits code into
+//! an output buffer, and peephole-optimizes the output.
+//!
+//! Fidelity targets from the paper:
+//!
+//! * "write-validate would be useful for a compiler if it has a number of
+//!   sequential passes, each one reading the data structure written by the
+//!   last pass and writing a different one" — the AST-build and codegen
+//!   passes here write fresh arenas sequentially while reading a different
+//!   structure, so `ccom` (with `liver`) benefits most from write-validate
+//!   (Figure 14).
+//! * A hot parse stack and symbol table give the moderate write locality
+//!   Figure 2 shows for ccom (between the CAD tools and the numeric codes).
+//! * Table 1 mix: 8.3M reads vs 5.7M writes (ratio 1.46), 2.25
+//!   instructions per data reference.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::emit::Emitter;
+use crate::scale::Scale;
+use crate::space::{AddressSpace, Region};
+use crate::workload::{TraceSink, TraceSummary, Workload};
+
+/// Tokens in the source buffer (u32 each; 96KB).
+const TOKENS: u64 = 24_000;
+/// AST arena capacity in nodes (32B each; 192KB).
+const ARENA_NODES: u64 = 6_000;
+/// Output (code) buffer capacity in u32 words (128KB).
+const OUT_WORDS: u64 = 32_000;
+/// Symbol-table entries (16B each; 32KB).
+const SYMS: u64 = 2_048;
+/// Node size in u32 fields.
+const NODE_FIELDS: u64 = 8;
+
+/// The `ccom` workload generator. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Ccom {
+    _private: (),
+}
+
+struct Layout {
+    tokens: Region,
+    arena: Region,
+    out: Region,
+    symtab: Region,
+    stack: Region,
+}
+
+impl Layout {
+    fn new() -> Self {
+        let mut space = AddressSpace::new();
+        Layout {
+            tokens: space.u32_array(TOKENS),
+            arena: space.u32_array(ARENA_NODES * NODE_FIELDS),
+            out: space.u32_array(OUT_WORDS),
+            symtab: space.u32_array(SYMS * 4),
+            stack: space.stack(4096),
+        }
+    }
+
+    #[inline]
+    fn node_field(&self, node: u64, field: u64) -> u64 {
+        self.arena
+            .u32_at((node % ARENA_NODES) * NODE_FIELDS + field)
+    }
+
+    #[inline]
+    fn sym_field(&self, sym: u64, field: u64) -> u64 {
+        self.symtab.u32_at((sym % SYMS) * 4 + field)
+    }
+
+    #[inline]
+    fn stack_slot(&self, depth: u64) -> u64 {
+        self.stack.u32_at(depth % (self.stack.len() / 4))
+    }
+}
+
+/// Cursors that persist across functions within one run.
+struct State {
+    rng: SmallRng,
+    token_cursor: u64,
+    next_node: u64,
+    out_cursor: u64,
+}
+
+impl Ccom {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lex + parse one function: sequential token reads, a hot parse stack,
+    /// sequential AST-node allocation (pure writes), symbol-table probes.
+    ///
+    /// Returns the range of nodes allocated for this function.
+    fn parse(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, ntokens: u64) -> (u64, u64) {
+        let first_node = st.next_node;
+        let mut depth = 2u64;
+        for t in 0..ntokens {
+            e.insts(2);
+            e.load4(l.tokens.u32_at(st.token_cursor % TOKENS));
+            st.token_cursor += 1;
+
+            // Recursive-descent stack activity: hot, shallow.
+            match t % 5 {
+                0 | 3 => {
+                    e.insts(1);
+                    e.store4(l.stack_slot(depth));
+                    depth += 1;
+                }
+                1 => {
+                    depth = depth.saturating_sub(1).max(1);
+                    e.load4(l.stack_slot(depth));
+                }
+                _ => e.insts(1),
+            }
+
+            // Every fourth token creates an AST node: a burst of sequential
+            // field stores, then a link store into a recent parent node.
+            if t % 4 == 0 {
+                let node = st.next_node;
+                st.next_node += 1;
+                for f in 0..6 {
+                    e.insts(1);
+                    e.store4(l.node_field(node, f));
+                }
+                if node > first_node {
+                    let parent = first_node + st.rng.gen_range(0..(node - first_node));
+                    e.insts(1);
+                    e.store4(l.node_field(parent, 6));
+                }
+            }
+
+            // Identifier tokens probe the symbol table.
+            if t % 6 == 0 {
+                let sym = st.rng.gen_range(0..SYMS);
+                e.insts(2);
+                e.load4(l.sym_field(sym, 0));
+                e.load4(l.sym_field(sym, 1));
+                if st.rng.gen_ratio(1, 5) {
+                    e.insts(1);
+                    e.store4(l.sym_field(sym, 2));
+                    e.store4(l.sym_field(sym, 3));
+                }
+            }
+        }
+        (first_node, st.next_node)
+    }
+
+    /// Type-check: walk this function's nodes, chase a child pointer, and
+    /// annotate each node in place (read-modify-write on the arena).
+    fn typecheck(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, nodes: (u64, u64)) {
+        let (lo, hi) = nodes;
+        for node in lo..hi {
+            e.insts(2);
+            e.load4(l.node_field(node, 0));
+            e.load4(l.node_field(node, 1));
+            e.load4(l.node_field(node, 2));
+            e.load4(l.node_field(node, 6));
+            // Chase one child link to a random earlier node of the function.
+            if node > lo {
+                let child = lo + st.rng.gen_range(0..(node - lo));
+                e.insts(1);
+                e.load4(l.node_field(child, 0));
+                e.load4(l.node_field(child, 7));
+            }
+            e.insts(2);
+            e.store4(l.node_field(node, 7));
+        }
+    }
+
+    /// Code generation: read each node, append instruction words to the
+    /// output buffer (sequential pure writes), occasionally backpatch.
+    fn codegen(
+        &self,
+        l: &Layout,
+        e: &mut Emitter<'_>,
+        st: &mut State,
+        nodes: (u64, u64),
+    ) -> (u64, u64) {
+        let (lo, hi) = nodes;
+        let out_lo = st.out_cursor;
+        for node in lo..hi {
+            e.insts(1);
+            e.load4(l.node_field(node, 0));
+            e.load4(l.node_field(node, 7));
+            e.load4(l.node_field(node, 3));
+            let words = 2 + (node % 3);
+            for _ in 0..words {
+                e.insts(1);
+                e.store4(l.out.u32_at(st.out_cursor % OUT_WORDS));
+                st.out_cursor += 1;
+            }
+            // Branch backpatch: rewrite a recently emitted word.
+            if node % 8 == 0 && st.out_cursor > out_lo + 4 {
+                let slot = out_lo + st.rng.gen_range(0..(st.out_cursor - out_lo));
+                e.insts(1);
+                e.load4(l.out.u32_at(slot % OUT_WORDS));
+                e.store4(l.out.u32_at(slot % OUT_WORDS));
+            }
+        }
+        (out_lo, st.out_cursor)
+    }
+
+    /// Peephole pass: sequential read of the emitted code, sparse rewrites.
+    fn peephole(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, out: (u64, u64)) {
+        let (lo, hi) = out;
+        for w in lo..hi {
+            e.insts(1);
+            e.load4(l.out.u32_at(w % OUT_WORDS));
+            if st.rng.gen_ratio(1, 4) && w + 1 < hi {
+                e.load4(l.out.u32_at((w + 1) % OUT_WORDS));
+            }
+            if st.rng.gen_ratio(1, 5) {
+                e.insts(1);
+                e.store4(l.out.u32_at(w % OUT_WORDS));
+            }
+        }
+    }
+
+    fn compile_function(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, f: u64) {
+        let ntokens = 700 + (f * 37) % 400;
+        let nodes = self.parse(l, e, st, ntokens);
+        self.typecheck(l, e, st, nodes);
+        let out = self.codegen(l, e, st, nodes);
+        self.peephole(l, e, st, out);
+    }
+}
+
+impl Workload for Ccom {
+    fn name(&self) -> &'static str {
+        "ccom"
+    }
+
+    fn description(&self) -> &'static str {
+        "C compiler: lex/parse, type-check, codegen, peephole passes"
+    }
+
+    fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
+        let layout = Layout::new();
+        let mut e = Emitter::new(sink);
+        let mut st = State {
+            rng: SmallRng::seed_from_u64(0xcc0_1993),
+            token_cursor: 0,
+            next_node: 0,
+            out_cursor: 0,
+        };
+        let functions = scale.pick(6, 80, 550);
+        for f in 0..u64::from(functions) {
+            self.compile_function(&layout, &mut e, &mut st, f);
+        }
+        e.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Capture;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let mut a = Capture::new();
+        let mut b = Capture::new();
+        Ccom::new().run(Scale::Test, &mut a);
+        Ccom::new().run(Scale::Test, &mut b);
+        assert_eq!(a.records(), b.records());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn read_write_ratio_is_near_the_papers() {
+        // Table 1: ccom has 8.3M reads / 5.7M writes = 1.46.
+        let mut s = TraceStats::new();
+        Ccom::new().run(Scale::Quick, &mut s);
+        let ratio = s.read_write_ratio();
+        assert!(
+            (1.1..=1.9).contains(&ratio),
+            "read/write ratio {ratio:.2} too far from the paper's 1.46"
+        );
+    }
+
+    #[test]
+    fn instructions_per_reference_is_near_the_papers() {
+        // Table 1: 31.5M instructions / 14.0M refs = 2.25.
+        let mut s = TraceStats::new();
+        Ccom::new().run(Scale::Quick, &mut s);
+        let ipr = 1.0 / s.refs_per_instruction();
+        assert!((1.6..=3.2).contains(&ipr), "instructions per ref {ipr:.2}");
+    }
+
+    #[test]
+    fn all_accesses_are_words() {
+        let mut c = Capture::new();
+        Ccom::new().run(Scale::Test, &mut c);
+        assert!((&c).into_iter().all(|r| r.size == 4));
+    }
+
+    #[test]
+    fn output_buffer_sees_pure_sequential_write_bursts() {
+        // Codegen should write fresh output words before ever reading them:
+        // the first touch of most output-buffer addresses must be a write.
+        let mut c = Capture::new();
+        Ccom::new().run(Scale::Test, &mut c);
+        let l = Layout::new();
+        let mut first_touch_writes = 0u64;
+        let mut first_touch_reads = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for r in &c {
+            if l.out.contains(r.addr) && seen.insert(r.addr) {
+                if r.is_write() {
+                    first_touch_writes += 1;
+                } else {
+                    first_touch_reads += 1;
+                }
+            }
+        }
+        assert!(
+            first_touch_writes > first_touch_reads * 10,
+            "output buffer should be write-first: {first_touch_writes} writes vs {first_touch_reads} reads"
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! `linpack`: 100x100 double-precision LU factorization and solve.
+//!
+//! Models the classic LINPACK benchmark the paper uses: `matgen` fills the
+//! matrix, `dgefa` factors it with partial pivoting, `dgesl` solves. The
+//! matrix is 100x100 doubles with a leading dimension of 101 (~80KB), so it
+//! does not fit first-level caches below 128KB.
+//!
+//! Fidelity targets from the paper:
+//!
+//! * Unit-stride (8B) access: columns are contiguous, inner loops walk them
+//!   sequentially, so "their behavior for 4B and 8B lines are nearly
+//!   identical" (Figure 1) falls out of the 8B accesses.
+//! * The inner loop is `daxpy`: load `dx[i]`, load `dy[i]`, store `dy[i]` —
+//!   a read-modify-write. "Here write-validate would be of very little
+//!   benefit since almost all writes are preceded by reads of the data"
+//!   (Section 4).
+//! * Poor write-back effectiveness below 32KB: lines written once get
+//!   replaced before being written again (Figures 1 and 2).
+
+use crate::emit::Emitter;
+use crate::scale::Scale;
+use crate::space::{AddressSpace, Region};
+use crate::workload::{TraceSink, TraceSummary, Workload};
+
+/// Matrix order.
+const N: u64 = 100;
+/// Leading dimension; columns are LDA doubles apart.
+const LDA: u64 = 101;
+
+/// The `linpack` workload generator. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Linpack {
+    _private: (),
+}
+
+struct Layout {
+    /// The matrix, column-major, LDA x N doubles.
+    a: Region,
+    /// Right-hand side / solution vector, N doubles.
+    b: Region,
+    /// Pivot index vector, N words.
+    ipvt: Region,
+}
+
+impl Layout {
+    fn new() -> Self {
+        let mut space = AddressSpace::new();
+        Layout {
+            a: space.f64_array(LDA * N),
+            b: space.f64_array(N),
+            ipvt: space.u32_array(N),
+        }
+    }
+
+    #[inline]
+    fn a_at(&self, row: u64, col: u64) -> u64 {
+        self.a.f64_at(col * LDA + row)
+    }
+}
+
+impl Linpack {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills the matrix and right-hand side, as LINPACK's `matgen` does.
+    ///
+    /// The matrix fill is a column-major sweep of pure stores; the RHS is a
+    /// row-wise accumulation, which reads the matrix at stride `LDA * 8`.
+    fn matgen(&self, l: &Layout, e: &mut Emitter<'_>) {
+        for j in 0..N {
+            for i in 0..N {
+                // Pseudo-random value generation: a few ALU ops per element.
+                e.insts(3);
+                e.store8(l.a_at(i, j));
+            }
+        }
+        // b[i] = sum_j a[i][j]: row-major traversal of a column-major matrix.
+        for i in 0..N {
+            e.insts(2);
+            e.store8(l.b.f64_at(i));
+            for j in 0..N {
+                e.insts(1);
+                e.load8(l.a_at(i, j));
+            }
+            e.insts(1);
+            e.load8(l.b.f64_at(i));
+            e.store8(l.b.f64_at(i));
+        }
+    }
+
+    /// `dgefa`: LU factorization with partial pivoting over columns
+    /// `0..col_limit`.
+    fn dgefa(&self, l: &Layout, e: &mut Emitter<'_>, col_limit: u64) {
+        let last = col_limit.min(N - 1);
+        for k in 0..last {
+            // idamax: find the pivot in column k, rows k..N.
+            for i in k..N {
+                e.insts(2);
+                e.load8(l.a_at(i, k));
+            }
+            // A data-dependent but deterministic pivot row.
+            let pivot = k + (k * 7 + 3) % (N - k);
+            e.insts(2);
+            e.store4(l.ipvt.u32_at(k));
+
+            // Swap the pivot element into place.
+            if pivot != k {
+                e.load8(l.a_at(pivot, k));
+                e.load8(l.a_at(k, k));
+                e.store8(l.a_at(pivot, k));
+                e.store8(l.a_at(k, k));
+            }
+
+            // dscal: scale the subdiagonal of column k.
+            e.insts(3);
+            e.load8(l.a_at(k, k));
+            for i in (k + 1)..N {
+                e.insts(1);
+                e.load8(l.a_at(i, k));
+                e.insts(1);
+                e.store8(l.a_at(i, k));
+            }
+
+            // Row elimination: for each remaining column, swap the pivot
+            // element then daxpy the scaled pivot column into it.
+            for j in (k + 1)..N {
+                e.insts(2);
+                e.load8(l.a_at(pivot, j));
+                if pivot != k {
+                    e.load8(l.a_at(k, j));
+                    e.store8(l.a_at(pivot, j));
+                    e.store8(l.a_at(k, j));
+                }
+                self.daxpy_col(l, e, k + 1, N, k, j);
+            }
+        }
+    }
+
+    /// `daxpy` over rows `row0..row1`: column `dst` += t * column `src`.
+    ///
+    /// The paper's description of linpack's inner loop: "loads a matrix row
+    /// and adds to it another row multiplied by a scalar. The result of this
+    /// computation is placed into the old row."
+    #[inline]
+    fn daxpy_col(&self, l: &Layout, e: &mut Emitter<'_>, row0: u64, row1: u64, src: u64, dst: u64) {
+        for i in row0..row1 {
+            e.insts(2);
+            e.load8(l.a_at(i, src));
+            e.insts(1);
+            e.load8(l.a_at(i, dst));
+            e.insts(2);
+            e.store8(l.a_at(i, dst));
+        }
+    }
+
+    /// `dgesl`: solve using the factors, forward elimination then back
+    /// substitution over the right-hand side.
+    fn dgesl(&self, l: &Layout, e: &mut Emitter<'_>) {
+        // Forward: b := L^-1 b.
+        for k in 0..(N - 1) {
+            e.insts(1);
+            e.load4(l.ipvt.u32_at(k));
+            e.load8(l.b.f64_at(k));
+            for i in (k + 1)..N {
+                e.insts(2);
+                e.load8(l.a_at(i, k));
+                e.load8(l.b.f64_at(i));
+                e.insts(1);
+                e.store8(l.b.f64_at(i));
+            }
+        }
+        // Backward: b := U^-1 b.
+        for k in (0..N).rev() {
+            e.insts(2);
+            e.load8(l.b.f64_at(k));
+            e.load8(l.a_at(k, k));
+            e.store8(l.b.f64_at(k));
+            for i in 0..k {
+                e.insts(2);
+                e.load8(l.a_at(i, k));
+                e.load8(l.b.f64_at(i));
+                e.insts(1);
+                e.store8(l.b.f64_at(i));
+            }
+        }
+    }
+}
+
+impl Workload for Linpack {
+    fn name(&self) -> &'static str {
+        "linpack"
+    }
+
+    fn description(&self) -> &'static str {
+        "numeric, 100x100 double-precision LU factorization and solve"
+    }
+
+    fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
+        let layout = Layout::new();
+        let mut e = Emitter::new(sink);
+        // One full repetition is roughly one million data references, so the
+        // test scale truncates the factorization after a few columns.
+        let (reps, col_limit, solve) = match scale {
+            Scale::Test => (1, 2, false),
+            _ => (scale.pick(1, 1, 4), N, true),
+        };
+        for _ in 0..reps {
+            self.matgen(&layout, &mut e);
+            self.dgefa(&layout, &mut e, col_limit);
+            if solve {
+                self.dgesl(&layout, &mut e);
+            }
+        }
+        e.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Capture;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn matrix_footprint_is_about_80kb() {
+        let l = Layout::new();
+        assert_eq!(l.a.len(), LDA * N * 8);
+        assert!(l.a.len() > 64 * 1024 && l.a.len() < 128 * 1024);
+    }
+
+    #[test]
+    fn accesses_are_all_aligned_doubles_or_pivot_words() {
+        let mut c = Capture::new();
+        Linpack::new().run(Scale::Test, &mut c);
+        assert!(!c.is_empty());
+        for r in &c {
+            assert!(r.size == 8 || r.size == 4);
+            assert_eq!(r.addr % u64::from(r.size), 0);
+        }
+    }
+
+    #[test]
+    fn test_scale_is_small_and_deterministic() {
+        let mut a = Capture::new();
+        let mut b = Capture::new();
+        Linpack::new().run(Scale::Test, &mut a);
+        Linpack::new().run(Scale::Test, &mut b);
+        assert_eq!(a.records(), b.records());
+        assert!(
+            a.len() < 200_000,
+            "test scale should stay small, got {}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn read_write_ratio_is_near_the_papers() {
+        // Table 1: linpack has 28.1M reads / 12.1M writes = 2.32.
+        let mut s = TraceStats::new();
+        Linpack::new().run(Scale::Quick, &mut s);
+        let ratio = s.read_write_ratio();
+        assert!(
+            (1.8..=3.0).contains(&ratio),
+            "read/write ratio {ratio:.2} too far from the paper's 2.32"
+        );
+    }
+
+    #[test]
+    fn summary_matches_stats_sink() {
+        let mut s = TraceStats::new();
+        let summary = Linpack::new().run(Scale::Test, &mut s);
+        assert_eq!(summary.reads, s.reads());
+        assert_eq!(summary.writes, s.writes());
+        assert_eq!(summary.instructions, s.instructions());
+    }
+
+    #[test]
+    fn writes_mostly_follow_reads_of_the_same_address() {
+        // The daxpy-dominated stream should be read-modify-write: most
+        // stores hit an address that was loaded very recently.
+        let mut c = Capture::new();
+        Linpack::new().run(Scale::Test, &mut c);
+        let mut recent: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+        let mut rmw = 0u64;
+        let mut stores = 0u64;
+        for r in &c {
+            if r.is_write() {
+                stores += 1;
+                if recent.contains(&r.addr) {
+                    rmw += 1;
+                }
+            } else {
+                recent.push_back(r.addr);
+                if recent.len() > 4 {
+                    recent.pop_front();
+                }
+            }
+        }
+        assert!(stores > 0);
+        let frac = rmw as f64 / stores as f64;
+        assert!(
+            frac > 0.3,
+            "expected read-modify-write dominance, got {frac:.2}"
+        );
+    }
+}

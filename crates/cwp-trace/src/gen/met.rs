@@ -1,0 +1,273 @@
+//! `met`: a netlist static-timing analyzer.
+//!
+//! Models a PC-board timing verifier: a levelized netlist of gates is swept
+//! forward (arrival times) and backward (required times), with a periodic
+//! electrical-recalculation pass, and every visit appends to a compact
+//! timing-event log.
+//!
+//! Fidelity targets from the paper:
+//!
+//! * A footprint (~300KB of nodes + edges) larger than any simulated L1,
+//!   so met never "fits" the way liver and yacc do at 128KB (Figure 18).
+//! * Good but not extreme write locality: node-result stores are
+//!   sequential (several per line) and the event log is hot, placing met
+//!   with grr/yacc in the >=80% band of Figure 2 at larger cache sizes.
+//! * Table 1 mix: 36.4M reads vs 13.8M writes (ratio 2.64), 1.98
+//!   instructions per data reference.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::emit::Emitter;
+use crate::scale::Scale;
+use crate::space::{AddressSpace, Region};
+use crate::workload::{TraceSink, TraceSummary, Workload};
+
+/// Gates in the netlist (8 words each; 160KB).
+const NODES: u64 = 5_000;
+/// Flattened fanin-edge pool (words; 60KB).
+const EDGES: u64 = 15_000;
+/// Words in the circular timing-event log (8KB — hot).
+const LOG_WORDS: u64 = 2_048;
+/// Fields per node record.
+const NODE_FIELDS: u64 = 8;
+
+/// The `met` workload generator. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Met {
+    _private: (),
+}
+
+struct Layout {
+    nodes: Region,
+    edges: Region,
+    log: Region,
+}
+
+impl Layout {
+    fn new() -> Self {
+        let mut space = AddressSpace::new();
+        Layout {
+            nodes: space.u32_array(NODES * NODE_FIELDS),
+            edges: space.u32_array(EDGES),
+            log: space.u32_array(LOG_WORDS),
+        }
+    }
+
+    #[inline]
+    fn node_field(&self, node: u64, field: u64) -> u64 {
+        self.nodes.u32_at((node % NODES) * NODE_FIELDS + field)
+    }
+}
+
+struct State {
+    rng: SmallRng,
+    log_cursor: u64,
+}
+
+impl Met {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fanin node indices for `node`: mostly recent predecessors with an
+    /// occasional long-range connection, as levelized netlists have.
+    fn fanins(&self, st: &mut State, node: u64) -> Vec<u64> {
+        let n = 2 + (node % 3);
+        (0..n)
+            .map(|_| {
+                if node == 0 {
+                    0
+                } else if st.rng.gen_ratio(4, 5) {
+                    node.saturating_sub(st.rng.gen_range(1..64))
+                } else {
+                    st.rng.gen_range(0..node)
+                }
+            })
+            .collect()
+    }
+
+    /// Appends an entry to the hot circular event log.
+    #[inline]
+    fn log_event(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State) {
+        e.store4(l.log.u32_at(st.log_cursor % LOG_WORDS));
+        st.log_cursor += 1;
+    }
+
+    /// Forward sweep: propagate arrival times in level order, one level
+    /// block at a time, with a commit pass per block. Timing verifiers
+    /// revisit a level's nodes after balancing slews, which is what gives
+    /// met its high write locality (Figure 2).
+    fn forward(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, limit: u64) {
+        let mut block_start = 0u64;
+        while block_start < limit {
+            let block_end = (block_start + 128).min(limit);
+            for node in block_start..block_end {
+                e.insts(1);
+                e.load4(l.node_field(node, 0));
+                e.load4(l.node_field(node, 1));
+                let edge_base = (node * 3) % EDGES;
+                for (i, fanin) in self.fanins(st, node).into_iter().enumerate() {
+                    e.insts(1);
+                    e.load4(l.edges.u32_at((edge_base + i as u64) % EDGES));
+                    e.load4(l.node_field(fanin, 2));
+                }
+                // Store arrival and transition time (adjacent fields).
+                e.insts(2);
+                e.store4(l.node_field(node, 2));
+                e.store4(l.node_field(node, 3));
+                if node % 2 == 0 {
+                    self.log_event(l, e, st);
+                }
+            }
+            // Commit pass: rebalance and rewrite the block's times.
+            for node in block_start..block_end {
+                e.insts(1);
+                e.load4(l.node_field(node, 0));
+                e.load4(l.node_field(node, 2));
+                e.load4(l.node_field(node, 3));
+                e.insts(1);
+                e.store4(l.node_field(node, 2));
+                e.store4(l.node_field(node, 3));
+            }
+            block_start = block_end;
+        }
+    }
+
+    /// Backward sweep: propagate required times in reverse level order,
+    /// with the same per-block commit structure as the forward sweep.
+    fn backward(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, limit: u64) {
+        let mut block_end = limit;
+        while block_end > 0 {
+            let block_start = block_end.saturating_sub(128);
+            for node in (block_start..block_end).rev() {
+                e.insts(1);
+                e.load4(l.node_field(node, 0));
+                let edge_base = (node * 3) % EDGES;
+                for (i, fanin) in self.fanins(st, node).into_iter().enumerate() {
+                    e.insts(1);
+                    e.load4(l.edges.u32_at((edge_base + i as u64) % EDGES));
+                    e.load4(l.node_field(fanin, 4));
+                }
+                // Store required time and slack.
+                e.insts(2);
+                e.store4(l.node_field(node, 4));
+                e.store4(l.node_field(node, 5));
+                if node % 2 == 0 {
+                    self.log_event(l, e, st);
+                }
+            }
+            for node in (block_start..block_end).rev() {
+                e.insts(1);
+                e.load4(l.node_field(node, 1));
+                e.load4(l.node_field(node, 4));
+                e.load4(l.node_field(node, 5));
+                e.insts(1);
+                e.store4(l.node_field(node, 4));
+                e.store4(l.node_field(node, 5));
+            }
+            block_end = block_start;
+        }
+    }
+
+    /// Electrical recalculation: reread each node's loading, store one
+    /// derived field. Runs every few sweeps.
+    fn recalc(&self, l: &Layout, e: &mut Emitter<'_>, st: &mut State, limit: u64) {
+        for node in 0..limit {
+            e.insts(2);
+            e.load4(l.node_field(node, 1));
+            e.load4(l.node_field(node, 6));
+            e.insts(1);
+            e.store4(l.node_field(node, 6));
+            if st.rng.gen_ratio(1, 8) {
+                self.log_event(l, e, st);
+            }
+        }
+    }
+}
+
+impl Workload for Met {
+    fn name(&self) -> &'static str {
+        "met"
+    }
+
+    fn description(&self) -> &'static str {
+        "PC board CAD tool: netlist static-timing analysis sweeps"
+    }
+
+    fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
+        let layout = Layout::new();
+        let mut e = Emitter::new(sink);
+        let mut st = State {
+            rng: SmallRng::seed_from_u64(0x3e7_1993),
+            log_cursor: 0,
+        };
+        // The test scale analyzes a prefix of the netlist once; larger
+        // scales run full repeated sweeps.
+        let (sweeps, limit) = match scale {
+            Scale::Test => (1, 1_500),
+            _ => (scale.pick(1, 6, 38), NODES),
+        };
+        for sweep in 0..u64::from(sweeps) {
+            self.forward(&layout, &mut e, &mut st, limit);
+            self.backward(&layout, &mut e, &mut st, limit);
+            if sweep % 4 == 3 {
+                self.recalc(&layout, &mut e, &mut st, limit);
+            }
+        }
+        e.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Capture;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn footprint_exceeds_128kb() {
+        let l = Layout::new();
+        let data = l.nodes.len() + l.edges.len() + l.log.len();
+        assert!(
+            data > 128 * 1024,
+            "met must not fit the largest cache, got {data}"
+        );
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let mut a = Capture::new();
+        let mut b = Capture::new();
+        Met::new().run(Scale::Test, &mut a);
+        Met::new().run(Scale::Test, &mut b);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn read_write_ratio_is_near_the_papers() {
+        // Table 1: met has 36.4M reads / 13.8M writes = 2.64.
+        let mut s = TraceStats::new();
+        Met::new().run(Scale::Quick, &mut s);
+        let ratio = s.read_write_ratio();
+        assert!(
+            (2.0..=3.4).contains(&ratio),
+            "read/write ratio {ratio:.2} too far from the paper's 2.64"
+        );
+    }
+
+    #[test]
+    fn fanins_point_backward() {
+        let met = Met::new();
+        let mut st = State {
+            rng: SmallRng::seed_from_u64(7),
+            log_cursor: 0,
+        };
+        for node in 1..200u64 {
+            for fanin in met.fanins(&mut st, node) {
+                assert!(fanin < node || node == 0, "fanin {fanin} of node {node}");
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The six synthetic workload generators.
+//!
+//! Each module models one benchmark from Table 1 of the paper by running a
+//! real algorithm of the same species and emitting every data reference.
+//! See each module's documentation for the fidelity argument: which paper
+//! observations the generator is designed to reproduce.
+
+pub mod ccom;
+pub mod grr;
+pub mod linpack;
+pub mod liver;
+pub mod met;
+pub mod yacc;

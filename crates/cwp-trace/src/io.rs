@@ -1,0 +1,272 @@
+//! Binary trace files: export a workload's reference stream, replay it
+//! later (or feed it to another simulator).
+//!
+//! The format is deliberately trivial: a 8-byte magic header
+//! (`b"CWPTRC\x01\0"`) followed by fixed 13-byte records:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     kind_size: 0x00 read/4B, 0x01 write/4B, 0x10 read/8B, 0x11 write/8B
+//! 1       4     before_insts (u32 LE)
+//! 5       8     addr (u64 LE)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use cwp_trace::io::{TraceReader, TraceWriter};
+//! use cwp_trace::{workloads, Scale, Workload};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut bytes = Vec::new();
+//! {
+//!     let mut writer = TraceWriter::new(&mut bytes)?;
+//!     workloads::liver().run(Scale::Test, &mut writer);
+//!     writer.finish()?;
+//! }
+//! let records: Vec<_> = TraceReader::new(&bytes[..])?
+//!     .collect::<Result<Vec<_>, _>>()?;
+//! assert!(!records.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use crate::record::{AccessKind, MemRef};
+use crate::workload::TraceSink;
+
+/// File magic: identifies format and version.
+pub const MAGIC: [u8; 8] = *b"CWPTRC\x01\0";
+
+/// Size of one record in bytes.
+const RECORD_BYTES: usize = 13;
+
+fn encode(r: MemRef) -> [u8; RECORD_BYTES] {
+    let mut out = [0u8; RECORD_BYTES];
+    let kind_bit = u8::from(r.kind == AccessKind::Write);
+    let size_bit = if r.size == 8 { 0x10 } else { 0x00 };
+    out[0] = kind_bit | size_bit;
+    out[1..5].copy_from_slice(&r.before_insts.to_le_bytes());
+    out[5..13].copy_from_slice(&r.addr.to_le_bytes());
+    out
+}
+
+fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<MemRef> {
+    if buf[0] & !0x11 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad record flags {:#04x}", buf[0]),
+        ));
+    }
+    let kind = if buf[0] & 0x01 != 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    let size = if buf[0] & 0x10 != 0 { 8 } else { 4 };
+    let before_insts = u32::from_le_bytes(buf[1..5].try_into().expect("slice is 4 bytes"));
+    let addr = u64::from_le_bytes(buf[5..13].try_into().expect("slice is 8 bytes"));
+    if addr % size != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unaligned {size}B access at {addr:#x}"),
+        ));
+    }
+    let r = match kind {
+        AccessKind::Read => MemRef::read(addr, size as u8),
+        AccessKind::Write => MemRef::write(addr, size as u8),
+    };
+    Ok(r.with_gap(before_insts))
+}
+
+/// A [`TraceSink`] that streams records to a writer in the binary format.
+///
+/// Call [`TraceWriter::finish`] to flush; dropping without finishing may
+/// lose buffered records (destructors never fail, per convention).
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: BufWriter<W>,
+    records: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace file on `out`, writing the magic header.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(out: W) -> io::Result<Self> {
+        let mut out = BufWriter::new(out);
+        out.write_all(&MAGIC)?;
+        Ok(TraceWriter {
+            out,
+            records: 0,
+            error: None,
+        })
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while recording or
+    /// flushing.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+impl<W: Write> TraceSink for TraceWriter<W> {
+    fn record(&mut self, r: MemRef) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(&encode(r)) {
+            self.error = Some(e);
+            return;
+        }
+        self.records += 1;
+    }
+}
+
+/// Iterator over the records of a binary trace.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: BufReader<R>,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, validating the magic header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the header does not match, or any I/O
+    /// error from reading it.
+    pub fn new(input: R) -> io::Result<Self> {
+        let mut input = BufReader::new(input);
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a cwp trace file",
+            ));
+        }
+        Ok(TraceReader { input, done: false })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<MemRef>;
+
+    fn next(&mut self) -> Option<io::Result<MemRef>> {
+        if self.done {
+            return None;
+        }
+        let mut buf = [0u8; RECORD_BYTES];
+        match self.input.read_exact(&mut buf) {
+            Ok(()) => Some(decode(&buf)),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.done = true;
+                // A clean end falls exactly on a record boundary; read_exact
+                // reports EOF either way, so check whether anything was read.
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::workloads;
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let w = workloads::yacc();
+        let mut bytes = Vec::new();
+        let written = {
+            let mut writer = TraceWriter::new(&mut bytes).unwrap();
+            w.run(Scale::Test, &mut writer);
+            writer.finish().unwrap()
+        };
+        let mut original = Vec::new();
+        w.run(Scale::Test, &mut |r: MemRef| original.push(r));
+        let replayed: Vec<MemRef> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(written as usize, original.len());
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = TraceReader::new(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupt_flags_are_rejected() {
+        let mut bytes = Vec::from(MAGIC);
+        let mut rec = encode(MemRef::read(0x10, 4));
+        rec[0] = 0xff;
+        bytes.extend_from_slice(&rec);
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn unaligned_addresses_are_rejected() {
+        let mut bytes = Vec::from(MAGIC);
+        let mut rec = encode(MemRef::read(0x10, 8));
+        rec[5] = 0x03; // addr = 0x...03, unaligned for 8B
+        bytes.extend_from_slice(&rec);
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let bytes = Vec::from(MAGIC);
+        let records: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn gap_values_survive_the_round_trip() {
+        let refs = [
+            MemRef::read(0x100, 8).with_gap(1),
+            MemRef::write(0x20, 4).with_gap(123_456),
+        ];
+        let mut bytes = Vec::new();
+        let mut writer = TraceWriter::new(&mut bytes).unwrap();
+        for r in refs {
+            writer.record(r);
+        }
+        writer.finish().unwrap();
+        let got: Vec<MemRef> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(got, refs);
+    }
+}

@@ -1,0 +1,124 @@
+//! Memory-reference traces and synthetic workload generators.
+//!
+//! This crate provides the *workload substrate* for the `cwp` project, a
+//! reproduction of Norman Jouppi's *"Cache Write Policies and Performance"*
+//! (WRL 91/12 / ISCA 1993). The paper drives a first-level data-cache
+//! simulator with six benchmarks executed on a MultiTitan architecture
+//! simulator. Those binaries and that simulator are not available, so this
+//! crate substitutes six **synthetic workload generators** that run real
+//! algorithms (LU factorization, Livermore loops, a maze router, an LALR
+//! table builder, a compiler pass pipeline, and a static timing analyzer)
+//! and emit every data reference they make.
+//!
+//! The MultiTitan architecture has no byte loads or stores, so all emitted
+//! references are aligned 4-byte or 8-byte accesses, as in the paper.
+//!
+//! # Examples
+//!
+//! Count the references made by the `linpack`-style workload at test scale:
+//!
+//! ```
+//! use cwp_trace::{Scale, Workload, stats::TraceStats, workloads};
+//!
+//! let linpack = workloads::linpack();
+//! let mut stats = TraceStats::new();
+//! let summary = linpack.run(Scale::Test, &mut stats);
+//! assert_eq!(summary.reads, stats.reads());
+//! assert!(stats.writes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod emit;
+pub mod io;
+pub mod record;
+pub mod scale;
+pub mod space;
+pub mod stats;
+pub mod workload;
+
+mod gen;
+
+pub use emit::Emitter;
+pub use record::{AccessKind, MemRef};
+pub use scale::Scale;
+pub use space::AddressSpace;
+pub use workload::{TraceSink, TraceSummary, Workload};
+
+/// Constructors for the six paper workloads plus the full suite.
+pub mod workloads {
+    use crate::gen;
+    use crate::workload::Workload;
+
+    /// The `ccom`-style workload: a multi-pass C-compiler model.
+    pub fn ccom() -> Box<dyn Workload> {
+        Box::new(gen::ccom::Ccom::new())
+    }
+
+    /// The `grr`-style workload: a PC-board maze router.
+    pub fn grr() -> Box<dyn Workload> {
+        Box::new(gen::grr::Grr::new())
+    }
+
+    /// The `yacc`-style workload: LALR table construction and parsing.
+    pub fn yacc() -> Box<dyn Workload> {
+        Box::new(gen::yacc::Yacc::new())
+    }
+
+    /// The `met`-style workload: a netlist static-timing analyzer.
+    pub fn met() -> Box<dyn Workload> {
+        Box::new(gen::met::Met::new())
+    }
+
+    /// The `linpack`-style workload: 100x100 double-precision LU solve.
+    pub fn linpack() -> Box<dyn Workload> {
+        Box::new(gen::linpack::Linpack::new())
+    }
+
+    /// The `liver`-style workload: Livermore loop kernels 1-14.
+    pub fn liver() -> Box<dyn Workload> {
+        Box::new(gen::liver::Liver::new())
+    }
+
+    /// All six workloads, in the order the paper lists them (Table 1).
+    pub fn suite() -> Vec<Box<dyn Workload>> {
+        vec![ccom(), grr(), yacc(), met(), linpack(), liver()]
+    }
+
+    /// Look up a workload by its paper name.
+    ///
+    /// Returns `None` for names not in Table 1 of the paper.
+    pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+        match name {
+            "ccom" => Some(ccom()),
+            "grr" => Some(grr()),
+            "yacc" => Some(yacc()),
+            "met" => Some(met()),
+            "linpack" => Some(linpack()),
+            "liver" => Some(liver()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_six_workloads_in_table1_order() {
+        let names: Vec<&str> = workloads::suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["ccom", "grr", "yacc", "met", "linpack", "liver"]);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in workloads::suite() {
+            let looked_up = workloads::by_name(w.name()).expect("name should resolve");
+            assert_eq!(looked_up.name(), w.name());
+        }
+        assert!(workloads::by_name("cobol").is_none());
+    }
+}

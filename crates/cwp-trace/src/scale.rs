@@ -1,0 +1,94 @@
+//! Run-length scaling for workload generators.
+
+use std::fmt;
+
+/// How long a workload run should be.
+///
+/// Scale controls *repetition counts only*. Data-structure sizes (and thus
+/// working sets and locality regimes) are fixed per workload, so every scale
+/// exercises the same cache behaviour; larger scales just tighten the
+/// statistics. The paper's runs total 484.5M instructions; [`Scale::Paper`]
+/// here targets a few million data references per benchmark, which is enough
+/// for stable percentages on caches up to 128KB.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Scale {
+    /// Tiny runs for unit tests (tens of thousands of references).
+    Test,
+    /// Sub-second runs for integration tests and Criterion benches
+    /// (hundreds of thousands of references).
+    Quick,
+    /// The default scale for regenerating paper figures
+    /// (millions of references per benchmark).
+    #[default]
+    Paper,
+    /// `Paper` scaled by an arbitrary positive factor.
+    Custom(f64),
+}
+
+impl Scale {
+    /// Picks a repetition count: generators supply the counts they want at
+    /// each preset and `Custom` interpolates from the `paper` value.
+    ///
+    /// The result is always at least 1 so every scale runs the workload's
+    /// full phase structure at least once.
+    pub fn pick(self, test: u32, quick: u32, paper: u32) -> u32 {
+        match self {
+            Scale::Test => test.max(1),
+            Scale::Quick => quick.max(1),
+            Scale::Paper => paper.max(1),
+            Scale::Custom(factor) => {
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "scale factor must be positive"
+                );
+                ((paper as f64 * factor).round() as u32).max(1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scale::Test => f.write_str("test"),
+            Scale::Quick => f.write_str("quick"),
+            Scale::Paper => f.write_str("paper"),
+            Scale::Custom(factor) => write!(f, "custom({factor})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pick_their_column() {
+        assert_eq!(Scale::Test.pick(1, 10, 100), 1);
+        assert_eq!(Scale::Quick.pick(1, 10, 100), 10);
+        assert_eq!(Scale::Paper.pick(1, 10, 100), 100);
+    }
+
+    #[test]
+    fn custom_scales_the_paper_value() {
+        assert_eq!(Scale::Custom(0.5).pick(1, 10, 100), 50);
+        assert_eq!(Scale::Custom(2.0).pick(1, 10, 100), 200);
+    }
+
+    #[test]
+    fn pick_never_returns_zero() {
+        assert_eq!(Scale::Test.pick(0, 0, 0), 1);
+        assert_eq!(Scale::Custom(0.0001).pick(1, 1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_custom_factor_panics() {
+        let _ = Scale::Custom(-1.0).pick(1, 1, 1);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(Scale::default(), Scale::Paper);
+    }
+}

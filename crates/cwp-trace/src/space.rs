@@ -1,0 +1,205 @@
+//! Virtual address-space layout for workload generators.
+
+use std::fmt;
+
+/// Base of the static data / heap region (grows up).
+const DATA_BASE: u64 = 0x1000_0000;
+/// Top of the stack region (grows down).
+const STACK_TOP: u64 = 0x7fff_f000;
+
+/// A named, contiguous range of virtual addresses owned by one data
+/// structure of a workload (an array, an arena, a table, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    len: u64,
+}
+
+impl Region {
+    /// First byte address of the region.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of the `i`-th element of `elem` bytes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the element lies outside the region.
+    #[inline]
+    pub fn elem(&self, i: u64, elem: u64) -> u64 {
+        debug_assert!(
+            (i + 1) * elem <= self.len,
+            "element {i} of size {elem} overruns region of {} bytes",
+            self.len
+        );
+        self.base + i * elem
+    }
+
+    /// Address of the `i`-th 8-byte (double) element.
+    #[inline]
+    pub fn f64_at(&self, i: u64) -> u64 {
+        self.elem(i, 8)
+    }
+
+    /// Address of the `i`-th 4-byte (word) element.
+    #[inline]
+    pub fn u32_at(&self, i: u64) -> u64 {
+        self.elem(i, 4)
+    }
+
+    /// Returns `true` if `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}..{:#x})", self.base, self.base + self.len)
+    }
+}
+
+/// Allocates disjoint [`Region`]s mimicking a Unix process layout: data and
+/// heap at low addresses growing up, a stack near the top growing down.
+///
+/// Every workload builds its own `AddressSpace`, so two workloads can reuse
+/// the same virtual addresses (they are never simulated together).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next_data: u64,
+    next_stack: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        AddressSpace {
+            next_data: DATA_BASE,
+            next_stack: STACK_TOP,
+        }
+    }
+
+    /// Allocates `len` bytes in the data segment, aligned to `align`
+    /// (which must be a power of two). A guard gap keeps structures from
+    /// sharing cache lines accidentally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn data(&mut self, len: u64, align: u64) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = round_up(self.next_data, align);
+        self.next_data = base + len;
+        Region { base, len }
+    }
+
+    /// Allocates a data-segment array of `n` doubles, 64-byte aligned so a
+    /// line of any simulated size starts at its base.
+    pub fn f64_array(&mut self, n: u64) -> Region {
+        self.data(n * 8, 64)
+    }
+
+    /// Allocates a data-segment array of `n` 32-bit words, 64-byte aligned.
+    pub fn u32_array(&mut self, n: u64) -> Region {
+        self.data(n * 4, 64)
+    }
+
+    /// Allocates `len` bytes of stack (downward), 64-byte aligned.
+    pub fn stack(&mut self, len: u64) -> Region {
+        let top = self.next_stack & !63;
+        let base = top - round_up(len, 64);
+        self.next_stack = base;
+        Region { base, len }
+    }
+
+    /// Total bytes of data-segment allocations so far: the workload's
+    /// nominal working-set size.
+    pub fn data_footprint(&self) -> u64 {
+        self.next_data - DATA_BASE
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_regions_are_disjoint_and_aligned() {
+        let mut space = AddressSpace::new();
+        let a = space.f64_array(100);
+        let b = space.u32_array(50);
+        assert_eq!(a.base() % 64, 0);
+        assert_eq!(b.base() % 64, 0);
+        assert!(a.base() + a.len() <= b.base());
+        assert_eq!(a.len(), 800);
+        assert_eq!(b.len(), 200);
+    }
+
+    #[test]
+    fn stack_grows_down_and_stays_below_top() {
+        let mut space = AddressSpace::new();
+        let s1 = space.stack(256);
+        let s2 = space.stack(128);
+        assert!(s2.base() + s2.len() <= s1.base() + 64);
+        assert!(s1.base() + s1.len() <= STACK_TOP);
+    }
+
+    #[test]
+    fn elem_addressing() {
+        let mut space = AddressSpace::new();
+        let a = space.f64_array(10);
+        assert_eq!(a.f64_at(0), a.base());
+        assert_eq!(a.f64_at(3), a.base() + 24);
+        assert!(a.contains(a.f64_at(9)));
+        assert!(!a.contains(a.base() + a.len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut space = AddressSpace::new();
+        let _ = space.data(8, 3);
+    }
+
+    #[test]
+    fn footprint_tracks_data_allocations() {
+        let mut space = AddressSpace::new();
+        assert_eq!(space.data_footprint(), 0);
+        space.f64_array(8); // 64 bytes
+        assert!(space.data_footprint() >= 64);
+    }
+
+    #[test]
+    fn region_display_shows_bounds() {
+        let mut space = AddressSpace::new();
+        let a = space.u32_array(4);
+        let text = a.to_string();
+        assert!(text.starts_with('['));
+        assert!(text.contains(".."));
+    }
+}

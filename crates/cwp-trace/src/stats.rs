@@ -1,0 +1,186 @@
+//! Streaming trace statistics: the counters behind Table 1.
+
+use std::fmt;
+
+use crate::record::{AccessKind, MemRef};
+use crate::workload::TraceSink;
+
+/// A [`TraceSink`] that counts references without storing them.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_trace::{stats::TraceStats, workloads, Scale, Workload};
+///
+/// let mut stats = TraceStats::new();
+/// workloads::yacc().run(Scale::Test, &mut stats);
+/// assert!(stats.reads() > stats.writes(), "yacc is read-heavy");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    reads: u64,
+    writes: u64,
+    read_bytes: u64,
+    written_bytes: u64,
+    instructions: u64,
+    min_addr: Option<u64>,
+    max_addr: Option<u64>,
+}
+
+impl TraceStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of loads seen.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of stores seen.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total data references.
+    pub fn data_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Bytes moved by loads.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Bytes moved by stores.
+    pub fn written_bytes(&self) -> u64 {
+        self.written_bytes
+    }
+
+    /// Dynamic instructions implied by the reference gaps.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Lowest byte address touched, if any reference was seen.
+    pub fn min_addr(&self) -> Option<u64> {
+        self.min_addr
+    }
+
+    /// Highest byte address touched (inclusive), if any.
+    pub fn max_addr(&self) -> Option<u64> {
+        self.max_addr
+    }
+
+    /// Loads per store.
+    pub fn read_write_ratio(&self) -> f64 {
+        self.reads as f64 / self.writes as f64
+    }
+
+    /// Data references per instruction.
+    pub fn refs_per_instruction(&self) -> f64 {
+        self.data_refs() as f64 / self.instructions as f64
+    }
+}
+
+impl TraceSink for TraceStats {
+    #[inline]
+    fn record(&mut self, r: MemRef) {
+        self.instructions += u64::from(r.before_insts);
+        match r.kind {
+            AccessKind::Read => {
+                self.reads += 1;
+                self.read_bytes += u64::from(r.size);
+            }
+            AccessKind::Write => {
+                self.writes += 1;
+                self.written_bytes += u64::from(r.size);
+            }
+        }
+        self.min_addr = Some(self.min_addr.map_or(r.addr, |m| m.min(r.addr)));
+        let last = r.end_addr() - 1;
+        self.max_addr = Some(self.max_addr.map_or(last, |m| m.max(last)));
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts, {} reads, {} writes",
+            self.instructions, self.reads, self.writes
+        )
+    }
+}
+
+/// A sink that duplicates every record into two sinks.
+///
+/// Useful for collecting [`TraceStats`] while simultaneously feeding a
+/// simulator.
+pub struct Tee<'a, 'b> {
+    first: &'a mut dyn TraceSink,
+    second: &'b mut dyn TraceSink,
+}
+
+impl<'a, 'b> Tee<'a, 'b> {
+    /// Creates a tee feeding `first` then `second` for each record.
+    pub fn new(first: &'a mut dyn TraceSink, second: &'b mut dyn TraceSink) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl TraceSink for Tee<'_, '_> {
+    #[inline]
+    fn record(&mut self, r: MemRef) {
+        self.first.record(r);
+        self.second.record(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = TraceStats::new();
+        s.record(MemRef::read(0x100, 8).with_gap(3));
+        s.record(MemRef::write(0x200, 4));
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.data_refs(), 2);
+        assert_eq!(s.read_bytes(), 8);
+        assert_eq!(s.written_bytes(), 4);
+        assert_eq!(s.instructions(), 4);
+        assert_eq!(s.min_addr(), Some(0x100));
+        assert_eq!(s.max_addr(), Some(0x203));
+    }
+
+    #[test]
+    fn empty_stats_have_no_address_range() {
+        let s = TraceStats::new();
+        assert_eq!(s.min_addr(), None);
+        assert_eq!(s.max_addr(), None);
+        assert_eq!(s.data_refs(), 0);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut a = TraceStats::new();
+        let mut b = TraceStats::new();
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            tee.record(MemRef::write(0x40, 4));
+        }
+        assert_eq!(a.writes(), 1);
+        assert_eq!(b.writes(), 1);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut s = TraceStats::new();
+        s.record(MemRef::read(0, 4));
+        assert!(s.to_string().contains("1 reads"));
+    }
+}

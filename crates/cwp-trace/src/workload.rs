@@ -1,0 +1,151 @@
+//! The [`Workload`] abstraction: a program that emits its data references.
+
+use std::fmt;
+
+use crate::record::MemRef;
+use crate::scale::Scale;
+
+/// A consumer of trace records.
+///
+/// Simulators, statistics collectors, and capture buffers implement this.
+/// Generators push references into a sink as they run, so full-length traces
+/// never need to be materialized.
+pub trait TraceSink {
+    /// Consumes one data reference.
+    fn record(&mut self, r: MemRef);
+}
+
+impl<F: FnMut(MemRef)> TraceSink for F {
+    #[inline]
+    fn record(&mut self, r: MemRef) {
+        self(r)
+    }
+}
+
+/// Totals reported by one workload run; the raw material of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Dynamic instruction count (sum of all `before_insts` gaps).
+    pub instructions: u64,
+    /// Number of data loads emitted.
+    pub reads: u64,
+    /// Number of data stores emitted.
+    pub writes: u64,
+}
+
+impl TraceSummary {
+    /// Total data references (`reads + writes`).
+    pub fn data_refs(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total references as the paper counts them: instructions (one
+    /// instruction fetch each) plus data reads and writes.
+    pub fn total_refs(&self) -> u64 {
+        self.instructions + self.data_refs()
+    }
+
+    /// Loads per store; the paper reports roughly 2.4 overall.
+    ///
+    /// Returns `f64::INFINITY` when the workload never writes.
+    pub fn read_write_ratio(&self) -> f64 {
+        self.reads as f64 / self.writes as f64
+    }
+
+    /// Adds another summary's counts into this one.
+    pub fn absorb(&mut self, other: TraceSummary) {
+        self.instructions += other.instructions;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} insts, {} reads, {} writes",
+            self.instructions, self.reads, self.writes
+        )
+    }
+}
+
+/// A synthetic benchmark that can replay itself into a [`TraceSink`].
+///
+/// Implementations run a real algorithm and emit one [`MemRef`] per data
+/// access the algorithm would make. Runs are deterministic: the same
+/// workload at the same scale always produces the identical trace.
+pub trait Workload: Send + Sync {
+    /// The benchmark's name as it appears in the paper (e.g. `"linpack"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the program the generator models.
+    fn description(&self) -> &'static str;
+
+    /// Runs the workload, pushing every data reference into `sink`.
+    ///
+    /// Returns the run's instruction/read/write totals. `scale` controls
+    /// repetition counts, never data-structure sizes, so locality behaviour
+    /// is scale-invariant.
+    fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary;
+}
+
+impl fmt::Debug for dyn Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Workload({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AccessKind;
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = |r: MemRef| seen.push(r);
+            let sink: &mut dyn TraceSink = &mut sink;
+            sink.record(MemRef::read(0x100, 4));
+            sink.record(MemRef::write(0x200, 8));
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn summary_arithmetic() {
+        let mut s = TraceSummary {
+            instructions: 100,
+            reads: 20,
+            writes: 10,
+        };
+        assert_eq!(s.data_refs(), 30);
+        assert_eq!(s.total_refs(), 130);
+        assert!((s.read_write_ratio() - 2.0).abs() < 1e-12);
+        s.absorb(TraceSummary {
+            instructions: 1,
+            reads: 2,
+            writes: 3,
+        });
+        assert_eq!(
+            s,
+            TraceSummary {
+                instructions: 101,
+                reads: 22,
+                writes: 13
+            }
+        );
+    }
+
+    #[test]
+    fn ratio_of_writeless_summary_is_infinite() {
+        let s = TraceSummary {
+            instructions: 10,
+            reads: 5,
+            writes: 0,
+        };
+        assert!(s.read_write_ratio().is_infinite());
+    }
+}

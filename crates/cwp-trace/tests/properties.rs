@@ -1,0 +1,143 @@
+//! Property and cross-cutting tests for the workload generators.
+
+use cwp_trace::stats::TraceStats;
+use cwp_trace::{workloads, MemRef, Scale, TraceSink};
+use proptest::prelude::*;
+
+#[test]
+fn all_generators_emit_only_aligned_word_or_double_accesses() {
+    for w in workloads::suite() {
+        let mut ok = true;
+        let mut check = |r: MemRef| {
+            ok &= (r.size == 4 || r.size == 8) && r.addr.is_multiple_of(u64::from(r.size));
+        };
+        w.run(Scale::Test, &mut check);
+        assert!(ok, "{} emitted a non-MultiTitan access", w.name());
+    }
+}
+
+#[test]
+fn summaries_agree_with_independent_counting() {
+    for w in workloads::suite() {
+        let mut stats = TraceStats::new();
+        let summary = w.run(Scale::Test, &mut stats);
+        assert_eq!(summary.reads, stats.reads(), "{}", w.name());
+        assert_eq!(summary.writes, stats.writes(), "{}", w.name());
+        // The summary additionally counts compute-only instructions after
+        // the final memory reference, which per-record sinks cannot see.
+        let trailing = summary.instructions - stats.instructions();
+        assert!(
+            trailing < 100,
+            "{}: {trailing} trailing instructions",
+            w.name()
+        );
+        assert!(summary.instructions >= summary.data_refs(), "{}", w.name());
+    }
+}
+
+#[test]
+fn quick_scale_emits_more_than_test_scale() {
+    for w in workloads::suite() {
+        let mut test = TraceStats::new();
+        w.run(Scale::Test, &mut test);
+        let mut quick = TraceStats::new();
+        w.run(Scale::Quick, &mut quick);
+        assert!(
+            quick.data_refs() > test.data_refs(),
+            "{}: quick ({}) should exceed test ({})",
+            w.name(),
+            quick.data_refs(),
+            test.data_refs()
+        );
+    }
+}
+
+#[test]
+fn working_sets_are_scale_invariant() {
+    // Scale changes repetition counts, never data sizes: the touched
+    // address span must not grow materially with scale.
+    for w in workloads::suite() {
+        let span = |scale: Scale| {
+            let mut s = TraceStats::new();
+            w.run(scale, &mut s);
+            // Data segment only; the stack sits at a fixed high address.
+            let hi = s.max_addr().unwrap().min(0x2000_0000);
+            hi - s.min_addr().unwrap()
+        };
+        let test_span = span(Scale::Test);
+        let quick_span = span(Scale::Quick);
+        assert!(
+            quick_span <= test_span + test_span / 3 + 4096,
+            "{}: span grew from {} to {} bytes with scale",
+            w.name(),
+            test_span,
+            quick_span
+        );
+    }
+}
+
+#[test]
+fn custom_scale_interpolates_run_length() {
+    let w = workloads::liver();
+    let refs_at = |scale: Scale| {
+        let mut s = TraceStats::new();
+        w.run(scale, &mut s);
+        s.data_refs()
+    };
+    let half = refs_at(Scale::Custom(0.5));
+    let paper = refs_at(Scale::Paper);
+    assert!(half < paper);
+    assert!(
+        half * 3 > paper,
+        "half-scale should be roughly half of paper scale"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn generators_are_deterministic_at_any_scale(factor in 0.02f64..0.08) {
+        for w in workloads::suite() {
+            let run = || {
+                let mut digest = 0u64;
+                let mut count = 0u64;
+                let mut sink = |r: MemRef| {
+                    digest = digest
+                        .wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(r.addr ^ u64::from(r.before_insts));
+                    count += 1;
+                };
+                w.run(Scale::Custom(factor), &mut sink);
+                (digest, count)
+            };
+            prop_assert_eq!(run(), run(), "{} is nondeterministic", w.name());
+        }
+    }
+}
+
+/// A sink that aborts after N records, proving generators stream rather
+/// than buffer (no pathological memory growth even at paper scale).
+struct Budget {
+    left: u64,
+}
+
+impl TraceSink for Budget {
+    fn record(&mut self, _r: MemRef) {
+        self.left = self.left.saturating_sub(1);
+    }
+}
+
+#[test]
+fn generators_stream_without_materializing_traces() {
+    // Smoke: run paper scale through a counting sink; peak memory is not
+    // measured here, but the visitor API makes buffering impossible by
+    // construction — this just exercises the full paper-scale path once.
+    let w = workloads::grr();
+    let mut sink = Budget { left: u64::MAX };
+    let summary = w.run(Scale::Paper, &mut sink);
+    assert!(
+        summary.data_refs() > 1_000_000,
+        "paper scale should be millions of refs"
+    );
+}

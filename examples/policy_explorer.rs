@@ -1,0 +1,71 @@
+//! Policy explorer: the paper's Section 4 comparison, interactively.
+//!
+//! Runs every workload under all four write-miss policies and prints the
+//! misses each policy actually fetches, plus the reduction relative to
+//! fetch-on-write — the numbers behind Figures 13 and 14.
+//!
+//! ```text
+//! cargo run --release --example policy_explorer [size_kb] [line_bytes]
+//! ```
+
+use cwp::cache::{metrics, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp::core::sim::simulate;
+use cwp::trace::{workloads, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let size_kb: u32 = args.next().map_or(Ok(8), |s| s.parse())?;
+    let line: u32 = args.next().map_or(Ok(16), |s| s.parse())?;
+
+    println!("{size_kb}KB direct-mapped write-through cache, {line}B lines\n");
+    println!(
+        "{:10} {:>14} {:>14} {:>14} {:>14}",
+        "program", "fetch-on-write", "write-validate", "write-around", "write-invalid."
+    );
+
+    for workload in workloads::suite() {
+        let mut fetches = Vec::new();
+        let mut baseline = None;
+        for policy in [
+            WriteMissPolicy::FetchOnWrite,
+            WriteMissPolicy::WriteValidate,
+            WriteMissPolicy::WriteAround,
+            WriteMissPolicy::WriteInvalidate,
+        ] {
+            let config = CacheConfig::builder()
+                .size_bytes(size_kb * 1024)
+                .line_bytes(line)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(policy)
+                .build()?;
+            let out = simulate(workload.as_ref(), Scale::Quick, &config);
+            if policy == WriteMissPolicy::FetchOnWrite {
+                baseline = Some(out.stats);
+            }
+            let reduction = baseline
+                .as_ref()
+                .and_then(|b| metrics::total_miss_reduction(b, &out.stats))
+                .unwrap_or(0.0);
+            fetches.push(format!(
+                "{} (-{:.0}%)",
+                out.stats.fetch_misses(),
+                reduction * 100.0
+            ));
+        }
+        println!(
+            "{:10} {:>14} {:>14} {:>14} {:>14}",
+            workload.name(),
+            fetches[0],
+            fetches[1],
+            fetches[2],
+            fetches[3]
+        );
+    }
+
+    println!(
+        "\nEach cell: lines fetched (misses that stall), with the percent reduction vs \
+         fetch-on-write.\nExpect the Figure 17 order: fetch-on-write >= write-invalidate >= \
+         write-around/write-validate."
+    );
+    Ok(())
+}

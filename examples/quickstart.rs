@@ -1,0 +1,59 @@
+//! Quickstart: simulate one workload through one cache and read the
+//! paper's headline metrics off the stats.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cwp::cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp::core::sim::simulate;
+use cwp::trace::{workloads, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's workhorse configuration: 8KB direct-mapped, 16B lines.
+    let config = CacheConfig::builder()
+        .size_bytes(8 * 1024)
+        .line_bytes(16)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()?;
+
+    let workload = workloads::ccom();
+    println!("workload: {} ({})", workload.name(), workload.description());
+    println!("cache:    {config}");
+
+    let out = simulate(workload.as_ref(), Scale::Quick, &config);
+
+    println!("\ntrace:    {}", out.summary);
+    println!("accesses: {}", out.stats.accesses());
+    println!(
+        "misses:   {} ({:.2}% of accesses; {:.1}% of misses are writes)",
+        out.stats.total_misses(),
+        out.stats.miss_rate() * 100.0,
+        out.stats.write_miss_fraction().unwrap_or(0.0) * 100.0,
+    );
+    println!(
+        "writes to already-dirty lines: {:.1}% (= write traffic a write-back cache removes)",
+        out.stats.dirty_write_fraction().unwrap_or(0.0) * 100.0,
+    );
+    println!(
+        "back-side traffic: {} fetch txns, {} write-back txns ({} with flush)",
+        out.traffic_total.fetch.transactions,
+        out.traffic_execution.write_back.transactions,
+        out.traffic_total.write_back.transactions,
+    );
+    println!(
+        "victims: {:.1}% dirty; {:.1}% of bytes dirty in dirty victims",
+        out.stats
+            .victims_with_flush()
+            .dirty_fraction()
+            .unwrap_or(0.0)
+            * 100.0,
+        out.stats
+            .victims_with_flush()
+            .bytes_dirty_in_dirty_fraction(config.line_bytes())
+            .unwrap_or(0.0)
+            * 100.0,
+    );
+    Ok(())
+}

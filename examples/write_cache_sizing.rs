@@ -1,0 +1,79 @@
+//! Write-cache sizing: find the knee of Figure 7 for your workload.
+//!
+//! Sweeps the number of 8B write-cache entries and prints the write
+//! traffic removed, absolute and relative to a 4KB write-back cache —
+//! the trade the paper's Section 3.2/3.3 is about.
+//!
+//! ```text
+//! cargo run --release --example write_cache_sizing [workload]
+//! ```
+
+use cwp::buffers::WriteCache;
+use cwp::cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp::core::sim::simulate;
+use cwp::mem::{MainMemory, NextLevel};
+use cwp::trace::{workloads, MemRef, Scale, TraceSink, Workload};
+
+/// Collects only the stores of a trace.
+#[derive(Default)]
+struct Stores(Vec<MemRef>);
+
+impl TraceSink for Stores {
+    fn record(&mut self, r: MemRef) {
+        if r.is_write() {
+            self.0.push(r);
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "grr".to_string());
+    let workload: Box<dyn Workload> =
+        workloads::by_name(&name).ok_or_else(|| format!("unknown workload '{name}'"))?;
+
+    // Reference: what a 4KB write-back cache removes (writes to dirty lines).
+    let wb_config = CacheConfig::builder()
+        .size_bytes(4 * 1024)
+        .line_bytes(16)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()?;
+    let wb = simulate(workload.as_ref(), Scale::Quick, &wb_config);
+    let wb_removed = wb.stats.dirty_write_fraction().unwrap_or(0.0) * 100.0;
+
+    let mut stores = Stores::default();
+    workload.run(Scale::Quick, &mut stores);
+    println!(
+        "workload {name}: {} stores; a 4KB write-back cache removes {wb_removed:.1}% of them\n",
+        stores.0.len()
+    );
+    println!(
+        "{:>8} {:>12} {:>24}",
+        "entries", "% removed", "% of write-back benefit"
+    );
+
+    let mut knee_reported = false;
+    for entries in 0..=16usize {
+        let mut wc = WriteCache::new(entries, 8, MainMemory::new());
+        for r in &stores.0 {
+            let data = [0u8; 8];
+            wc.write_through(r.addr, &data[..r.size as usize]);
+        }
+        wc.flush();
+        let removed = wc.stats().removed_fraction().unwrap_or(0.0) * 100.0;
+        let relative = if wb_removed > 0.0 {
+            100.0 * removed / wb_removed
+        } else {
+            0.0
+        };
+        println!("{entries:>8} {removed:>11.1}% {relative:>23.1}%");
+        if !knee_reported && removed > 0.8 * wb_removed {
+            knee_reported = true;
+            println!(
+                "{:>8} ^ knee: ~80% of the write-back benefit reached here",
+                ""
+            );
+        }
+    }
+    Ok(())
+}

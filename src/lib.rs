@@ -1,0 +1,51 @@
+//! `cwp` — Cache Write Policies and Performance.
+//!
+//! A production-quality Rust reproduction of Norman P. Jouppi's
+//! *"Cache Write Policies and Performance"* (WRL Research Report 91/12,
+//! December 1991; published at ISCA 1993).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — memory-reference traces and the six synthetic workload
+//!   generators standing in for the paper's benchmarks.
+//! * [`mem`] — data-carrying sparse main memory and the next-level
+//!   interface with transaction/byte traffic accounting.
+//! * [`cache`] — the first-level data-cache simulator with the full
+//!   write-hit x write-miss policy matrix.
+//! * [`buffers`] — coalescing write buffers, write caches, dirty-victim
+//!   buffers, and the delayed-write register.
+//! * [`pipeline`] — the five-stage store-timing model.
+//! * [`core`] — experiment drivers that regenerate every table and figure
+//!   of the paper, plus reporting.
+//! * [`cpu`] — a MultiTitan-style RISC interpreter and assembler: run real
+//!   programs (or your own assembly) against any cache hierarchy.
+//!
+//! # Quickstart
+//!
+//! Compare the four write-miss policies on one workload:
+//!
+//! ```
+//! use cwp::cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+//! use cwp::core::sim::simulate;
+//! use cwp::trace::{workloads, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = CacheConfig::builder()
+//!     .size_bytes(8 * 1024)
+//!     .line_bytes(16)
+//!     .write_hit(WriteHitPolicy::WriteThrough)
+//!     .write_miss(WriteMissPolicy::WriteValidate)
+//!     .build()?;
+//! let outcome = simulate(workloads::ccom().as_ref(), Scale::Test, &config);
+//! println!("misses: {}", outcome.stats.total_misses());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cwp_buffers as buffers;
+pub use cwp_cache as cache;
+pub use cwp_core as core;
+pub use cwp_cpu as cpu;
+pub use cwp_mem as mem;
+pub use cwp_pipeline as pipeline;
+pub use cwp_trace as trace;

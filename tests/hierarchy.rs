@@ -1,0 +1,160 @@
+//! Full-stack integration: a realistic hierarchy must be functionally
+//! transparent end to end.
+//!
+//! The stack mirrors the paper's recommended write-through organization
+//! (Figure 6 plus Section 3.3): an L1 write-through/write-validate cache,
+//! a five-entry write cache, a dirty-victim buffer, a write-back L2, and
+//! main memory.
+
+use cwp::buffers::{VictimBuffer, WriteCache};
+use cwp::cache::{Cache, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp::mem::{MainMemory, TrafficRecorder};
+use cwp::trace::{workloads, AccessKind, MemRef, Scale, TraceSink};
+
+type Stack = Cache<WriteCache<VictimBuffer<Cache<TrafficRecorder<MainMemory>>>>>;
+
+fn build_stack() -> Stack {
+    let l2_cfg = CacheConfig::builder()
+        .size_bytes(64 * 1024)
+        .line_bytes(32)
+        .associativity(2)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .expect("valid L2");
+    let l1_cfg = CacheConfig::builder()
+        .size_bytes(8 * 1024)
+        .line_bytes(16)
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(WriteMissPolicy::WriteValidate)
+        .build()
+        .expect("valid L1");
+    let l2 = Cache::new(l2_cfg, TrafficRecorder::new(MainMemory::new()));
+    let victims = VictimBuffer::new(2, l2);
+    let write_cache = WriteCache::new(5, 8, victims);
+    Cache::new(l1_cfg, write_cache)
+}
+
+/// Drives a workload trace through the stack, writing data derived from a
+/// rolling counter, and checks every read against a flat golden memory.
+struct Checker {
+    stack: Stack,
+    golden: MainMemory,
+    seq: u64,
+    reads_checked: u64,
+}
+
+impl TraceSink for Checker {
+    fn record(&mut self, r: MemRef) {
+        let len = r.size as usize;
+        match r.kind {
+            AccessKind::Read => {
+                let mut got = [0u8; 8];
+                self.stack.read(r.addr, &mut got[..len]);
+                let mut want = [0u8; 8];
+                self.golden.read(r.addr, &mut want[..len]);
+                assert_eq!(
+                    &got[..len],
+                    &want[..len],
+                    "hierarchy diverged reading {len}B at {:#x}",
+                    r.addr
+                );
+                self.reads_checked += 1;
+            }
+            AccessKind::Write => {
+                self.seq = self.seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let data = self.seq.to_le_bytes();
+                self.stack.write(r.addr, &data[..len]);
+                self.golden.write(r.addr, &data[..len]);
+            }
+        }
+    }
+}
+
+#[test]
+fn four_level_stack_is_transparent_under_real_workloads() {
+    for workload in workloads::suite() {
+        let mut checker = Checker {
+            stack: build_stack(),
+            golden: MainMemory::new(),
+            seq: 0,
+            reads_checked: 0,
+        };
+        workload.run(Scale::Test, &mut checker);
+        assert!(
+            checker.reads_checked > 1_000,
+            "{}: too few reads exercised ({})",
+            workload.name(),
+            checker.reads_checked
+        );
+    }
+}
+
+#[test]
+fn stack_flush_propagates_all_dirty_state_to_memory() {
+    let mut checker = Checker {
+        stack: build_stack(),
+        golden: MainMemory::new(),
+        seq: 0,
+        reads_checked: 0,
+    };
+    let yacc = workloads::yacc();
+    yacc.run(Scale::Test, &mut checker);
+    let Checker {
+        mut stack, golden, ..
+    } = checker;
+
+    // Flush every level in order: L1 (write-through holds nothing dirty,
+    // but write-validate lines may be partially valid), write cache,
+    // victim buffer, then L2.
+    stack.flush();
+    let mut write_cache = stack.into_next_level();
+    write_cache.flush();
+    let mut victims = write_cache.into_next_level();
+    victims.flush();
+    let mut l2 = victims.into_next_level();
+    l2.flush();
+    let memory = l2.into_next_level().into_inner();
+
+    // Compare every byte the workload touched.
+    let mut capture = cwp::trace::capture::Capture::new();
+    yacc.run(Scale::Test, &mut capture);
+    let touched: std::collections::HashSet<u64> =
+        capture.iter().flat_map(|r| r.addr..r.end_addr()).collect();
+    let mut diverged = 0u64;
+    for &addr in &touched {
+        if memory.read_byte(addr) != golden.read_byte(addr) {
+            diverged += 1;
+        }
+    }
+    assert!(!touched.is_empty());
+    assert_eq!(
+        diverged, 0,
+        "memory diverged on {diverged} bytes after full flush"
+    );
+}
+
+#[test]
+fn write_traffic_shrinks_at_each_level() {
+    // The L1 passes every store through; the write cache should remove a
+    // large share before the L2 sees them.
+    let mut checker = Checker {
+        stack: build_stack(),
+        golden: MainMemory::new(),
+        seq: 0,
+        reads_checked: 0,
+    };
+    workloads::yacc().run(Scale::Test, &mut checker);
+    let l1_writes = checker.stack.stats().writes;
+    let wc_stats = checker.stack.next_level().stats();
+    assert_eq!(
+        wc_stats.writes, l1_writes,
+        "write-through passes all stores"
+    );
+    assert!(
+        wc_stats.outbound() < l1_writes * 2 / 3,
+        "write cache should remove over a third of yacc's writes ({} of {} left)",
+        wc_stats.outbound(),
+        l1_writes
+    );
+}

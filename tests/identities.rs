@@ -1,0 +1,172 @@
+//! Accounting identities the paper's analysis relies on, checked across
+//! the full policy matrix and all six workloads.
+
+use cwp::cache::{metrics, CacheConfig, ConfigError, WriteHitPolicy, WriteMissPolicy};
+use cwp::core::sim::simulate;
+use cwp::trace::{workloads, Scale};
+
+fn matrix() -> Vec<CacheConfig> {
+    let mut configs = Vec::new();
+    for hit in WriteHitPolicy::ALL {
+        for miss in WriteMissPolicy::ALL {
+            match CacheConfig::builder()
+                .size_bytes(4 * 1024)
+                .line_bytes(16)
+                .write_hit(hit)
+                .write_miss(miss)
+                .build()
+            {
+                Ok(c) => configs.push(c),
+                Err(ConfigError::PolicyConflict { .. }) => {}
+                Err(e) => panic!("unexpected config error: {e}"),
+            }
+        }
+    }
+    configs
+}
+
+#[test]
+fn hits_and_misses_partition_accesses_for_every_policy() {
+    for workload in workloads::suite() {
+        for config in matrix() {
+            let out = simulate(workload.as_ref(), Scale::Test, &config);
+            let s = out.stats;
+            assert_eq!(
+                s.read_hits + s.read_misses,
+                s.reads,
+                "{config} on {}: read partition broken",
+                workload.name()
+            );
+            assert_eq!(
+                s.write_hits + s.write_misses,
+                s.writes,
+                "{config} on {}: write partition broken",
+                workload.name()
+            );
+            assert!(s.partial_read_misses <= s.read_misses);
+            assert!(s.writes_to_dirty <= s.write_hits);
+        }
+    }
+}
+
+#[test]
+fn fetch_counts_match_each_policys_contract() {
+    for workload in workloads::suite() {
+        for config in matrix() {
+            let out = simulate(workload.as_ref(), Scale::Test, &config);
+            let s = out.stats;
+            if config.write_miss().fetches_on_write() {
+                assert_eq!(
+                    s.fetches,
+                    s.read_misses + s.write_misses,
+                    "{config} on {}: fetch-on-write must fetch every miss",
+                    workload.name()
+                );
+            } else {
+                assert_eq!(
+                    s.fetches,
+                    s.read_misses,
+                    "{config} on {}: no-fetch policies fetch only on reads",
+                    workload.name()
+                );
+            }
+            assert_eq!(out.traffic_total.fetch.transactions, s.fetches);
+        }
+    }
+}
+
+#[test]
+fn write_through_traffic_equals_store_count() {
+    for workload in workloads::suite() {
+        for miss in WriteMissPolicy::ALL {
+            let config = CacheConfig::builder()
+                .size_bytes(4 * 1024)
+                .line_bytes(16)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(miss)
+                .build()
+                .unwrap();
+            let out = simulate(workload.as_ref(), Scale::Test, &config);
+            assert_eq!(
+                out.traffic_total.write_through.transactions,
+                out.stats.writes,
+                "{config} on {}: every store must pass through",
+                workload.name()
+            );
+            assert_eq!(out.traffic_total.write_back.transactions, 0);
+        }
+    }
+}
+
+#[test]
+fn writeback_transactions_equal_clean_to_dirty_transitions() {
+    // Section 3's identity: write-back transactions (including the final
+    // flush) = writes - writes-to-already-dirty-lines, since each write
+    // that does not find a dirty line dirties one, and each dirtied line is
+    // written back exactly once. Exact under fetch-on-write, where lines
+    // are always fully valid (one transaction per victim).
+    for workload in workloads::suite() {
+        let config = CacheConfig::builder()
+            .size_bytes(4 * 1024)
+            .line_bytes(16)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .unwrap();
+        let out = simulate(workload.as_ref(), Scale::Test, &config);
+        assert_eq!(
+            out.traffic_total.write_back.transactions,
+            metrics::write_hit_writeback_transactions(&out.stats),
+            "write-back transaction identity broken on {}",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn hit_policies_do_not_affect_miss_behaviour() {
+    // With the same miss policy, write-through and write-back caches make
+    // identical allocation decisions, so their miss counts must agree.
+    for workload in workloads::suite() {
+        for miss in [
+            WriteMissPolicy::FetchOnWrite,
+            WriteMissPolicy::WriteValidate,
+        ] {
+            let wt = CacheConfig::builder()
+                .size_bytes(4 * 1024)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(miss)
+                .build()
+                .unwrap();
+            let wb = wt
+                .to_builder()
+                .write_hit(WriteHitPolicy::WriteBack)
+                .build()
+                .unwrap();
+            let a = simulate(workload.as_ref(), Scale::Test, &wt);
+            let b = simulate(workload.as_ref(), Scale::Test, &wb);
+            assert_eq!(
+                a.stats.read_misses,
+                b.stats.read_misses,
+                "{miss} on {}",
+                workload.name()
+            );
+            assert_eq!(a.stats.write_misses, b.stats.write_misses);
+            assert_eq!(a.stats.fetches, b.stats.fetches);
+        }
+    }
+}
+
+#[test]
+fn flush_stop_victims_extend_cold_stop_victims() {
+    for workload in workloads::suite() {
+        let out = simulate(workload.as_ref(), Scale::Test, &CacheConfig::default());
+        let cold = out.stats.victims;
+        let both = out.stats.victims_with_flush();
+        assert!(both.total >= cold.total);
+        assert!(both.dirty >= cold.dirty);
+        assert!(both.dirty_bytes >= cold.dirty_bytes);
+        // Flush victims are bounded by the number of cache lines.
+        assert!(out.stats.flush.total <= u64::from(CacheConfig::default().lines()));
+    }
+}
