@@ -1,28 +1,19 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
-//! Each bench measures a *metric* (printed once per run) while Criterion
+//! Each bench measures a *metric* (printed once per run) while the harness
 //! times the simulation, so a bench run doubles as an ablation report:
 //!
 //! * sub-block dirty bits (partial write-backs) vs whole-line write-backs
 //! * associativity's effect on write-cache-relative effectiveness
 //! * the combined write-buffer/write-cache reserve of Section 3.2
 
-use std::sync::Once;
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cwp_buffers::CoalescingWriteBuffer;
 use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
 use cwp_core::sim::simulate;
 use cwp_trace::{workloads, Scale};
 
-fn bench_partial_writeback(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-partial-writeback");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
-    static REPORT: Once = Once::new();
+fn bench_partial_writeback() {
+    let group = cwp_bench::group("ablation-partial-writeback");
     for partial in [false, true] {
         let config = CacheConfig::builder()
             .size_bytes(8 * 1024)
@@ -37,45 +28,39 @@ fn bench_partial_writeback(c: &mut Criterion) {
         } else {
             "whole-line"
         };
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let out = simulate(workloads::ccom().as_ref(), Scale::Test, &config);
-                out.traffic_total.write_back.bytes
-            });
-        });
-        REPORT.call_once(|| {
-            let whole = simulate(
-                workloads::ccom().as_ref(),
-                Scale::Test,
-                &config.to_builder().partial_writeback(false).build().unwrap(),
-            );
-            let sub = simulate(
-                workloads::ccom().as_ref(),
-                Scale::Test,
-                &config.to_builder().partial_writeback(true).build().unwrap(),
-            );
-            eprintln!(
-                "[ablation] 64B lines, ccom: write-back bytes whole-line={} subblock={} ({:.1}% saved)",
-                whole.traffic_total.write_back.bytes,
-                sub.traffic_total.write_back.bytes,
-                100.0
-                    * (1.0
-                        - sub.traffic_total.write_back.bytes as f64
-                            / whole.traffic_total.write_back.bytes as f64)
-            );
+        group.bench(name, || {
+            let out = simulate(workloads::ccom().as_ref(), Scale::Test, &config);
+            out.traffic_total.write_back.bytes
         });
     }
-    group.finish();
+
+    let config = CacheConfig::builder()
+        .size_bytes(8 * 1024)
+        .line_bytes(64)
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .unwrap();
+    let whole = simulate(workloads::ccom().as_ref(), Scale::Test, &config);
+    let sub = simulate(
+        workloads::ccom().as_ref(),
+        Scale::Test,
+        &config.to_builder().partial_writeback(true).build().unwrap(),
+    );
+    eprintln!(
+        "[ablation] 64B lines, ccom: write-back bytes whole-line={} subblock={} ({:.1}% saved)",
+        whole.traffic_total.write_back.bytes,
+        sub.traffic_total.write_back.bytes,
+        100.0
+            * (1.0
+                - sub.traffic_total.write_back.bytes as f64
+                    / whole.traffic_total.write_back.bytes as f64)
+    );
 }
 
-fn bench_associativity_vs_policy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation-associativity");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
-    static REPORT: Once = Once::new();
-    for ways in [1u32, 4] {
+fn bench_associativity_vs_policy() {
+    let group = cwp_bench::group("ablation-associativity");
+    let fetches = |ways: u32| {
         let config = CacheConfig::builder()
             .size_bytes(8 * 1024)
             .associativity(ways)
@@ -83,44 +68,25 @@ fn bench_associativity_vs_policy(c: &mut Criterion) {
             .write_miss(WriteMissPolicy::WriteValidate)
             .build()
             .unwrap();
-        group.bench_function(BenchmarkId::from_parameter(format!("{ways}-way")), |b| {
-            b.iter(|| {
-                simulate(workloads::liver().as_ref(), Scale::Test, &config)
-                    .stats
-                    .fetches
-            });
-        });
+        simulate(workloads::liver().as_ref(), Scale::Test, &config)
+            .stats
+            .fetches
+    };
+    for ways in [1u32, 4] {
+        group.bench(&format!("{ways}-way"), || fetches(ways));
     }
-    REPORT.call_once(|| {
-        let fetches = |ways: u32| {
-            let config = CacheConfig::builder()
-                .size_bytes(8 * 1024)
-                .associativity(ways)
-                .write_hit(WriteHitPolicy::WriteThrough)
-                .write_miss(WriteMissPolicy::WriteValidate)
-                .build()
-                .unwrap();
-            simulate(workloads::liver().as_ref(), Scale::Test, &config).stats.fetches
-        };
-        eprintln!(
-            "[ablation] liver, 8KB write-validate: fetches 1-way={} 4-way={} (paper studied direct-mapped only)",
-            fetches(1),
-            fetches(4)
-        );
-    });
-    group.finish();
+    eprintln!(
+        "[ablation] liver, 8KB write-validate: fetches 1-way={} 4-way={} (paper studied direct-mapped only)",
+        fetches(1),
+        fetches(4)
+    );
 }
 
-fn bench_write_buffer_reserve(c: &mut Criterion) {
+fn bench_write_buffer_reserve() {
     // The Section 3.2 combined structure: an m-entry buffer that drains
     // only above n pending entries behaves like a write cache in front of
     // a write buffer.
-    let mut group = c.benchmark_group("ablation-wb-reserve");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
-    static REPORT: Once = Once::new();
+    let group = cwp_bench::group("ablation-wb-reserve");
 
     let collect = |reserve: usize| {
         let mut stream = Vec::new();
@@ -143,28 +109,18 @@ fn bench_write_buffer_reserve(c: &mut Criterion) {
     };
 
     for reserve in [0usize, 6] {
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("reserve-{reserve}")),
-            |b| {
-                b.iter(|| collect(reserve).merged);
-            },
-        );
+        group.bench(&format!("reserve-{reserve}"), || collect(reserve).merged);
     }
-    REPORT.call_once(|| {
-        let plain = collect(0);
-        let reserved = collect(6);
-        eprintln!(
-            "[ablation] yacc, 8-entry buffer @4-cycle retire: merged plain={} with-6-reserve={}",
-            plain.merged, reserved.merged
-        );
-    });
-    group.finish();
+    let plain = collect(0);
+    let reserved = collect(6);
+    eprintln!(
+        "[ablation] yacc, 8-entry buffer @4-cycle retire: merged plain={} with-6-reserve={}",
+        plain.merged, reserved.merged
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_partial_writeback,
-    bench_associativity_vs_policy,
-    bench_write_buffer_reserve
-);
-criterion_main!(benches);
+fn main() {
+    bench_partial_writeback();
+    bench_associativity_vs_policy();
+    bench_write_buffer_reserve();
+}

@@ -1,34 +1,21 @@
-//! One Criterion benchmark per paper table/figure.
+//! One benchmark per paper table/figure.
 //!
 //! Each benchmark regenerates its experiment end to end (fresh lab, test
 //! scale), so `cargo bench -p cwp-bench --bench experiments` both exercises
 //! every harness and reports how long each figure costs to reproduce.
 //! Scale up with the `figures` binary for paper-fidelity data.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use cwp_core::{experiments, Lab};
 use cwp_trace::Scale;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let group = cwp_bench::group("experiments");
     for e in experiments::all() {
-        group.bench_function(e.id, |b| {
-            b.iter(|| {
-                let mut lab = Lab::new(Scale::Test);
-                let tables = e.run(&mut lab);
-                assert!(!tables.is_empty() && !tables[0].is_empty());
-                tables.len()
-            });
+        group.bench(e.id, || {
+            let mut lab = Lab::new(Scale::Test);
+            let tables = e.run(&mut lab);
+            assert!(!tables.is_empty() && !tables[0].is_empty());
+            tables.len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

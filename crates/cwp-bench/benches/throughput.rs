@@ -4,9 +4,6 @@
 //! many references per second can the cache model sustain, and how fast
 //! can each workload generator emit its trace?
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cwp_cache::{Cache, CacheConfig, ConfigError, WriteHitPolicy, WriteMissPolicy};
 use cwp_core::sim::CacheSink;
 use cwp_trace::{workloads, Scale, TraceSink};
@@ -21,37 +18,25 @@ impl TraceSink for CountSink {
     }
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn bench_generators() {
+    let group = cwp_bench::group("generate");
     for w in workloads::suite() {
         let mut probe = CountSink(0);
         w.run(Scale::Test, &mut probe);
-        group.throughput(Throughput::Elements(probe.0));
-        group.bench_function(BenchmarkId::from_parameter(w.name()), |b| {
-            b.iter(|| {
-                let mut sink = CountSink(0);
-                w.run(Scale::Test, &mut sink);
-                sink.0
-            });
+        group.bench_throughput(w.name(), probe.0, || {
+            let mut sink = CountSink(0);
+            w.run(Scale::Test, &mut sink);
+            sink.0
         });
     }
-    group.finish();
 }
 
-fn bench_cache_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate-8kb-16b");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn bench_cache_policies() {
+    let group = cwp_bench::group("simulate-8kb-16b");
     let grr = workloads::grr();
     let mut probe = CountSink(0);
     grr.run(Scale::Test, &mut probe);
-    group.throughput(Throughput::Elements(probe.0));
+    let refs = probe.0;
 
     for hit in WriteHitPolicy::ALL {
         for miss in WriteMissPolicy::ALL {
@@ -64,69 +49,51 @@ fn bench_cache_policies(c: &mut Criterion) {
                 Err(ConfigError::PolicyConflict { .. }) => continue,
                 Err(e) => panic!("{e}"),
             };
-            group.bench_function(BenchmarkId::from_parameter(format!("{hit}+{miss}")), |b| {
-                b.iter(|| {
-                    let mut sink = CacheSink::new(config);
-                    grr.run(Scale::Test, &mut sink);
-                    sink.cache().stats().accesses()
-                });
+            group.bench_throughput(&format!("{hit}+{miss}"), refs, || {
+                let mut sink = CacheSink::new(config);
+                grr.run(Scale::Test, &mut sink);
+                sink.cache().stats().accesses()
             });
         }
     }
-    group.finish();
 }
 
-fn bench_associativity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate-associativity");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn bench_associativity() {
+    let group = cwp_bench::group("simulate-associativity");
     let met = workloads::met();
     for ways in [1u32, 2, 4, 8] {
         let config = CacheConfig::builder().associativity(ways).build().unwrap();
-        group.bench_function(BenchmarkId::from_parameter(format!("{ways}-way")), |b| {
-            b.iter(|| {
-                let mut sink = CacheSink::new(config);
-                met.run(Scale::Test, &mut sink);
-                sink.cache().stats().accesses()
-            });
+        group.bench(&format!("{ways}-way"), || {
+            let mut sink = CacheSink::new(config);
+            met.run(Scale::Test, &mut sink);
+            sink.cache().stats().accesses()
         });
     }
-    group.finish();
 }
 
-fn bench_raw_cache_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("raw-ops");
-    group.throughput(Throughput::Elements(100_000));
+fn bench_raw_cache_ops() {
+    let group = cwp_bench::group("raw-ops");
     let config = CacheConfig::default();
-    group.bench_function("sequential-read-100k", |b| {
-        b.iter(|| {
-            let mut cache = Cache::with_memory(config);
-            let mut buf = [0u8; 8];
-            for i in 0..100_000u64 {
-                cache.read(i * 8 % 65_536, &mut buf);
-            }
-            cache.stats().reads
-        });
+    group.bench_throughput("sequential-read-100k", 100_000, || {
+        let mut cache = Cache::with_memory(config);
+        let mut buf = [0u8; 8];
+        for i in 0..100_000u64 {
+            cache.read(i * 8 % 65_536, &mut buf);
+        }
+        cache.stats().reads
     });
-    group.bench_function("sequential-write-100k", |b| {
-        b.iter(|| {
-            let mut cache = Cache::with_memory(config);
-            for i in 0..100_000u64 {
-                cache.write(i * 8 % 65_536, &[1u8; 8]);
-            }
-            cache.stats().writes
-        });
+    group.bench_throughput("sequential-write-100k", 100_000, || {
+        let mut cache = Cache::with_memory(config);
+        for i in 0..100_000u64 {
+            cache.write(i * 8 % 65_536, &[1u8; 8]);
+        }
+        cache.stats().writes
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generators,
-    bench_cache_policies,
-    bench_associativity,
-    bench_raw_cache_ops
-);
-criterion_main!(benches);
+fn main() {
+    bench_generators();
+    bench_cache_policies();
+    bench_associativity();
+    bench_raw_cache_ops();
+}

@@ -1,1 +1,125 @@
-//! Benchmark-only crate; see the `benches/` directory.
+//! A tiny self-contained benchmark harness.
+//!
+//! The benches in `benches/` were originally Criterion benches; to keep
+//! the build hermetic (no network, no external crates) they now run on
+//! this `std::time::Instant` harness instead. It keeps the parts that
+//! matter here — warm-up, repeated samples, median-of-samples reporting,
+//! and element throughput — and drops the statistics machinery.
+//!
+//! Set `CWP_BENCH_MS` to change the per-benchmark sampling budget
+//! (default 300 ms; e.g. `CWP_BENCH_MS=2000` for steadier numbers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, printed as `group/name` lines.
+pub struct Group {
+    name: String,
+    budget: Duration,
+}
+
+/// Starts a benchmark group.
+pub fn group(name: &str) -> Group {
+    let ms = std::env::var("CWP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Group {
+        name: name.to_string(),
+        budget: Duration::from_millis(ms),
+    }
+}
+
+impl Group {
+    /// Runs `f` repeatedly within the sampling budget and prints its
+    /// median sample time.
+    pub fn bench<T>(&self, name: &str, f: impl FnMut() -> T) {
+        self.run(name, None, f);
+    }
+
+    /// Like [`Group::bench`], also reporting `elements / sample` as a
+    /// throughput rate.
+    pub fn bench_throughput<T>(&self, name: &str, elements: u64, f: impl FnMut() -> T) {
+        self.run(name, Some(elements), f);
+    }
+
+    fn run<T>(&self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
+        // One untimed warm-up to populate caches and page in code.
+        black_box(f());
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while samples.is_empty() || (start.elapsed() < self.budget && samples.len() < 1000) {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mut line = format!(
+            "{}/{}: median {} (min {}, n={})",
+            self.name,
+            name,
+            fmt_duration(median),
+            fmt_duration(min),
+            samples.len()
+        );
+        if let Some(n) = elements {
+            let rate = n as f64 / median.as_secs_f64();
+            line.push_str(&format!(", {} elem/s", fmt_rate(rate)));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_the_ranges() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_rate(1_500.0), "1.5k");
+        assert_eq!(fmt_rate(42.0), "42");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = group("selftest");
+        let mut count = 0u64;
+        g.bench("noop", || {
+            count += 1;
+            count
+        });
+        assert!(count >= 2, "warm-up plus at least one sample");
+    }
+}

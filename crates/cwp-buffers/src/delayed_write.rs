@@ -95,6 +95,14 @@ impl DelayedWriteRegister {
         self.stats
     }
 
+    /// The check-bit bill for the register's single 8B datum. Until its
+    /// delayed write retires, the register holds the only copy of the
+    /// store's data, so it requires ECC like any dirty storage
+    /// (Section 3).
+    pub fn protection_budget(&self) -> crate::protection::BufferProtection {
+        crate::protection::BufferProtection::ecc(1, 8)
+    }
+
     /// Processes a store whose tag probe `probe_hit` says hit or missed.
     ///
     /// Returns the cycles the store consumed at the cache interface. Store

@@ -24,11 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod delayed_write;
+pub mod protection;
 pub mod victim_buffer;
 pub mod write_buffer;
 pub mod write_cache;
 
+pub use cwp_cache::Protection;
 pub use delayed_write::{DelayedWriteRegister, DelayedWriteStats, StoreCycles};
+pub use protection::BufferProtection;
 pub use victim_buffer::VictimBuffer;
 pub use write_buffer::{CoalescingWriteBuffer, WriteBufferStats};
 pub use write_cache::{WriteCache, WriteCacheStats};

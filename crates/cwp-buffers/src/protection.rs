@@ -1,0 +1,89 @@
+//! Check-bit requirements for the write-side buffers (Section 3).
+//!
+//! The paper's reliability argument extends past the cache proper. Every
+//! structure in this crate holds *dirty* data: write data or dirty victims
+//! that exist nowhere downstream until the entry drains. Parity can only
+//! *detect* an error in such an entry — there is no clean copy anywhere to
+//! refetch — so, unlike a write-through cache (which gets away with byte
+//! parity precisely because all its lines are clean), these buffers need
+//! single-error-correcting ECC no matter which cache sits above them.
+//!
+//! Each structure reports its bill through a `protection_budget()` method
+//! returning a [`BufferProtection`], so experiments can fold buffer check
+//! bits into a hierarchy's total SRAM budget alongside
+//! [`cwp_cache::overhead::bit_budget`].
+
+use cwp_cache::Protection;
+
+/// The check-bit bill for one buffer structure at full capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferProtection {
+    /// Protection the structure needs for single-bit-error safety.
+    /// Always [`Protection::EccPerWord`]: buffer entries are dirty by
+    /// definition, and dirty data under mere parity is unrecoverable.
+    pub required: Protection,
+    /// Data bits the structure holds at capacity.
+    pub data_bits: u64,
+    /// Check bits at the required protection level (6 per 32-bit word).
+    pub check_bits: u64,
+}
+
+impl BufferProtection {
+    /// The ECC bill for `entries` entries of `entry_bytes` each.
+    pub(crate) fn ecc(entries: u64, entry_bytes: u64) -> Self {
+        let words = entries * entry_bytes.div_ceil(4);
+        BufferProtection {
+            required: Protection::EccPerWord,
+            data_bits: entries * entry_bytes * 8,
+            check_bits: words * u64::from(Protection::EccPerWord.bits_per_word()),
+        }
+    }
+
+    /// Check bits as a fraction of data bits (0 for an empty structure).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.data_bits == 0 {
+            0.0
+        } else {
+            self.check_bits as f64 / self.data_bits as f64
+        }
+    }
+
+    /// Total protected SRAM bits.
+    pub fn total_bits(&self) -> u64 {
+        self.data_bits + self.check_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecc_bill_matches_the_papers_arithmetic() {
+        // 5 entries × 8B = 10 words; 6 check bits per word.
+        let b = BufferProtection::ecc(5, 8);
+        assert_eq!(b.required, Protection::EccPerWord);
+        assert_eq!(b.data_bits, 5 * 8 * 8);
+        assert_eq!(b.check_bits, 10 * 6);
+        // "6 bits per 32 bit word" = 18.75% of the data bits.
+        assert!((b.overhead_fraction() - 0.1875).abs() < 1e-12);
+        assert_eq!(b.total_bits(), b.data_bits + b.check_bits);
+    }
+
+    #[test]
+    fn sub_word_entries_round_up_to_a_word() {
+        let b = BufferProtection::ecc(3, 2);
+        assert_eq!(
+            b.check_bits,
+            3 * 6,
+            "each 2B entry still needs a word's ECC"
+        );
+    }
+
+    #[test]
+    fn empty_structure_has_a_zero_bill() {
+        let b = BufferProtection::ecc(0, 8);
+        assert_eq!(b.total_bits(), 0);
+        assert_eq!(b.overhead_fraction(), 0.0);
+    }
+}

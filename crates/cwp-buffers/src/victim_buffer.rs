@@ -62,6 +62,14 @@ impl<N: NextLevel> VictimBuffer<N> {
         self.peak_occupancy
     }
 
+    /// The check-bit bill for this structure's SRAM, given the line size
+    /// of the cache above it. A victim buffer holds only dirty victims —
+    /// the sole copies of their data — so it requires ECC regardless of
+    /// the cache's own protection (Section 3).
+    pub fn protection_budget(&self, line_bytes: u32) -> crate::protection::BufferProtection {
+        crate::protection::BufferProtection::ecc(self.capacity as u64, u64::from(line_bytes))
+    }
+
     /// Shared access to the next level.
     pub fn next_level(&self) -> &N {
         &self.next

@@ -130,6 +130,14 @@ impl CoalescingWriteBuffer {
         self.stats
     }
 
+    /// The check-bit bill for this structure's SRAM. Pending write-buffer
+    /// entries are un-retired write data — dirty by definition — so they
+    /// require ECC even behind a parity-protected write-through cache
+    /// (Section 3).
+    pub fn protection_budget(&self) -> crate::protection::BufferProtection {
+        crate::protection::BufferProtection::ecc(self.entries as u64, 1u64 << self.line_shift)
+    }
+
     /// Retires entries whose service slots have elapsed by `cycle`.
     fn drain_until(&mut self, cycle: u64) {
         if self.retire_interval == 0 {

@@ -128,6 +128,14 @@ impl<N: NextLevel> WriteCache<N> {
         self.slots.len()
     }
 
+    /// The check-bit bill for this structure's SRAM. Write-cache entries
+    /// hold write data that exists nowhere downstream until eviction —
+    /// dirty by definition — so they require ECC even behind a
+    /// parity-protected write-through cache (Section 3).
+    pub fn protection_budget(&self) -> crate::protection::BufferProtection {
+        crate::protection::BufferProtection::ecc(self.entries as u64, u64::from(self.line_bytes))
+    }
+
     /// Shared access to the next level.
     pub fn next_level(&self) -> &N {
         &self.next

@@ -1,111 +1,140 @@
 //! Property tests for the write-side structures.
+//!
+//! Formerly driven by proptest; now driven by the in-tree seeded
+//! [`SplitMix64`] so the suite builds with no external crates. Each test
+//! runs many independently-generated random programs.
 
-use cwp_buffers::{CoalescingWriteBuffer, DelayedWriteRegister, VictimBuffer, WriteCache};
+use cwp_buffers::{
+    CoalescingWriteBuffer, DelayedWriteRegister, Protection, VictimBuffer, WriteCache,
+};
+use cwp_mem::rng::SplitMix64;
 use cwp_mem::{MainMemory, NextLevel};
-use proptest::prelude::*;
 
 /// A small write program: (gap, addr, len) triples.
-fn writes_strategy() -> impl Strategy<Value = Vec<(u64, u64, usize)>> {
-    prop::collection::vec(
-        (
-            0u64..20,
-            0u64..256,
-            prop::sample::select(vec![1usize, 2, 4, 8]),
-        ),
-        1..200,
-    )
+fn gen_writes(rng: &mut SplitMix64) -> Vec<(u64, u64, usize)> {
+    let n = 1 + rng.below(200);
+    (0..n)
+        .map(|_| {
+            let gap = rng.below(20);
+            let addr = rng.below(256);
+            let len = [1usize, 2, 4, 8][rng.below(4) as usize];
+            (gap, addr, len)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn write_buffer_conserves_writes(ops in writes_strategy(), interval in 0u64..32, entries in 1usize..10) {
+#[test]
+fn write_buffer_conserves_writes() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0001);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let interval = rng.below(32);
+        let entries = 1 + rng.below(9) as usize;
         let mut wb = CoalescingWriteBuffer::new(entries, 16, interval);
         let mut cycle = 0u64;
-        for (gap, addr, _len) in &ops {
+        for &(gap, addr, _len) in &ops {
             cycle += gap;
-            wb.write(cycle, *addr);
+            wb.write(cycle, addr);
         }
         let before_flush = wb.stats();
-        prop_assert_eq!(
+        assert_eq!(
             before_flush.merged + before_flush.retired + wb.occupancy() as u64,
             before_flush.writes,
             "every write merges, retires, or is still pending"
         );
         wb.flush();
         let s = wb.stats();
-        prop_assert_eq!(wb.occupancy(), 0);
-        prop_assert_eq!(s.merged + s.retired, s.writes);
+        assert_eq!(wb.occupancy(), 0);
+        assert_eq!(s.merged + s.retired, s.writes);
         // Stalls can only happen when the buffer actually fills.
         if (s.writes - s.merged) <= entries as u64 {
-            prop_assert_eq!(s.stall_cycles, 0);
+            assert_eq!(s.stall_cycles, 0);
         }
     }
+}
 
-    #[test]
-    fn write_buffer_merging_is_monotone_in_interval(ops in writes_strategy(), entries in 2usize..9) {
+#[test]
+fn write_buffer_merging_is_monotone_in_interval() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0002);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let entries = 2 + rng.below(7) as usize;
         // A strictly slower next level can only increase merge opportunity.
         let run = |interval: u64| {
             let mut wb = CoalescingWriteBuffer::new(entries, 16, interval);
             let mut cycle = 0u64;
-            for (gap, addr, _len) in &ops {
+            for &(gap, addr, _len) in &ops {
                 cycle += gap;
-                wb.write(cycle, *addr);
+                wb.write(cycle, addr);
             }
             wb.stats().merged
         };
-        prop_assert!(run(0) == 0);
+        assert_eq!(run(0), 0);
         // Not strictly monotone point-wise in theory, but the extremes hold:
         // an infinite interval merges at least as much as a tiny one.
-        prop_assert!(run(1_000_000) >= run(1));
+        assert!(run(1_000_000) >= run(1));
     }
+}
 
-    #[test]
-    fn write_cache_preserves_data(ops in writes_strategy(), entries in 0usize..8) {
+#[test]
+fn write_cache_preserves_data() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0003);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let entries = rng.below(8) as usize;
         let mut wc = WriteCache::new(entries, 8, MainMemory::new());
         let mut golden = MainMemory::new();
         let mut seq = 1u8;
-        for (_gap, addr, len) in &ops {
-            let addr = addr & !(*len as u64 - 1);
+        for &(_gap, addr, len) in &ops {
+            let addr = addr & !(len as u64 - 1);
             seq = seq.wrapping_add(1);
-            let data = vec![seq; *len];
+            let data = vec![seq; len];
             wc.write_through(addr, &data);
             golden.write(addr, &data);
             // Reads through the write cache must observe pending data.
-            let mut got = vec![0u8; *len];
+            let mut got = vec![0u8; len];
             wc.fetch_line(addr, &mut got);
-            prop_assert_eq!(&got, &data);
+            assert_eq!(got, data);
         }
         wc.flush();
         let mem = wc.into_next_level();
         for a in 0..256u64 {
-            prop_assert_eq!(mem.read_byte(a), golden.read_byte(a), "byte {:#x}", a);
+            assert_eq!(mem.read_byte(a), golden.read_byte(a), "byte {a:#x}");
         }
     }
+}
 
-    #[test]
-    fn write_cache_conserves_writes(ops in writes_strategy(), entries in 0usize..8) {
+#[test]
+fn write_cache_conserves_writes() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0004);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let entries = rng.below(8) as usize;
         let mut wc = WriteCache::new(entries, 8, MainMemory::new());
-        for (_gap, addr, len) in &ops {
-            let addr = addr & !(*len as u64 - 1);
-            wc.write_through(addr, &vec![1u8; *len]);
+        for &(_gap, addr, len) in &ops {
+            let addr = addr & !(len as u64 - 1);
+            wc.write_through(addr, &vec![1u8; len]);
         }
         wc.flush();
         let s = wc.stats();
-        prop_assert_eq!(s.merged + s.evictions + s.drained, s.writes);
-        prop_assert!(s.removed_fraction().unwrap_or(0.0) >= 0.0);
+        assert_eq!(s.merged + s.evictions + s.drained, s.writes);
+        assert!(s.removed_fraction().unwrap_or(0.0) >= 0.0);
     }
+}
 
-    #[test]
-    fn victim_buffer_preserves_order_and_data(ops in writes_strategy(), cap in 1usize..5) {
+#[test]
+fn victim_buffer_preserves_order_and_data() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0005);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let cap = 1 + rng.below(4) as usize;
         let mut vb = VictimBuffer::new(cap, MainMemory::new());
         let mut golden = MainMemory::new();
         let mut seq = 1u8;
-        for (i, (_gap, addr, len)) in ops.iter().enumerate() {
-            let addr = addr & !(*len as u64 - 1);
+        for (i, &(_gap, addr, len)) in ops.iter().enumerate() {
+            let addr = addr & !(len as u64 - 1);
             seq = seq.wrapping_add(1);
-            let data = vec![seq; *len];
+            let data = vec![seq; len];
             if i % 3 == 0 {
                 vb.write_through(addr, &data);
             } else {
@@ -116,23 +145,55 @@ proptest! {
         vb.flush();
         let mem = vb.into_next_level();
         for a in 0..256u64 {
-            prop_assert_eq!(mem.read_byte(a), golden.read_byte(a), "byte {:#x}", a);
+            assert_eq!(mem.read_byte(a), golden.read_byte(a), "byte {a:#x}");
         }
     }
+}
 
-    #[test]
-    fn delayed_write_cycles_partition_stores(hits in prop::collection::vec(any::<bool>(), 1..100)) {
+#[test]
+fn delayed_write_cycles_partition_stores() {
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0006);
+    for _case in 0..128 {
+        let n = 1 + rng.below(100) as usize;
+        let hits: Vec<bool> = (0..n).map(|_| rng.gen_bool()).collect();
         let mut dw = DelayedWriteRegister::new();
-        for (i, hit) in hits.iter().enumerate() {
+        for (i, &hit) in hits.iter().enumerate() {
             if i % 7 == 3 {
                 dw.read_miss();
             }
-            let _ = dw.store(i as u64 * 8, *hit);
+            let _ = dw.store(i as u64 * 8, hit);
         }
         let s = dw.stats();
-        prop_assert_eq!(s.one_cycle + s.two_cycle, s.stores);
-        prop_assert_eq!(s.stores, hits.len() as u64);
-        let cps = s.cycles_per_store().unwrap();
-        prop_assert!((1.0..=2.0).contains(&cps));
+        assert_eq!(s.one_cycle + s.two_cycle, s.stores);
+        assert_eq!(s.stores, hits.len() as u64);
+        let cps = s.cycles_per_store().expect("at least one store ran");
+        assert!((1.0..=2.0).contains(&cps));
     }
+}
+
+#[test]
+fn every_buffer_reports_an_ecc_requirement() {
+    // Section 3: buffer entries are dirty by definition — the only copy
+    // of their data — so each structure's bill demands ECC, never parity.
+    let wc = WriteCache::new(5, 8, MainMemory::new());
+    let vb = VictimBuffer::new(2, MainMemory::new());
+    let wb = CoalescingWriteBuffer::new(6, 16, 5);
+    let dw = DelayedWriteRegister::new();
+
+    let bills = [
+        wc.protection_budget(),
+        vb.protection_budget(16),
+        wb.protection_budget(),
+        dw.protection_budget(),
+    ];
+    for bill in bills {
+        assert_eq!(bill.required, Protection::EccPerWord);
+        assert!(bill.check_bits > 0);
+        // 6 check bits per 32-bit word: overhead is at least 18.75%.
+        assert!(bill.overhead_fraction() >= 0.1875);
+    }
+    // The paper's 5-entry 8B-line write cache holds 10 words: 60 check bits.
+    assert_eq!(wc.protection_budget().check_bits, 60);
+    assert_eq!(vb.protection_budget(16).data_bits, 2 * 16 * 8);
+    assert_eq!(dw.protection_budget().data_bits, 64);
 }

@@ -1,11 +1,25 @@
 //! The cache engine: lookup, replacement, and the policy state machines.
 
-use cwp_mem::{MainMemory, NextLevel, Traffic, TrafficRecorder};
+use cwp_mem::{CwpError, MainMemory, NextLevel, Traffic, TrafficRecorder};
 
 use crate::config::CacheConfig;
+use crate::fault::{FaultEvent, FaultInjector, FaultKind, Protection};
 use crate::mask;
 use crate::policy::{WriteHitPolicy, WriteMissPolicy};
 use crate::stats::CacheStats;
+
+/// Cap on the structured [`FaultEvent`] log; counters in
+/// [`CacheStats::faults`] stay exact past it.
+const FAULT_LOG_CAP: usize = 4096;
+
+/// One outstanding injected bit flip, remembered so ECC correction can
+/// undo it exactly.
+#[derive(Debug, Clone, Copy)]
+struct Flip {
+    idx: usize,
+    byte: u32,
+    bit: u8,
+}
 
 /// Per-line metadata: tag plus per-byte valid and dirty masks.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +61,17 @@ pub struct Cache<N> {
     scratch: Vec<u8>,
     tick: u64,
     stats: CacheStats,
+    /// Per-line mask of bytes holding an injected (not yet resolved) flip.
+    /// Always zero under [`Protection::None`]: without check bits the
+    /// cache cannot know, so corruption is tracked only in the counters.
+    faulty: Vec<u64>,
+    /// Outstanding flips, for exact ECC un-flipping.
+    flips: Vec<Flip>,
+    injector: FaultInjector,
+    fault_log: Vec<FaultEvent>,
+    /// Site of the most recent data-loss event, for [`Cache::try_read`] /
+    /// [`Cache::try_write`] error reporting.
+    last_loss: Option<(u64, u32)>,
     next: N,
 }
 
@@ -83,6 +108,11 @@ impl<N: NextLevel> Cache<N> {
             scratch: vec![0u8; line_bytes as usize],
             tick: 0,
             stats: CacheStats::default(),
+            faulty: vec![0u64; lines],
+            flips: Vec::new(),
+            injector: FaultInjector::new(config.fault_rate_ppm(), config.fault_seed()),
+            fault_log: Vec::new(),
+            last_loss: None,
             next,
         }
     }
@@ -155,6 +185,9 @@ impl<N: NextLevel> Cache<N> {
     /// flush victim ("flush stop", Section 5).
     pub fn flush(&mut self) {
         for idx in 0..self.meta.len() {
+            if self.faulty[idx] != 0 {
+                self.resolve_fault(idx, true);
+            }
             let m = self.meta[idx];
             if m.valid == 0 {
                 continue;
@@ -176,6 +209,8 @@ impl<N: NextLevel> Cache<N> {
         for m in &mut self.meta {
             *m = LineMeta::EMPTY;
         }
+        self.faulty.fill(0);
+        self.flips.clear();
     }
 
     /// Returns `true` if every byte of `addr..addr+len` is resident and
@@ -230,6 +265,9 @@ impl<N: NextLevel> Cache<N> {
             }
         };
         let idx = self.line_index(set, way);
+        // The whole data array entry is rewritten (with fresh check
+        // bits), so any outstanding flip on this line is gone.
+        self.drop_fault_state(idx);
         let full = mask::full(self.line_bytes);
         self.line_data(idx).fill(0);
         let write_back = self.config.write_hit() == WriteHitPolicy::WriteBack;
@@ -343,6 +381,12 @@ impl<N: NextLevel> Cache<N> {
     /// writing back dirty bytes. Leaves the way invalid.
     fn evict(&mut self, set: u32, way: u32) {
         let idx = self.line_index(set, way);
+        if self.faulty[idx] != 0 {
+            // Check bits are verified as the victim is read out. A lost
+            // dirty line (parity) empties the way and is counted as a
+            // fault loss rather than a victim.
+            self.resolve_fault(idx, true);
+        }
         let m = self.meta[idx];
         if m.valid != 0 {
             self.stats.victims.total += 1;
@@ -384,7 +428,9 @@ impl<N: NextLevel> Cache<N> {
 
     fn read_within(&mut self, addr: u64, lo: usize, hi: usize, out: &mut [u8]) {
         self.stats.reads += 1;
+        self.maybe_inject();
         let (set, tag, offset) = self.decompose(addr);
+        self.scrub(set, tag);
         let need = mask::span(offset, (hi - lo) as u32);
 
         let way = match self.find_way(set, tag) {
@@ -418,7 +464,9 @@ impl<N: NextLevel> Cache<N> {
 
     fn write_within(&mut self, addr: u64, data: &[u8]) {
         self.stats.writes += 1;
+        self.maybe_inject();
         let (set, tag, offset) = self.decompose(addr);
+        self.scrub(set, tag);
         let span = mask::span(offset, data.len() as u32);
 
         if let Some(way) = self.find_way(set, tag) {
@@ -475,10 +523,244 @@ impl<N: NextLevel> Cache<N> {
                 if self.meta[idx].valid != 0 {
                     self.stats.invalidations += 1;
                 }
-                self.meta[idx] = LineMeta::EMPTY;
+                self.clear_line(idx);
                 self.next.write_through(addr, data);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery (Section 3)
+    // ------------------------------------------------------------------
+
+    /// The structured log of resolved fault events, oldest first. The log
+    /// is capped at 4096 entries; the counters in
+    /// [`CacheStats::faults`](crate::stats::CacheStats::faults) stay
+    /// exact past the cap.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
+    /// Injected flips that have not yet been detected and resolved.
+    pub fn outstanding_faults(&self) -> u64 {
+        self.flips.len() as u64
+    }
+
+    fn log_fault(&mut self, event: FaultEvent) {
+        if self.fault_log.len() < FAULT_LOG_CAP {
+            self.fault_log.push(event);
+        }
+    }
+
+    /// Gives the injector its per-access chance to flip one bit in a
+    /// random valid byte of the data array.
+    ///
+    /// The injector keeps at most one outstanding flip per protected
+    /// 32-bit word — the paper's single-bit fault model, and the bound
+    /// under which single-error-correcting ECC corrects everything.
+    fn maybe_inject(&mut self) {
+        if !self.injector.fires() {
+            return;
+        }
+        let valid_lines = self.meta.iter().filter(|m| m.valid != 0).count();
+        if valid_lines == 0 {
+            return;
+        }
+        let nth = self.injector.pick(valid_lines as u64) as usize;
+        let Some(idx) = self
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.valid != 0)
+            .nth(nth)
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let m = self.meta[idx];
+        let byte_choice = self.injector.pick(u64::from(mask::count(m.valid))) as u32;
+        let Some(byte) = nth_set_bit(m.valid, byte_choice) else {
+            return;
+        };
+        let protected = self.config.protection() != Protection::None;
+        if protected && self.faulty[idx] & (0xFu64 << (byte & !3)) != 0 {
+            return;
+        }
+        let bit = self.injector.pick(8) as u8;
+        let off = idx * self.line_bytes as usize + byte as usize;
+        self.data[off] ^= 1 << bit;
+        self.stats.faults.injected += 1;
+        if protected {
+            self.faulty[idx] |= 1u64 << byte;
+            self.flips.push(Flip { idx, byte, bit });
+        } else {
+            // No check bits: the flip is invisible to the cache and the
+            // corrupted byte stays live. Only the simulator's omniscient
+            // observer counts it.
+            self.stats.faults.silent_corruptions += 1;
+            let line_addr = self.line_addr_of(idx);
+            self.log_fault(FaultEvent {
+                kind: FaultKind::SilentCorruption,
+                line_addr,
+                byte,
+                bit,
+                dirty_bytes: 0,
+            });
+        }
+    }
+
+    /// Verifies the check bits of the line about to be accessed and
+    /// resolves any outstanding fault on it.
+    fn scrub(&mut self, set: u32, tag: u64) {
+        if let Some(way) = self.find_way(set, tag) {
+            let idx = self.line_index(set, way);
+            if self.faulty[idx] != 0 {
+                self.resolve_fault(idx, false);
+            }
+        }
+    }
+
+    /// Resolves the detected fault(s) on line `idx` per the configured
+    /// protection. `discarding` means the line is being evicted or
+    /// flushed: a faulty *clean* parity line is then simply dropped
+    /// (clean victims are never read out, so nothing is lost and no
+    /// refetch is needed).
+    fn resolve_fault(&mut self, idx: usize, discarding: bool) {
+        let line_addr = self.line_addr_of(idx);
+        let dirty = self.meta[idx].dirty;
+        let mut mine = Vec::new();
+        let mut i = 0;
+        while i < self.flips.len() {
+            if self.flips[i].idx == idx {
+                mine.push(self.flips.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.faulty[idx] = 0;
+        match self.config.protection() {
+            // Unreachable in practice: without check bits no fault is
+            // ever recorded against a line. State is cleared above.
+            Protection::None => {}
+            Protection::EccPerWord => {
+                for f in mine {
+                    let off = idx * self.line_bytes as usize + f.byte as usize;
+                    self.data[off] ^= 1 << f.bit;
+                    self.stats.faults.corrected_in_place += 1;
+                    self.log_fault(FaultEvent {
+                        kind: FaultKind::CorrectedInPlace,
+                        line_addr,
+                        byte: f.byte,
+                        bit: f.bit,
+                        dirty_bytes: 0,
+                    });
+                }
+            }
+            Protection::ByteParity if dirty == 0 => {
+                if discarding {
+                    self.stats.faults.discarded_clean += mine.len() as u64;
+                } else {
+                    // Every valid byte of a clean line matches the next
+                    // level, so a whole-line refetch recovers all flips
+                    // at once (and validates the rest of the line).
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    self.next.fetch_line(line_addr, &mut scratch);
+                    self.line_data(idx).copy_from_slice(&scratch);
+                    self.scratch = scratch;
+                    self.meta[idx].valid = mask::full(self.line_bytes);
+                    self.stats.faults.refetch_recoveries += mine.len() as u64;
+                    for f in mine {
+                        self.log_fault(FaultEvent {
+                            kind: FaultKind::RefetchRecovery,
+                            line_addr,
+                            byte: f.byte,
+                            bit: f.bit,
+                            dirty_bytes: 0,
+                        });
+                    }
+                }
+            }
+            Protection::ByteParity => {
+                // Parity on a dirty line: the dirty bytes exist nowhere
+                // else. Count the loss and drop the line un-written-back
+                // — never a panic.
+                let lost = mask::count(dirty);
+                self.stats.faults.data_loss_events += 1;
+                self.stats.faults.data_loss_dirty_bytes += u64::from(lost);
+                self.last_loss = Some((line_addr, lost));
+                let site = mine.first().copied();
+                self.log_fault(FaultEvent {
+                    kind: FaultKind::DataLoss,
+                    line_addr,
+                    byte: site.map_or(0, |f| f.byte),
+                    bit: site.map_or(0, |f| f.bit),
+                    dirty_bytes: lost,
+                });
+                self.meta[idx] = LineMeta::EMPTY;
+            }
+        }
+    }
+
+    /// Invalidates line `idx` and forgets any fault state attached to it.
+    fn clear_line(&mut self, idx: usize) {
+        self.meta[idx] = LineMeta::EMPTY;
+        self.drop_fault_state(idx);
+    }
+
+    /// Forgets fault state for a line whose data is being overwritten or
+    /// discarded wholesale (fresh check bits are written with new data).
+    fn drop_fault_state(&mut self, idx: usize) {
+        if self.faulty[idx] != 0 {
+            self.faulty[idx] = 0;
+            self.flips.retain(|f| f.idx != idx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked access entry points
+    // ------------------------------------------------------------------
+
+    /// Like [`Cache::read`], but validates the address span and surfaces
+    /// any unrecoverable data loss the access triggered as a typed error
+    /// instead of a bare counter.
+    ///
+    /// # Errors
+    ///
+    /// [`CwpError::AddressOverflow`] if `addr + buf.len()` exceeds the
+    /// address space; [`CwpError::FaultLoss`] if resolving a detected
+    /// fault during this access destroyed dirty data (the read still
+    /// completes, returning the next level's stale bytes).
+    pub fn try_read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), CwpError> {
+        check_span(addr, buf.len())?;
+        let before = self.stats.faults.data_loss_events;
+        self.read(addr, buf);
+        self.loss_since(before)
+    }
+
+    /// Like [`Cache::write`], but validates the address span and surfaces
+    /// any unrecoverable data loss as a typed error. See
+    /// [`Cache::try_read`].
+    ///
+    /// # Errors
+    ///
+    /// [`CwpError::AddressOverflow`] or [`CwpError::FaultLoss`], as for
+    /// [`Cache::try_read`].
+    pub fn try_write(&mut self, addr: u64, data: &[u8]) -> Result<(), CwpError> {
+        check_span(addr, data.len())?;
+        let before = self.stats.faults.data_loss_events;
+        self.write(addr, data);
+        self.loss_since(before)
+    }
+
+    fn loss_since(&self, before: u64) -> Result<(), CwpError> {
+        if self.stats.faults.data_loss_events > before {
+            let (line_addr, dirty_bytes) = self.last_loss.unwrap_or((0, 0));
+            return Err(CwpError::FaultLoss {
+                line_addr,
+                dirty_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// Stores `data` into a resident line, updating valid/dirty masks and
@@ -498,6 +780,28 @@ impl<N: NextLevel> Cache<N> {
             m.dirty |= span;
         }
     }
+}
+
+/// Index of the `n`-th (0-based) set bit of `mask`, if it has that many.
+fn nth_set_bit(mask: u64, n: u32) -> Option<u32> {
+    let mut seen = 0;
+    (0..64).find(|&i| {
+        if mask & (1u64 << i) != 0 {
+            if seen == n {
+                return true;
+            }
+            seen += 1;
+        }
+        false
+    })
+}
+
+/// Rejects accesses whose last byte would not fit in the address space.
+fn check_span(addr: u64, len: usize) -> Result<(), CwpError> {
+    if u128::from(addr) + len as u128 > u128::from(u64::MAX) + 1 {
+        return Err(CwpError::AddressOverflow { addr, len });
+    }
+    Ok(())
 }
 
 impl<N: NextLevel> NextLevel for Cache<N> {

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::mask::MAX_LINE_BYTES;
+use crate::overhead::Protection;
 use crate::policy::{WriteHitPolicy, WriteMissPolicy};
 
 /// A validated cache geometry and policy selection.
@@ -37,6 +38,9 @@ pub struct CacheConfig {
     write_hit: WriteHitPolicy,
     write_miss: WriteMissPolicy,
     partial_writeback: bool,
+    protection: Protection,
+    fault_rate_ppm: u32,
+    fault_seed: u64,
 }
 
 impl CacheConfig {
@@ -88,6 +92,22 @@ impl CacheConfig {
         self.partial_writeback
     }
 
+    /// The error-protection scheme on the data array (Section 3).
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// Fault-injection rate in flipped bits per million accesses
+    /// (0 = no injection, the default).
+    pub fn fault_rate_ppm(&self) -> u32 {
+        self.fault_rate_ppm
+    }
+
+    /// Seed for the deterministic fault injector.
+    pub fn fault_seed(&self) -> u64 {
+        self.fault_seed
+    }
+
     /// Returns a builder seeded with this configuration, for deriving
     /// variants in parameter sweeps.
     pub fn to_builder(&self) -> CacheConfigBuilder {
@@ -104,6 +124,9 @@ impl Default for CacheConfig {
             write_hit: WriteHitPolicy::WriteBack,
             write_miss: WriteMissPolicy::FetchOnWrite,
             partial_writeback: false,
+            protection: Protection::None,
+            fault_rate_ppm: 0,
+            fault_seed: 0,
         }
     }
 }
@@ -118,7 +141,11 @@ impl fmt::Display for CacheConfig {
             self.associativity,
             self.write_hit,
             self.write_miss
-        )
+        )?;
+        if self.protection != Protection::None || self.fault_rate_ppm > 0 {
+            write!(f, " [{}, {}ppm]", self.protection, self.fault_rate_ppm)?;
+        }
+        Ok(())
     }
 }
 
@@ -171,6 +198,25 @@ impl CacheConfigBuilder {
         self
     }
 
+    /// Sets the error-protection scheme on the data array.
+    pub fn protection(mut self, protection: Protection) -> Self {
+        self.config.protection = protection;
+        self
+    }
+
+    /// Sets the fault-injection rate in flipped bits per million accesses
+    /// (at most 1,000,000; 0 disables injection).
+    pub fn fault_rate_ppm(mut self, rate: u32) -> Self {
+        self.config.fault_rate_ppm = rate;
+        self
+    }
+
+    /// Sets the seed for the deterministic fault injector.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.config.fault_seed = seed;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -214,6 +260,11 @@ impl CacheConfigBuilder {
         if c.write_miss.bypasses() && c.write_hit == WriteHitPolicy::WriteBack {
             return Err(ConfigError::PolicyConflict { miss: c.write_miss });
         }
+        if c.fault_rate_ppm > 1_000_000 {
+            return Err(ConfigError::FaultRateRange {
+                value: c.fault_rate_ppm,
+            });
+        }
         Ok(c)
     }
 }
@@ -249,6 +300,12 @@ pub enum ConfigError {
         /// The no-write-allocate policy that was combined with write-back.
         miss: WriteMissPolicy,
     },
+    /// The fault rate is a probability in parts per million and cannot
+    /// exceed 1,000,000.
+    FaultRateRange {
+        /// The offending value.
+        value: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -272,11 +329,22 @@ impl fmt::Display for ConfigError {
                     "{miss} requires a write-through cache (no-write-allocate)"
                 )
             }
+            ConfigError::FaultRateRange { value } => {
+                write!(f, "fault rate must be at most 1000000 ppm, got {value}")
+            }
         }
     }
 }
 
 impl Error for ConfigError {}
+
+impl From<ConfigError> for cwp_mem::CwpError {
+    fn from(err: ConfigError) -> Self {
+        cwp_mem::CwpError::Config {
+            reason: err.to_string(),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -396,6 +464,43 @@ mod tests {
     fn display_is_compact() {
         let c = CacheConfig::default();
         assert_eq!(c.to_string(), "8KB/16B/1-way write-back fetch-on-write");
+    }
+
+    #[test]
+    fn display_shows_protection_only_when_configured() {
+        let c = CacheConfig::builder()
+            .protection(Protection::ByteParity)
+            .fault_rate_ppm(250)
+            .build()
+            .unwrap();
+        assert_eq!(
+            c.to_string(),
+            "8KB/16B/1-way write-back fetch-on-write [byte-parity, 250ppm]"
+        );
+    }
+
+    #[test]
+    fn fault_rate_is_bounded_and_seed_is_free() {
+        assert!(matches!(
+            CacheConfig::builder().fault_rate_ppm(1_000_001).build(),
+            Err(ConfigError::FaultRateRange { value: 1_000_001 })
+        ));
+        let c = CacheConfig::builder()
+            .fault_rate_ppm(1_000_000)
+            .fault_seed(u64::MAX)
+            .build()
+            .unwrap();
+        assert_eq!(c.fault_rate_ppm(), 1_000_000);
+        assert_eq!(c.fault_seed(), u64::MAX);
+        assert_eq!(c.protection(), Protection::None);
+    }
+
+    #[test]
+    fn config_errors_convert_to_cwp_errors() {
+        let err = CacheConfig::builder().size_bytes(3000).build().unwrap_err();
+        let cwp: cwp_mem::CwpError = err.into();
+        assert!(matches!(cwp, cwp_mem::CwpError::Config { .. }));
+        assert!(cwp.to_string().contains("power of two"));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fault injection and the error-recovery event model (Section 3).
+//!
+//! The paper's reliability argument is qualitative: parity is enough for a
+//! write-through cache because every line is clean and can be refetched,
+//! while a write-back cache's dirty lines exist nowhere else and need ECC.
+//! This module makes the argument *measurable*: a deterministic seeded
+//! [`FaultInjector`] flips bits in the data array between accesses, and
+//! the cache resolves each detected fault exactly as the paper prescribes:
+//!
+//! | protection | clean line | dirty line |
+//! |---|---|---|
+//! | [`Protection::None`] | silent corruption | silent corruption |
+//! | [`Protection::ByteParity`] | refetch from next level | **unrecoverable loss** |
+//! | [`Protection::EccPerWord`] | correct in place | correct in place |
+//!
+//! Every resolution is a counted [`FaultEvent`] in
+//! [`FaultStats`](crate::stats::CacheStats::faults) — never a panic. The
+//! injector keeps at most one flipped bit per protected 32-bit word,
+//! matching the paper's single-bit fault model (and the guarantee that
+//! single-error-correcting ECC corrects everything injected).
+
+use cwp_mem::rng::SplitMix64;
+
+pub use crate::overhead::Protection;
+
+/// What the cache did about one detected (or silently suffered) fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// ECC corrected the flipped bit in place.
+    CorrectedInPlace,
+    /// Parity detected the error on a clean line; the line was refetched
+    /// from the next level.
+    RefetchRecovery,
+    /// Parity detected the error on a dirty line: the dirty bytes existed
+    /// nowhere else and are gone. The line is dropped without write-back.
+    DataLoss,
+    /// No protection bits: the flip went undetected and the corrupted
+    /// data remains live. Counted at injection time by the simulator's
+    /// omniscient observer; real hardware would see nothing.
+    SilentCorruption,
+}
+
+/// One resolved fault, as recorded in the cache's bounded event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// How the fault was resolved.
+    pub kind: FaultKind,
+    /// Line-aligned address of the affected line.
+    pub line_addr: u64,
+    /// Byte offset of the flipped bit within the line.
+    pub byte: u32,
+    /// Bit position (0..8) within that byte.
+    pub bit: u8,
+    /// Dirty bytes on the line at resolution time (nonzero only for
+    /// [`FaultKind::DataLoss`], where it is the number of bytes lost).
+    pub dirty_bytes: u32,
+}
+
+/// Counters for injected faults and their resolutions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Bits flipped in the data array by the injector.
+    pub injected: u64,
+    /// Faults corrected in place by ECC.
+    pub corrected_in_place: u64,
+    /// Faults recovered by refetching a clean parity-protected line.
+    pub refetch_recoveries: u64,
+    /// Unrecoverable faults: parity on a dirty line.
+    pub data_loss_events: u64,
+    /// Total dirty bytes destroyed across all data-loss events.
+    pub data_loss_dirty_bytes: u64,
+    /// Faults suffered with no protection bits (undetectable).
+    pub silent_corruptions: u64,
+    /// Faulty clean lines that were simply discarded at eviction or
+    /// flush before any access detected them (nothing was lost: clean
+    /// victims are not read out).
+    pub discarded_clean: u64,
+}
+
+impl FaultStats {
+    /// Faults the cache detected and resolved (everything except silent
+    /// corruptions and harmless discards).
+    pub fn detected(&self) -> u64 {
+        self.corrected_in_place + self.refetch_recoveries + self.data_loss_events
+    }
+
+    /// Detected faults that were recovered without loss.
+    pub fn recovered(&self) -> u64 {
+        self.corrected_in_place + self.refetch_recoveries
+    }
+
+    /// Unrecoverable events as a fraction of injected faults.
+    pub fn loss_fraction(&self) -> Option<f64> {
+        (self.injected > 0).then(|| self.data_loss_events as f64 / self.injected as f64)
+    }
+
+    /// Adds another tally into this one.
+    pub fn absorb(&mut self, other: FaultStats) {
+        self.injected += other.injected;
+        self.corrected_in_place += other.corrected_in_place;
+        self.refetch_recoveries += other.refetch_recoveries;
+        self.data_loss_events += other.data_loss_events;
+        self.data_loss_dirty_bytes += other.data_loss_dirty_bytes;
+        self.silent_corruptions += other.silent_corruptions;
+        self.discarded_clean += other.discarded_clean;
+    }
+}
+
+/// A deterministic seeded source of fault decisions.
+///
+/// Each access gives the injector one chance to fire, with probability
+/// `rate_ppm / 1_000_000`. The injector only decides *whether* and
+/// *where at random*; the cache supplies the candidate lines and applies
+/// the flip, so identical seeds over identical access sequences produce
+/// identical fault sites.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+    rate_ppm: u32,
+}
+
+impl FaultInjector {
+    /// Creates an injector firing with probability `rate_ppm / 1e6` per
+    /// access (rates above 1e6 are clamped), seeded with `seed`.
+    pub fn new(rate_ppm: u32, seed: u64) -> Self {
+        FaultInjector {
+            rng: SplitMix64::seed_from_u64(seed),
+            rate_ppm: rate_ppm.min(1_000_000),
+        }
+    }
+
+    /// The configured fault rate in parts per million per access.
+    pub fn rate_ppm(&self) -> u32 {
+        self.rate_ppm
+    }
+
+    /// Decides whether a fault strikes on this access.
+    pub fn fires(&mut self) -> bool {
+        self.rate_ppm > 0 && self.rng.gen_ratio(self.rate_ppm, 1_000_000)
+    }
+
+    /// A uniform choice in `0..bound` (for picking lines, bytes, bits).
+    pub fn pick(&mut self, bound: u64) -> u64 {
+        self.rng.below(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut inj = FaultInjector::new(0, 123);
+        assert!((0..10_000).all(|_| !inj.fires()));
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let mut inj = FaultInjector::new(1_000_000, 123);
+        assert!((0..1_000).all(|_| inj.fires()));
+        let clamped = FaultInjector::new(u32::MAX, 123);
+        assert_eq!(clamped.rate_ppm(), 1_000_000);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultInjector::new(50_000, 9);
+        let mut b = FaultInjector::new(50_000, 9);
+        for _ in 0..5_000 {
+            assert_eq!(a.fires(), b.fires());
+        }
+        assert_eq!(a.pick(64), b.pick(64));
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let mut s = FaultStats {
+            injected: 10,
+            corrected_in_place: 4,
+            refetch_recoveries: 3,
+            data_loss_events: 2,
+            data_loss_dirty_bytes: 17,
+            silent_corruptions: 1,
+            discarded_clean: 0,
+        };
+        assert_eq!(s.detected(), 9);
+        assert_eq!(s.recovered(), 7);
+        assert_eq!(s.loss_fraction(), Some(0.2));
+        let other = s;
+        s.absorb(other);
+        assert_eq!(s.injected, 20);
+        assert_eq!(s.data_loss_dirty_bytes, 34);
+        assert_eq!(FaultStats::default().loss_fraction(), None);
+    }
+}

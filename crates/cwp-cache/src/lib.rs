@@ -46,9 +46,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod mask;
 pub mod metrics;
 pub mod overhead;
@@ -57,5 +59,8 @@ pub mod stats;
 
 pub use cache::{Cache, MemoryCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError};
+pub use cwp_mem::CwpError;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
+pub use overhead::Protection;
 pub use policy::{WriteHitPolicy, WriteMissPolicy};
 pub use stats::{CacheStats, FlushStats, VictimStats};

@@ -13,6 +13,8 @@
 //! * write-validate needs sub-block valid bits: one per word (3.1%) or,
 //!   for architectures with byte writes, one per byte (12.5%).
 
+use std::fmt;
+
 use crate::config::CacheConfig;
 use crate::policy::{WriteHitPolicy, WriteMissPolicy};
 
@@ -68,6 +70,16 @@ impl Protection {
             WriteHitPolicy::WriteThrough => Protection::ByteParity,
             WriteHitPolicy::WriteBack => Protection::EccPerWord,
         }
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Protection::None => "none",
+            Protection::ByteParity => "byte-parity",
+            Protection::EccPerWord => "ecc",
+        })
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fault::FaultStats;
+
 /// Statistics about evicted lines ("victims"), at byte granularity.
 ///
 /// The paper's Figures 20-25 are built from exactly these counters. A
@@ -100,6 +102,8 @@ pub struct CacheStats {
     pub victims: VictimStats,
     /// Lines written out / discarded by [`crate::Cache::flush`].
     pub flush: FlushStats,
+    /// Injected faults and their resolutions (Section 3's error model).
+    pub faults: FaultStats,
 }
 
 impl CacheStats {
@@ -165,6 +169,7 @@ impl CacheStats {
         self.line_allocations += other.line_allocations;
         self.victims.absorb(other.victims);
         self.flush.absorb(other.flush);
+        self.faults.absorb(other.faults);
     }
 }
 

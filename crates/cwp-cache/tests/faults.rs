@@ -1,0 +1,244 @@
+//! Fault-injection and error-recovery semantics (Section 3).
+//!
+//! These tests pin down the paper's reliability claims as measured
+//! behaviour: write-through + byte parity never loses data (clean lines
+//! refetch), write-back + byte parity loses dirty lines, ECC corrects
+//! everything in place, and the whole fault machinery is deterministic
+//! under a fixed seed.
+
+use cwp_cache::{
+    Cache, CacheConfig, CwpError, FaultKind, FaultStats, Protection, WriteHitPolicy,
+    WriteMissPolicy,
+};
+use cwp_mem::rng::SplitMix64;
+use cwp_mem::MainMemory;
+
+fn faulty_config(
+    hit: WriteHitPolicy,
+    protection: Protection,
+    rate_ppm: u32,
+    seed: u64,
+) -> CacheConfig {
+    CacheConfig::builder()
+        .size_bytes(256)
+        .line_bytes(16)
+        .write_hit(hit)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .protection(protection)
+        .fault_rate_ppm(rate_ppm)
+        .fault_seed(seed)
+        .build()
+        .expect("valid configuration")
+}
+
+/// A conflict-heavy random workload; returns the cache's final fault
+/// counters after a flush.
+fn run_workload(config: CacheConfig, workload_seed: u64) -> (FaultStats, Vec<u64>) {
+    let mut rng = SplitMix64::seed_from_u64(workload_seed);
+    let mut cache = Cache::new(config, MainMemory::new());
+    let mut buf = [0u8; 8];
+    for _ in 0..4_000 {
+        let addr = rng.below(1024) & !7;
+        if rng.gen_bool() {
+            cache.write(addr, &[rng.next_u64() as u8; 8]);
+        } else {
+            cache.read(addr, &mut buf);
+        }
+    }
+    cache.flush();
+    let sites: Vec<u64> = cache
+        .fault_log()
+        .iter()
+        .map(|e| e.line_addr ^ (u64::from(e.byte) << 48) ^ (u64::from(e.bit) << 56))
+        .collect();
+    (cache.stats().faults, sites)
+}
+
+#[test]
+fn fault_injection_is_deterministic_under_a_fixed_seed() {
+    for protection in [
+        Protection::None,
+        Protection::ByteParity,
+        Protection::EccPerWord,
+    ] {
+        let hit = if protection == Protection::ByteParity {
+            WriteHitPolicy::WriteThrough
+        } else {
+            WriteHitPolicy::WriteBack
+        };
+        let config = faulty_config(hit, protection, 30_000, 0x5eed_0001);
+        let a = run_workload(config, 42);
+        let b = run_workload(config, 42);
+        assert_eq!(a, b, "{protection:?}: same seeds must give same faults");
+        assert!(a.0.injected > 0, "{protection:?}: workload saw no faults");
+
+        let reseeded = faulty_config(hit, protection, 30_000, 0x5eed_0002);
+        let c = run_workload(reseeded, 42);
+        assert_ne!(a.1, c.1, "{protection:?}: a new seed must move the faults");
+    }
+}
+
+#[test]
+fn wt_parity_never_loses_data_and_counts_refetches() {
+    let config = faulty_config(
+        WriteHitPolicy::WriteThrough,
+        Protection::ByteParity,
+        50_000,
+        0x11,
+    );
+    let (faults, _) = run_workload(config, 7);
+    assert!(faults.injected > 50, "workload should see plenty of faults");
+    assert_eq!(faults.data_loss_events, 0, "WT+parity must never lose data");
+    assert_eq!(faults.data_loss_dirty_bytes, 0);
+    assert_eq!(
+        faults.corrected_in_place, 0,
+        "parity cannot correct in place"
+    );
+    assert!(
+        faults.refetch_recoveries > 0,
+        "recoveries happen by refetch"
+    );
+    // Every injected fault is accounted for: recovered by refetch, still
+    // outstanding at the end (flush discards clean faulty lines), or
+    // harmlessly discarded with a clean victim.
+    assert_eq!(
+        faults.injected,
+        faults.refetch_recoveries + faults.discarded_clean,
+        "after a flush no fault may remain unaccounted"
+    );
+}
+
+#[test]
+fn wb_parity_loses_dirty_lines_at_the_dirty_fraction() {
+    let config = faulty_config(
+        WriteHitPolicy::WriteBack,
+        Protection::ByteParity,
+        50_000,
+        0x22,
+    );
+    let (faults, _) = run_workload(config, 7);
+    assert!(faults.injected > 50);
+    assert!(
+        faults.data_loss_events > 0,
+        "WB+parity must lose dirty lines"
+    );
+    assert!(faults.data_loss_dirty_bytes >= faults.data_loss_events);
+    // The loss share should be material: this write-heavy workload keeps
+    // roughly half the lines dirty, and faults land uniformly.
+    let lost = faults.data_loss_events as f64;
+    let resolved =
+        (faults.data_loss_events + faults.refetch_recoveries + faults.discarded_clean) as f64;
+    let share = lost / resolved;
+    assert!(
+        (0.15..=0.95).contains(&share),
+        "loss share {share:.2} should track the dirty-line fraction"
+    );
+}
+
+#[test]
+fn wb_ecc_corrects_every_injected_fault() {
+    let config = faulty_config(
+        WriteHitPolicy::WriteBack,
+        Protection::EccPerWord,
+        50_000,
+        0x33,
+    );
+    let (faults, _) = run_workload(config, 7);
+    assert!(faults.injected > 50);
+    assert_eq!(faults.data_loss_events, 0, "ECC never loses data");
+    assert_eq!(faults.refetch_recoveries, 0, "ECC corrects without refetch");
+    assert_eq!(
+        faults.corrected_in_place, faults.injected,
+        "after a flush every injected fault has been corrected"
+    );
+}
+
+#[test]
+fn unprotected_faults_are_counted_but_invisible() {
+    let config = faulty_config(WriteHitPolicy::WriteBack, Protection::None, 50_000, 0x44);
+    let (faults, _) = run_workload(config, 7);
+    assert!(faults.injected > 50);
+    assert_eq!(faults.silent_corruptions, faults.injected);
+    assert_eq!(faults.detected(), 0, "no check bits, no detection");
+}
+
+#[test]
+fn try_write_surfaces_data_loss_as_a_typed_error() {
+    // 100% fault rate, write-back + parity: the very next access after a
+    // dirty line faults must report the loss (and must not panic).
+    let config = faulty_config(
+        WriteHitPolicy::WriteBack,
+        Protection::ByteParity,
+        1_000_000,
+        0x55,
+    );
+    let mut cache = Cache::new(config, MainMemory::new());
+    cache.write(0x0, &[0xaa; 8]); // line becomes dirty (no fault: array was empty)
+                                  // Each subsequent access injects one fault; keep touching the same
+                                  // dirty line until its fault is detected.
+    let mut saw_loss = false;
+    for _ in 0..64 {
+        match cache.try_write(0x8, &[0xbb; 8]) {
+            Ok(()) => {}
+            Err(CwpError::FaultLoss {
+                line_addr,
+                dirty_bytes,
+            }) => {
+                assert_eq!(line_addr, 0x0);
+                assert!(dirty_bytes > 0);
+                saw_loss = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        saw_loss,
+        "a 100% fault rate must eventually hit the dirty line"
+    );
+    let log = cache.fault_log();
+    assert!(
+        log.iter().any(|e| e.kind == FaultKind::DataLoss),
+        "the loss must appear in the structured event log"
+    );
+}
+
+#[test]
+fn try_read_and_try_write_reject_address_overflow() {
+    let mut cache = Cache::new(CacheConfig::default(), MainMemory::new());
+    let mut buf = [0u8; 8];
+    assert!(matches!(
+        cache.try_read(u64::MAX - 2, &mut buf),
+        Err(CwpError::AddressOverflow { .. })
+    ));
+    assert!(matches!(
+        cache.try_write(u64::MAX, &buf),
+        Err(CwpError::AddressOverflow { .. })
+    ));
+    // A span ending exactly at the top of the address space is fine.
+    assert!(cache.try_read(u64::MAX - 7, &mut buf).is_ok());
+    assert!(cache.try_write(0x100, &buf).is_ok());
+}
+
+#[test]
+fn fault_log_matches_counters_and_is_bounded() {
+    let config = faulty_config(
+        WriteHitPolicy::WriteThrough,
+        Protection::ByteParity,
+        100_000,
+        0x66,
+    );
+    let mut rng = SplitMix64::seed_from_u64(3);
+    let mut cache = Cache::new(config, MainMemory::new());
+    let mut buf = [0u8; 4];
+    for _ in 0..2_000 {
+        cache.read(rng.below(512) & !3, &mut buf);
+    }
+    let refetches = cache
+        .fault_log()
+        .iter()
+        .filter(|e| e.kind == FaultKind::RefetchRecovery)
+        .count() as u64;
+    assert_eq!(refetches, cache.stats().faults.refetch_recoveries);
+    assert!(cache.fault_log().len() <= 4096);
+}

@@ -5,12 +5,15 @@
 //! (per-set `VecDeque` recency lists instead of timestamps, no data).
 //! Hit/miss/victim counts must match the real cache exactly on random
 //! access streams across geometries and policies.
+//!
+//! Formerly driven by proptest; now driven by the in-tree seeded
+//! [`SplitMix64`] so the suite builds with no external crates.
 
 use std::collections::VecDeque;
 
 use cwp_cache::{Cache, CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::rng::SplitMix64;
 use cwp_mem::MainMemory;
-use proptest::prelude::*;
 
 /// Counts produced by either model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -113,9 +116,12 @@ impl Reference {
 }
 
 /// Single-line accesses only: the reference has no split logic, so keep
-/// each access within one line.
-fn access_strategy(line: u64) -> impl Strategy<Value = (bool, u64)> {
-    (any::<bool>(), 0u64..1024).prop_map(move |(is_write, slot)| (is_write, slot * line))
+/// each access within one line. Addresses are `line`-aligned slots.
+fn gen_accesses(rng: &mut SplitMix64, line: u64, max_ops: u64) -> Vec<(bool, u64)> {
+    let n = 1 + rng.below(max_ops);
+    (0..n)
+        .map(|_| (rng.gen_bool(), rng.below(1024) * line))
+        .collect()
 }
 
 fn compare(config: CacheConfig, ops: &[(bool, u64)]) {
@@ -145,19 +151,17 @@ fn compare(config: CacheConfig, ops: &[(bool, u64)]) {
     assert_eq!(got, reference.counts, "divergence under {config}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn real_cache_matches_reference_model(
-        ops in prop::collection::vec(access_strategy(16), 1..400),
-        size in prop::sample::select(vec![256u32, 512, 1024]),
-        ways in prop::sample::select(vec![1u32, 2, 4]),
-        hit_wb: bool,
-        miss_idx in 0usize..4,
-    ) {
-        let miss = WriteMissPolicy::ALL[miss_idx];
-        let hit = if hit_wb && !miss.bypasses() {
+#[test]
+fn real_cache_matches_reference_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x4ef_0001);
+    let sizes = [256u32, 512, 1024];
+    let ways = [1u32, 2, 4];
+    for _case in 0..96 {
+        let ops = gen_accesses(&mut rng, 16, 400);
+        let size = sizes[rng.below(3) as usize];
+        let way = ways[rng.below(3) as usize];
+        let miss = WriteMissPolicy::ALL[rng.below(4) as usize];
+        let hit = if rng.gen_bool() && !miss.bypasses() {
             WriteHitPolicy::WriteBack
         } else {
             WriteHitPolicy::WriteThrough
@@ -165,21 +169,24 @@ proptest! {
         let config = CacheConfig::builder()
             .size_bytes(size)
             .line_bytes(16)
-            .associativity(ways)
+            .associativity(way)
             .write_hit(hit)
             .write_miss(miss)
             .build()
             .expect("valid configuration");
         compare(config, &ops);
     }
+}
 
-    #[test]
-    fn reference_agreement_holds_across_line_sizes(
-        ops in prop::collection::vec(access_strategy(4), 1..300),
-        line in prop::sample::select(vec![4u32, 8, 32, 64]),
-    ) {
+#[test]
+fn reference_agreement_holds_across_line_sizes() {
+    let mut rng = SplitMix64::seed_from_u64(0x4ef_0002);
+    let lines = [4u32, 8, 32, 64];
+    for _case in 0..96 {
         // Addresses are 4B-slot-aligned; accesses are 4B so they never
         // span lines at any of these line sizes.
+        let ops = gen_accesses(&mut rng, 4, 300);
+        let line = lines[rng.below(4) as usize];
         let config = CacheConfig::builder()
             .size_bytes(512)
             .line_bytes(line)

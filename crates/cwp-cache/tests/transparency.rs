@@ -5,10 +5,14 @@
 //! is the load-bearing correctness property for the write-miss policies —
 //! write-validate's sub-block valid bits, write-around's bypassing, and
 //! write-invalidate's corruption rule all have to preserve it.
+//!
+//! Formerly driven by proptest; now driven by the in-tree seeded
+//! [`SplitMix64`] so the suite builds with no external crates. Each test
+//! runs many independently-seeded random programs.
 
-use cwp_cache::{Cache, CacheConfig, ConfigError, WriteHitPolicy, WriteMissPolicy};
+use cwp_cache::{Cache, CacheConfig, ConfigError, Protection, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::rng::SplitMix64;
 use cwp_mem::MainMemory;
-use proptest::prelude::*;
 
 /// One logical access in a generated program.
 #[derive(Debug, Clone)]
@@ -18,15 +22,25 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A small address space with few lines forces heavy conflicts.
-    let addr = 0u64..512;
-    let len = 1usize..=16;
-    prop_oneof![
-        4 => (addr.clone(), len.clone()).prop_map(|(addr, len)| Op::Read { addr, len }),
-        4 => (addr, any::<u8>(), len).prop_map(|(addr, fill, len)| Op::Write { addr, fill, len }),
-        1 => Just(Op::Flush),
-    ]
+/// A random program over a small address space with few lines, forcing
+/// heavy conflicts. Weights match the old proptest strategy: 4:4:1
+/// read:write:flush.
+fn gen_ops(rng: &mut SplitMix64, max_len: usize) -> Vec<Op> {
+    let n = rng.gen_range(1..200usize);
+    (0..n)
+        .map(|_| match rng.below(9) {
+            0..=3 => Op::Read {
+                addr: rng.below(512),
+                len: 1 + rng.below(max_len as u64) as usize,
+            },
+            4..=7 => Op::Write {
+                addr: rng.below(512),
+                fill: rng.next_u64() as u8,
+                len: 1 + rng.below(max_len as u64) as usize,
+            },
+            _ => Op::Flush,
+        })
+        .collect()
 }
 
 fn all_configs(size: u32, line: u32, ways: u32) -> Vec<CacheConfig> {
@@ -50,6 +64,8 @@ fn all_configs(size: u32, line: u32, ways: u32) -> Vec<CacheConfig> {
     configs
 }
 
+/// Runs `ops` against a cache and a golden flat memory; every read and the
+/// final post-flush memory state must agree.
 fn run_program(config: CacheConfig, ops: &[Op]) {
     let mut cache = Cache::new(config, MainMemory::new());
     let mut golden = MainMemory::new();
@@ -84,26 +100,29 @@ fn run_program(config: CacheConfig, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_policy_combination_is_transparent(
-        ops in prop::collection::vec(op_strategy(), 1..200),
-        line in prop::sample::select(vec![4u32, 8, 16, 32, 64]),
-        ways in prop::sample::select(vec![1u32, 2, 4]),
-    ) {
-        // A tiny cache (256B) over a tiny address space maximizes evictions,
-        // partial-validity refills, and policy interactions.
-        for config in all_configs(256, line, ways) {
+#[test]
+fn every_policy_combination_is_transparent() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a5_0001);
+    let lines = [4u32, 8, 16, 32, 64];
+    let ways = [1u32, 2, 4];
+    for case in 0..64 {
+        let ops = gen_ops(&mut rng, 16);
+        let line = lines[rng.below(lines.len() as u64) as usize];
+        let way = ways[rng.below(ways.len() as u64) as usize];
+        // A tiny cache (256B) over a tiny address space maximizes
+        // evictions, partial-validity refills, and policy interactions.
+        for config in all_configs(256, line, way) {
             run_program(config, &ops);
         }
+        let _ = case;
     }
+}
 
-    #[test]
-    fn two_level_hierarchies_are_transparent(
-        ops in prop::collection::vec(op_strategy(), 1..150),
-    ) {
+#[test]
+fn two_level_hierarchies_are_transparent() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a5_0002);
+    for _case in 0..64 {
+        let ops = gen_ops(&mut rng, 16);
         let l1_cfg = CacheConfig::builder()
             .size_bytes(128)
             .line_bytes(8)
@@ -129,7 +148,7 @@ proptest! {
                     l1.read(addr, &mut got);
                     let mut want = vec![0u8; len];
                     golden.read(addr, &mut want);
-                    prop_assert_eq!(got, want, "two-level read at {:#x} diverged", addr);
+                    assert_eq!(got, want, "two-level read at {addr:#x} diverged");
                 }
                 Op::Write { addr, fill, len } => {
                     seq = seq.wrapping_add(1);
@@ -143,6 +162,52 @@ proptest! {
                     l1.next_level_mut().flush();
                 }
             }
+        }
+    }
+}
+
+/// The transparency property extended with fault injection: ECC-corrected
+/// single-bit faults must never change the bytes a read returns, for every
+/// policy combination, even at an absurd fault rate.
+#[test]
+fn ecc_corrects_injected_faults_transparently() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a5_0003);
+    for case in 0..24 {
+        let ops = gen_ops(&mut rng, 16);
+        for base in all_configs(256, 16, 2) {
+            let config = base
+                .to_builder()
+                .protection(Protection::EccPerWord)
+                .fault_rate_ppm(200_000) // a fault every ~5 accesses
+                .fault_seed(0xecc_0000 + case)
+                .build()
+                .unwrap();
+            run_program(config, &ops);
+        }
+    }
+}
+
+/// Same, for the paper's write-through + byte-parity pairing: every fault
+/// lands on a clean line (write-through has no dirty data) and is
+/// recovered by refetch, so transparency holds and nothing is ever lost.
+#[test]
+fn wt_parity_recovers_injected_faults_transparently() {
+    let mut rng = SplitMix64::seed_from_u64(0x7a5_0004);
+    for case in 0..24 {
+        let ops = gen_ops(&mut rng, 16);
+        for miss in WriteMissPolicy::ALL {
+            let config = CacheConfig::builder()
+                .size_bytes(256)
+                .line_bytes(16)
+                .associativity(2)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(miss)
+                .protection(Protection::ByteParity)
+                .fault_rate_ppm(200_000)
+                .fault_seed(0xbad_0000 + case)
+                .build()
+                .unwrap();
+            run_program(config, &ops);
         }
     }
 }

@@ -12,7 +12,7 @@ use cwp_trace::Scale;
 
 fn usage() -> &'static str {
     "usage: figures [--scale test|quick|paper|<factor>] [--csv] <id>... | all | list\n\
-     ids: table1-table3, fig01-fig25"
+     ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')"
 }
 
 fn main() -> ExitCode {

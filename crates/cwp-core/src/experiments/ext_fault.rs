@@ -1,0 +1,230 @@
+//! Extension: fault injection and error recovery.
+//!
+//! `ext_overhead` prices Section 3's protection schemes in SRAM bits; this
+//! experiment buys them and measures what they deliver. Deterministic
+//! seeded single-bit faults are injected into the data array while each
+//! workload runs, and the cache resolves them exactly as the paper
+//! prescribes: ECC corrects in place, parity on a clean line refetches,
+//! parity on a dirty line is an unrecoverable loss, and no protection at
+//! all corrupts silently. Write-back's dirty lines are what turn a
+//! detectable fault into a loss, so its loss rate tracks the dirty-victim
+//! fractions of Figures 20-25, while write-through + parity loses nothing.
+
+use cwp_cache::fault::FaultStats;
+use cwp_cache::overhead::{bit_budget, Protection};
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+
+use crate::experiments::{row_with_average, workload_columns};
+use crate::lab::{Lab, WORKLOAD_NAMES};
+use crate::report::{Cell, Table};
+
+/// The sweep's rows: write-hit policy × protection × fault rate.
+const ROWS: [(&str, WriteHitPolicy, Protection, u32); 6] = [
+    (
+        "WT + parity @ 1k ppm",
+        WriteHitPolicy::WriteThrough,
+        Protection::ByteParity,
+        1_000,
+    ),
+    (
+        "WT + parity @ 10k ppm",
+        WriteHitPolicy::WriteThrough,
+        Protection::ByteParity,
+        10_000,
+    ),
+    (
+        "WB + parity @ 1k ppm",
+        WriteHitPolicy::WriteBack,
+        Protection::ByteParity,
+        1_000,
+    ),
+    (
+        "WB + parity @ 10k ppm",
+        WriteHitPolicy::WriteBack,
+        Protection::ByteParity,
+        10_000,
+    ),
+    (
+        "WB + ECC @ 10k ppm",
+        WriteHitPolicy::WriteBack,
+        Protection::EccPerWord,
+        10_000,
+    ),
+    (
+        "WB + none @ 10k ppm",
+        WriteHitPolicy::WriteBack,
+        Protection::None,
+        10_000,
+    ),
+];
+
+/// The swept configuration: the paper's 8KB/16B center point with fault
+/// injection attached. The seed is per-row so reruns are bit-identical.
+fn config_for(row: usize) -> CacheConfig {
+    let (_, hit, protection, rate) = ROWS[row];
+    CacheConfig::builder()
+        .size_bytes(8 * 1024)
+        .line_bytes(16)
+        .write_hit(hit)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .protection(protection)
+        .fault_rate_ppm(rate)
+        .fault_seed(0xfa17_0000 + row as u64)
+        .build()
+        .expect("valid configuration")
+}
+
+/// Runs the (policy × protection × rate) sweep over the six workloads.
+pub fn run(lab: &mut Lab) -> Vec<Table> {
+    let mut loss = Table::new(
+        "ext_fault/loss",
+        "Extension: unrecoverable faults (lost or silently corrupted, % of injected; \
+         8KB, 16B lines, fetch-on-write)",
+        "configuration",
+    );
+    loss.columns(workload_columns());
+    let mut recovery = Table::new(
+        "ext_fault/recovery",
+        "Extension: faults survived without loss (% of injected)",
+        "configuration",
+    );
+    recovery.columns(workload_columns());
+    let mut reliability = Table::new(
+        "ext_fault/reliability",
+        "Extension: reliability per SRAM bit (all six workloads pooled)",
+        "configuration",
+    );
+    reliability.columns([
+        "injected",
+        "survived %",
+        "SRAM overhead %",
+        "survived % per overhead %",
+    ]);
+
+    for (row, &(label, _hit, protection, _rate)) in ROWS.iter().enumerate() {
+        let config = config_for(row);
+        let mut loss_cells = Vec::new();
+        let mut recovery_cells = Vec::new();
+        let mut pooled = FaultStats::default();
+        for name in WORKLOAD_NAMES {
+            let faults = lab.outcome(name, &config).stats.faults;
+            pooled.absorb(faults);
+            let unrecoverable = faults.data_loss_events + faults.silent_corruptions;
+            loss_cells.push(
+                (faults.injected > 0)
+                    .then(|| 100.0 * unrecoverable as f64 / faults.injected as f64),
+            );
+            recovery_cells.push((faults.injected > 0).then(|| {
+                100.0 * (faults.injected - unrecoverable) as f64 / faults.injected as f64
+            }));
+        }
+        loss.row(label, row_with_average(&loss_cells));
+        recovery.row(label, row_with_average(&recovery_cells));
+
+        let budget = bit_budget(&config, protection);
+        let overhead_pct = budget.overhead_fraction() * 100.0;
+        let pooled_unrecoverable = pooled.data_loss_events + pooled.silent_corruptions;
+        let survived_pct = if pooled.injected > 0 {
+            100.0 * (pooled.injected - pooled_unrecoverable) as f64 / pooled.injected as f64
+        } else {
+            0.0
+        };
+        reliability.row(
+            label,
+            [
+                Cell::Int(pooled.injected),
+                Cell::Num(survived_pct),
+                Cell::Num(overhead_pct),
+                Cell::Num(survived_pct / overhead_pct),
+            ],
+        );
+    }
+
+    loss.note(
+        "Write-through + parity loses nothing at any rate: every line is clean, so every \
+         detected fault is recovered by refetch. Write-back + parity loses the dirty \
+         fraction of its faulted lines (compare the dirty-victim percentages of Figures \
+         20-25); with no protection every fault is a silent corruption (Section 3).",
+    );
+    reliability.note(
+        "Survived % per percentage point of SRAM overhead. Parity's cheaper check bits \
+         make write-through the better reliability buy — the paper's \"better \
+         error-tolerance at a smaller cost\" — while write-back must pay for ECC to \
+         reach the same survival rate.",
+    );
+    vec![loss, recovery, reliability]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wt_parity_never_loses_at_any_swept_rate() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        for row in ["WT + parity @ 1k ppm", "WT + parity @ 10k ppm"] {
+            let avg = ts[0].value(row, "average").unwrap();
+            assert_eq!(avg, 0.0, "{row}: write-through parity must be lossless");
+            assert_eq!(ts[1].value(row, "average").unwrap(), 100.0);
+        }
+    }
+
+    #[test]
+    fn wb_ecc_recovers_every_injected_fault() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        assert_eq!(ts[0].value("WB + ECC @ 10k ppm", "average").unwrap(), 0.0);
+        assert_eq!(ts[1].value("WB + ECC @ 10k ppm", "average").unwrap(), 100.0);
+        let injected = ts[2].value("WB + ECC @ 10k ppm", "injected").unwrap();
+        assert!(injected > 0.0, "the sweep must actually inject faults");
+    }
+
+    #[test]
+    fn wb_parity_loss_tracks_the_dirty_line_fraction() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let avg = ts[0].value("WB + parity @ 10k ppm", "average").unwrap();
+        assert!(
+            (15.0..=90.0).contains(&avg),
+            "paper: ~half of write-back lines are dirty; loss was {avg:.1}%"
+        );
+    }
+
+    #[test]
+    fn unprotected_faults_are_all_unrecoverable() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        assert_eq!(
+            ts[0].value("WB + none @ 10k ppm", "average").unwrap(),
+            100.0
+        );
+        assert_eq!(ts[1].value("WB + none @ 10k ppm", "average").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn wt_parity_is_the_best_reliability_buy() {
+        let mut lab = crate::experiments::testlab::lock();
+        let ts = run(&mut lab);
+        let wt = ts[2]
+            .value("WT + parity @ 10k ppm", "survived % per overhead %")
+            .unwrap();
+        let wb = ts[2]
+            .value("WB + ECC @ 10k ppm", "survived % per overhead %")
+            .unwrap();
+        assert!(
+            wt > wb,
+            "parity write-through ({wt:.2}) must beat ECC write-back ({wb:.2}) per bit"
+        );
+    }
+
+    #[test]
+    fn fault_tables_are_deterministic_across_labs() {
+        // Two fresh labs (no shared memoization) must produce identical
+        // tables: the injector is seeded per configuration and the access
+        // streams are deterministic.
+        let mut a = Lab::new(cwp_trace::Scale::Test);
+        let mut b = Lab::new(cwp_trace::Scale::Test);
+        assert_eq!(run(&mut a), run(&mut b));
+    }
+}

@@ -41,6 +41,7 @@ pub mod ext_alloc;
 pub mod ext_assoc;
 pub mod ext_burst;
 pub mod ext_bytes;
+pub mod ext_fault;
 pub mod ext_l2;
 pub mod ext_overhead;
 
@@ -140,6 +141,7 @@ registry! {
     ext_assoc => "Extension: write-miss policies under associativity",
     ext_l2 => "Extension: two-level hierarchy effects",
     ext_overhead => "Extension: SRAM bit budgets and error protection",
+    ext_fault => "Extension: fault injection and error recovery",
 }
 
 /// Looks up an experiment by id.
@@ -206,7 +208,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 34, "3 tables + 25 figures + 6 extensions");
+        assert_eq!(ids.len(), 35, "3 tables + 25 figures + 7 extensions");
         for n in 1..=25 {
             assert!(
                 ids.contains(&format!("fig{n:02}").as_str()),

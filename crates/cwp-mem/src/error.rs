@@ -1,0 +1,136 @@
+//! [`CwpError`]: the workspace-wide structured error type.
+//!
+//! The simulator's hot paths (the per-access loops in `cwp-cache`) stay
+//! infallible for speed, but everything around them — configuration,
+//! checked access entry points, and the fault-recovery machinery — reports
+//! failures through this one enum instead of panicking. A detected fault
+//! is *data*, not a crash: the paper's Section 3 argument is precisely
+//! about which faults are recoverable, so the simulator must survive all
+//! of them and report what happened.
+
+use std::error::Error;
+use std::fmt;
+
+/// Every way a `cwp` simulation can fail without it being a bug in the
+/// simulator itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CwpError {
+    /// A configuration was rejected (invalid geometry, conflicting
+    /// policies, an unrepresentable fault rate, ...).
+    Config {
+        /// Human-readable reason the configuration was rejected.
+        reason: String,
+    },
+    /// An access `addr..addr + len` does not fit in the 64-bit address
+    /// space.
+    AddressOverflow {
+        /// Starting address of the offending access.
+        addr: u64,
+        /// Length of the offending access in bytes.
+        len: usize,
+    },
+    /// An access that a component requires to be aligned was not.
+    Misaligned {
+        /// Starting address of the offending access.
+        addr: u64,
+        /// The alignment the component required, in bytes.
+        align: u64,
+    },
+    /// A detected fault destroyed dirty data that existed nowhere else
+    /// in the hierarchy (Section 3: parity on a dirty write-back line).
+    FaultLoss {
+        /// Line-aligned address of the line that lost data.
+        line_addr: u64,
+        /// Number of dirty bytes that were unrecoverable.
+        dirty_bytes: u32,
+    },
+    /// A faulty transfer was retried up to its bound and never succeeded.
+    RetriesExhausted {
+        /// Address of the transfer that kept faulting.
+        addr: u64,
+        /// Number of attempts made (initial try plus retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for CwpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CwpError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+            CwpError::AddressOverflow { addr, len } => {
+                write!(
+                    f,
+                    "access at {addr:#x} of {len} bytes overflows the address space"
+                )
+            }
+            CwpError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#x} is not {align}-byte aligned")
+            }
+            CwpError::FaultLoss {
+                line_addr,
+                dirty_bytes,
+            } => write!(
+                f,
+                "unrecoverable fault: line {line_addr:#x} lost {dirty_bytes} dirty byte(s)"
+            ),
+            CwpError::RetriesExhausted { addr, attempts } => {
+                write!(
+                    f,
+                    "transfer at {addr:#x} still faulty after {attempts} attempt(s)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CwpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: [(CwpError, &str); 5] = [
+            (
+                CwpError::Config {
+                    reason: "zero ways".into(),
+                },
+                "zero ways",
+            ),
+            (
+                CwpError::AddressOverflow {
+                    addr: u64::MAX,
+                    len: 2,
+                },
+                "overflows",
+            ),
+            (
+                CwpError::Misaligned {
+                    addr: 0x13,
+                    align: 4,
+                },
+                "not 4-byte aligned",
+            ),
+            (
+                CwpError::FaultLoss {
+                    line_addr: 0x40,
+                    dirty_bytes: 3,
+                },
+                "3 dirty byte",
+            ),
+            (
+                CwpError::RetriesExhausted {
+                    addr: 0x80,
+                    attempts: 4,
+                },
+                "after 4 attempt",
+            ),
+        ];
+        for (err, needle) in cases {
+            let shown = err.to_string();
+            assert!(shown.contains(needle), "{shown:?} missing {needle:?}");
+        }
+    }
+}

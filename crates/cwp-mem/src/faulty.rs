@@ -1,0 +1,290 @@
+//! [`FaultyNextLevel`]: a next-level wrapper that injects transit faults.
+//!
+//! The tentpole fault model in `cwp-cache` covers faults *at rest* in the
+//! data array. This wrapper covers the other half of Section 3's argument:
+//! bits flipped *in flight* on the bus between hierarchy levels. Transfers
+//! in real systems carry parity sideband bits, so a corrupted transfer is
+//! detectable and the natural recovery is to retry the transfer — which is
+//! exactly what this wrapper models, with a bounded number of attempts.
+//!
+//! Fetches are retried because the source (the inner level) still holds
+//! the correct data. Write-backs and write-throughs are also retried; the
+//! writer still holds the data until the transfer is acknowledged. If the
+//! retry bound is ever exhausted, the corrupted transfer is delivered
+//! as-is and counted — never a panic — so multi-level stacks (`ext_l2`)
+//! degrade gracefully.
+
+use crate::next::NextLevel;
+use crate::rng::SplitMix64;
+
+/// Counters kept by a [`FaultyNextLevel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitFaultStats {
+    /// Transfers attempted (including retries).
+    pub attempts: u64,
+    /// Transfers on which a fault was injected.
+    pub injected: u64,
+    /// Retries performed after a detected transit fault.
+    pub retries: u64,
+    /// Transfers delivered corrupted because the retry bound ran out.
+    pub delivered_corrupt: u64,
+}
+
+impl TransitFaultStats {
+    /// Transfers that completed cleanly (possibly after retries).
+    pub fn recovered(&self) -> u64 {
+        self.injected.saturating_sub(self.delivered_corrupt)
+    }
+}
+
+/// Wraps any [`NextLevel`] and flips one bit per faulty transfer with a
+/// configurable probability, retrying detected faults up to a bound.
+///
+/// Determinism: the injector is driven by a seeded [`SplitMix64`], so a
+/// fixed `(seed, rate)` pair yields the same fault sites on every run.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_mem::{FaultyNextLevel, MainMemory, NextLevel};
+///
+/// // Fault half of all transfers, allow up to 20 retries: everything
+/// // recovers (each retry faults independently with the same rate).
+/// let mut level = FaultyNextLevel::new(MainMemory::new(), 500_000, 0x51, 20);
+/// for round in 0..16 { level.write_through(0x80 + round, &[round as u8]); }
+/// level.write_through(0x40, &[7; 4]);
+/// let mut buf = [0u8; 4];
+/// level.fetch_line(0x40, &mut buf);
+/// assert_eq!(buf, [7; 4]);
+/// assert!(level.transit_stats().injected > 0);
+/// assert_eq!(level.transit_stats().delivered_corrupt, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyNextLevel<N> {
+    inner: N,
+    rng: SplitMix64,
+    /// Probability of a fault per transfer, in parts per million.
+    rate_ppm: u32,
+    /// Maximum retries after the initial attempt of a faulty transfer.
+    retry_limit: u32,
+    stats: TransitFaultStats,
+}
+
+impl<N: NextLevel> FaultyNextLevel<N> {
+    /// Wraps `inner`, faulting each transfer with probability
+    /// `rate_ppm / 1_000_000` and retrying detected faults up to
+    /// `retry_limit` times.
+    pub fn new(inner: N, rate_ppm: u32, seed: u64, retry_limit: u32) -> Self {
+        FaultyNextLevel {
+            inner,
+            rng: SplitMix64::seed_from_u64(seed),
+            rate_ppm: rate_ppm.min(1_000_000),
+            retry_limit,
+            stats: TransitFaultStats::default(),
+        }
+    }
+
+    /// The transit-fault counters accumulated so far.
+    pub fn transit_stats(&self) -> &TransitFaultStats {
+        &self.stats
+    }
+
+    /// The wrapped level.
+    pub fn inner(&self) -> &N {
+        &self.inner
+    }
+
+    /// The wrapped level, mutably (e.g. to read a `TrafficRecorder`).
+    pub fn inner_mut(&mut self) -> &mut N {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper and returns the wrapped level.
+    pub fn into_inner(self) -> N {
+        self.inner
+    }
+
+    /// Decides whether this transfer faults, and if so where.
+    fn fault_site(&mut self, len: usize) -> Option<(usize, u8)> {
+        if len == 0 || self.rate_ppm == 0 {
+            return None;
+        }
+        if !self.rng.gen_ratio(self.rate_ppm, 1_000_000) {
+            return None;
+        }
+        let byte = self.rng.below(len as u64) as usize;
+        let bit = (self.rng.next_u64() % 8) as u8;
+        Some((byte, bit))
+    }
+
+    /// Runs one transfer attempt of `len` bytes through `xfer`, injecting
+    /// a fault into the produced bytes when the injector fires. Returns
+    /// `true` if the attempt was clean.
+    fn attempt(&mut self, len: usize, xfer: impl FnOnce(&mut N, Option<(usize, u8)>)) -> bool {
+        self.stats.attempts += 1;
+        let site = self.fault_site(len);
+        if site.is_some() {
+            self.stats.injected += 1;
+        }
+        xfer(&mut self.inner, site);
+        site.is_none()
+    }
+}
+
+impl<N: NextLevel> NextLevel for FaultyNextLevel<N> {
+    fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
+        let mut tries = 0;
+        loop {
+            let clean = self.attempt(buf.len(), |inner, site| {
+                inner.fetch_line(addr, buf);
+                if let Some((byte, bit)) = site {
+                    buf[byte] ^= 1 << bit;
+                }
+            });
+            if clean {
+                return;
+            }
+            if tries >= self.retry_limit {
+                self.stats.delivered_corrupt += 1;
+                return;
+            }
+            tries += 1;
+            self.stats.retries += 1;
+        }
+    }
+
+    fn write_back(&mut self, addr: u64, data: &[u8]) {
+        self.store(addr, data, true)
+    }
+
+    fn write_through(&mut self, addr: u64, data: &[u8]) {
+        self.store(addr, data, false)
+    }
+}
+
+impl<N: NextLevel> FaultyNextLevel<N> {
+    /// Shared retry loop for the two store-side transfer classes. A faulty
+    /// attempt writes the corrupted bytes (the inner level really sees
+    /// them); a successful retry overwrites them with the clean data.
+    fn store(&mut self, addr: u64, data: &[u8], back: bool) {
+        let mut corrupted;
+        let mut tries = 0;
+        loop {
+            let mut scratch = None;
+            let clean = self.attempt(data.len(), |inner, site| {
+                if let Some((byte, bit)) = site {
+                    let mut copy = data.to_vec();
+                    copy[byte] ^= 1 << bit;
+                    if back {
+                        inner.write_back(addr, &copy);
+                    } else {
+                        inner.write_through(addr, &copy);
+                    }
+                    scratch = Some(copy);
+                } else if back {
+                    inner.write_back(addr, data);
+                } else {
+                    inner.write_through(addr, data);
+                }
+            });
+            corrupted = scratch.is_some();
+            if clean {
+                return;
+            }
+            if tries >= self.retry_limit {
+                break;
+            }
+            tries += 1;
+            self.stats.retries += 1;
+        }
+        if corrupted {
+            self.stats.delivered_corrupt += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MainMemory;
+
+    fn always_faulty(retry_limit: u32, seed: u64) -> FaultyNextLevel<MainMemory> {
+        FaultyNextLevel::new(MainMemory::new(), 1_000_000, seed, retry_limit)
+    }
+
+    fn half_faulty(retry_limit: u32, seed: u64) -> FaultyNextLevel<MainMemory> {
+        FaultyNextLevel::new(MainMemory::new(), 500_000, seed, retry_limit)
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let mut level = FaultyNextLevel::new(MainMemory::new(), 0, 1, 3);
+        level.write_through(0x100, &[1, 2, 3, 4]);
+        level.write_back(0x104, &[5, 6]);
+        let mut buf = [0u8; 6];
+        level.fetch_line(0x100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6]);
+        assert_eq!(level.transit_stats().injected, 0);
+        assert_eq!(level.transit_stats().attempts, 3);
+    }
+
+    #[test]
+    fn retries_recover_heavy_fault_rate() {
+        // 50% of attempts fault; 20 retries make the residual failure
+        // probability per transfer ~5e-7, and the fixed seed makes the
+        // outcome exact: every transfer recovers.
+        let mut level = half_faulty(20, 0xfee1);
+        for i in 0..64u64 {
+            level.write_through(i * 4, &[i as u8; 4]);
+        }
+        let mut buf = [0u8; 4];
+        for i in 0..64u64 {
+            level.fetch_line(i * 4, &mut buf);
+            assert_eq!(buf, [i as u8; 4], "transfer {i} not recovered");
+        }
+        let stats = level.transit_stats();
+        assert!(
+            stats.injected >= 32,
+            "roughly half the transfers should fault"
+        );
+        assert_eq!(stats.delivered_corrupt, 0);
+        assert_eq!(stats.recovered(), stats.injected);
+        assert_eq!(
+            stats.retries, stats.injected,
+            "one retry per detected fault"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_deliver_corrupt_and_count() {
+        // retry_limit 0: the first faulty attempt is final.
+        let mut level = always_faulty(0, 0x2);
+        level.write_through(0x40, &[0xff; 8]);
+        let stats = *level.transit_stats();
+        assert_eq!(stats.injected, 1);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.delivered_corrupt, 1);
+        // The inner memory really holds a single-bit-corrupted copy.
+        let mut buf = [0u8; 8];
+        level.inner_mut().fetch_line(0x40, &mut buf);
+        let flipped: u32 = buf.iter().map(|b| (b ^ 0xff).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit should differ");
+    }
+
+    #[test]
+    fn fault_sites_are_deterministic() {
+        let run = |seed| {
+            let mut level = FaultyNextLevel::new(MainMemory::new(), 250_000, seed, 2);
+            for i in 0..256u64 {
+                level.write_through(i * 8, &[0xab; 8]);
+            }
+            let mut buf = [0u8; 8];
+            for i in 0..256u64 {
+                level.fetch_line(i * 8, &mut buf);
+            }
+            *level.transit_stats()
+        };
+        assert_eq!(run(0x1993), run(0x1993));
+        assert_ne!(run(0x1993), run(0x1994), "different seeds should differ");
+    }
+}

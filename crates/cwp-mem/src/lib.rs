@@ -29,11 +29,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod error;
+pub mod faulty;
 pub mod memory;
 pub mod next;
+pub mod rng;
 pub mod traffic;
 
+pub use error::CwpError;
+pub use faulty::{FaultyNextLevel, TransitFaultStats};
 pub use memory::MainMemory;
 pub use next::NextLevel;
+pub use rng::SplitMix64;
 pub use traffic::{Traffic, TrafficClass, TrafficRecorder};

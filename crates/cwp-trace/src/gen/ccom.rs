@@ -17,8 +17,7 @@
 //! * Table 1 mix: 8.3M reads vs 5.7M writes (ratio 1.46), 2.25
 //!   instructions per data reference.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cwp_mem::rng::SplitMix64;
 
 use crate::emit::Emitter;
 use crate::scale::Scale;
@@ -81,7 +80,7 @@ impl Layout {
 
 /// Cursors that persist across functions within one run.
 struct State {
-    rng: SmallRng,
+    rng: SplitMix64,
     token_cursor: u64,
     next_node: u64,
     out_cursor: u64,
@@ -244,7 +243,7 @@ impl Workload for Ccom {
         let layout = Layout::new();
         let mut e = Emitter::new(sink);
         let mut st = State {
-            rng: SmallRng::seed_from_u64(0xcc0_1993),
+            rng: SplitMix64::seed_from_u64(0xcc0_1993),
             token_cursor: 0,
             next_node: 0,
             out_cursor: 0,

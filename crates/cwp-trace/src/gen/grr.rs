@@ -19,8 +19,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cwp_mem::rng::SplitMix64;
 
 use crate::emit::Emitter;
 use crate::scale::Scale;
@@ -89,7 +88,7 @@ impl Grr {
     }
 
     /// Routes one net: wavefront expansion, backtrace, cleanup.
-    fn route_net(&self, l: &Layout, e: &mut Emitter<'_>, rng: &mut SmallRng, net: u64) {
+    fn route_net(&self, l: &Layout, e: &mut Emitter<'_>, rng: &mut SplitMix64, net: u64) {
         // Read the net's endpoints from the netlist.
         e.insts(3);
         e.load4(l.nets.u32_at((net * 4) % 4096));
@@ -189,7 +188,7 @@ impl Workload for Grr {
     fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
         let layout = Layout::new();
         let mut e = Emitter::new(sink);
-        let mut rng = SmallRng::seed_from_u64(0x66_1993);
+        let mut rng = SplitMix64::seed_from_u64(0x66_1993);
         let nets = scale.pick(4, 48, 1200);
         for net in 0..u64::from(nets) {
             self.route_net(&layout, &mut e, &mut rng, net);

@@ -15,8 +15,7 @@
 //! * Table 1 mix: 36.4M reads vs 13.8M writes (ratio 2.64), 1.98
 //!   instructions per data reference.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cwp_mem::rng::SplitMix64;
 
 use crate::emit::Emitter;
 use crate::scale::Scale;
@@ -61,7 +60,7 @@ impl Layout {
 }
 
 struct State {
-    rng: SmallRng,
+    rng: SplitMix64,
     log_cursor: u64,
 }
 
@@ -200,7 +199,7 @@ impl Workload for Met {
         let layout = Layout::new();
         let mut e = Emitter::new(sink);
         let mut st = State {
-            rng: SmallRng::seed_from_u64(0x3e7_1993),
+            rng: SplitMix64::seed_from_u64(0x3e7_1993),
             log_cursor: 0,
         };
         // The test scale analyzes a prefix of the netlist once; larger
@@ -261,7 +260,7 @@ mod tests {
     fn fanins_point_backward() {
         let met = Met::new();
         let mut st = State {
-            rng: SmallRng::seed_from_u64(7),
+            rng: SplitMix64::seed_from_u64(7),
             log_cursor: 0,
         };
         for node in 1..200u64 {

@@ -16,8 +16,7 @@
 //! * Table 1 mix: 12.9M reads vs 3.8M writes (ratio 3.39, the most
 //!   read-heavy of the six), 3.05 instructions per data reference.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cwp_mem::rng::SplitMix64;
 
 use crate::emit::Emitter;
 use crate::scale::Scale;
@@ -82,7 +81,7 @@ impl Yacc {
     }
 
     /// Builds one state's row: closure over items, then action merging.
-    fn build_state(&self, l: &Layout, e: &mut Emitter<'_>, rng: &mut SmallRng, state: u64) {
+    fn build_state(&self, l: &Layout, e: &mut Emitter<'_>, rng: &mut SplitMix64, state: u64) {
         // Closure: expand kernel items through the grammar into the
         // workspace, which is re-filled from index 0 for every state.
         let items = 24 + (state % 16);
@@ -122,7 +121,14 @@ impl Yacc {
     }
 
     /// Parses `n` tokens through the action table with shift/reduce stacks.
-    fn parse(&self, l: &Layout, e: &mut Emitter<'_>, rng: &mut SmallRng, cursor: &mut u64, n: u64) {
+    fn parse(
+        &self,
+        l: &Layout,
+        e: &mut Emitter<'_>,
+        rng: &mut SplitMix64,
+        cursor: &mut u64,
+        n: u64,
+    ) {
         let mut depth = 4u64;
         let mut state = 0u64;
         for _ in 0..n {
@@ -176,7 +182,7 @@ impl Workload for Yacc {
     fn run(&self, scale: Scale, sink: &mut dyn TraceSink) -> TraceSummary {
         let layout = Layout::new();
         let mut e = Emitter::new(sink);
-        let mut rng = SmallRng::seed_from_u64(0x9acc_1993);
+        let mut rng = SplitMix64::seed_from_u64(0x9acc_1993);
         let rounds = scale.pick(1, 14, 90);
         let mut cursor = 0u64;
         for round in 0..u64::from(rounds) {

@@ -2,7 +2,6 @@
 
 use cwp_trace::stats::TraceStats;
 use cwp_trace::{workloads, MemRef, Scale, TraceSink};
-use proptest::prelude::*;
 
 #[test]
 fn all_generators_emit_only_aligned_word_or_double_accesses() {
@@ -93,11 +92,11 @@ fn custom_scale_interpolates_run_length() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn generators_are_deterministic_at_any_scale(factor in 0.02f64..0.08) {
+#[test]
+fn generators_are_deterministic_at_any_scale() {
+    // Formerly a proptest over `factor in 0.02..0.08`; now a fixed sweep
+    // of the same interval so the suite builds with no external crates.
+    for factor in [0.02, 0.033, 0.047, 0.061, 0.08] {
         for w in workloads::suite() {
             let run = || {
                 let mut digest = 0u64;
@@ -111,7 +110,7 @@ proptest! {
                 w.run(Scale::Custom(factor), &mut sink);
                 (digest, count)
             };
-            prop_assert_eq!(run(), run(), "{} is nondeterministic", w.name());
+            assert_eq!(run(), run(), "{} is nondeterministic at {factor}", w.name());
         }
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Full offline verification gate: formatting, lints, build, tests.
+#
+# The workspace has no external dependencies, so everything runs with
+# --offline against an empty cargo registry. Any warning is an error.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "verify: OK"
