@@ -3,6 +3,9 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use cwp_obs::event::Event;
+use cwp_obs::{NullProbe, Probe};
+
 /// Counters reported by a [`CoalescingWriteBuffer`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WriteBufferStats {
@@ -63,7 +66,7 @@ impl fmt::Display for WriteBufferStats {
 /// assert_eq!(wb.stats().merged, 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct CoalescingWriteBuffer {
+pub struct CoalescingWriteBuffer<P = NullProbe> {
     entries: usize,
     line_shift: u32,
     retire_interval: u64,
@@ -75,6 +78,7 @@ pub struct CoalescingWriteBuffer {
     now: u64,
     next_retire: u64,
     stats: WriteBufferStats,
+    probe: P,
 }
 
 impl CoalescingWriteBuffer {
@@ -86,6 +90,18 @@ impl CoalescingWriteBuffer {
     ///
     /// Panics if `entries` is 0 or `line_bytes` is not a power of two.
     pub fn new(entries: usize, line_bytes: u32, retire_interval: u64) -> Self {
+        CoalescingWriteBuffer::with_probe(entries, line_bytes, retire_interval, NullProbe)
+    }
+}
+
+impl<P: Probe> CoalescingWriteBuffer<P> {
+    /// As [`CoalescingWriteBuffer::new`], but attaches `probe` to observe
+    /// enqueue/merge/stall/retire events (see [`cwp_obs::event::Event`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0 or `line_bytes` is not a power of two.
+    pub fn with_probe(entries: usize, line_bytes: u32, retire_interval: u64, probe: P) -> Self {
         assert!(entries > 0, "a write buffer needs at least one entry");
         assert!(
             line_bytes.is_power_of_two(),
@@ -100,6 +116,19 @@ impl CoalescingWriteBuffer {
             now: 0,
             next_retire: retire_interval,
             stats: WriteBufferStats::default(),
+            probe,
+        }
+    }
+
+    /// Consumes the buffer, returning the attached probe.
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        if P::ENABLED {
+            self.probe.on_event(&event);
         }
     }
 
@@ -141,14 +170,19 @@ impl CoalescingWriteBuffer {
     /// Retires entries whose service slots have elapsed by `cycle`.
     fn drain_until(&mut self, cycle: u64) {
         if self.retire_interval == 0 {
-            self.stats.retired += self.pending.len() as u64;
-            self.pending.clear();
+            while self.pending.pop_front().is_some() {
+                self.stats.retired += 1;
+                let occupancy = self.pending.len() as u32;
+                self.emit(Event::BufferRetire { occupancy });
+            }
             return;
         }
         while self.pending.len() > self.reserve && self.next_retire <= cycle {
             self.pending.pop_front();
             self.stats.retired += 1;
             self.next_retire += self.retire_interval;
+            let occupancy = self.pending.len() as u32;
+            self.emit(Event::BufferRetire { occupancy });
         }
         if self.pending.len() <= self.reserve {
             // Nothing eligible: the retirement clock restarts when the
@@ -169,6 +203,9 @@ impl CoalescingWriteBuffer {
 
         if self.pending.iter().any(|&l| l == line) {
             self.stats.merged += 1;
+            self.emit(Event::BufferMerge {
+                line_addr: line << self.line_shift,
+            });
             return 0;
         }
 
@@ -180,15 +217,24 @@ impl CoalescingWriteBuffer {
             self.now = self.now.max(resume);
             self.drain_until(self.now);
             self.stats.stall_cycles += stalled;
+            self.emit(Event::BufferStall { cycles: stalled });
         }
         self.pending.push_back(line);
+        let occupancy = self.pending.len() as u32;
+        self.emit(Event::BufferEnqueue {
+            line_addr: line << self.line_shift,
+            occupancy,
+        });
         stalled
     }
 
     /// Drains everything, counting the retirements (end of run).
     pub fn flush(&mut self) {
-        self.stats.retired += self.pending.len() as u64;
-        self.pending.clear();
+        while self.pending.pop_front().is_some() {
+            self.stats.retired += 1;
+            let occupancy = self.pending.len() as u32;
+            self.emit(Event::BufferRetire { occupancy });
+        }
     }
 }
 
@@ -293,5 +339,44 @@ mod tests {
     #[should_panic(expected = "reserve")]
     fn reserve_must_leave_room() {
         let _ = CoalescingWriteBuffer::new(4, 16, 1).with_reserve(4);
+    }
+
+    #[test]
+    fn probe_events_mirror_buffer_stats() {
+        use cwp_obs::RecordingProbe;
+        let mut wb = CoalescingWriteBuffer::with_probe(4, 16, 7, RecordingProbe::default());
+        for i in 0..500u64 {
+            wb.write(i, (i % 9) * 8);
+        }
+        wb.flush();
+        let stats = wb.stats();
+        let probe = wb.into_probe();
+        let mut enqueues = 0u64;
+        let mut merges = 0u64;
+        let mut retires = 0u64;
+        let mut stall_cycles = 0u64;
+        let mut max_occupancy = 0u32;
+        for e in &probe.events {
+            match *e {
+                Event::BufferEnqueue { occupancy, .. } => {
+                    enqueues += 1;
+                    max_occupancy = max_occupancy.max(occupancy);
+                }
+                Event::BufferMerge { .. } => merges += 1,
+                Event::BufferRetire { .. } => retires += 1,
+                Event::BufferStall { cycles } => stall_cycles += cycles,
+                _ => panic!("unexpected event {e:?}"),
+            }
+        }
+        assert_eq!(enqueues + merges, stats.writes);
+        assert_eq!(merges, stats.merged);
+        assert_eq!(retires, stats.retired);
+        assert_eq!(stall_cycles, stats.stall_cycles);
+        assert_eq!(enqueues, retires, "flush drains every enqueued entry");
+        assert!(max_occupancy <= 4, "occupancy bounded by capacity");
+        assert!(
+            stats.merged > 0 && stats.stall_cycles > 0,
+            "workload exercises both paths"
+        );
     }
 }

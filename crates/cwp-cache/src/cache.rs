@@ -1,6 +1,8 @@
 //! The cache engine: lookup, replacement, and the policy state machines.
 
 use cwp_mem::{CwpError, MainMemory, NextLevel, Traffic, TrafficRecorder};
+use cwp_obs::event::{AccessKind, Event, FaultOutcome, FetchCause, WriteMissAction};
+use cwp_obs::{NullProbe, Probe};
 
 use crate::config::CacheConfig;
 use crate::fault::{FaultEvent, FaultInjector, FaultKind, Protection};
@@ -48,9 +50,15 @@ impl LineMeta {
 /// a [`cwp_mem::TrafficRecorder`], a write buffer from `cwp-buffers`, or
 /// another `Cache` (caches implement [`NextLevel`], so hierarchies stack).
 ///
+/// `P` is an observability [`Probe`] receiving the typed event stream.
+/// It defaults to [`NullProbe`], whose `ENABLED = false` makes every
+/// emission site compile away — an uninstrumented `Cache<N>` is
+/// bit-identical to the pre-observability engine. Build a probed cache
+/// with [`Cache::with_probe`].
+///
 /// See the crate documentation for policy semantics and an example.
 #[derive(Debug, Clone)]
-pub struct Cache<N> {
+pub struct Cache<N, P = NullProbe> {
     config: CacheConfig,
     line_bytes: u32,
     line_shift: u32,
@@ -73,11 +81,15 @@ pub struct Cache<N> {
     /// [`Cache::try_write`] error reporting.
     last_loss: Option<(u64, u32)>,
     next: N,
+    probe: P,
 }
 
 /// The common standalone configuration: a cache over main memory with a
 /// traffic recorder at its back side.
 pub type MemoryCache = Cache<TrafficRecorder<MainMemory>>;
+
+/// A [`MemoryCache`] carrying an observability probe.
+pub type ProbedMemoryCache<P> = Cache<TrafficRecorder<MainMemory>, P>;
 
 impl MemoryCache {
     /// Creates a cache backed by fresh [`MainMemory`] behind a
@@ -85,7 +97,17 @@ impl MemoryCache {
     pub fn with_memory(config: CacheConfig) -> Self {
         Cache::new(config, TrafficRecorder::new(MainMemory::new()))
     }
+}
 
+impl<P: Probe> ProbedMemoryCache<P> {
+    /// Creates a probed cache backed by fresh [`MainMemory`] behind a
+    /// [`TrafficRecorder`].
+    pub fn with_memory_probed(config: CacheConfig, probe: P) -> Self {
+        Cache::with_probe(config, TrafficRecorder::new(MainMemory::new()), probe)
+    }
+}
+
+impl<P> Cache<TrafficRecorder<MainMemory>, P> {
     /// The back-side traffic recorded so far.
     pub fn traffic(&self) -> Traffic {
         self.next.traffic()
@@ -93,8 +115,16 @@ impl MemoryCache {
 }
 
 impl<N: NextLevel> Cache<N> {
-    /// Creates a cache with `next` as the next-lower hierarchy level.
+    /// Creates an unobserved cache with `next` as the next-lower
+    /// hierarchy level.
     pub fn new(config: CacheConfig, next: N) -> Self {
+        Cache::with_probe(config, next, NullProbe)
+    }
+}
+
+impl<N: NextLevel, P: Probe> Cache<N, P> {
+    /// Creates a cache whose event stream feeds `probe`.
+    pub fn with_probe(config: CacheConfig, next: N, probe: P) -> Self {
         let line_bytes = config.line_bytes();
         let lines = config.lines() as usize;
         Cache {
@@ -114,6 +144,31 @@ impl<N: NextLevel> Cache<N> {
             fault_log: Vec::new(),
             last_loss: None,
             next,
+            probe,
+        }
+    }
+
+    /// Shared access to the probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the probe.
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Unwraps the cache into its next level and probe (e.g. to finish
+    /// a streaming exporter). Dirty data still resident is *not*
+    /// written back; call [`Cache::flush`] first if it matters.
+    pub fn into_parts(self) -> (N, P) {
+        (self.next, self.probe)
+    }
+
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        if P::ENABLED {
+            self.probe.on_event(&event);
         }
     }
 
@@ -193,6 +248,11 @@ impl<N: NextLevel> Cache<N> {
                 continue;
             }
             self.stats.flush.total += 1;
+            self.emit(Event::Eviction {
+                line_addr: self.line_addr_of(idx),
+                dirty_bytes: mask::count(m.dirty),
+                flush: true,
+            });
             if m.dirty != 0 {
                 self.stats.flush.dirty += 1;
                 self.stats.flush.dirty_bytes += u64::from(mask::count(m.dirty));
@@ -256,6 +316,8 @@ impl<N: NextLevel> Cache<N> {
     pub fn allocate_line(&mut self, addr: u64) {
         let (set, tag, _offset) = self.decompose(addr);
         self.stats.line_allocations += 1;
+        let line_addr = self.line_addr(set, tag);
+        self.emit(Event::LineAllocated { line_addr });
         let way = match self.find_way(set, tag) {
             Some(way) => way,
             None => {
@@ -271,10 +333,14 @@ impl<N: NextLevel> Cache<N> {
         let full = mask::full(self.line_bytes);
         self.line_data(idx).fill(0);
         let write_back = self.config.write_hit() == WriteHitPolicy::WriteBack;
+        let was_dirty = self.meta[idx].dirty != 0;
         let m = &mut self.meta[idx];
         m.tag = tag;
         m.valid = full;
         m.dirty = if write_back { full } else { 0 };
+        if write_back && !was_dirty {
+            self.emit(Event::LineDirtied { line_addr });
+        }
         self.touch(set, way);
     }
 
@@ -362,11 +428,19 @@ impl<N: NextLevel> Cache<N> {
             for (off, len) in runs {
                 let lo = idx * lb as usize + off as usize;
                 let chunk = self.data[lo..lo + len as usize].to_vec();
+                self.emit(Event::WriteBack {
+                    addr: base + u64::from(off),
+                    bytes: len,
+                });
                 self.next.write_back(base + u64::from(off), &chunk);
             }
         } else {
             let lbu = lb as usize;
             let chunk = self.data[idx * lbu..(idx + 1) * lbu].to_vec();
+            self.emit(Event::WriteBack {
+                addr: base,
+                bytes: lb,
+            });
             self.next.write_back(base, &chunk);
         }
     }
@@ -390,6 +464,11 @@ impl<N: NextLevel> Cache<N> {
         let m = self.meta[idx];
         if m.valid != 0 {
             self.stats.victims.total += 1;
+            self.emit(Event::Eviction {
+                line_addr: self.line_addr_of(idx),
+                dirty_bytes: mask::count(m.dirty),
+                flush: false,
+            });
             if m.dirty != 0 {
                 self.stats.victims.dirty += 1;
                 self.stats.victims.dirty_bytes += u64::from(mask::count(m.dirty));
@@ -405,6 +484,11 @@ impl<N: NextLevel> Cache<N> {
     fn fetch_line(&mut self, set: u32, way: u32, tag: u64) {
         self.stats.fetches += 1;
         let addr = self.line_addr(set, tag);
+        self.emit(Event::Fetch {
+            cause: FetchCause::Demand,
+            addr,
+            bytes: self.line_bytes,
+        });
         let idx = self.line_index(set, way);
         let mut scratch = std::mem::take(&mut self.scratch);
         self.next.fetch_line(addr, &mut scratch);
@@ -428,6 +512,11 @@ impl<N: NextLevel> Cache<N> {
 
     fn read_within(&mut self, addr: u64, lo: usize, hi: usize, out: &mut [u8]) {
         self.stats.reads += 1;
+        self.emit(Event::Access {
+            kind: AccessKind::Read,
+            addr,
+            bytes: (hi - lo) as u32,
+        });
         self.maybe_inject();
         let (set, tag, offset) = self.decompose(addr);
         self.scrub(set, tag);
@@ -438,17 +527,26 @@ impl<N: NextLevel> Cache<N> {
                 let idx = self.line_index(set, way);
                 if self.meta[idx].valid & need == need {
                     self.stats.read_hits += 1;
+                    self.emit(Event::ReadHit { addr });
                 } else {
                     // Tag match but some requested bytes invalid: a miss
                     // that refills the line, merging around valid bytes.
                     self.stats.read_misses += 1;
                     self.stats.partial_read_misses += 1;
+                    self.emit(Event::ReadMiss {
+                        addr,
+                        partial: true,
+                    });
                     self.fetch_line(set, way, tag);
                 }
                 way
             }
             None => {
                 self.stats.read_misses += 1;
+                self.emit(Event::ReadMiss {
+                    addr,
+                    partial: false,
+                });
                 let way = self.victim_way(set);
                 self.evict(set, way);
                 self.fetch_line(set, way, tag);
@@ -464,6 +562,11 @@ impl<N: NextLevel> Cache<N> {
 
     fn write_within(&mut self, addr: u64, data: &[u8]) {
         self.stats.writes += 1;
+        self.emit(Event::Access {
+            kind: AccessKind::Write,
+            addr,
+            bytes: data.len() as u32,
+        });
         self.maybe_inject();
         let (set, tag, offset) = self.decompose(addr);
         self.scrub(set, tag);
@@ -473,15 +576,25 @@ impl<N: NextLevel> Cache<N> {
             // Write hit: the tag is resident. Writing validates the bytes
             // regardless of their previous valid state.
             self.stats.write_hits += 1;
+            self.emit(Event::WriteHit { addr });
             self.store_into(set, way, offset, data, span);
             if self.config.write_hit() == WriteHitPolicy::WriteThrough {
-                self.next.write_through(addr, data);
+                self.send_write_through(addr, data);
             }
             self.touch(set, way);
             return;
         }
 
         self.stats.write_misses += 1;
+        self.emit(Event::WriteMiss {
+            addr,
+            action: match self.config.write_miss() {
+                WriteMissPolicy::FetchOnWrite => WriteMissAction::Fetch,
+                WriteMissPolicy::WriteValidate => WriteMissAction::Validate,
+                WriteMissPolicy::WriteAround => WriteMissAction::Around,
+                WriteMissPolicy::WriteInvalidate => WriteMissAction::Invalidate,
+            },
+        });
         match self.config.write_miss() {
             WriteMissPolicy::FetchOnWrite => {
                 let way = self.victim_way(set);
@@ -489,7 +602,7 @@ impl<N: NextLevel> Cache<N> {
                 self.fetch_line(set, way, tag);
                 self.store_into(set, way, offset, data, span);
                 if self.config.write_hit() == WriteHitPolicy::WriteThrough {
-                    self.next.write_through(addr, data);
+                    self.send_write_through(addr, data);
                 }
                 self.touch(set, way);
             }
@@ -502,13 +615,13 @@ impl<N: NextLevel> Cache<N> {
                 self.meta[idx].tag = tag;
                 self.store_into(set, way, offset, data, span);
                 if self.config.write_hit() == WriteHitPolicy::WriteThrough {
-                    self.next.write_through(addr, data);
+                    self.send_write_through(addr, data);
                 }
                 self.touch(set, way);
             }
             WriteMissPolicy::WriteAround => {
                 // Bypass: the old line (if any) stays resident.
-                self.next.write_through(addr, data);
+                self.send_write_through(addr, data);
             }
             WriteMissPolicy::WriteInvalidate => {
                 // The concurrent data write corrupted the indexed line, so
@@ -522,11 +635,25 @@ impl<N: NextLevel> Cache<N> {
                 );
                 if self.meta[idx].valid != 0 {
                     self.stats.invalidations += 1;
+                    let line_addr = self.line_addr_of(idx);
+                    self.emit(Event::Invalidation { line_addr });
                 }
                 self.clear_line(idx);
-                self.next.write_through(addr, data);
+                self.send_write_through(addr, data);
             }
         }
+    }
+
+    /// Forwards a store to the next level, emitting the write-through
+    /// traffic event (exactly one per `NextLevel::write_through` call,
+    /// mirroring what a `TrafficRecorder` would count).
+    #[inline]
+    fn send_write_through(&mut self, addr: u64, data: &[u8]) {
+        self.emit(Event::WriteThrough {
+            addr,
+            bytes: data.len() as u32,
+        });
+        self.next.write_through(addr, data);
     }
 
     // ------------------------------------------------------------------
@@ -590,6 +717,15 @@ impl<N: NextLevel> Cache<N> {
         let off = idx * self.line_bytes as usize + byte as usize;
         self.data[off] ^= 1 << bit;
         self.stats.faults.injected += 1;
+        if P::ENABLED {
+            let line_addr = self.line_addr_of(idx);
+            self.emit(Event::FaultInjected {
+                line_addr,
+                byte,
+                bit,
+                silent: !protected,
+            });
+        }
         if protected {
             self.faulty[idx] |= 1u64 << byte;
             self.flips.push(Flip { idx, byte, bit });
@@ -647,6 +783,11 @@ impl<N: NextLevel> Cache<N> {
                     let off = idx * self.line_bytes as usize + f.byte as usize;
                     self.data[off] ^= 1 << f.bit;
                     self.stats.faults.corrected_in_place += 1;
+                    self.emit(Event::FaultResolved {
+                        outcome: FaultOutcome::Corrected,
+                        line_addr,
+                        dirty_bytes: 0,
+                    });
                     self.log_fault(FaultEvent {
                         kind: FaultKind::CorrectedInPlace,
                         line_addr,
@@ -659,10 +800,27 @@ impl<N: NextLevel> Cache<N> {
             Protection::ByteParity if dirty == 0 => {
                 if discarding {
                     self.stats.faults.discarded_clean += mine.len() as u64;
+                    if P::ENABLED {
+                        for _ in &mine {
+                            self.emit(Event::FaultResolved {
+                                outcome: FaultOutcome::DiscardedClean,
+                                line_addr,
+                                dirty_bytes: 0,
+                            });
+                        }
+                    }
                 } else {
                     // Every valid byte of a clean line matches the next
                     // level, so a whole-line refetch recovers all flips
                     // at once (and validates the rest of the line).
+                    // This refetch is back-side traffic but not a demand
+                    // fetch: it is not counted in `CacheStats::fetches`,
+                    // hence the `Recovery` cause.
+                    self.emit(Event::Fetch {
+                        cause: FetchCause::Recovery,
+                        addr: line_addr,
+                        bytes: self.line_bytes,
+                    });
                     let mut scratch = std::mem::take(&mut self.scratch);
                     self.next.fetch_line(line_addr, &mut scratch);
                     self.line_data(idx).copy_from_slice(&scratch);
@@ -670,6 +828,11 @@ impl<N: NextLevel> Cache<N> {
                     self.meta[idx].valid = mask::full(self.line_bytes);
                     self.stats.faults.refetch_recoveries += mine.len() as u64;
                     for f in mine {
+                        self.emit(Event::FaultResolved {
+                            outcome: FaultOutcome::Refetched,
+                            line_addr,
+                            dirty_bytes: 0,
+                        });
                         self.log_fault(FaultEvent {
                             kind: FaultKind::RefetchRecovery,
                             line_addr,
@@ -688,6 +851,11 @@ impl<N: NextLevel> Cache<N> {
                 self.stats.faults.data_loss_events += 1;
                 self.stats.faults.data_loss_dirty_bytes += u64::from(lost);
                 self.last_loss = Some((line_addr, lost));
+                self.emit(Event::FaultResolved {
+                    outcome: FaultOutcome::DataLoss,
+                    line_addr,
+                    dirty_bytes: lost,
+                });
                 let site = mine.first().copied();
                 self.log_fault(FaultEvent {
                     kind: FaultKind::DataLoss,
@@ -771,6 +939,18 @@ impl<N: NextLevel> Cache<N> {
         let idx = self.line_index(set, way);
         if write_back && self.meta[idx].dirty != 0 {
             self.stats.writes_to_dirty += 1;
+            if P::ENABLED {
+                let line_addr = self.line_addr_of(idx);
+                self.emit(Event::WriteToDirty { line_addr });
+            }
+        } else if write_back && span != 0 {
+            // Clean line turning dirty: the sampler integrates these
+            // (with dirty evictions and data losses) into a dirty-line
+            // gauge.
+            if P::ENABLED {
+                let line_addr = self.line_addr(set, self.meta[idx].tag);
+                self.emit(Event::LineDirtied { line_addr });
+            }
         }
         let lo = idx * self.line_bytes as usize + offset as usize;
         self.data[lo..lo + data.len()].copy_from_slice(data);
@@ -804,7 +984,7 @@ fn check_span(addr: u64, len: usize) -> Result<(), CwpError> {
     Ok(())
 }
 
-impl<N: NextLevel> NextLevel for Cache<N> {
+impl<N: NextLevel, P: Probe> NextLevel for Cache<N, P> {
     fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
         self.read(addr, buf);
     }
@@ -1126,5 +1306,225 @@ mod tests {
         c.allocate_line(0x80);
         assert_eq!(c.stats().victims.total, 0, "no self-eviction");
         assert!(c.is_resident(0x80, 16));
+    }
+
+    /// Counts probe events by the counter they should mirror.
+    fn event_tally(events: &[Event]) -> std::collections::HashMap<&'static str, u64> {
+        let mut tally: std::collections::HashMap<&'static str, u64> = Default::default();
+        let mut bump = |key: &'static str, by: u64| *tally.entry(key).or_insert(0) += by;
+        for e in events {
+            match *e {
+                Event::Access {
+                    kind: AccessKind::Read,
+                    ..
+                } => bump("reads", 1),
+                Event::Access {
+                    kind: AccessKind::Write,
+                    ..
+                } => bump("writes", 1),
+                Event::ReadHit { .. } => bump("read_hits", 1),
+                Event::ReadMiss { partial, .. } => {
+                    bump("read_misses", 1);
+                    if partial {
+                        bump("partial_read_misses", 1);
+                    }
+                }
+                Event::WriteHit { .. } => bump("write_hits", 1),
+                Event::WriteMiss { .. } => bump("write_misses", 1),
+                Event::WriteToDirty { .. } => bump("writes_to_dirty", 1),
+                Event::Fetch {
+                    cause: FetchCause::Demand,
+                    bytes,
+                    ..
+                } => {
+                    bump("fetches", 1);
+                    bump("fetch_bytes", u64::from(bytes));
+                }
+                Event::Fetch {
+                    cause: FetchCause::Recovery,
+                    bytes,
+                    ..
+                } => {
+                    bump("recovery_fetches", 1);
+                    bump("fetch_bytes", u64::from(bytes));
+                }
+                Event::WriteBack { bytes, .. } => {
+                    bump("write_back_txns", 1);
+                    bump("write_back_bytes", u64::from(bytes));
+                }
+                Event::WriteThrough { bytes, .. } => {
+                    bump("write_through_txns", 1);
+                    bump("write_through_bytes", u64::from(bytes));
+                }
+                Event::Eviction {
+                    flush, dirty_bytes, ..
+                } => {
+                    bump(if flush { "flush_total" } else { "victims" }, 1);
+                    if dirty_bytes > 0 {
+                        bump(
+                            if flush {
+                                "flush_dirty"
+                            } else {
+                                "victims_dirty"
+                            },
+                            1,
+                        );
+                        bump(
+                            if flush {
+                                "flush_dirty_bytes"
+                            } else {
+                                "victim_dirty_bytes"
+                            },
+                            u64::from(dirty_bytes),
+                        );
+                    }
+                }
+                Event::Invalidation { .. } => bump("invalidations", 1),
+                Event::LineAllocated { .. } => bump("line_allocations", 1),
+                _ => {}
+            }
+        }
+        tally
+    }
+
+    /// Drives a mixed workload and checks that every probe event class
+    /// matches the corresponding `CacheStats`/`Traffic` counter exactly
+    /// — the contract the windowed sampler's reconciliation rests on.
+    fn assert_events_mirror_counters(hit: WriteHitPolicy, miss: WriteMissPolicy) {
+        use cwp_obs::RecordingProbe;
+        let mut c = Cache::with_probe(
+            cfg(hit, miss),
+            TrafficRecorder::new(MainMemory::new()),
+            RecordingProbe::default(),
+        );
+        let mut buf = [0u8; 8];
+        for i in 0..600u64 {
+            let addr = (i * 52) % 4096; // conflicts in a 1KB cache
+            if i % 3 == 0 {
+                c.read(addr, &mut buf);
+            } else {
+                c.write(addr, &[i as u8; 8]);
+            }
+        }
+        c.allocate_line(0x40);
+        c.flush();
+
+        let stats = *c.stats();
+        let traffic = c.traffic();
+        let (_, probe) = c.into_parts();
+        let t = event_tally(&probe.events);
+        let get = |k: &str| t.get(k).copied().unwrap_or(0);
+
+        assert_eq!(get("reads"), stats.reads);
+        assert_eq!(get("writes"), stats.writes);
+        assert_eq!(get("read_hits"), stats.read_hits);
+        assert_eq!(get("read_misses"), stats.read_misses);
+        assert_eq!(get("partial_read_misses"), stats.partial_read_misses);
+        assert_eq!(get("write_hits"), stats.write_hits);
+        assert_eq!(get("write_misses"), stats.write_misses);
+        assert_eq!(get("writes_to_dirty"), stats.writes_to_dirty);
+        assert_eq!(get("fetches"), stats.fetches);
+        assert_eq!(get("invalidations"), stats.invalidations);
+        assert_eq!(get("line_allocations"), stats.line_allocations);
+        assert_eq!(get("victims"), stats.victims.total);
+        assert_eq!(get("victims_dirty"), stats.victims.dirty);
+        assert_eq!(get("victim_dirty_bytes"), stats.victims.dirty_bytes);
+        assert_eq!(get("flush_total"), stats.flush.total);
+        assert_eq!(get("flush_dirty"), stats.flush.dirty);
+        assert_eq!(get("flush_dirty_bytes"), stats.flush.dirty_bytes);
+        assert_eq!(
+            get("fetches") + get("recovery_fetches"),
+            traffic.fetch.transactions
+        );
+        assert_eq!(get("fetch_bytes"), traffic.fetch.bytes);
+        assert_eq!(get("write_back_txns"), traffic.write_back.transactions);
+        assert_eq!(get("write_back_bytes"), traffic.write_back.bytes);
+        assert_eq!(
+            get("write_through_txns"),
+            traffic.write_through.transactions
+        );
+        assert_eq!(get("write_through_bytes"), traffic.write_through.bytes);
+    }
+
+    #[test]
+    fn probe_events_mirror_counters_across_the_policy_matrix() {
+        for (hit, miss) in [
+            (WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite),
+            (WriteHitPolicy::WriteBack, WriteMissPolicy::WriteValidate),
+            (WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite),
+            (WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround),
+            (
+                WriteHitPolicy::WriteThrough,
+                WriteMissPolicy::WriteInvalidate,
+            ),
+        ] {
+            assert_events_mirror_counters(hit, miss);
+        }
+    }
+
+    #[test]
+    fn probe_events_mirror_fault_counters() {
+        use cwp_obs::RecordingProbe;
+        for protection in [Protection::ByteParity, Protection::EccPerWord] {
+            let config = CacheConfig::builder()
+                .size_bytes(1024)
+                .line_bytes(16)
+                .write_hit(WriteHitPolicy::WriteBack)
+                .write_miss(WriteMissPolicy::FetchOnWrite)
+                .protection(protection)
+                .fault_rate_ppm(200_000)
+                .fault_seed(7)
+                .build()
+                .unwrap();
+            let mut c = Cache::with_probe(
+                config,
+                TrafficRecorder::new(MainMemory::new()),
+                RecordingProbe::default(),
+            );
+            let mut buf = [0u8; 4];
+            for i in 0..2_000u64 {
+                let addr = (i * 28) % 2048;
+                if i % 2 == 0 {
+                    c.read(addr, &mut buf);
+                } else {
+                    c.write(addr, &[i as u8; 4]);
+                }
+            }
+            c.flush();
+            let faults = c.stats().faults;
+            assert!(faults.injected > 0, "injector must fire at this rate");
+            let (_, probe) = c.into_parts();
+            let mut injected = 0u64;
+            let mut corrected = 0u64;
+            let mut refetched = 0u64;
+            let mut discarded = 0u64;
+            let mut losses = 0u64;
+            let mut lost_bytes = 0u64;
+            for e in &probe.events {
+                match *e {
+                    Event::FaultInjected { .. } => injected += 1,
+                    Event::FaultResolved {
+                        outcome,
+                        dirty_bytes,
+                        ..
+                    } => match outcome {
+                        FaultOutcome::Corrected => corrected += 1,
+                        FaultOutcome::Refetched => refetched += 1,
+                        FaultOutcome::DiscardedClean => discarded += 1,
+                        FaultOutcome::DataLoss => {
+                            losses += 1;
+                            lost_bytes += u64::from(dirty_bytes);
+                        }
+                    },
+                    _ => {}
+                }
+            }
+            assert_eq!(injected, faults.injected);
+            assert_eq!(corrected, faults.corrected_in_place);
+            assert_eq!(refetched, faults.refetch_recoveries);
+            assert_eq!(discarded, faults.discarded_clean);
+            assert_eq!(losses, faults.data_loss_events);
+            assert_eq!(lost_bytes, faults.data_loss_dirty_bytes);
+        }
     }
 }

@@ -57,9 +57,10 @@ pub mod overhead;
 pub mod policy;
 pub mod stats;
 
-pub use cache::{Cache, MemoryCache};
+pub use cache::{Cache, MemoryCache, ProbedMemoryCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError};
 pub use cwp_mem::CwpError;
+pub use cwp_obs::{NullProbe, Probe};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultStats};
 pub use overhead::Protection;
 pub use policy::{WriteHitPolicy, WriteMissPolicy};

@@ -1,71 +1,126 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale test|quick|paper|<factor>] [--csv] <id>... | all | list
+//! figures [--scale test|quick|paper|<factor>] [--csv] [--quiet]
+//!         [--trace DIR] [--window N] [--max-events N] [--trace-workload W]
+//!         <id>... | all | list
 //! ```
+//!
+//! With `--trace DIR` (or `CWP_TRACE_DIR=DIR`), every simulation also
+//! exports `events.jsonl`, `windows.csv`, and `manifest.json` under
+//! `DIR/<experiment>/<NN>-<workload>/`. Progress and diagnostics go to
+//! stderr at the level set by `CWP_LOG` (`quiet`..`debug`); `--quiet`
+//! silences them entirely.
 
 use std::process::ExitCode;
 
 use cwp_core::experiments;
-use cwp_core::Lab;
+use cwp_core::{Lab, TraceOptions};
+use cwp_obs::{obs_info, set_level, Level};
 use cwp_trace::Scale;
 
 fn usage() -> &'static str {
-    "usage: figures [--scale test|quick|paper|<factor>] [--csv] <id>... | all | list\n\
-     ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')"
+    "usage: figures [--scale test|quick|paper|<factor>] [--csv] [--quiet]\n\
+     \x20              [--trace DIR] [--window N] [--max-events N] [--trace-workload W]\n\
+     \x20              <id>... | all | list\n\
+     ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')\n\
+     env: CWP_TRACE_DIR sets --trace; CWP_LOG sets verbosity (quiet..debug)"
 }
 
-fn main() -> ExitCode {
-    let mut scale = Scale::Paper;
-    let mut csv = false;
-    let mut ids: Vec<String> = Vec::new();
+struct Cli {
+    scale: Scale,
+    csv: bool,
+    trace_dir: Option<String>,
+    window: u64,
+    max_events: Option<u64>,
+    trace_workload: Option<String>,
+    ids: Vec<String>,
+}
 
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Paper,
+        csv: false,
+        trace_dir: std::env::var("CWP_TRACE_DIR")
+            .ok()
+            .filter(|d| !d.is_empty()),
+        window: 4096,
+        max_events: Some(1_000_000),
+        trace_workload: None,
+        ids: Vec::new(),
+    };
     let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let Some(v) = args.next() else {
-                    eprintln!("--scale needs a value\n{}", usage());
-                    return ExitCode::FAILURE;
-                };
-                scale = match v.as_str() {
+                let v = value(&mut args, "--scale")?;
+                cli.scale = match v.as_str() {
                     "test" => Scale::Test,
                     "quick" => Scale::Quick,
                     "paper" => Scale::Paper,
                     other => match other.parse::<f64>() {
                         Ok(f) if f > 0.0 => Scale::Custom(f),
-                        _ => {
-                            eprintln!("bad scale '{other}'\n{}", usage());
-                            return ExitCode::FAILURE;
-                        }
+                        _ => return Err(format!("bad scale '{other}'")),
                     },
                 };
             }
-            "--csv" => csv = true,
+            "--csv" => cli.csv = true,
+            "--quiet" => set_level(Level::Quiet),
+            "--trace" => cli.trace_dir = Some(value(&mut args, "--trace")?),
+            "--window" => {
+                let v = value(&mut args, "--window")?;
+                cli.window = match v.parse::<u64>() {
+                    Ok(n) if n > 0 => n,
+                    _ => return Err(format!("bad window '{v}' (want a positive integer)")),
+                };
+            }
+            "--max-events" => {
+                let v = value(&mut args, "--max-events")?;
+                cli.max_events = match v.parse::<u64>() {
+                    Ok(0) => None, // 0 = unlimited
+                    Ok(n) => Some(n),
+                    _ => return Err(format!("bad max-events '{v}'")),
+                };
+            }
+            "--trace-workload" => cli.trace_workload = Some(value(&mut args, "--trace-workload")?),
             "--help" | "-h" => {
                 println!("{}", usage());
-                return ExitCode::SUCCESS;
+                std::process::exit(0);
             }
-            other => ids.push(other.to_string()),
+            other => cli.ids.push(other.to_string()),
         }
     }
+    Ok(cli)
+}
 
-    if ids.iter().any(|i| i == "list") {
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cli.ids.iter().any(|i| i == "list") {
         for e in experiments::all() {
             println!("{:8} {}", e.id, e.title);
         }
         return ExitCode::SUCCESS;
     }
-    if ids.is_empty() {
+    if cli.ids.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
 
-    let selected: Vec<experiments::Experiment> = if ids.iter().any(|i| i == "all") {
+    let selected: Vec<experiments::Experiment> = if cli.ids.iter().any(|i| i == "all") {
         experiments::all()
     } else {
         let mut sel = Vec::new();
-        for id in &ids {
+        for id in &cli.ids {
             match experiments::by_id(id) {
                 Some(e) => sel.push(e),
                 None => {
@@ -77,11 +132,33 @@ fn main() -> ExitCode {
         sel
     };
 
-    let mut lab = Lab::new(scale);
-    for e in selected {
-        eprintln!("running {} — {} (scale {})", e.id, e.title, scale);
+    let mut lab = Lab::new(cli.scale);
+    if let Some(dir) = &cli.trace_dir {
+        let mut options = TraceOptions::new(dir);
+        options.window = cli.window;
+        options.max_events = cli.max_events;
+        obs_info!(
+            "tracing to {dir} (window {}, max events {})",
+            cli.window,
+            cli.max_events
+                .map_or_else(|| "unlimited".to_string(), |n| n.to_string())
+        );
+        lab.enable_trace(options);
+        lab.set_trace_filter(cli.trace_workload.as_deref());
+    }
+
+    let total = selected.len();
+    for (i, e) in selected.into_iter().enumerate() {
+        obs_info!(
+            "[{}/{total}] running {} — {} (scale {})",
+            i + 1,
+            e.id,
+            e.title,
+            cli.scale
+        );
+        lab.set_trace_context(e.id);
         for table in e.run(&mut lab) {
-            if csv {
+            if cli.csv {
                 println!("# {}", table.title());
                 println!("{}", table.to_csv());
             } else {
@@ -89,6 +166,6 @@ fn main() -> ExitCode {
             }
         }
     }
-    eprintln!("done: {} simulations", lab.runs());
+    obs_info!("done: {} simulations", lab.runs());
     ExitCode::SUCCESS
 }

@@ -37,7 +37,10 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
     ]);
     for ways in [1u32, 2, 4] {
         let mut miss_rate = 0.0;
-        let mut reductions = [0.0f64; 3];
+        // Workloads whose baseline had no misses contribute nothing to the
+        // average (rather than a spurious 0%); an all-empty column renders
+        // as n/a instead of a made-up number.
+        let mut reductions = [(0.0f64, 0u32); 3];
         for name in WORKLOAD_NAMES {
             let base = lab.outcome(name, &config(ways, WriteMissPolicy::FetchOnWrite));
             miss_rate += base.stats.miss_rate() * 100.0;
@@ -50,18 +53,21 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
             .enumerate()
             {
                 let out = lab.outcome(name, &config(ways, policy));
-                reductions[i] +=
-                    metrics::total_miss_reduction(&base.stats, &out.stats).unwrap_or(0.0) * 100.0;
+                if let Some(r) = metrics::total_miss_reduction(&base.stats, &out.stats) {
+                    reductions[i].0 += r * 100.0;
+                    reductions[i].1 += 1;
+                }
             }
         }
         let n = WORKLOAD_NAMES.len() as f64;
+        let avg = |&(sum, count): &(f64, u32)| (count > 0).then(|| sum / f64::from(count)).into();
         t.row(
             format!("{ways}-way"),
             [
                 Cell::Num(miss_rate / n),
-                Cell::Num(reductions[0] / n),
-                Cell::Num(reductions[1] / n),
-                Cell::Num(reductions[2] / n),
+                avg(&reductions[0]),
+                avg(&reductions[1]),
+                avg(&reductions[2]),
             ],
         );
     }

@@ -4,8 +4,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cwp_cache::CacheConfig;
+use cwp_obs::{obs_debug, obs_error};
 use cwp_trace::{workloads, MemRef, Scale, TraceSink, Workload};
 
+use crate::obs::{trace_simulation, TraceOptions};
 use crate::sim::{simulate, SimOutcome};
 
 /// One store extracted from a trace, with its arrival time in instructions.
@@ -44,12 +46,25 @@ impl TraceSink for WriteStream {
 /// The six benchmark names in Table 1 order.
 pub const WORKLOAD_NAMES: [&str; 6] = ["ccom", "grr", "yacc", "met", "linpack", "liver"];
 
+/// Tracing state carried by a [`Lab`] when [`Lab::enable_trace`] is on.
+#[derive(Debug)]
+struct TraceState {
+    options: TraceOptions,
+    /// Current experiment id; becomes a subdirectory of the trace root.
+    context: String,
+    /// Per-context run counter, used to order run directories.
+    seq: u64,
+    /// When set, only this workload's runs are traced.
+    only: Option<String>,
+}
+
 /// Runs simulations on demand and memoizes the outcomes.
 ///
 /// Figures share most of their underlying runs (e.g. Figures 10, 13, 14,
 /// and 18 all need fetch-on-write sweeps over cache sizes), so the lab
 /// keys results by `(workload, configuration)` and simulates each pair at
-/// most once per scale.
+/// most once per scale. With [`Lab::enable_trace`], every actual run also
+/// exports its event stream, windowed time series, and manifest to disk.
 ///
 /// # Examples
 ///
@@ -70,6 +85,7 @@ pub struct Lab {
     memo: HashMap<(String, CacheConfig), Arc<SimOutcome>>,
     streams: HashMap<String, Arc<WriteStream>>,
     runs: u64,
+    trace: Option<TraceState>,
 }
 
 impl Lab {
@@ -100,6 +116,39 @@ impl Lab {
             memo: HashMap::new(),
             streams: HashMap::new(),
             runs: 0,
+            trace: None,
+        }
+    }
+
+    /// Turns on tracing: every non-memoized simulation also writes
+    /// `events.jsonl` + `windows.csv` + `manifest.json` into
+    /// `options.dir/<context>/<NN>-<workload>/`. Use
+    /// [`Lab::set_trace_context`] to group runs by experiment id.
+    pub fn enable_trace(&mut self, options: TraceOptions) {
+        self.trace = Some(TraceState {
+            options,
+            context: "untagged".to_string(),
+            seq: 0,
+            only: None,
+        });
+    }
+
+    /// Restricts tracing to a single workload; other workloads still
+    /// simulate normally, just without artifacts. No-op when tracing is
+    /// disabled.
+    pub fn set_trace_filter(&mut self, workload: Option<&str>) {
+        if let Some(trace) = &mut self.trace {
+            trace.only = workload.map(str::to_string);
+        }
+    }
+
+    /// Names the experiment that subsequent runs belong to (the
+    /// subdirectory and the manifest's `experiment` field). Resets the
+    /// per-context run counter. No-op when tracing is disabled.
+    pub fn set_trace_context(&mut self, context: &str) {
+        if let Some(trace) = &mut self.trace {
+            trace.context = context.to_string();
+            trace.seq = 0;
         }
     }
 
@@ -142,15 +191,48 @@ impl Lab {
         if let Some(hit) = self.memo.get(&key) {
             return Arc::clone(hit);
         }
-        let w = self
+        let idx = self
             .workloads
             .iter()
-            .find(|w| w.name() == workload)
+            .position(|w| w.name() == workload)
             .unwrap_or_else(|| panic!("unknown workload {workload}"));
-        let outcome = Arc::new(simulate(w.as_ref(), self.scale, config));
+        let outcome = Arc::new(self.run_one(idx, config));
         self.runs += 1;
         self.memo.insert(key, Arc::clone(&outcome));
         outcome
+    }
+
+    /// One actual simulation, traced when tracing is on and the workload
+    /// passes the filter. A trace I/O failure is reported and the run
+    /// falls back to the untraced path — figures still come out.
+    fn run_one(&mut self, idx: usize, config: &CacheConfig) -> SimOutcome {
+        let w = self.workloads[idx].as_ref();
+        let Some(trace) = &mut self.trace else {
+            return simulate(w, self.scale, config);
+        };
+        if trace.only.as_deref().is_some_and(|only| only != w.name()) {
+            return simulate(w, self.scale, config);
+        }
+        let dir =
+            trace
+                .options
+                .dir
+                .join(&trace.context)
+                .join(format!("{:03}-{}", trace.seq, w.name()));
+        trace.seq += 1;
+        let context = trace.context.clone();
+        let options = trace.options.clone();
+        obs_debug!("tracing {context}: {} @ {config}", w.name());
+        match trace_simulation(w, self.scale, config, &context, &options, &dir) {
+            Ok(run) => run.outcome,
+            Err(e) => {
+                obs_error!(
+                    "trace of {context}/{} failed: {e}; rerunning untraced",
+                    w.name()
+                );
+                simulate(w, self.scale, config)
+            }
+        }
     }
 
     /// Outcomes for all six workloads under one configuration, in Table 1
@@ -240,6 +322,37 @@ mod tests {
     #[should_panic(expected = "duplicate workload name")]
     fn duplicate_workloads_are_rejected() {
         let _ = Lab::with_workloads(Scale::Test, vec![workloads::yacc(), workloads::yacc()]);
+    }
+
+    #[test]
+    fn traced_lab_writes_validating_run_dirs() {
+        let root = std::env::temp_dir().join(format!("cwp-lab-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut lab = Lab::new(Scale::Test);
+        lab.enable_trace(TraceOptions::new(&root));
+        lab.set_trace_context("fig99");
+        lab.outcome("ccom", &CacheConfig::default());
+        lab.outcome("ccom", &CacheConfig::default()); // memoized: no second dir
+        let reports = cwp_obs::schema::validate_trace_dir(&root).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].dir.ends_with("fig99/000-ccom"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trace_filter_skips_other_workloads() {
+        let root = std::env::temp_dir().join(format!("cwp-lab-filter-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut lab = Lab::new(Scale::Test);
+        lab.enable_trace(TraceOptions::new(&root));
+        lab.set_trace_filter(Some("yacc"));
+        lab.set_trace_context("fig98");
+        lab.outcome("ccom", &CacheConfig::default());
+        lab.outcome("yacc", &CacheConfig::default());
+        let reports = cwp_obs::schema::validate_trace_dir(&root).unwrap();
+        assert_eq!(reports.len(), 1, "only yacc is traced");
+        assert!(reports[0].dir.ends_with("fig98/000-yacc"));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -26,9 +26,11 @@
 pub mod burst;
 pub mod experiments;
 pub mod lab;
+pub mod obs;
 pub mod report;
 pub mod sim;
 
 pub use lab::{Lab, WriteEvent, WriteStream};
+pub use obs::{trace_simulation, TraceOptions, TracedRun};
 pub use report::Table;
-pub use sim::{simulate, SimOutcome};
+pub use sim::{simulate, simulate_probed, SimOutcome};

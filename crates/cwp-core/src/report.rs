@@ -18,17 +18,21 @@ pub enum Cell {
 impl Cell {
     fn render(&self) -> String {
         match self {
+            // A non-finite number means a denominator was zero somewhere
+            // upstream; render it like missing data rather than "NaN".
+            Cell::Num(v) if !v.is_finite() => "n/a".to_string(),
             Cell::Num(v) => format!("{v:.2}"),
             Cell::Int(v) => v.to_string(),
             Cell::Text(s) => s.clone(),
-            Cell::Missing => "-".to_string(),
+            Cell::Missing => "n/a".to_string(),
         }
     }
 
-    /// The numeric value, if the cell holds one.
+    /// The numeric value, if the cell holds a finite one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
-            Cell::Num(v) => Some(*v),
+            Cell::Num(v) if v.is_finite() => Some(*v),
+            Cell::Num(_) => None,
             Cell::Int(v) => Some(*v as f64),
             _ => None,
         }
@@ -267,8 +271,18 @@ mod tests {
         let md = sample().to_markdown();
         assert!(md.contains("### fig00 — Sample"));
         assert!(md.contains("| size | a | b |"));
-        assert!(md.contains("| 1KB | 1.50 | - |"));
+        assert!(md.contains("| 1KB | 1.50 | n/a |"));
         assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_missing() {
+        let mut t = Table::new("x", "t", "k");
+        t.columns(["a", "b"]);
+        t.row("r", [Cell::Num(f64::NAN), Cell::Num(f64::INFINITY)]);
+        assert!(t.to_markdown().contains("| r | n/a | n/a |"));
+        assert_eq!(t.value("r", "a"), None);
+        assert_eq!(t.value("r", "b"), None);
     }
 
     #[test]

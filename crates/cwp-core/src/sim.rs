@@ -1,6 +1,6 @@
 //! Driving a workload trace through a cache configuration.
 
-use cwp_cache::{Cache, CacheConfig, CacheStats, MemoryCache};
+use cwp_cache::{Cache, CacheConfig, CacheStats, NullProbe, Probe, ProbedMemoryCache};
 use cwp_mem::Traffic;
 use cwp_trace::{AccessKind, MemRef, Scale, TraceSink, TraceSummary, Workload};
 
@@ -37,8 +37,8 @@ impl SimOutcome {
 /// statistic; functional correctness is covered by the transparency
 /// property tests in `cwp-cache`).
 #[derive(Debug)]
-pub struct CacheSink {
-    cache: MemoryCache,
+pub struct CacheSink<P = NullProbe> {
+    cache: ProbedMemoryCache<P>,
     scratch: [u8; 8],
 }
 
@@ -50,24 +50,35 @@ impl CacheSink {
             scratch: [0u8; 8],
         }
     }
+}
+
+impl<P: Probe> CacheSink<P> {
+    /// Wraps a fresh cache built from `config` with `probe` observing
+    /// every cache event.
+    pub fn with_probe(config: CacheConfig, probe: P) -> Self {
+        CacheSink {
+            cache: ProbedMemoryCache::with_memory_probed(config, probe),
+            scratch: [0u8; 8],
+        }
+    }
 
     /// The cache being driven.
-    pub fn cache(&self) -> &MemoryCache {
+    pub fn cache(&self) -> &ProbedMemoryCache<P> {
         &self.cache
     }
 
     /// Mutable access to the cache being driven.
-    pub fn cache_mut(&mut self) -> &mut MemoryCache {
+    pub fn cache_mut(&mut self) -> &mut ProbedMemoryCache<P> {
         &mut self.cache
     }
 
     /// Consumes the sink, returning the cache.
-    pub fn into_cache(self) -> MemoryCache {
+    pub fn into_cache(self) -> ProbedMemoryCache<P> {
         self.cache
     }
 }
 
-impl TraceSink for CacheSink {
+impl<P: Probe> TraceSink for CacheSink<P> {
     #[inline]
     fn record(&mut self, r: MemRef) {
         let len = r.size as usize;
@@ -102,17 +113,36 @@ impl TraceSink for CacheSink {
 /// assert!(outcome.stats.accesses() > 0);
 /// ```
 pub fn simulate(workload: &dyn Workload, scale: Scale, config: &CacheConfig) -> SimOutcome {
-    let mut sink = CacheSink::new(*config);
+    let (outcome, NullProbe) = simulate_probed(workload, scale, config, NullProbe);
+    outcome
+}
+
+/// As [`simulate`], but with `probe` attached to the cache for the whole
+/// run (execution and final flush). Returns the probe alongside the
+/// outcome so callers can inspect what it collected.
+pub fn simulate_probed<P: Probe>(
+    workload: &dyn Workload,
+    scale: Scale,
+    config: &CacheConfig,
+    probe: P,
+) -> (SimOutcome, P) {
+    let mut sink = CacheSink::with_probe(*config, probe);
     let summary = workload.run(scale, &mut sink);
     let mut cache = sink.into_cache();
     let traffic_execution = cache.traffic();
     cache.flush();
-    SimOutcome {
-        summary,
-        stats: *cache.stats(),
-        traffic_execution,
-        traffic_total: cache.traffic(),
-    }
+    let stats = *cache.stats();
+    let traffic_total = cache.traffic();
+    let (_, probe) = cache.into_parts();
+    (
+        SimOutcome {
+            summary,
+            stats,
+            traffic_execution,
+            traffic_total,
+        },
+        probe,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,163 @@
+//! End-to-end trace integrity: a traced experiment's artifacts must
+//! reconcile with — and be able to re-derive — the untraced numbers.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_core::obs::{trace_simulation, TraceOptions};
+use cwp_core::sim::simulate;
+use cwp_obs::schema::{validate_run_dir, validate_trace_dir};
+use cwp_obs::{read_events, Event, RunManifest};
+use cwp_trace::{workloads, Scale};
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cwp-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The acceptance scenario: one write-hit experiment and one write-miss
+/// experiment, traced, validating, and reconciling exactly.
+#[test]
+fn two_traced_experiments_reconcile_with_cache_stats() {
+    let root = tmp_root("two-experiments");
+    let options = TraceOptions::new(&root);
+
+    // A write-back run (the write-hit policy axis, Figure 1 territory)...
+    let write_back = CacheConfig::builder()
+        .write_hit(WriteHitPolicy::WriteBack)
+        .write_miss(WriteMissPolicy::FetchOnWrite)
+        .build()
+        .unwrap();
+    // ...and a write-validate run (the write-miss axis, Figure 13).
+    let write_validate = CacheConfig::builder()
+        .write_hit(WriteHitPolicy::WriteThrough)
+        .write_miss(WriteMissPolicy::WriteValidate)
+        .build()
+        .unwrap();
+
+    for (experiment, config) in [("fig01", &write_back), ("fig13", &write_validate)] {
+        let workload = workloads::ccom();
+        let dir = root.join(experiment).join("000-ccom");
+        let run = trace_simulation(
+            workload.as_ref(),
+            Scale::Test,
+            config,
+            experiment,
+            &options,
+            &dir,
+        )
+        .unwrap();
+        assert!(run.manifest.reconciled, "{experiment}: must reconcile");
+
+        // The same simulation without probes produces identical numbers.
+        let plain = simulate(workload.as_ref(), Scale::Test, config);
+        assert_eq!(run.outcome.stats, plain.stats, "{experiment}");
+        assert_eq!(run.outcome.traffic_total, plain.traffic_total);
+
+        // The manifest's totals are the stats, verbatim.
+        let total = |key: &str| {
+            run.manifest
+                .totals
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(total("accesses"), plain.stats.accesses());
+        assert_eq!(total("misses"), plain.stats.total_misses());
+        assert_eq!(
+            total("backside_txns"),
+            plain.traffic_total.total_transactions()
+        );
+
+        validate_run_dir(&dir).unwrap();
+    }
+
+    let reports = validate_trace_dir(&root).unwrap();
+    assert_eq!(reports.len(), 2);
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// A figure's number can be re-derived from the trace alone: summing the
+/// windowed CSV reproduces the run's miss rate without re-simulating.
+#[test]
+fn miss_rate_rederives_from_windows_csv() {
+    let root = tmp_root("rederive");
+    let config = CacheConfig::default();
+    let dir = root.join("fig04/000-yacc");
+    let run = trace_simulation(
+        workloads::yacc().as_ref(),
+        Scale::Test,
+        &config,
+        "fig04",
+        &TraceOptions::new(&root),
+        &dir,
+    )
+    .unwrap();
+
+    let csv = fs::read_to_string(dir.join("windows.csv")).unwrap();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let col = |name: &str| header.iter().position(|&c| c == name).unwrap();
+    let (refs_col, rh, rm, wh, wm) = (
+        col("refs"),
+        col("read_hits"),
+        col("read_misses"),
+        col("write_hits"),
+        col("write_misses"),
+    );
+    let mut refs = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for line in lines {
+        let f: Vec<u64> = line.split(',').map(|v| v.parse().unwrap_or(0)).collect();
+        refs += f[refs_col];
+        hits += f[rh] + f[wh];
+        misses += f[rm] + f[wm];
+    }
+    assert_eq!(refs, run.outcome.stats.accesses());
+    assert_eq!(hits + misses, refs, "every access is a hit or a miss");
+    let derived = misses as f64 / refs as f64;
+    assert!(
+        (derived - run.outcome.stats.miss_rate()).abs() < 1e-12,
+        "windows give {derived}, stats give {}",
+        run.outcome.stats.miss_rate()
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
+
+/// The JSONL stream round-trips: reading it back gives the same events
+/// the run emitted, in order, and the manifest agrees with the files.
+#[test]
+fn jsonl_stream_round_trips_and_matches_manifest() {
+    let root = tmp_root("jsonl");
+    let dir = root.join("fig01/000-grr");
+    let run = trace_simulation(
+        workloads::grr().as_ref(),
+        Scale::Test,
+        &CacheConfig::default(),
+        "fig01",
+        &TraceOptions::new(&root),
+        &dir,
+    )
+    .unwrap();
+
+    let file = fs::File::open(dir.join("events.jsonl")).unwrap();
+    let events = read_events(std::io::BufReader::new(file)).unwrap();
+    assert_eq!(events.len() as u64, run.manifest.events_written);
+
+    // Event-level spot check: Access events alone reproduce the
+    // reference count.
+    let accesses = events
+        .iter()
+        .filter(|e| matches!(e, Event::Access { .. }))
+        .count() as u64;
+    assert_eq!(accesses, run.outcome.stats.accesses());
+
+    let manifest_text = fs::read_to_string(dir.join("manifest.json")).unwrap();
+    let manifest = RunManifest::from_json(&cwp_obs::Json::parse(&manifest_text).unwrap()).unwrap();
+    assert_eq!(manifest, run.manifest);
+    fs::remove_dir_all(&root).unwrap();
+}

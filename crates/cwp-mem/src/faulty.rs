@@ -16,6 +16,8 @@
 
 use crate::next::NextLevel;
 use crate::rng::SplitMix64;
+use cwp_obs::event::Event;
+use cwp_obs::{NullProbe, Probe};
 
 /// Counters kept by a [`FaultyNextLevel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -60,7 +62,7 @@ impl TransitFaultStats {
 /// assert_eq!(level.transit_stats().delivered_corrupt, 0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct FaultyNextLevel<N> {
+pub struct FaultyNextLevel<N, P = NullProbe> {
     inner: N,
     rng: SplitMix64,
     /// Probability of a fault per transfer, in parts per million.
@@ -68,6 +70,7 @@ pub struct FaultyNextLevel<N> {
     /// Maximum retries after the initial attempt of a faulty transfer.
     retry_limit: u32,
     stats: TransitFaultStats,
+    probe: P,
 }
 
 impl<N: NextLevel> FaultyNextLevel<N> {
@@ -75,13 +78,34 @@ impl<N: NextLevel> FaultyNextLevel<N> {
     /// `rate_ppm / 1_000_000` and retrying detected faults up to
     /// `retry_limit` times.
     pub fn new(inner: N, rate_ppm: u32, seed: u64, retry_limit: u32) -> Self {
+        FaultyNextLevel::with_probe(inner, rate_ppm, seed, retry_limit, NullProbe)
+    }
+}
+
+impl<N: NextLevel, P: Probe> FaultyNextLevel<N, P> {
+    /// As [`FaultyNextLevel::new`], but attaches `probe` to observe
+    /// [`Event::TransitFault`] for every in-flight corruption.
+    pub fn with_probe(inner: N, rate_ppm: u32, seed: u64, retry_limit: u32, probe: P) -> Self {
         FaultyNextLevel {
             inner,
             rng: SplitMix64::seed_from_u64(seed),
             rate_ppm: rate_ppm.min(1_000_000),
             retry_limit,
             stats: TransitFaultStats::default(),
+            probe,
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, event: Event) {
+        if P::ENABLED {
+            self.probe.on_event(&event);
+        }
+    }
+
+    /// Consumes the wrapper, returning the wrapped level and the probe.
+    pub fn into_parts(self) -> (N, P) {
+        (self.inner, self.probe)
     }
 
     /// The transit-fault counters accumulated so far.
@@ -131,7 +155,7 @@ impl<N: NextLevel> FaultyNextLevel<N> {
     }
 }
 
-impl<N: NextLevel> NextLevel for FaultyNextLevel<N> {
+impl<N: NextLevel, P: Probe> NextLevel for FaultyNextLevel<N, P> {
     fn fetch_line(&mut self, addr: u64, buf: &mut [u8]) {
         let mut tries = 0;
         loop {
@@ -144,7 +168,13 @@ impl<N: NextLevel> NextLevel for FaultyNextLevel<N> {
             if clean {
                 return;
             }
-            if tries >= self.retry_limit {
+            let retried = tries < self.retry_limit;
+            self.emit(Event::TransitFault {
+                addr,
+                bytes: buf.len() as u32,
+                retried,
+            });
+            if !retried {
                 self.stats.delivered_corrupt += 1;
                 return;
             }
@@ -162,7 +192,7 @@ impl<N: NextLevel> NextLevel for FaultyNextLevel<N> {
     }
 }
 
-impl<N: NextLevel> FaultyNextLevel<N> {
+impl<N: NextLevel, P: Probe> FaultyNextLevel<N, P> {
     /// Shared retry loop for the two store-side transfer classes. A faulty
     /// attempt writes the corrupted bytes (the inner level really sees
     /// them); a successful retry overwrites them with the clean data.
@@ -191,7 +221,13 @@ impl<N: NextLevel> FaultyNextLevel<N> {
             if clean {
                 return;
             }
-            if tries >= self.retry_limit {
+            let retried = tries < self.retry_limit;
+            self.emit(Event::TransitFault {
+                addr,
+                bytes: data.len() as u32,
+                retried,
+            });
+            if !retried {
                 break;
             }
             tries += 1;
@@ -269,6 +305,47 @@ mod tests {
         level.inner_mut().fetch_line(0x40, &mut buf);
         let flipped: u32 = buf.iter().map(|b| (b ^ 0xff).count_ones()).sum();
         assert_eq!(flipped, 1, "exactly one bit should differ");
+    }
+
+    #[test]
+    fn probe_events_mirror_transit_stats() {
+        use cwp_obs::RecordingProbe;
+        let mut level = FaultyNextLevel::with_probe(
+            MainMemory::new(),
+            400_000,
+            0xcafe,
+            3,
+            RecordingProbe::default(),
+        );
+        for i in 0..200u64 {
+            level.write_through(i * 8, &[i as u8; 8]);
+        }
+        let mut buf = [0u8; 8];
+        for i in 0..200u64 {
+            level.fetch_line(i * 8, &mut buf);
+        }
+        let stats = *level.transit_stats();
+        let (_, probe) = level.into_parts();
+        let mut faults = 0u64;
+        let mut retried = 0u64;
+        let mut delivered = 0u64;
+        for e in &probe.events {
+            match *e {
+                Event::TransitFault { retried: r, .. } => {
+                    faults += 1;
+                    if r {
+                        retried += 1;
+                    } else {
+                        delivered += 1;
+                    }
+                }
+                _ => panic!("unexpected event {e:?}"),
+            }
+        }
+        assert!(stats.injected > 0, "injector must fire at this rate");
+        assert_eq!(faults, stats.injected);
+        assert_eq!(retried, stats.retries);
+        assert_eq!(delivered, stats.delivered_corrupt);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Validates exported trace directories against the event schema.
+//!
+//! Usage: `validate_trace <trace-dir>...`
+//!
+//! Each argument is walked for run directories (those containing a
+//! `manifest.json`); every run's `events.jsonl`, `windows.csv`, and
+//! manifest are checked for schema conformance and mutual consistency.
+//! Exits nonzero with a diagnostic on the first failure — this is the
+//! offline check `scripts/verify.sh` and CI run after a traced
+//! experiment.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cwp_obs::schema::validate_trace_dir;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: validate_trace <trace-dir>...");
+        return ExitCode::from(2);
+    }
+    let mut runs = 0usize;
+    for arg in &args {
+        match validate_trace_dir(Path::new(arg)) {
+            Ok(reports) => {
+                for r in &reports {
+                    println!(
+                        "ok: {} ({} events, {} windows, {} refs)",
+                        r.dir.display(),
+                        r.events,
+                        r.windows,
+                        r.total_refs
+                    );
+                }
+                runs += reports.len();
+            }
+            Err(e) => {
+                eprintln!("validate_trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("validate_trace: {runs} run(s) valid");
+    ExitCode::SUCCESS
+}

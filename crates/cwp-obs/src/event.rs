@@ -1,0 +1,407 @@
+//! The typed event stream and the [`Probe`] trait that receives it.
+//!
+//! Every instrumented component (`cwp-cache`, `cwp-buffers`, `cwp-mem`)
+//! carries a probe as a generic parameter defaulting to [`NullProbe`].
+//! Call sites are guarded by [`Probe::ENABLED`], a compile-time constant,
+//! so the disabled configuration compiles to exactly the uninstrumented
+//! code — the overhead contract the `cwp-bench` probe benchmark checks.
+
+/// Whether an access was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Why a line was fetched from the next level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FetchCause {
+    /// A demand miss (read miss, partial-validity refill, or
+    /// fetch-on-write). These are the fetches `CacheStats::fetches`
+    /// counts.
+    Demand,
+    /// A refetch recovering a faulty clean parity-protected line.
+    Recovery,
+}
+
+/// The decision a cache took on a write miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteMissAction {
+    /// Fetch-on-write: the line was fetched before the store.
+    Fetch,
+    /// Write-validate: allocated without a fetch, sub-block valid bits.
+    Validate,
+    /// Write-around: bypassed to the next level, old line kept.
+    Around,
+    /// Write-invalidate: indexed line invalidated, data bypassed.
+    Invalidate,
+}
+
+/// How a detected at-rest fault was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// ECC corrected the flip in place.
+    Corrected,
+    /// Parity on a clean line: recovered by refetching.
+    Refetched,
+    /// Parity on a clean victim being discarded: nothing lost.
+    DiscardedClean,
+    /// Parity on a dirty line: the dirty bytes are gone.
+    DataLoss,
+}
+
+/// One observable simulator event.
+///
+/// Variants mirror the counters in `CacheStats`, `Traffic`,
+/// `WriteBufferStats`, and `TransitFaultStats` one-to-one: each counter
+/// increment emits exactly one event, which is what lets the windowed
+/// sampler's per-window sums reconcile exactly with end-of-run totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A front-side sub-access presented to a cache (one per line-sized
+    /// piece of a split access).
+    Access {
+        /// Read or write.
+        kind: AccessKind,
+        /// Byte address of this piece.
+        addr: u64,
+        /// Bytes accessed by this piece.
+        bytes: u32,
+    },
+    /// A read whose tag matched with all accessed bytes valid.
+    ReadHit {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A read that required a line fetch.
+    ReadMiss {
+        /// Byte address.
+        addr: u64,
+        /// `true` if the tag matched but some accessed bytes were invalid
+        /// (possible only after write-validate allocations).
+        partial: bool,
+    },
+    /// A write whose tag matched a resident line.
+    WriteHit {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A write with no matching tag, and what the policy did about it.
+    WriteMiss {
+        /// Byte address.
+        addr: u64,
+        /// The configured write-miss policy's decision.
+        action: WriteMissAction,
+    },
+    /// A back-side line fetch (one per `NextLevel::fetch_line` call).
+    Fetch {
+        /// Demand miss or fault-recovery refetch.
+        cause: FetchCause,
+        /// Line-aligned address fetched.
+        addr: u64,
+        /// Bytes transferred.
+        bytes: u32,
+    },
+    /// A back-side write-back transaction (one per `NextLevel::write_back`
+    /// call; a partial write-back emits one event per dirty run).
+    WriteBack {
+        /// Starting address of the transaction.
+        addr: u64,
+        /// Bytes transferred.
+        bytes: u32,
+    },
+    /// A back-side write-through transaction.
+    WriteThrough {
+        /// Starting address of the transaction.
+        addr: u64,
+        /// Bytes transferred.
+        bytes: u32,
+    },
+    /// A valid line left the cache (replacement victim or flush).
+    Eviction {
+        /// Line-aligned address of the departing line.
+        line_addr: u64,
+        /// Dirty bytes on the line (0 for a clean victim).
+        dirty_bytes: u32,
+        /// `true` if this was an end-of-run flush ("flush stop") rather
+        /// than a replacement.
+        flush: bool,
+    },
+    /// A line invalidated by a write-invalidate miss.
+    Invalidation {
+        /// Line-aligned address of the invalidated line.
+        line_addr: u64,
+    },
+    /// A clean line became dirty (write-back caches only). Together with
+    /// dirty [`Event::Eviction`]s and [`FaultOutcome::DataLoss`], this
+    /// lets a sampler integrate an exact dirty-line gauge.
+    LineDirtied {
+        /// Line-aligned address of the newly dirty line.
+        line_addr: u64,
+    },
+    /// A write hit a line that already had a dirty byte (the Figure 1/2
+    /// metric).
+    WriteToDirty {
+        /// Line-aligned address of the dirty line.
+        line_addr: u64,
+    },
+    /// A cache-line allocation instruction claimed a line without
+    /// fetching it.
+    LineAllocated {
+        /// Line-aligned address of the claimed line.
+        line_addr: u64,
+    },
+    /// A write entered a new write-buffer entry.
+    BufferEnqueue {
+        /// Line address of the new entry.
+        line_addr: u64,
+        /// Buffer occupancy after the enqueue.
+        occupancy: u32,
+    },
+    /// A write merged into an already-pending write-buffer entry.
+    BufferMerge {
+        /// Line address of the entry merged into.
+        line_addr: u64,
+    },
+    /// The processor stalled on a full write buffer.
+    BufferStall {
+        /// Cycles stalled.
+        cycles: u64,
+    },
+    /// A write-buffer entry retired to the next level.
+    BufferRetire {
+        /// Buffer occupancy after the retirement.
+        occupancy: u32,
+    },
+    /// The fault injector flipped a bit in a cache data array.
+    FaultInjected {
+        /// Line-aligned address of the affected line.
+        line_addr: u64,
+        /// Byte offset of the flip within the line.
+        byte: u32,
+        /// Bit position within that byte.
+        bit: u8,
+        /// `true` when the cache has no check bits and will never detect
+        /// the flip.
+        silent: bool,
+    },
+    /// A detected at-rest fault was resolved.
+    FaultResolved {
+        /// How it was resolved.
+        outcome: FaultOutcome,
+        /// Line-aligned address of the affected line.
+        line_addr: u64,
+        /// Dirty bytes lost (nonzero only for [`FaultOutcome::DataLoss`]).
+        dirty_bytes: u32,
+    },
+    /// A transfer between hierarchy levels was corrupted in flight.
+    TransitFault {
+        /// Address of the faulty transfer.
+        addr: u64,
+        /// Bytes in the transfer.
+        bytes: u32,
+        /// `true` if the transfer will be retried; `false` if the retry
+        /// bound ran out and the corrupted bytes were delivered.
+        retried: bool,
+    },
+}
+
+/// A receiver for the typed event stream.
+///
+/// Implementations must be cheap: probes run inside simulation hot loops.
+/// The [`Probe::ENABLED`] constant lets instrumented code skip event
+/// construction entirely for no-op probes — call sites are written as
+/// `if P::ENABLED { probe.on_event(&...) }`, which the compiler removes
+/// when `ENABLED` is `false`.
+pub trait Probe {
+    /// Whether this probe observes anything. Defaults to `true`;
+    /// [`NullProbe`] overrides it to `false`.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The default probe: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Fans one event stream out to two probes (compose for more).
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B> {
+    /// The first receiver.
+    pub a: A,
+    /// The second receiver.
+    pub b: B,
+}
+
+impl<A: Probe, B: Probe> Tee<A, B> {
+    /// Combines two probes.
+    pub fn new(a: A, b: B) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl<A: Probe, B: Probe> Probe for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        if A::ENABLED {
+            self.a.on_event(event);
+        }
+        if B::ENABLED {
+            self.b.on_event(event);
+        }
+    }
+}
+
+/// A probe that tallies events by category — the cheapest useful probe,
+/// used by tests and the overhead benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// All events received.
+    pub events: u64,
+    /// [`Event::Access`] events.
+    pub accesses: u64,
+    /// Hit events (read or write).
+    pub hits: u64,
+    /// Miss events (read or write).
+    pub misses: u64,
+    /// Back-side transactions (fetch, write-back, write-through).
+    pub backside: u64,
+    /// Eviction events (victims and flushes).
+    pub evictions: u64,
+    /// Write-buffer events.
+    pub buffer: u64,
+    /// Fault events (injected, resolved, transit).
+    pub faults: u64,
+}
+
+impl Probe for CountingProbe {
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::Access { .. } => self.accesses += 1,
+            Event::ReadHit { .. } | Event::WriteHit { .. } => self.hits += 1,
+            Event::ReadMiss { .. } | Event::WriteMiss { .. } => self.misses += 1,
+            Event::Fetch { .. } | Event::WriteBack { .. } | Event::WriteThrough { .. } => {
+                self.backside += 1
+            }
+            Event::Eviction { .. } => self.evictions += 1,
+            Event::BufferEnqueue { .. }
+            | Event::BufferMerge { .. }
+            | Event::BufferStall { .. }
+            | Event::BufferRetire { .. } => self.buffer += 1,
+            Event::FaultInjected { .. }
+            | Event::FaultResolved { .. }
+            | Event::TransitFault { .. } => self.faults += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A probe that stores every event (tests and small traces only).
+#[derive(Debug, Clone, Default)]
+pub struct RecordingProbe {
+    /// The events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl Probe for RecordingProbe {
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+}
+
+impl<P: Probe> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn null_probe_is_disabled_at_compile_time() {
+        assert!(!NullProbe::ENABLED);
+        assert!(CountingProbe::ENABLED);
+        assert!(!<Tee<NullProbe, NullProbe> as Probe>::ENABLED);
+        assert!(<Tee<NullProbe, CountingProbe> as Probe>::ENABLED);
+    }
+
+    #[test]
+    fn counting_probe_buckets_events() {
+        let mut c = CountingProbe::default();
+        c.on_event(&Event::Access {
+            kind: AccessKind::Read,
+            addr: 0,
+            bytes: 4,
+        });
+        c.on_event(&Event::ReadHit { addr: 0 });
+        c.on_event(&Event::WriteMiss {
+            addr: 4,
+            action: WriteMissAction::Validate,
+        });
+        c.on_event(&Event::Fetch {
+            cause: FetchCause::Demand,
+            addr: 0,
+            bytes: 16,
+        });
+        c.on_event(&Event::Eviction {
+            line_addr: 0,
+            dirty_bytes: 8,
+            flush: false,
+        });
+        c.on_event(&Event::BufferMerge { line_addr: 0 });
+        c.on_event(&Event::TransitFault {
+            addr: 0,
+            bytes: 16,
+            retried: true,
+        });
+        c.on_event(&Event::LineDirtied { line_addr: 0 });
+        assert_eq!(c.events, 8);
+        assert_eq!(c.accesses, 1);
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.backside, 1);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.buffer, 1);
+        assert_eq!(c.faults, 1);
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut tee = Tee::new(CountingProbe::default(), RecordingProbe::default());
+        tee.on_event(&Event::ReadHit { addr: 8 });
+        assert_eq!(tee.a.events, 1);
+        assert_eq!(tee.b.events, vec![Event::ReadHit { addr: 8 }]);
+    }
+
+    #[test]
+    fn mutable_reference_probes_forward() {
+        let mut c = CountingProbe::default();
+        {
+            let r = &mut c;
+            r.on_event(&Event::WriteHit { addr: 0 });
+        }
+        assert_eq!(c.events, 1);
+    }
+}

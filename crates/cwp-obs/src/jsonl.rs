@@ -1,0 +1,577 @@
+//! JSONL serialization of the event stream.
+//!
+//! Each [`Event`] maps to one JSON object tagged by an `"ev"` field; a
+//! [`JsonlWriter`] probe streams them one per line, and [`read_events`]
+//! parses them back, which the round-trip tests and the offline trace
+//! validator rely on.
+
+use std::io::{self, BufRead, Write};
+
+use crate::event::{AccessKind, Event, FaultOutcome, FetchCause, Probe, WriteMissAction};
+use crate::json::Json;
+
+impl AccessKind {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "read" => Some(AccessKind::Read),
+            "write" => Some(AccessKind::Write),
+            _ => None,
+        }
+    }
+}
+
+impl FetchCause {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FetchCause::Demand => "demand",
+            FetchCause::Recovery => "recovery",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "demand" => Some(FetchCause::Demand),
+            "recovery" => Some(FetchCause::Recovery),
+            _ => None,
+        }
+    }
+}
+
+impl WriteMissAction {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            WriteMissAction::Fetch => "fetch",
+            WriteMissAction::Validate => "validate",
+            WriteMissAction::Around => "around",
+            WriteMissAction::Invalidate => "invalidate",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "fetch" => Some(WriteMissAction::Fetch),
+            "validate" => Some(WriteMissAction::Validate),
+            "around" => Some(WriteMissAction::Around),
+            "invalidate" => Some(WriteMissAction::Invalidate),
+            _ => None,
+        }
+    }
+}
+
+impl FaultOutcome {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultOutcome::Corrected => "corrected",
+            FaultOutcome::Refetched => "refetched",
+            FaultOutcome::DiscardedClean => "discarded_clean",
+            FaultOutcome::DataLoss => "data_loss",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "corrected" => Some(FaultOutcome::Corrected),
+            "refetched" => Some(FaultOutcome::Refetched),
+            "discarded_clean" => Some(FaultOutcome::DiscardedClean),
+            "data_loss" => Some(FaultOutcome::DataLoss),
+            _ => None,
+        }
+    }
+}
+
+impl Event {
+    /// The `"ev"` tag identifying this variant in exported traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Access { .. } => "access",
+            Event::ReadHit { .. } => "read_hit",
+            Event::ReadMiss { .. } => "read_miss",
+            Event::WriteHit { .. } => "write_hit",
+            Event::WriteMiss { .. } => "write_miss",
+            Event::Fetch { .. } => "fetch",
+            Event::WriteBack { .. } => "write_back",
+            Event::WriteThrough { .. } => "write_through",
+            Event::Eviction { .. } => "eviction",
+            Event::Invalidation { .. } => "invalidation",
+            Event::LineDirtied { .. } => "line_dirtied",
+            Event::WriteToDirty { .. } => "write_to_dirty",
+            Event::LineAllocated { .. } => "line_allocated",
+            Event::BufferEnqueue { .. } => "buf_enqueue",
+            Event::BufferMerge { .. } => "buf_merge",
+            Event::BufferStall { .. } => "buf_stall",
+            Event::BufferRetire { .. } => "buf_retire",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultResolved { .. } => "fault_resolved",
+            Event::TransitFault { .. } => "transit_fault",
+        }
+    }
+
+    /// All `"ev"` tags, in declaration order — the schema the offline
+    /// validator checks traces against.
+    pub const TAGS: [&'static str; 20] = [
+        "access",
+        "read_hit",
+        "read_miss",
+        "write_hit",
+        "write_miss",
+        "fetch",
+        "write_back",
+        "write_through",
+        "eviction",
+        "invalidation",
+        "line_dirtied",
+        "write_to_dirty",
+        "line_allocated",
+        "buf_enqueue",
+        "buf_merge",
+        "buf_stall",
+        "buf_retire",
+        "fault_injected",
+        "fault_resolved",
+        "transit_fault",
+    ];
+
+    /// Converts the event to its JSON object form (without a `seq`).
+    pub fn to_json(&self) -> Json {
+        let ev = ("ev", Json::Str(self.tag().to_string()));
+        match *self {
+            Event::Access { kind, addr, bytes } => Json::obj([
+                ev,
+                ("kind", Json::Str(kind.tag().to_string())),
+                ("addr", Json::UInt(addr)),
+                ("bytes", Json::UInt(u64::from(bytes))),
+            ]),
+            Event::ReadHit { addr } | Event::WriteHit { addr } => {
+                Json::obj([ev, ("addr", Json::UInt(addr))])
+            }
+            Event::ReadMiss { addr, partial } => Json::obj([
+                ev,
+                ("addr", Json::UInt(addr)),
+                ("partial", Json::Bool(partial)),
+            ]),
+            Event::WriteMiss { addr, action } => Json::obj([
+                ev,
+                ("addr", Json::UInt(addr)),
+                ("action", Json::Str(action.tag().to_string())),
+            ]),
+            Event::Fetch { cause, addr, bytes } => Json::obj([
+                ev,
+                ("cause", Json::Str(cause.tag().to_string())),
+                ("addr", Json::UInt(addr)),
+                ("bytes", Json::UInt(u64::from(bytes))),
+            ]),
+            Event::WriteBack { addr, bytes } | Event::WriteThrough { addr, bytes } => Json::obj([
+                ev,
+                ("addr", Json::UInt(addr)),
+                ("bytes", Json::UInt(u64::from(bytes))),
+            ]),
+            Event::Eviction {
+                line_addr,
+                dirty_bytes,
+                flush,
+            } => Json::obj([
+                ev,
+                ("line_addr", Json::UInt(line_addr)),
+                ("dirty_bytes", Json::UInt(u64::from(dirty_bytes))),
+                ("flush", Json::Bool(flush)),
+            ]),
+            Event::Invalidation { line_addr }
+            | Event::LineDirtied { line_addr }
+            | Event::WriteToDirty { line_addr }
+            | Event::LineAllocated { line_addr }
+            | Event::BufferMerge { line_addr } => {
+                Json::obj([ev, ("line_addr", Json::UInt(line_addr))])
+            }
+            Event::BufferEnqueue {
+                line_addr,
+                occupancy,
+            } => Json::obj([
+                ev,
+                ("line_addr", Json::UInt(line_addr)),
+                ("occupancy", Json::UInt(u64::from(occupancy))),
+            ]),
+            Event::BufferStall { cycles } => Json::obj([ev, ("cycles", Json::UInt(cycles))]),
+            Event::BufferRetire { occupancy } => {
+                Json::obj([ev, ("occupancy", Json::UInt(u64::from(occupancy)))])
+            }
+            Event::FaultInjected {
+                line_addr,
+                byte,
+                bit,
+                silent,
+            } => Json::obj([
+                ev,
+                ("line_addr", Json::UInt(line_addr)),
+                ("byte", Json::UInt(u64::from(byte))),
+                ("bit", Json::UInt(u64::from(bit))),
+                ("silent", Json::Bool(silent)),
+            ]),
+            Event::FaultResolved {
+                outcome,
+                line_addr,
+                dirty_bytes,
+            } => Json::obj([
+                ev,
+                ("outcome", Json::Str(outcome.tag().to_string())),
+                ("line_addr", Json::UInt(line_addr)),
+                ("dirty_bytes", Json::UInt(u64::from(dirty_bytes))),
+            ]),
+            Event::TransitFault {
+                addr,
+                bytes,
+                retried,
+            } => Json::obj([
+                ev,
+                ("addr", Json::UInt(addr)),
+                ("bytes", Json::UInt(u64::from(bytes))),
+                ("retried", Json::Bool(retried)),
+            ]),
+        }
+    }
+
+    /// Reconstructs an event from its JSON object form.
+    ///
+    /// Returns `None` if the tag is unknown or a required field is
+    /// missing or mistyped.
+    pub fn from_json(json: &Json) -> Option<Event> {
+        let u64_of = |key: &str| json.get(key).and_then(Json::as_u64);
+        let u32_of = |key: &str| u64_of(key).and_then(|v| u32::try_from(v).ok());
+        let bool_of = |key: &str| json.get(key).and_then(Json::as_bool);
+        let str_of = |key: &str| json.get(key).and_then(Json::as_str);
+        Some(match str_of("ev")? {
+            "access" => Event::Access {
+                kind: AccessKind::from_tag(str_of("kind")?)?,
+                addr: u64_of("addr")?,
+                bytes: u32_of("bytes")?,
+            },
+            "read_hit" => Event::ReadHit {
+                addr: u64_of("addr")?,
+            },
+            "read_miss" => Event::ReadMiss {
+                addr: u64_of("addr")?,
+                partial: bool_of("partial")?,
+            },
+            "write_hit" => Event::WriteHit {
+                addr: u64_of("addr")?,
+            },
+            "write_miss" => Event::WriteMiss {
+                addr: u64_of("addr")?,
+                action: WriteMissAction::from_tag(str_of("action")?)?,
+            },
+            "fetch" => Event::Fetch {
+                cause: FetchCause::from_tag(str_of("cause")?)?,
+                addr: u64_of("addr")?,
+                bytes: u32_of("bytes")?,
+            },
+            "write_back" => Event::WriteBack {
+                addr: u64_of("addr")?,
+                bytes: u32_of("bytes")?,
+            },
+            "write_through" => Event::WriteThrough {
+                addr: u64_of("addr")?,
+                bytes: u32_of("bytes")?,
+            },
+            "eviction" => Event::Eviction {
+                line_addr: u64_of("line_addr")?,
+                dirty_bytes: u32_of("dirty_bytes")?,
+                flush: bool_of("flush")?,
+            },
+            "invalidation" => Event::Invalidation {
+                line_addr: u64_of("line_addr")?,
+            },
+            "line_dirtied" => Event::LineDirtied {
+                line_addr: u64_of("line_addr")?,
+            },
+            "write_to_dirty" => Event::WriteToDirty {
+                line_addr: u64_of("line_addr")?,
+            },
+            "line_allocated" => Event::LineAllocated {
+                line_addr: u64_of("line_addr")?,
+            },
+            "buf_enqueue" => Event::BufferEnqueue {
+                line_addr: u64_of("line_addr")?,
+                occupancy: u32_of("occupancy")?,
+            },
+            "buf_merge" => Event::BufferMerge {
+                line_addr: u64_of("line_addr")?,
+            },
+            "buf_stall" => Event::BufferStall {
+                cycles: u64_of("cycles")?,
+            },
+            "buf_retire" => Event::BufferRetire {
+                occupancy: u32_of("occupancy")?,
+            },
+            "fault_injected" => Event::FaultInjected {
+                line_addr: u64_of("line_addr")?,
+                byte: u32_of("byte")?,
+                bit: u64_of("bit").and_then(|v| u8::try_from(v).ok())?,
+                silent: bool_of("silent")?,
+            },
+            "fault_resolved" => Event::FaultResolved {
+                outcome: FaultOutcome::from_tag(str_of("outcome")?)?,
+                line_addr: u64_of("line_addr")?,
+                dirty_bytes: u32_of("dirty_bytes")?,
+            },
+            "transit_fault" => Event::TransitFault {
+                addr: u64_of("addr")?,
+                bytes: u32_of("bytes")?,
+                retried: bool_of("retried")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A probe that streams events as JSONL, one object per line, each
+/// stamped with a monotonic `"seq"` number.
+///
+/// Long sweeps can emit hundreds of millions of events, so the writer
+/// takes an optional cap: once `max_events` lines are written the rest
+/// are counted in [`JsonlWriter::dropped`] instead of written. The
+/// windowed sampler is never capped, so reconciliation is unaffected.
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    /// Next sequence number (equals lines written so far).
+    seq: u64,
+    /// Stop writing after this many events (`None` = unbounded).
+    max_events: Option<u64>,
+    /// Events discarded after the cap was hit.
+    dropped: u64,
+    /// Reusable line buffer.
+    buf: String,
+    /// First I/O error encountered, if any.
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer. `max_events = None` writes every event.
+    pub fn new(out: W, max_events: Option<u64>) -> Self {
+        JsonlWriter {
+            out,
+            seq: 0,
+            max_events,
+            dropped: 0,
+            buf: String::with_capacity(128),
+            error: None,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events discarded because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes and returns the inner writer, or the first I/O error hit
+    /// while streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deferred write error (probes can't return errors
+    /// from hot loops, so failures are surfaced here).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Probe for JsonlWriter<W> {
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(cap) = self.max_events {
+            if self.seq >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.buf.clear();
+        self.buf.push_str("{\"seq\":");
+        Json::UInt(self.seq).write(&mut self.buf);
+        self.buf.push(',');
+        // Splice the event object's fields into the seq-bearing object.
+        let mut body = String::with_capacity(96);
+        event.to_json().write(&mut body);
+        self.buf.push_str(&body[1..]);
+        self.buf.push('\n');
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+            return;
+        }
+        self.seq += 1;
+    }
+}
+
+/// Reads a JSONL event stream back, in order.
+///
+/// # Errors
+///
+/// Fails on I/O errors, malformed JSON, or lines that don't decode to a
+/// known event; the error message names the offending line number.
+pub fn read_events<R: BufRead>(reader: R) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
+        })?;
+        let event = Event::from_json(&json).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: not a valid event object", idx + 1),
+            )
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Event> {
+        vec![
+            Event::Access {
+                kind: AccessKind::Write,
+                addr: 0xdead_beef_0000,
+                bytes: 4,
+            },
+            Event::ReadHit { addr: 16 },
+            Event::ReadMiss {
+                addr: 32,
+                partial: true,
+            },
+            Event::WriteHit { addr: 48 },
+            Event::WriteMiss {
+                addr: 64,
+                action: WriteMissAction::Around,
+            },
+            Event::Fetch {
+                cause: FetchCause::Recovery,
+                addr: 64,
+                bytes: 16,
+            },
+            Event::WriteBack { addr: 80, bytes: 8 },
+            Event::WriteThrough { addr: 96, bytes: 4 },
+            Event::Eviction {
+                line_addr: 112,
+                dirty_bytes: 16,
+                flush: true,
+            },
+            Event::Invalidation { line_addr: 128 },
+            Event::LineDirtied { line_addr: 144 },
+            Event::WriteToDirty { line_addr: 160 },
+            Event::LineAllocated { line_addr: 176 },
+            Event::BufferEnqueue {
+                line_addr: 192,
+                occupancy: 3,
+            },
+            Event::BufferMerge { line_addr: 192 },
+            Event::BufferStall { cycles: 7 },
+            Event::BufferRetire { occupancy: 2 },
+            Event::FaultInjected {
+                line_addr: 208,
+                byte: 5,
+                bit: 3,
+                silent: false,
+            },
+            Event::FaultResolved {
+                outcome: FaultOutcome::DataLoss,
+                line_addr: 208,
+                dirty_bytes: 12,
+            },
+            Event::TransitFault {
+                addr: 224,
+                bytes: 16,
+                retried: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in all_variants() {
+            let json = event.to_json();
+            assert_eq!(Event::from_json(&json), Some(event), "{event:?}");
+        }
+    }
+
+    #[test]
+    fn tags_match_the_schema_list() {
+        let variants = all_variants();
+        assert_eq!(variants.len(), Event::TAGS.len());
+        for (event, tag) in variants.iter().zip(Event::TAGS) {
+            assert_eq!(event.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_with_sequence_numbers() {
+        let events = all_variants();
+        let mut writer = JsonlWriter::new(Vec::new(), None);
+        for event in &events {
+            writer.on_event(event);
+        }
+        assert_eq!(writer.written(), events.len() as u64);
+        assert_eq!(writer.dropped(), 0);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // Every line carries its seq in order.
+        for (i, line) in text.lines().enumerate() {
+            let json = Json::parse(line).unwrap();
+            assert_eq!(json.get("seq").and_then(Json::as_u64), Some(i as u64));
+        }
+        let back = read_events(text.as_bytes()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn cap_drops_overflow_events() {
+        let mut writer = JsonlWriter::new(Vec::new(), Some(3));
+        for event in all_variants() {
+            writer.on_event(&event);
+        }
+        assert_eq!(writer.written(), 3);
+        assert_eq!(writer.dropped(), all_variants().len() as u64 - 3);
+        let bytes = writer.finish().unwrap();
+        let back = read_events(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn reader_rejects_malformed_lines() {
+        assert!(read_events("not json\n".as_bytes()).is_err());
+        assert!(read_events("{\"ev\":\"martian\"}\n".as_bytes()).is_err());
+        assert!(
+            read_events("{\"ev\":\"read_hit\"}\n".as_bytes()).is_err(),
+            "missing addr"
+        );
+        // Blank lines are tolerated.
+        let ok = read_events("\n{\"ev\":\"read_hit\",\"addr\":4}\n\n".as_bytes()).unwrap();
+        assert_eq!(ok, vec![Event::ReadHit { addr: 4 }]);
+    }
+}

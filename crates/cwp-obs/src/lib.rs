@@ -1,0 +1,47 @@
+//! Observability for the write-policy simulator.
+//!
+//! Every figure in the paper is an end-of-run aggregate, but the
+//! phenomena behind them — write-buffer stall bursts, dirty-line
+//! accumulation before flush-stop, the miss-rate spread across
+//! write-miss policies — are time-local. This crate provides the
+//! interval-resolved view:
+//!
+//! - [`Probe`] + [`Event`]: a typed event stream emitted by the
+//!   instrumented crates (`cwp-cache`, `cwp-buffers`, `cwp-mem`). The
+//!   default [`NullProbe`] has `ENABLED = false`, so uninstrumented
+//!   builds compile to exactly the pre-instrumentation code — the
+//!   zero-cost contract checked by the `cwp-bench` probe benchmark.
+//! - [`WindowSampler`]: per-N-accesses [`WindowRow`] snapshots (miss
+//!   rate, back-side transactions/bytes, buffer occupancy, dirty
+//!   fraction) with a CSV exporter. Window sums reconcile exactly with
+//!   end-of-run `CacheStats` totals.
+//! - [`JsonlWriter`] / [`read_events`]: JSONL export of the raw event
+//!   stream and the reader that round-trips it.
+//! - [`RunManifest`]: provenance (config, workload, seed, git rev,
+//!   wall time, totals) written next to every exported trace.
+//! - [`log`]: the `CWP_LOG` / `--quiet` logging convention shared by
+//!   the figure and experiment binaries.
+//!
+//! The crate depends on nothing (not even other workspace crates), so
+//! every layer of the simulator can emit events into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod log;
+pub mod manifest;
+pub mod sampler;
+pub mod schema;
+
+pub use event::{
+    AccessKind, CountingProbe, Event, FaultOutcome, FetchCause, NullProbe, Probe, RecordingProbe,
+    Tee, WriteMissAction,
+};
+pub use json::{Json, JsonError};
+pub use jsonl::{read_events, JsonlWriter};
+pub use log::{enabled, level, set_level, Level};
+pub use manifest::{git_revision, RunManifest};
+pub use sampler::{WindowRow, WindowSampler, CSV_COLUMNS};

@@ -1,0 +1,161 @@
+//! One logging convention for the figure and experiment binaries.
+//!
+//! The level comes from the `CWP_LOG` environment variable
+//! (`quiet`/`error`/`warn`/`info`/`debug`, default `info`), or from
+//! [`set_level`] when a binary takes a `--quiet` flag. Messages go to
+//! stderr via the [`obs_error!`](crate::obs_error),
+//! [`obs_warn!`](crate::obs_warn), [`obs_info!`](crate::obs_info), and
+//! [`obs_debug!`](crate::obs_debug) macros, keeping stdout clean for
+//! the actual figure output.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered from silent to chatty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing at all (the `--quiet` flag).
+    Quiet = 0,
+    /// Only errors.
+    Error = 1,
+    /// Errors and warnings.
+    Warn = 2,
+    /// Progress messages (the default).
+    Info = 3,
+    /// Everything.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses a `CWP_LOG` value; unknown strings yield `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "quiet" | "off" | "none" | "0" => Some(Level::Quiet),
+            "error" | "1" => Some(Level::Error),
+            "warn" | "warning" | "2" => Some(Level::Warn),
+            "info" | "3" => Some(Level::Info),
+            "debug" | "trace" | "4" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = uninitialized; otherwise `Level as u8 + 1`.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn decode(raw: u8) -> Option<Level> {
+    match raw {
+        1 => Some(Level::Quiet),
+        2 => Some(Level::Error),
+        3 => Some(Level::Warn),
+        4 => Some(Level::Info),
+        5 => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The active log level, initializing from `CWP_LOG` on first use.
+pub fn level() -> Level {
+    if let Some(l) = decode(LEVEL.load(Ordering::Relaxed)) {
+        return l;
+    }
+    let from_env = std::env::var("CWP_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    // A racing set_level wins; that is fine — both stores are valid.
+    let _ = LEVEL.compare_exchange(0, from_env as u8 + 1, Ordering::Relaxed, Ordering::Relaxed);
+    decode(LEVEL.load(Ordering::Relaxed)).unwrap_or(Level::Info)
+}
+
+/// Overrides the level (e.g. a `--quiet` flag beats `CWP_LOG`).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8 + 1, Ordering::Relaxed);
+}
+
+/// Whether messages at `at` are currently emitted.
+pub fn enabled(at: Level) -> bool {
+    at != Level::Quiet && at <= level()
+}
+
+/// Logs at error level (stderr).
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            eprintln!("error: {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at warn level (stderr).
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            eprintln!("warn: {}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at info level (stderr) — per-experiment progress.
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Logs at debug level (stderr).
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            eprintln!("debug: {}", format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("quiet"), Some(Level::Quiet));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("2"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Quiet < Level::Error);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Tests share the process-wide level; exercise transitions
+        // explicitly rather than relying on the environment.
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Quiet);
+        assert!(!enabled(Level::Error));
+        // Quiet messages themselves are never "emitted".
+        set_level(Level::Debug);
+        assert!(!enabled(Level::Quiet));
+        assert!(enabled(Level::Debug));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn macros_compile_at_all_levels() {
+        set_level(Level::Quiet);
+        crate::obs_error!("e {}", 1);
+        crate::obs_warn!("w");
+        crate::obs_info!("i");
+        crate::obs_debug!("d");
+        set_level(Level::Info);
+    }
+}

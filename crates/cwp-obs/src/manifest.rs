@@ -1,0 +1,208 @@
+//! Run provenance: the manifest written next to every exported trace.
+//!
+//! A figure is only as trustworthy as the run that produced it. The
+//! manifest records enough to re-derive or re-run the experiment — the
+//! cache configuration, workload, scale, seed, git revision, wall time,
+//! and the end-of-run counter totals — and a `reconciled` flag asserting
+//! that the windowed sampler's per-window sums matched those totals.
+
+use std::fs;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// Provenance for one traced simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment id (e.g. `fig13`) the run belongs to.
+    pub experiment: String,
+    /// Workload name (e.g. `ccom`).
+    pub workload: String,
+    /// Scale label (e.g. `test`, `quick`, `paper`).
+    pub scale: String,
+    /// The cache configuration, in its `Display` form.
+    pub config: String,
+    /// Fault-injection seed (0 when injection is off).
+    pub seed: u64,
+    /// Git revision of the working tree, if resolvable.
+    pub git_rev: Option<String>,
+    /// Wall-clock duration of the simulation, in milliseconds.
+    pub wall_ms: u64,
+    /// Sampler window size, in accesses.
+    pub window: u64,
+    /// Windows written to the CSV.
+    pub windows: u64,
+    /// JSONL events written.
+    pub events_written: u64,
+    /// JSONL events dropped by the `max_events` cap.
+    pub events_dropped: u64,
+    /// Selected end-of-run totals, as (name, value) pairs.
+    pub totals: Vec<(String, u64)>,
+    /// `true` when the sampler's window sums matched the run's
+    /// `CacheStats`/`Traffic` totals exactly.
+    pub reconciled: bool,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "git_rev",
+                match &self.git_rev {
+                    Some(rev) => Json::Str(rev.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("wall_ms", Json::UInt(self.wall_ms)),
+            ("window", Json::UInt(self.window)),
+            ("windows", Json::UInt(self.windows)),
+            ("events_written", Json::UInt(self.events_written)),
+            ("events_dropped", Json::UInt(self.events_dropped)),
+            (
+                "totals",
+                Json::Obj(
+                    self.totals
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            ("reconciled", Json::Bool(self.reconciled)),
+        ])
+    }
+
+    /// Reconstructs a manifest from its JSON form.
+    pub fn from_json(json: &Json) -> Option<RunManifest> {
+        let str_of = |key: &str| json.get(key).and_then(Json::as_str).map(str::to_string);
+        let u64_of = |key: &str| json.get(key).and_then(Json::as_u64);
+        let totals = match json.get("totals")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(RunManifest {
+            experiment: str_of("experiment")?,
+            workload: str_of("workload")?,
+            scale: str_of("scale")?,
+            config: str_of("config")?,
+            seed: u64_of("seed")?,
+            git_rev: str_of("git_rev"),
+            wall_ms: u64_of("wall_ms")?,
+            window: u64_of("window")?,
+            windows: u64_of("windows")?,
+            events_written: u64_of("events_written")?,
+            events_dropped: u64_of("events_dropped")?,
+            totals,
+            reconciled: json.get("reconciled").and_then(Json::as_bool)?,
+        })
+    }
+}
+
+/// Resolves the current git revision by reading `.git/HEAD` directly
+/// (no subprocess — traced runs must work in minimal environments).
+///
+/// Walks up from `start` to the first directory containing `.git`,
+/// then follows one level of `ref:` indirection. Returns `None` when
+/// not in a git checkout or the ref is unreadable.
+pub fn git_revision(start: &Path) -> Option<String> {
+    let mut dir = Some(start);
+    let git = loop {
+        let d = dir?;
+        let candidate = d.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        dir = d.parent();
+    };
+    let head = fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(reference) = head.strip_prefix("ref: ") {
+        if let Ok(rev) = fs::read_to_string(git.join(reference)) {
+            return Some(rev.trim().to_string());
+        }
+        // The ref may be packed.
+        let packed = fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(rev) = line.strip_suffix(reference) {
+                return Some(rev.trim().to_string());
+            }
+        }
+        None
+    } else if head.len() >= 40 {
+        // Detached HEAD holds the revision itself.
+        Some(head.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            experiment: "fig13".to_string(),
+            workload: "ccom".to_string(),
+            scale: "test".to_string(),
+            config: "8KB/16B/1-way write-back fetch-on-write".to_string(),
+            seed: 42,
+            git_rev: Some("abc123".to_string()),
+            wall_ms: 17,
+            window: 1000,
+            windows: 12,
+            events_written: 34567,
+            events_dropped: 0,
+            totals: vec![("reads".to_string(), 8000), ("writes".to_string(), 2000)],
+            reconciled: true,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample();
+        let text = m.to_json().to_string();
+        let back = RunManifest::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn absent_git_rev_round_trips_as_null() {
+        let mut m = sample();
+        m.git_rev = None;
+        let json = m.to_json();
+        assert_eq!(json.get("git_rev"), Some(&Json::Null));
+        assert_eq!(RunManifest::from_json(&json).unwrap().git_rev, None);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let json = Json::obj([("experiment", Json::Str("fig1".into()))]);
+        assert!(RunManifest::from_json(&json).is_none());
+    }
+
+    #[test]
+    fn git_revision_resolves_this_repository() {
+        // The test runs inside the repo checkout; the revision must be a
+        // 40-hex-digit sha (or None in exotic environments, but the repo
+        // guarantees a .git directory).
+        let cwd = std::env::current_dir().unwrap();
+        if let Some(rev) = git_revision(&cwd) {
+            assert!(rev.len() >= 40, "unexpected revision {rev:?}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn git_revision_outside_a_repo_is_none() {
+        assert_eq!(git_revision(Path::new("/")), None);
+    }
+}

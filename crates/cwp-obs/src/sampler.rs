@@ -1,0 +1,667 @@
+//! The windowed time-series sampler.
+//!
+//! A [`WindowSampler`] is a [`Probe`] that buckets the event stream into
+//! consecutive windows of N front-side accesses and keeps one
+//! [`WindowRow`] of counters per window — the interval-resolved view
+//! (stall bursts, dirty-line accumulation, policy divergence over time)
+//! that end-of-run `CacheStats` aggregates cannot show.
+//!
+//! Window semantics: window *k* covers accesses `[k*N, (k+1)*N)`. The
+//! boundary check happens when the *next* access arrives, so the events a
+//! given access triggers (its hit/miss, fetch, eviction, write-backs)
+//! land in the same window as the access itself. Events after the last
+//! access — the end-of-run flush — land in the final window, which
+//! [`WindowSampler::finish`] closes.
+
+use crate::event::{Event, FaultOutcome, FetchCause, Probe};
+
+/// Counters for one window of N accesses, plus gauges sampled at the
+/// window's close.
+///
+/// Every field except the gauges (`dirty_lines`, `buf_occupancy`) is a
+/// within-window delta; summing a field over all rows reproduces the
+/// run's end-of-run total, which the reconciliation tests check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Window number, from 0.
+    pub index: u64,
+    /// Global index of the first access in this window.
+    pub start_ref: u64,
+    /// Accesses in this window (the window size, except possibly the
+    /// final partial window — or 0 for a flush-only trailing window).
+    pub refs: u64,
+    /// Read sub-accesses.
+    pub reads: u64,
+    /// Write sub-accesses.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses (including partial-validity misses).
+    pub read_misses: u64,
+    /// Subset of `read_misses` with a matching tag but invalid bytes.
+    pub partial_read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Write hits to already-dirty lines.
+    pub writes_to_dirty: u64,
+    /// Demand fetches (the fetches `CacheStats::fetches` counts).
+    pub demand_fetches: u64,
+    /// Fault-recovery refetches (counted in back-side traffic only).
+    pub recovery_fetches: u64,
+    /// Lines invalidated by write-invalidate misses.
+    pub invalidations: u64,
+    /// Lines claimed by allocation instructions.
+    pub line_allocations: u64,
+    /// Back-side fetch transactions (demand + recovery).
+    pub fetch_txns: u64,
+    /// Bytes moved by fetch transactions.
+    pub fetch_bytes: u64,
+    /// Back-side write-back transactions.
+    pub write_back_txns: u64,
+    /// Bytes moved by write-back transactions.
+    pub write_back_bytes: u64,
+    /// Back-side write-through transactions.
+    pub write_through_txns: u64,
+    /// Bytes moved by write-through transactions.
+    pub write_through_bytes: u64,
+    /// Replacement victims (valid lines evicted during execution).
+    pub victims: u64,
+    /// Replacement victims with dirty bytes.
+    pub victims_dirty: u64,
+    /// Dirty bytes over all replacement victims.
+    pub victim_dirty_bytes: u64,
+    /// Lines written out / discarded by the end-of-run flush.
+    pub flush_victims: u64,
+    /// Flushed lines with dirty bytes.
+    pub flush_dirty: u64,
+    /// Dirty bytes over all flushed lines.
+    pub flush_dirty_bytes: u64,
+    /// Write-buffer enqueues (new entries).
+    pub buf_enqueues: u64,
+    /// Write-buffer merges.
+    pub buf_merges: u64,
+    /// Write-buffer retirements.
+    pub buf_retires: u64,
+    /// Cycles stalled on a full write buffer.
+    pub buf_stall_cycles: u64,
+    /// Faults injected into the data array.
+    pub faults_injected: u64,
+    /// Injected faults with no check bits to detect them.
+    pub silent_corruptions: u64,
+    /// Faults corrected in place by ECC.
+    pub corrected_in_place: u64,
+    /// Faults recovered by refetching a clean line.
+    pub refetch_recoveries: u64,
+    /// Unrecoverable faults (parity on a dirty line).
+    pub data_loss_events: u64,
+    /// Dirty bytes destroyed by data-loss events.
+    pub data_loss_dirty_bytes: u64,
+    /// Faulty clean lines discarded unread at eviction/flush.
+    pub discarded_clean: u64,
+    /// In-flight transfer corruptions.
+    pub transit_faults: u64,
+    /// Subset of `transit_faults` that will be retried.
+    pub transit_retried: u64,
+    /// Gauge: dirty lines resident at the window's close.
+    pub dirty_lines: u64,
+    /// Gauge: write-buffer occupancy at the window's close.
+    pub buf_occupancy: u64,
+}
+
+impl WindowRow {
+    /// Misses (read + write) in this window.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss rate within this window, if it saw any accesses.
+    pub fn miss_rate(&self) -> Option<f64> {
+        (self.refs > 0).then(|| self.misses() as f64 / self.refs as f64)
+    }
+
+    /// Back-side transactions (all classes) in this window.
+    pub fn backside_txns(&self) -> u64 {
+        self.fetch_txns + self.write_back_txns + self.write_through_txns
+    }
+
+    /// Back-side bytes (all classes) in this window.
+    pub fn backside_bytes(&self) -> u64 {
+        self.fetch_bytes + self.write_back_bytes + self.write_through_bytes
+    }
+
+    /// Fraction of the cache's lines dirty at the window's close.
+    pub fn dirty_fraction(&self, total_lines: u64) -> Option<f64> {
+        (total_lines > 0).then(|| self.dirty_lines as f64 / total_lines as f64)
+    }
+
+    /// Adds another row's deltas into this one; gauges take the later
+    /// row's value. Folding every row of a run this way yields the run's
+    /// totals.
+    pub fn absorb(&mut self, other: &WindowRow) {
+        self.refs += other.refs;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.partial_read_misses += other.partial_read_misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.writes_to_dirty += other.writes_to_dirty;
+        self.demand_fetches += other.demand_fetches;
+        self.recovery_fetches += other.recovery_fetches;
+        self.invalidations += other.invalidations;
+        self.line_allocations += other.line_allocations;
+        self.fetch_txns += other.fetch_txns;
+        self.fetch_bytes += other.fetch_bytes;
+        self.write_back_txns += other.write_back_txns;
+        self.write_back_bytes += other.write_back_bytes;
+        self.write_through_txns += other.write_through_txns;
+        self.write_through_bytes += other.write_through_bytes;
+        self.victims += other.victims;
+        self.victims_dirty += other.victims_dirty;
+        self.victim_dirty_bytes += other.victim_dirty_bytes;
+        self.flush_victims += other.flush_victims;
+        self.flush_dirty += other.flush_dirty;
+        self.flush_dirty_bytes += other.flush_dirty_bytes;
+        self.buf_enqueues += other.buf_enqueues;
+        self.buf_merges += other.buf_merges;
+        self.buf_retires += other.buf_retires;
+        self.buf_stall_cycles += other.buf_stall_cycles;
+        self.faults_injected += other.faults_injected;
+        self.silent_corruptions += other.silent_corruptions;
+        self.corrected_in_place += other.corrected_in_place;
+        self.refetch_recoveries += other.refetch_recoveries;
+        self.data_loss_events += other.data_loss_events;
+        self.data_loss_dirty_bytes += other.data_loss_dirty_bytes;
+        self.discarded_clean += other.discarded_clean;
+        self.transit_faults += other.transit_faults;
+        self.transit_retried += other.transit_retried;
+        self.dirty_lines = other.dirty_lines;
+        self.buf_occupancy = other.buf_occupancy;
+    }
+}
+
+/// Column names for [`WindowSampler::to_csv`], in order. The first
+/// columns are the raw [`WindowRow`] counters; the last three are
+/// derived (`miss_rate`, `dirty_frac`, `backside_bytes`).
+pub const CSV_COLUMNS: [&str; 44] = [
+    "window",
+    "start_ref",
+    "refs",
+    "reads",
+    "writes",
+    "read_hits",
+    "read_misses",
+    "partial_read_misses",
+    "write_hits",
+    "write_misses",
+    "writes_to_dirty",
+    "demand_fetches",
+    "recovery_fetches",
+    "invalidations",
+    "line_allocations",
+    "fetch_txns",
+    "fetch_bytes",
+    "write_back_txns",
+    "write_back_bytes",
+    "write_through_txns",
+    "write_through_bytes",
+    "victims",
+    "victims_dirty",
+    "victim_dirty_bytes",
+    "flush_victims",
+    "flush_dirty",
+    "flush_dirty_bytes",
+    "buf_enqueues",
+    "buf_merges",
+    "buf_retires",
+    "buf_stall_cycles",
+    "faults_injected",
+    "silent_corruptions",
+    "corrected_in_place",
+    "refetch_recoveries",
+    "data_loss_events",
+    "data_loss_dirty_bytes",
+    "discarded_clean",
+    "transit_faults",
+    "transit_retried",
+    "dirty_lines",
+    "buf_occupancy",
+    "miss_rate",
+    "dirty_frac",
+];
+
+/// A probe that accumulates [`WindowRow`]s per N accesses.
+#[derive(Debug, Clone)]
+pub struct WindowSampler {
+    window: u64,
+    /// Total lines in the observed cache (for the dirty-fraction gauge);
+    /// 0 disables the derived column.
+    total_lines: u64,
+    rows: Vec<WindowRow>,
+    cur: WindowRow,
+    /// Global access counter.
+    refs: u64,
+    /// Running dirty-line gauge.
+    dirty_lines: u64,
+    /// Running buffer-occupancy gauge.
+    buf_occupancy: u64,
+    /// Whether the current row received any event.
+    touched: bool,
+    finished: bool,
+}
+
+impl WindowSampler {
+    /// Creates a sampler closing a row every `window` accesses, for a
+    /// cache of `total_lines` lines (used only for the dirty-fraction
+    /// column; pass 0 if unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0.
+    pub fn new(window: u64, total_lines: u64) -> Self {
+        assert!(window > 0, "window size must be positive");
+        WindowSampler {
+            window,
+            total_lines,
+            rows: Vec::new(),
+            cur: WindowRow::default(),
+            refs: 0,
+            dirty_lines: 0,
+            buf_occupancy: 0,
+            touched: false,
+            finished: false,
+        }
+    }
+
+    /// The configured window size, in accesses.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Total lines configured for the dirty-fraction gauge.
+    pub fn total_lines(&self) -> u64 {
+        self.total_lines
+    }
+
+    fn close_window(&mut self) {
+        self.cur.dirty_lines = self.dirty_lines;
+        self.cur.buf_occupancy = self.buf_occupancy;
+        let index = self.rows.len() as u64;
+        self.cur.index = index;
+        self.rows.push(self.cur);
+        self.cur = WindowRow {
+            start_ref: self.refs,
+            ..WindowRow::default()
+        };
+        self.touched = false;
+    }
+
+    /// Closes the trailing (possibly partial, possibly flush-only)
+    /// window. Idempotent; call after the run ends and before reading
+    /// rows.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            if self.touched {
+                self.close_window();
+            }
+            self.finished = true;
+        }
+    }
+
+    /// The closed rows. Call [`WindowSampler::finish`] first or the
+    /// trailing window is missing.
+    pub fn rows(&self) -> &[WindowRow] {
+        &self.rows
+    }
+
+    /// Folds every row into run totals (gauges take the last window's
+    /// value). This goes through the rows — not separate counters — so
+    /// reconciling it against `CacheStats` proves the windows partition
+    /// the run exactly.
+    pub fn totals(&self) -> WindowRow {
+        let mut total = WindowRow::default();
+        for row in &self.rows {
+            total.absorb(row);
+        }
+        total
+    }
+
+    /// Renders all rows as CSV with a [`CSV_COLUMNS`] header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.rows.len() + 1));
+        out.push_str(&CSV_COLUMNS.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let raw = [
+                row.index,
+                row.start_ref,
+                row.refs,
+                row.reads,
+                row.writes,
+                row.read_hits,
+                row.read_misses,
+                row.partial_read_misses,
+                row.write_hits,
+                row.write_misses,
+                row.writes_to_dirty,
+                row.demand_fetches,
+                row.recovery_fetches,
+                row.invalidations,
+                row.line_allocations,
+                row.fetch_txns,
+                row.fetch_bytes,
+                row.write_back_txns,
+                row.write_back_bytes,
+                row.write_through_txns,
+                row.write_through_bytes,
+                row.victims,
+                row.victims_dirty,
+                row.victim_dirty_bytes,
+                row.flush_victims,
+                row.flush_dirty,
+                row.flush_dirty_bytes,
+                row.buf_enqueues,
+                row.buf_merges,
+                row.buf_retires,
+                row.buf_stall_cycles,
+                row.faults_injected,
+                row.silent_corruptions,
+                row.corrected_in_place,
+                row.refetch_recoveries,
+                row.data_loss_events,
+                row.data_loss_dirty_bytes,
+                row.discarded_clean,
+                row.transit_faults,
+                row.transit_retried,
+                row.dirty_lines,
+                row.buf_occupancy,
+            ];
+            for (i, v) in raw.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            match row.miss_rate() {
+                Some(r) => out.push_str(&format!(",{r:.6}")),
+                None => out.push_str(",n/a"),
+            }
+            match row.dirty_fraction(self.total_lines) {
+                Some(f) => out.push_str(&format!(",{f:.6}")),
+                None => out.push_str(",n/a"),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Probe for WindowSampler {
+    fn on_event(&mut self, event: &Event) {
+        let cur = &mut self.cur;
+        match *event {
+            Event::Access { kind, .. } => {
+                // Boundary check happens *before* counting the arriving
+                // access, so the events it triggers stay in its window.
+                if self.cur.refs == self.window {
+                    self.close_window();
+                }
+                let cur = &mut self.cur;
+                cur.refs += 1;
+                self.refs += 1;
+                match kind {
+                    crate::event::AccessKind::Read => cur.reads += 1,
+                    crate::event::AccessKind::Write => cur.writes += 1,
+                }
+            }
+            Event::ReadHit { .. } => cur.read_hits += 1,
+            Event::ReadMiss { partial, .. } => {
+                cur.read_misses += 1;
+                if partial {
+                    cur.partial_read_misses += 1;
+                }
+            }
+            Event::WriteHit { .. } => cur.write_hits += 1,
+            Event::WriteMiss { .. } => cur.write_misses += 1,
+            Event::WriteToDirty { .. } => cur.writes_to_dirty += 1,
+            Event::Fetch { cause, bytes, .. } => {
+                match cause {
+                    FetchCause::Demand => cur.demand_fetches += 1,
+                    FetchCause::Recovery => cur.recovery_fetches += 1,
+                }
+                cur.fetch_txns += 1;
+                cur.fetch_bytes += u64::from(bytes);
+            }
+            Event::WriteBack { bytes, .. } => {
+                cur.write_back_txns += 1;
+                cur.write_back_bytes += u64::from(bytes);
+            }
+            Event::WriteThrough { bytes, .. } => {
+                cur.write_through_txns += 1;
+                cur.write_through_bytes += u64::from(bytes);
+            }
+            Event::Eviction {
+                dirty_bytes, flush, ..
+            } => {
+                if flush {
+                    cur.flush_victims += 1;
+                    if dirty_bytes > 0 {
+                        cur.flush_dirty += 1;
+                        cur.flush_dirty_bytes += u64::from(dirty_bytes);
+                    }
+                } else {
+                    cur.victims += 1;
+                    if dirty_bytes > 0 {
+                        cur.victims_dirty += 1;
+                        cur.victim_dirty_bytes += u64::from(dirty_bytes);
+                    }
+                }
+                if dirty_bytes > 0 {
+                    self.dirty_lines = self.dirty_lines.saturating_sub(1);
+                }
+            }
+            Event::Invalidation { .. } => cur.invalidations += 1,
+            Event::LineDirtied { .. } => self.dirty_lines += 1,
+            Event::LineAllocated { .. } => cur.line_allocations += 1,
+            Event::BufferEnqueue { occupancy, .. } => {
+                cur.buf_enqueues += 1;
+                self.buf_occupancy = u64::from(occupancy);
+            }
+            Event::BufferMerge { .. } => cur.buf_merges += 1,
+            Event::BufferStall { cycles } => cur.buf_stall_cycles += cycles,
+            Event::BufferRetire { occupancy } => {
+                cur.buf_retires += 1;
+                self.buf_occupancy = u64::from(occupancy);
+            }
+            Event::FaultInjected { silent, .. } => {
+                cur.faults_injected += 1;
+                if silent {
+                    cur.silent_corruptions += 1;
+                }
+            }
+            Event::FaultResolved {
+                outcome,
+                dirty_bytes,
+                ..
+            } => match outcome {
+                FaultOutcome::Corrected => cur.corrected_in_place += 1,
+                FaultOutcome::Refetched => cur.refetch_recoveries += 1,
+                FaultOutcome::DiscardedClean => cur.discarded_clean += 1,
+                FaultOutcome::DataLoss => {
+                    cur.data_loss_events += 1;
+                    cur.data_loss_dirty_bytes += u64::from(dirty_bytes);
+                    self.dirty_lines = self.dirty_lines.saturating_sub(1);
+                }
+            },
+            Event::TransitFault { retried, .. } => {
+                cur.transit_faults += 1;
+                if retried {
+                    cur.transit_retried += 1;
+                }
+            }
+        }
+        self.touched = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessKind;
+
+    fn access(kind: AccessKind) -> Event {
+        Event::Access {
+            kind,
+            addr: 0,
+            bytes: 4,
+        }
+    }
+
+    #[test]
+    fn windows_are_exact_with_no_double_count() {
+        let mut s = WindowSampler::new(4, 64);
+        // 10 accesses: windows of 4, 4, and a partial 2.
+        for i in 0..10 {
+            s.on_event(&access(AccessKind::Read));
+            // A miss right at what will become a boundary must stay with
+            // its access.
+            if i == 3 {
+                s.on_event(&Event::ReadMiss {
+                    addr: 0,
+                    partial: false,
+                });
+            }
+        }
+        s.finish();
+        let rows = s.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].refs, 4);
+        assert_eq!(rows[1].refs, 4);
+        assert_eq!(rows[2].refs, 2);
+        assert_eq!(rows[0].start_ref, 0);
+        assert_eq!(rows[1].start_ref, 4);
+        assert_eq!(rows[2].start_ref, 8);
+        // The miss on access #3 (0-based) is in window 0, not window 1.
+        assert_eq!(rows[0].read_misses, 1);
+        assert_eq!(rows[1].read_misses, 0);
+        assert_eq!(s.totals().refs, 10);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_captures_flush_events() {
+        let mut s = WindowSampler::new(2, 64);
+        s.on_event(&access(AccessKind::Write));
+        s.on_event(&access(AccessKind::Write));
+        // Post-run flush: no further accesses, events must still land.
+        s.on_event(&Event::Eviction {
+            line_addr: 0,
+            dirty_bytes: 8,
+            flush: true,
+        });
+        s.finish();
+        s.finish();
+        let rows = s.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].flush_victims, 1);
+        assert_eq!(rows[0].flush_dirty_bytes, 8);
+    }
+
+    #[test]
+    fn flush_after_a_full_window_gets_its_own_row() {
+        let mut s = WindowSampler::new(2, 64);
+        s.on_event(&access(AccessKind::Read));
+        s.on_event(&access(AccessKind::Read));
+        s.on_event(&access(AccessKind::Read)); // opens window 1
+        s.finish();
+        assert_eq!(s.rows().len(), 2);
+        assert_eq!(s.rows()[1].refs, 1);
+    }
+
+    #[test]
+    fn dirty_gauge_integrates_events() {
+        let mut s = WindowSampler::new(2, 4);
+        s.on_event(&access(AccessKind::Write));
+        s.on_event(&Event::LineDirtied { line_addr: 0 });
+        s.on_event(&Event::LineDirtied { line_addr: 16 });
+        s.on_event(&access(AccessKind::Write));
+        // Window 0 closes on the next access with 2 dirty lines.
+        s.on_event(&access(AccessKind::Write));
+        s.on_event(&Event::Eviction {
+            line_addr: 0,
+            dirty_bytes: 16,
+            flush: false,
+        });
+        s.finish();
+        let rows = s.rows();
+        assert_eq!(rows[0].dirty_lines, 2);
+        assert_eq!(rows[0].dirty_fraction(4), Some(0.5));
+        assert_eq!(rows[1].dirty_lines, 1);
+    }
+
+    #[test]
+    fn totals_fold_matches_manual_sums() {
+        let mut s = WindowSampler::new(3, 0);
+        for i in 0..7u64 {
+            s.on_event(&access(if i % 2 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            }));
+            s.on_event(&Event::WriteBack { addr: i, bytes: 16 });
+        }
+        s.on_event(&Event::BufferStall { cycles: 5 });
+        s.finish();
+        let t = s.totals();
+        assert_eq!(t.refs, 7);
+        assert_eq!(t.reads, 4);
+        assert_eq!(t.writes, 3);
+        assert_eq!(t.write_back_txns, 7);
+        assert_eq!(t.write_back_bytes, 112);
+        assert_eq!(t.buf_stall_cycles, 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_derived_columns() {
+        let mut s = WindowSampler::new(2, 8);
+        s.on_event(&access(AccessKind::Read));
+        s.on_event(&Event::ReadMiss {
+            addr: 0,
+            partial: false,
+        });
+        s.on_event(&access(AccessKind::Read));
+        s.finish();
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), CSV_COLUMNS.len());
+        assert!(header.starts_with("window,start_ref,refs,"));
+        assert!(header.ends_with("miss_rate,dirty_frac"));
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), CSV_COLUMNS.len());
+        assert!(row.contains("0.500000"), "miss rate 1/2: {row}");
+    }
+
+    #[test]
+    fn empty_windows_render_na_rates() {
+        let mut s = WindowSampler::new(2, 0);
+        // Flush-only trailing window with zero accesses.
+        s.on_event(&Event::Eviction {
+            line_addr: 0,
+            dirty_bytes: 0,
+            flush: true,
+        });
+        s.finish();
+        let csv = s.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.ends_with("n/a,n/a"), "{row}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_rejected() {
+        let _ = WindowSampler::new(0, 0);
+    }
+}

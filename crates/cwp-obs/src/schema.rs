@@ -1,0 +1,321 @@
+//! Offline validation of exported traces against the event schema.
+//!
+//! `scripts/verify.sh` runs a traced experiment and then checks the
+//! emitted artifacts with the `validate_trace` binary, which is a thin
+//! wrapper around [`validate_trace_dir`]. Validation is structural and
+//! self-consistent — no network, no external schema files:
+//!
+//! - `events.jsonl`: every line parses, carries a monotonically
+//!   increasing `seq` from 0, and decodes to a known [`Event`] variant
+//!   with all required fields.
+//! - `windows.csv`: the header is exactly [`CSV_COLUMNS`] and every row
+//!   parses (counters as integers, derived rates as numbers or `n/a`).
+//! - `manifest.json`: parses into a [`RunManifest`] whose `reconciled`
+//!   flag is set, and whose counts match the other two files.
+
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use crate::event::Event;
+use crate::json::Json;
+use crate::manifest::RunManifest;
+use crate::sampler::CSV_COLUMNS;
+
+/// What was checked for one run directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// The run directory.
+    pub dir: PathBuf,
+    /// JSONL events that validated.
+    pub events: u64,
+    /// CSV window rows that validated.
+    pub windows: u64,
+    /// Sum of the `refs` column over all windows.
+    pub total_refs: u64,
+}
+
+/// Validates `events.jsonl` content: parse, schema, and `seq` order.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn validate_events(text: &str) -> Result<u64, String> {
+    let mut expected_seq = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let json = Json::parse(line).map_err(|e| format!("events.jsonl line {lineno}: {e}"))?;
+        let seq = json
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("events.jsonl line {lineno}: missing seq"))?;
+        if seq != expected_seq {
+            return Err(format!(
+                "events.jsonl line {lineno}: seq {seq}, expected {expected_seq}"
+            ));
+        }
+        let tag = json
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("events.jsonl line {lineno}: missing ev tag"))?;
+        if !Event::TAGS.contains(&tag) {
+            return Err(format!(
+                "events.jsonl line {lineno}: unknown event tag {tag:?}"
+            ));
+        }
+        if Event::from_json(&json).is_none() {
+            return Err(format!(
+                "events.jsonl line {lineno}: event {tag:?} has missing or mistyped fields"
+            ));
+        }
+        expected_seq += 1;
+    }
+    Ok(expected_seq)
+}
+
+/// Validates `windows.csv` content and returns (rows, sum of `refs`).
+///
+/// # Errors
+///
+/// Returns a message naming the first offending row or column.
+pub fn validate_windows_csv(text: &str) -> Result<(u64, u64), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("windows.csv: empty file")?;
+    let expected = CSV_COLUMNS.join(",");
+    if header != expected {
+        return Err(format!(
+            "windows.csv: header mismatch\n  got      {header}\n  expected {expected}"
+        ));
+    }
+    let refs_col = CSV_COLUMNS
+        .iter()
+        .position(|&c| c == "refs")
+        .expect("refs is a schema column");
+    let derived_from = CSV_COLUMNS
+        .iter()
+        .position(|&c| c == "miss_rate")
+        .expect("miss_rate is a schema column");
+    let mut rows = 0u64;
+    let mut total_refs = 0u64;
+    for (idx, line) in lines.enumerate() {
+        let lineno = idx + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != CSV_COLUMNS.len() {
+            return Err(format!(
+                "windows.csv line {lineno}: {} fields, expected {}",
+                fields.len(),
+                CSV_COLUMNS.len()
+            ));
+        }
+        for (col, field) in fields.iter().enumerate() {
+            if col < derived_from {
+                field.parse::<u64>().map_err(|_| {
+                    format!(
+                        "windows.csv line {lineno}: column {} is not an integer: {field:?}",
+                        CSV_COLUMNS[col]
+                    )
+                })?;
+            } else if *field != "n/a" {
+                field.parse::<f64>().map_err(|_| {
+                    format!(
+                        "windows.csv line {lineno}: column {} is not a number or n/a: {field:?}",
+                        CSV_COLUMNS[col]
+                    )
+                })?;
+            }
+        }
+        total_refs += fields[refs_col]
+            .parse::<u64>()
+            .expect("checked integral above");
+        rows += 1;
+    }
+    Ok((rows, total_refs))
+}
+
+/// Validates one run directory (`events.jsonl` + `windows.csv` +
+/// `manifest.json`) and cross-checks their counts.
+///
+/// # Errors
+///
+/// Returns a message naming the file and the first inconsistency.
+pub fn validate_run_dir(dir: &Path) -> Result<RunReport, String> {
+    let read = |name: &str| {
+        fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("{}: cannot read {name}: {e}", dir.display()))
+    };
+    let manifest_text = read("manifest.json")?;
+    let manifest_json = Json::parse(&manifest_text)
+        .map_err(|e| format!("{}: manifest.json: {e}", dir.display()))?;
+    let manifest = RunManifest::from_json(&manifest_json)
+        .ok_or_else(|| format!("{}: manifest.json: not a valid run manifest", dir.display()))?;
+    if !manifest.reconciled {
+        return Err(format!(
+            "{}: manifest says window sums did NOT reconcile with run totals",
+            dir.display()
+        ));
+    }
+
+    let events =
+        validate_events(&read("events.jsonl")?).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if events != manifest.events_written {
+        return Err(format!(
+            "{}: events.jsonl has {events} events but manifest says {}",
+            dir.display(),
+            manifest.events_written
+        ));
+    }
+
+    let (windows, total_refs) = validate_windows_csv(&read("windows.csv")?)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    if windows != manifest.windows {
+        return Err(format!(
+            "{}: windows.csv has {windows} rows but manifest says {}",
+            dir.display(),
+            manifest.windows
+        ));
+    }
+    let accesses = manifest
+        .totals
+        .iter()
+        .find(|(k, _)| k == "accesses")
+        .map(|(_, v)| *v);
+    if let Some(accesses) = accesses {
+        if total_refs != accesses {
+            return Err(format!(
+                "{}: windows.csv refs sum to {total_refs} but manifest totals say {accesses} accesses",
+                dir.display()
+            ));
+        }
+    }
+
+    Ok(RunReport {
+        dir: dir.to_path_buf(),
+        events,
+        windows,
+        total_refs,
+    })
+}
+
+/// Walks `root` for run directories (those containing `manifest.json`)
+/// and validates each.
+///
+/// # Errors
+///
+/// Fails if `root` is unreadable, contains no runs, or any run fails
+/// validation.
+pub fn validate_trace_dir(root: &Path) -> Result<Vec<RunReport>, String> {
+    let mut reports = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        if dir.join("manifest.json").is_file() {
+            reports.push(validate_run_dir(&dir)?);
+            continue;
+        }
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| format!("{}: cannot read directory: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+            if entry.path().is_dir() {
+                stack.push(entry.path());
+            }
+        }
+    }
+    if reports.is_empty() {
+        return Err(format!(
+            "{}: no run directories (manifest.json) found",
+            root.display()
+        ));
+    }
+    reports.sort_by(|a, b| a.dir.cmp(&b.dir));
+    Ok(reports)
+}
+
+/// Convenience: validate a JSONL file through a buffered reader (used
+/// by tests that stream rather than slurp).
+///
+/// # Errors
+///
+/// As [`validate_events`], plus I/O errors.
+pub fn validate_events_file(path: &Path) -> Result<u64, String> {
+    let file = fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut text = String::new();
+    use std::io::Read;
+    BufReader::new(file)
+        .read_to_string(&mut text)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    validate_events(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AccessKind, Probe};
+    use crate::jsonl::JsonlWriter;
+    use crate::sampler::WindowSampler;
+
+    fn sample_jsonl() -> String {
+        let mut w = JsonlWriter::new(Vec::new(), None);
+        w.on_event(&Event::Access {
+            kind: AccessKind::Read,
+            addr: 0,
+            bytes: 4,
+        });
+        w.on_event(&Event::ReadMiss {
+            addr: 0,
+            partial: false,
+        });
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn valid_jsonl_passes() {
+        assert_eq!(validate_events(&sample_jsonl()), Ok(2));
+    }
+
+    #[test]
+    fn seq_gaps_fail() {
+        let text = sample_jsonl().replace("\"seq\":1", "\"seq\":5");
+        let err = validate_events(&text).unwrap_err();
+        assert!(err.contains("seq 5, expected 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tags_fail() {
+        let err = validate_events("{\"seq\":0,\"ev\":\"martian\"}\n").unwrap_err();
+        assert!(err.contains("unknown event tag"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_fail() {
+        let err = validate_events("{\"seq\":0,\"ev\":\"read_hit\"}\n").unwrap_err();
+        assert!(err.contains("missing or mistyped"), "{err}");
+    }
+
+    #[test]
+    fn sampler_csv_validates() {
+        let mut s = WindowSampler::new(2, 16);
+        for _ in 0..5 {
+            s.on_event(&Event::Access {
+                kind: AccessKind::Write,
+                addr: 0,
+                bytes: 4,
+            });
+        }
+        s.finish();
+        let (rows, refs) = validate_windows_csv(&s.to_csv()).unwrap();
+        assert_eq!(rows, 3);
+        assert_eq!(refs, 5);
+    }
+
+    #[test]
+    fn header_mismatch_fails() {
+        let err = validate_windows_csv("bogus,header\n1,2\n").unwrap_err();
+        assert!(err.contains("header mismatch"), "{err}");
+    }
+}

@@ -19,4 +19,12 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> traced experiment end-to-end (events.jsonl + windows.csv + manifest.json)"
+TRACE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-trace.XXXXXX")
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run -q --release --offline -p cwp-core --bin figures -- \
+    --scale test --quiet --trace "$TRACE_DIR" fig01 fig13 > /dev/null
+cargo run -q --release --offline -p cwp-obs --bin validate_trace -- "$TRACE_DIR" \
+    | tail -n 1
+
 echo "verify: OK"

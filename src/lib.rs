@@ -14,6 +14,9 @@
 //!   write-hit x write-miss policy matrix.
 //! * [`buffers`] — coalescing write buffers, write caches, dirty-victim
 //!   buffers, and the delayed-write register.
+//! * [`obs`] — zero-cost-when-disabled observability: typed event
+//!   probes, windowed time-series sampling, JSONL/CSV exporters, and
+//!   run manifests.
 //! * [`pipeline`] — the five-stage store-timing model.
 //! * [`core`] — experiment drivers that regenerate every table and figure
 //!   of the paper, plus reporting.
@@ -47,5 +50,6 @@ pub use cwp_cache as cache;
 pub use cwp_core as core;
 pub use cwp_cpu as cpu;
 pub use cwp_mem as mem;
+pub use cwp_obs as obs;
 pub use cwp_pipeline as pipeline;
 pub use cwp_trace as trace;
