@@ -1,29 +1,45 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures under supervision.
 //!
 //! ```text
 //! figures [--scale test|quick|paper|<factor>] [--csv] [--quiet]
+//!         [--jobs N] [--deadline SECS] [--retries N] [--resume DIR]
 //!         [--trace DIR] [--window N] [--max-events N] [--trace-workload W]
 //!         <id>... | all | list
 //! ```
 //!
-//! With `--trace DIR` (or `CWP_TRACE_DIR=DIR`), every simulation also
-//! exports `events.jsonl`, `windows.csv`, and `manifest.json` under
-//! `DIR/<experiment>/<NN>-<workload>/`. Progress and diagnostics go to
-//! stderr at the level set by `CWP_LOG` (`quiet`..`debug`); `--quiet`
-//! silences them entirely.
+//! Experiments run as isolated jobs on a worker pool (`--jobs`): a
+//! panicking or hung experiment degrades to an `n/a` placeholder while
+//! the rest of the run completes. With `--trace DIR` every simulation
+//! also exports `events.jsonl`, `windows.csv`, and `manifest.json`
+//! under `DIR/<experiment>/<NN>-<workload>/`, and every settled job is
+//! checkpointed to `DIR/checkpoint.jsonl` — after a crash or SIGKILL,
+//! `--resume DIR` replays the finished tables byte-for-byte and only
+//! re-runs the rest. Progress and diagnostics go to stderr at the level
+//! set by `CWP_LOG` (`quiet`..`debug`); `--quiet` silences them.
+//!
+//! Exits nonzero when any job failed, timed out, or produced no data
+//! rows.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cwp_core::experiments;
-use cwp_core::{Lab, TraceOptions};
-use cwp_obs::{obs_info, set_level, Level};
+use cwp_core::runner::{Job, JobOutcome, Runner, RunnerConfig};
+use cwp_core::TraceOptions;
+use cwp_obs::{obs_info, obs_warn, set_level, Level};
 use cwp_trace::Scale;
 
 fn usage() -> &'static str {
     "usage: figures [--scale test|quick|paper|<factor>] [--csv] [--quiet]\n\
+     \x20              [--jobs N] [--deadline SECS] [--retries N] [--resume DIR]\n\
      \x20              [--trace DIR] [--window N] [--max-events N] [--trace-workload W]\n\
      \x20              <id>... | all | list\n\
      ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')\n\
+     --jobs: worker threads (default: CPUs, capped at 8)\n\
+     --deadline: seconds allowed per unit of experiment cost (default: none)\n\
+     --retries: extra attempts for a failed experiment (default: 2)\n\
+     --resume: re-open DIR's checkpoint journal, replay finished jobs\n\
      env: CWP_TRACE_DIR sets --trace; CWP_LOG sets verbosity (quiet..debug)"
 }
 
@@ -34,7 +50,15 @@ struct Cli {
     window: u64,
     max_events: Option<u64>,
     trace_workload: Option<String>,
+    jobs: usize,
+    deadline: Option<f64>,
+    retries: u32,
+    resume: bool,
     ids: Vec<String>,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -47,6 +71,10 @@ fn parse_args() -> Result<Cli, String> {
         window: 4096,
         max_events: Some(1_000_000),
         trace_workload: None,
+        jobs: default_jobs(),
+        deadline: None,
+        retries: 2,
+        resume: false,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -86,6 +114,29 @@ fn parse_args() -> Result<Cli, String> {
                 };
             }
             "--trace-workload" => cli.trace_workload = Some(value(&mut args, "--trace-workload")?),
+            "--jobs" => {
+                let v = value(&mut args, "--jobs")?;
+                cli.jobs = match v.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => return Err(format!("bad jobs '{v}' (want a positive integer)")),
+                };
+            }
+            "--deadline" => {
+                let v = value(&mut args, "--deadline")?;
+                cli.deadline = match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 => Some(s),
+                    _ => return Err(format!("bad deadline '{v}' (want seconds > 0)")),
+                };
+            }
+            "--retries" => {
+                let v = value(&mut args, "--retries")?;
+                cli.retries = v.parse::<u32>().map_err(|_| format!("bad retries '{v}'"))?;
+            }
+            "--resume" => {
+                let dir = value(&mut args, "--resume")?;
+                cli.trace_dir = Some(dir);
+                cli.resume = true;
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -132,7 +183,11 @@ fn main() -> ExitCode {
         sel
     };
 
-    let mut lab = Lab::new(cli.scale);
+    let mut config = RunnerConfig::new(cli.scale);
+    config.workers = cli.jobs;
+    config.retries = cli.retries;
+    config.deadline_per_cost = cli.deadline.map(Duration::from_secs_f64);
+    config.resume = cli.resume;
     if let Some(dir) = &cli.trace_dir {
         let mut options = TraceOptions::new(dir);
         options.window = cli.window;
@@ -143,29 +198,66 @@ fn main() -> ExitCode {
             cli.max_events
                 .map_or_else(|| "unlimited".to_string(), |n| n.to_string())
         );
-        lab.enable_trace(options);
-        lab.set_trace_filter(cli.trace_workload.as_deref());
+        config.trace = Some(options);
+        config.trace_filter = cli.trace_workload.clone();
+        config.journal_dir = Some(PathBuf::from(dir));
     }
-
-    let total = selected.len();
-    for (i, e) in selected.into_iter().enumerate() {
-        obs_info!(
-            "[{}/{total}] running {} — {} (scale {})",
-            i + 1,
-            e.id,
-            e.title,
-            cli.scale
-        );
-        lab.set_trace_context(e.id);
-        for table in e.run(&mut lab) {
-            if cli.csv {
-                println!("# {}", table.title());
-                println!("{}", table.to_csv());
-            } else {
-                println!("{}", table.to_markdown());
-            }
+    // Test hook for the kill-and-resume integration tests: stretch every
+    // attempt so a SIGKILL can land mid-grid deterministically.
+    if let Ok(ms) = std::env::var("CWP_JOB_DELAY_MS") {
+        match ms.parse::<u64>() {
+            Ok(ms) if ms > 0 => config.job_delay = Some(Duration::from_millis(ms)),
+            _ => obs_warn!("ignoring unparsable CWP_JOB_DELAY_MS={ms}"),
         }
     }
-    obs_info!("done: {} simulations", lab.runs());
-    ExitCode::SUCCESS
+
+    obs_info!(
+        "running {} experiment(s) on {} worker(s) (scale {})",
+        selected.len(),
+        config.workers,
+        cli.scale
+    );
+    let jobs: Vec<Job> = selected.iter().map(Job::from_experiment).collect();
+    let summary = match Runner::new(config).run(jobs) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("figures: supervision failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Print buffered tables in submission (paper) order, exactly as the
+    // unsupervised sequential loop used to.
+    for result in &summary.results {
+        for table in &result.tables {
+            if cli.csv {
+                println!("# {}", table.title);
+                println!("{}", table.csv);
+            } else {
+                println!("{}", table.markdown);
+            }
+        }
+        if result.outcome != JobOutcome::Ok && result.outcome != JobOutcome::Skipped {
+            obs_warn!(
+                "{}: {} after {} attempt(s): {}",
+                result.id,
+                result.outcome.tag(),
+                result.attempts,
+                result.error.as_deref().unwrap_or("no detail")
+            );
+        }
+    }
+
+    obs_info!("jobs: {}", summary.describe());
+    obs_info!("done: {} simulations", summary.simulations);
+    if summary.failures() > 0 {
+        eprintln!(
+            "figures: {} job(s) without usable results ({})",
+            summary.failures(),
+            summary.describe()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

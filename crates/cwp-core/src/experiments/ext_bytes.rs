@@ -10,7 +10,7 @@ use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
 
 use crate::experiments::{b, LINES};
 use crate::lab::{Lab, WORKLOAD_NAMES};
-use crate::report::{Cell, Table};
+use crate::report::{require_table, Cell, CellError, Table};
 
 fn config(line: u32, partial: bool) -> CacheConfig {
     CacheConfig::builder()
@@ -74,47 +74,74 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
     vec![t]
 }
 
+/// Structural sanity check: every line-size row exists under all four
+/// traffic columns.
+pub(crate) fn check(tables: &[Table]) -> Result<(), CellError> {
+    let t = require_table(tables, 0, "ext_bytes")?;
+    for line in LINES {
+        for col in [
+            "fetch bytes",
+            "write-back bytes (whole line)",
+            "write-back bytes (subblock)",
+            "subblock savings %",
+        ] {
+            t.require_cell(&b(line), col)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn subblock_savings_grow_with_line_size() {
+    fn subblock_savings_grow_with_line_size() -> Result<(), CellError> {
         let mut lab = crate::experiments::testlab::lock();
         let t = &run(&mut lab)[0];
-        let at4 = t.value("4B", "subblock savings %").unwrap();
-        let at64 = t.value("64B", "subblock savings %").unwrap();
+        let at4 = t.require_value("4B", "subblock savings %")?;
+        let at64 = t.require_value("64B", "subblock savings %")?;
         assert!(at4 < 2.0, "4B lines have nothing to save, got {at4:.1}%");
         assert!(
             at64 > 25.0,
             "64B lines should save substantially, got {at64:.1}%"
         );
         assert!(at64 > at4);
+        Ok(())
     }
 
     #[test]
-    fn subblock_writebacks_never_move_more_bytes() {
+    fn subblock_writebacks_never_move_more_bytes() -> Result<(), CellError> {
         let mut lab = crate::experiments::testlab::lock();
         let t = &run(&mut lab)[0];
         for line in ["4B", "8B", "16B", "32B", "64B"] {
-            let whole = t.value(line, "write-back bytes (whole line)").unwrap();
-            let partial = t.value(line, "write-back bytes (subblock)").unwrap();
+            let whole = t.require_value(line, "write-back bytes (whole line)")?;
+            let partial = t.require_value(line, "write-back bytes (subblock)")?;
             assert!(partial <= whole + 1e-9, "{line}: {partial} > {whole}");
         }
+        Ok(())
     }
 
     #[test]
-    fn write_back_bandwidth_is_a_fraction_of_fetch_bandwidth() {
+    fn write_back_bandwidth_is_a_fraction_of_fetch_bandwidth() -> Result<(), CellError> {
         // Paper: "an average write bandwidth corresponding to half of the
         // read bandwidth is sufficient".
         let mut lab = crate::experiments::testlab::lock();
         let t = &run(&mut lab)[0];
-        let fetch = t.value("16B", "fetch bytes").unwrap();
-        let wb = t.value("16B", "write-back bytes (whole line)").unwrap();
+        let fetch = t.require_value("16B", "fetch bytes")?;
+        let wb = t.require_value("16B", "write-back bytes (whole line)")?;
         let ratio = wb / fetch;
         assert!(
             (0.15..=1.0).contains(&ratio),
             "write-back/fetch byte ratio {ratio:.2}"
         );
+        Ok(())
+    }
+
+    #[test]
+    fn structural_check_passes_on_real_output() {
+        let mut lab = crate::experiments::testlab::lock();
+        check(&run(&mut lab)).unwrap();
+        assert!(check(&[]).is_err());
     }
 }

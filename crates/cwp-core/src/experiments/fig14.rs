@@ -1,9 +1,9 @@
 //! Figure 14: total miss-rate reductions of the three no-fetch strategies
 //! vs cache size (16B lines).
 
-use crate::experiments::policy_sweep::{reduction_tables, size_points, Reduction};
+use crate::experiments::policy_sweep::{reduction_tables, size_points, Reduction, ALTERNATIVES};
 use crate::lab::Lab;
-use crate::report::Table;
+use crate::report::{CellError, CellErrorKind, Table};
 
 /// Runs the cache-size sweep, reporting reductions in *total* misses.
 pub fn run(lab: &mut Lab) -> Vec<Table> {
@@ -24,46 +24,68 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
     tables
 }
 
+/// Structural sanity check: one table per alternative policy, each with
+/// every size row and the average column present.
+pub(crate) fn check(tables: &[Table]) -> Result<(), CellError> {
+    if tables.len() != ALTERNATIVES.len() {
+        return Err(CellError {
+            table: "fig14/*".to_string(),
+            row: String::new(),
+            column: String::new(),
+            kind: CellErrorKind::NoSuchTable,
+        });
+    }
+    for t in tables {
+        for (label, _, _) in size_points() {
+            t.require_cell(&label, "average")?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::CellError;
 
     #[test]
-    fn write_validate_removes_a_meaningful_share_of_all_misses() {
+    fn write_validate_removes_a_meaningful_share_of_all_misses() -> Result<(), CellError> {
         let mut lab = crate::experiments::testlab::lock();
         let ts = run(&mut lab);
-        let avg = ts[0].value("8KB", "average").unwrap();
+        let avg = ts[0].require_value("8KB", "average")?;
         assert!(
             (15.0..=60.0).contains(&avg),
             "write-validate total-miss reduction at 8KB was {avg:.1}% (paper: ~31%)"
         );
+        Ok(())
     }
 
     #[test]
-    fn linpack_benefits_least_from_write_validate() {
+    fn linpack_benefits_least_from_write_validate() -> Result<(), CellError> {
         // linpack's writes are read-modify-write, so write-validate has
         // little to remove.
         let mut lab = crate::experiments::testlab::lock();
         let ts = run(&mut lab);
-        let linpack = ts[0].value("8KB", "linpack").unwrap();
-        let ccom = ts[0].value("8KB", "ccom").unwrap();
+        let linpack = ts[0].require_value("8KB", "linpack")?;
+        let ccom = ts[0].require_value("8KB", "ccom")?;
         assert!(
             ccom > linpack,
             "ccom ({ccom:.1}%) should gain more than linpack ({linpack:.1}%)"
         );
+        Ok(())
     }
 
     #[test]
-    fn figure_14_is_figure_13_times_figure_10() {
+    fn figure_14_is_figure_13_times_figure_10() -> Result<(), CellError> {
         use crate::experiments::{fig10, fig13};
         let mut lab = crate::experiments::testlab::lock();
         let f14 = run(&mut lab);
         let f13 = fig13::run(&mut lab);
         let f10 = fig10::run(&mut lab);
         for size in ["8KB", "32KB"] {
-            let total = f14[0].value(size, "average").unwrap();
-            let write = f13[0].value(size, "average").unwrap();
-            let share = f10[0].value(size, "average").unwrap();
+            let total = f14[0].require_value(size, "average")?;
+            let write = f13[0].require_value(size, "average")?;
+            let share = f10[0].require_value(size, "average")?;
             let predicted = write * share / 100.0;
             // Averages of products differ from products of averages, so
             // allow a loose band.
@@ -72,5 +94,13 @@ mod tests {
                 "{size}: fig14 {total:.1}% vs fig13*fig10 {predicted:.1}%"
             );
         }
+        Ok(())
+    }
+
+    #[test]
+    fn structural_check_passes_on_real_output() {
+        let mut lab = crate::experiments::testlab::lock();
+        check(&run(&mut lab)).unwrap();
+        assert!(check(&[]).is_err(), "an empty table set must fail");
     }
 }

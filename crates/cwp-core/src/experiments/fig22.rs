@@ -4,7 +4,7 @@
 use crate::experiments::policy_sweep::size_points;
 use crate::experiments::victim_sweep::{victim_table, VictimMetric};
 use crate::lab::Lab;
-use crate::report::Table;
+use crate::report::{require_table, CellError, Table};
 
 /// Runs the cache-size sweep (16B lines, write-back, flush stop, averaged
 /// over all victims whether clean or dirty).
@@ -24,12 +24,22 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
     vec![t]
 }
 
+/// Structural sanity check: a single `fig22` table with every size row
+/// and the average column present.
+pub(crate) fn check(tables: &[Table]) -> Result<(), CellError> {
+    let t = require_table(tables, 0, "fig22")?;
+    for (label, _, _) in size_points() {
+        t.require_cell(&label, "average")?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn product_identity_with_figures_20_and_21() {
+    fn product_identity_with_figures_20_and_21() -> Result<(), CellError> {
         use crate::experiments::{fig20, fig21};
         let mut lab = crate::experiments::testlab::lock();
         let f22 = run(&mut lab);
@@ -37,9 +47,9 @@ mod tests {
         let f21 = fig21::run(&mut lab);
         for size in ["4KB", "16KB"] {
             for name in ["ccom", "grr", "linpack"] {
-                let dirty_frac = f20[1].value(size, name).unwrap() / 100.0;
-                let bytes_in_dirty = f21[0].value(size, name).unwrap() / 100.0;
-                let per_victim = f22[0].value(size, name).unwrap() / 100.0;
+                let dirty_frac = f20[1].require_value(size, name)? / 100.0;
+                let bytes_in_dirty = f21[0].require_value(size, name)? / 100.0;
+                let per_victim = f22[0].require_value(size, name)? / 100.0;
                 let predicted = dirty_frac * bytes_in_dirty;
                 assert!(
                     (per_victim - predicted).abs() < 0.02,
@@ -47,16 +57,25 @@ mod tests {
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn per_victim_dirtiness_is_below_in_dirty_dirtiness() {
+    fn per_victim_dirtiness_is_below_in_dirty_dirtiness() -> Result<(), CellError> {
         use crate::experiments::fig21;
         let mut lab = crate::experiments::testlab::lock();
         let f22 = run(&mut lab);
         let f21 = fig21::run(&mut lab);
-        let all = f22[0].value("8KB", "average").unwrap();
-        let dirty_only = f21[0].value("8KB", "average").unwrap();
+        let all = f22[0].require_value("8KB", "average")?;
+        let dirty_only = f21[0].require_value("8KB", "average")?;
         assert!(all <= dirty_only + 1e-9);
+        Ok(())
+    }
+
+    #[test]
+    fn structural_check_passes_on_real_output() {
+        let mut lab = crate::experiments::testlab::lock();
+        check(&run(&mut lab)).unwrap();
+        assert!(check(&[]).is_err());
     }
 }

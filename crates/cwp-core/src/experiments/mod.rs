@@ -6,7 +6,7 @@
 //! benches iterate over.
 
 use crate::lab::Lab;
-use crate::report::{Cell, Table};
+use crate::report::{Cell, CellError, Table};
 
 pub mod fig01;
 pub mod fig02;
@@ -70,20 +70,57 @@ pub(crate) mod testlab {
     }
 }
 
-/// A registered experiment: id, title, and its runner.
+/// A registered experiment: id, title, relative cost, and its runner.
 #[derive(Clone, Copy)]
 pub struct Experiment {
     /// Short id, e.g. `"fig13"` or `"table1"`.
     pub id: &'static str,
     /// The paper item it regenerates.
     pub title: &'static str,
+    /// Expected relative cost in coarse units (1 = a handful of
+    /// simulations, larger = multi-axis sweeps). The supervised runner
+    /// multiplies its per-unit deadline by this, so slow-by-design
+    /// experiments aren't misdiagnosed as hung.
+    pub cost: u32,
     runner: fn(&mut Lab) -> Vec<Table>,
 }
+
+/// A structural sanity check over an experiment's output tables.
+pub type TableCheck = fn(&[Table]) -> Result<(), CellError>;
 
 impl Experiment {
     /// Runs the experiment in `lab`, returning its tables.
     pub fn run(&self, lab: &mut Lab) -> Vec<Table> {
         (self.runner)(lab)
+    }
+
+    /// The experiment's structural sanity check, if it declares one.
+    ///
+    /// Checks assert shape (expected rows and columns exist), not
+    /// values, so they hold at every scale — individual cells may be
+    /// legitimately `n/a` at tiny scales.
+    pub fn check(&self) -> Option<TableCheck> {
+        match self.id {
+            "fig14" => Some(fig14::check),
+            "fig22" => Some(fig22::check),
+            "table3" => Some(table3::check),
+            "ext_bytes" => Some(ext_bytes::check),
+            _ => None,
+        }
+    }
+
+    /// Runs the experiment and applies its sanity check, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the check's [`CellError`] when the produced tables are
+    /// structurally malformed.
+    pub fn run_checked(&self, lab: &mut Lab) -> Result<Vec<Table>, CellError> {
+        let tables = self.run(lab);
+        if let Some(check) = self.check() {
+            check(&tables)?;
+        }
+        Ok(tables)
     }
 }
 
@@ -94,12 +131,13 @@ impl std::fmt::Debug for Experiment {
 }
 
 macro_rules! registry {
-    ($($module:ident => $title:expr),+ $(,)?) => {
+    ($($module:ident => ($title:expr, $cost:expr)),+ $(,)?) => {
         /// All experiments, in paper order.
         pub fn all() -> Vec<Experiment> {
             vec![$(Experiment {
                 id: stringify!($module),
                 title: $title,
+                cost: $cost,
                 runner: $module::run,
             }),+]
         }
@@ -107,41 +145,41 @@ macro_rules! registry {
 }
 
 registry! {
-    table1 => "Test program characteristics",
-    fig01 => "Write-back vs write-through behavior for 8KB caches",
-    fig02 => "Write-back vs write-through behavior for 16B lines",
-    fig03 => "Direct-mapped write-through and write-back pipelines",
-    fig04 => "Delayed write method for write-back caches",
-    fig05 => "Coalescing write buffer merges vs CPI",
-    fig06 => "Write cache organization",
-    fig07 => "Write cache absolute traffic reduction",
-    fig08 => "Write cache traffic reduction relative to a 4KB write-back cache",
-    fig09 => "Relative traffic reduction of a write cache vs write-back cache size",
-    fig10 => "Write misses as a percent of all misses vs cache size for 16B lines",
-    fig11 => "Write misses as a percent of all misses vs line size for 8KB caches",
-    fig12 => "Write miss alternatives",
-    fig13 => "Write miss rate reductions of three write strategies for 16B lines",
-    fig14 => "Total miss rate reductions of three write strategies for 16B lines",
-    fig15 => "Write miss rate reductions of three write strategies for 8KB caches",
-    fig16 => "Total miss rate reduction of three write strategies for 8KB caches",
-    fig17 => "Relative order of fetch traffic for write miss alternatives",
-    fig18 => "Components of traffic vs cache size",
-    fig19 => "Components of traffic vs cache line size",
-    fig20 => "Percent of victims with dirty bytes vs cache size for 16B lines",
-    fig21 => "Percent of bytes dirty in a dirty victim vs cache size for 16B lines",
-    fig22 => "Percent of bytes dirty per victim vs cache size for 16B lines",
-    fig23 => "Percent of victims with dirty bytes vs line size for 8KB caches",
-    fig24 => "Percent of bytes dirty in a dirty victim vs line size for 8KB caches",
-    fig25 => "Percent of bytes dirty per victim vs line size for 8KB caches",
-    table2 => "Advantages and disadvantages of write-through and write-back caches",
-    table3 => "Hardware requirements for high performance caches",
-    ext_burst => "Extension: store and dirty-victim burstiness",
-    ext_alloc => "Extension: oracle bound for cache-line allocation instructions",
-    ext_bytes => "Extension: byte traffic and subblock dirty bits",
-    ext_assoc => "Extension: write-miss policies under associativity",
-    ext_l2 => "Extension: two-level hierarchy effects",
-    ext_overhead => "Extension: SRAM bit budgets and error protection",
-    ext_fault => "Extension: fault injection and error recovery",
+    table1 => ("Test program characteristics", 2),
+    fig01 => ("Write-back vs write-through behavior for 8KB caches", 2),
+    fig02 => ("Write-back vs write-through behavior for 16B lines", 4),
+    fig03 => ("Direct-mapped write-through and write-back pipelines", 2),
+    fig04 => ("Delayed write method for write-back caches", 2),
+    fig05 => ("Coalescing write buffer merges vs CPI", 2),
+    fig06 => ("Write cache organization", 4),
+    fig07 => ("Write cache absolute traffic reduction", 4),
+    fig08 => ("Write cache traffic reduction relative to a 4KB write-back cache", 4),
+    fig09 => ("Relative traffic reduction of a write cache vs write-back cache size", 4),
+    fig10 => ("Write misses as a percent of all misses vs cache size for 16B lines", 4),
+    fig11 => ("Write misses as a percent of all misses vs line size for 8KB caches", 3),
+    fig12 => ("Write miss alternatives", 2),
+    fig13 => ("Write miss rate reductions of three write strategies for 16B lines", 6),
+    fig14 => ("Total miss rate reductions of three write strategies for 16B lines", 6),
+    fig15 => ("Write miss rate reductions of three write strategies for 8KB caches", 4),
+    fig16 => ("Total miss rate reduction of three write strategies for 8KB caches", 4),
+    fig17 => ("Relative order of fetch traffic for write miss alternatives", 4),
+    fig18 => ("Components of traffic vs cache size", 4),
+    fig19 => ("Components of traffic vs cache line size", 3),
+    fig20 => ("Percent of victims with dirty bytes vs cache size for 16B lines", 4),
+    fig21 => ("Percent of bytes dirty in a dirty victim vs cache size for 16B lines", 4),
+    fig22 => ("Percent of bytes dirty per victim vs cache size for 16B lines", 4),
+    fig23 => ("Percent of victims with dirty bytes vs line size for 8KB caches", 3),
+    fig24 => ("Percent of bytes dirty in a dirty victim vs line size for 8KB caches", 3),
+    fig25 => ("Percent of bytes dirty per victim vs line size for 8KB caches", 3),
+    table2 => ("Advantages and disadvantages of write-through and write-back caches", 1),
+    table3 => ("Hardware requirements for high performance caches", 2),
+    ext_burst => ("Extension: store and dirty-victim burstiness", 3),
+    ext_alloc => ("Extension: oracle bound for cache-line allocation instructions", 3),
+    ext_bytes => ("Extension: byte traffic and subblock dirty bits", 4),
+    ext_assoc => ("Extension: write-miss policies under associativity", 6),
+    ext_l2 => ("Extension: two-level hierarchy effects", 6),
+    ext_overhead => ("Extension: SRAM bit budgets and error protection", 2),
+    ext_fault => ("Extension: fault injection and error recovery", 4),
 }
 
 /// Looks up an experiment by id.
@@ -224,6 +262,33 @@ mod tests {
     fn by_id_finds_and_misses() {
         assert_eq!(by_id("fig13").unwrap().id, "fig13");
         assert!(by_id("fig99").is_none());
+    }
+
+    #[test]
+    fn every_cost_is_positive() {
+        for e in all() {
+            assert!(e.cost >= 1, "{} has zero cost", e.id);
+        }
+    }
+
+    #[test]
+    fn declared_checks_resolve() {
+        let checked: Vec<&str> = all()
+            .iter()
+            .filter(|e| e.check().is_some())
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(checked, ["fig14", "fig22", "table3", "ext_bytes"]);
+    }
+
+    #[test]
+    fn run_checked_passes_on_a_quick_lab() {
+        let mut lab = testlab::lock();
+        for id in ["fig14", "ext_bytes"] {
+            let e = by_id(id).unwrap();
+            e.run_checked(&mut lab)
+                .unwrap_or_else(|err| panic!("{id}: {err}"));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use cwp_pipeline::{StorePipeline, StoreTiming};
 
 use crate::experiments::fig07::removed_percentages;
 use crate::lab::{Lab, WORKLOAD_NAMES};
-use crate::report::{Cell, Table};
+use crate::report::{require_table, Cell, CellError, Table};
 
 /// Regenerates Table 3, annotating each required structure with a measured
 /// effectiveness number from this repository's implementations.
@@ -102,20 +102,40 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
     vec![t]
 }
 
+/// Structural sanity check: the three feature rows exist under both
+/// policy columns.
+pub(crate) fn check(tables: &[Table]) -> Result<(), CellError> {
+    let t = require_table(tables, 0, "table3")?;
+    for row in ["exit traffic buffer", "bandwidth improvement", "other"] {
+        for col in ["write-back", "write-through"] {
+            t.require_cell(row, col)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn table3_reports_three_feature_rows_with_numbers() {
+    fn table3_reports_three_feature_rows_with_numbers() -> Result<(), CellError> {
         let mut lab = crate::experiments::testlab::lock();
         let t = &run(&mut lab)[0];
         assert_eq!(t.len(), 3);
-        let bw = match t.cell("bandwidth improvement", "write-through").unwrap() {
+        let bw = match t.require_cell("bandwidth improvement", "write-through")? {
             Cell::Text(s) => s.clone(),
             other => panic!("unexpected {other:?}"),
         };
         assert!(bw.contains("write cache"));
         assert!(bw.contains('%'));
+        Ok(())
+    }
+
+    #[test]
+    fn structural_check_passes_on_real_output() {
+        let mut lab = crate::experiments::testlab::lock();
+        check(&run(&mut lab)).unwrap();
+        assert!(check(&[]).is_err());
     }
 }

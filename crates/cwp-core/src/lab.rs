@@ -284,6 +284,14 @@ mod tests {
     use super::*;
 
     #[test]
+    fn labs_move_across_threads() {
+        // The supervised runner gives each worker thread its own Lab;
+        // this assertion pins the Send bound that design relies on.
+        fn assert_send<T: Send>() {}
+        assert_send::<Lab>();
+    }
+
+    #[test]
     fn memoization_avoids_rework() {
         let mut lab = Lab::new(Scale::Test);
         let cfg = CacheConfig::default();

@@ -28,9 +28,11 @@ pub mod experiments;
 pub mod lab;
 pub mod obs;
 pub mod report;
+pub mod runner;
 pub mod sim;
 
 pub use lab::{Lab, WriteEvent, WriteStream};
 pub use obs::{trace_simulation, TraceOptions, TracedRun};
-pub use report::Table;
+pub use report::{require_table, Cell, CellError, CellErrorKind, Table};
+pub use runner::{Job, JobOutcome, JobResult, RunSummary, Runner, RunnerConfig};
 pub use sim::{simulate, simulate_probed, SimOutcome};

@@ -221,10 +221,17 @@ pub fn trace_simulation(
         events_dropped,
         totals: manifest_totals(&outcome.stats, &outcome.traffic_total),
         reconciled: mismatches.is_empty(),
+        outcome: Some("ok".to_string()),
     };
     let mut text = manifest.to_json().to_string();
     text.push('\n');
-    fs::write(dir.join("manifest.json"), text)?;
+    // Write-then-rename: the manifest is the last artifact written, so a
+    // run directory either has a complete manifest or none at all — a
+    // SIGKILL mid-run leaves a partial dir that `validate_trace` skips
+    // (and a resumed run re-traces) instead of a corrupt manifest.
+    let tmp = dir.join("manifest.json.tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, dir.join("manifest.json"))?;
 
     Ok(TracedRun {
         outcome,

@@ -69,6 +69,80 @@ impl From<Option<f64>> for Cell {
     }
 }
 
+/// What went wrong looking up a table cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellErrorKind {
+    /// No table with the expected id at the expected position.
+    NoSuchTable,
+    /// The row key is absent.
+    NoSuchRow,
+    /// The column header is absent.
+    NoSuchColumn,
+    /// The cell exists but holds no finite number.
+    NotNumeric,
+}
+
+/// A typed lookup failure: which table, row, and column disappointed.
+///
+/// Experiment sanity checks use this instead of `unwrap()` chains so a
+/// malformed table surfaces as a diagnosable error (and, under the
+/// supervised runner, as a retried/failed job) rather than a bare
+/// `Option::unwrap` panic with no context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Table id the lookup ran against.
+    pub table: String,
+    /// Row key sought (empty for table-level failures).
+    pub row: String,
+    /// Column name sought (empty for table-level failures).
+    pub column: String,
+    /// What specifically was wrong.
+    pub kind: CellErrorKind,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            CellErrorKind::NoSuchTable => write!(f, "table {:?} not found", self.table),
+            CellErrorKind::NoSuchRow => {
+                write!(f, "table {:?}: no row {:?}", self.table, self.row)
+            }
+            CellErrorKind::NoSuchColumn => {
+                write!(f, "table {:?}: no column {:?}", self.table, self.column)
+            }
+            CellErrorKind::NotNumeric => write!(
+                f,
+                "table {:?}: cell [{:?}, {:?}] is not a finite number",
+                self.table, self.row, self.column
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Fetches `tables[index]`, checking it carries the expected id.
+///
+/// # Errors
+///
+/// Returns [`CellErrorKind::NoSuchTable`] when the index is out of
+/// range or the id differs.
+pub fn require_table<'t>(
+    tables: &'t [Table],
+    index: usize,
+    id: &str,
+) -> Result<&'t Table, CellError> {
+    match tables.get(index) {
+        Some(t) if t.id() == id => Ok(t),
+        _ => Err(CellError {
+            table: id.to_string(),
+            row: String::new(),
+            column: String::new(),
+            kind: CellErrorKind::NoSuchTable,
+        }),
+    }
+}
+
 /// A labelled grid of results; one per regenerated table or figure.
 ///
 /// # Examples
@@ -180,6 +254,52 @@ impl Table {
         self.cell(row_key, column)?.as_f64()
     }
 
+    /// Looks up a cell by row key and column name, with a typed error
+    /// naming whichever of the three lookups failed.
+    ///
+    /// # Errors
+    ///
+    /// [`CellErrorKind::NoSuchRow`] / [`CellErrorKind::NoSuchColumn`]
+    /// when the key or header is absent.
+    pub fn require_cell(&self, row_key: &str, column: &str) -> Result<&Cell, CellError> {
+        let err = |kind| CellError {
+            table: self.id.clone(),
+            row: row_key.to_string(),
+            column: column.to_string(),
+            kind,
+        };
+        let col = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .ok_or_else(|| err(CellErrorKind::NoSuchColumn))?;
+        let (_, cells) = self
+            .rows
+            .iter()
+            .find(|(k, _)| k == row_key)
+            .ok_or_else(|| err(CellErrorKind::NoSuchRow))?;
+        cells
+            .get(col)
+            .ok_or_else(|| err(CellErrorKind::NoSuchColumn))
+    }
+
+    /// Numeric value of a cell, with a typed error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Table::require_cell`], plus [`CellErrorKind::NotNumeric`]
+    /// when the cell exists but holds no finite number.
+    pub fn require_value(&self, row_key: &str, column: &str) -> Result<f64, CellError> {
+        self.require_cell(row_key, column)?
+            .as_f64()
+            .ok_or_else(|| CellError {
+                table: self.id.clone(),
+                row: row_key.to_string(),
+                column: column.to_string(),
+                kind: CellErrorKind::NotNumeric,
+            })
+    }
+
     /// Iterates over `(row_key, cells)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[Cell])> {
         self.rows.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
@@ -264,6 +384,38 @@ mod tests {
         assert_eq!(t.cell("1KB", "zzz"), None);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn require_helpers_name_the_failing_lookup() {
+        let t = sample();
+        assert_eq!(t.require_value("1KB", "a"), Ok(1.5));
+        assert!(t.require_cell("1KB", "b").is_ok());
+
+        let e = t.require_cell("9KB", "a").unwrap_err();
+        assert_eq!(e.kind, CellErrorKind::NoSuchRow);
+        assert!(e.to_string().contains("9KB"), "{e}");
+
+        let e = t.require_cell("1KB", "zzz").unwrap_err();
+        assert_eq!(e.kind, CellErrorKind::NoSuchColumn);
+
+        let e = t.require_value("1KB", "b").unwrap_err();
+        assert_eq!(e.kind, CellErrorKind::NotNumeric);
+        assert!(e.to_string().contains("fig00"), "{e}");
+    }
+
+    #[test]
+    fn require_table_checks_position_and_id() {
+        let tables = vec![sample()];
+        assert!(require_table(&tables, 0, "fig00").is_ok());
+        assert_eq!(
+            require_table(&tables, 0, "fig99").unwrap_err().kind,
+            CellErrorKind::NoSuchTable
+        );
+        assert_eq!(
+            require_table(&tables, 1, "fig00").unwrap_err().kind,
+            CellErrorKind::NoSuchTable
+        );
     }
 
     #[test]

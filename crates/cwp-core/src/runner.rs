@@ -1,0 +1,1203 @@
+//! Supervised experiment execution: panic isolation, deadlines, retry
+//! with backoff, and checkpoint/resume.
+//!
+//! A full `figures all --scale paper` run is hours of simulation; one
+//! panicking experiment or one hung sweep should not cost the whole
+//! run. This module executes experiments as isolated *jobs* on a worker
+//! pool:
+//!
+//! - each job runs under [`std::panic::catch_unwind`] on a worker
+//!   thread with its own [`Lab`], so a panic settles that job and
+//!   leaves every other job untouched;
+//! - a watchdog thread enforces a per-job deadline (scaled by the
+//!   experiment's declared [`cost`](crate::experiments::Experiment::cost));
+//!   a job past its deadline is abandoned and its worker replaced;
+//! - failed attempts retry a bounded number of times with
+//!   deterministic, seeded exponential backoff (SplitMix64 jitter —
+//!   the same seed always produces the same schedule);
+//! - every settled job is appended to a crash-safe checkpoint journal
+//!   (`checkpoint.jsonl`, rewritten atomically via write-then-rename),
+//!   so a killed run resumes with `figures --resume DIR` and replays
+//!   finished tables byte-for-byte instead of re-simulating them;
+//! - jobs that fail for good degrade to an `n/a` placeholder table, so
+//!   the run always completes with a per-job outcome summary.
+
+use std::collections::HashMap;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cwp_mem::rng::SplitMix64;
+use cwp_obs::jsonl::{read_jsonl_tolerant, write_jsonl_atomic};
+use cwp_obs::{obs_debug, obs_info, obs_warn, Event, Json, JsonlWriter, Probe};
+use cwp_trace::Scale;
+
+use crate::experiments::Experiment;
+use crate::lab::Lab;
+use crate::obs::TraceOptions;
+use crate::report::{Cell, Table};
+
+/// File name of the checkpoint journal inside the journal directory.
+pub const JOURNAL_FILE: &str = "checkpoint.jsonl";
+
+/// File name of the runner's own event stream (job lifecycle events).
+pub const RUNNER_EVENTS_FILE: &str = "runner.jsonl";
+
+// ---------------------------------------------------------------------
+// Jobs and results
+// ---------------------------------------------------------------------
+
+/// The boxed work a [`Job`] carries: run in some worker's [`Lab`],
+/// produce tables or a failure message.
+type JobWork = Arc<dyn Fn(&mut Lab) -> Result<Vec<Table>, String> + Send + Sync>;
+
+/// One unit of supervised work: an id, a display title, a relative cost
+/// (deadline multiplier), and the work itself.
+#[derive(Clone)]
+pub struct Job {
+    /// Stable id; the journal keys resume decisions on it.
+    pub id: String,
+    /// Human title, used for placeholder tables.
+    pub title: String,
+    /// Relative cost in coarse units; the per-unit deadline is
+    /// multiplied by this.
+    pub cost: u32,
+    work: JobWork,
+}
+
+impl Job {
+    /// Wraps an arbitrary closure as a job.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        cost: u32,
+        work: impl Fn(&mut Lab) -> Result<Vec<Table>, String> + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            id: id.into(),
+            title: title.into(),
+            cost,
+            work: Arc::new(work),
+        }
+    }
+
+    /// Wraps a registered experiment: runs it with its sanity check
+    /// applied, so malformed tables fail the job instead of printing.
+    pub fn from_experiment(e: &Experiment) -> Self {
+        let exp = *e;
+        Job::new(e.id, e.title, e.cost, move |lab| {
+            exp.run_checked(lab).map_err(|err| err.to_string())
+        })
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Job({}, cost {})", self.id, self.cost)
+    }
+}
+
+/// How a job settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job produced its tables.
+    Ok,
+    /// Every attempt failed (panic or returned error).
+    Failed,
+    /// The job exceeded its deadline and was abandoned.
+    TimedOut,
+    /// A prior run's journal already had this job's tables; they were
+    /// replayed instead of re-simulated.
+    Skipped,
+}
+
+impl JobOutcome {
+    /// The journal tag for this outcome.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Failed => "failed",
+            JobOutcome::TimedOut => "timed_out",
+            JobOutcome::Skipped => "skipped",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<JobOutcome> {
+        match tag {
+            "ok" => Some(JobOutcome::Ok),
+            "failed" => Some(JobOutcome::Failed),
+            "timed_out" => Some(JobOutcome::TimedOut),
+            "skipped" => Some(JobOutcome::Skipped),
+            _ => None,
+        }
+    }
+}
+
+/// A table rendered to its final textual forms.
+///
+/// The journal stores rendered strings, not cell values, so a resumed
+/// run replays exactly the bytes the uninterrupted run would have
+/// printed — no re-rendering drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedTable {
+    /// The table's experiment id.
+    pub id: String,
+    /// The table's human title.
+    pub title: String,
+    /// Data rows the table held (0 flags an empty result).
+    pub rows: u64,
+    /// `Table::to_markdown()` output.
+    pub markdown: String,
+    /// `Table::to_csv()` output.
+    pub csv: String,
+}
+
+impl RenderedTable {
+    /// Renders a [`Table`] once, capturing both output forms.
+    pub fn from_table(t: &Table) -> Self {
+        RenderedTable {
+            id: t.id().to_string(),
+            title: t.title().to_string(),
+            rows: t.len() as u64,
+            markdown: t.to_markdown(),
+            csv: t.to_csv(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("rows", Json::UInt(self.rows)),
+            ("markdown", Json::Str(self.markdown.clone())),
+            ("csv", Json::Str(self.csv.clone())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<RenderedTable> {
+        let str_of = |key: &str| json.get(key).and_then(Json::as_str).map(str::to_string);
+        Some(RenderedTable {
+            id: str_of("id")?,
+            title: str_of("title")?,
+            rows: json.get("rows").and_then(Json::as_u64)?,
+            markdown: str_of("markdown")?,
+            csv: str_of("csv")?,
+        })
+    }
+}
+
+/// The settled state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The job id.
+    pub id: String,
+    /// The job title.
+    pub title: String,
+    /// How it settled.
+    pub outcome: JobOutcome,
+    /// Attempts consumed (1 = first try succeeded; 0 = replayed).
+    pub attempts: u32,
+    /// Wall-clock of the settling attempt, in milliseconds.
+    pub wall_ms: u64,
+    /// The failure or timeout detail, if any.
+    pub error: Option<String>,
+    /// The rendered tables (placeholders for failed/timed-out jobs).
+    pub tables: Vec<RenderedTable>,
+    /// `true` when the tables came from a prior run's journal.
+    pub replayed: bool,
+}
+
+impl JobResult {
+    /// `true` when the job settled without usable data rows.
+    pub fn is_empty(&self) -> bool {
+        !self.tables.iter().any(|t| t.rows > 0)
+    }
+
+    fn to_json(&self) -> Json {
+        // Replayed results journal as "ok" so a resume-of-a-resume
+        // still recognizes them as finished work.
+        let tag = if self.replayed && self.outcome == JobOutcome::Skipped {
+            "ok"
+        } else {
+            self.outcome.tag()
+        };
+        Json::obj([
+            ("job", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("outcome", Json::Str(tag.to_string())),
+            ("attempts", Json::UInt(u64::from(self.attempts))),
+            ("wall_ms", Json::UInt(self.wall_ms)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "tables",
+                Json::Arr(self.tables.iter().map(RenderedTable::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<JobResult> {
+        let str_of = |key: &str| json.get(key).and_then(Json::as_str).map(str::to_string);
+        let tables = match json.get("tables")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(RenderedTable::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(JobResult {
+            id: str_of("job")?,
+            title: str_of("title")?,
+            outcome: JobOutcome::from_tag(json.get("outcome").and_then(Json::as_str)?)?,
+            attempts: u32::try_from(json.get("attempts").and_then(Json::as_u64)?).ok()?,
+            wall_ms: json.get("wall_ms").and_then(Json::as_u64)?,
+            error: str_of("error"),
+            tables,
+            replayed: false,
+        })
+    }
+}
+
+/// The whole run's outcome: per-job results in input order, plus the
+/// total number of actual simulations performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<JobResult>,
+    /// Actual (non-memoized) simulations across all workers.
+    pub simulations: u64,
+}
+
+impl RunSummary {
+    /// Jobs that settled with the given outcome.
+    pub fn count(&self, outcome: JobOutcome) -> usize {
+        self.results.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Jobs that needed more than one attempt (including final failures).
+    pub fn retried(&self) -> usize {
+        self.results.iter().filter(|r| r.attempts > 1).count()
+    }
+
+    /// Jobs that nominally succeeded but produced no data rows.
+    pub fn empty(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Ok | JobOutcome::Skipped) && r.is_empty())
+            .count()
+    }
+
+    /// Jobs that did not produce real tables: failures, timeouts, and
+    /// empty successes. Nonzero means the run should exit nonzero.
+    pub fn failures(&self) -> usize {
+        self.count(JobOutcome::Failed) + self.count(JobOutcome::TimedOut) + self.empty()
+    }
+
+    /// One-line accounting, e.g. `"33 ok, 1 retried, 1 failed, ..."`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} ok, {} retried, {} failed, {} timed out, {} skipped (resume), {} empty",
+            self.count(JobOutcome::Ok),
+            self.retried(),
+            self.count(JobOutcome::Failed),
+            self.count(JobOutcome::TimedOut),
+            self.count(JobOutcome::Skipped),
+            self.empty()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Supervision policy for a run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads (each owns a [`Lab`]).
+    pub workers: usize,
+    /// Deadline per unit of job cost; `None` disables the watchdog's
+    /// deadline enforcement.
+    pub deadline_per_cost: Option<Duration>,
+    /// Extra attempts after a failed first try.
+    pub retries: u32,
+    /// Base backoff delay; attempt `n` waits `base * 2^(n-1) * jitter`.
+    pub backoff_base: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Directory for `checkpoint.jsonl` and `runner.jsonl`; `None`
+    /// disables journaling (and therefore resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Replay jobs already journaled as `ok` instead of re-running.
+    pub resume: bool,
+    /// Scale each worker's lab simulates at.
+    pub scale: Scale,
+    /// Per-simulation tracing, passed to each worker's lab.
+    pub trace: Option<TraceOptions>,
+    /// Restrict tracing to one workload (see [`Lab::set_trace_filter`]).
+    pub trace_filter: Option<String>,
+    /// Test hook: sleep this long at the start of every attempt, so
+    /// integration tests can kill the process mid-grid deterministically
+    /// (set via `CWP_JOB_DELAY_MS` in the `figures` binary).
+    pub job_delay: Option<Duration>,
+}
+
+impl RunnerConfig {
+    /// A sequential, no-deadline, no-journal configuration at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        RunnerConfig {
+            workers: 1,
+            deadline_per_cost: None,
+            retries: 2,
+            backoff_base: Duration::from_millis(250),
+            backoff_seed: 0x5ca1_ab1e,
+            journal_dir: None,
+            resume: false,
+            scale,
+            trace: None,
+            trace_filter: None,
+            job_delay: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal plumbing
+// ---------------------------------------------------------------------
+
+/// A dispatched attempt.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    job: usize,
+    attempt: u32,
+}
+
+/// The ready queue workers pull from.
+#[derive(Default)]
+struct QueueState {
+    ready: std::collections::VecDeque<Ticket>,
+    shutdown: bool,
+}
+
+type Queue = Arc<(Mutex<QueueState>, Condvar)>;
+
+/// One in-flight attempt, tracked by the watchdog.
+struct RunningEntry {
+    ticket: Ticket,
+    deadline: Option<Instant>,
+}
+
+/// Watchdog-owned state: in-flight attempts and scheduled retries.
+struct WatchState {
+    running: HashMap<u64, RunningEntry>,
+    delayed: Vec<(Instant, Ticket)>,
+    shutdown: bool,
+}
+
+type Watch = Arc<(Mutex<WatchState>, Condvar)>;
+
+enum Msg {
+    Done {
+        ticket: Ticket,
+        result: Result<Vec<Table>, String>,
+        wall_ms: u64,
+        sims: u64,
+    },
+    TimedOut {
+        worker: u64,
+        ticket: Ticket,
+    },
+}
+
+fn push_ready(queue: &Queue, ticket: Ticket) {
+    let (lock, cvar) = &**queue;
+    lock.lock().expect("queue lock").ready.push_back(ticket);
+    cvar.notify_one();
+}
+
+/// Renders the `n/a` placeholder a failed or timed-out job degrades to.
+fn placeholder(job: &Job, outcome: JobOutcome, detail: &str) -> RenderedTable {
+    let mut t = Table::new(&job.id, &job.title, "status");
+    t.columns(["result"]);
+    t.row(outcome.tag(), [Cell::Missing]);
+    t.note(format!("experiment did not complete: {detail}"));
+    let mut rendered = RenderedTable::from_table(&t);
+    // The status row is a marker, not data: the job stays "empty".
+    rendered.rows = 0;
+    rendered
+}
+
+/// The worker thread body: pull tickets, run jobs under
+/// `catch_unwind`, report results — unless the watchdog abandoned us.
+fn worker_loop(
+    worker_id: u64,
+    jobs: Arc<Vec<Job>>,
+    config: RunnerConfig,
+    queue: Queue,
+    watch: Watch,
+    out: mpsc::Sender<Msg>,
+) {
+    let build_lab = |cfg: &RunnerConfig| {
+        let mut lab = Lab::new(cfg.scale);
+        if let Some(trace) = &cfg.trace {
+            lab.enable_trace(trace.clone());
+            lab.set_trace_filter(cfg.trace_filter.as_deref());
+        }
+        lab
+    };
+    let mut lab = build_lab(&config);
+    let mut runs_before = 0u64;
+    loop {
+        let ticket = {
+            let (lock, cvar) = &*queue;
+            let mut state = lock.lock().expect("queue lock");
+            loop {
+                if let Some(t) = state.ready.pop_front() {
+                    break t;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = cvar.wait(state).expect("queue lock");
+            }
+        };
+        let job = &jobs[ticket.job];
+        {
+            let (lock, cvar) = &*watch;
+            let deadline = config
+                .deadline_per_cost
+                .map(|d| Instant::now() + d * job.cost.max(1));
+            lock.lock()
+                .expect("watch lock")
+                .running
+                .insert(worker_id, RunningEntry { ticket, deadline });
+            // Wake the watchdog so it re-arms for this attempt's deadline.
+            cvar.notify_one();
+        }
+        if let Some(delay) = config.job_delay {
+            std::thread::sleep(delay);
+        }
+        let start = Instant::now();
+        lab.set_trace_context(&job.id);
+        let work = Arc::clone(&job.work);
+        let outcome = catch_unwind(AssertUnwindSafe(|| work(&mut lab)));
+        let wall_ms = start.elapsed().as_millis() as u64;
+        // If the watchdog expired our deadline it removed our entry and
+        // already settled the job; this worker is abandoned and a
+        // replacement has taken its place — exit without reporting.
+        let abandoned = {
+            let (lock, _) = &*watch;
+            lock.lock()
+                .expect("watch lock")
+                .running
+                .remove(&worker_id)
+                .is_none()
+        };
+        if abandoned {
+            obs_debug!("worker {worker_id}: abandoned after deadline, exiting");
+            return;
+        }
+        let sims = lab.runs() - runs_before;
+        runs_before = lab.runs();
+        let result = match outcome {
+            Ok(r) => r,
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic (non-string payload)".to_string());
+                // The lab may hold partial memoized state from the
+                // panicked experiment; rebuild it from scratch.
+                lab = build_lab(&config);
+                runs_before = 0;
+                Err(format!("panic: {msg}"))
+            }
+        };
+        if out
+            .send(Msg::Done {
+                ticket,
+                result,
+                wall_ms,
+                sims,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// The watchdog thread body: expire deadlines, release due retries.
+fn watchdog_loop(watch: Watch, queue: Queue, out: mpsc::Sender<Msg>) {
+    let (lock, cvar) = &*watch;
+    let mut state = lock.lock().expect("watch lock");
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Expire deadlines: remove the running entry (abandoning the
+        // worker) and report the timeout.
+        let expired: Vec<u64> = state
+            .running
+            .iter()
+            .filter(|(_, e)| e.deadline.is_some_and(|d| d <= now))
+            .map(|(w, _)| *w)
+            .collect();
+        for worker in expired {
+            if let Some(entry) = state.running.remove(&worker) {
+                if out
+                    .send(Msg::TimedOut {
+                        worker,
+                        ticket: entry.ticket,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+        // Release retries whose backoff has elapsed.
+        let mut due = Vec::new();
+        state.delayed.retain(|(at, ticket)| {
+            if *at <= now {
+                due.push(*ticket);
+                false
+            } else {
+                true
+            }
+        });
+        for ticket in due {
+            push_ready(&queue, ticket);
+        }
+        // Sleep until the next deadline or retry, or until notified.
+        let next = state
+            .running
+            .values()
+            .filter_map(|e| e.deadline)
+            .chain(state.delayed.iter().map(|(at, _)| *at))
+            .min();
+        state = match next {
+            Some(at) => {
+                let wait = at.saturating_duration_since(Instant::now());
+                cvar.wait_timeout(state, wait.max(Duration::from_millis(1)))
+                    .expect("watch lock")
+                    .0
+            }
+            None => cvar.wait(state).expect("watch lock"),
+        };
+    }
+}
+
+// ---------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------
+
+/// Executes jobs under supervision according to a [`RunnerConfig`].
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner with the given policy.
+    pub fn new(config: RunnerConfig) -> Self {
+        Runner { config }
+    }
+
+    /// The deterministic backoff before retry `attempt` of `job`:
+    /// `base * 2^(attempt-1)`, jittered by a seeded multiplier in
+    /// `[0.5, 1.5)`. Same seed, same job, same attempt — same delay.
+    pub fn backoff_delay(&self, job: usize, attempt: u32) -> Duration {
+        let base = self.config.backoff_base;
+        let exp = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
+        let seed = self
+            .config
+            .backoff_seed
+            .wrapping_add((job as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(u64::from(attempt));
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        exp.mul_f64(0.5 + rng.gen_f64())
+    }
+
+    /// Runs `jobs` to completion (every job settles) and returns the
+    /// per-job results in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal I/O errors; job failures are *outcomes*,
+    /// not errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two jobs share an id (the journal could not tell them
+    /// apart).
+    pub fn run(&self, jobs: Vec<Job>) -> io::Result<RunSummary> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for job in &jobs {
+                assert!(seen.insert(job.id.as_str()), "duplicate job id {}", job.id);
+            }
+        }
+        let mut results: Vec<Option<JobResult>> = vec![None; jobs.len()];
+
+        // Resume: replay journaled successes instead of re-running them.
+        let journal_path = self
+            .config
+            .journal_dir
+            .as_ref()
+            .map(|d| d.join(JOURNAL_FILE));
+        if self.config.resume {
+            if let Some(path) = &journal_path {
+                let replayed = load_journal(path)?;
+                for (idx, job) in jobs.iter().enumerate() {
+                    if let Some(mut prior) = replayed.get(&job.id).cloned() {
+                        prior.outcome = JobOutcome::Skipped;
+                        prior.attempts = 0;
+                        prior.replayed = true;
+                        results[idx] = Some(prior);
+                    }
+                }
+                let skipped = results.iter().flatten().count();
+                if skipped > 0 {
+                    obs_info!("resume: {skipped} job(s) replayed from {}", path.display());
+                }
+            }
+        }
+
+        // The runner's own event stream (job lifecycle) goes next to the
+        // journal; a probe write failure only loses observability.
+        let mut probe: Option<JsonlWriter<std::fs::File>> = match &self.config.journal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(JsonlWriter::new(
+                    std::fs::File::create(dir.join(RUNNER_EVENTS_FILE))?,
+                    None,
+                ))
+            }
+            None => None,
+        };
+        let mut emit = move |event: Event| {
+            if let Some(p) = &mut probe {
+                p.on_event(&event);
+            }
+        };
+
+        let jobs = Arc::new(jobs);
+        let queue: Queue = Arc::new((Mutex::new(QueueState::default()), Condvar::new()));
+        let watch: Watch = Arc::new((
+            Mutex::new(WatchState {
+                running: HashMap::new(),
+                delayed: Vec::new(),
+                shutdown: false,
+            }),
+            Condvar::new(),
+        ));
+        let (tx, rx) = mpsc::channel::<Msg>();
+
+        let workers = self.config.workers.max(1);
+        let mut handles: HashMap<u64, std::thread::JoinHandle<()>> = HashMap::new();
+        let mut next_worker_id = 0u64;
+        let worker_tx = tx.clone();
+        let mut spawn_worker = |handles: &mut HashMap<u64, std::thread::JoinHandle<()>>| {
+            let id = next_worker_id;
+            next_worker_id += 1;
+            let handle = {
+                let jobs = Arc::clone(&jobs);
+                let config = self.config.clone();
+                let queue = Arc::clone(&queue);
+                let watch = Arc::clone(&watch);
+                let tx = worker_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("cwp-worker-{id}"))
+                    .spawn(move || worker_loop(id, jobs, config, queue, watch, tx))
+                    .expect("spawn worker thread")
+            };
+            handles.insert(id, handle);
+        };
+        for _ in 0..workers {
+            spawn_worker(&mut handles);
+        }
+        let watchdog = {
+            let watch = Arc::clone(&watch);
+            let queue = Arc::clone(&queue);
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("cwp-watchdog".to_string())
+                .spawn(move || watchdog_loop(watch, queue, tx))
+                .expect("spawn watchdog thread")
+        };
+        drop(tx);
+
+        // Dispatch every job not already settled by resume replay.
+        let mut attempts: Vec<u32> = vec![0; jobs.len()];
+        let mut pending = 0usize;
+        for (idx, _) in jobs.iter().enumerate() {
+            if results[idx].is_none() {
+                attempts[idx] = 1;
+                emit(Event::JobStart {
+                    job: idx as u32,
+                    attempt: 1,
+                });
+                push_ready(
+                    &queue,
+                    Ticket {
+                        job: idx,
+                        attempt: 1,
+                    },
+                );
+                pending += 1;
+            }
+        }
+
+        let mut simulations = 0u64;
+        let mut settled = 0usize;
+        let settle = |idx: usize,
+                      result: JobResult,
+                      results: &mut Vec<Option<JobResult>>,
+                      emit: &mut dyn FnMut(Event)|
+         -> io::Result<()> {
+            emit(Event::JobEnd {
+                job: idx as u32,
+                attempt: result.attempts,
+                ok: result.outcome == JobOutcome::Ok,
+                wall_ms: result.wall_ms,
+            });
+            results[idx] = Some(result);
+            if let Some(path) = &journal_path {
+                let lines: Vec<Json> = results.iter().flatten().map(JobResult::to_json).collect();
+                write_jsonl_atomic(path, &lines)?;
+            }
+            Ok(())
+        };
+
+        while settled < pending {
+            let msg = rx.recv().expect("workers alive while jobs pending");
+            match msg {
+                Msg::Done {
+                    ticket,
+                    result,
+                    wall_ms,
+                    sims,
+                } => {
+                    simulations += sims;
+                    if results[ticket.job].is_some() || ticket.attempt != attempts[ticket.job] {
+                        continue; // stale report from a superseded attempt
+                    }
+                    let job = &jobs[ticket.job];
+                    match result {
+                        Ok(tables) => {
+                            let rendered = tables.iter().map(RenderedTable::from_table).collect();
+                            settle(
+                                ticket.job,
+                                JobResult {
+                                    id: job.id.clone(),
+                                    title: job.title.clone(),
+                                    outcome: JobOutcome::Ok,
+                                    attempts: ticket.attempt,
+                                    wall_ms,
+                                    error: None,
+                                    tables: rendered,
+                                    replayed: false,
+                                },
+                                &mut results,
+                                &mut emit,
+                            )?;
+                            settled += 1;
+                        }
+                        Err(error) if ticket.attempt <= self.config.retries => {
+                            let next = ticket.attempt + 1;
+                            let delay = self.backoff_delay(ticket.job, ticket.attempt);
+                            obs_warn!(
+                                "{}: attempt {} failed ({error}); retrying in {:?}",
+                                job.id,
+                                ticket.attempt,
+                                delay
+                            );
+                            emit(Event::JobRetry {
+                                job: ticket.job as u32,
+                                attempt: ticket.attempt,
+                                delay_ms: delay.as_millis() as u64,
+                            });
+                            emit(Event::JobStart {
+                                job: ticket.job as u32,
+                                attempt: next,
+                            });
+                            attempts[ticket.job] = next;
+                            let (lock, cvar) = &*watch;
+                            lock.lock().expect("watch lock").delayed.push((
+                                Instant::now() + delay,
+                                Ticket {
+                                    job: ticket.job,
+                                    attempt: next,
+                                },
+                            ));
+                            cvar.notify_one();
+                        }
+                        Err(error) => {
+                            obs_warn!(
+                                "{}: failed for good after {} attempt(s): {error}",
+                                job.id,
+                                ticket.attempt
+                            );
+                            let table = placeholder(job, JobOutcome::Failed, &error);
+                            settle(
+                                ticket.job,
+                                JobResult {
+                                    id: job.id.clone(),
+                                    title: job.title.clone(),
+                                    outcome: JobOutcome::Failed,
+                                    attempts: ticket.attempt,
+                                    wall_ms,
+                                    error: Some(error),
+                                    tables: vec![table],
+                                    replayed: false,
+                                },
+                                &mut results,
+                                &mut emit,
+                            )?;
+                            settled += 1;
+                        }
+                    }
+                }
+                Msg::TimedOut { worker, ticket } => {
+                    if results[ticket.job].is_some() || ticket.attempt != attempts[ticket.job] {
+                        continue;
+                    }
+                    let job = &jobs[ticket.job];
+                    let deadline = self
+                        .config
+                        .deadline_per_cost
+                        .map(|d| d * job.cost.max(1))
+                        .unwrap_or_default();
+                    let detail = format!("exceeded its {deadline:?} deadline");
+                    obs_warn!("{}: {detail}; abandoning worker {worker}", job.id);
+                    // The stuck worker keeps running until it notices its
+                    // abandonment; replace it so throughput is preserved.
+                    handles.remove(&worker);
+                    spawn_worker(&mut handles);
+                    let table = placeholder(job, JobOutcome::TimedOut, &detail);
+                    settle(
+                        ticket.job,
+                        JobResult {
+                            id: job.id.clone(),
+                            title: job.title.clone(),
+                            outcome: JobOutcome::TimedOut,
+                            attempts: ticket.attempt,
+                            wall_ms: deadline.as_millis() as u64,
+                            error: Some(detail),
+                            tables: vec![table],
+                            replayed: false,
+                        },
+                        &mut results,
+                        &mut emit,
+                    )?;
+                    settled += 1;
+                }
+            }
+        }
+
+        // Shut everything down and join the workers we did not abandon.
+        {
+            let (lock, cvar) = &*queue;
+            lock.lock().expect("queue lock").shutdown = true;
+            cvar.notify_all();
+        }
+        {
+            let (lock, cvar) = &*watch;
+            lock.lock().expect("watch lock").shutdown = true;
+            cvar.notify_all();
+        }
+        for (_, handle) in handles {
+            let _ = handle.join();
+        }
+        let _ = watchdog.join();
+
+        Ok(RunSummary {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("all settled"))
+                .collect(),
+            simulations,
+        })
+    }
+}
+
+/// Reads the checkpoint journal tolerantly, returning finished (`ok`)
+/// results keyed by job id. A missing journal is an empty map; a torn
+/// final line is tolerated (the crash the journal exists to survive).
+fn load_journal(path: &Path) -> io::Result<HashMap<String, JobResult>> {
+    if !path.exists() {
+        return Ok(HashMap::new());
+    }
+    let doc = read_jsonl_tolerant(path)?;
+    if doc.truncated {
+        obs_warn!(
+            "{}: journal ends in a partially-written line; ignoring it",
+            path.display()
+        );
+    }
+    let mut map = HashMap::new();
+    for line in &doc.lines {
+        if let Some(result) = JobResult::from_json(line) {
+            if result.outcome == JobOutcome::Ok {
+                map.insert(result.id.clone(), result);
+            }
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn table_for(id: &str) -> Table {
+        let mut t = Table::new(id, format!("{id} title"), "x");
+        t.columns(["v"]);
+        t.row("r", [Cell::Num(1.0)]);
+        t
+    }
+
+    fn ok_job(id: &str) -> Job {
+        let id_owned = id.to_string();
+        Job::new(id, format!("{id} title"), 1, move |_lab| {
+            Ok(vec![table_for(&id_owned)])
+        })
+    }
+
+    fn config() -> RunnerConfig {
+        let mut c = RunnerConfig::new(Scale::Test);
+        c.backoff_base = Duration::from_millis(1);
+        c
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cwp-runner-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let mut c = config();
+        c.workers = 4;
+        let jobs: Vec<Job> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|id| ok_job(id))
+            .collect();
+        let summary = Runner::new(c).run(jobs).unwrap();
+        let ids: Vec<&str> = summary.results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "c", "d", "e"]);
+        assert_eq!(summary.count(JobOutcome::Ok), 5);
+        assert_eq!(summary.failures(), 0);
+        assert!(summary.results.iter().all(|r| r.attempts == 1));
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated_retried_and_degraded() {
+        let mut c = config();
+        c.workers = 2;
+        c.retries = 1;
+        let jobs = vec![
+            ok_job("good"),
+            Job::new(
+                "bad",
+                "always panics",
+                1,
+                |_lab| -> Result<Vec<Table>, String> { panic!("intentional test panic") },
+            ),
+        ];
+        let summary = Runner::new(c).run(jobs).unwrap();
+        assert_eq!(summary.results[0].outcome, JobOutcome::Ok);
+        let bad = &summary.results[1];
+        assert_eq!(bad.outcome, JobOutcome::Failed);
+        assert_eq!(bad.attempts, 2, "one retry after the first panic");
+        assert!(bad.error.as_deref().unwrap().contains("intentional"));
+        assert!(bad.is_empty(), "failed jobs degrade to an n/a placeholder");
+        assert!(bad.tables[0].markdown.contains("n/a"));
+        assert_eq!(summary.retried(), 1);
+        assert_eq!(summary.failures(), 1);
+    }
+
+    #[test]
+    fn a_flaky_job_recovers_within_its_retry_budget() {
+        let mut c = config();
+        c.retries = 2;
+        let tries = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&tries);
+        let jobs = vec![Job::new("flaky", "third time lucky", 1, move |_lab| {
+            if counter.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("transient".to_string())
+            } else {
+                Ok(vec![table_for("flaky")])
+            }
+        })];
+        let summary = Runner::new(c).run(jobs).unwrap();
+        let r = &summary.results[0];
+        assert_eq!(r.outcome, JobOutcome::Ok);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn a_hung_job_times_out_and_the_run_continues() {
+        let mut c = config();
+        c.workers = 1;
+        c.retries = 0;
+        c.deadline_per_cost = Some(Duration::from_millis(40));
+        let jobs = vec![
+            Job::new("hang", "sleeps past deadline", 1, |_lab| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(vec![table_for("hang")])
+            }),
+            ok_job("after"),
+        ];
+        let summary = Runner::new(c).run(jobs).unwrap();
+        assert_eq!(summary.results[0].outcome, JobOutcome::TimedOut);
+        assert!(summary.results[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("deadline"));
+        assert_eq!(
+            summary.results[1].outcome,
+            JobOutcome::Ok,
+            "a replacement worker ran the remaining job"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let runner = Runner::new(config());
+        let d1 = runner.backoff_delay(3, 1);
+        let d2 = runner.backoff_delay(3, 2);
+        assert_eq!(d1, runner.backoff_delay(3, 1), "same seed, same delay");
+        assert!(d2 > d1, "attempt 2 backs off longer: {d1:?} vs {d2:?}");
+        assert_ne!(
+            runner.backoff_delay(4, 1),
+            d1,
+            "different jobs jitter differently"
+        );
+    }
+
+    #[test]
+    fn journal_round_trips_and_resume_replays_finished_jobs() {
+        let dir = tmpdir("resume");
+        let ran = Arc::new(AtomicU32::new(0));
+
+        let mut c = config();
+        c.journal_dir = Some(dir.clone());
+        c.retries = 0;
+        let counter = Arc::clone(&ran);
+        let jobs = vec![
+            ok_job("done"),
+            Job::new("broken", "fails first run", 1, move |_lab| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Err("first run fails".to_string())
+            }),
+        ];
+        let summary = Runner::new(c).run(jobs).unwrap();
+        assert_eq!(summary.count(JobOutcome::Ok), 1);
+        assert_eq!(summary.count(JobOutcome::Failed), 1);
+        let first_markdown = summary.results[0].tables[0].markdown.clone();
+
+        // Second run resumes: "done" replays without re-running, the
+        // previously failed job runs again and now succeeds.
+        let mut c = config();
+        c.journal_dir = Some(dir.clone());
+        c.resume = true;
+        c.retries = 0;
+        let jobs = vec![
+            Job::new(
+                "done",
+                "must not re-run",
+                1,
+                |_lab| -> Result<Vec<Table>, String> {
+                    panic!("resume must not re-run a journaled job")
+                },
+            ),
+            ok_job("broken"),
+        ];
+        let summary = Runner::new(c).run(jobs).unwrap();
+        let done = &summary.results[0];
+        assert_eq!(done.outcome, JobOutcome::Skipped);
+        assert!(done.replayed);
+        assert_eq!(done.attempts, 0);
+        assert_eq!(
+            done.tables[0].markdown, first_markdown,
+            "byte-identical replay"
+        );
+        assert_eq!(summary.results[1].outcome, JobOutcome::Ok);
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "failed job ran once per run");
+
+        // The journal now records both as ok, so a third resume skips
+        // everything (resume-of-a-resume).
+        let journal = load_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_torn_journal_line_is_tolerated_on_resume() {
+        let dir = tmpdir("torn");
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = String::new();
+        JobResult {
+            id: "whole".to_string(),
+            title: "t".to_string(),
+            outcome: JobOutcome::Ok,
+            attempts: 1,
+            wall_ms: 1,
+            error: None,
+            tables: vec![RenderedTable::from_table(&table_for("whole"))],
+            replayed: false,
+        }
+        .to_json()
+        .write(&mut text);
+        text.push_str("\n{\"job\":\"torn\",\"outco");
+        std::fs::write(&path, text).unwrap();
+        let journal = load_journal(&path).unwrap();
+        assert_eq!(journal.len(), 1);
+        assert!(journal.contains_key("whole"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_successes_count_as_failures() {
+        let jobs = vec![Job::new("hollow", "no rows", 1, |_lab| {
+            let mut t = Table::new("hollow", "no rows", "x");
+            t.columns(["v"]);
+            Ok(vec![t])
+        })];
+        let summary = Runner::new(config()).run(jobs).unwrap();
+        assert_eq!(summary.results[0].outcome, JobOutcome::Ok);
+        assert_eq!(summary.empty(), 1);
+        assert_eq!(summary.failures(), 1);
+        assert!(
+            summary.describe().contains("1 empty"),
+            "{}",
+            summary.describe()
+        );
+    }
+
+    #[test]
+    fn from_experiment_runs_the_real_thing() {
+        let e = crate::experiments::by_id("table2").unwrap();
+        let job = Job::from_experiment(&e);
+        assert_eq!(job.id, "table2");
+        let summary = Runner::new(config()).run(vec![job]).unwrap();
+        assert_eq!(summary.results[0].outcome, JobOutcome::Ok);
+        assert!(!summary.results[0].is_empty());
+    }
+}

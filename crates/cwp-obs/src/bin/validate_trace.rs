@@ -25,8 +25,13 @@ fn main() -> ExitCode {
         match validate_trace_dir(Path::new(arg)) {
             Ok(reports) => {
                 for r in &reports {
+                    let tail = if r.truncated {
+                        "; WARNING: torn final line tolerated"
+                    } else {
+                        ""
+                    };
                     println!(
-                        "ok: {} ({} events, {} windows, {} refs)",
+                        "ok: {} ({} events, {} windows, {} refs{tail})",
                         r.dir.display(),
                         r.events,
                         r.windows,

@@ -206,6 +206,34 @@ pub enum Event {
         /// bound ran out and the corrupted bytes were delivered.
         retried: bool,
     },
+    /// The experiment runner dispatched a job attempt to a worker.
+    JobStart {
+        /// Index of the job in the run's job list.
+        job: u32,
+        /// Attempt number, starting at 1.
+        attempt: u32,
+    },
+    /// The experiment runner scheduled a retry after a failed attempt.
+    JobRetry {
+        /// Index of the job in the run's job list.
+        job: u32,
+        /// The attempt that failed.
+        attempt: u32,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
+    },
+    /// A job settled: its final attempt finished, failed for good, or
+    /// exceeded its deadline.
+    JobEnd {
+        /// Index of the job in the run's job list.
+        job: u32,
+        /// The final attempt number.
+        attempt: u32,
+        /// `true` when the job produced its tables.
+        ok: bool,
+        /// Wall-clock time of the final attempt, in milliseconds.
+        wall_ms: u64,
+    },
 }
 
 /// A receiver for the typed event stream.

@@ -114,12 +114,15 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::FaultResolved { .. } => "fault_resolved",
             Event::TransitFault { .. } => "transit_fault",
+            Event::JobStart { .. } => "job_start",
+            Event::JobRetry { .. } => "job_retry",
+            Event::JobEnd { .. } => "job_end",
         }
     }
 
     /// All `"ev"` tags, in declaration order — the schema the offline
     /// validator checks traces against.
-    pub const TAGS: [&'static str; 20] = [
+    pub const TAGS: [&'static str; 23] = [
         "access",
         "read_hit",
         "read_miss",
@@ -140,6 +143,9 @@ impl Event {
         "fault_injected",
         "fault_resolved",
         "transit_fault",
+        "job_start",
+        "job_retry",
+        "job_end",
     ];
 
     /// Converts the event to its JSON object form (without a `seq`).
@@ -237,6 +243,33 @@ impl Event {
                 ("bytes", Json::UInt(u64::from(bytes))),
                 ("retried", Json::Bool(retried)),
             ]),
+            Event::JobStart { job, attempt } => Json::obj([
+                ev,
+                ("job", Json::UInt(u64::from(job))),
+                ("attempt", Json::UInt(u64::from(attempt))),
+            ]),
+            Event::JobRetry {
+                job,
+                attempt,
+                delay_ms,
+            } => Json::obj([
+                ev,
+                ("job", Json::UInt(u64::from(job))),
+                ("attempt", Json::UInt(u64::from(attempt))),
+                ("delay_ms", Json::UInt(delay_ms)),
+            ]),
+            Event::JobEnd {
+                job,
+                attempt,
+                ok,
+                wall_ms,
+            } => Json::obj([
+                ev,
+                ("job", Json::UInt(u64::from(job))),
+                ("attempt", Json::UInt(u64::from(attempt))),
+                ("ok", Json::Bool(ok)),
+                ("wall_ms", Json::UInt(wall_ms)),
+            ]),
         }
     }
 
@@ -327,6 +360,21 @@ impl Event {
                 addr: u64_of("addr")?,
                 bytes: u32_of("bytes")?,
                 retried: bool_of("retried")?,
+            },
+            "job_start" => Event::JobStart {
+                job: u32_of("job")?,
+                attempt: u32_of("attempt")?,
+            },
+            "job_retry" => Event::JobRetry {
+                job: u32_of("job")?,
+                attempt: u32_of("attempt")?,
+                delay_ms: u64_of("delay_ms")?,
+            },
+            "job_end" => Event::JobEnd {
+                job: u32_of("job")?,
+                attempt: u32_of("attempt")?,
+                ok: bool_of("ok")?,
+                wall_ms: u64_of("wall_ms")?,
             },
             _ => return None,
         })
@@ -422,6 +470,86 @@ impl<W: Write> Probe for JsonlWriter<W> {
     }
 }
 
+/// A JSONL document read back tolerantly: the valid-prefix lines, plus
+/// whether the file lost its final line to a crash mid-write.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonlDocument {
+    /// The parsed lines, in file order.
+    pub lines: Vec<Json>,
+    /// `true` when the last line of the file failed to parse — the
+    /// signature of a process killed mid-write. The valid prefix is
+    /// still returned in `lines`.
+    pub truncated: bool,
+}
+
+/// Reads a JSONL file, tolerating a partially-written final line.
+///
+/// Crash-safe consumers (the experiment runner's checkpoint journal,
+/// `validate_trace`) must survive a SIGKILL landing mid-write: the only
+/// damage an append-style writer can leave is an incomplete last line,
+/// which is reported via [`JsonlDocument::truncated`] instead of an
+/// error. A parse failure on any *earlier* line is real corruption and
+/// still fails.
+///
+/// # Errors
+///
+/// Fails on I/O errors or malformed JSON before the final line; the
+/// error message names the offending line number.
+pub fn read_jsonl_tolerant(path: &std::path::Path) -> io::Result<JsonlDocument> {
+    let text = std::fs::read_to_string(path)?;
+    let numbered: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut lines = Vec::with_capacity(numbered.len());
+    let last = numbered.len().saturating_sub(1);
+    for (i, (lineno, line)) in numbered.iter().enumerate() {
+        match Json::parse(line) {
+            Ok(json) => lines.push(json),
+            Err(_) if i == last => {
+                return Ok(JsonlDocument {
+                    lines,
+                    truncated: true,
+                });
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: line {}: {e}", path.display(), lineno + 1),
+                ));
+            }
+        }
+    }
+    Ok(JsonlDocument {
+        lines,
+        truncated: false,
+    })
+}
+
+/// Writes a JSONL file atomically: the lines go to a `.tmp` sibling
+/// first, which is then renamed over `path`, so readers (and crashed
+/// writers) only ever observe the old complete file or the new one.
+///
+/// # Errors
+///
+/// Fails on I/O errors creating, writing, or renaming the file.
+pub fn write_jsonl_atomic(path: &std::path::Path, lines: &[Json]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut text = String::new();
+    for line in lines {
+        line.write(&mut text);
+        text.push('\n');
+    }
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Reads a JSONL event stream back, in order.
 ///
 /// # Errors
@@ -509,6 +637,18 @@ mod tests {
                 bytes: 16,
                 retried: false,
             },
+            Event::JobStart { job: 3, attempt: 1 },
+            Event::JobRetry {
+                job: 3,
+                attempt: 1,
+                delay_ms: 250,
+            },
+            Event::JobEnd {
+                job: 3,
+                attempt: 2,
+                ok: true,
+                wall_ms: 1234,
+            },
         ]
     }
 
@@ -560,6 +700,54 @@ mod tests {
         let bytes = writer.finish().unwrap();
         let back = read_events(&bytes[..]).unwrap();
         assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn tolerant_reader_accepts_a_torn_final_line() {
+        let dir = std::env::temp_dir().join(format!("cwp-jsonl-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":3}").unwrap();
+        let doc = read_jsonl_tolerant(&path).unwrap();
+        assert_eq!(doc.lines.len(), 3, "an unterminated but valid line is kept");
+        assert!(!doc.truncated);
+
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"c\":").unwrap();
+        let doc = read_jsonl_tolerant(&path).unwrap();
+        assert_eq!(doc.lines.len(), 2, "the torn line is dropped");
+        assert!(doc.truncated);
+        assert_eq!(doc.lines[1].get("b").and_then(Json::as_u64), Some(2));
+
+        std::fs::write(&path, "{\"a\":}\n{\"b\":2}\n").unwrap();
+        let err = read_jsonl_tolerant(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("line 1"),
+            "mid-file corruption is a real error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_writer_round_trips_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("cwp-jsonl-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let first = vec![Json::obj([("job", Json::Str("fig01".into()))])];
+        write_jsonl_atomic(&path, &first).unwrap();
+        let second = vec![
+            first[0].clone(),
+            Json::obj([("job", Json::Str("fig02".into()))]),
+        ];
+        write_jsonl_atomic(&path, &second).unwrap();
+        let doc = read_jsonl_tolerant(&path).unwrap();
+        assert_eq!(doc.lines, second);
+        assert!(!doc.truncated);
+        assert!(
+            !path.with_file_name("journal.jsonl.tmp").exists(),
+            "the tmp file is renamed away"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

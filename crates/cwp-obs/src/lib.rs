@@ -41,7 +41,7 @@ pub use event::{
     Tee, WriteMissAction,
 };
 pub use json::{Json, JsonError};
-pub use jsonl::{read_events, JsonlWriter};
+pub use jsonl::{read_events, read_jsonl_tolerant, write_jsonl_atomic, JsonlDocument, JsonlWriter};
 pub use log::{enabled, level, set_level, Level};
-pub use manifest::{git_revision, RunManifest};
+pub use manifest::{git_revision, RunManifest, MANIFEST_OUTCOMES};
 pub use sampler::{WindowRow, WindowSampler, CSV_COLUMNS};

@@ -41,7 +41,14 @@ pub struct RunManifest {
     /// `true` when the sampler's window sums matched the run's
     /// `CacheStats`/`Traffic` totals exactly.
     pub reconciled: bool,
+    /// How the run ended, when written by a supervised runner: one of
+    /// [`MANIFEST_OUTCOMES`]. `None` on manifests from before the
+    /// runner existed.
+    pub outcome: Option<String>,
 }
+
+/// The outcome tags a manifest's `outcome` field may carry.
+pub const MANIFEST_OUTCOMES: [&str; 4] = ["ok", "failed", "timed_out", "skipped"];
 
 impl RunManifest {
     /// Serializes the manifest as a JSON object.
@@ -74,6 +81,13 @@ impl RunManifest {
                 ),
             ),
             ("reconciled", Json::Bool(self.reconciled)),
+            (
+                "outcome",
+                match &self.outcome {
+                    Some(tag) => Json::Str(tag.clone()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -102,6 +116,7 @@ impl RunManifest {
             events_dropped: u64_of("events_dropped")?,
             totals,
             reconciled: json.get("reconciled").and_then(Json::as_bool)?,
+            outcome: str_of("outcome"),
         })
     }
 }
@@ -163,6 +178,7 @@ mod tests {
             events_dropped: 0,
             totals: vec![("reads".to_string(), 8000), ("writes".to_string(), 2000)],
             reconciled: true,
+            outcome: Some("ok".to_string()),
         }
     }
 
@@ -181,6 +197,22 @@ mod tests {
         let json = m.to_json();
         assert_eq!(json.get("git_rev"), Some(&Json::Null));
         assert_eq!(RunManifest::from_json(&json).unwrap().git_rev, None);
+    }
+
+    #[test]
+    fn outcome_is_optional_for_pre_runner_manifests() {
+        let mut m = sample();
+        m.outcome = None;
+        let json = m.to_json();
+        assert_eq!(json.get("outcome"), Some(&Json::Null));
+        assert_eq!(RunManifest::from_json(&json).unwrap().outcome, None);
+        // A manifest written before the field existed parses too.
+        let Json::Obj(mut pairs) = json else {
+            panic!("manifest json is an object")
+        };
+        pairs.retain(|(k, _)| k != "outcome");
+        let old = RunManifest::from_json(&Json::Obj(pairs)).unwrap();
+        assert_eq!(old.outcome, None);
     }
 
     #[test]

@@ -502,6 +502,9 @@ impl Probe for WindowSampler {
                     cur.transit_retried += 1;
                 }
             }
+            // Runner lifecycle events are per-job, not per-access; they
+            // carry no window-summable counter.
+            Event::JobStart { .. } | Event::JobRetry { .. } | Event::JobEnd { .. } => {}
         }
         self.touched = true;
     }

@@ -33,47 +33,88 @@ pub struct RunReport {
     pub windows: u64,
     /// Sum of the `refs` column over all windows.
     pub total_refs: u64,
+    /// `true` when `events.jsonl` ended in a partially-written line —
+    /// the signature of a crash mid-write. The `events` count is the
+    /// valid prefix; the torn tail is reported as a warning, not an
+    /// error.
+    pub truncated: bool,
+}
+
+/// The outcome of validating an `events.jsonl` stream: the valid-prefix
+/// event count, and whether the final line was torn by a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventsReport {
+    /// Events that validated (the valid prefix when `truncated`).
+    pub events: u64,
+    /// `true` when the last line failed validation — tolerated as a
+    /// crash mid-write rather than reported as corruption.
+    pub truncated: bool,
 }
 
 /// Validates `events.jsonl` content: parse, schema, and `seq` order.
 ///
+/// A validation failure on the *final* line is tolerated as truncation
+/// (a process killed mid-write can only tear the last line) and
+/// reported via [`EventsReport::truncated`] with the valid-prefix
+/// count. A failure on any earlier line is real corruption.
+///
 /// # Errors
 ///
-/// Returns a message naming the first offending line.
-pub fn validate_events(text: &str) -> Result<u64, String> {
+/// Returns a message naming the first offending non-final line.
+pub fn validate_events(text: &str) -> Result<EventsReport, String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let last = lines.len().saturating_sub(1);
     let mut expected_seq = 0u64;
-    for (idx, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
+    for (i, (idx, line)) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let json = Json::parse(line).map_err(|e| format!("events.jsonl line {lineno}: {e}"))?;
-        let seq = json
-            .get("seq")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("events.jsonl line {lineno}: missing seq"))?;
-        if seq != expected_seq {
-            return Err(format!(
-                "events.jsonl line {lineno}: seq {seq}, expected {expected_seq}"
-            ));
+        match validate_event_line(line, expected_seq, lineno) {
+            Ok(()) => expected_seq += 1,
+            Err(_) if i == last => {
+                return Ok(EventsReport {
+                    events: expected_seq,
+                    truncated: true,
+                })
+            }
+            Err(e) => return Err(e),
         }
-        let tag = json
-            .get("ev")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("events.jsonl line {lineno}: missing ev tag"))?;
-        if !Event::TAGS.contains(&tag) {
-            return Err(format!(
-                "events.jsonl line {lineno}: unknown event tag {tag:?}"
-            ));
-        }
-        if Event::from_json(&json).is_none() {
-            return Err(format!(
-                "events.jsonl line {lineno}: event {tag:?} has missing or mistyped fields"
-            ));
-        }
-        expected_seq += 1;
     }
-    Ok(expected_seq)
+    Ok(EventsReport {
+        events: expected_seq,
+        truncated: false,
+    })
+}
+
+/// Checks one JSONL line: parse, `seq` order, known tag, full fields.
+fn validate_event_line(line: &str, expected_seq: u64, lineno: usize) -> Result<(), String> {
+    let json = Json::parse(line).map_err(|e| format!("events.jsonl line {lineno}: {e}"))?;
+    let seq = json
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("events.jsonl line {lineno}: missing seq"))?;
+    if seq != expected_seq {
+        return Err(format!(
+            "events.jsonl line {lineno}: seq {seq}, expected {expected_seq}"
+        ));
+    }
+    let tag = json
+        .get("ev")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("events.jsonl line {lineno}: missing ev tag"))?;
+    if !Event::TAGS.contains(&tag) {
+        return Err(format!(
+            "events.jsonl line {lineno}: unknown event tag {tag:?}"
+        ));
+    }
+    if Event::from_json(&json).is_none() {
+        return Err(format!(
+            "events.jsonl line {lineno}: event {tag:?} has missing or mistyped fields"
+        ));
+    }
+    Ok(())
 }
 
 /// Validates `windows.csv` content and returns (rows, sum of `refs`).
@@ -161,9 +202,36 @@ pub fn validate_run_dir(dir: &Path) -> Result<RunReport, String> {
         ));
     }
 
-    let events =
+    if let Some(outcome) = &manifest.outcome {
+        if !crate::manifest::MANIFEST_OUTCOMES.contains(&outcome.as_str()) {
+            return Err(format!(
+                "{}: manifest outcome {outcome:?} is not one of {:?}",
+                dir.display(),
+                crate::manifest::MANIFEST_OUTCOMES
+            ));
+        }
+    }
+
+    let EventsReport { events, truncated } =
         validate_events(&read("events.jsonl")?).map_err(|e| format!("{}: {e}", dir.display()))?;
-    if events != manifest.events_written {
+    if truncated {
+        // A torn final line means the writer was killed mid-append; the
+        // valid prefix is still usable, so warn instead of failing. The
+        // manifest (written after the event stream) may then record more
+        // events than survived.
+        crate::obs_warn!(
+            "{}: events.jsonl ends in a partially-written line; {} valid events kept",
+            dir.display(),
+            events
+        );
+        if events > manifest.events_written {
+            return Err(format!(
+                "{}: truncated events.jsonl has {events} events but manifest says only {}",
+                dir.display(),
+                manifest.events_written
+            ));
+        }
+    } else if events != manifest.events_written {
         return Err(format!(
             "{}: events.jsonl has {events} events but manifest says {}",
             dir.display(),
@@ -199,6 +267,7 @@ pub fn validate_run_dir(dir: &Path) -> Result<RunReport, String> {
         events,
         windows,
         total_refs,
+        truncated,
     })
 }
 
@@ -242,7 +311,7 @@ pub fn validate_trace_dir(root: &Path) -> Result<Vec<RunReport>, String> {
 /// # Errors
 ///
 /// As [`validate_events`], plus I/O errors.
-pub fn validate_events_file(path: &Path) -> Result<u64, String> {
+pub fn validate_events_file(path: &Path) -> Result<EventsReport, String> {
     let file = fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let mut text = String::new();
     use std::io::Read;
@@ -275,26 +344,59 @@ mod tests {
 
     #[test]
     fn valid_jsonl_passes() {
-        assert_eq!(validate_events(&sample_jsonl()), Ok(2));
+        assert_eq!(
+            validate_events(&sample_jsonl()),
+            Ok(EventsReport {
+                events: 2,
+                truncated: false
+            })
+        );
     }
 
     #[test]
-    fn seq_gaps_fail() {
-        let text = sample_jsonl().replace("\"seq\":1", "\"seq\":5");
+    fn seq_gaps_fail_when_not_on_the_last_line() {
+        let mut text = sample_jsonl().replace("\"seq\":1", "\"seq\":5");
+        text.push_str("{\"seq\":2,\"ev\":\"read_hit\",\"addr\":0}\n");
         let err = validate_events(&text).unwrap_err();
         assert!(err.contains("seq 5, expected 1"), "{err}");
     }
 
     #[test]
-    fn unknown_tags_fail() {
-        let err = validate_events("{\"seq\":0,\"ev\":\"martian\"}\n").unwrap_err();
+    fn unknown_tag_mid_stream_fails() {
+        let text = "{\"seq\":0,\"ev\":\"martian\"}\n{\"seq\":1,\"ev\":\"read_hit\",\"addr\":0}\n";
+        let err = validate_events(text).unwrap_err();
         assert!(err.contains("unknown event tag"), "{err}");
     }
 
     #[test]
-    fn missing_fields_fail() {
-        let err = validate_events("{\"seq\":0,\"ev\":\"read_hit\"}\n").unwrap_err();
+    fn missing_fields_mid_stream_fail() {
+        let text = "{\"seq\":0,\"ev\":\"read_hit\"}\n{\"seq\":1,\"ev\":\"read_hit\",\"addr\":0}\n";
+        let err = validate_events(text).unwrap_err();
         assert!(err.contains("missing or mistyped"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_line_reports_truncation_with_valid_prefix() {
+        let mut text = sample_jsonl();
+        text.push_str("{\"seq\":2,\"ev\":\"read_m"); // killed mid-write
+        assert_eq!(
+            validate_events(&text),
+            Ok(EventsReport {
+                events: 2,
+                truncated: true
+            })
+        );
+    }
+
+    #[test]
+    fn a_single_torn_line_is_an_empty_truncated_stream() {
+        assert_eq!(
+            validate_events("{\"seq\":0,\"ev\":\"acc"),
+            Ok(EventsReport {
+                events: 0,
+                truncated: true
+            })
+        );
     }
 
     #[test]

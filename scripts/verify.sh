@@ -21,10 +21,44 @@ cargo test -q --workspace --offline
 
 echo "==> traced experiment end-to-end (events.jsonl + windows.csv + manifest.json)"
 TRACE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-trace.XXXXXX")
-trap 'rm -rf "$TRACE_DIR"' EXIT
+KILL_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-kill.XXXXXX")
+trap 'rm -rf "$TRACE_DIR" "$KILL_DIR"' EXIT
 cargo run -q --release --offline -p cwp-core --bin figures -- \
     --scale test --quiet --trace "$TRACE_DIR" fig01 fig13 > /dev/null
 cargo run -q --release --offline -p cwp-obs --bin validate_trace -- "$TRACE_DIR" \
+    | tail -n 1
+
+echo "==> kill-and-resume smoke (checkpoint journal survives SIGKILL)"
+FIGURES=target/release/figures
+SMOKE_IDS="table1 fig01 fig02 fig10"
+# shellcheck disable=SC2086
+"$FIGURES" --scale test --jobs 1 --quiet $SMOKE_IDS > "$KILL_DIR/expected.md"
+# shellcheck disable=SC2086
+CWP_JOB_DELAY_MS=300 "$FIGURES" --scale test --jobs 1 --quiet \
+    --trace "$KILL_DIR/trace" $SMOKE_IDS > /dev/null 2>&1 &
+VICTIM=$!
+# Wait for at least one journaled success, then SIGKILL mid-grid.
+TRIES=0
+until grep -q '"outcome":"ok"' "$KILL_DIR/trace/checkpoint.jsonl" 2>/dev/null; do
+    TRIES=$((TRIES + 1))
+    if [ "$TRIES" -gt 1200 ]; then
+        echo "verify: victim run made no journal progress" >&2
+        kill -9 "$VICTIM" 2>/dev/null || true
+        exit 1
+    fi
+    if ! kill -0 "$VICTIM" 2>/dev/null; then
+        break # grid finished before the kill; resume degenerates to replay
+    fi
+    sleep 0.1
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+# shellcheck disable=SC2086
+"$FIGURES" --scale test --jobs 1 --quiet --resume "$KILL_DIR/trace" $SMOKE_IDS \
+    > "$KILL_DIR/resumed.md"
+cmp "$KILL_DIR/expected.md" "$KILL_DIR/resumed.md" \
+    || { echo "verify: resumed tables differ from uninterrupted run" >&2; exit 1; }
+cargo run -q --release --offline -p cwp-obs --bin validate_trace -- "$KILL_DIR/trace" \
     | tail -n 1
 
 echo "verify: OK"
