@@ -107,7 +107,7 @@ impl<P: Probe> ProbedMemoryCache<P> {
     }
 }
 
-impl<P> Cache<TrafficRecorder<MainMemory>, P> {
+impl<N: NextLevel, P> Cache<TrafficRecorder<N>, P> {
     /// The back-side traffic recorded so far.
     pub fn traffic(&self) -> Traffic {
         self.next.traffic()

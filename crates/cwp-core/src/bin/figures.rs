@@ -22,24 +22,29 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cwp_core::experiments;
 use cwp_core::runner::{Job, JobOutcome, Runner, RunnerConfig};
-use cwp_core::TraceOptions;
+use cwp_core::{TraceOptions, TraceStore};
 use cwp_obs::{obs_info, obs_warn, set_level, Level};
-use cwp_trace::Scale;
+use cwp_trace::{workloads, RecordedTrace, Scale};
 
 fn usage() -> &'static str {
     "usage: figures [--scale test|quick|paper|<factor>] [--csv] [--quiet]\n\
      \x20              [--jobs N] [--deadline SECS] [--retries N] [--resume DIR]\n\
      \x20              [--trace DIR] [--window N] [--max-events N] [--trace-workload W]\n\
+     \x20              [--save-traces DIR] [--load-traces DIR] [--no-trace-store]\n\
      \x20              <id>... | all | list\n\
      ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')\n\
      --jobs: worker threads (default: CPUs, capped at 8)\n\
      --deadline: seconds allowed per unit of experiment cost (default: none)\n\
      --retries: extra attempts for a failed experiment (default: 2)\n\
      --resume: re-open DIR's checkpoint journal, replay finished jobs\n\
+     --save-traces: record the six workload traces, write DIR/<name>.cwptrc\n\
+     --load-traces: replay DIR's .cwptrc files instead of regenerating\n\
+     --no-trace-store: record nothing, regenerate every simulation live\n\
      env: CWP_TRACE_DIR sets --trace; CWP_LOG sets verbosity (quiet..debug)"
 }
 
@@ -54,6 +59,9 @@ struct Cli {
     deadline: Option<f64>,
     retries: u32,
     resume: bool,
+    save_traces: Option<PathBuf>,
+    load_traces: Option<PathBuf>,
+    no_trace_store: bool,
     ids: Vec<String>,
 }
 
@@ -75,6 +83,9 @@ fn parse_args() -> Result<Cli, String> {
         deadline: None,
         retries: 2,
         resume: false,
+        save_traces: None,
+        load_traces: None,
+        no_trace_store: false,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -137,6 +148,13 @@ fn parse_args() -> Result<Cli, String> {
                 cli.trace_dir = Some(dir);
                 cli.resume = true;
             }
+            "--save-traces" => {
+                cli.save_traces = Some(PathBuf::from(value(&mut args, "--save-traces")?));
+            }
+            "--load-traces" => {
+                cli.load_traces = Some(PathBuf::from(value(&mut args, "--load-traces")?));
+            }
+            "--no-trace-store" => cli.no_trace_store = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -202,6 +220,58 @@ fn main() -> ExitCode {
         config.trace_filter = cli.trace_workload.clone();
         config.journal_dir = Some(PathBuf::from(dir));
     }
+    if cli.no_trace_store && (cli.load_traces.is_some() || cli.save_traces.is_some()) {
+        eprintln!("--no-trace-store cannot be combined with --load-traces/--save-traces");
+        return ExitCode::FAILURE;
+    }
+    let store = Arc::new(if cli.no_trace_store {
+        TraceStore::disabled(cli.scale)
+    } else {
+        TraceStore::new(cli.scale)
+    });
+    if let Some(dir) = &cli.load_traces {
+        // Loaded traces are trusted to match --scale: the file format
+        // carries the reference stream, not the scale it was captured at.
+        for w in workloads::suite() {
+            let path = dir.join(TraceStore::trace_file_name(w.name()));
+            if !path.exists() {
+                obs_warn!(
+                    "{}: no trace file; {} will be recorded live",
+                    path.display(),
+                    w.name()
+                );
+                continue;
+            }
+            match RecordedTrace::load(&path) {
+                Ok(trace) => {
+                    obs_info!("loaded {} ({} refs)", path.display(), trace.len());
+                    store.insert(w.name(), Arc::new(trace));
+                }
+                Err(e) => {
+                    eprintln!("figures: cannot load trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(dir) = &cli.save_traces {
+        for w in workloads::suite() {
+            if store.get_or_record(w.as_ref()).is_none() {
+                obs_warn!(
+                    "{} was not recorded (over budget); nothing to save",
+                    w.name()
+                );
+            }
+        }
+        match store.save_all(dir) {
+            Ok(files) => obs_info!("saved {} trace file(s) to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("figures: cannot save traces: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    config.trace_store = Some(store);
     // Test hook for the kill-and-resume integration tests: stretch every
     // attempt so a SIGKILL can land mid-grid deterministically.
     if let Ok(ms) = std::env::var("CWP_JOB_DELAY_MS") {

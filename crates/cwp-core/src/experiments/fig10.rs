@@ -28,6 +28,11 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
         "cache size",
     );
     t.columns(workload_columns());
+    // One fan-out replay pass per workload covers the whole size sweep.
+    let sweep: Vec<CacheConfig> = SIZES.iter().map(|&s| baseline(s, 16)).collect();
+    for name in WORKLOAD_NAMES {
+        lab.outcomes_sweep(name, &sweep);
+    }
     for size in SIZES {
         let config = baseline(size, 16);
         let values: Vec<Option<f64>> = WORKLOAD_NAMES

@@ -14,6 +14,11 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
         "line size",
     );
     t.columns(workload_columns());
+    // One fan-out replay pass per workload covers the whole line sweep.
+    let sweep: Vec<_> = LINES.iter().map(|&l| baseline(8 * 1024, l)).collect();
+    for name in WORKLOAD_NAMES {
+        lab.outcomes_sweep(name, &sweep);
+    }
     for line in LINES {
         let config = baseline(8 * 1024, line);
         let values: Vec<Option<f64>> = WORKLOAD_NAMES

@@ -51,6 +51,29 @@ pub fn run(lab: &mut Lab) -> Vec<Table> {
         "cache size",
     );
     t.columns(COLUMNS);
+    // One fan-out replay pass per workload covers both policies at every
+    // size before the per-point loop reads them back from the memo.
+    let sweep: Vec<CacheConfig> = SIZES
+        .iter()
+        .flat_map(|&size| {
+            let wt = CacheConfig::builder()
+                .size_bytes(size)
+                .line_bytes(16)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(WriteMissPolicy::FetchOnWrite)
+                .build()
+                .expect("geometry is valid");
+            let wb = wt
+                .to_builder()
+                .write_hit(WriteHitPolicy::WriteBack)
+                .build()
+                .expect("geometry is valid");
+            [wt, wb]
+        })
+        .collect();
+    for name in WORKLOAD_NAMES {
+        lab.outcomes_sweep(name, &sweep);
+    }
     for size in SIZES {
         let c = traffic_components(lab, size, 16);
         t.row(kb(size), c.map(Cell::Num));

@@ -48,6 +48,23 @@ pub fn reduction_tables(
     points: &[(String, u32, u32)],
     reduction: Reduction,
 ) -> Vec<Table> {
+    // Prime the lab's memo with one fan-out replay pass per workload:
+    // every (point, policy) pair below then hits the memo. With the
+    // trace store disabled this is a no-op and the loops simulate as
+    // they always did.
+    let sweep: Vec<CacheConfig> = points
+        .iter()
+        .flat_map(|(_, size, line)| {
+            std::iter::once(config(*size, *line, WriteMissPolicy::FetchOnWrite)).chain(
+                ALTERNATIVES
+                    .iter()
+                    .map(move |&policy| config(*size, *line, policy)),
+            )
+        })
+        .collect();
+    for name in WORKLOAD_NAMES {
+        lab.outcomes_sweep(name, &sweep);
+    }
     ALTERNATIVES
         .iter()
         .map(|&policy| {

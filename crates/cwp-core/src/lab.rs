@@ -7,8 +7,10 @@ use cwp_cache::CacheConfig;
 use cwp_obs::{obs_debug, obs_error};
 use cwp_trace::{workloads, MemRef, Scale, TraceSink, Workload};
 
-use crate::obs::{trace_simulation, TraceOptions};
-use crate::sim::{simulate, SimOutcome};
+use crate::obs::{trace_replay, trace_simulation, TraceOptions};
+use crate::sim::{replay, simulate, simulate_many, SimOutcome};
+use crate::store::TraceStore;
+use cwp_trace::RecordedTrace;
 
 /// One store extracted from a trace, with its arrival time in instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,7 @@ pub struct Lab {
     streams: HashMap<String, Arc<WriteStream>>,
     runs: u64,
     trace: Option<TraceState>,
+    store: Arc<TraceStore>,
 }
 
 impl Lab {
@@ -117,7 +120,30 @@ impl Lab {
             streams: HashMap::new(),
             runs: 0,
             trace: None,
+            store: Arc::new(TraceStore::new(scale)),
         }
+    }
+
+    /// Replaces the lab's private [`TraceStore`] with a shared one, so
+    /// several labs (e.g. the runner's worker pool) record each
+    /// workload once between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `store` was built for a different scale.
+    pub fn set_store(&mut self, store: Arc<TraceStore>) {
+        assert!(
+            store.scale() == self.scale,
+            "trace store scale {} does not match lab scale {}",
+            store.scale(),
+            self.scale
+        );
+        self.store = store;
+    }
+
+    /// The trace store backing this lab's simulations.
+    pub fn store(&self) -> &Arc<TraceStore> {
+        &self.store
     }
 
     /// Turns on tracing: every non-memoized simulation also writes
@@ -204,14 +230,21 @@ impl Lab {
 
     /// One actual simulation, traced when tracing is on and the workload
     /// passes the filter. A trace I/O failure is reported and the run
-    /// falls back to the untraced path — figures still come out.
+    /// falls back to the untraced path — figures still come out. The run
+    /// replays the store's recording when one exists, and drives the
+    /// generator live otherwise (store disabled or over budget).
     fn run_one(&mut self, idx: usize, config: &CacheConfig) -> SimOutcome {
         let w = self.workloads[idx].as_ref();
+        let recording = self.store.get_or_record(w);
+        let untraced = |rec: Option<&RecordedTrace>| match rec {
+            Some(rec) => replay(rec, config),
+            None => simulate(w, self.scale, config),
+        };
         let Some(trace) = &mut self.trace else {
-            return simulate(w, self.scale, config);
+            return untraced(recording.as_deref());
         };
         if trace.only.as_deref().is_some_and(|only| only != w.name()) {
-            return simulate(w, self.scale, config);
+            return untraced(recording.as_deref());
         }
         let dir =
             trace
@@ -223,14 +256,18 @@ impl Lab {
         let context = trace.context.clone();
         let options = trace.options.clone();
         obs_debug!("tracing {context}: {} @ {config}", w.name());
-        match trace_simulation(w, self.scale, config, &context, &options, &dir) {
+        let traced = match recording.as_deref() {
+            Some(rec) => trace_replay(w.name(), rec, self.scale, config, &context, &options, &dir),
+            None => trace_simulation(w, self.scale, config, &context, &options, &dir),
+        };
+        match traced {
             Ok(run) => run.outcome,
             Err(e) => {
                 obs_error!(
                     "trace of {context}/{} failed: {e}; rerunning untraced",
                     w.name()
                 );
-                simulate(w, self.scale, config)
+                untraced(recording.as_deref())
             }
         }
     }
@@ -246,7 +283,8 @@ impl Lab {
 
     /// The workload's store stream (memoized): input for write buffers and
     /// write caches, which sit behind a write-through cache and therefore
-    /// see every store.
+    /// see every store. Derived by replaying the trace store's recording —
+    /// not a second generator run — whenever one is available.
     ///
     /// # Panics
     ///
@@ -261,11 +299,64 @@ impl Lab {
             .find(|w| w.name() == workload)
             .unwrap_or_else(|| panic!("unknown workload {workload}"));
         let mut stream = WriteStream::default();
-        w.run(self.scale, &mut stream);
+        match self.store.get_or_record(w.as_ref()) {
+            Some(rec) => {
+                rec.replay(&mut stream);
+            }
+            None => {
+                w.run(self.scale, &mut stream);
+            }
+        }
         let stream = Arc::new(stream);
         self.streams
             .insert(workload.to_string(), Arc::clone(&stream));
         stream
+    }
+
+    /// Outcomes for one workload across a whole configuration sweep,
+    /// in `configs` order.
+    ///
+    /// Equivalent to calling [`Lab::outcome`] per configuration — same
+    /// outcomes, same memoization, same run accounting — but when a
+    /// recording is available and several configurations are missing
+    /// from the memo, they are simulated in a single replay pass
+    /// ([`simulate_many`]) instead of one pass each. Traced runs keep
+    /// the per-configuration path so every run directory still appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is not one of the six benchmarks.
+    pub fn outcomes_sweep(
+        &mut self,
+        workload: &str,
+        configs: &[CacheConfig],
+    ) -> Vec<Arc<SimOutcome>> {
+        let mut missing: Vec<CacheConfig> = Vec::new();
+        for config in configs {
+            let key = (workload.to_string(), *config);
+            if !self.memo.contains_key(&key) && !missing.contains(config) {
+                missing.push(*config);
+            }
+        }
+        let tracing_this = self
+            .trace
+            .as_ref()
+            .is_some_and(|trace| trace.only.as_deref().is_none_or(|only| only == workload));
+        if missing.len() > 1 && !tracing_this {
+            let w = self.workload(workload);
+            if let Some(rec) = self.store.get_or_record(w) {
+                let outcomes = simulate_many(&rec, &missing);
+                for (config, outcome) in missing.iter().zip(outcomes) {
+                    self.runs += 1;
+                    self.memo
+                        .insert((workload.to_string(), *config), Arc::new(outcome));
+                }
+            }
+        }
+        configs
+            .iter()
+            .map(|config| self.outcome(workload, config))
+            .collect()
     }
 }
 
@@ -372,5 +463,90 @@ mod tests {
         assert!(!s1.events.is_empty());
         assert!(s1.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
         assert!(s1.instructions >= s1.events.len() as u64);
+    }
+
+    #[test]
+    fn derived_write_stream_matches_a_generator_fed_one() {
+        for name in WORKLOAD_NAMES {
+            // Replay-derived (store enabled, the default)...
+            let mut lab = Lab::new(Scale::Test);
+            let derived = lab.write_stream(name);
+            assert_eq!(lab.store().recordings(), 1, "{name} derived from replay");
+            // ...versus generator-fed (store disabled).
+            let mut direct = WriteStream::default();
+            workloads::by_name(name)
+                .unwrap()
+                .run(Scale::Test, &mut direct);
+            assert_eq!(derived.events, direct.events, "{name} events differ");
+            assert_eq!(
+                derived.instructions, direct.instructions,
+                "{name} instruction count differs"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_store_falls_back_to_live_generation() {
+        let mut lab = Lab::new(Scale::Test);
+        lab.set_store(Arc::new(TraceStore::disabled(Scale::Test)));
+        let out = lab.outcome("grr", &CacheConfig::default());
+        assert!(out.stats.accesses() > 0);
+        let stream = lab.write_stream("grr");
+        assert!(!stream.events.is_empty());
+        assert_eq!(lab.store().recordings(), 0);
+    }
+
+    #[test]
+    fn replaying_labs_match_regenerating_labs() {
+        let cfg = CacheConfig::default();
+        let mut replaying = Lab::new(Scale::Test);
+        let mut regenerating = Lab::new(Scale::Test);
+        regenerating.set_store(Arc::new(TraceStore::disabled(Scale::Test)));
+        let a = replaying.outcome("met", &cfg);
+        let b = regenerating.outcome("met", &cfg);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.traffic_total, b.traffic_total);
+    }
+
+    #[test]
+    fn sweeps_match_individual_outcomes_with_identical_accounting() {
+        let configs: Vec<CacheConfig> = [1024u32, 4096, 16384]
+            .iter()
+            .map(|&s| CacheConfig::builder().size_bytes(s).build().unwrap())
+            .collect();
+        let mut swept = Lab::new(Scale::Test);
+        let fanned = swept.outcomes_sweep("yacc", &configs);
+        let mut individual = Lab::new(Scale::Test);
+        for (config, outcome) in configs.iter().zip(&fanned) {
+            let solo = individual.outcome("yacc", config);
+            assert_eq!(outcome.stats, solo.stats);
+            assert_eq!(outcome.traffic_total, solo.traffic_total);
+        }
+        assert_eq!(swept.runs(), individual.runs(), "run accounting preserved");
+        // Repeating the sweep is fully memoized.
+        swept.outcomes_sweep("yacc", &configs);
+        assert_eq!(swept.runs(), configs.len() as u64);
+    }
+
+    #[test]
+    fn a_shared_store_records_once_across_labs() {
+        let store = Arc::new(TraceStore::new(Scale::Test));
+        let cfg = CacheConfig::default();
+        let mut lab1 = Lab::new(Scale::Test);
+        lab1.set_store(Arc::clone(&store));
+        let mut lab2 = Lab::new(Scale::Test);
+        lab2.set_store(Arc::clone(&store));
+        let a = lab1.outcome("linpack", &cfg);
+        let b = lab2.outcome("linpack", &cfg);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(store.recordings(), 1, "second lab reused the recording");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match lab scale")]
+    fn scale_mismatched_stores_are_rejected() {
+        let mut lab = Lab::new(Scale::Test);
+        lab.set_store(Arc::new(TraceStore::new(Scale::Quick)));
     }
 }

@@ -30,9 +30,11 @@ pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod sim;
+pub mod store;
 
 pub use lab::{Lab, WriteEvent, WriteStream};
-pub use obs::{trace_simulation, TraceOptions, TracedRun};
+pub use obs::{trace_replay, trace_simulation, TraceOptions, TracedRun};
 pub use report::{require_table, Cell, CellError, CellErrorKind, Table};
 pub use runner::{Job, JobOutcome, JobResult, RunSummary, Runner, RunnerConfig};
-pub use sim::{simulate, simulate_probed, SimOutcome};
+pub use sim::{replay, replay_probed, simulate, simulate_many, simulate_probed, SimOutcome};
+pub use store::TraceStore;

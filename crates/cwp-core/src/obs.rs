@@ -25,9 +25,9 @@ use std::time::Instant;
 use cwp_cache::{CacheConfig, CacheStats};
 use cwp_mem::Traffic;
 use cwp_obs::{obs_warn, JsonlWriter, RunManifest, Tee, WindowRow, WindowSampler};
-use cwp_trace::{Scale, Workload};
+use cwp_trace::{RecordedTrace, Scale, Workload};
 
-use crate::sim::{simulate_probed, SimOutcome};
+use crate::sim::{replay_probed, simulate_probed, SimOutcome};
 
 /// Where and how finely to trace.
 #[derive(Debug, Clone)]
@@ -176,6 +176,53 @@ pub fn trace_simulation(
     options: &TraceOptions,
     dir: &Path,
 ) -> io::Result<TracedRun> {
+    trace_driver(
+        workload.name(),
+        scale,
+        config,
+        experiment,
+        options,
+        dir,
+        |probe| simulate_probed(workload, scale, config, probe),
+    )
+}
+
+/// As [`trace_simulation`], but driven by a pre-recorded trace. The
+/// artifacts and outcome are identical to tracing a live run of the
+/// workload the trace was recorded from — `name` should be that
+/// workload's name, since the recording itself carries none.
+///
+/// # Errors
+///
+/// Fails on I/O errors creating or writing the run artifacts.
+pub fn trace_replay(
+    name: &str,
+    trace: &RecordedTrace,
+    scale: Scale,
+    config: &CacheConfig,
+    experiment: &str,
+    options: &TraceOptions,
+    dir: &Path,
+) -> io::Result<TracedRun> {
+    trace_driver(name, scale, config, experiment, options, dir, |probe| {
+        replay_probed(trace, config, probe)
+    })
+}
+
+type TraceProbe = Tee<WindowSampler, JsonlWriter<BufWriter<fs::File>>>;
+
+/// The shared body of [`trace_simulation`] and [`trace_replay`]:
+/// `drive` runs the actual simulation with the probe attached; this
+/// function owns artifact creation, reconciliation, and the manifest.
+fn trace_driver(
+    workload_name: &str,
+    scale: Scale,
+    config: &CacheConfig,
+    experiment: &str,
+    options: &TraceOptions,
+    dir: &Path,
+    drive: impl FnOnce(TraceProbe) -> (SimOutcome, TraceProbe),
+) -> io::Result<TracedRun> {
     fs::create_dir_all(dir)?;
     let events_file = BufWriter::new(fs::File::create(dir.join("events.jsonl"))?);
     let sampler = WindowSampler::new(options.window, u64::from(config.lines()));
@@ -183,7 +230,7 @@ pub fn trace_simulation(
     let probe = Tee::new(sampler, writer);
 
     let started = Instant::now();
-    let (outcome, probe) = simulate_probed(workload, scale, config, probe);
+    let (outcome, probe) = drive(probe);
     let wall_ms = started.elapsed().as_millis() as u64;
 
     let Tee {
@@ -197,7 +244,7 @@ pub fn trace_simulation(
         obs_warn!(
             "{}/{}: window sums for {counter} give {window_sum}, run total is {total}",
             experiment,
-            workload.name()
+            workload_name
         );
     }
 
@@ -209,7 +256,7 @@ pub fn trace_simulation(
 
     let manifest = RunManifest {
         experiment: experiment.to_string(),
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         scale: scale.to_string(),
         config: config.to_string(),
         seed: config.fault_seed(),
@@ -296,6 +343,41 @@ mod tests {
             "probing must not perturb"
         );
         assert_eq!(traced.outcome.traffic_total, plain.traffic_total);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn traced_replay_matches_traced_live_run() {
+        let root = tmp_dir("replay");
+        let config = CacheConfig::default();
+        let w = workloads::met();
+        let live = trace_simulation(
+            w.as_ref(),
+            Scale::Test,
+            &config,
+            "unit",
+            &TraceOptions::new(&root),
+            &root.join("live/met"),
+        )
+        .unwrap();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let replayed = trace_replay(
+            w.name(),
+            &trace,
+            Scale::Test,
+            &config,
+            "unit",
+            &TraceOptions::new(&root),
+            &root.join("replay/met"),
+        )
+        .unwrap();
+        assert!(replayed.manifest.reconciled);
+        assert_eq!(replayed.outcome.stats, live.outcome.stats);
+        assert_eq!(replayed.outcome.traffic_total, live.outcome.traffic_total);
+        assert_eq!(replayed.manifest.workload, live.manifest.workload);
+        assert_eq!(replayed.manifest.totals, live.manifest.totals);
+        assert_eq!(replayed.manifest.windows, live.manifest.windows);
+        validate_run_dir(&replayed.dir).unwrap();
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -344,6 +344,12 @@ pub struct RunnerConfig {
     pub trace: Option<TraceOptions>,
     /// Restrict tracing to one workload (see [`Lab::set_trace_filter`]).
     pub trace_filter: Option<String>,
+    /// Trace store shared by every worker's lab (and kept across
+    /// panic-rebuilds), so each workload is recorded once per run.
+    /// `None` lets the runner create one; pass
+    /// [`TraceStore::disabled`](crate::TraceStore::disabled) to force
+    /// live regeneration everywhere.
+    pub trace_store: Option<Arc<crate::TraceStore>>,
     /// Test hook: sleep this long at the start of every attempt, so
     /// integration tests can kill the process mid-grid deterministically
     /// (set via `CWP_JOB_DELAY_MS` in the `figures` binary).
@@ -364,6 +370,7 @@ impl RunnerConfig {
             scale,
             trace: None,
             trace_filter: None,
+            trace_store: None,
             job_delay: None,
         }
     }
@@ -447,6 +454,12 @@ fn worker_loop(
 ) {
     let build_lab = |cfg: &RunnerConfig| {
         let mut lab = Lab::new(cfg.scale);
+        // The shared store survives panic-rebuilds of this worker's lab
+        // and is common to the whole pool: recordings are never lost to
+        // a worker replacement.
+        if let Some(store) = &cfg.trace_store {
+            lab.set_store(Arc::clone(store));
+        }
         if let Some(trace) = &cfg.trace {
             lab.enable_trace(trace.clone());
             lab.set_trace_filter(cfg.trace_filter.as_deref());
@@ -708,12 +721,22 @@ impl Runner {
         let mut handles: HashMap<u64, std::thread::JoinHandle<()>> = HashMap::new();
         let mut next_worker_id = 0u64;
         let worker_tx = tx.clone();
+        // Every worker (including replacements spawned after a timeout)
+        // gets the same trace store, so the pool records each workload
+        // exactly once per run.
+        let worker_config = {
+            let mut cfg = self.config.clone();
+            if cfg.trace_store.is_none() {
+                cfg.trace_store = Some(Arc::new(crate::TraceStore::new(cfg.scale)));
+            }
+            cfg
+        };
         let mut spawn_worker = |handles: &mut HashMap<u64, std::thread::JoinHandle<()>>| {
             let id = next_worker_id;
             next_worker_id += 1;
             let handle = {
                 let jobs = Arc::clone(&jobs);
-                let config = self.config.clone();
+                let config = worker_config.clone();
                 let queue = Arc::clone(&queue);
                 let watch = Arc::clone(&watch);
                 let tx = worker_tx.clone();
@@ -1048,6 +1071,46 @@ mod tests {
         assert_eq!(r.outcome, JobOutcome::Ok);
         assert_eq!(r.attempts, 3);
         assert_eq!(tries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn workers_share_one_trace_store_across_the_pool_and_panic_rebuilds() {
+        let mut c = config();
+        c.workers = 2;
+        c.retries = 1;
+        let store = Arc::new(crate::TraceStore::new(Scale::Test));
+        c.trace_store = Some(Arc::clone(&store));
+        let sim = cwp_cache::CacheConfig::default();
+        let mut jobs: Vec<Job> = (0..4)
+            .map(|i| {
+                Job::new(format!("sim-{i}"), "simulates yacc", 1, move |lab| {
+                    let out = lab.outcome("yacc", &sim);
+                    assert!(out.stats.accesses() > 0);
+                    Ok(vec![table_for("sim")])
+                })
+            })
+            .collect();
+        let panicked = Arc::new(AtomicU32::new(0));
+        let flag = Arc::clone(&panicked);
+        jobs.push(Job::new(
+            "panics-once",
+            "lab rebuild keeps the shared store",
+            1,
+            move |lab| {
+                lab.outcome("yacc", &sim);
+                if flag.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("intentional test panic");
+                }
+                Ok(vec![table_for("panics-once")])
+            },
+        ));
+        let summary = Runner::new(c).run(jobs).unwrap();
+        assert_eq!(summary.failures(), 0);
+        assert_eq!(
+            store.recordings(),
+            1,
+            "one yacc recording across workers and panic-rebuilt labs"
+        );
     }
 
     #[test]

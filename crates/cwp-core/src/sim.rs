@@ -1,8 +1,8 @@
 //! Driving a workload trace through a cache configuration.
 
-use cwp_cache::{Cache, CacheConfig, CacheStats, NullProbe, Probe, ProbedMemoryCache};
-use cwp_mem::Traffic;
-use cwp_trace::{AccessKind, MemRef, Scale, TraceSink, TraceSummary, Workload};
+use cwp_cache::{Cache, CacheConfig, CacheStats, NullProbe, Probe};
+use cwp_mem::{MainMemory, NextLevel, Traffic, TrafficRecorder, VoidMemory};
+use cwp_trace::{AccessKind, MemRef, RecordedTrace, Scale, TraceSink, TraceSummary, Workload};
 
 /// Everything one (workload, configuration) simulation produces.
 #[derive(Debug, Clone)]
@@ -35,10 +35,12 @@ impl SimOutcome {
 ///
 /// Store data is fabricated (the byte pattern is irrelevant to every
 /// statistic; functional correctness is covered by the transparency
-/// property tests in `cwp-cache`).
+/// property tests in `cwp-cache`). The backing memory `M` defaults to
+/// [`MainMemory`], the golden data-carrying model; measurement-only
+/// passes may substitute [`VoidMemory`] via [`CacheSink::data_free`].
 #[derive(Debug)]
-pub struct CacheSink<P = NullProbe> {
-    cache: ProbedMemoryCache<P>,
+pub struct CacheSink<P = NullProbe, M = MainMemory> {
+    cache: Cache<TrafficRecorder<M>, P>,
     scratch: [u8; 8],
 }
 
@@ -52,33 +54,62 @@ impl CacheSink {
     }
 }
 
+impl CacheSink<NullProbe, VoidMemory> {
+    /// Wraps a fresh cache backed by [`VoidMemory`] instead of a real
+    /// data image.
+    ///
+    /// [`CacheStats`] and [`Traffic`] are functions of the address
+    /// stream and the configuration alone, so a data-free cache settles
+    /// to outcomes identical to [`CacheSink::new`]'s at a fraction of
+    /// the cost — but only while nothing observes the bytes themselves.
+    /// Fault injection does (corrupted data changes recovery
+    /// accounting), hence the panic below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` enables fault injection.
+    pub fn data_free(config: CacheConfig) -> Self {
+        assert_eq!(
+            config.fault_rate_ppm(),
+            0,
+            "a data-free cache cannot model fault injection"
+        );
+        CacheSink {
+            cache: Cache::new(config, TrafficRecorder::new(VoidMemory)),
+            scratch: [0u8; 8],
+        }
+    }
+}
+
 impl<P: Probe> CacheSink<P> {
     /// Wraps a fresh cache built from `config` with `probe` observing
     /// every cache event.
     pub fn with_probe(config: CacheConfig, probe: P) -> Self {
         CacheSink {
-            cache: ProbedMemoryCache::with_memory_probed(config, probe),
+            cache: Cache::with_memory_probed(config, probe),
             scratch: [0u8; 8],
         }
     }
+}
 
+impl<P: Probe, M: NextLevel> CacheSink<P, M> {
     /// The cache being driven.
-    pub fn cache(&self) -> &ProbedMemoryCache<P> {
+    pub fn cache(&self) -> &Cache<TrafficRecorder<M>, P> {
         &self.cache
     }
 
     /// Mutable access to the cache being driven.
-    pub fn cache_mut(&mut self) -> &mut ProbedMemoryCache<P> {
+    pub fn cache_mut(&mut self) -> &mut Cache<TrafficRecorder<M>, P> {
         &mut self.cache
     }
 
     /// Consumes the sink, returning the cache.
-    pub fn into_cache(self) -> ProbedMemoryCache<P> {
+    pub fn into_cache(self) -> Cache<TrafficRecorder<M>, P> {
         self.cache
     }
 }
 
-impl<P: Probe> TraceSink for CacheSink<P> {
+impl<P: Probe, M: NextLevel> TraceSink for CacheSink<P, M> {
     #[inline]
     fn record(&mut self, r: MemRef) {
         let len = r.size as usize;
@@ -128,6 +159,13 @@ pub fn simulate_probed<P: Probe>(
 ) -> (SimOutcome, P) {
     let mut sink = CacheSink::with_probe(*config, probe);
     let summary = workload.run(scale, &mut sink);
+    settle(sink, summary)
+}
+
+/// Final-flush epilogue shared by every simulation driver: flush the
+/// cache (flush stop), split traffic into execution-only vs total, and
+/// hand the probe back.
+fn settle<P: Probe, M: NextLevel>(sink: CacheSink<P, M>, summary: TraceSummary) -> (SimOutcome, P) {
     let mut cache = sink.into_cache();
     let traffic_execution = cache.traffic();
     cache.flush();
@@ -143,6 +181,82 @@ pub fn simulate_probed<P: Probe>(
         },
         probe,
     )
+}
+
+/// As [`simulate`], but driven by a pre-recorded trace instead of a
+/// live generator run. Produces an outcome identical to simulating the
+/// workload the trace was recorded from.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_cache::CacheConfig;
+/// use cwp_core::sim::{replay, simulate};
+/// use cwp_trace::{workloads, RecordedTrace, Scale};
+///
+/// let w = workloads::met();
+/// let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+/// let live = simulate(w.as_ref(), Scale::Test, &CacheConfig::default());
+/// let replayed = replay(&trace, &CacheConfig::default());
+/// assert_eq!(live.stats, replayed.stats);
+/// ```
+pub fn replay(trace: &RecordedTrace, config: &CacheConfig) -> SimOutcome {
+    let (outcome, NullProbe) = replay_probed(trace, config, NullProbe);
+    outcome
+}
+
+/// As [`simulate_probed`], but driven by a pre-recorded trace.
+pub fn replay_probed<P: Probe>(
+    trace: &RecordedTrace,
+    config: &CacheConfig,
+    probe: P,
+) -> (SimOutcome, P) {
+    let mut sink = CacheSink::with_probe(*config, probe);
+    let summary = trace.replay(&mut sink);
+    settle(sink, summary)
+}
+
+/// One replay pass through a bank of caches: every reference is fed to
+/// each configuration in turn, so an N-point sweep decodes the trace
+/// once instead of N times. Outcomes are returned in `configs` order
+/// and are identical to calling [`replay`] per configuration.
+///
+/// Configurations without fault injection run as *data-free* banks
+/// ([`CacheSink::data_free`]): no bytes move, no memory image is kept,
+/// and only the metadata machinery — tags, valid/dirty masks, LRU,
+/// traffic counters — executes. That skips `MainMemory`'s per-byte page
+/// bookkeeping, which otherwise dominates a sweep's wall-clock cost.
+/// Fault-injecting configurations (whose statistics *do* depend on the
+/// bytes) fall back to a full per-configuration [`replay`].
+pub fn simulate_many(trace: &RecordedTrace, configs: &[CacheConfig]) -> Vec<SimOutcome> {
+    let mut outcomes: Vec<Option<SimOutcome>> = configs.iter().map(|_| None).collect();
+    let bank: Vec<usize> = (0..configs.len())
+        .filter(|&i| configs[i].fault_rate_ppm() == 0)
+        .collect();
+    if !bank.is_empty() {
+        let mut sinks: Vec<CacheSink<NullProbe, VoidMemory>> = bank
+            .iter()
+            .map(|&i| CacheSink::data_free(configs[i]))
+            .collect();
+        for r in trace.iter() {
+            for sink in &mut sinks {
+                sink.record(r);
+            }
+        }
+        let summary = trace.summary();
+        for (&i, sink) in bank.iter().zip(sinks) {
+            outcomes[i] = Some(settle(sink, summary).0);
+        }
+    }
+    for (i, config) in configs.iter().enumerate() {
+        if outcomes[i].is_none() {
+            outcomes[i] = Some(replay(trace, config));
+        }
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every configuration was settled or replayed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -198,6 +312,123 @@ mod tests {
             out.stats.writes
         );
         assert_eq!(out.traffic_total.write_back.transactions, 0);
+    }
+
+    #[test]
+    fn replay_matches_a_live_generator_run() {
+        let w = workloads::yacc();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let config = CacheConfig::default();
+        let live = simulate(w.as_ref(), Scale::Test, &config);
+        let replayed = replay(&trace, &config);
+        assert_eq!(live.summary, replayed.summary);
+        assert_eq!(live.stats, replayed.stats);
+        assert_eq!(live.traffic_execution, replayed.traffic_execution);
+        assert_eq!(live.traffic_total, replayed.traffic_total);
+    }
+
+    #[test]
+    fn simulate_many_matches_per_config_replay() {
+        let w = workloads::liver();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let configs = [
+            CacheConfig::default(),
+            CacheConfig::builder()
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(WriteMissPolicy::WriteAround)
+                .build()
+                .unwrap(),
+            CacheConfig::builder().size_bytes(1024).build().unwrap(),
+        ];
+        let fanned = simulate_many(&trace, &configs);
+        assert_eq!(fanned.len(), configs.len());
+        for (outcome, config) in fanned.iter().zip(&configs) {
+            let solo = replay(&trace, config);
+            assert_eq!(outcome.summary, solo.summary);
+            assert_eq!(outcome.stats, solo.stats);
+            assert_eq!(outcome.traffic_execution, solo.traffic_execution);
+            assert_eq!(outcome.traffic_total, solo.traffic_total);
+        }
+    }
+
+    #[test]
+    fn data_free_bank_matches_the_golden_engine_across_every_policy() {
+        // The data-free fast path must be indistinguishable from the
+        // data-carrying engine wherever simulate_many may use it: every
+        // write-hit x write-miss combination, plus set-associative and
+        // narrow/wide-line geometries that stress victim selection and
+        // sub-block masks.
+        let w = workloads::ccom();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let mut configs = Vec::new();
+        for hit in WriteHitPolicy::ALL {
+            for miss in WriteMissPolicy::ALL {
+                // Skip combinations the builder rejects (write-back +
+                // write-invalidate conflict).
+                if let Ok(config) = CacheConfig::builder()
+                    .size_bytes(1024)
+                    .line_bytes(16)
+                    .write_hit(hit)
+                    .write_miss(miss)
+                    .build()
+                {
+                    configs.push(config);
+                }
+            }
+        }
+        assert_eq!(configs.len(), 6, "4 write-through + 2 write-back combos");
+        for (line, ways) in [(4u32, 1u32), (32, 2), (16, 4)] {
+            configs.push(
+                CacheConfig::builder()
+                    .size_bytes(2048)
+                    .line_bytes(line)
+                    .associativity(ways)
+                    .write_hit(WriteHitPolicy::WriteBack)
+                    .write_miss(WriteMissPolicy::WriteValidate)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let fanned = simulate_many(&trace, &configs);
+        for (outcome, config) in fanned.iter().zip(&configs) {
+            let golden = replay(&trace, config);
+            assert_eq!(outcome.summary, golden.summary, "{config:?}");
+            assert_eq!(outcome.stats, golden.stats, "{config:?}");
+            assert_eq!(
+                outcome.traffic_execution, golden.traffic_execution,
+                "{config:?}"
+            );
+            assert_eq!(outcome.traffic_total, golden.traffic_total, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn fault_injecting_configs_fall_back_to_the_full_engine() {
+        let w = workloads::grr();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let faulty = CacheConfig::builder()
+            .size_bytes(1024)
+            .fault_rate_ppm(5_000)
+            .fault_seed(7)
+            .build()
+            .unwrap();
+        let clean = CacheConfig::builder().size_bytes(1024).build().unwrap();
+        let fanned = simulate_many(&trace, &[faulty, clean]);
+        let golden = replay(&trace, &faulty);
+        assert!(
+            fanned[0].stats.faults.injected > 0,
+            "the faulty config must actually inject"
+        );
+        assert_eq!(fanned[0].stats, golden.stats);
+        assert_eq!(fanned[0].traffic_total, golden.traffic_total);
+        assert_eq!(fanned[1].stats, replay(&trace, &clean).stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot model fault injection")]
+    fn data_free_sink_rejects_fault_injection() {
+        let config = CacheConfig::builder().fault_rate_ppm(1).build().unwrap();
+        let _ = CacheSink::data_free(config);
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! The [`TraceStore`]: record-once/replay-many trace sharing.
+//!
+//! Every sweep in the paper drives the same six reference streams
+//! through many cache configurations. The store holds one
+//! [`RecordedTrace`] per workload (at one scale) behind an `Arc`, so
+//! every [`Lab`](crate::Lab) — and every worker thread in the
+//! supervised runner — replays a single recording instead of re-running
+//! the workload generator per sweep point.
+//!
+//! Capture is memory-bounded: the store has a byte budget
+//! ([`DEFAULT_BUDGET_BYTES`] unless configured), and a workload whose
+//! trace would not fit records nothing and falls back to live
+//! generation — callers see `None` from [`TraceStore::get_or_record`]
+//! and drive the generator directly. A budget of zero
+//! ([`TraceStore::disabled`]) turns the store off entirely, which is
+//! how `figures --no-trace-store` forces the legacy regenerate-always
+//! path for equivalence checks.
+//!
+//! Concurrency: each workload's slot is a `OnceLock`, so concurrent
+//! workers block on (rather than duplicate) an in-flight recording,
+//! and a panic inside a generator leaves the slot empty for the next
+//! attempt. The budget accounting is advisory — two workloads recording
+//! at the same instant may transiently overshoot by one trace.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cwp_obs::{obs_debug, obs_warn};
+use cwp_trace::{RecordedTrace, Scale, Workload, APPROX_BYTES_PER_REF, TRACE_FILE_EXT};
+
+/// Default capture budget: 512 MiB, comfortably above the ~240 MiB the
+/// six paper-scale traces need while still bounding worst-case memory.
+pub const DEFAULT_BUDGET_BYTES: u64 = 512 << 20;
+
+type Slot = Arc<OnceLock<Option<Arc<RecordedTrace>>>>;
+
+/// Shared storage of one recorded trace per workload, at one scale.
+///
+/// Cheap to share: hold it in an `Arc` and clone the handle per
+/// thread. All methods take `&self`.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_core::TraceStore;
+/// use cwp_trace::{workloads, Scale};
+///
+/// let store = TraceStore::new(Scale::Test);
+/// let w = workloads::yacc();
+/// let a = store.get_or_record(w.as_ref()).expect("fits the budget");
+/// let b = store.get_or_record(w.as_ref()).expect("fits the budget");
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "recorded exactly once");
+/// assert_eq!(store.recordings(), 1);
+/// ```
+pub struct TraceStore {
+    scale: Scale,
+    budget_bytes: u64,
+    used_bytes: AtomicU64,
+    recordings: AtomicU64,
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl TraceStore {
+    /// A store at `scale` with the default capture budget.
+    pub fn new(scale: Scale) -> Self {
+        Self::with_budget(scale, DEFAULT_BUDGET_BYTES)
+    }
+
+    /// A store at `scale` that keeps at most `budget_bytes` of
+    /// recordings; workloads that would exceed it fall back to live
+    /// generation.
+    pub fn with_budget(scale: Scale, budget_bytes: u64) -> Self {
+        TraceStore {
+            scale,
+            budget_bytes,
+            used_bytes: AtomicU64::new(0),
+            recordings: AtomicU64::new(0),
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A store that never records: every lookup returns `None`, so all
+    /// simulation regenerates traces live.
+    pub fn disabled(scale: Scale) -> Self {
+        Self::with_budget(scale, 0)
+    }
+
+    /// The scale every recording was (or will be) captured at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// `false` when the store was built with [`TraceStore::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.budget_bytes > 0
+    }
+
+    /// Approximate bytes currently held by recordings.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of traces captured by generator runs (loaded or inserted
+    /// traces do not count).
+    pub fn recordings(&self) -> u64 {
+        self.recordings.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self, name: &str) -> Slot {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(slots.entry(name.to_string()).or_default())
+    }
+
+    /// The recording for `workload`, capturing it on first use.
+    ///
+    /// Returns `None` when the store is disabled or the workload's
+    /// trace does not fit the remaining budget — the caller should run
+    /// the generator live. The miss is remembered, so an over-budget
+    /// workload costs one wasted generator pass in total, not one per
+    /// lookup.
+    pub fn get_or_record(&self, workload: &dyn Workload) -> Option<Arc<RecordedTrace>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let slot = self.slot(workload.name());
+        slot.get_or_init(|| {
+            let remaining = self
+                .budget_bytes
+                .saturating_sub(self.used_bytes.load(Ordering::Relaxed));
+            let max_records = usize::try_from(remaining / APPROX_BYTES_PER_REF).unwrap_or(usize::MAX);
+            if max_records == 0 {
+                obs_warn!(
+                    "trace store budget exhausted ({} of {} bytes); {} will regenerate live",
+                    self.used_bytes(),
+                    self.budget_bytes,
+                    workload.name()
+                );
+                return None;
+            }
+            match RecordedTrace::record_bounded(workload, self.scale, max_records) {
+                Ok(trace) => {
+                    self.used_bytes
+                        .fetch_add(trace.approx_bytes(), Ordering::Relaxed);
+                    self.recordings.fetch_add(1, Ordering::Relaxed);
+                    obs_debug!(
+                        "recorded {} at {}: {} refs, ~{} KiB",
+                        workload.name(),
+                        self.scale,
+                        trace.len(),
+                        trace.approx_bytes() / 1024
+                    );
+                    Some(Arc::new(trace))
+                }
+                Err(overflow) => {
+                    obs_warn!(
+                        "{} does not fit the trace budget ({overflow}); falling back to live generation",
+                        workload.name()
+                    );
+                    None
+                }
+            }
+        })
+        .clone()
+    }
+
+    /// The recording for `name`, if one is already present. Never
+    /// triggers a capture.
+    pub fn lookup(&self, name: &str) -> Option<Arc<RecordedTrace>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        self.slot(name).get().cloned().flatten()
+    }
+
+    /// Installs a pre-built recording (e.g. one loaded from disk) for
+    /// `name`, replacing any existing slot.
+    pub fn insert(&self, name: &str, trace: Arc<RecordedTrace>) {
+        self.used_bytes
+            .fetch_add(trace.approx_bytes(), Ordering::Relaxed);
+        let cell = OnceLock::new();
+        cell.set(Some(trace)).expect("fresh cell is empty");
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        slots.insert(name.to_string(), Arc::new(cell));
+    }
+
+    /// Workload names with a recording present, sorted.
+    pub fn recorded_names(&self) -> Vec<String> {
+        let slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut names: Vec<String> = slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot.get(), Some(Some(_))))
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The conventional file name for `workload`'s trace on disk.
+    pub fn trace_file_name(workload: &str) -> String {
+        format!("{workload}.{TRACE_FILE_EXT}")
+    }
+
+    /// Saves every present recording into `dir` (created if absent) as
+    /// `<workload>.cwptrc`, returning the files written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; earlier files may already be on
+    /// disk.
+    pub fn save_all(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for name in self.recorded_names() {
+            if let Some(trace) = self.lookup(&name) {
+                let path = dir.join(Self::trace_file_name(&name));
+                trace.save(&path)?;
+                written.push(path);
+            }
+        }
+        Ok(written)
+    }
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStore")
+            .field("scale", &self.scale)
+            .field("budget_bytes", &self.budget_bytes)
+            .field("used_bytes", &self.used_bytes())
+            .field("recordings", &self.recordings())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_trace::workloads;
+
+    #[test]
+    fn stores_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceStore>();
+    }
+
+    #[test]
+    fn concurrent_lookups_record_once() {
+        let store = Arc::new(TraceStore::new(Scale::Test));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let w = workloads::liver();
+                    store.get_or_record(w.as_ref()).unwrap().len()
+                })
+            })
+            .collect();
+        let lens: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(store.recordings(), 1, "one capture despite four threads");
+        assert!(store.used_bytes() > 0);
+    }
+
+    #[test]
+    fn a_disabled_store_never_records() {
+        let store = TraceStore::disabled(Scale::Test);
+        let w = workloads::yacc();
+        assert!(store.get_or_record(w.as_ref()).is_none());
+        assert!(store.lookup("yacc").is_none());
+        assert_eq!(store.recordings(), 0);
+        assert!(!store.is_enabled());
+    }
+
+    #[test]
+    fn over_budget_workloads_fall_back_and_are_remembered() {
+        // Enough budget to be enabled, far too little for a real trace.
+        let store = TraceStore::with_budget(Scale::Test, 64);
+        let w = workloads::ccom();
+        assert!(store.get_or_record(w.as_ref()).is_none());
+        assert!(store.get_or_record(w.as_ref()).is_none());
+        assert_eq!(store.recordings(), 0);
+        assert_eq!(store.used_bytes(), 0);
+    }
+
+    #[test]
+    fn inserted_traces_are_served_and_listed() {
+        let store = TraceStore::new(Scale::Test);
+        let w = workloads::met();
+        let trace = Arc::new(RecordedTrace::record(w.as_ref(), Scale::Test));
+        store.insert("met", Arc::clone(&trace));
+        let got = store.get_or_record(w.as_ref()).unwrap();
+        assert!(Arc::ptr_eq(&got, &trace), "served without re-recording");
+        assert_eq!(store.recordings(), 0);
+        assert_eq!(store.recorded_names(), ["met"]);
+    }
+
+    #[test]
+    fn save_all_writes_loadable_traces() {
+        let dir = std::env::temp_dir().join(format!("cwp-store-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::new(Scale::Test);
+        let w = workloads::grr();
+        let original = store.get_or_record(w.as_ref()).unwrap();
+        let written = store.save_all(&dir).unwrap();
+        assert_eq!(written.len(), 1);
+        assert!(written[0].ends_with("grr.cwptrc"));
+        let loaded = RecordedTrace::load(&written[0]).unwrap();
+        assert_eq!(&loaded, original.as_ref());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -11,6 +11,20 @@
 //! 5       8     addr (u64 LE)
 //! ```
 //!
+//! A trace may end with one optional *summary footer* record (first
+//! byte `0xFE`, then the count of compute-only instructions trailing
+//! the final reference as a u64 LE, then four zero bytes). The footer
+//! lets a replay reproduce the original run's instruction total
+//! exactly — the reference stream alone cannot represent instructions
+//! executed after the last data access. [`TraceWriter::finish_with_summary`]
+//! writes it; [`TraceReader::trailing_insts`] reads it back. Footerless
+//! traces remain valid.
+//!
+//! Reads are strict: a record cut short by truncation, corrupt flags,
+//! an unaligned address, or bytes after the footer are all
+//! `InvalidData` errors naming the byte offset, never a silent
+//! best-effort parse.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,13 +48,33 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
 use crate::record::{AccessKind, MemRef};
-use crate::workload::TraceSink;
+use crate::workload::{TraceSink, TraceSummary};
 
 /// File magic: identifies format and version.
 pub const MAGIC: [u8; 8] = *b"CWPTRC\x01\0";
 
 /// Size of one record in bytes.
 const RECORD_BYTES: usize = 13;
+
+/// First byte of the optional summary footer record.
+const FOOTER_TAG: u8 = 0xFE;
+
+/// Reads as many bytes as the source will give, retrying on
+/// interruption. Unlike `read_exact` this reports *how much* arrived,
+/// which is what distinguishes a clean end-of-trace from a truncated
+/// record.
+fn read_full<R: Read>(input: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
 
 fn encode(r: MemRef) -> [u8; RECORD_BYTES] {
     let mut out = [0u8; RECORD_BYTES];
@@ -52,11 +86,11 @@ fn encode(r: MemRef) -> [u8; RECORD_BYTES] {
     out
 }
 
-fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<MemRef> {
+fn decode(buf: &[u8; RECORD_BYTES], offset: u64) -> io::Result<MemRef> {
     if buf[0] & !0x11 != 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("bad record flags {:#04x}", buf[0]),
+            format!("bad record flags {:#04x} at offset {offset}", buf[0]),
         ));
     }
     let kind = if buf[0] & 0x01 != 0 {
@@ -70,7 +104,7 @@ fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<MemRef> {
     if addr % size != 0 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("unaligned {size}B access at {addr:#x}"),
+            format!("unaligned {size}B access at {addr:#x} (offset {offset})"),
         ));
     }
     let r = match kind {
@@ -88,6 +122,7 @@ fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<MemRef> {
 pub struct TraceWriter<W: Write> {
     out: BufWriter<W>,
     records: u64,
+    gap_sum: u64,
     error: Option<io::Error>,
 }
 
@@ -103,6 +138,7 @@ impl<W: Write> TraceWriter<W> {
         Ok(TraceWriter {
             out,
             records: 0,
+            gap_sum: 0,
             error: None,
         })
     }
@@ -125,6 +161,29 @@ impl<W: Write> TraceWriter<W> {
         self.out.flush()?;
         Ok(self.records)
     }
+
+    /// Flushes like [`TraceWriter::finish`], but first appends a
+    /// summary footer carrying the compute-only instructions that
+    /// trail the final reference (`summary.instructions` minus the sum
+    /// of the written gaps), so replays of the file reproduce
+    /// `summary` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while recording,
+    /// writing the footer, or flushing.
+    pub fn finish_with_summary(mut self, summary: TraceSummary) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let trailing = summary.instructions.saturating_sub(self.gap_sum);
+        let mut footer = [0u8; RECORD_BYTES];
+        footer[0] = FOOTER_TAG;
+        footer[1..9].copy_from_slice(&trailing.to_le_bytes());
+        self.out.write_all(&footer)?;
+        self.out.flush()?;
+        Ok(self.records)
+    }
 }
 
 impl<W: Write> TraceSink for TraceWriter<W> {
@@ -137,13 +196,22 @@ impl<W: Write> TraceSink for TraceWriter<W> {
             return;
         }
         self.records += 1;
+        self.gap_sum += u64::from(r.before_insts);
     }
 }
 
 /// Iterator over the records of a binary trace.
+///
+/// Iteration ends cleanly at end-of-file or at the summary footer;
+/// after it, [`TraceReader::trailing_insts`] exposes the footer's
+/// trailing-instruction count if one was present. A record cut short
+/// by truncation is an `InvalidData` error, not a silent clean end.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     input: BufReader<R>,
+    /// Byte offset of the next record, for error context.
+    offset: u64,
+    trailing_insts: Option<u64>,
     done: bool,
 }
 
@@ -164,7 +232,49 @@ impl<R: Read> TraceReader<R> {
                 "not a cwp trace file",
             ));
         }
-        Ok(TraceReader { input, done: false })
+        Ok(TraceReader {
+            input,
+            offset: MAGIC.len() as u64,
+            trailing_insts: None,
+            done: false,
+        })
+    }
+
+    /// The summary footer's count of compute-only instructions after
+    /// the final reference. `None` until iteration has reached a
+    /// footer (and always `None` for footerless traces).
+    pub fn trailing_insts(&self) -> Option<u64> {
+        self.trailing_insts
+    }
+
+    fn fail(&mut self, detail: String) -> Option<io::Result<MemRef>> {
+        self.done = true;
+        Some(Err(io::Error::new(io::ErrorKind::InvalidData, detail)))
+    }
+
+    /// Consumes the footer's payload and verifies nothing follows it.
+    fn read_footer(&mut self, buf: &[u8; RECORD_BYTES]) -> Option<io::Result<MemRef>> {
+        if buf[9..13] != [0u8; 4] {
+            return self.fail(format!(
+                "bad footer padding at offset {}",
+                self.offset - RECORD_BYTES as u64
+            ));
+        }
+        self.trailing_insts = Some(u64::from_le_bytes(
+            buf[1..9].try_into().expect("slice is 8 bytes"),
+        ));
+        let mut probe = [0u8; 1];
+        match read_full(&mut self.input, &mut probe) {
+            Ok(0) => {
+                self.done = true;
+                None
+            }
+            Ok(_) => self.fail(format!("data after the footer at offset {}", self.offset)),
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -176,14 +286,28 @@ impl<R: Read> Iterator for TraceReader<R> {
             return None;
         }
         let mut buf = [0u8; RECORD_BYTES];
-        match self.input.read_exact(&mut buf) {
-            Ok(()) => Some(decode(&buf)),
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+        match read_full(&mut self.input, &mut buf) {
+            Ok(0) => {
                 self.done = true;
-                // A clean end falls exactly on a record boundary; read_exact
-                // reports EOF either way, so check whether anything was read.
                 None
             }
+            Ok(RECORD_BYTES) => {
+                let record_at = self.offset;
+                self.offset += RECORD_BYTES as u64;
+                if buf[0] == FOOTER_TAG {
+                    self.read_footer(&buf)
+                } else {
+                    let result = decode(&buf, record_at);
+                    if result.is_err() {
+                        self.done = true;
+                    }
+                    Some(result)
+                }
+            }
+            Ok(partial) => self.fail(format!(
+                "truncated record at offset {}: {partial} of {RECORD_BYTES} bytes",
+                self.offset
+            )),
             Err(e) => {
                 self.done = true;
                 Some(Err(e))
@@ -249,6 +373,64 @@ mod tests {
         let bytes = Vec::from(MAGIC);
         let records: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
         assert!(records.is_empty());
+    }
+
+    #[test]
+    fn truncated_records_are_an_error_not_a_clean_end() {
+        let mut bytes = Vec::from(MAGIC);
+        bytes.extend_from_slice(&encode(MemRef::read(0x10, 4)));
+        bytes.extend_from_slice(&encode(MemRef::write(0x20, 4))[..7]);
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn the_summary_footer_round_trips_trailing_instructions() {
+        let summary = crate::TraceSummary {
+            instructions: 100,
+            reads: 1,
+            writes: 1,
+        };
+        let mut bytes = Vec::new();
+        let mut writer = TraceWriter::new(&mut bytes).unwrap();
+        writer.record(MemRef::read(0x10, 4).with_gap(30));
+        writer.record(MemRef::write(0x20, 4).with_gap(50));
+        assert_eq!(writer.finish_with_summary(summary).unwrap(), 2);
+
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.trailing_insts(), None, "footer not yet reached");
+        let records: Vec<MemRef> = reader.by_ref().map(Result::unwrap).collect();
+        assert_eq!(records.len(), 2);
+        assert_eq!(reader.trailing_insts(), Some(20), "100 - (30 + 50)");
+    }
+
+    #[test]
+    fn footerless_traces_report_no_trailing_instructions() {
+        let mut bytes = Vec::new();
+        let mut writer = TraceWriter::new(&mut bytes).unwrap();
+        writer.record(MemRef::read(0x10, 4));
+        writer.finish().unwrap();
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.by_ref().count(), 1);
+        assert_eq!(reader.trailing_insts(), None);
+    }
+
+    #[test]
+    fn data_after_the_footer_is_rejected() {
+        let mut bytes = Vec::new();
+        let mut writer = TraceWriter::new(&mut bytes).unwrap();
+        writer.record(MemRef::read(0x10, 4));
+        writer
+            .finish_with_summary(crate::TraceSummary::default())
+            .unwrap();
+        bytes.extend_from_slice(&encode(MemRef::read(0x18, 8)));
+        let results: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        let err = results.last().unwrap().as_ref().unwrap_err();
+        assert!(err.to_string().contains("after the footer"), "{err}");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod capture;
 pub mod emit;
 pub mod io;
 pub mod record;
+pub mod recorded;
 pub mod scale;
 pub mod space;
 pub mod stats;
@@ -43,6 +44,10 @@ mod gen;
 
 pub use emit::Emitter;
 pub use record::{AccessKind, MemRef};
+pub use recorded::{
+    RecordedTrace, RecordingOverflow, TraceFileError, TraceRecorder, APPROX_BYTES_PER_REF,
+    TRACE_FILE_EXT,
+};
 pub use scale::Scale;
 pub use space::AddressSpace;
 pub use workload::{TraceSink, TraceSummary, Workload};

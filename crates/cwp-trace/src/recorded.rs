@@ -1,0 +1,585 @@
+//! Compact, immutable recordings of a workload's reference stream.
+//!
+//! Every figure in the paper is a *sweep*: the same six traces driven
+//! through dozens of cache configurations. Re-running the workload
+//! generators (an LU solve, the Livermore kernels, a maze router, ...)
+//! for every sweep point wastes almost all of the simulation budget, so
+//! a [`RecordedTrace`] captures a generator's output once and replays
+//! it any number of times.
+//!
+//! The encoding is struct-of-arrays: one `u32` per reference for the
+//! instruction gap, one `u64` for the address, and two *bits* for the
+//! kind/size pair (four references per metadata byte) — about 12.25
+//! bytes per reference against the 16 bytes of a padded `Vec<MemRef>`,
+//! with no per-`Vec` reallocation slack multiplied across fields. A
+//! [`RecordedTrace`] is immutable and `Send + Sync`, so one recording
+//! can be shared by any number of simulation threads.
+//!
+//! Capture is memory-bounded: a [`TraceRecorder`] given a record limit
+//! drops its storage and keeps counting the moment the limit is hit,
+//! so an over-budget workload costs one generator pass and a
+//! [`RecordingOverflow`] — never an unbounded allocation. Callers fall
+//! back to live generation in that case.
+//!
+//! # Examples
+//!
+//! ```
+//! use cwp_trace::{workloads, RecordedTrace, Scale, Workload};
+//!
+//! let liver = workloads::liver();
+//! let trace = RecordedTrace::record(liver.as_ref(), Scale::Test);
+//! let mut stores = 0u64;
+//! let summary = trace.replay(&mut |r: cwp_trace::MemRef| {
+//!     if r.is_write() {
+//!         stores += 1;
+//!     }
+//! });
+//! assert_eq!(stores, summary.writes);
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::io::{TraceReader, TraceWriter};
+use crate::record::{AccessKind, MemRef};
+use crate::scale::Scale;
+use crate::workload::{TraceSink, TraceSummary, Workload};
+
+/// Approximate memory footprint of one recorded reference, in bytes:
+/// 4 (gap) + 8 (address) + 1/4 (packed kind/size), rounded up. Budgets
+/// divide by this to pick a record limit.
+pub const APPROX_BYTES_PER_REF: u64 = 13;
+
+/// File extension used for traces saved with [`RecordedTrace::save`].
+pub const TRACE_FILE_EXT: &str = "cwptrc";
+
+// Metadata bits, two per reference, four references per byte.
+const META_WRITE: u8 = 0b01;
+const META_WIDE: u8 = 0b10;
+
+/// An immutable, replayable recording of one workload run.
+///
+/// Obtained from [`RecordedTrace::record`] (or the bounded
+/// [`RecordedTrace::record_bounded`]), from a disk trace via
+/// [`RecordedTrace::load`], or by finishing a [`TraceRecorder`].
+///
+/// [`RecordedTrace::replay`] is drop-in equivalent to
+/// [`Workload::run`]: it pushes the identical [`MemRef`] sequence into
+/// the sink and returns the identical [`TraceSummary`] — including the
+/// trailing compute-only instructions that follow the final reference,
+/// which the reference stream alone cannot carry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    gaps: Vec<u32>,
+    addrs: Vec<u64>,
+    meta: Vec<u8>,
+    summary: TraceSummary,
+}
+
+impl RecordedTrace {
+    /// Records `workload` at `scale` with no memory bound.
+    ///
+    /// Prefer [`RecordedTrace::record_bounded`] anywhere the trace
+    /// length is not already known to be small.
+    pub fn record(workload: &dyn Workload, scale: Scale) -> Self {
+        Self::record_bounded(workload, scale, usize::MAX)
+            .expect("an unbounded recording cannot overflow")
+    }
+
+    /// Records `workload` at `scale`, keeping at most `max_records`
+    /// references in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordingOverflow`] when the workload emits more than
+    /// `max_records` references; the recorder's storage was released
+    /// the moment the limit was crossed, so the only cost is the one
+    /// generator pass.
+    pub fn record_bounded(
+        workload: &dyn Workload,
+        scale: Scale,
+        max_records: usize,
+    ) -> Result<Self, RecordingOverflow> {
+        let mut recorder = TraceRecorder::with_limit(max_records);
+        let summary = workload.run(scale, &mut recorder);
+        recorder.finish(summary)
+    }
+
+    /// Number of recorded references.
+    pub fn len(&self) -> usize {
+        self.gaps.len()
+    }
+
+    /// Returns `true` when the recording holds no references.
+    pub fn is_empty(&self) -> bool {
+        self.gaps.is_empty()
+    }
+
+    /// The run totals [`Workload::run`] reported, verbatim.
+    pub fn summary(&self) -> TraceSummary {
+        self.summary
+    }
+
+    /// Approximate heap footprint of the recording, in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        self.gaps.len() as u64 * 4 + self.addrs.len() as u64 * 8 + self.meta.len() as u64
+    }
+
+    /// The `i`-th reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> MemRef {
+        let bits = self.meta[i / 4] >> ((i % 4) * 2);
+        MemRef {
+            before_insts: self.gaps[i],
+            kind: if bits & META_WRITE != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            addr: self.addrs[i],
+            size: if bits & META_WIDE != 0 { 8 } else { 4 },
+        }
+    }
+
+    /// Iterates over the recorded references in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = MemRef> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Replays the recording into `sink`, returning the original run's
+    /// totals. Drop-in equivalent to [`Workload::run`].
+    pub fn replay(&self, sink: &mut dyn TraceSink) -> TraceSummary {
+        for i in 0..self.len() {
+            sink.record(self.get(i));
+        }
+        self.summary
+    }
+
+    /// Writes the recording to `path` in the binary trace format,
+    /// including the summary footer that preserves trailing
+    /// compute-only instructions. Returns the number of records.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<u64> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(file)
+    }
+
+    /// As [`RecordedTrace::save`], onto any writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_to<W: Write>(&self, out: W) -> io::Result<u64> {
+        let mut writer = TraceWriter::new(out)?;
+        for r in self.iter() {
+            writer.record(r);
+        }
+        writer.finish_with_summary(self.summary)
+    }
+
+    /// Loads a recording from a binary trace file.
+    ///
+    /// Traces written without a summary footer (by a plain
+    /// [`TraceWriter::finish`]) load fine; their summary is the fold of
+    /// the reference stream, which is exact except for compute-only
+    /// instructions after the last reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`TraceFileError`]: [`TraceFileError::Malformed`]
+    /// for a bad header, corrupt record, or truncated file, and
+    /// [`TraceFileError::Io`] for underlying I/O failures.
+    pub fn load(path: &Path) -> Result<Self, TraceFileError> {
+        let classify = |e: io::Error| TraceFileError::classify(path, e);
+        let file = std::fs::File::open(path).map_err(classify)?;
+        Self::read_from(file).map_err(classify)
+    }
+
+    /// As [`RecordedTrace::load`], from any reader. Errors are plain
+    /// [`io::Error`]s; [`RecordedTrace::load`] adds the path context.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed content and any underlying
+    /// I/O error otherwise.
+    pub fn read_from<R: Read>(input: R) -> io::Result<Self> {
+        let mut reader = TraceReader::new(input)?;
+        let mut recorder = TraceRecorder::new();
+        for item in reader.by_ref() {
+            recorder.record(item?);
+        }
+        let mut summary = recorder.folded_summary();
+        summary.instructions += reader.trailing_insts().unwrap_or(0);
+        Ok(recorder
+            .finish(summary)
+            .expect("an unbounded recorder cannot overflow"))
+    }
+}
+
+impl<'a> IntoIterator for &'a RecordedTrace {
+    type Item = MemRef;
+    type IntoIter = Box<dyn Iterator<Item = MemRef> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// A [`TraceSink`] that builds a [`RecordedTrace`], with an optional
+/// record limit.
+///
+/// When the limit is crossed the recorder frees its storage and keeps
+/// counting, so an over-budget run costs no further memory;
+/// [`TraceRecorder::finish`] then reports the overflow.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    trace: RecordedTrace,
+    limit: usize,
+    seen: u64,
+    folded: TraceSummary,
+    overflowed: bool,
+}
+
+impl TraceRecorder {
+    /// A recorder with no memory bound.
+    pub fn new() -> Self {
+        Self::with_limit(usize::MAX)
+    }
+
+    /// A recorder that keeps at most `max_records` references.
+    pub fn with_limit(max_records: usize) -> Self {
+        TraceRecorder {
+            trace: RecordedTrace::default(),
+            limit: max_records,
+            seen: 0,
+            folded: TraceSummary::default(),
+            overflowed: false,
+        }
+    }
+
+    /// References offered so far (including any dropped by overflow).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Returns `true` once the record limit has been crossed.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// The summary folded from the references seen so far. Unlike a
+    /// [`Workload::run`] return value this cannot include compute-only
+    /// instructions after the final reference.
+    pub fn folded_summary(&self) -> TraceSummary {
+        self.folded
+    }
+
+    /// Seals the recording. `summary` should be the value returned by
+    /// [`Workload::run`]; it is stored verbatim so replays reproduce
+    /// the run totals exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordingOverflow`] when the record limit was crossed.
+    pub fn finish(self, summary: TraceSummary) -> Result<RecordedTrace, RecordingOverflow> {
+        if self.overflowed {
+            return Err(RecordingOverflow {
+                seen: self.seen,
+                limit: self.limit,
+            });
+        }
+        debug_assert_eq!(summary.reads, self.folded.reads, "summary/stream read skew");
+        debug_assert_eq!(
+            summary.writes, self.folded.writes,
+            "summary/stream write skew"
+        );
+        let mut trace = self.trace;
+        trace.summary = summary;
+        Ok(trace)
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    #[inline]
+    fn record(&mut self, r: MemRef) {
+        self.seen += 1;
+        self.folded.instructions += u64::from(r.before_insts);
+        match r.kind {
+            AccessKind::Read => self.folded.reads += 1,
+            AccessKind::Write => self.folded.writes += 1,
+        }
+        if self.overflowed {
+            return;
+        }
+        if self.trace.gaps.len() >= self.limit {
+            self.overflowed = true;
+            self.trace.gaps = Vec::new();
+            self.trace.addrs = Vec::new();
+            self.trace.meta = Vec::new();
+            return;
+        }
+        let i = self.trace.gaps.len();
+        self.trace.gaps.push(r.before_insts);
+        self.trace.addrs.push(r.addr);
+        let mut bits = 0u8;
+        if r.kind == AccessKind::Write {
+            bits |= META_WRITE;
+        }
+        if r.size == 8 {
+            bits |= META_WIDE;
+        }
+        if i.is_multiple_of(4) {
+            self.trace.meta.push(bits);
+        } else {
+            let byte = self.trace.meta.last_mut().expect("meta byte exists");
+            *byte |= bits << ((i % 4) * 2);
+        }
+    }
+}
+
+/// A workload emitted more references than the recorder's limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordingOverflow {
+    /// References the workload emitted.
+    pub seen: u64,
+    /// The recorder's limit.
+    pub limit: usize,
+}
+
+impl fmt::Display for RecordingOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recording overflowed: {} references against a limit of {}",
+            self.seen, self.limit
+        )
+    }
+}
+
+impl std::error::Error for RecordingOverflow {}
+
+/// Why a trace file could not be loaded.
+///
+/// Splits honest I/O failures from malformed content so callers can
+/// report "your trace file is corrupt" distinctly from "the disk went
+/// away" — and neither as a panic.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Reading the file failed below the format layer.
+    Io {
+        /// The trace file.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file's content is not a valid trace: bad magic, corrupt
+    /// record flags, an unaligned address, a truncated record, or data
+    /// after the footer.
+    Malformed {
+        /// The trace file.
+        path: PathBuf,
+        /// What exactly was wrong.
+        detail: String,
+    },
+}
+
+impl TraceFileError {
+    fn classify(path: &Path, e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::InvalidData => TraceFileError::Malformed {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            },
+            io::ErrorKind::UnexpectedEof => TraceFileError::Malformed {
+                path: path.to_path_buf(),
+                detail: "file ends before the trace header is complete".to_string(),
+            },
+            _ => TraceFileError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            },
+        }
+    }
+
+    /// The offending file.
+    pub fn path(&self) -> &Path {
+        match self {
+            TraceFileError::Io { path, .. } | TraceFileError::Malformed { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            TraceFileError::Malformed { path, detail } => {
+                write!(f, "{}: corrupt trace file: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io { source, .. } => Some(source),
+            TraceFileError::Malformed { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Capture;
+    use crate::workloads;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn recordings_are_shareable_across_threads() {
+        assert_send_sync::<RecordedTrace>();
+    }
+
+    #[test]
+    fn replay_reproduces_the_generator_run_exactly() {
+        let w = workloads::yacc();
+        let mut live = Capture::new();
+        let live_summary = w.run(Scale::Test, &mut live);
+
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let mut replayed = Capture::new();
+        let replay_summary = trace.replay(&mut replayed);
+
+        assert_eq!(replay_summary, live_summary, "summary must be verbatim");
+        assert_eq!(replayed.records(), live.records());
+        assert_eq!(trace.len(), live.records().len());
+        assert_eq!(trace.summary(), live_summary);
+    }
+
+    #[test]
+    fn soa_encoding_beats_a_vec_of_memrefs() {
+        let w = workloads::liver();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        assert!(!trace.is_empty());
+        let aos = trace.len() as u64 * std::mem::size_of::<MemRef>() as u64;
+        assert!(
+            trace.approx_bytes() * 5 < aos * 4,
+            "SoA {} vs AoS {aos} bytes",
+            trace.approx_bytes()
+        );
+        assert!(trace.approx_bytes() <= trace.len() as u64 * APPROX_BYTES_PER_REF);
+    }
+
+    #[test]
+    fn get_round_trips_every_field() {
+        let refs = [
+            MemRef::read(0x1000, 4).with_gap(3),
+            MemRef::write(0x2008, 8).with_gap(1),
+            MemRef::write(0x44, 4).with_gap(77),
+            MemRef::read(0x60, 8).with_gap(2),
+            MemRef::read(0x70, 8).with_gap(1),
+        ];
+        let mut rec = TraceRecorder::new();
+        for r in refs {
+            rec.record(r);
+        }
+        let summary = rec.folded_summary();
+        let trace = rec.finish(summary).unwrap();
+        let got: Vec<MemRef> = trace.iter().collect();
+        assert_eq!(got, refs);
+    }
+
+    #[test]
+    fn bounded_capture_overflows_and_frees_storage() {
+        let w = workloads::ccom();
+        let err = RecordedTrace::record_bounded(w.as_ref(), Scale::Test, 10).unwrap_err();
+        assert_eq!(err.limit, 10);
+        assert!(err.seen > 10);
+        assert!(err.to_string().contains("limit of 10"));
+    }
+
+    #[test]
+    fn recorder_reports_overflow_state() {
+        let mut rec = TraceRecorder::with_limit(1);
+        rec.record(MemRef::read(0, 4));
+        assert!(!rec.overflowed());
+        rec.record(MemRef::read(8, 4));
+        assert!(rec.overflowed());
+        assert_eq!(rec.seen(), 2);
+        assert!(rec.finish(TraceSummary::default()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_preserves_the_summary() {
+        let w = workloads::grr();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let dir = std::env::temp_dir().join(format!("cwp-recorded-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grr.cwptrc");
+        let written = trace.save(&path).unwrap();
+        assert_eq!(written, trace.len() as u64);
+        let loaded = RecordedTrace::load(&path).unwrap();
+        assert_eq!(loaded, trace, "records and summary both survive");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_instructions_survive_the_disk_round_trip() {
+        // A run whose last event is compute, not a reference.
+        let mut rec = TraceRecorder::new();
+        rec.record(MemRef::read(0x100, 4).with_gap(5));
+        let summary = TraceSummary {
+            instructions: 12, // 5 before the read + 7 trailing
+            reads: 1,
+            writes: 0,
+        };
+        let trace = rec.finish(summary).unwrap();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let loaded = RecordedTrace::read_from(&bytes[..]).unwrap();
+        assert_eq!(loaded.summary().instructions, 12);
+    }
+
+    #[test]
+    fn load_reports_typed_errors_not_panics() {
+        let dir = std::env::temp_dir().join(format!("cwp-recorded-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let missing = dir.join("nope.cwptrc");
+        assert!(matches!(
+            RecordedTrace::load(&missing).unwrap_err(),
+            TraceFileError::Io { .. }
+        ));
+
+        let bad_magic = dir.join("bad.cwptrc");
+        std::fs::write(&bad_magic, b"NOTATRACEATALL").unwrap();
+        let e = RecordedTrace::load(&bad_magic).unwrap_err();
+        assert!(matches!(e, TraceFileError::Malformed { .. }), "{e}");
+
+        let truncated = dir.join("short.cwptrc");
+        let w = workloads::met();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&truncated, &bytes).unwrap();
+        let e = RecordedTrace::load(&truncated).unwrap_err();
+        assert!(matches!(e, TraceFileError::Malformed { .. }), "{e}");
+        assert!(e.to_string().contains("corrupt trace file"), "{e}");
+        assert_eq!(e.path(), truncated.as_path());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

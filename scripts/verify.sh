@@ -61,4 +61,18 @@ cmp "$KILL_DIR/expected.md" "$KILL_DIR/resumed.md" \
 cargo run -q --release --offline -p cwp-obs --bin validate_trace -- "$KILL_DIR/trace" \
     | tail -n 1
 
+echo "==> replay-equivalence smoke (trace store vs live regeneration)"
+REPLAY_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-replay.XXXXXX")
+trap 'rm -rf "$TRACE_DIR" "$KILL_DIR" "$REPLAY_DIR"' EXIT
+"$FIGURES" --scale test --jobs 1 --quiet fig10 > "$REPLAY_DIR/replayed.md"
+"$FIGURES" --scale test --jobs 1 --quiet --no-trace-store fig10 > "$REPLAY_DIR/live.md"
+cmp "$REPLAY_DIR/replayed.md" "$REPLAY_DIR/live.md" \
+    || { echo "verify: replayed fig10 differs from live regeneration" >&2; exit 1; }
+# Saved traces must reload and reproduce the same tables byte-for-byte.
+"$FIGURES" --scale test --jobs 1 --quiet --save-traces "$REPLAY_DIR/traces" fig10 > /dev/null
+"$FIGURES" --scale test --jobs 1 --quiet --load-traces "$REPLAY_DIR/traces" fig10 \
+    > "$REPLAY_DIR/loaded.md"
+cmp "$REPLAY_DIR/replayed.md" "$REPLAY_DIR/loaded.md" \
+    || { echo "verify: fig10 from loaded traces differs" >&2; exit 1; }
+
 echo "verify: OK"
