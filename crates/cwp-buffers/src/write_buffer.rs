@@ -154,6 +154,13 @@ impl<P: Probe> CoalescingWriteBuffer<P> {
         self.pending.len()
     }
 
+    /// The pending entries' line addresses in retirement (FIFO) order,
+    /// oldest first. Exposed so order-sensitive property tests can
+    /// check the queue discipline, not just the counters.
+    pub fn pending_lines(&self) -> Vec<u64> {
+        self.pending.iter().map(|&l| l << self.line_shift).collect()
+    }
+
     /// The counters so far.
     pub fn stats(&self) -> WriteBufferStats {
         self.stats

@@ -77,6 +77,146 @@ fn write_buffer_merging_is_monotone_in_interval() {
 }
 
 #[test]
+fn write_buffer_retires_in_fifo_order() {
+    // The queue discipline, not just the counters: after any write, the
+    // new pending list is the old one minus a (possibly empty) prefix of
+    // retirements at the front, plus at most one enqueue at the back.
+    // Entries are never reordered, replaced, or retired from the middle.
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0007);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let interval = rng.below(32);
+        let entries = 1 + rng.below(9) as usize;
+        let mut wb = CoalescingWriteBuffer::new(entries, 16, interval);
+        let mut cycle = 0u64;
+        for &(gap, addr, _len) in &ops {
+            cycle += gap;
+            let before = wb.pending_lines();
+            let merged_before = wb.stats().merged;
+            wb.write(cycle, addr);
+            let after = wb.pending_lines();
+            // Split `after` into the surviving tail of `before` and the
+            // at-most-one new entry at the back. A merge leaves the queue
+            // content unchanged (bar front retirements); anything else
+            // enqueues exactly one entry at the back — even a line that
+            // was pending before but got retired by this call's drain.
+            let survivors = if wb.stats().merged > merged_before {
+                &after[..]
+            } else {
+                assert_eq!(
+                    after.last(),
+                    Some(&(addr & !15)),
+                    "a non-merging write must enqueue its line at the back"
+                );
+                &after[..after.len() - 1]
+            };
+            assert!(
+                survivors.len() <= before.len(),
+                "pending entries appeared from nowhere"
+            );
+            let dropped = before.len() - survivors.len();
+            assert_eq!(
+                survivors,
+                &before[dropped..],
+                "retirement must pop the oldest entries, in order"
+            );
+            assert!(wb.occupancy() <= entries, "occupancy bounded by capacity");
+        }
+    }
+}
+
+#[test]
+fn write_cache_entries_and_runs_respect_line_capacity() {
+    // A merged entry can never hold more valid bytes than its line, and
+    // every downstream transaction it emits is one contiguous run that
+    // stays inside one line. Checked with a recording next level.
+    #[derive(Default)]
+    struct RunRecorder {
+        runs: Vec<(u64, usize)>,
+    }
+    impl NextLevel for RunRecorder {
+        fn fetch_line(&mut self, _addr: u64, buf: &mut [u8]) {
+            buf.fill(0);
+        }
+        fn write_back(&mut self, addr: u64, data: &[u8]) {
+            self.runs.push((addr, data.len()));
+        }
+        fn write_through(&mut self, addr: u64, data: &[u8]) {
+            self.runs.push((addr, data.len()));
+        }
+    }
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0008);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let line_bytes = [4u32, 8, 16][rng.below(3) as usize];
+        let entries = 1 + rng.below(6) as usize;
+        let mut wc = WriteCache::new(entries, line_bytes, RunRecorder::default());
+        for &(_gap, addr, len) in &ops {
+            let len = len.min(line_bytes as usize);
+            let addr = addr & !(len as u64 - 1);
+            wc.write_through(addr, &vec![3u8; len]);
+        }
+        wc.flush();
+        let recorder = wc.into_next_level();
+        let line = u64::from(line_bytes);
+        for &(addr, len) in &recorder.runs {
+            assert!(
+                len as u64 <= line,
+                "a run of {len} bytes exceeds the {line}B line"
+            );
+            assert_eq!(
+                addr / line,
+                (addr + len as u64 - 1) / line,
+                "run {addr:#x}+{len} crosses a line boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn write_cache_drained_bytes_reconcile_with_traffic() {
+    // The Traffic counters agree with the entry counters: with aligned
+    // 4B/8B writes on 8B lines every slot's valid mask is one contiguous
+    // run, so one outbound entry is exactly one downstream transaction.
+    // Byte conservation brackets the total: every distinct address
+    // written leaves at least once (flush drains everything), and no
+    // emitted byte exists without a write that set its valid bit.
+    let mut rng = SplitMix64::seed_from_u64(0xb0f_0009);
+    for _case in 0..128 {
+        let ops = gen_writes(&mut rng);
+        let entries = 1 + rng.below(6) as usize;
+        let mut wc = WriteCache::new(entries, 8, cwp_mem::TrafficRecorder::new(MainMemory::new()));
+        let mut touched = std::collections::BTreeSet::new();
+        let mut written_bytes = 0u64;
+        for &(_gap, addr, len) in &ops {
+            let len = if len < 4 { 4 } else { len };
+            let addr = addr & !(len as u64 - 1);
+            wc.write_through(addr, &vec![9u8; len]);
+            written_bytes += len as u64;
+            for a in addr..addr + len as u64 {
+                touched.insert(a);
+            }
+        }
+        wc.flush();
+        let s = wc.stats();
+        let t = wc.next_level().traffic();
+        assert_eq!(
+            t.write_through.transactions,
+            s.outbound(),
+            "one transaction per evicted or drained entry"
+        );
+        assert!(
+            t.write_through.bytes >= touched.len() as u64,
+            "every distinct written address must drain at least once"
+        );
+        assert!(
+            t.write_through.bytes <= written_bytes,
+            "merging can only remove bytes, never invent them"
+        );
+    }
+}
+
+#[test]
 fn write_cache_preserves_data() {
     let mut rng = SplitMix64::seed_from_u64(0xb0f_0003);
     for _case in 0..128 {

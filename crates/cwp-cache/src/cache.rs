@@ -345,6 +345,105 @@ impl<N: NextLevel, P: Probe> Cache<N, P> {
     }
 
     // ------------------------------------------------------------------
+    // Auditor hooks: read-only views of per-line sub-block state
+    // ------------------------------------------------------------------
+
+    /// Read-only snapshots of every resident line's sub-block state, in
+    /// set-major order. This is the window the invariant auditor and the
+    /// differential-testing oracle use to check mask laws (valid ⊇ dirty,
+    /// masks confined to the line) without touching engine internals.
+    pub fn line_states(&self) -> Vec<LineState> {
+        (0..self.meta.len())
+            .filter(|&idx| self.meta[idx].valid != 0)
+            .map(|idx| {
+                let m = &self.meta[idx];
+                LineState {
+                    set: idx as u32 / self.ways,
+                    way: idx as u32 % self.ways,
+                    line_addr: self.line_addr_of(idx),
+                    valid: m.valid,
+                    dirty: m.dirty,
+                }
+            })
+            .collect()
+    }
+
+    /// Checks the mask conservation laws on every resident line: the
+    /// dirty mask is a subset of the valid mask, both masks are confined
+    /// to the line's bytes, and a write-through cache holds no dirty
+    /// bytes at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated law.
+    pub fn audit_masks(&self) -> Result<(), String> {
+        for idx in 0..self.meta.len() {
+            self.audit_line(idx)?;
+        }
+        Ok(())
+    }
+
+    /// As [`Cache::audit_masks`], but restricted to the set(s) an access
+    /// at `addr..addr + len` touches — O(ways), cheap enough to run
+    /// after every reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated law.
+    pub fn audit_masks_at(&self, addr: u64, len: usize) -> Result<(), String> {
+        let last = addr + (len.max(1) as u64 - 1);
+        let (first_set, _, _) = self.decompose(addr);
+        let (last_set, _, _) = self.decompose(last);
+        for set in [first_set, last_set] {
+            for way in 0..self.ways {
+                self.audit_line(self.line_index(set, way))?;
+            }
+            if first_set == last_set {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn audit_line(&self, idx: usize) -> Result<(), String> {
+        let m = &self.meta[idx];
+        let full = mask::full(self.line_bytes);
+        let site = || {
+            format!(
+                "line {:#x} (set {}, way {})",
+                self.line_addr_of(idx),
+                idx as u32 / self.ways,
+                idx as u32 % self.ways
+            )
+        };
+        if m.valid & !full != 0 || m.dirty & !full != 0 {
+            return Err(format!(
+                "{}: mask bits past the {}B line (valid {:#x}, dirty {:#x})",
+                site(),
+                self.line_bytes,
+                m.valid,
+                m.dirty
+            ));
+        }
+        if m.dirty & !m.valid != 0 {
+            return Err(format!(
+                "{}: dirty bytes outside the valid mask (valid {:#x}, dirty {:#x})",
+                site(),
+                m.valid,
+                m.dirty
+            ));
+        }
+        if self.config.write_hit() == WriteHitPolicy::WriteThrough && m.dirty != 0 {
+            return Err(format!(
+                "{}: dirty bytes ({:#x}) in a write-through cache",
+                site(),
+                m.dirty
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Address plumbing
     // ------------------------------------------------------------------
 
@@ -921,14 +1020,27 @@ impl<N: NextLevel, P: Probe> Cache<N, P> {
     }
 
     fn loss_since(&self, before: u64) -> Result<(), CwpError> {
-        if self.stats.faults.data_loss_events > before {
-            let (line_addr, dirty_bytes) = self.last_loss.unwrap_or((0, 0));
-            return Err(CwpError::FaultLoss {
+        if self.stats.faults.data_loss_events == before {
+            return Ok(());
+        }
+        // `data_loss_events` is incremented in exactly one place — the
+        // dirty-line ByteParity arm of `resolve_fault` — which records
+        // `last_loss` in the same block. The counter moving without a
+        // recorded site is therefore impossible unless that pairing is
+        // broken; report it as the bug it would be instead of inventing
+        // a (0, 0) loss site.
+        match self.last_loss {
+            Some((line_addr, dirty_bytes)) => Err(CwpError::FaultLoss {
                 line_addr,
                 dirty_bytes,
-            });
+            }),
+            None => Err(CwpError::InvariantViolation {
+                detail: format!(
+                    "data_loss_events advanced from {before} to {} with no loss site recorded",
+                    self.stats.faults.data_loss_events
+                ),
+            }),
         }
-        Ok(())
     }
 
     /// Stores `data` into a resident line, updating valid/dirty masks and
@@ -960,6 +1072,22 @@ impl<N: NextLevel, P: Probe> Cache<N, P> {
             m.dirty |= span;
         }
     }
+}
+
+/// A read-only snapshot of one resident line's sub-block state, as
+/// returned by [`Cache::line_states`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineState {
+    /// The set holding the line.
+    pub set: u32,
+    /// The way within the set.
+    pub way: u32,
+    /// Line-aligned byte address.
+    pub line_addr: u64,
+    /// Per-byte valid mask (bit `i` = byte `i` holds correct data).
+    pub valid: u64,
+    /// Per-byte dirty mask (bit `i` = byte `i` differs from memory).
+    pub dirty: u64,
 }
 
 /// Index of the `n`-th (0-based) set bit of `mask`, if it has that many.
@@ -1027,6 +1155,39 @@ mod tests {
         let mut buf = [0u8; 4];
         c.read(0x100, &mut buf);
         assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn loss_with_a_recorded_site_reports_fault_loss() {
+        let mut c = wb_fow();
+        c.stats.faults.data_loss_events = 1;
+        c.last_loss = Some((0x40, 7));
+        match c.loss_since(0) {
+            Err(CwpError::FaultLoss {
+                line_addr,
+                dirty_bytes,
+            }) => {
+                assert_eq!(line_addr, 0x40);
+                assert_eq!(dirty_bytes, 7);
+            }
+            other => panic!("expected FaultLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_without_a_recorded_site_is_an_invariant_violation() {
+        // `data_loss_events` moving while `last_loss` stays `None` can
+        // only mean the counter/site pairing in `resolve_fault` broke;
+        // `loss_since` must report that bug, not invent a (0, 0) site.
+        let mut c = wb_fow();
+        c.stats.faults.data_loss_events = 1;
+        assert!(c.last_loss.is_none());
+        match c.loss_since(0) {
+            Err(CwpError::InvariantViolation { detail }) => {
+                assert!(detail.contains("no loss site"), "{detail}");
+            }
+            other => panic!("expected InvariantViolation, got {other:?}"),
+        }
     }
 
     #[test]

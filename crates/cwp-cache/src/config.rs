@@ -267,6 +267,26 @@ impl CacheConfigBuilder {
         }
         Ok(c)
     }
+
+    /// Returns the configuration without validating it.
+    ///
+    /// For tests and internal sweeps whose parameters are known-valid by
+    /// construction (every value either a compile-time literal or derived
+    /// from an already-validated configuration via
+    /// [`CacheConfig::to_builder`]). In debug builds the invariants are
+    /// still checked — an invalid configuration is a bug at the call
+    /// site, not an input error — so a bad literal fails the test suite
+    /// instead of silently simulating geometry the engine was never
+    /// designed for.
+    #[must_use]
+    pub fn build_unchecked(self) -> CacheConfig {
+        if cfg!(debug_assertions) {
+            if let Err(e) = self.clone().build() {
+                panic!("build_unchecked on an invalid configuration: {e:?}");
+            }
+        }
+        self.config
+    }
 }
 
 /// Why a cache configuration was rejected.
@@ -447,6 +467,29 @@ mod tests {
                 .build()
                 .is_ok());
         }
+    }
+
+    #[test]
+    fn build_unchecked_matches_build_for_valid_configs() {
+        let checked = CacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(32)
+            .associativity(2)
+            .build()
+            .unwrap();
+        let unchecked = CacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(32)
+            .associativity(2)
+            .build_unchecked();
+        assert_eq!(checked, unchecked);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "build_unchecked on an invalid configuration")]
+    fn build_unchecked_catches_bad_literals_in_debug_builds() {
+        let _ = CacheConfig::builder().size_bytes(3000).build_unchecked();
     }
 
     #[test]

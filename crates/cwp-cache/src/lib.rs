@@ -57,7 +57,7 @@ pub mod overhead;
 pub mod policy;
 pub mod stats;
 
-pub use cache::{Cache, MemoryCache, ProbedMemoryCache};
+pub use cache::{Cache, LineState, MemoryCache, ProbedMemoryCache};
 pub use config::{CacheConfig, CacheConfigBuilder, ConfigError};
 pub use cwp_mem::CwpError;
 pub use cwp_obs::{NullProbe, Probe};

@@ -36,7 +36,7 @@ fn usage() -> &'static str {
      \x20              [--jobs N] [--deadline SECS] [--retries N] [--resume DIR]\n\
      \x20              [--trace DIR] [--window N] [--max-events N] [--trace-workload W]\n\
      \x20              [--save-traces DIR] [--load-traces DIR] [--no-trace-store]\n\
-     \x20              <id>... | all | list\n\
+     \x20              [--audit] <id>... | all | list\n\
      ids: table1-table3, fig01-fig25, ext_* extensions (see 'list')\n\
      --jobs: worker threads (default: CPUs, capped at 8)\n\
      --deadline: seconds allowed per unit of experiment cost (default: none)\n\
@@ -45,6 +45,8 @@ fn usage() -> &'static str {
      --save-traces: record the six workload traces, write DIR/<name>.cwptrc\n\
      --load-traces: replay DIR's .cwptrc files instead of regenerating\n\
      --no-trace-store: record nothing, regenerate every simulation live\n\
+     --audit: run every simulation under the invariant auditor (output\n\
+     \x20        is identical; a violated invariant fails the job)\n\
      env: CWP_TRACE_DIR sets --trace; CWP_LOG sets verbosity (quiet..debug)"
 }
 
@@ -62,6 +64,7 @@ struct Cli {
     save_traces: Option<PathBuf>,
     load_traces: Option<PathBuf>,
     no_trace_store: bool,
+    audit: bool,
     ids: Vec<String>,
 }
 
@@ -86,6 +89,7 @@ fn parse_args() -> Result<Cli, String> {
         save_traces: None,
         load_traces: None,
         no_trace_store: false,
+        audit: false,
         ids: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -155,6 +159,7 @@ fn parse_args() -> Result<Cli, String> {
                 cli.load_traces = Some(PathBuf::from(value(&mut args, "--load-traces")?));
             }
             "--no-trace-store" => cli.no_trace_store = true,
+            "--audit" => cli.audit = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -206,6 +211,7 @@ fn main() -> ExitCode {
     config.retries = cli.retries;
     config.deadline_per_cost = cli.deadline.map(Duration::from_secs_f64);
     config.resume = cli.resume;
+    config.audit = cli.audit;
     if let Some(dir) = &cli.trace_dir {
         let mut options = TraceOptions::new(dir);
         options.window = cli.window;

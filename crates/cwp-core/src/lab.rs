@@ -8,7 +8,10 @@ use cwp_obs::{obs_debug, obs_error};
 use cwp_trace::{workloads, MemRef, Scale, TraceSink, Workload};
 
 use crate::obs::{trace_replay, trace_simulation, TraceOptions};
-use crate::sim::{replay, simulate, simulate_many, SimOutcome};
+use crate::sim::{
+    replay, replay_audited, simulate, simulate_audited, simulate_many, simulate_many_audited,
+    SimOutcome,
+};
 use crate::store::TraceStore;
 use cwp_trace::RecordedTrace;
 
@@ -89,6 +92,7 @@ pub struct Lab {
     runs: u64,
     trace: Option<TraceState>,
     store: Arc<TraceStore>,
+    audit: bool,
 }
 
 impl Lab {
@@ -121,7 +125,22 @@ impl Lab {
             runs: 0,
             trace: None,
             store: Arc::new(TraceStore::new(scale)),
+            audit: false,
         }
+    }
+
+    /// Turns on the runtime invariant audit: every untraced simulation
+    /// runs with an [`cwp_verify::InvariantAuditor`] probe plus
+    /// per-reference sub-block mask checks, and sweep banking is
+    /// cross-checked against audited single replays. Outcomes are
+    /// identical to unaudited runs — the audit observes, it never
+    /// steers — so figures come out byte-for-byte the same.
+    ///
+    /// A violated invariant panics with the typed error's message;
+    /// under the supervised runner that panic is isolated per job and
+    /// turns into a failed-run exit status rather than a crash.
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
     }
 
     /// Replaces the lab's private [`TraceStore`] with a shared one, so
@@ -236,9 +255,17 @@ impl Lab {
     fn run_one(&mut self, idx: usize, config: &CacheConfig) -> SimOutcome {
         let w = self.workloads[idx].as_ref();
         let recording = self.store.get_or_record(w);
-        let untraced = |rec: Option<&RecordedTrace>| match rec {
-            Some(rec) => replay(rec, config),
-            None => simulate(w, self.scale, config),
+        let audit = self.audit;
+        let scale = self.scale;
+        let untraced = |rec: Option<&RecordedTrace>| match (audit, rec) {
+            (false, Some(rec)) => replay(rec, config),
+            (false, None) => simulate(w, scale, config),
+            (true, Some(rec)) => replay_audited(rec, config).unwrap_or_else(|e| {
+                panic!("invariant audit failed for {}/{config}: {e}", w.name())
+            }),
+            (true, None) => simulate_audited(w, scale, config).unwrap_or_else(|e| {
+                panic!("invariant audit failed for {}/{config}: {e}", w.name())
+            }),
         };
         let Some(trace) = &mut self.trace else {
             return untraced(recording.as_deref());
@@ -345,7 +372,13 @@ impl Lab {
         if missing.len() > 1 && !tracing_this {
             let w = self.workload(workload);
             if let Some(rec) = self.store.get_or_record(w) {
-                let outcomes = simulate_many(&rec, &missing);
+                let outcomes = if self.audit {
+                    simulate_many_audited(&rec, &missing).unwrap_or_else(|e| {
+                        panic!("invariant audit failed for {workload} sweep: {e}")
+                    })
+                } else {
+                    simulate_many(&rec, &missing)
+                };
                 for (config, outcome) in missing.iter().zip(outcomes) {
                     self.runs += 1;
                     self.memo
@@ -421,6 +454,26 @@ mod tests {
     #[should_panic(expected = "duplicate workload name")]
     fn duplicate_workloads_are_rejected() {
         let _ = Lab::with_workloads(Scale::Test, vec![workloads::yacc(), workloads::yacc()]);
+    }
+
+    #[test]
+    fn audited_lab_reproduces_unaudited_outcomes() {
+        let cfg_a = CacheConfig::default();
+        let cfg_b = CacheConfig::builder().size_bytes(1024).build().unwrap();
+        let mut plain = Lab::new(Scale::Test);
+        let mut audited = Lab::new(Scale::Test);
+        audited.enable_audit();
+        // Sweep path (banked, cross-checked) and single-outcome path.
+        let want = plain.outcomes_sweep("grr", &[cfg_a, cfg_b]);
+        let got = audited.outcomes_sweep("grr", &[cfg_a, cfg_b]);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.stats, g.stats);
+            assert_eq!(w.traffic_total, g.traffic_total);
+        }
+        assert_eq!(
+            plain.outcome("yacc", &cfg_a).stats,
+            audited.outcome("yacc", &cfg_a).stats
+        );
     }
 
     #[test]

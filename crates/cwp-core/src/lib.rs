@@ -36,5 +36,8 @@ pub use lab::{Lab, WriteEvent, WriteStream};
 pub use obs::{trace_replay, trace_simulation, TraceOptions, TracedRun};
 pub use report::{require_table, Cell, CellError, CellErrorKind, Table};
 pub use runner::{Job, JobOutcome, JobResult, RunSummary, Runner, RunnerConfig};
-pub use sim::{replay, replay_probed, simulate, simulate_many, simulate_probed, SimOutcome};
+pub use sim::{
+    replay, replay_audited, replay_probed, simulate, simulate_audited, simulate_many,
+    simulate_many_audited, simulate_probed, SimOutcome,
+};
 pub use store::TraceStore;

@@ -354,6 +354,10 @@ pub struct RunnerConfig {
     /// integration tests can kill the process mid-grid deterministically
     /// (set via `CWP_JOB_DELAY_MS` in the `figures` binary).
     pub job_delay: Option<Duration>,
+    /// Run every simulation under the invariant audit (see
+    /// [`Lab::enable_audit`]). Outcomes are unchanged; a violated
+    /// invariant panics inside the job and surfaces as a failed run.
+    pub audit: bool,
 }
 
 impl RunnerConfig {
@@ -372,6 +376,7 @@ impl RunnerConfig {
             trace_filter: None,
             trace_store: None,
             job_delay: None,
+            audit: false,
         }
     }
 }
@@ -463,6 +468,9 @@ fn worker_loop(
         if let Some(trace) = &cfg.trace {
             lab.enable_trace(trace.clone());
             lab.set_trace_filter(cfg.trace_filter.as_deref());
+        }
+        if cfg.audit {
+            lab.enable_audit();
         }
         lab
     };

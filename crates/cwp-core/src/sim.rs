@@ -1,8 +1,9 @@
 //! Driving a workload trace through a cache configuration.
 
 use cwp_cache::{Cache, CacheConfig, CacheStats, NullProbe, Probe};
-use cwp_mem::{MainMemory, NextLevel, Traffic, TrafficRecorder, VoidMemory};
+use cwp_mem::{CwpError, MainMemory, NextLevel, Traffic, TrafficRecorder, VoidMemory};
 use cwp_trace::{AccessKind, MemRef, RecordedTrace, Scale, TraceSink, TraceSummary, Workload};
+use cwp_verify::InvariantAuditor;
 
 /// Everything one (workload, configuration) simulation produces.
 #[derive(Debug, Clone)]
@@ -259,6 +260,125 @@ pub fn simulate_many(trace: &RecordedTrace, configs: &[CacheConfig]) -> Vec<SimO
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Audited drivers (`figures --audit`, `cwp-fuzz`)
+// ---------------------------------------------------------------------
+
+/// A [`TraceSink`] adapter that forwards every reference to an audited
+/// [`CacheSink`] and re-checks the engine's sub-block mask laws on the
+/// touched set(s) after each one. Violations are remembered (first one
+/// wins) rather than panicking, so the trace drive completes and the
+/// caller can surface a typed error.
+struct AuditingSink<'a> {
+    inner: &'a mut CacheSink<InvariantAuditor>,
+    first_violation: Option<String>,
+}
+
+impl TraceSink for AuditingSink<'_> {
+    fn record(&mut self, r: MemRef) {
+        self.inner.record(r);
+        if self.first_violation.is_none() {
+            if let Err(e) = self.inner.cache().audit_masks_at(r.addr, r.size as usize) {
+                self.first_violation = Some(e);
+            }
+        }
+    }
+}
+
+/// Shared epilogue of the audited drivers: surface per-reference mask
+/// violations, settle, then run the auditor's online checks and its
+/// event-vs-counter reconciliation.
+fn settle_audited(
+    sink: CacheSink<InvariantAuditor>,
+    summary: TraceSummary,
+    first_violation: Option<String>,
+) -> Result<SimOutcome, CwpError> {
+    if let Some(detail) = first_violation {
+        return Err(CwpError::InvariantViolation { detail });
+    }
+    let (outcome, auditor) = settle(sink, summary);
+    auditor.check()?;
+    auditor.reconcile(&outcome.stats, &outcome.traffic_total)?;
+    Ok(outcome)
+}
+
+/// As [`simulate`], but with the full invariant audit enabled: an
+/// [`InvariantAuditor`] probe re-derives every counter and traffic class
+/// from the event stream and checks conservation laws, and the engine's
+/// sub-block mask laws are re-verified after every reference.
+///
+/// The outcome is identical to [`simulate`]'s — auditing observes, it
+/// never steers — so `figures --audit` output is byte-identical to an
+/// unaudited run.
+///
+/// # Errors
+///
+/// [`CwpError::InvariantViolation`] describing the first broken law.
+pub fn simulate_audited(
+    workload: &dyn Workload,
+    scale: Scale,
+    config: &CacheConfig,
+) -> Result<SimOutcome, CwpError> {
+    let mut sink = CacheSink::with_probe(*config, InvariantAuditor::new(config));
+    let mut audit = AuditingSink {
+        inner: &mut sink,
+        first_violation: None,
+    };
+    let summary = workload.run(scale, &mut audit);
+    let first_violation = audit.first_violation.take();
+    settle_audited(sink, summary, first_violation)
+}
+
+/// As [`replay`], but with the full invariant audit enabled. See
+/// [`simulate_audited`].
+///
+/// # Errors
+///
+/// [`CwpError::InvariantViolation`] describing the first broken law.
+pub fn replay_audited(trace: &RecordedTrace, config: &CacheConfig) -> Result<SimOutcome, CwpError> {
+    let mut sink = CacheSink::with_probe(*config, InvariantAuditor::new(config));
+    let mut audit = AuditingSink {
+        inner: &mut sink,
+        first_violation: None,
+    };
+    let summary = trace.replay(&mut audit);
+    let first_violation = audit.first_violation.take();
+    settle_audited(sink, summary, first_violation)
+}
+
+/// As [`simulate_many`], but audited: besides running the banked pass,
+/// every configuration is *also* replayed singly under a full audit and
+/// the two outcomes are required to match exactly — the "stats deltas
+/// sum across a banked pass exactly as they do run singly" conservation
+/// law. Roughly doubles the cost; only the `--audit` paths use it.
+///
+/// # Errors
+///
+/// [`CwpError::InvariantViolation`] if any audited single replay breaks
+/// a law, or if a banked outcome differs from its single-replay twin.
+pub fn simulate_many_audited(
+    trace: &RecordedTrace,
+    configs: &[CacheConfig],
+) -> Result<Vec<SimOutcome>, CwpError> {
+    let banked = simulate_many(trace, configs);
+    for (outcome, config) in banked.iter().zip(configs) {
+        let solo = replay_audited(trace, config)?;
+        if solo.summary != outcome.summary
+            || solo.stats != outcome.stats
+            || solo.traffic_execution != outcome.traffic_execution
+            || solo.traffic_total != outcome.traffic_total
+        {
+            return Err(CwpError::InvariantViolation {
+                detail: format!(
+                    "banked simulate_many outcome diverges from its audited single \
+                     replay for {config}"
+                ),
+            });
+        }
+    }
+    Ok(banked)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +560,66 @@ mod tests {
         );
         assert!(out.transactions_per_instruction() > 0.0);
         assert!(out.bytes_per_instruction() > out.transactions_per_instruction());
+    }
+
+    #[test]
+    fn audited_runs_pass_and_match_unaudited_outcomes() {
+        // The auditor observes, it never steers: an audited run must
+        // produce the exact outcome of an unaudited one, across every
+        // valid policy combination.
+        let w = workloads::yacc();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        for hit in WriteHitPolicy::ALL {
+            for miss in WriteMissPolicy::ALL {
+                let Ok(config) = CacheConfig::builder()
+                    .size_bytes(1024)
+                    .write_hit(hit)
+                    .write_miss(miss)
+                    .build()
+                else {
+                    continue;
+                };
+                let plain = replay(&trace, &config);
+                let audited = replay_audited(&trace, &config)
+                    .unwrap_or_else(|e| panic!("audit failed for {config}: {e}"));
+                assert_eq!(plain.summary, audited.summary);
+                assert_eq!(plain.stats, audited.stats);
+                assert_eq!(plain.traffic_execution, audited.traffic_execution);
+                assert_eq!(plain.traffic_total, audited.traffic_total);
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_audited_agrees_with_replay_audited() {
+        let w = workloads::grr();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let config = CacheConfig::default();
+        let live = simulate_audited(w.as_ref(), Scale::Test, &config).unwrap();
+        let replayed = replay_audited(&trace, &config).unwrap();
+        assert_eq!(live.summary, replayed.summary);
+        assert_eq!(live.stats, replayed.stats);
+        assert_eq!(live.traffic_total, replayed.traffic_total);
+    }
+
+    #[test]
+    fn simulate_many_audited_upholds_the_banked_equals_singly_law() {
+        let w = workloads::liver();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let configs = [
+            CacheConfig::default(),
+            CacheConfig::builder()
+                .size_bytes(1024)
+                .write_hit(WriteHitPolicy::WriteThrough)
+                .write_miss(WriteMissPolicy::WriteValidate)
+                .build()
+                .unwrap(),
+        ];
+        let banked = simulate_many_audited(&trace, &configs).unwrap();
+        let unaudited = simulate_many(&trace, &configs);
+        for (a, b) in banked.iter().zip(&unaudited) {
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.traffic_total, b.traffic_total);
+        }
     }
 }

@@ -52,6 +52,16 @@ pub enum CwpError {
         /// Number of attempts made (initial try plus retries).
         attempts: u32,
     },
+    /// The simulator caught itself in an inconsistent state: a counter
+    /// moved without the bookkeeping that must accompany it, or an
+    /// audited conservation law failed. Unlike the other variants this
+    /// *is* a bug in the simulator — it is reported as data instead of
+    /// a silent fallback so callers (and the invariant auditor) can
+    /// fail loudly with the evidence attached.
+    InvariantViolation {
+        /// What law was broken, with the observed values.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CwpError {
@@ -80,6 +90,9 @@ impl fmt::Display for CwpError {
                     "transfer at {addr:#x} still faulty after {attempts} attempt(s)"
                 )
             }
+            CwpError::InvariantViolation { detail } => {
+                write!(f, "simulator invariant violated: {detail}")
+            }
         }
     }
 }
@@ -92,7 +105,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let cases: [(CwpError, &str); 5] = [
+        let cases: [(CwpError, &str); 6] = [
             (
                 CwpError::Config {
                     reason: "zero ways".into(),
@@ -126,6 +139,12 @@ mod tests {
                     attempts: 4,
                 },
                 "after 4 attempt",
+            ),
+            (
+                CwpError::InvariantViolation {
+                    detail: "loss counter moved without a recorded site".into(),
+                },
+                "invariant violated",
             ),
         ];
         for (err, needle) in cases {

@@ -1,0 +1,434 @@
+//! The runtime invariant auditor.
+//!
+//! [`InvariantAuditor`] is a [`Probe`] that watches a cache's event
+//! stream, re-derives every counter and traffic class independently, and
+//! checks conservation laws as events arrive:
+//!
+//! * a victim's dirty bytes never exceed the line size, and are zero for
+//!   a write-through cache;
+//! * a write-through cache never dirties a line, never writes one back;
+//! * demand fetches happen only inside a fetching miss window (a read
+//!   miss, or a fetch-on-write write miss) — in particular,
+//!   write-validate and write-around never fetch;
+//! * at end of run ([`InvariantAuditor::reconcile`]) the per-event sums
+//!   equal the engine's own [`CacheStats`] counters and [`Traffic`]
+//!   classes exactly: back-side bytes are the sum of the individual
+//!   transaction sizes, no more, no less.
+//!
+//! The per-reference sub-block laws (dirty ⊆ valid, masks confined to
+//! the line) live in [`cwp_cache::Cache::audit_masks_at`]; `cwp-core`'s
+//! audited drivers run both.
+//!
+//! # Cost when disabled
+//!
+//! An unaudited cache is built with [`cwp_obs::NullProbe`], whose
+//! `ENABLED = false` associated constant makes every `emit` site a
+//! compile-time no-op — the auditor follows `cwp-obs`'s const-ENABLED
+//! pattern, so "auditor off" costs exactly nothing rather than a branch
+//! per event.
+
+use cwp_cache::{CacheConfig, CacheStats, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::{CwpError, Traffic};
+use cwp_obs::event::{AccessKind, Event, FetchCause, WriteMissAction};
+use cwp_obs::Probe;
+
+/// Cap on stored violation messages; the count stays exact past it.
+const VIOLATION_CAP: usize = 32;
+
+/// A [`Probe`] that checks conservation laws online and re-derives the
+/// engine's counters from its event stream. See the module docs.
+#[derive(Debug, Clone)]
+pub struct InvariantAuditor {
+    line_bytes: u32,
+    write_hit: WriteHitPolicy,
+    write_miss: WriteMissPolicy,
+
+    // Counter mirrors, rebuilt purely from events.
+    reads: u64,
+    writes: u64,
+    read_hits: u64,
+    read_misses: u64,
+    partial_read_misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+    writes_to_dirty: u64,
+    fetches: u64,
+    invalidations: u64,
+    line_allocations: u64,
+    victims_total: u64,
+    victims_dirty: u64,
+    victims_dirty_bytes: u64,
+    flush_total: u64,
+    flush_dirty: u64,
+    flush_dirty_bytes: u64,
+
+    // Traffic mirrors: one tally per back-side transaction event.
+    fetch_txns: u64,
+    fetch_bytes: u64,
+    write_back_txns: u64,
+    write_back_bytes: u64,
+    write_through_txns: u64,
+    write_through_bytes: u64,
+
+    /// A demand fetch is legal only after a read miss or a fetch-on-write
+    /// write miss, until the next front-side access.
+    fetch_legal: bool,
+
+    violations: Vec<String>,
+    violation_count: u64,
+}
+
+impl InvariantAuditor {
+    /// An auditor for a cache built from `config`.
+    pub fn new(config: &CacheConfig) -> Self {
+        InvariantAuditor {
+            line_bytes: config.line_bytes(),
+            write_hit: config.write_hit(),
+            write_miss: config.write_miss(),
+            reads: 0,
+            writes: 0,
+            read_hits: 0,
+            read_misses: 0,
+            partial_read_misses: 0,
+            write_hits: 0,
+            write_misses: 0,
+            writes_to_dirty: 0,
+            fetches: 0,
+            invalidations: 0,
+            line_allocations: 0,
+            victims_total: 0,
+            victims_dirty: 0,
+            victims_dirty_bytes: 0,
+            flush_total: 0,
+            flush_dirty: 0,
+            flush_dirty_bytes: 0,
+            fetch_txns: 0,
+            fetch_bytes: 0,
+            write_back_txns: 0,
+            write_back_bytes: 0,
+            write_through_txns: 0,
+            write_through_bytes: 0,
+            fetch_legal: false,
+            violations: Vec::new(),
+            violation_count: 0,
+        }
+    }
+
+    fn violate(&mut self, detail: String) {
+        self.violation_count += 1;
+        if self.violations.len() < VIOLATION_CAP {
+            self.violations.push(detail);
+        }
+    }
+
+    /// Laws violated so far (capped at 32 messages; the total count is
+    /// exact).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Total number of law violations observed.
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// Errors with the first online violation, if any law was broken.
+    ///
+    /// # Errors
+    ///
+    /// [`CwpError::InvariantViolation`] carrying the first recorded
+    /// violation and the total count.
+    pub fn check(&self) -> Result<(), CwpError> {
+        match self.violations.first() {
+            None => Ok(()),
+            Some(first) => Err(CwpError::InvariantViolation {
+                detail: format!("{first} ({} violation(s) in total)", self.violation_count),
+            }),
+        }
+    }
+
+    /// Cross-checks the event-derived tallies against the engine's own
+    /// end-of-run counters and back-side traffic (after the final flush,
+    /// so pass the flush-inclusive totals).
+    ///
+    /// # Errors
+    ///
+    /// [`CwpError::InvariantViolation`] naming the first counter or
+    /// traffic class where the event sum and the engine disagree.
+    pub fn reconcile(&self, stats: &CacheStats, traffic: &Traffic) -> Result<(), CwpError> {
+        let checks: [(&str, u64, u64); 23] = [
+            ("reads", self.reads, stats.reads),
+            ("writes", self.writes, stats.writes),
+            ("read_hits", self.read_hits, stats.read_hits),
+            ("read_misses", self.read_misses, stats.read_misses),
+            (
+                "partial_read_misses",
+                self.partial_read_misses,
+                stats.partial_read_misses,
+            ),
+            ("write_hits", self.write_hits, stats.write_hits),
+            ("write_misses", self.write_misses, stats.write_misses),
+            (
+                "writes_to_dirty",
+                self.writes_to_dirty,
+                stats.writes_to_dirty,
+            ),
+            ("fetches", self.fetches, stats.fetches),
+            ("invalidations", self.invalidations, stats.invalidations),
+            (
+                "line_allocations",
+                self.line_allocations,
+                stats.line_allocations,
+            ),
+            ("victims.total", self.victims_total, stats.victims.total),
+            ("victims.dirty", self.victims_dirty, stats.victims.dirty),
+            (
+                "victims.dirty_bytes",
+                self.victims_dirty_bytes,
+                stats.victims.dirty_bytes,
+            ),
+            ("flush.total", self.flush_total, stats.flush.total),
+            ("flush.dirty", self.flush_dirty, stats.flush.dirty),
+            (
+                "flush.dirty_bytes",
+                self.flush_dirty_bytes,
+                stats.flush.dirty_bytes,
+            ),
+            (
+                "traffic.fetch.transactions",
+                self.fetch_txns,
+                traffic.fetch.transactions,
+            ),
+            ("traffic.fetch.bytes", self.fetch_bytes, traffic.fetch.bytes),
+            (
+                "traffic.write_back.transactions",
+                self.write_back_txns,
+                traffic.write_back.transactions,
+            ),
+            (
+                "traffic.write_back.bytes",
+                self.write_back_bytes,
+                traffic.write_back.bytes,
+            ),
+            (
+                "traffic.write_through.transactions",
+                self.write_through_txns,
+                traffic.write_through.transactions,
+            ),
+            (
+                "traffic.write_through.bytes",
+                self.write_through_bytes,
+                traffic.write_through.bytes,
+            ),
+        ];
+        for (name, from_events, from_engine) in checks {
+            if from_events != from_engine {
+                return Err(CwpError::InvariantViolation {
+                    detail: format!(
+                        "event-derived {name} = {from_events} but the engine counted {from_engine}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Probe for InvariantAuditor {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::Access { kind, .. } => {
+                match kind {
+                    AccessKind::Read => self.reads += 1,
+                    AccessKind::Write => self.writes += 1,
+                }
+                self.fetch_legal = false;
+            }
+            Event::ReadHit { .. } => self.read_hits += 1,
+            Event::ReadMiss { partial, .. } => {
+                self.read_misses += 1;
+                if partial {
+                    self.partial_read_misses += 1;
+                }
+                self.fetch_legal = true;
+            }
+            Event::WriteHit { .. } => self.write_hits += 1,
+            Event::WriteMiss { action, .. } => {
+                self.write_misses += 1;
+                if action == WriteMissAction::Fetch {
+                    self.fetch_legal = true;
+                }
+            }
+            Event::Fetch { cause, addr, bytes } => {
+                self.fetch_txns += 1;
+                self.fetch_bytes += u64::from(bytes);
+                if cause == FetchCause::Demand {
+                    self.fetches += 1;
+                    if !self.fetch_legal {
+                        self.violate(format!(
+                            "demand fetch of line {addr:#x} outside a fetching miss \
+                             window ({:?} must not fetch here)",
+                            self.write_miss
+                        ));
+                    }
+                }
+            }
+            Event::WriteBack { addr, bytes } => {
+                self.write_back_txns += 1;
+                self.write_back_bytes += u64::from(bytes);
+                if self.write_hit == WriteHitPolicy::WriteThrough {
+                    self.violate(format!(
+                        "write-back of {bytes}B at {addr:#x} from a write-through cache"
+                    ));
+                }
+            }
+            Event::WriteThrough { bytes, .. } => {
+                self.write_through_txns += 1;
+                self.write_through_bytes += u64::from(bytes);
+            }
+            Event::Eviction {
+                line_addr,
+                dirty_bytes,
+                flush,
+            } => {
+                if dirty_bytes > self.line_bytes {
+                    self.violate(format!(
+                        "victim {line_addr:#x} claims {dirty_bytes} dirty bytes on a \
+                         {}B line",
+                        self.line_bytes
+                    ));
+                }
+                if self.write_hit == WriteHitPolicy::WriteThrough && dirty_bytes != 0 {
+                    self.violate(format!(
+                        "victim {line_addr:#x} left a write-through cache with \
+                         {dirty_bytes} dirty bytes"
+                    ));
+                }
+                if flush {
+                    self.flush_total += 1;
+                    if dirty_bytes > 0 {
+                        self.flush_dirty += 1;
+                        self.flush_dirty_bytes += u64::from(dirty_bytes);
+                    }
+                } else {
+                    self.victims_total += 1;
+                    if dirty_bytes > 0 {
+                        self.victims_dirty += 1;
+                        self.victims_dirty_bytes += u64::from(dirty_bytes);
+                    }
+                }
+            }
+            Event::Invalidation { .. } => self.invalidations += 1,
+            Event::LineDirtied { line_addr } if self.write_hit == WriteHitPolicy::WriteThrough => {
+                self.violate(format!(
+                    "line {line_addr:#x} dirtied in a write-through cache"
+                ));
+            }
+            Event::WriteToDirty { line_addr } => {
+                self.writes_to_dirty += 1;
+                if self.write_hit == WriteHitPolicy::WriteThrough {
+                    self.violate(format!(
+                        "write-to-dirty on line {line_addr:#x} in a write-through cache"
+                    ));
+                }
+            }
+            Event::LineAllocated { .. } => self.line_allocations += 1,
+            // Buffer, fault, and job events carry no cache conservation
+            // laws the auditor owns; fault accounting is cross-checked by
+            // the event-mirror tests in cwp-cache.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_cache::{Cache, CacheConfig};
+    use cwp_mem::{MainMemory, TrafficRecorder};
+
+    fn audited_cache(config: CacheConfig) -> Cache<TrafficRecorder<MainMemory>, InvariantAuditor> {
+        Cache::with_probe(
+            config,
+            TrafficRecorder::new(MainMemory::new()),
+            InvariantAuditor::new(&config),
+        )
+    }
+
+    #[test]
+    fn clean_run_reconciles_exactly() {
+        for (hit, miss) in [
+            (WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite),
+            (WriteHitPolicy::WriteBack, WriteMissPolicy::WriteValidate),
+            (WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround),
+            (
+                WriteHitPolicy::WriteThrough,
+                WriteMissPolicy::WriteInvalidate,
+            ),
+        ] {
+            let config = CacheConfig::builder()
+                .size_bytes(512)
+                .line_bytes(16)
+                .write_hit(hit)
+                .write_miss(miss)
+                .build()
+                .unwrap();
+            let mut c = audited_cache(config);
+            let mut buf = [0u8; 8];
+            for i in 0..200u64 {
+                let addr = (i * 24) % 4096;
+                if i % 3 == 0 {
+                    c.write(addr, &[i as u8; 8]);
+                } else {
+                    c.read(addr, &mut buf);
+                }
+            }
+            c.flush();
+            let stats = *c.stats();
+            let traffic = c.traffic();
+            let (_, auditor) = c.into_parts();
+            auditor.check().unwrap();
+            auditor.reconcile(&stats, &traffic).unwrap();
+        }
+    }
+
+    #[test]
+    fn reconcile_catches_a_skewed_counter() {
+        let config = CacheConfig::default();
+        let mut c = audited_cache(config);
+        c.write(0x40, &[1; 8]);
+        c.flush();
+        let mut stats = *c.stats();
+        stats.victims.dirty_bytes += 1; // the planted off-by-one
+        let traffic = c.traffic();
+        let (_, auditor) = c.into_parts();
+        let err = auditor.reconcile(&stats, &traffic).unwrap_err();
+        assert!(err.to_string().contains("dirty_bytes"), "{err}");
+    }
+
+    #[test]
+    fn illegal_demand_fetch_is_flagged() {
+        let config = CacheConfig::builder()
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::WriteValidate)
+            .build()
+            .unwrap();
+        let mut auditor = InvariantAuditor::new(&config);
+        auditor.on_event(&Event::Access {
+            kind: AccessKind::Write,
+            addr: 0x100,
+            bytes: 8,
+        });
+        auditor.on_event(&Event::WriteMiss {
+            addr: 0x100,
+            action: WriteMissAction::Validate,
+        });
+        auditor.on_event(&Event::Fetch {
+            cause: FetchCause::Demand,
+            addr: 0x100,
+            bytes: 16,
+        });
+        assert_eq!(auditor.violation_count(), 1);
+        assert!(auditor.check().is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Self-contained fuzz/repro cases and their JSONL encoding.
+//!
+//! A [`FuzzCase`] is everything needed to reproduce one differential run:
+//! the cache configuration, the reference stream, and the seed the data
+//! pattern is derived from. Cases round-trip through a line-oriented
+//! JSONL format — a header object followed by one object per reference —
+//! so a minimized divergence can be committed under `tests/repros/` and
+//! replayed forever by the regression test and `cwp-fuzz --replay`.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use cwp_cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp_obs::json::Json;
+
+/// One memory reference of a case: direction, byte address, and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseRef {
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+impl fmt::Display for CaseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:#x} x{}",
+            if self.write { "W" } else { "R" },
+            self.addr,
+            self.size
+        )
+    }
+}
+
+/// A reproducible differential-testing case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Seed the store-data pattern is derived from (and, originally, the
+    /// case itself).
+    pub seed: u64,
+    /// Human-readable provenance ("yacc window", "pure-random", ...).
+    pub label: String,
+    /// The configuration under test.
+    pub config: CacheConfig,
+    /// The reference stream.
+    pub refs: Vec<CaseRef>,
+}
+
+fn hit_name(p: WriteHitPolicy) -> &'static str {
+    match p {
+        WriteHitPolicy::WriteThrough => "write-through",
+        WriteHitPolicy::WriteBack => "write-back",
+    }
+}
+
+fn miss_name(p: WriteMissPolicy) -> &'static str {
+    match p {
+        WriteMissPolicy::FetchOnWrite => "fetch-on-write",
+        WriteMissPolicy::WriteValidate => "write-validate",
+        WriteMissPolicy::WriteAround => "write-around",
+        WriteMissPolicy::WriteInvalidate => "write-invalidate",
+    }
+}
+
+fn hit_from(name: &str) -> Option<WriteHitPolicy> {
+    match name {
+        "write-through" => Some(WriteHitPolicy::WriteThrough),
+        "write-back" => Some(WriteHitPolicy::WriteBack),
+        _ => None,
+    }
+}
+
+fn miss_from(name: &str) -> Option<WriteMissPolicy> {
+    match name {
+        "fetch-on-write" => Some(WriteMissPolicy::FetchOnWrite),
+        "write-validate" => Some(WriteMissPolicy::WriteValidate),
+        "write-around" => Some(WriteMissPolicy::WriteAround),
+        "write-invalidate" => Some(WriteMissPolicy::WriteInvalidate),
+        _ => None,
+    }
+}
+
+impl FuzzCase {
+    /// Serializes the case as JSONL: a header line, then one line per
+    /// reference.
+    pub fn to_jsonl(&self) -> String {
+        let header = Json::obj([
+            ("case", Json::Str("cwp-fuzz".to_string())),
+            ("seed", Json::UInt(self.seed)),
+            ("label", Json::Str(self.label.clone())),
+            (
+                "config",
+                Json::obj([
+                    (
+                        "size_bytes",
+                        Json::UInt(u64::from(self.config.size_bytes())),
+                    ),
+                    (
+                        "line_bytes",
+                        Json::UInt(u64::from(self.config.line_bytes())),
+                    ),
+                    (
+                        "associativity",
+                        Json::UInt(u64::from(self.config.associativity())),
+                    ),
+                    (
+                        "write_hit",
+                        Json::Str(hit_name(self.config.write_hit()).to_string()),
+                    ),
+                    (
+                        "write_miss",
+                        Json::Str(miss_name(self.config.write_miss()).to_string()),
+                    ),
+                    (
+                        "partial_writeback",
+                        Json::Bool(self.config.partial_writeback()),
+                    ),
+                ]),
+            ),
+        ]);
+        let mut out = String::new();
+        header.write(&mut out);
+        out.push('\n');
+        for r in &self.refs {
+            Json::obj([
+                ("w", Json::Bool(r.write)),
+                ("addr", Json::UInt(r.addr)),
+                ("size", Json::UInt(u64::from(r.size))),
+            ])
+            .write(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a case back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line or missing
+    /// field, including configurations the validating builder rejects.
+    pub fn from_jsonl(text: &str) -> Result<FuzzCase, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header_line = lines.next().ok_or("empty case file")?;
+        let header = Json::parse(header_line).map_err(|e| format!("bad header line: {e}"))?;
+        if header.get("case").and_then(Json::as_str) != Some("cwp-fuzz") {
+            return Err("not a cwp-fuzz case (missing case: \"cwp-fuzz\" header)".to_string());
+        }
+        let seed = header
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("header missing seed")?;
+        let label = header
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("unlabelled")
+            .to_string();
+        let cfg = header.get("config").ok_or("header missing config")?;
+        let field = |name: &str| -> Result<u64, String> {
+            cfg.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("config missing {name}"))
+        };
+        let hit = cfg
+            .get("write_hit")
+            .and_then(Json::as_str)
+            .and_then(hit_from)
+            .ok_or("config missing or bad write_hit")?;
+        let miss = cfg
+            .get("write_miss")
+            .and_then(Json::as_str)
+            .and_then(miss_from)
+            .ok_or("config missing or bad write_miss")?;
+        let config = CacheConfig::builder()
+            .size_bytes(field("size_bytes")? as u32)
+            .line_bytes(field("line_bytes")? as u32)
+            .associativity(field("associativity")? as u32)
+            .write_hit(hit)
+            .write_miss(miss)
+            .partial_writeback(
+                cfg.get("partial_writeback")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            )
+            .build()
+            .map_err(|e| format!("invalid config: {e}"))?;
+        let mut refs = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let j = Json::parse(line).map_err(|e| format!("bad ref line {}: {e}", i + 2))?;
+            let write = j
+                .get("w")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("ref line {} missing w", i + 2))?;
+            let addr = j
+                .get("addr")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("ref line {} missing addr", i + 2))?;
+            let size = j
+                .get("size")
+                .and_then(Json::as_u64)
+                .filter(|&s| (1..=8).contains(&s))
+                .ok_or_else(|| format!("ref line {} missing or bad size", i + 2))?;
+            refs.push(CaseRef {
+                write,
+                addr,
+                size: size as u8,
+            });
+        }
+        Ok(FuzzCase {
+            seed,
+            label,
+            config,
+            refs,
+        })
+    }
+
+    /// Writes the case to `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_jsonl())
+    }
+
+    /// Loads a case from `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a parse failure message naming the offending line.
+    pub fn load(path: &Path) -> Result<FuzzCase, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        FuzzCase::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_round_trip_through_jsonl() {
+        let case = FuzzCase {
+            seed: 0xfeed,
+            label: "round-trip".to_string(),
+            config: CacheConfig::builder()
+                .size_bytes(1024)
+                .line_bytes(32)
+                .associativity(2)
+                .write_hit(WriteHitPolicy::WriteBack)
+                .write_miss(WriteMissPolicy::WriteValidate)
+                .partial_writeback(true)
+                .build()
+                .unwrap(),
+            refs: vec![
+                CaseRef {
+                    write: true,
+                    addr: 0x1234,
+                    size: 4,
+                },
+                CaseRef {
+                    write: false,
+                    addr: 0x8,
+                    size: 8,
+                },
+            ],
+        };
+        let text = case.to_jsonl();
+        let back = FuzzCase::from_jsonl(&text).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_on_load() {
+        let case = FuzzCase {
+            seed: 1,
+            label: "x".to_string(),
+            config: CacheConfig::default(),
+            refs: Vec::new(),
+        };
+        let text = case.to_jsonl().replace("8192", "999");
+        let err = FuzzCase::from_jsonl(&text).unwrap_err();
+        assert!(err.contains("invalid config"), "{err}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Correctness oracle for the `cwp` simulation engine.
+//!
+//! The paper's contribution is *counting* — write traffic, miss-rate
+//! spreads across the four write-miss policies, dirty-victim bytes — so a
+//! silent accounting bug anywhere in the optimized engine invalidates
+//! every figure. This crate holds the machinery that makes such bugs
+//! loud:
+//!
+//! * [`model::ModelCache`] — a deliberately naive, allocation-happy cache
+//!   model written straight from the paper's Sections 2-4 prose, sharing
+//!   no code with the optimized engine. Per-byte valid/dirty `Vec<bool>`
+//!   maps, a `BTreeMap` byte-addressed memory, all four write-miss
+//!   policies, both write-hit policies, partial write-backs.
+//! * [`audit::InvariantAuditor`] — a [`cwp_obs::Probe`] that re-derives
+//!   every counter and traffic class from the event stream and checks
+//!   conservation laws online (victim dirty bytes ≤ line bytes, a
+//!   write-through cache never holds dirty bytes, non-fetching write-miss
+//!   policies never fetch). Zero-cost when disabled: an unaudited cache
+//!   uses [`cwp_obs::NullProbe`], whose `ENABLED = false` compiles every
+//!   emission site away.
+//! * [`case::FuzzCase`] / [`shrink`] / [`diff`] — self-contained JSONL
+//!   repro cases, a delta-debugging shrinker, and the lock-step
+//!   engine-vs-model differ the `cwp-fuzz` binary is built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod case;
+pub mod diff;
+pub mod model;
+pub mod shrink;
+
+pub use audit::InvariantAuditor;
+pub use case::{CaseRef, FuzzCase};
+pub use diff::{check_case, check_case_with, Divergence};
+pub use model::{ModelBug, ModelCache};
+pub use shrink::shrink;

@@ -1,0 +1,623 @@
+//! The naive reference cache model ("the oracle").
+//!
+//! [`ModelCache`] is implemented straight from the paper's prose, with
+//! clarity as the only goal: every line keeps per-byte `Vec<bool>` valid
+//! and dirty maps, memory is a `BTreeMap<u64, u8>`, and every decision is
+//! spelled out longhand. It deliberately shares *no* code with the
+//! optimized engine in `cwp-cache` — no bitmask helpers, no shared state
+//! machines — so a bug must be implemented twice, independently, to go
+//! unnoticed by the differential fuzzer.
+//!
+//! The replacement-policy details the two implementations must agree on
+//! (and which the fuzzer would catch a drift in) are documented on each
+//! method.
+
+use std::collections::BTreeMap;
+
+use cwp_cache::{CacheConfig, CacheStats, LineState, VictimStats, WriteHitPolicy, WriteMissPolicy};
+use cwp_mem::{Traffic, TrafficClass};
+
+/// A deliberately planted accounting bug, used to prove the shrinker
+/// works end-to-end (`cwp-fuzz --shrink-demo`): the engine cannot be
+/// patched at runtime, so the demo injects the bug into the *model* and
+/// shrinks the resulting divergence instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ModelBug {
+    /// No bug: the faithful oracle.
+    #[default]
+    None,
+    /// Overcounts `victims.dirty_bytes` by one per dirty eviction — the
+    /// classic off-by-one that would skew Figures 20-25 without failing
+    /// any structural check.
+    VictimDirtyBytesOffByOne,
+}
+
+/// One resident line of the model: a tag plus per-byte state.
+#[derive(Debug, Clone)]
+struct ModelLine {
+    tag: u64,
+    /// `valid[i]` — byte `i` of the line holds correct data.
+    valid: Vec<bool>,
+    /// `dirty[i]` — byte `i` differs from the next level.
+    dirty: Vec<bool>,
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+/// The naive, allocation-happy reference model of a set-associative
+/// cache over main memory.
+///
+/// Drive it with [`ModelCache::read`] / [`ModelCache::write`] /
+/// [`ModelCache::flush`] and compare [`ModelCache::stats`],
+/// [`ModelCache::traffic`], [`ModelCache::line_states`], and the bytes
+/// returned by reads against the optimized engine.
+#[derive(Debug, Clone)]
+pub struct ModelCache {
+    config: CacheConfig,
+    /// `sets[set][way]` — `None` is an empty way.
+    sets: Vec<Vec<Option<ModelLine>>>,
+    /// Byte-addressed next-level memory; absent addresses read as zero.
+    memory: BTreeMap<u64, u8>,
+    tick: u64,
+    bug: ModelBug,
+
+    // Counters, kept as plain fields and converted on demand so the
+    // accounting logic shares nothing with the engine's.
+    reads: u64,
+    writes: u64,
+    read_hits: u64,
+    read_misses: u64,
+    partial_read_misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+    writes_to_dirty: u64,
+    fetches: u64,
+    invalidations: u64,
+    victims_total: u64,
+    victims_dirty: u64,
+    victims_dirty_bytes: u64,
+    flush_total: u64,
+    flush_dirty: u64,
+    flush_dirty_bytes: u64,
+
+    fetch_txns: u64,
+    fetch_bytes: u64,
+    write_back_txns: u64,
+    write_back_bytes: u64,
+    write_through_txns: u64,
+    write_through_bytes: u64,
+}
+
+impl ModelCache {
+    /// A faithful model of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` enables fault injection: the oracle models the
+    /// fault-free engine only (fuzz configs always have a zero fault
+    /// rate).
+    pub fn new(config: CacheConfig) -> Self {
+        ModelCache::with_bug(config, ModelBug::None)
+    }
+
+    /// As [`ModelCache::new`], but with `bug` planted (see [`ModelBug`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` enables fault injection.
+    pub fn with_bug(config: CacheConfig, bug: ModelBug) -> Self {
+        assert_eq!(
+            config.fault_rate_ppm(),
+            0,
+            "the reference model covers the fault-free engine only"
+        );
+        let sets = (0..config.sets())
+            .map(|_| (0..config.associativity()).map(|_| None).collect())
+            .collect();
+        ModelCache {
+            config,
+            sets,
+            memory: BTreeMap::new(),
+            tick: 0,
+            bug,
+            reads: 0,
+            writes: 0,
+            read_hits: 0,
+            read_misses: 0,
+            partial_read_misses: 0,
+            write_hits: 0,
+            write_misses: 0,
+            writes_to_dirty: 0,
+            fetches: 0,
+            invalidations: 0,
+            victims_total: 0,
+            victims_dirty: 0,
+            victims_dirty_bytes: 0,
+            flush_total: 0,
+            flush_dirty: 0,
+            flush_dirty_bytes: 0,
+            fetch_txns: 0,
+            fetch_bytes: 0,
+            write_back_txns: 0,
+            write_back_bytes: 0,
+            write_through_txns: 0,
+            write_through_bytes: 0,
+        }
+    }
+
+    /// The configuration being modelled.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn line_bytes(&self) -> usize {
+        self.config.line_bytes() as usize
+    }
+
+    /// `(set, tag, offset)` of a byte address, matching the paper's
+    /// direct-mapped index decomposition generalized to sets.
+    fn decompose(&self, addr: u64) -> (usize, u64, usize) {
+        let line_addr = addr / self.line_bytes() as u64;
+        let set = (line_addr % u64::from(self.config.sets())) as usize;
+        let tag = line_addr / u64::from(self.config.sets());
+        let offset = (addr % self.line_bytes() as u64) as usize;
+        (set, tag, offset)
+    }
+
+    /// The base byte address of the line with `tag` in `set`.
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        (tag * u64::from(self.config.sets()) + set as u64) * self.line_bytes() as u64
+    }
+
+    fn memory_byte(&self, addr: u64) -> u8 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The way holding `tag` in `set`, scanning ways in index order.
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        self.sets[set]
+            .iter()
+            .position(|w| w.as_ref().is_some_and(|l| l.tag == tag))
+    }
+
+    /// Replacement choice: the first empty way if any, else the least
+    /// recently used (ties — impossible once touched, since ticks are
+    /// unique — keep the lowest way index, matching the engine).
+    fn victim_way(&self, set: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_used = u64::MAX;
+        for (way, slot) in self.sets[set].iter().enumerate() {
+            match slot {
+                None => return way,
+                Some(l) => {
+                    if l.last_used < best_used {
+                        best_used = l.last_used;
+                        best = way;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(l) = &mut self.sets[set][way] {
+            l.last_used = tick;
+        }
+    }
+
+    /// Writes a line's dirty bytes to memory, one back-side transaction
+    /// per contiguous dirty run when partial write-backs are enabled or
+    /// the line is not fully valid (write-validate lines must never ship
+    /// their unfetched garbage bytes), else a single whole-line
+    /// transaction.
+    fn write_back_line(&mut self, base: u64, line: &ModelLine) {
+        let lb = self.line_bytes();
+        let fully_valid = line.valid.iter().all(|&v| v);
+        if self.config.partial_writeback() || !fully_valid {
+            let mut i = 0usize;
+            while i < lb {
+                if line.dirty[i] {
+                    let start = i;
+                    while i < lb && line.dirty[i] {
+                        i += 1;
+                    }
+                    self.write_back_txns += 1;
+                    self.write_back_bytes += (i - start) as u64;
+                    for j in start..i {
+                        self.memory.insert(base + j as u64, line.data[j]);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        } else {
+            self.write_back_txns += 1;
+            self.write_back_bytes += lb as u64;
+            for j in 0..lb {
+                self.memory.insert(base + j as u64, line.data[j]);
+            }
+        }
+    }
+
+    /// Evicts the occupant of (`set`, `way`), if any: counts it as a
+    /// victim, writes back dirty bytes, and leaves the way empty.
+    fn evict(&mut self, set: usize, way: usize) {
+        let Some(line) = self.sets[set][way].take() else {
+            return;
+        };
+        self.victims_total += 1;
+        let dirty_count = line.dirty.iter().filter(|&&d| d).count() as u64;
+        if dirty_count > 0 {
+            self.victims_dirty += 1;
+            self.victims_dirty_bytes += dirty_count;
+            if self.bug == ModelBug::VictimDirtyBytesOffByOne {
+                self.victims_dirty_bytes += 1;
+            }
+            let base = self.line_addr(set, line.tag);
+            self.write_back_line(base, &line);
+        }
+    }
+
+    /// Fetches the whole line for (`set`, `tag`) from memory into `way`,
+    /// keeping any bytes already valid (they are newer than memory —
+    /// write-validate refill semantics). Installs an empty line first if
+    /// the way is vacant.
+    fn fetch_line(&mut self, set: usize, way: usize, tag: u64) {
+        self.fetches += 1;
+        let lb = self.line_bytes();
+        self.fetch_txns += 1;
+        self.fetch_bytes += lb as u64;
+        let base = self.line_addr(set, tag);
+        let fetched: Vec<u8> = (0..lb).map(|i| self.memory_byte(base + i as u64)).collect();
+        let line = self.sets[set][way].get_or_insert_with(|| ModelLine {
+            tag,
+            valid: vec![false; lb],
+            dirty: vec![false; lb],
+            data: vec![0; lb],
+            last_used: 0,
+        });
+        line.tag = tag;
+        for (i, &b) in fetched.iter().enumerate() {
+            if !line.valid[i] {
+                line.data[i] = b;
+            }
+            line.valid[i] = true;
+        }
+    }
+
+    /// Copies `data` into the line at (`set`, `way`), validating the
+    /// written bytes and (under write-back) dirtying them. Counts a
+    /// write-to-dirty when the line already had a dirty byte.
+    fn store_into(&mut self, set: usize, way: usize, offset: usize, data: &[u8]) {
+        let write_back = self.config.write_hit() == WriteHitPolicy::WriteBack;
+        let already_dirty = self.sets[set][way]
+            .as_ref()
+            .is_some_and(|l| l.dirty.iter().any(|&d| d));
+        if write_back && already_dirty {
+            self.writes_to_dirty += 1;
+        }
+        let line = self.sets[set][way]
+            .as_mut()
+            .expect("store_into targets an installed line");
+        for (i, &b) in data.iter().enumerate() {
+            line.data[offset + i] = b;
+            line.valid[offset + i] = true;
+            if write_back {
+                line.dirty[offset + i] = true;
+            }
+        }
+    }
+
+    /// Sends a store straight to memory (write-through / write-around /
+    /// write-invalidate bypass traffic): one transaction of `data` bytes.
+    fn send_write_through(&mut self, addr: u64, data: &[u8]) {
+        self.write_through_txns += 1;
+        self.write_through_bytes += data.len() as u64;
+        for (i, &b) in data.iter().enumerate() {
+            self.memory.insert(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `out.len()` bytes at `addr`. Accesses are split at line
+    /// boundaries and each piece counts as one access, exactly as the
+    /// paper's 4B-line configurations see 8B loads.
+    pub fn read(&mut self, addr: u64, out: &mut [u8]) {
+        let lb = self.line_bytes() as u64;
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let a = addr + pos as u64;
+            let room = (lb - (a % lb)) as usize;
+            let take = room.min(out.len() - pos);
+            self.read_piece(a, &mut out[pos..pos + take]);
+            pos += take;
+        }
+    }
+
+    fn read_piece(&mut self, addr: u64, out: &mut [u8]) {
+        self.reads += 1;
+        let (set, tag, offset) = self.decompose(addr);
+        let way = match self.find_way(set, tag) {
+            Some(way) => {
+                let all_valid = self.sets[set][way]
+                    .as_ref()
+                    .expect("find_way returned an occupied way")
+                    .valid[offset..offset + out.len()]
+                    .iter()
+                    .all(|&v| v);
+                if all_valid {
+                    self.read_hits += 1;
+                } else {
+                    // Tag match with some requested bytes invalid
+                    // (possible only after write-validate allocations): a
+                    // miss that refills the line in place.
+                    self.read_misses += 1;
+                    self.partial_read_misses += 1;
+                    self.fetch_line(set, way, tag);
+                }
+                way
+            }
+            None => {
+                self.read_misses += 1;
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                self.fetch_line(set, way, tag);
+                way
+            }
+        };
+        let line = self.sets[set][way]
+            .as_ref()
+            .expect("the read path installed this line");
+        out.copy_from_slice(&line.data[offset..offset + out.len()]);
+        self.touch(set, way);
+    }
+
+    /// Writes `data` at `addr` under the configured policies, split at
+    /// line boundaries like [`ModelCache::read`].
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let lb = self.line_bytes() as u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr + pos as u64;
+            let room = (lb - (a % lb)) as usize;
+            let take = room.min(data.len() - pos);
+            self.write_piece(a, &data[pos..pos + take]);
+            pos += take;
+        }
+    }
+
+    fn write_piece(&mut self, addr: u64, data: &[u8]) {
+        self.writes += 1;
+        let (set, tag, offset) = self.decompose(addr);
+        let write_through = self.config.write_hit() == WriteHitPolicy::WriteThrough;
+
+        if let Some(way) = self.find_way(set, tag) {
+            self.write_hits += 1;
+            self.store_into(set, way, offset, data);
+            if write_through {
+                self.send_write_through(addr, data);
+            }
+            self.touch(set, way);
+            return;
+        }
+
+        self.write_misses += 1;
+        match self.config.write_miss() {
+            WriteMissPolicy::FetchOnWrite => {
+                // Fetch the whole line, then overwrite the stored bytes.
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                self.fetch_line(set, way, tag);
+                self.store_into(set, way, offset, data);
+                if write_through {
+                    self.send_write_through(addr, data);
+                }
+                self.touch(set, way);
+            }
+            WriteMissPolicy::WriteValidate => {
+                // Allocate without fetching: only the written bytes are
+                // valid.
+                let way = self.victim_way(set);
+                self.evict(set, way);
+                let lb = self.line_bytes();
+                self.sets[set][way] = Some(ModelLine {
+                    tag,
+                    valid: vec![false; lb],
+                    dirty: vec![false; lb],
+                    data: vec![0; lb],
+                    last_used: 0,
+                });
+                self.store_into(set, way, offset, data);
+                if write_through {
+                    self.send_write_through(addr, data);
+                }
+                self.touch(set, way);
+            }
+            WriteMissPolicy::WriteAround => {
+                // Bypass: the indexed line (if any) stays resident and
+                // untouched — no LRU update, no allocation.
+                self.send_write_through(addr, data);
+            }
+            WriteMissPolicy::WriteInvalidate => {
+                // Invalidate the replacement-choice way, bypass the data.
+                // Only legal over write-through, so nothing dirty is lost.
+                let way = self.victim_way(set);
+                if self.sets[set][way].is_some() {
+                    self.invalidations += 1;
+                }
+                self.sets[set][way] = None;
+                self.send_write_through(addr, data);
+            }
+        }
+    }
+
+    /// Writes back everything dirty and counts every resident line as a
+    /// flush victim ("flush stop"), scanning sets then ways in order.
+    pub fn flush(&mut self) {
+        for set in 0..self.sets.len() {
+            for way in 0..self.sets[set].len() {
+                let Some(line) = self.sets[set][way].take() else {
+                    continue;
+                };
+                self.flush_total += 1;
+                let dirty_count = line.dirty.iter().filter(|&&d| d).count() as u64;
+                if dirty_count > 0 {
+                    self.flush_dirty += 1;
+                    self.flush_dirty_bytes += dirty_count;
+                    let base = self.line_addr(set, line.tag);
+                    self.write_back_line(base, &line);
+                }
+            }
+        }
+    }
+
+    /// The model's counters in the engine's [`CacheStats`] shape (shared
+    /// as a plain data type only — the accounting is independent).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            reads: self.reads,
+            writes: self.writes,
+            read_hits: self.read_hits,
+            read_misses: self.read_misses,
+            partial_read_misses: self.partial_read_misses,
+            write_hits: self.write_hits,
+            write_misses: self.write_misses,
+            writes_to_dirty: self.writes_to_dirty,
+            fetches: self.fetches,
+            invalidations: self.invalidations,
+            victims: VictimStats {
+                total: self.victims_total,
+                dirty: self.victims_dirty,
+                dirty_bytes: self.victims_dirty_bytes,
+            },
+            flush: VictimStats {
+                total: self.flush_total,
+                dirty: self.flush_dirty,
+                dirty_bytes: self.flush_dirty_bytes,
+            },
+            ..CacheStats::default()
+        }
+    }
+
+    /// The model's back-side traffic in the engine's [`Traffic`] shape.
+    pub fn traffic(&self) -> Traffic {
+        Traffic {
+            fetch: TrafficClass {
+                transactions: self.fetch_txns,
+                bytes: self.fetch_bytes,
+            },
+            write_back: TrafficClass {
+                transactions: self.write_back_txns,
+                bytes: self.write_back_bytes,
+            },
+            write_through: TrafficClass {
+                transactions: self.write_through_txns,
+                bytes: self.write_through_bytes,
+            },
+        }
+    }
+
+    /// Resident-line snapshots in set-major order, mask-encoded to match
+    /// [`cwp_cache::Cache::line_states`] bit-for-bit.
+    pub fn line_states(&self) -> Vec<LineState> {
+        let mut out = Vec::new();
+        for (set, ways) in self.sets.iter().enumerate() {
+            for (way, slot) in ways.iter().enumerate() {
+                let Some(line) = slot else { continue };
+                let mut valid = 0u64;
+                let mut dirty = 0u64;
+                for i in 0..self.line_bytes() {
+                    if line.valid[i] {
+                        valid |= 1 << i;
+                    }
+                    if line.dirty[i] {
+                        dirty |= 1 << i;
+                    }
+                }
+                out.push(LineState {
+                    set: set as u32,
+                    way: way as u32,
+                    line_addr: self.line_addr(set, line.tag),
+                    valid,
+                    dirty,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(hit: WriteHitPolicy, miss: WriteMissPolicy) -> CacheConfig {
+        CacheConfig::builder()
+            .size_bytes(256)
+            .line_bytes(16)
+            .write_hit(hit)
+            .write_miss(miss)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn model_is_transparent_over_its_memory() {
+        let mut m = ModelCache::new(cfg(
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::FetchOnWrite,
+        ));
+        m.write(0x100, &[1, 2, 3, 4]);
+        m.write(0x1100, &[5; 4]); // conflicting line: evicts 0x100's
+        let mut buf = [0u8; 4];
+        m.read(0x100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // Two dirty victims: 0x100's line on the conflicting write, and
+        // 0x1100's line on the read bringing 0x100 back.
+        assert_eq!(m.stats().victims.dirty, 2);
+    }
+
+    #[test]
+    fn write_validate_leaves_partial_lines() {
+        let mut m = ModelCache::new(cfg(
+            WriteHitPolicy::WriteBack,
+            WriteMissPolicy::WriteValidate,
+        ));
+        m.write(0x20, &[9; 4]);
+        assert_eq!(m.stats().fetches, 0, "write-validate never fetches");
+        let states = m.line_states();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].valid, 0xF, "0x20 is offset 0 of its 16B line");
+        assert_eq!(states[0].dirty, 0xF);
+    }
+
+    #[test]
+    fn write_through_never_dirties() {
+        let mut m = ModelCache::new(cfg(
+            WriteHitPolicy::WriteThrough,
+            WriteMissPolicy::WriteAround,
+        ));
+        m.write(0x40, &[7; 8]);
+        assert_eq!(m.traffic().write_through.transactions, 1);
+        assert!(m.line_states().is_empty(), "write-around allocates nothing");
+    }
+
+    #[test]
+    fn planted_bug_only_skews_dirty_victim_bytes() {
+        let run = |bug| {
+            let mut m = ModelCache::with_bug(
+                cfg(WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite),
+                bug,
+            );
+            m.write(0x10, &[1; 4]);
+            m.write(0x1010, &[2; 4]); // evicts the dirty line above
+            m.stats()
+        };
+        let good = run(ModelBug::None);
+        let bad = run(ModelBug::VictimDirtyBytesOffByOne);
+        assert_eq!(bad.victims.dirty_bytes, good.victims.dirty_bytes + 1);
+        assert_eq!(bad.victims.dirty, good.victims.dirty);
+    }
+}

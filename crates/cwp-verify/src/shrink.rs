@@ -1,0 +1,166 @@
+//! Delta-debugging shrinker for divergent fuzz cases.
+//!
+//! Given a failing [`FuzzCase`] and a predicate that re-checks it, the
+//! shrinker greedily minimizes in three moves, repeated to a fixpoint:
+//!
+//! 1. **Halve the stream** — remove chunks of references, starting at
+//!    half the stream and bisecting down to single references;
+//! 2. **Drop refs** — the chunk size 1 pass of the same loop;
+//! 3. **Simplify the config toward defaults** — try resetting each
+//!    configuration axis (size, line, associativity, partial write-back,
+//!    policies) to its [`CacheConfig::default`] value.
+//!
+//! Every candidate is validated by the predicate, so the result is the
+//! smallest case the moves can reach that *still* reproduces the
+//! divergence.
+
+use cwp_cache::CacheConfig;
+
+use crate::case::FuzzCase;
+
+/// Upper bound on full shrink passes; each pass only repeats if the
+/// previous one made progress, so this is a backstop, not a tuning knob.
+const MAX_PASSES: usize = 16;
+
+/// Candidate configs with one axis moved toward the default. Only
+/// configurations the validating builder accepts are yielded.
+fn simplified_configs(config: &CacheConfig) -> Vec<CacheConfig> {
+    let default = CacheConfig::default();
+    let mut out = Vec::new();
+    let mut push = |candidate: CacheConfig| {
+        if candidate != *config && !out.contains(&candidate) {
+            out.push(candidate);
+        }
+    };
+    if let Ok(c) = config.to_builder().size_bytes(default.size_bytes()).build() {
+        push(c);
+    }
+    if let Ok(c) = config.to_builder().line_bytes(default.line_bytes()).build() {
+        push(c);
+    }
+    if let Ok(c) = config
+        .to_builder()
+        .associativity(default.associativity())
+        .build()
+    {
+        push(c);
+    }
+    if let Ok(c) = config.to_builder().partial_writeback(false).build() {
+        push(c);
+    }
+    if let Ok(c) = config
+        .to_builder()
+        .write_hit(default.write_hit())
+        .write_miss(default.write_miss())
+        .build()
+    {
+        push(c);
+    }
+    out
+}
+
+/// Minimizes `case` while `still_fails` keeps returning `true` for the
+/// shrunk candidate. The input case itself must fail (the shrinker
+/// asserts it in debug builds); the returned case always does.
+pub fn shrink<F>(case: &FuzzCase, still_fails: &mut F) -> FuzzCase
+where
+    F: FnMut(&FuzzCase) -> bool,
+{
+    debug_assert!(still_fails(case), "shrink needs a failing case to start");
+    let mut best = case.clone();
+    for _ in 0..MAX_PASSES {
+        let mut progress = false;
+
+        // Chunk removal, bisecting from half the stream down to single
+        // references (classic ddmin without the complement step — the
+        // predicate is cheap enough to just iterate to a fixpoint).
+        let mut chunk = best.refs.len().div_ceil(2).max(1);
+        loop {
+            let mut i = 0usize;
+            while i < best.refs.len() {
+                let mut candidate = best.clone();
+                let end = (i + chunk).min(candidate.refs.len());
+                candidate.refs.drain(i..end);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                    // Stay at the same index: the next chunk slid here.
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+
+        // Config simplification toward the defaults.
+        for config in simplified_configs(&best.config) {
+            let mut candidate = best.clone();
+            candidate.config = config;
+            if still_fails(&candidate) {
+                best = candidate;
+                progress = true;
+            }
+        }
+
+        if !progress {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CaseRef;
+    use crate::diff::check_case_with;
+    use crate::model::ModelBug;
+    use cwp_cache::{WriteHitPolicy, WriteMissPolicy};
+    use cwp_mem::rng::SplitMix64;
+
+    #[test]
+    fn shrinks_a_planted_divergence_to_a_handful_of_refs() {
+        // A noisy 400-ref stream over a small write-back cache: plenty of
+        // dirty evictions for the planted off-by-one to fire on.
+        let mut rng = SplitMix64::seed_from_u64(42);
+        let refs: Vec<CaseRef> = (0..400)
+            .map(|_| {
+                let size: u64 = if rng.gen_bool() { 4 } else { 8 };
+                CaseRef {
+                    write: rng.gen_bool(),
+                    addr: rng.below(4096 / size) * size,
+                    size: size as u8,
+                }
+            })
+            .collect();
+        let case = FuzzCase {
+            seed: 42,
+            label: "shrink-unit".to_string(),
+            config: cwp_cache::CacheConfig::builder()
+                .size_bytes(256)
+                .line_bytes(16)
+                .associativity(2)
+                .write_hit(WriteHitPolicy::WriteBack)
+                .write_miss(WriteMissPolicy::FetchOnWrite)
+                .build()
+                .unwrap(),
+            refs,
+        };
+        let mut fails =
+            |c: &FuzzCase| check_case_with(c, ModelBug::VictimDirtyBytesOffByOne).is_some();
+        assert!(fails(&case), "the planted bug must fire on the big case");
+        let small = shrink(&case, &mut fails);
+        assert!(fails(&small), "the shrunk case must still fail");
+        assert!(
+            small.refs.len() <= 16,
+            "expected a tiny repro, got {} refs",
+            small.refs.len()
+        );
+        // And the shrunk case must agree under the *correct* model — the
+        // divergence is the bug, not the case.
+        assert!(check_case_with(&small, ModelBug::None).is_none());
+    }
+}

@@ -75,4 +75,26 @@ cmp "$REPLAY_DIR/replayed.md" "$REPLAY_DIR/live.md" \
 cmp "$REPLAY_DIR/replayed.md" "$REPLAY_DIR/loaded.md" \
     || { echo "verify: fig10 from loaded traces differs" >&2; exit 1; }
 
+echo "==> differential fuzz smoke (engine vs naive model, all policy combos)"
+FUZZ=target/release/cwp-fuzz
+FUZZ_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-fuzz.XXXXXX")
+trap 'rm -rf "$TRACE_DIR" "$KILL_DIR" "$REPLAY_DIR" "$FUZZ_DIR"' EXIT
+# Fixed seed, >=200 cases: covers all six policy combinations and every
+# stream shape (six workload windows, pure-random, strided). Exits
+# nonzero on any divergence, leaving the shrunk repro in $FUZZ_DIR.
+"$FUZZ" --seed 1 --cases 240 --out "$FUZZ_DIR" \
+    || { echo "verify: cwp-fuzz found a divergence (repros in $FUZZ_DIR)" >&2; exit 1; }
+# The committed repro corpus must replay clean forever.
+"$FUZZ" --replay tests/repros \
+    || { echo "verify: committed repro corpus diverges" >&2; exit 1; }
+# The shrinker must still reduce a planted model bug to a tiny case.
+"$FUZZ" --shrink-demo --out "$FUZZ_DIR" \
+    || { echo "verify: shrink-demo failed" >&2; exit 1; }
+
+echo "==> audited figures are byte-identical (invariant auditor observes, never steers)"
+"$FIGURES" --scale test --jobs 1 --quiet fig10 > "$FUZZ_DIR/plain.md"
+"$FIGURES" --scale test --jobs 1 --quiet --audit fig10 > "$FUZZ_DIR/audited.md"
+cmp "$FUZZ_DIR/plain.md" "$FUZZ_DIR/audited.md" \
+    || { echo "verify: --audit changed fig10 output" >&2; exit 1; }
+
 echo "verify: OK"

@@ -1,0 +1,47 @@
+//! Replays the committed fuzz-repro corpus under `tests/repros/`.
+//!
+//! Every `*.jsonl` case in the corpus is a minimized divergence the
+//! shrinker once produced (against a planted bug, or a real one since
+//! fixed). Each must load, and the engine must agree with the naive
+//! `cwp-verify` model on it — forever. A new divergence found by
+//! `cwp-fuzz` lands here as a regression test simply by committing the
+//! file it writes.
+
+use std::path::PathBuf;
+
+use cwp_verify::{check_case, FuzzCase};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros")
+}
+
+#[test]
+fn every_committed_repro_replays_clean() {
+    let dir = corpus_dir();
+    let mut cases = Vec::new();
+    for entry in std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .flatten()
+    {
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "jsonl") {
+            cases.push(path);
+        }
+    }
+    cases.sort();
+    assert!(
+        !cases.is_empty(),
+        "the corpus must hold at least the shrink-demo case"
+    );
+    for path in &cases {
+        let case = FuzzCase::load(path).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            !case.refs.is_empty(),
+            "{}: empty reference stream",
+            path.display()
+        );
+        if let Some(d) = check_case(&case) {
+            panic!("{}: engine diverges from the model: {d}", path.display());
+        }
+    }
+}
