@@ -31,13 +31,15 @@ pub mod report;
 pub mod runner;
 pub mod sim;
 pub mod store;
+pub mod supervise;
 
 pub use lab::{Lab, WriteEvent, WriteStream};
 pub use obs::{trace_replay, trace_simulation, TraceOptions, TracedRun};
 pub use report::{require_table, Cell, CellError, CellErrorKind, Table};
 pub use runner::{Job, JobOutcome, JobResult, RunSummary, Runner, RunnerConfig};
 pub use sim::{
-    replay, replay_audited, replay_probed, simulate, simulate_audited, simulate_many,
-    simulate_many_audited, simulate_probed, SimOutcome,
+    replay, replay_audited, replay_cancellable, replay_probed, simulate, simulate_audited,
+    simulate_many, simulate_many_audited, simulate_many_cancellable, simulate_probed, SimOutcome,
 };
 pub use store::TraceStore;
+pub use supervise::{backoff_delay, CancelToken, Supervisor};

@@ -30,7 +30,6 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cwp_mem::rng::SplitMix64;
 use cwp_obs::jsonl::{read_jsonl_tolerant, write_jsonl_atomic};
 use cwp_obs::{obs_debug, obs_info, obs_warn, Event, Json, JsonlWriter, Probe};
 use cwp_trace::Scale;
@@ -39,6 +38,7 @@ use crate::experiments::Experiment;
 use crate::lab::Lab;
 use crate::obs::TraceOptions;
 use crate::report::{Cell, Table};
+use crate::supervise::{self, Supervisor};
 
 /// File name of the checkpoint journal inside the journal directory.
 pub const JOURNAL_FILE: &str = "checkpoint.jsonl";
@@ -401,20 +401,9 @@ struct QueueState {
 
 type Queue = Arc<(Mutex<QueueState>, Condvar)>;
 
-/// One in-flight attempt, tracked by the watchdog.
-struct RunningEntry {
-    ticket: Ticket,
-    deadline: Option<Instant>,
-}
-
-/// Watchdog-owned state: in-flight attempts and scheduled retries.
-struct WatchState {
-    running: HashMap<u64, RunningEntry>,
-    delayed: Vec<(Instant, Ticket)>,
-    shutdown: bool,
-}
-
-type Watch = Arc<(Mutex<WatchState>, Condvar)>;
+/// The watchdog over in-flight attempts and scheduled retries, keyed
+/// by worker id (see [`crate::supervise`]).
+type Watch = Arc<Supervisor<Ticket>>;
 
 enum Msg {
     Done {
@@ -491,18 +480,12 @@ fn worker_loop(
             }
         };
         let job = &jobs[ticket.job];
-        {
-            let (lock, cvar) = &*watch;
-            let deadline = config
-                .deadline_per_cost
-                .map(|d| Instant::now() + d * job.cost.max(1));
-            lock.lock()
-                .expect("watch lock")
-                .running
-                .insert(worker_id, RunningEntry { ticket, deadline });
-            // Wake the watchdog so it re-arms for this attempt's deadline.
-            cvar.notify_one();
-        }
+        // Register with the watchdog so it arms for this attempt's
+        // deadline.
+        let deadline = config
+            .deadline_per_cost
+            .map(|d| Instant::now() + d * job.cost.max(1));
+        watch.register(worker_id, deadline, ticket);
         if let Some(delay) = config.job_delay {
             std::thread::sleep(delay);
         }
@@ -514,15 +497,7 @@ fn worker_loop(
         // If the watchdog expired our deadline it removed our entry and
         // already settled the job; this worker is abandoned and a
         // replacement has taken its place — exit without reporting.
-        let abandoned = {
-            let (lock, _) = &*watch;
-            lock.lock()
-                .expect("watch lock")
-                .running
-                .remove(&worker_id)
-                .is_none()
-        };
-        if abandoned {
+        if watch.complete(worker_id).is_none() {
             obs_debug!("worker {worker_id}: abandoned after deadline, exiting");
             return;
         }
@@ -557,68 +532,6 @@ fn worker_loop(
     }
 }
 
-/// The watchdog thread body: expire deadlines, release due retries.
-fn watchdog_loop(watch: Watch, queue: Queue, out: mpsc::Sender<Msg>) {
-    let (lock, cvar) = &*watch;
-    let mut state = lock.lock().expect("watch lock");
-    loop {
-        if state.shutdown {
-            return;
-        }
-        let now = Instant::now();
-        // Expire deadlines: remove the running entry (abandoning the
-        // worker) and report the timeout.
-        let expired: Vec<u64> = state
-            .running
-            .iter()
-            .filter(|(_, e)| e.deadline.is_some_and(|d| d <= now))
-            .map(|(w, _)| *w)
-            .collect();
-        for worker in expired {
-            if let Some(entry) = state.running.remove(&worker) {
-                if out
-                    .send(Msg::TimedOut {
-                        worker,
-                        ticket: entry.ticket,
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-        }
-        // Release retries whose backoff has elapsed.
-        let mut due = Vec::new();
-        state.delayed.retain(|(at, ticket)| {
-            if *at <= now {
-                due.push(*ticket);
-                false
-            } else {
-                true
-            }
-        });
-        for ticket in due {
-            push_ready(&queue, ticket);
-        }
-        // Sleep until the next deadline or retry, or until notified.
-        let next = state
-            .running
-            .values()
-            .filter_map(|e| e.deadline)
-            .chain(state.delayed.iter().map(|(at, _)| *at))
-            .min();
-        state = match next {
-            Some(at) => {
-                let wait = at.saturating_duration_since(Instant::now());
-                cvar.wait_timeout(state, wait.max(Duration::from_millis(1)))
-                    .expect("watch lock")
-                    .0
-            }
-            None => cvar.wait(state).expect("watch lock"),
-        };
-    }
-}
-
 // ---------------------------------------------------------------------
 // The runner
 // ---------------------------------------------------------------------
@@ -638,16 +551,15 @@ impl Runner {
     /// The deterministic backoff before retry `attempt` of `job`:
     /// `base * 2^(attempt-1)`, jittered by a seeded multiplier in
     /// `[0.5, 1.5)`. Same seed, same job, same attempt — same delay.
+    /// Delegates to [`supervise::backoff_delay`] with the job index as
+    /// the jitter stream.
     pub fn backoff_delay(&self, job: usize, attempt: u32) -> Duration {
-        let base = self.config.backoff_base;
-        let exp = base.saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16));
-        let seed = self
-            .config
-            .backoff_seed
-            .wrapping_add((job as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .wrapping_add(u64::from(attempt));
-        let mut rng = SplitMix64::seed_from_u64(seed);
-        exp.mul_f64(0.5 + rng.gen_f64())
+        supervise::backoff_delay(
+            self.config.backoff_base,
+            self.config.backoff_seed,
+            job as u64,
+            attempt,
+        )
     }
 
     /// Runs `jobs` to completion (every job settles) and returns the
@@ -715,15 +627,20 @@ impl Runner {
 
         let jobs = Arc::new(jobs);
         let queue: Queue = Arc::new((Mutex::new(QueueState::default()), Condvar::new()));
-        let watch: Watch = Arc::new((
-            Mutex::new(WatchState {
-                running: HashMap::new(),
-                delayed: Vec::new(),
-                shutdown: false,
-            }),
-            Condvar::new(),
-        ));
         let (tx, rx) = mpsc::channel::<Msg>();
+        // The watchdog: expired deadlines report a timeout, due retry
+        // backoffs re-enter the ready queue.
+        let watch: Watch = {
+            let tx = tx.clone();
+            let queue = Arc::clone(&queue);
+            Arc::new(Supervisor::spawn(
+                "cwp-watchdog",
+                move |worker, ticket| {
+                    let _ = tx.send(Msg::TimedOut { worker, ticket });
+                },
+                move |ticket| push_ready(&queue, ticket),
+            ))
+        };
 
         let workers = self.config.workers.max(1);
         let mut handles: HashMap<u64, std::thread::JoinHandle<()>> = HashMap::new();
@@ -758,15 +675,6 @@ impl Runner {
         for _ in 0..workers {
             spawn_worker(&mut handles);
         }
-        let watchdog = {
-            let watch = Arc::clone(&watch);
-            let queue = Arc::clone(&queue);
-            let tx = tx.clone();
-            std::thread::Builder::new()
-                .name("cwp-watchdog".to_string())
-                .spawn(move || watchdog_loop(watch, queue, tx))
-                .expect("spawn watchdog thread")
-        };
         drop(tx);
 
         // Dispatch every job not already settled by resume replay.
@@ -864,15 +772,13 @@ impl Runner {
                                 attempt: next,
                             });
                             attempts[ticket.job] = next;
-                            let (lock, cvar) = &*watch;
-                            lock.lock().expect("watch lock").delayed.push((
+                            watch.release_after(
                                 Instant::now() + delay,
                                 Ticket {
                                     job: ticket.job,
                                     attempt: next,
                                 },
-                            ));
-                            cvar.notify_one();
+                            );
                         }
                         Err(error) => {
                             obs_warn!(
@@ -938,20 +844,17 @@ impl Runner {
         }
 
         // Shut everything down and join the workers we did not abandon.
+        // The watchdog thread itself joins when the last `watch` clone
+        // drops (see [`Supervisor`]'s `Drop`).
         {
             let (lock, cvar) = &*queue;
             lock.lock().expect("queue lock").shutdown = true;
             cvar.notify_all();
         }
-        {
-            let (lock, cvar) = &*watch;
-            lock.lock().expect("watch lock").shutdown = true;
-            cvar.notify_all();
-        }
+        watch.shutdown();
         for (_, handle) in handles {
             let _ = handle.join();
         }
-        let _ = watchdog.join();
 
         Ok(RunSummary {
             results: results

@@ -5,6 +5,13 @@ use cwp_mem::{CwpError, MainMemory, NextLevel, Traffic, TrafficRecorder, VoidMem
 use cwp_trace::{AccessKind, MemRef, RecordedTrace, Scale, TraceSink, TraceSummary, Workload};
 use cwp_verify::InvariantAuditor;
 
+use crate::supervise::CancelToken;
+
+/// How many references the cancellable drivers replay between polls of
+/// their [`CancelToken`]. Small enough to bound cancellation latency to
+/// well under a millisecond, large enough that the poll is free.
+const CANCEL_POLL_REFS: usize = 4096;
+
 /// Everything one (workload, configuration) simulation produces.
 #[derive(Debug, Clone)]
 pub struct SimOutcome {
@@ -258,6 +265,81 @@ pub fn simulate_many(trace: &RecordedTrace, configs: &[CacheConfig]) -> Vec<SimO
         .into_iter()
         .map(|o| o.expect("every configuration was settled or replayed"))
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Cancellable drivers (`cwp-serve` deadlines)
+// ---------------------------------------------------------------------
+
+/// As [`replay`], but polls `cancel` every [`CANCEL_POLL_REFS`]
+/// references. Returns `None` if the token trips before the replay
+/// finishes — the outcome so far is discarded, since a partial drive
+/// produces meaningless statistics. An un-cancelled run is identical to
+/// [`replay`].
+pub fn replay_cancellable(
+    trace: &RecordedTrace,
+    config: &CacheConfig,
+    cancel: &CancelToken,
+) -> Option<SimOutcome> {
+    let mut sink = CacheSink::new(*config);
+    for (i, r) in trace.iter().enumerate() {
+        if i % CANCEL_POLL_REFS == 0 && cancel.is_cancelled() {
+            return None;
+        }
+        sink.record(r);
+    }
+    if cancel.is_cancelled() {
+        return None;
+    }
+    Some(settle(sink, trace.summary()).0)
+}
+
+/// As [`simulate_many`], but cooperatively cancellable: the banked pass
+/// polls `cancel` every [`CANCEL_POLL_REFS`] references, and the
+/// per-configuration fault-injection fallback uses
+/// [`replay_cancellable`]. Returns `None` on cancellation; an
+/// un-cancelled run returns outcomes identical to [`simulate_many`].
+pub fn simulate_many_cancellable(
+    trace: &RecordedTrace,
+    configs: &[CacheConfig],
+    cancel: &CancelToken,
+) -> Option<Vec<SimOutcome>> {
+    let mut outcomes: Vec<Option<SimOutcome>> = configs.iter().map(|_| None).collect();
+    let bank: Vec<usize> = (0..configs.len())
+        .filter(|&i| configs[i].fault_rate_ppm() == 0)
+        .collect();
+    if !bank.is_empty() {
+        let mut sinks: Vec<CacheSink<NullProbe, VoidMemory>> = bank
+            .iter()
+            .map(|&i| CacheSink::data_free(configs[i]))
+            .collect();
+        for (i, r) in trace.iter().enumerate() {
+            if i % CANCEL_POLL_REFS == 0 && cancel.is_cancelled() {
+                return None;
+            }
+            for sink in &mut sinks {
+                sink.record(r);
+            }
+        }
+        let summary = trace.summary();
+        for (&i, sink) in bank.iter().zip(sinks) {
+            outcomes[i] = Some(settle(sink, summary).0);
+        }
+    }
+    for (i, config) in configs.iter().enumerate() {
+        if outcomes[i].is_none() {
+            outcomes[i] = Some(replay_cancellable(trace, config, cancel)?);
+        }
+    }
+    if cancel.is_cancelled() {
+        return None;
+    }
+    Some(
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every configuration was settled or replayed"))
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -549,6 +631,41 @@ mod tests {
     fn data_free_sink_rejects_fault_injection() {
         let config = CacheConfig::builder().fault_rate_ppm(1).build().unwrap();
         let _ = CacheSink::data_free(config);
+    }
+
+    #[test]
+    fn cancellable_drivers_match_their_plain_twins_when_not_cancelled() {
+        let w = workloads::met();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let configs = [
+            CacheConfig::default(),
+            CacheConfig::builder()
+                .size_bytes(1024)
+                .fault_rate_ppm(5_000)
+                .fault_seed(3)
+                .build()
+                .unwrap(),
+        ];
+        let token = CancelToken::new();
+        let solo = replay_cancellable(&trace, &configs[0], &token).unwrap();
+        assert_eq!(solo.stats, replay(&trace, &configs[0]).stats);
+        let fanned = simulate_many_cancellable(&trace, &configs, &token).unwrap();
+        let plain = simulate_many(&trace, &configs);
+        for (a, b) in fanned.iter().zip(&plain) {
+            assert_eq!(a.summary, b.summary);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.traffic_total, b.traffic_total);
+        }
+    }
+
+    #[test]
+    fn a_tripped_token_aborts_the_drive() {
+        let w = workloads::met();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(replay_cancellable(&trace, &CacheConfig::default(), &token).is_none());
+        assert!(simulate_many_cancellable(&trace, &[CacheConfig::default()], &token).is_none());
     }
 
     #[test]

@@ -8,19 +8,24 @@
 //! the workload generator per sweep point.
 //!
 //! Capture is memory-bounded: the store has a byte budget
-//! ([`DEFAULT_BUDGET_BYTES`] unless configured), and a workload whose
-//! trace would not fit records nothing and falls back to live
-//! generation — callers see `None` from [`TraceStore::get_or_record`]
-//! and drive the generator directly. A budget of zero
-//! ([`TraceStore::disabled`]) turns the store off entirely, which is
-//! how `figures --no-trace-store` forces the legacy regenerate-always
-//! path for equivalence checks.
+//! ([`DEFAULT_BUDGET_BYTES`] unless configured). A workload whose trace
+//! fits the *total* budget always records; if the store is then over
+//! budget, the least-recently-used other recordings are evicted until
+//! it fits again (an evicted workload simply re-records on next use).
+//! Only a workload whose trace alone exceeds the whole budget records
+//! nothing and falls back to live generation — callers see `None` from
+//! [`TraceStore::get_or_record`] and drive the generator directly. A
+//! budget of zero ([`TraceStore::disabled`]) turns the store off
+//! entirely, which is how `figures --no-trace-store` forces the legacy
+//! regenerate-always path for equivalence checks.
 //!
 //! Concurrency: each workload's slot is a `OnceLock`, so concurrent
 //! workers block on (rather than duplicate) an in-flight recording,
 //! and a panic inside a generator leaves the slot empty for the next
 //! attempt. The budget accounting is advisory — two workloads recording
-//! at the same instant may transiently overshoot by one trace.
+//! at the same instant may transiently overshoot by one trace (the
+//! overshoot is trimmed back by eviction as each finishes), and holders
+//! of an evicted trace's `Arc` keep it alive until they drop it.
 
 use std::collections::HashMap;
 use std::io;
@@ -36,6 +41,12 @@ use cwp_trace::{RecordedTrace, Scale, Workload, APPROX_BYTES_PER_REF, TRACE_FILE
 pub const DEFAULT_BUDGET_BYTES: u64 = 512 << 20;
 
 type Slot = Arc<OnceLock<Option<Arc<RecordedTrace>>>>;
+
+/// A workload's slot plus its LRU stamp (larger = used more recently).
+struct SlotEntry {
+    slot: Slot,
+    last_used: u64,
+}
 
 /// Shared storage of one recorded trace per workload, at one scale.
 ///
@@ -60,7 +71,9 @@ pub struct TraceStore {
     budget_bytes: u64,
     used_bytes: AtomicU64,
     recordings: AtomicU64,
-    slots: Mutex<HashMap<String, Slot>>,
+    evictions: AtomicU64,
+    clock: AtomicU64,
+    slots: Mutex<HashMap<String, SlotEntry>>,
 }
 
 impl TraceStore {
@@ -78,6 +91,8 @@ impl TraceStore {
             budget_bytes,
             used_bytes: AtomicU64::new(0),
             recordings: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
             slots: Mutex::new(HashMap::new()),
         }
     }
@@ -104,24 +119,79 @@ impl TraceStore {
     }
 
     /// Number of traces captured by generator runs (loaded or inserted
-    /// traces do not count).
+    /// traces do not count). A re-capture after an eviction counts
+    /// again.
     pub fn recordings(&self) -> u64 {
         self.recordings.load(Ordering::Relaxed)
     }
 
+    /// Number of recordings evicted to respect the budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The slot for `name`, created empty if absent, with its LRU stamp
+    /// refreshed.
     fn slot(&self, name: &str) -> Slot {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut slots = self
             .slots
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        Arc::clone(slots.entry(name.to_string()).or_default())
+        let entry = slots.entry(name.to_string()).or_insert_with(|| SlotEntry {
+            slot: Slot::default(),
+            last_used: stamp,
+        });
+        entry.last_used = stamp;
+        Arc::clone(&entry.slot)
+    }
+
+    /// Evicts least-recently-used recordings (never `keep`'s) until the
+    /// store fits its budget or nothing evictable remains.
+    fn evict_to_budget(&self, keep: &str) {
+        while self.used_bytes.load(Ordering::Relaxed) > self.budget_bytes {
+            let victim = {
+                let mut slots = self
+                    .slots
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                let name = slots
+                    .iter()
+                    .filter(|(name, entry)| {
+                        name.as_str() != keep && matches!(entry.slot.get(), Some(Some(_)))
+                    })
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(name, _)| name.clone());
+                name.and_then(|n| slots.remove(&n).map(|entry| (n, entry)))
+            };
+            let Some((name, entry)) = victim else {
+                return; // nothing left to evict; stay (advisorily) over
+            };
+            if let Some(Some(trace)) = entry.slot.get() {
+                let bytes = trace.approx_bytes();
+                let _ = self
+                    .used_bytes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(bytes))
+                    });
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                obs_debug!(
+                    "evicted {name} (~{} KiB) to respect the {} MiB trace budget",
+                    bytes / 1024,
+                    self.budget_bytes >> 20
+                );
+            }
+        }
     }
 
     /// The recording for `workload`, capturing it on first use.
     ///
-    /// Returns `None` when the store is disabled or the workload's
-    /// trace does not fit the remaining budget — the caller should run
-    /// the generator live. The miss is remembered, so an over-budget
+    /// A trace that fits the *total* budget always records; if the
+    /// store then exceeds its budget, least-recently-used recordings
+    /// are evicted to make room (they re-record on next use). Returns
+    /// `None` only when the store is disabled or the workload's trace
+    /// alone exceeds the whole budget — the caller should run the
+    /// generator live. That miss is remembered, so a never-fits
     /// workload costs one wasted generator pass in total, not one per
     /// lookup.
     pub fn get_or_record(&self, workload: &dyn Workload) -> Option<Arc<RecordedTrace>> {
@@ -129,44 +199,53 @@ impl TraceStore {
             return None;
         }
         let slot = self.slot(workload.name());
-        slot.get_or_init(|| {
-            let remaining = self
-                .budget_bytes
-                .saturating_sub(self.used_bytes.load(Ordering::Relaxed));
-            let max_records = usize::try_from(remaining / APPROX_BYTES_PER_REF).unwrap_or(usize::MAX);
-            if max_records == 0 {
-                obs_warn!(
-                    "trace store budget exhausted ({} of {} bytes); {} will regenerate live",
-                    self.used_bytes(),
-                    self.budget_bytes,
-                    workload.name()
-                );
-                return None;
-            }
-            match RecordedTrace::record_bounded(workload, self.scale, max_records) {
-                Ok(trace) => {
-                    self.used_bytes
-                        .fetch_add(trace.approx_bytes(), Ordering::Relaxed);
-                    self.recordings.fetch_add(1, Ordering::Relaxed);
-                    obs_debug!(
-                        "recorded {} at {}: {} refs, ~{} KiB",
-                        workload.name(),
-                        self.scale,
-                        trace.len(),
-                        trace.approx_bytes() / 1024
-                    );
-                    Some(Arc::new(trace))
+        let recorded = slot
+            .get_or_init(|| {
+                // 12 B/ref floors the SoA footprint (4 gap + 8 addr,
+                // meta rounds up), so the record cap never rejects a
+                // trace whose true size fits the budget; the exact
+                // check below catches the sliver the floor lets
+                // through. APPROX_BYTES_PER_REF (13) stays the sizing
+                // estimate for callers.
+                let max_records =
+                    usize::try_from(self.budget_bytes / (APPROX_BYTES_PER_REF - 1))
+                        .unwrap_or(usize::MAX);
+                match RecordedTrace::record_bounded(workload, self.scale, max_records) {
+                    Ok(trace) if trace.approx_bytes() > self.budget_bytes => {
+                        obs_warn!(
+                            "{} does not fit the trace budget ({} of {} bytes); \
+                             falling back to live generation",
+                            workload.name(),
+                            trace.approx_bytes(),
+                            self.budget_bytes
+                        );
+                        None
+                    }
+                    Ok(trace) => {
+                        self.used_bytes
+                            .fetch_add(trace.approx_bytes(), Ordering::Relaxed);
+                        self.recordings.fetch_add(1, Ordering::Relaxed);
+                        obs_debug!(
+                            "recorded {} at {}: {} refs, ~{} KiB",
+                            workload.name(),
+                            self.scale,
+                            trace.len(),
+                            trace.approx_bytes() / 1024
+                        );
+                        Some(Arc::new(trace))
+                    }
+                    Err(overflow) => {
+                        obs_warn!(
+                            "{} does not fit the trace budget ({overflow}); falling back to live generation",
+                            workload.name()
+                        );
+                        None
+                    }
                 }
-                Err(overflow) => {
-                    obs_warn!(
-                        "{} does not fit the trace budget ({overflow}); falling back to live generation",
-                        workload.name()
-                    );
-                    None
-                }
-            }
-        })
-        .clone()
+            })
+            .clone();
+        self.evict_to_budget(workload.name());
+        recorded
     }
 
     /// The recording for `name`, if one is already present. Never
@@ -179,17 +258,39 @@ impl TraceStore {
     }
 
     /// Installs a pre-built recording (e.g. one loaded from disk) for
-    /// `name`, replacing any existing slot.
+    /// `name`, replacing any existing slot. Evicts LRU recordings if
+    /// the store is pushed over budget.
     pub fn insert(&self, name: &str, trace: Arc<RecordedTrace>) {
         self.used_bytes
             .fetch_add(trace.approx_bytes(), Ordering::Relaxed);
         let cell = OnceLock::new();
         cell.set(Some(trace)).expect("fresh cell is empty");
-        let mut slots = self
-            .slots
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        slots.insert(name.to_string(), Arc::new(cell));
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let replaced = {
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            slots.insert(
+                name.to_string(),
+                SlotEntry {
+                    slot: Arc::new(cell),
+                    last_used: stamp,
+                },
+            )
+        };
+        // Replacing a populated slot releases its bytes.
+        if let Some(entry) = replaced {
+            if let Some(Some(old)) = entry.slot.get() {
+                let bytes = old.approx_bytes();
+                let _ = self
+                    .used_bytes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                        Some(v.saturating_sub(bytes))
+                    });
+            }
+        }
+        self.evict_to_budget(name);
     }
 
     /// Workload names with a recording present, sorted.
@@ -200,7 +301,7 @@ impl TraceStore {
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         let mut names: Vec<String> = slots
             .iter()
-            .filter(|(_, slot)| matches!(slot.get(), Some(Some(_))))
+            .filter(|(_, entry)| matches!(entry.slot.get(), Some(Some(_))))
             .map(|(name, _)| name.clone())
             .collect();
         names.sort();
@@ -240,6 +341,7 @@ impl std::fmt::Debug for TraceStore {
             .field("budget_bytes", &self.budget_bytes)
             .field("used_bytes", &self.used_bytes())
             .field("recordings", &self.recordings())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -292,6 +394,66 @@ mod tests {
         assert!(store.get_or_record(w.as_ref()).is_none());
         assert_eq!(store.recordings(), 0);
         assert_eq!(store.used_bytes(), 0);
+        assert_eq!(store.evictions(), 0, "nothing was stored, nothing evicts");
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget_and_recency_order() {
+        // Size the budget so it holds yacc+met but not all three: the
+        // third recording must evict exactly one — the least recently
+        // *used*, not the least recently recorded.
+        let sizes: Vec<u64> = [workloads::yacc(), workloads::met(), workloads::grr()]
+            .iter()
+            .map(|w| RecordedTrace::record(w.as_ref(), Scale::Test).approx_bytes())
+            .collect();
+        let (s_yacc, s_met, s_grr) = (sizes[0], sizes[1], sizes[2]);
+        let budget = (s_yacc + s_met).max(s_yacc + s_grr) + 8;
+        assert!(
+            budget < s_yacc + s_met + s_grr,
+            "budget must not hold all three"
+        );
+        let store = TraceStore::with_budget(Scale::Test, budget);
+
+        assert!(store.get_or_record(workloads::yacc().as_ref()).is_some());
+        assert!(store.get_or_record(workloads::met().as_ref()).is_some());
+        assert_eq!(store.evictions(), 0, "both fit");
+        // Touch yacc so met becomes the LRU victim.
+        assert!(store.lookup("yacc").is_some());
+        assert!(store.get_or_record(workloads::grr().as_ref()).is_some());
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.recorded_names(), ["grr", "yacc"]);
+        assert!(store.used_bytes() <= budget, "eviction restored the budget");
+
+        // The evicted workload transparently re-records on next use.
+        assert!(store.get_or_record(workloads::met().as_ref()).is_some());
+        assert_eq!(store.recordings(), 4, "met was captured twice");
+        assert!(store.evictions() >= 2);
+        assert!(store.used_bytes() <= budget);
+    }
+
+    #[test]
+    fn a_trace_larger_than_everything_already_stored_still_records() {
+        // A budget that holds only the larger of two traces must evict
+        // the smaller earlier recording rather than refuse to record.
+        let s_ccom = RecordedTrace::record(workloads::ccom().as_ref(), Scale::Test).approx_bytes();
+        let s_met = RecordedTrace::record(workloads::met().as_ref(), Scale::Test).approx_bytes();
+        let (first, second, larger) = if s_ccom >= s_met {
+            ("met", "ccom", s_ccom)
+        } else {
+            ("ccom", "met", s_met)
+        };
+        let store = TraceStore::with_budget(Scale::Test, larger + 8);
+        assert!(store
+            .get_or_record(workloads::by_name(first).unwrap().as_ref())
+            .is_some());
+        assert!(
+            store
+                .get_or_record(workloads::by_name(second).unwrap().as_ref())
+                .is_some(),
+            "fits the total budget, so it records"
+        );
+        assert_eq!(store.evictions(), 1, "the smaller trace was evicted");
+        assert_eq!(store.recorded_names(), [second]);
     }
 
     #[test]

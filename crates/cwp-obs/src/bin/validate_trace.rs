@@ -1,6 +1,6 @@
 //! Validates exported trace directories against the event schema.
 //!
-//! Usage: `validate_trace <trace-dir>...`
+//! Usage: `validate_trace [--strict] <trace-dir>...`
 //!
 //! Each argument is walked for run directories (those containing a
 //! `manifest.json`); every run's `events.jsonl`, `windows.csv`, and
@@ -8,6 +8,13 @@
 //! Exits nonzero with a diagnostic on the first failure — this is the
 //! offline check `scripts/verify.sh` and CI run after a traced
 //! experiment.
+//!
+//! A torn final line (a crash mid-append) is tolerated by default and
+//! reported as a warning: the lenient reading is what crash-recovery
+//! paths (the runner's `--resume`, the serve memo journal) rely on.
+//! `--strict` turns the warning into a failure — use it where a
+//! truncated stream means the producer misbehaved, e.g. validating the
+//! output of a run that is known to have exited cleanly.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -15,17 +22,21 @@ use std::process::ExitCode;
 use cwp_obs::schema::validate_trace_dir;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    args.retain(|a| a != "--strict");
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: validate_trace <trace-dir>...");
+        eprintln!("usage: validate_trace [--strict] <trace-dir>...");
         return ExitCode::from(2);
     }
     let mut runs = 0usize;
+    let mut truncated = 0usize;
     for arg in &args {
         match validate_trace_dir(Path::new(arg)) {
             Ok(reports) => {
                 for r in &reports {
                     let tail = if r.truncated {
+                        truncated += 1;
                         "; WARNING: torn final line tolerated"
                     } else {
                         ""
@@ -45,6 +56,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if strict && truncated > 0 {
+        eprintln!("validate_trace: --strict: {truncated} run(s) end in a partially-written line");
+        return ExitCode::FAILURE;
     }
     println!("validate_trace: {runs} run(s) valid");
     ExitCode::SUCCESS

@@ -234,6 +234,44 @@ pub enum Event {
         /// Wall-clock time of the final attempt, in milliseconds.
         wall_ms: u64,
     },
+    /// The serve front end admitted a request into its bounded queue.
+    RequestAdmitted {
+        /// The request id (client-assigned, unique per connection).
+        request: u64,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// The serve front end shed a request (queue full or the client's
+    /// in-flight cap was reached).
+    RequestShed {
+        /// The request id.
+        request: u64,
+        /// Suggested delay before the client retries, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A request's deadline passed before its simulation finished; the
+    /// work was cancelled.
+    RequestDeadline {
+        /// The request id.
+        request: u64,
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A request was served degraded: the trace budget was exhausted,
+    /// so the simulation ran from live generation instead of a
+    /// recording.
+    RequestDegraded {
+        /// The request id.
+        request: u64,
+    },
+    /// A batch of compatible queued requests coalesced into one banked
+    /// simulation pass.
+    RequestCoalesced {
+        /// The id of the request leading the batch.
+        request: u64,
+        /// Requests served by the single pass (including the leader).
+        batch: u32,
+    },
 }
 
 /// A receiver for the typed event stream.

@@ -117,12 +117,17 @@ impl Event {
             Event::JobStart { .. } => "job_start",
             Event::JobRetry { .. } => "job_retry",
             Event::JobEnd { .. } => "job_end",
+            Event::RequestAdmitted { .. } => "req_admitted",
+            Event::RequestShed { .. } => "req_shed",
+            Event::RequestDeadline { .. } => "req_deadline",
+            Event::RequestDegraded { .. } => "req_degraded",
+            Event::RequestCoalesced { .. } => "req_coalesced",
         }
     }
 
     /// All `"ev"` tags, in declaration order — the schema the offline
     /// validator checks traces against.
-    pub const TAGS: [&'static str; 23] = [
+    pub const TAGS: [&'static str; 28] = [
         "access",
         "read_hit",
         "read_miss",
@@ -146,6 +151,11 @@ impl Event {
         "job_start",
         "job_retry",
         "job_end",
+        "req_admitted",
+        "req_shed",
+        "req_deadline",
+        "req_degraded",
+        "req_coalesced",
     ];
 
     /// Converts the event to its JSON object form (without a `seq`).
@@ -270,6 +280,33 @@ impl Event {
                 ("ok", Json::Bool(ok)),
                 ("wall_ms", Json::UInt(wall_ms)),
             ]),
+            Event::RequestAdmitted { request, depth } => Json::obj([
+                ev,
+                ("request", Json::UInt(request)),
+                ("depth", Json::UInt(u64::from(depth))),
+            ]),
+            Event::RequestShed {
+                request,
+                retry_after_ms,
+            } => Json::obj([
+                ev,
+                ("request", Json::UInt(request)),
+                ("retry_after_ms", Json::UInt(retry_after_ms)),
+            ]),
+            Event::RequestDeadline {
+                request,
+                deadline_ms,
+            } => Json::obj([
+                ev,
+                ("request", Json::UInt(request)),
+                ("deadline_ms", Json::UInt(deadline_ms)),
+            ]),
+            Event::RequestDegraded { request } => Json::obj([ev, ("request", Json::UInt(request))]),
+            Event::RequestCoalesced { request, batch } => Json::obj([
+                ev,
+                ("request", Json::UInt(request)),
+                ("batch", Json::UInt(u64::from(batch))),
+            ]),
         }
     }
 
@@ -375,6 +412,25 @@ impl Event {
                 attempt: u32_of("attempt")?,
                 ok: bool_of("ok")?,
                 wall_ms: u64_of("wall_ms")?,
+            },
+            "req_admitted" => Event::RequestAdmitted {
+                request: u64_of("request")?,
+                depth: u32_of("depth")?,
+            },
+            "req_shed" => Event::RequestShed {
+                request: u64_of("request")?,
+                retry_after_ms: u64_of("retry_after_ms")?,
+            },
+            "req_deadline" => Event::RequestDeadline {
+                request: u64_of("request")?,
+                deadline_ms: u64_of("deadline_ms")?,
+            },
+            "req_degraded" => Event::RequestDegraded {
+                request: u64_of("request")?,
+            },
+            "req_coalesced" => Event::RequestCoalesced {
+                request: u64_of("request")?,
+                batch: u32_of("batch")?,
             },
             _ => return None,
         })
@@ -648,6 +704,23 @@ mod tests {
                 attempt: 2,
                 ok: true,
                 wall_ms: 1234,
+            },
+            Event::RequestAdmitted {
+                request: 7,
+                depth: 4,
+            },
+            Event::RequestShed {
+                request: 8,
+                retry_after_ms: 50,
+            },
+            Event::RequestDeadline {
+                request: 9,
+                deadline_ms: 500,
+            },
+            Event::RequestDegraded { request: 10 },
+            Event::RequestCoalesced {
+                request: 11,
+                batch: 6,
             },
         ]
     }

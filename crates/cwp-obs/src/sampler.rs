@@ -502,9 +502,16 @@ impl Probe for WindowSampler {
                     cur.transit_retried += 1;
                 }
             }
-            // Runner lifecycle events are per-job, not per-access; they
-            // carry no window-summable counter.
-            Event::JobStart { .. } | Event::JobRetry { .. } | Event::JobEnd { .. } => {}
+            // Runner job and serve request lifecycle events are not
+            // per-access; they carry no window-summable counter.
+            Event::JobStart { .. }
+            | Event::JobRetry { .. }
+            | Event::JobEnd { .. }
+            | Event::RequestAdmitted { .. }
+            | Event::RequestShed { .. }
+            | Event::RequestDeadline { .. }
+            | Event::RequestDegraded { .. }
+            | Event::RequestCoalesced { .. } => {}
         }
         self.touched = true;
     }

@@ -1,0 +1,117 @@
+//! A small blocking client for the JSONL protocol.
+//!
+//! Supports pipelining: send any number of requests, then collect
+//! responses as they arrive (the server may answer out of order when
+//! different workers finish at different times). The client is the
+//! building block for the load generator and the chaos harness.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{Request, Response};
+
+/// A blocking JSONL protocol client over TCP.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sets a read timeout for [`Client::recv`] (`None` blocks forever).
+    pub fn set_recv_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Sends a raw line verbatim (for protocol-robustness tests).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Receives the next response line.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed the connection, or
+    /// `InvalidData` when the line does not parse as a response.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_line(line.trim_end())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends a request and blocks for its response, matching on id.
+    /// Out-of-order responses for other ids are not expected on a
+    /// non-pipelined client and are returned as `InvalidData`.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send(request)?;
+        let response = self.recv()?;
+        let answered = match &response {
+            Response::Ok { id, .. } => Some(*id),
+            Response::Error { id, .. } => *id,
+        };
+        if answered.is_some() && answered != Some(request.id) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response for id {answered:?}, expected {}", request.id),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Pipelines `requests` and collects one response per unique id.
+    /// Returns a map from request id to its response; stops early on a
+    /// transport error after draining what arrived.
+    pub fn pipeline(&mut self, requests: &[Request]) -> std::io::Result<HashMap<u64, Response>> {
+        for request in requests {
+            self.send(request)?;
+        }
+        let unique: std::collections::HashSet<u64> = requests.iter().map(|r| r.id).collect();
+        let mut responses = HashMap::new();
+        while responses.len() < unique.len() {
+            let response = self.recv()?;
+            let id = match &response {
+                Response::Ok { id, .. } => Some(*id),
+                Response::Error { id, .. } => *id,
+            };
+            match id {
+                Some(id) => {
+                    responses.insert(id, response);
+                }
+                None => {
+                    // A rejection for an unparseable line has no id;
+                    // surface it under a sentinel so callers see it.
+                    responses.insert(u64::MAX, response);
+                }
+            }
+        }
+        Ok(responses)
+    }
+}

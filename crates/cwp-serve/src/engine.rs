@@ -1,0 +1,692 @@
+//! The serving engine: admission, scheduling, workers, and settlement.
+//!
+//! The engine owes exactly one response per admitted request, no matter
+//! what happens in between — a worker panic, a deadline expiry, a
+//! client disconnect, or a coalesced batch abort. The invariant is
+//! enforced with the [`Supervisor`]'s register/complete handshake: a
+//! request is registered before it is admitted, and whichever side
+//! settles it first (worker result or deadline watchdog) wins the
+//! `complete` race; the loser sees `None` and stays silent.
+//!
+//! Workers pull from the [`AdmissionQueue`] highest-priority-first and
+//! coalesce compatible waiting requests (same workload, fault-free
+//! config) into one banked [`simulate_many_cancellable`] pass. Results
+//! are memoized in the crash-safe [`MemoStore`] keyed by
+//! `(trace content hash, canonical config JSON)`.
+//!
+//! Graceful degradation: when the [`TraceStore`] cannot hold a
+//! workload's trace even after LRU eviction, the engine falls back to
+//! live generation and flags the response `degraded` — slower, but
+//! still correct (replay is byte-identical to live generation by
+//! construction).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cwp_core::sim::{simulate, simulate_many_cancellable};
+use cwp_core::store::TraceStore;
+use cwp_core::supervise::{backoff_delay, CancelToken, Supervisor};
+use cwp_mem::SplitMix64;
+use cwp_obs::event::{Event, Probe};
+use cwp_obs::jsonl::JsonlWriter;
+use cwp_trace::{workloads, Scale};
+
+use crate::memo::MemoStore;
+use crate::protocol::{config_key, Reject, Request, Response, ResultSummary};
+use crate::queue::{AdmissionQueue, Entry};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Workload scale served by this engine.
+    pub scale: Scale,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Admission queue capacity; pushes past this are shed.
+    pub queue_capacity: usize,
+    /// Per-client in-flight cap.
+    pub per_client_inflight: usize,
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Base delay for the exponential retry backoff.
+    pub backoff_base: Duration,
+    /// Seed for backoff jitter and fault injection.
+    pub seed: u64,
+    /// Advisory byte budget for the trace store (LRU-evicted).
+    pub trace_budget_bytes: u64,
+    /// Maximum requests coalesced into one banked pass.
+    pub max_batch: usize,
+    /// When nonzero, deterministically panic the first attempt of
+    /// roughly one in this many requests (chaos testing).
+    pub fault_one_in: u64,
+    /// Directory for the crash-safe memo journal (`None` = in-memory).
+    pub memo_dir: Option<std::path::PathBuf>,
+    /// Request-lifecycle event log (`None` = no log).
+    pub events_path: Option<std::path::PathBuf>,
+}
+
+impl EngineConfig {
+    /// A sensible default configuration at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        EngineConfig {
+            scale,
+            workers: 4,
+            queue_capacity: 256,
+            per_client_inflight: 64,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(5),
+            seed: 0x5e12_c0de,
+            trace_budget_bytes: 512 * 1024 * 1024,
+            max_batch: 32,
+            fault_one_in: 0,
+            memo_dir: None,
+            events_path: None,
+        }
+    }
+}
+
+/// A monotonic snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed with a typed `overloaded` rejection.
+    pub shed: u64,
+    /// Requests answered with a result.
+    pub served: u64,
+    /// Served requests answered from the memo store.
+    pub memo_hits: u64,
+    /// Served requests that rode a coalesced banked pass.
+    pub coalesced: u64,
+    /// Served requests computed via degraded live generation.
+    pub degraded: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub deadline_expired: u64,
+    /// Worker panics caught (injected or real).
+    pub panics: u64,
+    /// Attempts re-queued after a backoff.
+    pub retries: u64,
+    /// Requests answered `failed` after exhausting attempts.
+    pub failed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    memo_hits: AtomicU64,
+    coalesced: AtomicU64,
+    degraded: AtomicU64,
+    deadline_expired: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Supervisor payload: either a deadline armed for an admitted request
+/// or a retry entry waiting out its backoff.
+#[derive(Clone)]
+enum SupMsg {
+    Deadline {
+        client: u64,
+        id: u64,
+        deadline_ms: u64,
+        cancel: CancelToken,
+    },
+    Retry(Box<Entry>),
+}
+
+struct Shared {
+    config: EngineConfig,
+    queue: AdmissionQueue,
+    store: TraceStore,
+    memo: MemoStore,
+    /// Workload name -> trace content hash, learned on first recording.
+    hashes: Mutex<HashMap<String, u64>>,
+    clients: Mutex<HashMap<u64, Sender<Response>>>,
+    supervisor: OnceLock<Arc<Supervisor<SupMsg>>>,
+    counters: Counters,
+    seq: AtomicU64,
+    client_seq: AtomicU64,
+    events: Option<Mutex<JsonlWriter<std::fs::File>>>,
+}
+
+/// The serving engine. See the module docs for the design.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Builds the engine and starts its worker pool and watchdog.
+    pub fn start(config: EngineConfig) -> std::io::Result<Engine> {
+        let memo = match &config.memo_dir {
+            Some(dir) => MemoStore::open(dir)?,
+            None => MemoStore::ephemeral(),
+        };
+        let events = match &config.events_path {
+            Some(path) => {
+                let file = std::fs::File::create(path)?;
+                Some(Mutex::new(JsonlWriter::new(file, None)))
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity, config.per_client_inflight),
+            store: TraceStore::with_budget(config.scale, config.trace_budget_bytes),
+            memo,
+            hashes: Mutex::new(HashMap::new()),
+            clients: Mutex::new(HashMap::new()),
+            supervisor: OnceLock::new(),
+            counters: Counters::default(),
+            seq: AtomicU64::new(1),
+            client_seq: AtomicU64::new(1),
+            events,
+            config,
+        });
+        let expired = Arc::downgrade(&shared);
+        let due = Arc::downgrade(&shared);
+        let supervisor = Arc::new(Supervisor::spawn(
+            "cwp-serve-watchdog",
+            move |seq, msg| {
+                if let Some(shared) = Weak::upgrade(&expired) {
+                    shared.on_deadline(seq, msg);
+                }
+            },
+            move |msg| {
+                if let Some(shared) = Weak::upgrade(&due) {
+                    shared.on_release(msg);
+                }
+            },
+        ));
+        shared
+            .supervisor
+            .set(supervisor)
+            .map_err(|_| ())
+            .expect("supervisor set once");
+        let workers = (0..shared.config.workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cwp-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Engine {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Registers a new client; responses for it arrive on the returned
+    /// channel. The id namespaces the client's request ids and its
+    /// in-flight cap.
+    pub fn attach_client(&self) -> (u64, Receiver<Response>) {
+        let client = self.shared.client_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        self.shared
+            .clients
+            .lock()
+            .expect("clients lock")
+            .insert(client, tx);
+        (client, rx)
+    }
+
+    /// Unregisters a client. Responses still in flight for it are
+    /// dropped (the connection is gone); its queue debt is still paid
+    /// so the in-flight accounting stays balanced.
+    pub fn detach_client(&self, client: u64) {
+        self.shared
+            .clients
+            .lock()
+            .expect("clients lock")
+            .remove(&client);
+    }
+
+    /// Submits one raw request line on behalf of `client`. Every
+    /// outcome — parse failure, shed, or admission — is reported
+    /// through the client's response channel; this method never panics
+    /// on malformed input.
+    pub fn submit(&self, client: u64, line: &str) {
+        self.shared.submit(client, line);
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats()
+    }
+
+    /// Current admission queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        if let Some(sup) = self.shared.supervisor.get() {
+            sup.shutdown();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Shared {
+    fn sup(&self) -> &Arc<Supervisor<SupMsg>> {
+        self.supervisor.get().expect("supervisor initialized")
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(writer) = &self.events {
+            writer.lock().expect("events lock").on_event(&event);
+        }
+    }
+
+    fn respond(&self, client: u64, response: Response) {
+        let sender = self
+            .clients
+            .lock()
+            .expect("clients lock")
+            .get(&client)
+            .cloned();
+        if let Some(sender) = sender {
+            // A send error means the client detached between lookup and
+            // send; the response is dropped on the floor by design.
+            let _ = sender.send(response);
+        }
+    }
+
+    fn submit(&self, client: u64, line: &str) {
+        let request = match Request::from_line(line) {
+            Err((id, reject)) => {
+                self.respond(client, Response::Error { id, reject });
+                return;
+            }
+            Ok(request) => request,
+        };
+        if workloads::by_name(&request.workload).is_none() {
+            let detail = format!("unknown workload {:?}", request.workload);
+            self.respond(
+                client,
+                Response::Error {
+                    id: Some(request.id),
+                    reject: Reject::BadRequest { detail },
+                },
+            );
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let deadline_ms = request.deadline_ms.unwrap_or(0);
+        let deadline = request
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let id = request.id;
+        let entry = Entry {
+            seq,
+            client,
+            request,
+            attempt: 1,
+            admitted: Instant::now(),
+            cancel: cancel.clone(),
+        };
+        // Register before admitting so a fast worker can never complete
+        // an unregistered request (which would eat its response).
+        self.sup().register(
+            seq,
+            deadline,
+            SupMsg::Deadline {
+                client,
+                id,
+                deadline_ms,
+                cancel,
+            },
+        );
+        match self.queue.admit(entry) {
+            Ok(depth) => {
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                self.emit(Event::RequestAdmitted {
+                    request: seq,
+                    depth: depth.min(u32::MAX as usize) as u32,
+                });
+            }
+            Err(shed) => {
+                self.sup().complete(seq); // roll back the registration
+                let retry_after_ms = shed.retry_after_ms();
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.emit(Event::RequestShed {
+                    request: seq,
+                    retry_after_ms,
+                });
+                self.respond(
+                    client,
+                    Response::Error {
+                        id: Some(id),
+                        reject: Reject::Overloaded { retry_after_ms },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Deadline watchdog callback: first settle wins. If the worker
+    /// already completed the request this never fires (the supervisor
+    /// dropped the registration); if it fires, the worker's eventual
+    /// `complete` returns `None` and the worker stays silent.
+    fn on_deadline(&self, seq: u64, msg: SupMsg) {
+        let SupMsg::Deadline {
+            client,
+            id,
+            deadline_ms,
+            cancel,
+        } = msg
+        else {
+            return; // retries are never registered with a deadline
+        };
+        cancel.cancel();
+        self.counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(Event::RequestDeadline {
+            request: seq,
+            deadline_ms,
+        });
+        self.respond(
+            client,
+            Response::Error {
+                id: Some(id),
+                reject: Reject::DeadlineExceeded { deadline_ms },
+            },
+        );
+        self.queue.done(client);
+    }
+
+    /// Backoff-release callback: the retry waited out its delay.
+    fn on_release(&self, msg: SupMsg) {
+        if let SupMsg::Retry(entry) = msg {
+            self.queue.requeue(*entry);
+        }
+    }
+
+    /// Settles an entry with a successful result. Returns silently if
+    /// the deadline watchdog got there first.
+    fn settle_ok(
+        &self,
+        entry: &Entry,
+        result: ResultSummary,
+        memo_hit: bool,
+        degraded: bool,
+        coalesced: bool,
+    ) {
+        if self.sup().complete(entry.seq).is_none() {
+            return; // deadline already answered
+        }
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        if memo_hit {
+            self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if degraded {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.emit(Event::RequestDegraded { request: entry.seq });
+        }
+        if coalesced {
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        let wall_ms = entry
+            .admitted
+            .elapsed()
+            .as_millis()
+            .min(u128::from(u64::MAX)) as u64;
+        self.respond(
+            entry.client,
+            Response::Ok {
+                id: entry.request.id,
+                result,
+                memo_hit,
+                degraded,
+                coalesced,
+                wall_ms,
+            },
+        );
+        self.queue.done(entry.client);
+    }
+
+    /// Settles an entry with a terminal failure.
+    fn settle_failed(&self, entry: &Entry, detail: String) {
+        if self.sup().complete(entry.seq).is_none() {
+            return;
+        }
+        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        self.respond(
+            entry.client,
+            Response::Error {
+                id: Some(entry.request.id),
+                reject: Reject::Failed { detail },
+            },
+        );
+        self.queue.done(entry.client);
+    }
+
+    /// True when this attempt should panic by fault injection.
+    fn injected_fault(&self, entry: &Entry) -> bool {
+        self.config.fault_one_in > 0
+            && entry.attempt == 1
+            && SplitMix64::seed_from_u64(self.config.seed ^ entry.seq)
+                .below(self.config.fault_one_in)
+                == 0
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            served: self.counters.served.load(Ordering::Relaxed),
+            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(leader) = shared.queue.pop() {
+        if leader.cancel.is_cancelled() {
+            // Deadline fired while queued; the watchdog already
+            // responded and paid the queue debt.
+            shared.sup().complete(leader.seq);
+            continue;
+        }
+        serve_batch(shared, leader);
+    }
+}
+
+/// Serves one popped entry, coalescing compatible queued requests into
+/// the same banked pass when possible.
+fn serve_batch(shared: &Shared, leader: Entry) {
+    let name = leader.request.workload.clone();
+    let mut batch = vec![leader];
+    let fault_free = batch[0].request.config.fault_rate_ppm() == 0;
+    if fault_free && shared.config.max_batch > 1 {
+        let followers = shared
+            .queue
+            .drain_matching(shared.config.max_batch - 1, |e| {
+                e.request.workload == name
+                    && e.request.config.fault_rate_ppm() == 0
+                    && !e.cancel.is_cancelled()
+            });
+        batch.extend(followers);
+    }
+    let coalesced = batch.len() > 1;
+    if coalesced {
+        for entry in &batch {
+            shared.emit(Event::RequestCoalesced {
+                request: entry.seq,
+                batch: batch.len().min(u32::MAX as usize) as u32,
+            });
+        }
+    }
+
+    let workload = workloads::by_name(&name).expect("validated at submit");
+    let trace = shared.store.get_or_record(workload.as_ref());
+    let degraded = trace.is_none();
+    let trace_hash = match &trace {
+        Some(trace) => {
+            let hash = trace.content_hash();
+            shared
+                .hashes
+                .lock()
+                .expect("hashes lock")
+                .insert(name.clone(), hash);
+            Some(hash)
+        }
+        // The trace alone exceeds the store budget: fall back to live
+        // generation. The hash is still known if some earlier, roomier
+        // moment recorded this workload; otherwise memoization is
+        // skipped for these requests.
+        None => shared
+            .hashes
+            .lock()
+            .expect("hashes lock")
+            .get(&name)
+            .copied(),
+    };
+
+    // Memo pass: answer hits immediately, collect misses for the sim.
+    let mut misses: Vec<(Entry, String)> = Vec::new();
+    for entry in batch {
+        let key = config_key(&entry.request.config);
+        let hit = trace_hash.and_then(|hash| shared.memo.get(hash, &key));
+        match hit {
+            Some(result) => shared.settle_ok(&entry, result, true, false, false),
+            None => misses.push((entry, key)),
+        }
+    }
+    if misses.is_empty() {
+        return;
+    }
+
+    // Deduplicate identical (workload, config) requests within the
+    // batch: one simulation answers all of them.
+    let mut unique_keys: Vec<String> = Vec::new();
+    let mut configs = Vec::new();
+    for (entry, key) in &misses {
+        if !unique_keys.contains(key) {
+            unique_keys.push(key.clone());
+            configs.push(entry.request.config);
+        }
+    }
+
+    let fault_pending = misses.iter().any(|(entry, _)| shared.injected_fault(entry));
+    let cancel = misses[0].0.cancel.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if fault_pending {
+            panic!("injected fault (seed {})", shared.config.seed);
+        }
+        match &trace {
+            Some(trace) => simulate_many_cancellable(trace, &configs, &cancel),
+            None => {
+                // Degraded path: live generation, one pass per config.
+                // No mid-run cancellation hook; the deadline watchdog
+                // still answers on time and the late result is dropped.
+                Some(
+                    configs
+                        .iter()
+                        .map(|config| simulate(workload.as_ref(), shared.config.scale, config))
+                        .collect(),
+                )
+            }
+        }
+    }));
+
+    match outcome {
+        Err(_) => {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            for (entry, _) in misses {
+                retry_or_fail(shared, entry);
+            }
+        }
+        Ok(None) => {
+            // The pass was cancelled: the first miss's deadline fired
+            // mid-run. That entry is settled by the watchdog; the rest
+            // go back to the queue untouched.
+            for (entry, _) in misses {
+                if entry.cancel.is_cancelled() {
+                    shared.sup().complete(entry.seq);
+                } else {
+                    shared.queue.requeue(entry);
+                }
+            }
+        }
+        Ok(Some(outcomes)) => {
+            let results: Vec<ResultSummary> =
+                outcomes.iter().map(ResultSummary::from_outcome).collect();
+            for (entry, key) in misses {
+                let index = unique_keys
+                    .iter()
+                    .position(|k| k == &key)
+                    .expect("key collected above");
+                let result = results[index].clone();
+                if let Some(hash) = trace_hash {
+                    if let Err(e) = shared.memo.put(hash, key, result.clone()) {
+                        cwp_obs::obs_warn!("memo journal write failed: {e}");
+                    }
+                }
+                shared.settle_ok(&entry, result, false, degraded, coalesced);
+            }
+        }
+    }
+}
+
+/// After a caught panic: re-queue the attempt with exponential backoff,
+/// or fail the request once its attempt budget is spent.
+fn retry_or_fail(shared: &Shared, entry: Entry) {
+    if entry.cancel.is_cancelled() {
+        shared.sup().complete(entry.seq);
+        return;
+    }
+    if entry.attempt >= shared.config.max_attempts {
+        let detail = format!(
+            "worker panicked on all {} attempts",
+            shared.config.max_attempts
+        );
+        shared.settle_failed(&entry, detail);
+        return;
+    }
+    let delay = backoff_delay(
+        shared.config.backoff_base,
+        shared.config.seed,
+        entry.seq,
+        entry.attempt,
+    );
+    shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+    let mut next = entry;
+    next.attempt += 1;
+    shared
+        .sup()
+        .release_after(Instant::now() + delay, SupMsg::Retry(Box::new(next)));
+}

@@ -1,0 +1,216 @@
+//! Crash-safe result memoization.
+//!
+//! Results are keyed by `(trace content hash, canonical config JSON)`
+//! and journaled to `memo.jsonl` with an atomic write-then-rename on
+//! every insert, so a server killed mid-run resumes warm: a resent
+//! request whose result was already journaled is answered from the
+//! memo without re-simulating.
+//!
+//! The journal is read back leniently (a torn final line is discarded,
+//! not fatal) because a SIGKILL can land mid-write of the temporary
+//! file before the rename — the previous complete journal is what the
+//! rename protects, and the lenient read guards against pre-rename
+//! interruptions of older, non-atomic writers.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cwp_obs::json::Json;
+use cwp_obs::jsonl::{read_jsonl_tolerant, write_jsonl_atomic};
+
+use crate::protocol::ResultSummary;
+
+/// File name of the journal inside the memo directory.
+pub const MEMO_FILE: &str = "memo.jsonl";
+
+/// A crash-safe `(trace_hash, config) -> result` store.
+pub struct MemoStore {
+    path: Option<PathBuf>,
+    entries: Mutex<HashMap<(u64, String), ResultSummary>>,
+}
+
+impl MemoStore {
+    /// An in-memory store that never touches disk.
+    pub fn ephemeral() -> Self {
+        MemoStore {
+            path: None,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens (or creates) the journal under `dir`, replaying any
+    /// entries a previous incarnation of the server persisted.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(MEMO_FILE);
+        let mut entries = HashMap::new();
+        if path.exists() {
+            let doc = read_jsonl_tolerant(&path)?;
+            for line in &doc.lines {
+                if let Some(entry) = decode_entry(line) {
+                    let (hash, key, result) = entry;
+                    entries.insert((hash, key), result);
+                }
+            }
+        }
+        Ok(MemoStore {
+            path: Some(path),
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// Looks up a memoized result.
+    pub fn get(&self, trace_hash: u64, config_key: &str) -> Option<ResultSummary> {
+        self.entries
+            .lock()
+            .expect("memo lock")
+            .get(&(trace_hash, config_key.to_string()))
+            .cloned()
+    }
+
+    /// Inserts a result and, when backed by disk, rewrites the journal
+    /// atomically. Re-inserting an existing key is a no-op (no journal
+    /// churn), which keeps duplicate in-flight computations cheap.
+    pub fn put(
+        &self,
+        trace_hash: u64,
+        config_key: String,
+        result: ResultSummary,
+    ) -> io::Result<()> {
+        let lines = {
+            let mut entries = self.entries.lock().expect("memo lock");
+            if entries.get(&(trace_hash, config_key.clone())) == Some(&result) {
+                return Ok(());
+            }
+            entries.insert((trace_hash, config_key), result);
+            match &self.path {
+                None => return Ok(()),
+                Some(_) => {
+                    let mut lines: Vec<Json> = entries
+                        .iter()
+                        .map(|((hash, key), result)| encode_entry(*hash, key, result))
+                        .collect();
+                    // Deterministic journal order so repeated saves of
+                    // the same contents are byte-identical.
+                    lines.sort_by(|a, b| {
+                        let mut sa = String::new();
+                        let mut sb = String::new();
+                        a.write(&mut sa);
+                        b.write(&mut sb);
+                        sa.cmp(&sb)
+                    });
+                    lines
+                }
+            }
+        };
+        let path = self.path.as_ref().expect("checked above");
+        write_jsonl_atomic(path, &lines)
+    }
+
+    /// Number of memoized results.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("memo lock").len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn encode_entry(hash: u64, key: &str, result: &ResultSummary) -> Json {
+    Json::obj([
+        ("trace", Json::UInt(hash)),
+        ("config_key", Json::Str(key.to_string())),
+        ("result", result.to_json()),
+    ])
+}
+
+fn decode_entry(json: &Json) -> Option<(u64, String, ResultSummary)> {
+    let hash = json.get("trace")?.as_u64()?;
+    let key = json.get("config_key")?.as_str()?.to_string();
+    let result = ResultSummary::from_json(json.get("result")?).ok()?;
+    Some((hash, key, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn sample(digest: u64) -> ResultSummary {
+        ResultSummary {
+            instructions: 100,
+            reads: 40,
+            writes: 20,
+            read_hits: 30,
+            read_misses: 10,
+            write_hits: 15,
+            write_misses: 5,
+            fetches: 12,
+            traffic_transactions: 27,
+            traffic_bytes: 432,
+            digest,
+        }
+    }
+
+    #[test]
+    fn a_reopened_store_remembers_what_was_put() {
+        let dir = std::env::temp_dir().join(format!("cwp-memo-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = MemoStore::open(&dir).unwrap();
+            store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+            store.put(1, "cfg-b".to_string(), sample(22)).unwrap();
+            store.put(2, "cfg-a".to_string(), sample(33)).unwrap();
+        }
+        let store = MemoStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get(1, "cfg-a").unwrap().digest, 11);
+        assert_eq!(store.get(1, "cfg-b").unwrap().digest, 22);
+        assert_eq!(store.get(2, "cfg-a").unwrap().digest, 33);
+        assert_eq!(store.get(3, "cfg-a"), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_torn_final_journal_line_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!("cwp-memo-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = MemoStore::open(&dir).unwrap();
+            store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+            store.put(1, "cfg-b".to_string(), sample(22)).unwrap();
+        }
+        // Simulate a crash mid-append: chop the journal mid-line.
+        let path = dir.join(MEMO_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 20;
+        fs::write(&path, &text[..cut]).unwrap();
+        let store = MemoStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "only the intact line survives");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_puts_do_not_rewrite_the_journal() {
+        let dir = std::env::temp_dir().join(format!("cwp-memo-dup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = MemoStore::open(&dir).unwrap();
+        store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+        let before = fs::metadata(dir.join(MEMO_FILE))
+            .unwrap()
+            .modified()
+            .unwrap();
+        store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+        let after = fs::metadata(dir.join(MEMO_FILE))
+            .unwrap()
+            .modified()
+            .unwrap();
+        assert_eq!(before, after);
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,694 @@
+//! The JSONL wire protocol: requests, responses, and typed errors.
+//!
+//! One request or response per line. Every malformed input maps to a
+//! typed [`Reject`] — the server never answers garbage with a panic or
+//! a silent drop. Field names are stable; unknown top-level or config
+//! fields are rejected rather than ignored so that a client typo
+//! (`dead_line_ms`) fails loudly instead of silently running without a
+//! deadline.
+
+use cwp_cache::{CacheConfig, Protection, WriteHitPolicy, WriteMissPolicy};
+use cwp_core::sim::SimOutcome;
+use cwp_obs::json::Json;
+
+/// Hard cap on a single request line, in bytes. Anything longer is
+/// rejected with a typed error before parsing: the protocol carries
+/// small control messages, so an oversized line is either a broken
+/// client or an attack, not a legitimate request.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen identifier echoed back in the response. The
+    /// server treats `(client, id)` resends as idempotent retries.
+    pub id: u64,
+    /// Workload name resolved via `cwp_trace::workloads::by_name`.
+    pub workload: String,
+    /// The cache configuration to simulate, already validated.
+    pub config: CacheConfig,
+    /// Optional deadline; the server abandons the request and answers
+    /// `deadline_exceeded` once this much time has passed since
+    /// admission.
+    pub deadline_ms: Option<u64>,
+    /// Scheduling priority, 0 (lowest) to 3 (highest).
+    pub priority: u8,
+}
+
+/// Typed rejection reasons. These travel on the wire as the `error`
+/// field of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reject {
+    /// The request was syntactically or semantically invalid.
+    BadRequest {
+        /// Human-readable explanation of what was wrong.
+        detail: String,
+    },
+    /// The server shed the request under load; retry after the hint.
+    Overloaded {
+        /// Suggested client backoff before resubmitting, in ms.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before a result was produced.
+    DeadlineExceeded {
+        /// The deadline the request carried, in ms.
+        deadline_ms: u64,
+    },
+    /// The request failed after exhausting its retry budget.
+    Failed {
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+impl Reject {
+    /// The wire tag for this rejection kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Reject::BadRequest { .. } => "bad_request",
+            Reject::Overloaded { .. } => "overloaded",
+            Reject::DeadlineExceeded { .. } => "deadline_exceeded",
+            Reject::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// A successful simulation result, reduced to the counters the paper's
+/// analyses need plus a digest of the full outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSummary {
+    /// Instructions executed by the workload.
+    pub instructions: u64,
+    /// Data reads issued.
+    pub reads: u64,
+    /// Data writes issued.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses (full misses; partial misses count here too).
+    pub read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Lines fetched from memory.
+    pub fetches: u64,
+    /// Total memory transactions including the final flush.
+    pub traffic_transactions: u64,
+    /// Total memory bytes moved including the final flush.
+    pub traffic_bytes: u64,
+    /// FNV-1a digest of the complete `SimOutcome` debug rendering;
+    /// two summaries with equal digests came from byte-identical
+    /// outcomes.
+    pub digest: u64,
+}
+
+impl ResultSummary {
+    /// Reduces a full [`SimOutcome`] to its wire summary.
+    pub fn from_outcome(outcome: &SimOutcome) -> Self {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for byte in format!("{outcome:?}").bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(0x100_0000_01b3);
+        }
+        ResultSummary {
+            instructions: outcome.summary.instructions,
+            reads: outcome.summary.reads,
+            writes: outcome.summary.writes,
+            read_hits: outcome.stats.read_hits,
+            read_misses: outcome.stats.read_misses + outcome.stats.partial_read_misses,
+            write_hits: outcome.stats.write_hits,
+            write_misses: outcome.stats.write_misses,
+            fetches: outcome.stats.fetches,
+            traffic_transactions: outcome.traffic_total.total_transactions(),
+            traffic_bytes: outcome.traffic_total.total_bytes(),
+            digest,
+        }
+    }
+
+    /// Encodes the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("instructions", Json::UInt(self.instructions)),
+            ("reads", Json::UInt(self.reads)),
+            ("writes", Json::UInt(self.writes)),
+            ("read_hits", Json::UInt(self.read_hits)),
+            ("read_misses", Json::UInt(self.read_misses)),
+            ("write_hits", Json::UInt(self.write_hits)),
+            ("write_misses", Json::UInt(self.write_misses)),
+            ("fetches", Json::UInt(self.fetches)),
+            (
+                "traffic_transactions",
+                Json::UInt(self.traffic_transactions),
+            ),
+            ("traffic_bytes", Json::UInt(self.traffic_bytes)),
+            ("digest", Json::UInt(self.digest)),
+        ])
+    }
+
+    /// Decodes a summary from its JSON object form.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("result summary missing field {name:?}"))
+        };
+        Ok(ResultSummary {
+            instructions: field("instructions")?,
+            reads: field("reads")?,
+            writes: field("writes")?,
+            read_hits: field("read_hits")?,
+            read_misses: field("read_misses")?,
+            write_hits: field("write_hits")?,
+            write_misses: field("write_misses")?,
+            fetches: field("fetches")?,
+            traffic_transactions: field("traffic_transactions")?,
+            traffic_bytes: field("traffic_bytes")?,
+            digest: field("digest")?,
+        })
+    }
+}
+
+/// A response line: either a served result or a typed rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was served.
+    Ok {
+        /// Echo of the request id.
+        id: u64,
+        /// The simulation result summary.
+        result: ResultSummary,
+        /// `true` when the result came from the memo store.
+        memo_hit: bool,
+        /// `true` when the trace budget forced live generation.
+        degraded: bool,
+        /// `true` when the request rode a coalesced banked pass.
+        coalesced: bool,
+        /// Wall-clock service time observed by the server, in ms.
+        wall_ms: u64,
+    },
+    /// The request was rejected or failed.
+    Error {
+        /// Echo of the request id when one could be parsed.
+        id: Option<u64>,
+        /// Why the request was not served.
+        reject: Reject,
+    },
+}
+
+impl Response {
+    /// Encodes the response as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Ok {
+                id,
+                result,
+                memo_hit,
+                degraded,
+                coalesced,
+                wall_ms,
+            } => Json::obj([
+                ("id", Json::UInt(*id)),
+                ("ok", Json::Bool(true)),
+                ("result", result.to_json()),
+                ("memo_hit", Json::Bool(*memo_hit)),
+                ("degraded", Json::Bool(*degraded)),
+                ("coalesced", Json::Bool(*coalesced)),
+                ("wall_ms", Json::UInt(*wall_ms)),
+            ]),
+            Response::Error { id, reject } => {
+                let id_json = match id {
+                    Some(id) => Json::UInt(*id),
+                    None => Json::Null,
+                };
+                let mut pairs = vec![
+                    ("id", id_json),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(reject.tag().to_string())),
+                ];
+                match reject {
+                    Reject::BadRequest { detail } | Reject::Failed { detail } => {
+                        pairs.push(("detail", Json::Str(detail.clone())));
+                    }
+                    Reject::Overloaded { retry_after_ms } => {
+                        pairs.push(("retry_after_ms", Json::UInt(*retry_after_ms)));
+                    }
+                    Reject::DeadlineExceeded { deadline_ms } => {
+                        pairs.push(("deadline_ms", Json::UInt(*deadline_ms)));
+                    }
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    /// Serializes the response to its wire line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.to_json().write(&mut out);
+        out
+    }
+
+    /// Decodes a response from a parsed JSON line.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or("response missing boolean field \"ok\"")?;
+        if ok {
+            let id = json
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("response missing field \"id\"")?;
+            let result = ResultSummary::from_json(
+                json.get("result")
+                    .ok_or("response missing field \"result\"")?,
+            )?;
+            let flag = |name: &str| -> Result<bool, String> {
+                json.get(name)
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| format!("response missing flag {name:?}"))
+            };
+            Ok(Response::Ok {
+                id,
+                result,
+                memo_hit: flag("memo_hit")?,
+                degraded: flag("degraded")?,
+                coalesced: flag("coalesced")?,
+                wall_ms: json
+                    .get("wall_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or("response missing field \"wall_ms\"")?,
+            })
+        } else {
+            let id = json.get("id").and_then(Json::as_u64);
+            let tag = json
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or("error response missing field \"error\"")?;
+            let detail = || {
+                json.get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string()
+            };
+            let reject = match tag {
+                "bad_request" => Reject::BadRequest { detail: detail() },
+                "failed" => Reject::Failed { detail: detail() },
+                "overloaded" => Reject::Overloaded {
+                    retry_after_ms: json
+                        .get("retry_after_ms")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                },
+                "deadline_exceeded" => Reject::DeadlineExceeded {
+                    deadline_ms: json.get("deadline_ms").and_then(Json::as_u64).unwrap_or(0),
+                },
+                other => return Err(format!("unknown error tag {other:?}")),
+            };
+            Ok(Response::Error { id, reject })
+        }
+    }
+
+    /// Parses a response from its wire line.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let json = Json::parse(line).map_err(|e| format!("malformed response line: {e}"))?;
+        Response::from_json(&json)
+    }
+}
+
+/// Encodes a cache configuration as a JSON object using the same tags
+/// the `Display` implementations print.
+pub fn config_to_json(config: &CacheConfig) -> Json {
+    Json::obj([
+        ("size_bytes", Json::UInt(u64::from(config.size_bytes()))),
+        ("line_bytes", Json::UInt(u64::from(config.line_bytes()))),
+        (
+            "associativity",
+            Json::UInt(u64::from(config.associativity())),
+        ),
+        ("write_hit", Json::Str(config.write_hit().to_string())),
+        ("write_miss", Json::Str(config.write_miss().to_string())),
+        ("partial_writeback", Json::Bool(config.partial_writeback())),
+        ("protection", Json::Str(config.protection().to_string())),
+        (
+            "fault_rate_ppm",
+            Json::UInt(u64::from(config.fault_rate_ppm())),
+        ),
+        ("fault_seed", Json::UInt(config.fault_seed())),
+    ])
+}
+
+/// The canonical memo-key string for a configuration: its JSON object
+/// form serialized with fields in declaration order.
+pub fn config_key(config: &CacheConfig) -> String {
+    let mut out = String::new();
+    config_to_json(config).write(&mut out);
+    out
+}
+
+const CONFIG_FIELDS: [&str; 9] = [
+    "size_bytes",
+    "line_bytes",
+    "associativity",
+    "write_hit",
+    "write_miss",
+    "partial_writeback",
+    "protection",
+    "fault_rate_ppm",
+    "fault_seed",
+];
+
+/// Decodes a cache configuration from its JSON object form. All fields
+/// are optional (the builder's defaults apply); unknown fields and
+/// invalid combinations are errors.
+pub fn config_from_json(json: &Json) -> Result<CacheConfig, String> {
+    let pairs = match json {
+        Json::Obj(pairs) => pairs,
+        _ => return Err("config must be a JSON object".to_string()),
+    };
+    for (key, _) in pairs {
+        if !CONFIG_FIELDS.contains(&key.as_str()) {
+            return Err(format!("unknown config field {key:?}"));
+        }
+    }
+    let mut builder = CacheConfig::builder();
+    let number = |name: &str| -> Result<Option<u64>, String> {
+        match json.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("config field {name:?} must be an unsigned integer")),
+        }
+    };
+    let narrow = |name: &str, v: u64| -> Result<u32, String> {
+        u32::try_from(v).map_err(|_| format!("config field {name:?} out of range"))
+    };
+    if let Some(v) = number("size_bytes")? {
+        builder = builder.size_bytes(narrow("size_bytes", v)?);
+    }
+    if let Some(v) = number("line_bytes")? {
+        builder = builder.line_bytes(narrow("line_bytes", v)?);
+    }
+    if let Some(v) = number("associativity")? {
+        builder = builder.associativity(narrow("associativity", v)?);
+    }
+    if let Some(v) = json.get("write_hit") {
+        let tag = v
+            .as_str()
+            .ok_or("config field \"write_hit\" must be a string")?;
+        builder = builder.write_hit(match tag {
+            "write-through" => WriteHitPolicy::WriteThrough,
+            "write-back" => WriteHitPolicy::WriteBack,
+            other => return Err(format!("unknown write_hit policy {other:?}")),
+        });
+    }
+    if let Some(v) = json.get("write_miss") {
+        let tag = v
+            .as_str()
+            .ok_or("config field \"write_miss\" must be a string")?;
+        builder = builder.write_miss(match tag {
+            "fetch-on-write" => WriteMissPolicy::FetchOnWrite,
+            "write-validate" => WriteMissPolicy::WriteValidate,
+            "write-around" => WriteMissPolicy::WriteAround,
+            "write-invalidate" => WriteMissPolicy::WriteInvalidate,
+            other => return Err(format!("unknown write_miss policy {other:?}")),
+        });
+    }
+    if let Some(v) = json.get("partial_writeback") {
+        builder = builder.partial_writeback(
+            v.as_bool()
+                .ok_or("config field \"partial_writeback\" must be a boolean")?,
+        );
+    }
+    if let Some(v) = json.get("protection") {
+        let tag = v
+            .as_str()
+            .ok_or("config field \"protection\" must be a string")?;
+        builder = builder.protection(match tag {
+            "none" => Protection::None,
+            "byte-parity" => Protection::ByteParity,
+            "ecc" => Protection::EccPerWord,
+            other => return Err(format!("unknown protection {other:?}")),
+        });
+    }
+    if let Some(v) = number("fault_rate_ppm")? {
+        builder = builder.fault_rate_ppm(narrow("fault_rate_ppm", v)?);
+    }
+    if let Some(v) = number("fault_seed")? {
+        builder = builder.fault_seed(v);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+const REQUEST_FIELDS: [&str; 5] = ["id", "workload", "config", "deadline_ms", "priority"];
+
+impl Request {
+    /// Encodes the request as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::UInt(self.id)),
+            ("workload", Json::Str(self.workload.clone())),
+            ("config", config_to_json(&self.config)),
+        ];
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::UInt(ms)));
+        }
+        if self.priority != 0 {
+            pairs.push(("priority", Json::UInt(u64::from(self.priority))));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Serializes the request to its wire line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.to_json().write(&mut out);
+        out
+    }
+
+    /// Decodes a request from a parsed JSON object.
+    ///
+    /// On failure the error carries the request id when one was
+    /// present, so the rejection can still be routed to the caller.
+    pub fn from_json(json: &Json) -> Result<Self, (Option<u64>, Reject)> {
+        let id = json.get("id").and_then(Json::as_u64);
+        let bad = |detail: String| (id, Reject::BadRequest { detail });
+        let pairs = match json {
+            Json::Obj(pairs) => pairs,
+            _ => return Err(bad("request must be a JSON object".to_string())),
+        };
+        for (key, _) in pairs {
+            if !REQUEST_FIELDS.contains(&key.as_str()) {
+                return Err(bad(format!("unknown request field {key:?}")));
+            }
+        }
+        let id = id.ok_or_else(|| bad("request missing unsigned field \"id\"".to_string()))?;
+        let workload = json
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("request missing string field \"workload\"".to_string()))?
+            .to_string();
+        let config = match json.get("config") {
+            None => CacheConfig::builder()
+                .build()
+                .map_err(|e| bad(e.to_string()))?,
+            Some(c) => config_from_json(c).map_err(bad)?,
+        };
+        let deadline_ms = match json.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                bad("request field \"deadline_ms\" must be an unsigned integer".to_string())
+            })?),
+        };
+        let priority = match json.get("priority") {
+            None => 0,
+            Some(v) => {
+                let p = v.as_u64().ok_or_else(|| {
+                    bad("request field \"priority\" must be an unsigned integer".to_string())
+                })?;
+                u8::try_from(p.min(3)).expect("clamped to 3")
+            }
+        };
+        Ok(Request {
+            id,
+            workload,
+            config,
+            deadline_ms,
+            priority,
+        })
+    }
+
+    /// Parses a request from a raw wire line, enforcing the size cap
+    /// and mapping every failure to a typed rejection.
+    pub fn from_line(line: &str) -> Result<Self, (Option<u64>, Reject)> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err((
+                None,
+                Reject::BadRequest {
+                    detail: format!(
+                        "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte cap",
+                        line.len()
+                    ),
+                },
+            ));
+        }
+        let json = Json::parse(line).map_err(|e| {
+            (
+                None,
+                Reject::BadRequest {
+                    detail: format!("malformed request line: {e}"),
+                },
+            )
+        })?;
+        Request::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwp_core::sim::simulate;
+    use cwp_trace::{workloads, Scale};
+
+    fn sample_config() -> CacheConfig {
+        CacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(16)
+            .write_hit(WriteHitPolicy::WriteBack)
+            .write_miss(WriteMissPolicy::FetchOnWrite)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_round_trips_through_its_wire_line() {
+        let request = Request {
+            id: 42,
+            workload: "ccom".to_string(),
+            config: sample_config(),
+            deadline_ms: Some(250),
+            priority: 2,
+        };
+        let parsed = Request::from_line(&request.to_line()).unwrap();
+        assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn config_round_trips_every_policy_tag() {
+        for wh in [WriteHitPolicy::WriteThrough, WriteHitPolicy::WriteBack] {
+            for wm in [
+                WriteMissPolicy::FetchOnWrite,
+                WriteMissPolicy::WriteValidate,
+                WriteMissPolicy::WriteAround,
+                WriteMissPolicy::WriteInvalidate,
+            ] {
+                if wh == WriteHitPolicy::WriteBack && wm != WriteMissPolicy::FetchOnWrite {
+                    continue; // rejected by the builder: bypassing miss policies need WT
+                }
+                let config = CacheConfig::builder()
+                    .write_hit(wh)
+                    .write_miss(wm)
+                    .build()
+                    .unwrap();
+                let back = config_from_json(&config_to_json(&config)).unwrap();
+                assert_eq!(back, config);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_lines_map_to_typed_bad_requests() {
+        for line in [
+            "",
+            "{",
+            "not json at all",
+            "[1,2,3]",
+            "{\"id\": 1}",                  // missing workload
+            "{\"workload\": \"ccom\"}",     // missing id
+            "{\"id\": 1, \"workload\": 7}", // wrong type
+            "{\"id\": 1, \"workload\": \"ccom\", \"dead_line_ms\": 5}", // typo field
+            "{\"id\": 1, \"workload\": \"ccom\", \"config\": {\"sets\": 4}}", // unknown config field
+            "{\"id\": 1, \"workload\": \"ccom\", \"config\": {\"size_bytes\": 1000}}", // not a power of two
+        ] {
+            match Request::from_line(line) {
+                Err((_, Reject::BadRequest { .. })) => {}
+                other => panic!("line {line:?} gave {other:?}, expected BadRequest"),
+            }
+        }
+    }
+
+    #[test]
+    fn an_oversized_line_is_rejected_before_parsing() {
+        let line = format!(
+            "{{\"id\": 1, \"workload\": \"{}\"}}",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        match Request::from_line(&line) {
+            Err((None, Reject::BadRequest { detail })) => {
+                assert!(detail.contains("cap"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected oversized rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_every_error_kind() {
+        let outcome = simulate(
+            workloads::by_name("ccom").unwrap().as_ref(),
+            Scale::Test,
+            &sample_config(),
+        );
+        let ok = Response::Ok {
+            id: 7,
+            result: ResultSummary::from_outcome(&outcome),
+            memo_hit: true,
+            degraded: false,
+            coalesced: true,
+            wall_ms: 12,
+        };
+        let errors = [
+            Response::Error {
+                id: Some(1),
+                reject: Reject::BadRequest {
+                    detail: "nope".to_string(),
+                },
+            },
+            Response::Error {
+                id: None,
+                reject: Reject::Overloaded { retry_after_ms: 40 },
+            },
+            Response::Error {
+                id: Some(2),
+                reject: Reject::DeadlineExceeded { deadline_ms: 10 },
+            },
+            Response::Error {
+                id: Some(3),
+                reject: Reject::Failed {
+                    detail: "worker panicked 3 times".to_string(),
+                },
+            },
+        ];
+        for response in std::iter::once(ok).chain(errors) {
+            let back = Response::from_line(&response.to_line()).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn result_summaries_from_identical_outcomes_share_a_digest() {
+        let workload = workloads::by_name("yacc").unwrap();
+        let a = simulate(workload.as_ref(), Scale::Test, &sample_config());
+        let b = simulate(workload.as_ref(), Scale::Test, &sample_config());
+        let sa = ResultSummary::from_outcome(&a);
+        let sb = ResultSummary::from_outcome(&b);
+        assert_eq!(sa, sb);
+        let other = simulate(
+            workload.as_ref(),
+            Scale::Test,
+            &CacheConfig::builder().size_bytes(1024).build().unwrap(),
+        );
+        assert_ne!(sa.digest, ResultSummary::from_outcome(&other).digest);
+    }
+}

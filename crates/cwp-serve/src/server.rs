@@ -1,0 +1,166 @@
+//! Transport front ends for the [`Engine`]: TCP JSONL and stdin JSONL.
+//!
+//! Each TCP connection gets a reader thread (lines in, size-capped) and
+//! a writer thread (responses out); the two are decoupled so a slow
+//! reader can still drain responses and a slow consumer cannot stall
+//! admission. A half-written final line at disconnect is treated as
+//! the client vanishing mid-send: it is dropped without a response,
+//! exactly like a torn journal line.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cwp_obs::obs_info;
+
+use crate::engine::Engine;
+use crate::protocol::MAX_LINE_BYTES;
+
+/// A TCP server serving the JSONL protocol on an [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting connections.
+    pub fn bind(engine: Arc<Engine>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_engine = Arc::clone(&engine);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("cwp-serve-accept".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if accept_stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let engine = Arc::clone(&accept_engine);
+                        let _ = std::thread::Builder::new()
+                            .name("cwp-serve-conn".to_string())
+                            .spawn(move || serve_connection(&engine, stream));
+                    }
+                    Err(_) => {
+                        if accept_stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                }
+            })?;
+        obs_info!("cwp-serve listening on {local_addr}");
+        Ok(Server {
+            engine,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting connections and shuts the engine down. Open
+    /// connections wind down as their clients disconnect.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads size-capped lines from `input`, submitting each to the
+/// engine, while a writer thread streams responses to `output`.
+/// Returns when the input side reaches EOF and every admitted request
+/// has been answered or the client stopped listening.
+fn pump<R: Read, W: Write + Send + 'static>(engine: &Engine, input: R, output: W) {
+    let (client, responses) = engine.attach_client();
+    let writer = std::thread::Builder::new()
+        .name("cwp-serve-writer".to_string())
+        .spawn(move || {
+            let mut out = output;
+            for response in responses {
+                let mut line = response.to_line();
+                line.push('\n');
+                if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+                    return; // client stopped listening
+                }
+            }
+        })
+        .expect("spawn writer");
+    let mut reader = BufReader::new(input);
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        buf.clear();
+        // read_until instead of read_line: a byte cap must apply even
+        // to lines that never terminate, and invalid UTF-8 must become
+        // a typed rejection rather than an I/O error.
+        let mut limited = (&mut reader).take((MAX_LINE_BYTES + 2) as u64);
+        match limited.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let had_newline = buf.last() == Some(&b'\n');
+        if !had_newline && buf.len() > MAX_LINE_BYTES {
+            // An unterminated over-cap line: reject and stop reading —
+            // we cannot resynchronize to the next line boundary without
+            // unbounded buffering.
+            engine.submit(client, &"x".repeat(MAX_LINE_BYTES + 1));
+            break;
+        }
+        if !had_newline {
+            // EOF mid-line: a half-written request from a dying client.
+            // Drop it silently, mirroring torn-journal-line tolerance.
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim_end_matches(['\n', '\r']).trim();
+        if line.is_empty() {
+            continue;
+        }
+        engine.submit(client, line);
+    }
+    engine.detach_client(client);
+    // Dropping the client sender ends the writer's iteration.
+    let _ = writer.join();
+}
+
+fn serve_connection(engine: &Engine, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    pump(engine, stream, write_half);
+}
+
+/// Serves the JSONL protocol over stdin/stdout until EOF. Used by
+/// `cwp-serve --stdin` for piped, socket-free operation.
+pub fn serve_stdin(engine: &Engine) {
+    pump(engine, std::io::stdin(), std::io::stdout());
+}

@@ -126,6 +126,42 @@ impl RecordedTrace {
         self.gaps.len() as u64 * 4 + self.addrs.len() as u64 * 8 + self.meta.len() as u64
     }
 
+    /// A deterministic 64-bit digest of the recording's content
+    /// (every reference plus the run totals), FNV-1a over the
+    /// struct-of-arrays encoding.
+    ///
+    /// Two traces hash equal exactly when they compare equal, so the
+    /// digest is a stable identity for memoizing simulation results
+    /// keyed by `(trace, configuration)` — including across processes
+    /// and save/load round trips, which byte-preserve the encoding.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for word in [
+            self.summary.instructions,
+            self.summary.reads,
+            self.summary.writes,
+            self.gaps.len() as u64,
+        ] {
+            word.to_le_bytes().into_iter().for_each(&mut eat);
+        }
+        for gap in &self.gaps {
+            gap.to_le_bytes().into_iter().for_each(&mut eat);
+        }
+        for addr in &self.addrs {
+            addr.to_le_bytes().into_iter().for_each(&mut eat);
+        }
+        for &meta in &self.meta {
+            eat(meta);
+        }
+        h
+    }
+
     /// The `i`-th reference.
     ///
     /// # Panics
@@ -480,6 +516,25 @@ mod tests {
             trace.approx_bytes()
         );
         assert!(trace.approx_bytes() <= trace.len() as u64 * APPROX_BYTES_PER_REF);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let w = workloads::yacc();
+        let a = RecordedTrace::record(w.as_ref(), Scale::Test);
+        let b = RecordedTrace::record(w.as_ref(), Scale::Test);
+        assert_eq!(
+            a.content_hash(),
+            b.content_hash(),
+            "deterministic workloads record identical traces"
+        );
+        let other = RecordedTrace::record(workloads::met().as_ref(), Scale::Test);
+        assert_ne!(a.content_hash(), other.content_hash());
+        assert_ne!(
+            a.content_hash(),
+            RecordedTrace::default().content_hash(),
+            "the empty trace hashes differently"
+        );
     }
 
     #[test]

@@ -97,4 +97,53 @@ echo "==> audited figures are byte-identical (invariant auditor observes, never 
 cmp "$FUZZ_DIR/plain.md" "$FUZZ_DIR/audited.md" \
     || { echo "verify: --audit changed fig10 output" >&2; exit 1; }
 
+echo "==> cwp-serve load + chaos gate (admission, panics, kill-and-resume, warm rps)"
+SERVE=target/release/cwp-serve
+LOAD=target/release/cwp-load
+SERVE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-serve.XXXXXX")
+trap 'rm -rf "$TRACE_DIR" "$KILL_DIR" "$REPLAY_DIR" "$FUZZ_DIR" "$SERVE_DIR"; \
+     kill "$SERVE_PID" 2>/dev/null || true' EXIT
+SERVE_PID=""
+start_serve() {
+    # $@: extra server flags. Sets SERVE_PID and SERVE_ADDR.
+    "$SERVE" --scale test --addr 127.0.0.1:0 --memo-dir "$SERVE_DIR/memo" \
+        "$@" > "$SERVE_DIR/serve.out" 2> "$SERVE_DIR/serve.err" &
+    SERVE_PID=$!
+    TRIES=0
+    until grep -q '^LISTENING ' "$SERVE_DIR/serve.out" 2>/dev/null; do
+        TRIES=$((TRIES + 1))
+        [ "$TRIES" -gt 100 ] && { echo "verify: cwp-serve never listened" >&2; exit 1; }
+        sleep 0.1
+    done
+    SERVE_ADDR=$(sed -n 's/^LISTENING //p' "$SERVE_DIR/serve.out" | head -n 1)
+}
+# 1k+ requests with duplicates and 1-in-16 injected worker panics: the
+# load generator exits nonzero on any lost response, unexpected failure,
+# or result-digest divergence.
+start_serve --workers 4 --fault-one-in 16 --max-attempts 4 --seed 7
+"$LOAD" --addr "$SERVE_ADDR" --requests 1200 --clients 4 --warmup \
+    --out results/BENCH_serve.json > /dev/null \
+    || { echo "verify: cwp-load run failed against faulty server" >&2; exit 1; }
+# Kill-and-resume: SIGKILL the warm server, restart on the same memo
+# dir, and demand the whole grid comes back memoized and consistent.
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+start_serve --workers 4 --seed 7
+"$LOAD" --addr "$SERVE_ADDR" --requests 600 --clients 2 \
+    > "$SERVE_DIR/resumed.json" \
+    || { echo "verify: cwp-load failed after kill-and-resume" >&2; exit 1; }
+grep -q '"degraded":0' "$SERVE_DIR/resumed.json" \
+    || { echo "verify: resumed serve run degraded unexpectedly" >&2; exit 1; }
+RESUMED_HITS=$(sed -n 's/.*"memo_hits":\([0-9]*\).*/\1/p' "$SERVE_DIR/resumed.json")
+[ "${RESUMED_HITS:-0}" -gt 0 ] \
+    || { echo "verify: restarted server resumed cold (no memo hits)" >&2; exit 1; }
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+# Warm-path throughput regression gate: the benched run must clear
+# 10k requests/s (release build, all-memoized sweep points).
+RPS=$(sed -n 's/.*"requests_per_second":\([0-9]*\)[.,}].*/\1/p' results/BENCH_serve.json)
+[ "${RPS:-0}" -ge 10000 ] \
+    || { echo "verify: warm serve throughput ${RPS:-0} rps below the 10k floor" >&2; exit 1; }
+
 echo "verify: OK"

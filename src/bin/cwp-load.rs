@@ -1,0 +1,461 @@
+//! `cwp-load` — load generator and consistency checker for `cwp-serve`.
+//!
+//! ```text
+//! cwp-load --addr HOST:PORT [--requests N] [--clients N] [--window N]
+//!          [--workloads ccom,grr,...] [--deadline-ms N] [--warmup]
+//!          [--seed N] [--out FILE]
+//! ```
+//!
+//! Each client thread pipelines windows of requests drawn from a
+//! deterministic sweep grid (sizes x write policies over the chosen
+//! workloads), naturally resending duplicate sweep points so the
+//! server's memo and coalescing paths are exercised. `overloaded`
+//! rejections are retried after the server's hint; `failed` and
+//! `deadline_exceeded` are counted and not retried.
+//!
+//! Every response's result digest is checked against the first digest
+//! seen for that sweep point — any divergence (a lost write, a torn
+//! memo entry, a non-deterministic replay) is a hard error. Exits
+//! nonzero on digest mismatches, unexpected failures, or transport
+//! errors, so harnesses can gate on it. The run summary is printed as
+//! one JSON object on stdout (and written to `--out` when given).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cwp::cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
+use cwp::mem::SplitMix64;
+use cwp::obs::Json;
+use cwp::serve::{Client, Reject, Request, Response};
+
+fn usage() -> &'static str {
+    "usage: cwp-load --addr HOST:PORT [--requests N] [--clients N] [--window N]\n  \
+     [--workloads ccom,grr,...] [--deadline-ms N] [--warmup] [--seed N] [--out FILE]"
+}
+
+/// One sweep point: a workload plus a cache configuration.
+#[derive(Clone)]
+struct Point {
+    workload: &'static str,
+    config: CacheConfig,
+    /// Stable key for digest cross-checking.
+    key: String,
+}
+
+fn build_grid(workloads: &[&'static str]) -> Vec<Point> {
+    let sizes: [u32; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
+    let policies = [
+        (WriteHitPolicy::WriteBack, WriteMissPolicy::FetchOnWrite),
+        (WriteHitPolicy::WriteThrough, WriteMissPolicy::FetchOnWrite),
+        (WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteValidate),
+        (WriteHitPolicy::WriteThrough, WriteMissPolicy::WriteAround),
+    ];
+    let mut grid = Vec::new();
+    for workload in workloads {
+        for size in sizes {
+            for (hit, miss) in policies {
+                let config = CacheConfig::builder()
+                    .size_bytes(size)
+                    .line_bytes(16)
+                    .write_hit(hit)
+                    .write_miss(miss)
+                    .build()
+                    .expect("grid configs are valid");
+                grid.push(Point {
+                    workload,
+                    config,
+                    key: format!("{workload}/{size}/{hit}/{miss}"),
+                });
+            }
+        }
+    }
+    grid
+}
+
+#[derive(Default)]
+struct Totals {
+    ok: AtomicU64,
+    memo_hits: AtomicU64,
+    degraded: AtomicU64,
+    coalesced: AtomicU64,
+    shed_retries: AtomicU64,
+    deadline: AtomicU64,
+    failed: AtomicU64,
+    bad_request: AtomicU64,
+    transport_errors: AtomicU64,
+    digest_mismatches: AtomicU64,
+}
+
+struct Run {
+    addr: String,
+    grid: Vec<Point>,
+    quota: u64,
+    window: usize,
+    deadline_ms: Option<u64>,
+    seed: u64,
+    totals: Totals,
+    digests: Mutex<HashMap<String, u64>>,
+}
+
+impl Run {
+    fn check_digest(&self, key: &str, digest: u64) {
+        let mut digests = self.digests.lock().expect("digest lock");
+        match digests.get(key) {
+            None => {
+                digests.insert(key.to_string(), digest);
+            }
+            Some(expected) if *expected == digest => {}
+            Some(expected) => {
+                eprintln!("cwp-load: digest mismatch for {key}: {digest:#x} != {expected:#x}");
+                self.totals
+                    .digest_mismatches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drives one client connection through its request quota.
+    fn client_loop(&self, thread: u64) {
+        let mut client = match Client::connect(&self.addr) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("cwp-load: connect failed: {e}");
+                self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let _ = client.set_recv_timeout(Some(Duration::from_secs(120)));
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ (thread.wrapping_mul(0x9e37)));
+        let mut next_id = 1u64;
+        let mut issued = 0u64;
+        // id -> grid index for every request still awaiting a response.
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        // Shed requests waiting to be resent (grid index, not-before).
+        let mut parked: Vec<(usize, Instant)> = Vec::new();
+        while issued < self.quota || !outstanding.is_empty() || !parked.is_empty() {
+            // Re-send parked (shed) requests whose backoff elapsed.
+            let now = Instant::now();
+            let mut still_parked = Vec::new();
+            for (index, not_before) in parked.drain(..) {
+                if now >= not_before && outstanding.len() < self.window {
+                    if self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
+                        continue;
+                    }
+                    return; // transport error already counted
+                }
+                still_parked.push((index, not_before));
+            }
+            parked = still_parked;
+            // Top the window up with fresh requests.
+            while issued < self.quota && outstanding.len() < self.window {
+                let index = rng.below(self.grid.len() as u64) as usize;
+                if !self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
+                    return;
+                }
+                issued += 1;
+            }
+            if outstanding.is_empty() {
+                if let Some(soonest) = parked.iter().map(|(_, t)| *t).min() {
+                    std::thread::sleep(soonest.saturating_duration_since(Instant::now()));
+                }
+                continue;
+            }
+            // Drain one response.
+            let response = match client.recv() {
+                Ok(response) => response,
+                Err(e) => {
+                    eprintln!("cwp-load: recv failed: {e}");
+                    self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            self.account(&response, &mut outstanding, &mut parked);
+        }
+    }
+
+    fn send_point(
+        &self,
+        client: &mut Client,
+        next_id: &mut u64,
+        outstanding: &mut HashMap<u64, usize>,
+        index: usize,
+    ) -> bool {
+        let point = &self.grid[index];
+        let id = *next_id;
+        *next_id += 1;
+        let request = Request {
+            id,
+            workload: point.workload.to_string(),
+            config: point.config,
+            deadline_ms: self.deadline_ms,
+            priority: (id % 4) as u8,
+        };
+        match client.send(&request) {
+            Ok(()) => {
+                outstanding.insert(id, index);
+                true
+            }
+            Err(e) => {
+                eprintln!("cwp-load: send failed: {e}");
+                self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn account(
+        &self,
+        response: &Response,
+        outstanding: &mut HashMap<u64, usize>,
+        parked: &mut Vec<(usize, Instant)>,
+    ) {
+        match response {
+            Response::Ok {
+                id,
+                result,
+                memo_hit,
+                degraded,
+                coalesced,
+                ..
+            } => {
+                if let Some(index) = outstanding.remove(id) {
+                    self.check_digest(&self.grid[index].key, result.digest);
+                }
+                self.totals.ok.fetch_add(1, Ordering::Relaxed);
+                if *memo_hit {
+                    self.totals.memo_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                if *degraded {
+                    self.totals.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                if *coalesced {
+                    self.totals.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Response::Error { id, reject } => {
+                let index = id.and_then(|id| outstanding.remove(&id));
+                match reject {
+                    Reject::Overloaded { retry_after_ms } => {
+                        self.totals.shed_retries.fetch_add(1, Ordering::Relaxed);
+                        if let Some(index) = index {
+                            let pause = Duration::from_millis((*retry_after_ms).min(100));
+                            parked.push((index, Instant::now() + pause));
+                        }
+                    }
+                    Reject::DeadlineExceeded { .. } => {
+                        self.totals.deadline.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Reject::Failed { .. } => {
+                        self.totals.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Reject::BadRequest { detail } => {
+                        eprintln!("cwp-load: unexpected bad_request: {detail}");
+                        self.totals.bad_request.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr = String::new();
+    let mut requests = 1000u64;
+    let mut clients = 4u64;
+    let mut window = 32usize;
+    let mut names: Vec<&'static str> = vec!["ccom", "grr"];
+    let mut deadline_ms = None;
+    let mut warmup = false;
+    let mut seed = 0x10adu64;
+    let mut out: Option<std::path::PathBuf> = None;
+
+    macro_rules! next_value {
+        ($flag:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("cwp-load: {} needs a value\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    macro_rules! next_number {
+        ($flag:expr) => {
+            match next_value!($flag).parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("cwp-load: {} needs an unsigned number\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = next_value!("--addr"),
+            "--requests" => requests = next_number!("--requests"),
+            "--clients" => clients = next_number!("--clients").max(1),
+            "--window" => window = next_number!("--window").max(1) as usize,
+            "--deadline-ms" => deadline_ms = Some(next_number!("--deadline-ms")),
+            "--warmup" => warmup = true,
+            "--seed" => seed = next_number!("--seed"),
+            "--out" => out = Some(next_value!("--out").into()),
+            "--workloads" => {
+                let list = next_value!("--workloads");
+                names = Vec::new();
+                for name in list.split(',') {
+                    match name {
+                        "ccom" => names.push("ccom"),
+                        "grr" => names.push("grr"),
+                        "yacc" => names.push("yacc"),
+                        "met" => names.push("met"),
+                        "linpack" => names.push("linpack"),
+                        "liver" => names.push("liver"),
+                        other => {
+                            eprintln!("cwp-load: unknown workload {other:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cwp-load: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if addr.is_empty() {
+        eprintln!("cwp-load: --addr is required\n{}", usage());
+        return ExitCode::from(2);
+    }
+
+    let grid = build_grid(&names);
+    let run = Run {
+        addr,
+        grid,
+        quota: requests.div_ceil(clients),
+        window,
+        deadline_ms,
+        seed,
+        totals: Totals::default(),
+        digests: Mutex::new(HashMap::new()),
+    };
+
+    if warmup {
+        // Prime the server's trace store and memo with one pass over
+        // the whole grid so the timed run measures the warm path.
+        let mut client = match Client::connect(&run.addr) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("cwp-load: warmup connect failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, point) in run.grid.iter().enumerate() {
+            let request = Request {
+                id: id as u64 + 1,
+                workload: point.workload.to_string(),
+                config: point.config,
+                deadline_ms: None,
+                priority: 0,
+            };
+            match client.call(&request) {
+                Ok(Response::Ok { result, .. }) => run.check_digest(&point.key, result.digest),
+                Ok(other) => {
+                    eprintln!("cwp-load: warmup got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("cwp-load: warmup call failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..clients {
+            let run = &run;
+            scope.spawn(move || run.client_loop(thread));
+        }
+    });
+    let wall = started.elapsed();
+
+    let totals = &run.totals;
+    let ok = totals.ok.load(Ordering::Relaxed);
+    let failed = totals.failed.load(Ordering::Relaxed);
+    let bad = totals.bad_request.load(Ordering::Relaxed);
+    let transport = totals.transport_errors.load(Ordering::Relaxed);
+    let mismatches = totals.digest_mismatches.load(Ordering::Relaxed);
+    let wall_ms = wall.as_millis().min(u128::from(u64::MAX)) as u64;
+    let rps = if wall_ms == 0 {
+        f64::from(u32::try_from(ok.min(u64::from(u32::MAX))).unwrap_or(u32::MAX))
+    } else {
+        ok as f64 * 1000.0 / wall_ms as f64
+    };
+    let summary = Json::obj([
+        ("requests", Json::UInt(run.quota * clients)),
+        ("clients", Json::UInt(clients)),
+        ("ok", Json::UInt(ok)),
+        (
+            "memo_hits",
+            Json::UInt(totals.memo_hits.load(Ordering::Relaxed)),
+        ),
+        (
+            "degraded",
+            Json::UInt(totals.degraded.load(Ordering::Relaxed)),
+        ),
+        (
+            "coalesced",
+            Json::UInt(totals.coalesced.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed_retries",
+            Json::UInt(totals.shed_retries.load(Ordering::Relaxed)),
+        ),
+        (
+            "deadline_exceeded",
+            Json::UInt(totals.deadline.load(Ordering::Relaxed)),
+        ),
+        ("failed", Json::UInt(failed)),
+        ("bad_request", Json::UInt(bad)),
+        ("transport_errors", Json::UInt(transport)),
+        ("digest_mismatches", Json::UInt(mismatches)),
+        ("wall_ms", Json::UInt(wall_ms)),
+        ("requests_per_second", Json::Num(rps)),
+    ]);
+    let mut text = String::new();
+    summary.write(&mut text);
+    println!("{text}");
+    if let Some(path) = out {
+        let mut file = match std::fs::File::create(&path) {
+            Ok(file) => file,
+            Err(e) => {
+                eprintln!("cwp-load: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if writeln!(file, "{text}").is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Deadline misses are expected when the caller asked for tight
+    // deadlines; everything else is a hard failure.
+    if failed > 0 || bad > 0 || transport > 0 || mismatches > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

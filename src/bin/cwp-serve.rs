@@ -1,0 +1,140 @@
+//! `cwp-serve` — the simulation-as-a-service server.
+//!
+//! ```text
+//! cwp-serve [--addr 127.0.0.1:0] [--stdin] [--scale test|quick|paper]
+//!           [--workers N] [--queue-capacity N] [--per-client N]
+//!           [--max-attempts N] [--max-batch N] [--seed N]
+//!           [--fault-one-in N] [--trace-budget-mb N]
+//!           [--memo-dir DIR] [--events FILE]
+//! ```
+//!
+//! Speaks the JSONL protocol (one request per line, one response per
+//! line) over TCP, or over stdin/stdout with `--stdin`. On startup the
+//! TCP mode prints `LISTENING <addr>` on stdout so harnesses binding
+//! port 0 can discover the ephemeral port. Runs until killed; with a
+//! `--memo-dir`, a killed server resumes warm from its journal.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cwp::serve::{serve_stdin, Engine, EngineConfig, Server};
+use cwp::trace::Scale;
+
+fn usage() -> &'static str {
+    "usage: cwp-serve [--addr HOST:PORT] [--stdin] [--scale test|quick|paper]\n  \
+     [--workers N] [--queue-capacity N] [--per-client N] [--max-attempts N]\n  \
+     [--max-batch N] [--seed N] [--fault-one-in N] [--trace-budget-mb N]\n  \
+     [--memo-dir DIR] [--events FILE]"
+}
+
+fn parse_scale(text: &str) -> Option<Scale> {
+    match text {
+        "test" => Some(Scale::Test),
+        "quick" => Some(Scale::Quick),
+        "paper" => Some(Scale::Paper),
+        other => other
+            .parse::<f64>()
+            .ok()
+            .filter(|f| *f > 0.0)
+            .map(Scale::Custom),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut stdin_mode = false;
+    let mut config = EngineConfig::new(Scale::Quick);
+
+    macro_rules! next_value {
+        ($flag:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("cwp-serve: {} needs a value\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    macro_rules! next_number {
+        ($flag:expr) => {
+            match next_value!($flag).parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("cwp-serve: {} needs an unsigned number\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = next_value!("--addr"),
+            "--stdin" => stdin_mode = true,
+            "--scale" => {
+                let text = next_value!("--scale");
+                match parse_scale(&text) {
+                    Some(scale) => config.scale = scale,
+                    None => {
+                        eprintln!("cwp-serve: bad scale {text:?}\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--workers" => config.workers = next_number!("--workers") as usize,
+            "--queue-capacity" => config.queue_capacity = next_number!("--queue-capacity") as usize,
+            "--per-client" => config.per_client_inflight = next_number!("--per-client") as usize,
+            "--max-attempts" => config.max_attempts = next_number!("--max-attempts") as u32,
+            "--max-batch" => config.max_batch = next_number!("--max-batch") as usize,
+            "--seed" => config.seed = next_number!("--seed"),
+            "--fault-one-in" => config.fault_one_in = next_number!("--fault-one-in"),
+            "--trace-budget-mb" => {
+                config.trace_budget_bytes = next_number!("--trace-budget-mb") * 1024 * 1024;
+            }
+            "--memo-dir" => config.memo_dir = Some(next_value!("--memo-dir").into()),
+            "--events" => config.events_path = Some(next_value!("--events").into()),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cwp-serve: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let engine = match Engine::start(config) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("cwp-serve: failed to start engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if stdin_mode {
+        serve_stdin(&engine);
+        engine.shutdown();
+        return ExitCode::SUCCESS;
+    }
+
+    let server = match Server::bind(Arc::clone(&engine), &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cwp-serve: failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    // Serve until killed. The chaos harness relies on SIGKILL leaving
+    // the memo journal consistent (atomic write-then-rename), so there
+    // is deliberately no graceful-shutdown signal handling here.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -22,6 +22,10 @@
 //!   of the paper, plus reporting.
 //! * [`cpu`] — a MultiTitan-style RISC interpreter and assembler: run real
 //!   programs (or your own assembly) against any cache hierarchy.
+//! * [`serve`] — a fault-tolerant simulation-as-a-service front end:
+//!   admission control, deadlines, crash-safe memoization, and graceful
+//!   degradation over a JSONL protocol (see the `cwp-serve` and
+//!   `cwp-load` binaries).
 //!
 //! # Quickstart
 //!
@@ -52,4 +56,5 @@ pub use cwp_cpu as cpu;
 pub use cwp_mem as mem;
 pub use cwp_obs as obs;
 pub use cwp_pipeline as pipeline;
+pub use cwp_serve as serve;
 pub use cwp_trace as trace;
