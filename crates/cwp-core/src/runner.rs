@@ -202,6 +202,11 @@ pub struct JobResult {
     pub attempts: u32,
     /// Wall-clock of the settling attempt, in milliseconds.
     pub wall_ms: u64,
+    /// Time the settling attempt spent in the ready queue before a
+    /// worker picked it up, in milliseconds (0 for timed-out jobs and
+    /// for results replayed from journals written before wait
+    /// tracking).
+    pub wait_ms: u64,
     /// The failure or timeout detail, if any.
     pub error: Option<String>,
     /// The rendered tables (placeholders for failed/timed-out jobs).
@@ -230,6 +235,7 @@ impl JobResult {
             ("outcome", Json::Str(tag.to_string())),
             ("attempts", Json::UInt(u64::from(self.attempts))),
             ("wall_ms", Json::UInt(self.wall_ms)),
+            ("wait_ms", Json::UInt(self.wait_ms)),
             (
                 "error",
                 match &self.error {
@@ -259,6 +265,8 @@ impl JobResult {
             outcome: JobOutcome::from_tag(json.get("outcome").and_then(Json::as_str)?)?,
             attempts: u32::try_from(json.get("attempts").and_then(Json::as_u64)?).ok()?,
             wall_ms: json.get("wall_ms").and_then(Json::as_u64)?,
+            // Absent in journals written before queue-wait tracking.
+            wait_ms: json.get("wait_ms").and_then(Json::as_u64).unwrap_or(0),
             error: str_of("error"),
             tables,
             replayed: false,
@@ -390,6 +398,9 @@ impl RunnerConfig {
 struct Ticket {
     job: usize,
     attempt: u32,
+    /// When the ticket entered the ready queue; re-stamped by
+    /// [`push_ready`] so retry backoff never counts as queue wait.
+    dispatched: Instant,
 }
 
 /// The ready queue workers pull from.
@@ -410,6 +421,7 @@ enum Msg {
         ticket: Ticket,
         result: Result<Vec<Table>, String>,
         wall_ms: u64,
+        wait_ms: u64,
         sims: u64,
     },
     TimedOut {
@@ -418,7 +430,8 @@ enum Msg {
     },
 }
 
-fn push_ready(queue: &Queue, ticket: Ticket) {
+fn push_ready(queue: &Queue, mut ticket: Ticket) {
+    ticket.dispatched = Instant::now();
     let (lock, cvar) = &**queue;
     lock.lock().expect("queue lock").ready.push_back(ticket);
     cvar.notify_one();
@@ -479,6 +492,7 @@ fn worker_loop(
                 state = cvar.wait(state).expect("queue lock");
             }
         };
+        let wait_ms = ticket.dispatched.elapsed().as_millis() as u64;
         let job = &jobs[ticket.job];
         // Register with the watchdog so it arms for this attempt's
         // deadline.
@@ -523,6 +537,7 @@ fn worker_loop(
                 ticket,
                 result,
                 wall_ms,
+                wait_ms,
                 sims,
             })
             .is_err()
@@ -692,6 +707,7 @@ impl Runner {
                     Ticket {
                         job: idx,
                         attempt: 1,
+                        dispatched: Instant::now(),
                     },
                 );
                 pending += 1;
@@ -710,6 +726,7 @@ impl Runner {
                 attempt: result.attempts,
                 ok: result.outcome == JobOutcome::Ok,
                 wall_ms: result.wall_ms,
+                wait_ms: result.wait_ms,
             });
             results[idx] = Some(result);
             if let Some(path) = &journal_path {
@@ -726,6 +743,7 @@ impl Runner {
                     ticket,
                     result,
                     wall_ms,
+                    wait_ms,
                     sims,
                 } => {
                     simulations += sims;
@@ -744,6 +762,7 @@ impl Runner {
                                     outcome: JobOutcome::Ok,
                                     attempts: ticket.attempt,
                                     wall_ms,
+                                    wait_ms,
                                     error: None,
                                     tables: rendered,
                                     replayed: false,
@@ -777,6 +796,9 @@ impl Runner {
                                 Ticket {
                                     job: ticket.job,
                                     attempt: next,
+                                    // Re-stamped by push_ready when the
+                                    // backoff timer releases the ticket.
+                                    dispatched: Instant::now(),
                                 },
                             );
                         }
@@ -795,6 +817,7 @@ impl Runner {
                                     outcome: JobOutcome::Failed,
                                     attempts: ticket.attempt,
                                     wall_ms,
+                                    wait_ms,
                                     error: Some(error),
                                     tables: vec![table],
                                     replayed: false,
@@ -831,6 +854,7 @@ impl Runner {
                             outcome: JobOutcome::TimedOut,
                             attempts: ticket.attempt,
                             wall_ms: deadline.as_millis() as u64,
+                            wait_ms: 0,
                             error: Some(detail),
                             tables: vec![table],
                             replayed: false,
@@ -1133,6 +1157,7 @@ mod tests {
             outcome: JobOutcome::Ok,
             attempts: 1,
             wall_ms: 1,
+            wait_ms: 0,
             error: None,
             tables: vec![RenderedTable::from_table(&table_for("whole"))],
             replayed: false,

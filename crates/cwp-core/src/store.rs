@@ -72,6 +72,8 @@ pub struct TraceStore {
     used_bytes: AtomicU64,
     recordings: AtomicU64,
     evictions: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
     clock: AtomicU64,
     slots: Mutex<HashMap<String, SlotEntry>>,
 }
@@ -92,6 +94,8 @@ impl TraceStore {
             used_bytes: AtomicU64::new(0),
             recordings: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
             clock: AtomicU64::new(0),
             slots: Mutex::new(HashMap::new()),
         }
@@ -128,6 +132,18 @@ impl TraceStore {
     /// Number of recordings evicted to respect the budget.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lookups served from an existing recording without capturing.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to capture a trace, found nothing, or fell
+    /// back to live generation. `hits / (hits + misses)` is the
+    /// store's hit ratio.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// The slot for `name`, created empty if absent, with its LRU stamp
@@ -196,11 +212,15 @@ impl TraceStore {
     /// lookup.
     pub fn get_or_record(&self, workload: &dyn Workload) -> Option<Arc<RecordedTrace>> {
         if !self.is_enabled() {
+            // The caller will generate live: a miss by definition.
+            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let slot = self.slot(workload.name());
+        let mut captured = false;
         let recorded = slot
             .get_or_init(|| {
+                captured = true;
                 // 12 B/ref floors the SoA footprint (4 gap + 8 addr,
                 // meta rounds up), so the record cap never rejects a
                 // trace whose true size fits the budget; the exact
@@ -244,6 +264,14 @@ impl TraceStore {
                 }
             })
             .clone();
+        // Hit-ratio accounting: a hit is a recorded trace served
+        // without capture work; a capture, a remembered never-fits
+        // workload, or a disabled slot all count as misses.
+        if recorded.is_some() && !captured {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         self.evict_to_budget(workload.name());
         recorded
     }
@@ -252,9 +280,16 @@ impl TraceStore {
     /// triggers a capture.
     pub fn lookup(&self, name: &str) -> Option<Arc<RecordedTrace>> {
         if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        self.slot(name).get().cloned().flatten()
+        let found = self.slot(name).get().cloned().flatten();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
     }
 
     /// Installs a pre-built recording (e.g. one loaded from disk) for
@@ -342,6 +377,8 @@ impl std::fmt::Debug for TraceStore {
             .field("used_bytes", &self.used_bytes())
             .field("recordings", &self.recordings())
             .field("evictions", &self.evictions())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
             .finish()
     }
 }
@@ -466,6 +503,27 @@ mod tests {
         assert!(Arc::ptr_eq(&got, &trace), "served without re-recording");
         assert_eq!(store.recordings(), 0);
         assert_eq!(store.recorded_names(), ["met"]);
+    }
+
+    #[test]
+    fn hits_and_misses_count_served_recordings_and_captures() {
+        let store = TraceStore::new(Scale::Test);
+        let w = workloads::ccom();
+        // First use captures: a miss, not a hit.
+        assert!(store.get_or_record(w.as_ref()).is_some());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // Subsequent uses are served from the recording.
+        assert!(store.get_or_record(w.as_ref()).is_some());
+        assert!(store.get_or_record(w.as_ref()).is_some());
+        assert_eq!((store.hits(), store.misses()), (2, 1));
+        // Lookups count too, both ways.
+        assert!(store.lookup("ccom").is_some());
+        assert!(store.lookup("grr").is_none());
+        assert_eq!((store.hits(), store.misses()), (3, 2));
+        // A disabled store serves nothing: every use is a miss.
+        let disabled = TraceStore::disabled(Scale::Test);
+        assert!(disabled.get_or_record(w.as_ref()).is_none());
+        assert_eq!((disabled.hits(), disabled.misses()), (0, 1));
     }
 
     #[test]

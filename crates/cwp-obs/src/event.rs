@@ -233,6 +233,10 @@ pub enum Event {
         ok: bool,
         /// Wall-clock time of the final attempt, in milliseconds.
         wall_ms: u64,
+        /// Time the final attempt spent in the ready queue before a
+        /// worker picked it up, in milliseconds (0 for timeouts, where
+        /// the abandoned worker never reported back).
+        wait_ms: u64,
     },
     /// The serve front end admitted a request into its bounded queue.
     RequestAdmitted {

@@ -273,12 +273,14 @@ impl Event {
                 attempt,
                 ok,
                 wall_ms,
+                wait_ms,
             } => Json::obj([
                 ev,
                 ("job", Json::UInt(u64::from(job))),
                 ("attempt", Json::UInt(u64::from(attempt))),
                 ("ok", Json::Bool(ok)),
                 ("wall_ms", Json::UInt(wall_ms)),
+                ("wait_ms", Json::UInt(wait_ms)),
             ]),
             Event::RequestAdmitted { request, depth } => Json::obj([
                 ev,
@@ -412,6 +414,8 @@ impl Event {
                 attempt: u32_of("attempt")?,
                 ok: bool_of("ok")?,
                 wall_ms: u64_of("wall_ms")?,
+                // Absent in streams written before queue-wait tracking.
+                wait_ms: u64_of("wait_ms").unwrap_or(0),
             },
             "req_admitted" => Event::RequestAdmitted {
                 request: u64_of("request")?,
@@ -704,6 +708,7 @@ mod tests {
                 attempt: 2,
                 ok: true,
                 wall_ms: 1234,
+                wait_ms: 7,
             },
             Event::RequestAdmitted {
                 request: 7,

@@ -21,6 +21,11 @@
 //!   wall time, totals) written next to every exported trace.
 //! - [`log`]: the `CWP_LOG` / `--quiet` logging convention shared by
 //!   the figure and experiment binaries.
+//! - [`metrics`]: live telemetry — lock-free sharded [`Counter`]s,
+//!   [`Gauge`]s, log2-bucketed latency [`Histogram`]s with quantile
+//!   estimation, per-request [`Span`] stage timing, and a [`Registry`]
+//!   that renders one coherent JSON snapshot for the `metrics` wire
+//!   request and the periodic snapshot file.
 //!
 //! The crate depends on nothing (not even other workspace crates), so
 //! every layer of the simulator can emit events into it.
@@ -33,6 +38,7 @@ pub mod json;
 pub mod jsonl;
 pub mod log;
 pub mod manifest;
+pub mod metrics;
 pub mod sampler;
 pub mod schema;
 
@@ -44,4 +50,5 @@ pub use json::{Json, JsonError};
 pub use jsonl::{read_events, read_jsonl_tolerant, write_jsonl_atomic, JsonlDocument, JsonlWriter};
 pub use log::{enabled, level, set_level, Level};
 pub use manifest::{git_revision, RunManifest, MANIFEST_OUTCOMES};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span};
 pub use sampler::{WindowRow, WindowSampler, CSV_COLUMNS};

@@ -1,0 +1,634 @@
+//! Live telemetry primitives: counters, gauges, histograms, spans.
+//!
+//! Everything here is std-only and lock-free on the hot path:
+//!
+//! - [`Counter`]: a monotonically increasing sum, sharded across
+//!   cache-line-padded atomics so concurrent writers on different
+//!   threads do not bounce one cache line.
+//! - [`Gauge`]: a signed instantaneous level (queue depth, in-flight
+//!   count). Levels are read-modify-write from many threads, so a
+//!   single atomic is used — gauges are updated far less often than
+//!   counters and need coherent `add`/`sub`.
+//! - [`Histogram`]: a fixed 64-bucket log2-bucketed latency histogram
+//!   with exact `count`/`sum`/`min`/`max` and estimated quantiles.
+//!   Recording is a handful of relaxed atomic ops; snapshots are cheap
+//!   copies that merge associatively across threads, shards, or
+//!   processes.
+//! - [`Span`]: a per-request causal timer that accumulates named stage
+//!   durations (admit → queue → coalesce → simulate → memo → respond)
+//!   so a response can carry its own timing breakdown.
+//! - [`Registry`]: named instrument directory rendering one atomic
+//!   JSON snapshot of every registered instrument.
+//!
+//! The registry renders to [`Json`] so the snapshot can ride the JSONL
+//! wire protocol or be written atomically to disk and re-parsed by
+//! `cwp-top` without any external dependency.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Number of buckets in a [`Histogram`] (one per power of two of a
+/// `u64`, plus a dedicated zero bucket; the top bucket saturates).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Counter shard count. Eight single-writer-ish cache lines is enough
+/// to keep a worker pool from serializing on one line while staying
+/// cheap to sum at snapshot time.
+const COUNTER_SHARDS: usize = 8;
+
+/// One cache-line-padded atomic cell.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// Picks a stable per-thread shard index. Threads are assigned shards
+/// round-robin on first use, so a fixed worker pool spreads evenly.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+    }
+    SHARD.with(|shard| *shard)
+}
+
+/// A monotonically increasing counter, sharded to avoid write
+/// contention. Reads sum the shards; with relaxed ordering the sum is
+/// a consistent point-in-time lower bound (each shard's value is
+/// exact, so totals reconcile once writers quiesce).
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed instantaneous level (stored as a `u64` two's-complement
+/// image so the whole module stays on `AtomicU64`).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v as u64, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge up by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Moves the gauge down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// The bucket a value lands in: bucket 0 holds zero, bucket `i >= 1`
+/// holds `[2^(i-1), 2^i - 1]`, and the top bucket saturates (every
+/// value at or above `2^62` lands in bucket 63).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive `[low, high]` value range of a bucket.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        i if i >= HISTOGRAM_BUCKETS - 1 => (1u64 << (HISTOGRAM_BUCKETS - 2), u64::MAX),
+        i => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// A log2-bucketed histogram with exact count/sum/min/max. Values are
+/// whatever unit the caller picks (the service records microseconds).
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in integer microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observed values (saturating).
+    pub sum: u64,
+    /// Exact minimum observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact maximum observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn new() -> Self {
+        HistogramSnapshot::default()
+    }
+
+    /// Records one observation into the owned snapshot (used by
+    /// single-threaded collectors like `cwp-load`).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Merging is associative and
+    /// commutative, with [`HistogramSnapshot::new`] as the identity.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by rank-walking the
+    /// buckets and interpolating linearly inside the landing bucket,
+    /// clamped to the exact observed `[min, max]`. Estimates are
+    /// monotone in `q`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            if seen + bucket >= rank {
+                let (low, high) = bucket_bounds(index);
+                let position = (rank - seen) as f64 / bucket as f64;
+                let estimate = low as f64 + (high - low) as f64 * position;
+                // Clamp to the bucket first (f64 rounding can land one
+                // past `high` for huge buckets), then to the exact
+                // observed range.
+                return (estimate as u64).clamp(low, high).clamp(self.min, self.max);
+            }
+            seen += bucket;
+        }
+        self.max
+    }
+
+    /// Convenience quartet: `(p50, p90, p99, p99.9)`.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Renders the snapshot as JSON. Buckets are written sparsely as
+    /// `[index, count]` pairs to keep wire lines small; `min` is
+    /// omitted-as-null when the histogram is empty.
+    pub fn to_json(&self) -> Json {
+        let (p50, p90, p99, p999) = self.percentiles();
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(index, count)| Json::Arr(vec![Json::UInt(index as u64), Json::UInt(*count)]))
+            .collect();
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::UInt(self.sum)),
+            (
+                "min",
+                if self.count == 0 {
+                    Json::Null
+                } else {
+                    Json::UInt(self.min)
+                },
+            ),
+            ("max", Json::UInt(self.max)),
+            ("p50", Json::UInt(p50)),
+            ("p90", Json::UInt(p90)),
+            ("p99", Json::UInt(p99)),
+            ("p999", Json::UInt(p999)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Parses a snapshot previously written by
+    /// [`HistogramSnapshot::to_json`]. The derived percentile fields
+    /// are ignored (they are recomputed from the buckets on demand).
+    pub fn from_json(json: &Json) -> Option<HistogramSnapshot> {
+        let mut snapshot = HistogramSnapshot {
+            count: json.get("count")?.as_u64()?,
+            sum: json.get("sum")?.as_u64()?,
+            min: match json.get("min")? {
+                Json::Null => u64::MAX,
+                value => value.as_u64()?,
+            },
+            max: json.get("max")?.as_u64()?,
+            ..HistogramSnapshot::default()
+        };
+        for pair in json.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let index = pair[0].as_u64()? as usize;
+            if index >= HISTOGRAM_BUCKETS {
+                return None;
+            }
+            snapshot.buckets[index] = pair[1].as_u64()?;
+        }
+        Some(snapshot)
+    }
+}
+
+/// A per-request causal timer. A span is created when a request enters
+/// the system and carries the server-wide request id; `mark` closes
+/// the current stage and opens the next, accumulating repeated stages
+/// (a retried request passes through `queue` more than once).
+#[derive(Debug, Clone)]
+pub struct Span {
+    id: u64,
+    start: Instant,
+    last: Instant,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl Span {
+    /// Starts a span for request `id`; the first stage begins now.
+    pub fn begin(id: u64) -> Span {
+        let now = Instant::now();
+        Span {
+            id,
+            start: now,
+            last: now,
+            stages: Vec::with_capacity(4),
+        }
+    }
+
+    /// The causal request id this span follows.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Closes the stage that began at the previous mark (or at
+    /// [`Span::begin`]) under `stage`, and returns its duration.
+    /// Repeated stage names accumulate.
+    pub fn mark(&mut self, stage: &'static str) -> Duration {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last);
+        self.last = now;
+        match self.stages.iter_mut().find(|(name, _)| *name == stage) {
+            Some((_, total)) => *total += elapsed,
+            None => self.stages.push((stage, elapsed)),
+        }
+        elapsed
+    }
+
+    /// Total wall time since [`Span::begin`].
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// The accumulated `(stage, duration)` pairs, in first-marked order.
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// The stage breakdown in integer microseconds, in first-marked
+    /// order — the shape carried on wire responses.
+    pub fn breakdown_us(&self) -> Vec<(String, u64)> {
+        self.stages
+            .iter()
+            .map(|(name, duration)| {
+                (
+                    (*name).to_string(),
+                    duration.as_micros().min(u128::from(u64::MAX)) as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A named directory of instruments. Registration takes a lock;
+/// recording through the returned `Arc` handles never does. Snapshot
+/// output is sorted by name so it is stable across registration order.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+fn get_or_insert<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
+    let mut list = list.lock().expect("registry lock");
+    if let Some((_, existing)) = list.iter().find(|(n, _)| n == name) {
+        return Arc::clone(existing);
+    }
+    let made = Arc::new(T::default());
+    list.push((name.to_string(), Arc::clone(&made)));
+    made
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// One coherent JSON snapshot of every registered instrument:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot(&self) -> Json {
+        fn sorted<T, F: Fn(&T) -> Json>(list: &Mutex<Vec<(String, Arc<T>)>>, render: F) -> Json {
+            let list = list.lock().expect("registry lock");
+            let mut pairs: Vec<(String, Json)> = list
+                .iter()
+                .map(|(name, instrument)| (name.clone(), render(instrument)))
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(pairs)
+        }
+        Json::obj([
+            (
+                "counters",
+                sorted(&self.counters, |c: &Counter| Json::UInt(c.value())),
+            ),
+            (
+                "gauges",
+                sorted(&self.gauges, |g: &Gauge| {
+                    let v = g.value();
+                    if v >= 0 {
+                        Json::UInt(v as u64)
+                    } else {
+                        Json::Num(v as f64)
+                    }
+                }),
+            ),
+            (
+                "histograms",
+                sorted(&self.histograms, |h: &Histogram| h.snapshot().to_json()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards_and_threads() {
+        let counter = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.value(), 4000);
+    }
+
+    #[test]
+    fn gauge_tracks_signed_levels() {
+        let gauge = Gauge::new();
+        gauge.add(5);
+        gauge.sub(8);
+        assert_eq!(gauge.value(), -3);
+        gauge.set(42);
+        assert_eq!(gauge.value(), 42);
+    }
+
+    #[test]
+    fn bucket_index_covers_the_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every bucket's bounds map back to the bucket itself.
+        for index in 0..HISTOGRAM_BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(bucket_index(low), index, "low bound of bucket {index}");
+            assert_eq!(bucket_index(high), index, "high bound of bucket {index}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_min_max() {
+        let hist = Histogram::new();
+        for value in [3u64, 100, 7, 0, 250_000] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 250_110);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 250_000);
+    }
+
+    #[test]
+    fn quantiles_land_inside_the_observed_range() {
+        let mut snap = HistogramSnapshot::new();
+        for value in 1..=1000u64 {
+            snap.record(value);
+        }
+        let (p50, p90, p99, p999) = snap.percentiles();
+        assert!(p50 >= snap.min && p50 <= snap.max);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= snap.max);
+        // p50 of 1..=1000 lands in bucket [512,1023]; the estimate is
+        // coarse but must be within a bucket of the true median.
+        assert!((256..=1023).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut snap = HistogramSnapshot::new();
+        for value in [0u64, 1, 17, 900, u64::MAX] {
+            snap.record(value);
+        }
+        let back = HistogramSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // An empty snapshot round-trips too (min is null on the wire).
+        let empty = HistogramSnapshot::new();
+        assert_eq!(
+            HistogramSnapshot::from_json(&empty.to_json()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn span_accumulates_repeated_stages() {
+        let mut span = Span::begin(7);
+        span.mark("queue");
+        span.mark("sim");
+        span.mark("queue"); // a retry waits in the queue again
+        assert_eq!(span.id(), 7);
+        let stages = span.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].0, "queue");
+        assert_eq!(stages[1].0, "sim");
+        let breakdown = span.breakdown_us();
+        assert_eq!(breakdown.len(), 2);
+        assert!(span.total() >= stages[0].1 + stages[1].1);
+    }
+
+    #[test]
+    fn registry_returns_the_same_instrument_for_a_name() {
+        let registry = Registry::new();
+        registry.counter("served").add(3);
+        registry.counter("served").add(4);
+        assert_eq!(registry.counter("served").value(), 7);
+        registry.gauge("depth").set(9);
+        registry.histogram("lat").record(128);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("counters").unwrap().get("served").unwrap(),
+            &Json::UInt(7)
+        );
+        assert_eq!(
+            snap.get("gauges").unwrap().get("depth").unwrap(),
+            &Json::UInt(9)
+        );
+        let hist = snap.get("histograms").unwrap().get("lat").unwrap();
+        assert_eq!(hist.get("count").unwrap(), &Json::UInt(1));
+    }
+}

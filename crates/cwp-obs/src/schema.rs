@@ -400,6 +400,65 @@ mod tests {
     }
 
     #[test]
+    fn all_request_lifecycle_variants_validate() {
+        // The serve front end emits these five variants; the offline
+        // validator must accept a stream containing every one of them,
+        // and reject any with a missing required field.
+        let mut w = JsonlWriter::new(Vec::new(), None);
+        for event in [
+            Event::RequestAdmitted {
+                request: 1,
+                depth: 3,
+            },
+            Event::RequestShed {
+                request: 2,
+                retry_after_ms: 40,
+            },
+            Event::RequestDeadline {
+                request: 3,
+                deadline_ms: 15,
+            },
+            Event::RequestDegraded { request: 4 },
+            Event::RequestCoalesced {
+                request: 5,
+                batch: 4,
+            },
+        ] {
+            w.on_event(&event);
+        }
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        assert_eq!(
+            validate_events(&text),
+            Ok(EventsReport {
+                events: 5,
+                truncated: false
+            })
+        );
+        // Dropping a required field from any lifecycle line is caught.
+        for (broken, tag) in [
+            ("{\"seq\":0,\"ev\":\"req_admitted\",\"request\":1}", "depth"),
+            ("{\"seq\":0,\"ev\":\"req_shed\",\"request\":2}", "retry"),
+            (
+                "{\"seq\":0,\"ev\":\"req_deadline\",\"request\":3}",
+                "deadline",
+            ),
+            ("{\"seq\":0,\"ev\":\"req_degraded\"}", "request"),
+            (
+                "{\"seq\":0,\"ev\":\"req_coalesced\",\"request\":5}",
+                "batch",
+            ),
+        ] {
+            let text = format!(
+                "{broken}\n{}",
+                sample_jsonl().replace("\"seq\":0", "\"seq\":1")
+            );
+            let err = validate_events(&text)
+                .expect_err(&format!("stream missing {tag} must fail validation"));
+            assert!(err.contains("missing or mistyped"), "{err}");
+        }
+    }
+
+    #[test]
     fn sampler_csv_validates() {
         let mut s = WindowSampler::new(2, 16);
         for _ in 0..5 {

@@ -1,0 +1,211 @@
+//! Property tests for the metrics histogram (seeded in-tree driver).
+//!
+//! The workspace is hermetic (no proptest), so randomness comes from
+//! an inline SplitMix64 with fixed seeds: failures reproduce exactly.
+//! The properties under test are the ones the telemetry contract
+//! leans on: merges are associative/commutative with an identity,
+//! quantile estimates are monotone in `q` and land in the same log2
+//! bucket as the exact order statistic, bucket boundaries have no
+//! off-by-ones, and the top bucket saturates instead of overflowing.
+
+use cwp_obs::metrics::{bucket_bounds, bucket_index, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// The same generator the simulator uses, inlined because `cwp-obs`
+/// depends on no other workspace crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// A random snapshot whose values span many orders of magnitude (the
+/// shift spreads values across buckets instead of clustering high).
+fn random_snapshot(rng: &mut SplitMix64, len: usize) -> (HistogramSnapshot, Vec<u64>) {
+    let mut snapshot = HistogramSnapshot::new();
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        let shift = rng.below(64) as u32;
+        let value = rng.next() >> shift;
+        snapshot.record(value);
+        values.push(value);
+    }
+    (snapshot, values)
+}
+
+#[test]
+fn merge_is_associative_commutative_and_has_an_identity() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..50 {
+        let (len_a, len_b, len_c) = (
+            1 + rng.below(40) as usize,
+            1 + rng.below(40) as usize,
+            1 + rng.below(40) as usize,
+        );
+        let (a, _) = random_snapshot(&mut rng, len_a);
+        let (b, _) = random_snapshot(&mut rng, len_b);
+        let (c, _) = random_snapshot(&mut rng, len_c);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        // a ⊕ 0 == a
+        let mut with_identity = a.clone();
+        with_identity.merge(&HistogramSnapshot::new());
+        assert_eq!(with_identity, a, "empty snapshot must be the identity");
+    }
+}
+
+#[test]
+fn merged_snapshot_equals_recording_everything_into_one() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..30 {
+        let (len_a, len_b) = (rng.below(60) as usize, rng.below(60) as usize);
+        let (a, values_a) = random_snapshot(&mut rng, len_a);
+        let (b, values_b) = random_snapshot(&mut rng, len_b);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = HistogramSnapshot::new();
+        for value in values_a.iter().chain(values_b.iter()) {
+            direct.record(*value);
+        }
+        assert_eq!(merged, direct, "merge must equal single-stream recording");
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for _ in 0..40 {
+        let len = 1 + rng.below(200) as usize;
+        let (snapshot, _) = random_snapshot(&mut rng, len);
+        let mut previous = 0u64;
+        for step in 0..=100 {
+            let q = f64::from(step) / 100.0;
+            let estimate = snapshot.quantile(q);
+            assert!(
+                estimate >= previous,
+                "quantile({q}) = {estimate} dropped below {previous}"
+            );
+            previous = estimate;
+        }
+        assert!(snapshot.quantile(0.0) >= snapshot.min);
+        assert_eq!(snapshot.quantile(1.0), snapshot.max);
+    }
+}
+
+#[test]
+fn quantile_estimates_land_in_the_exact_order_statistics_bucket() {
+    let mut rng = SplitMix64::new(0xD00D);
+    for _ in 0..40 {
+        let len = 1 + rng.below(150) as usize;
+        let (snapshot, mut values) = random_snapshot(&mut rng, len);
+        values.sort_unstable();
+        for &q in &[0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            // The same rank the estimator walks to.
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let (low, high) = bucket_bounds(bucket_index(exact));
+            let estimate = snapshot.quantile(q);
+            assert!(
+                (low..=high).contains(&estimate),
+                "quantile({q}) = {estimate} outside bucket [{low}, {high}] of exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucket_boundaries_have_no_off_by_ones() {
+    // Around every power of two, 2^i - 1 closes bucket i and 2^i opens
+    // bucket i + 1 (until the top bucket absorbs everything).
+    for i in 1..63u32 {
+        let boundary = 1u64 << i;
+        assert_eq!(
+            bucket_index(boundary - 1),
+            i as usize,
+            "2^{i} - 1 must land in bucket {i}"
+        );
+        let expected = (i as usize + 1).min(HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            bucket_index(boundary),
+            expected,
+            "2^{i} must open bucket {expected}"
+        );
+    }
+    // The recorded counts agree with the index function at boundaries.
+    let mut snapshot = HistogramSnapshot::new();
+    for i in 1..63u32 {
+        snapshot.record((1u64 << i) - 1);
+        snapshot.record(1u64 << i);
+    }
+    let total: u64 = snapshot.buckets.iter().sum();
+    assert_eq!(total, snapshot.count);
+    for (index, &count) in snapshot.buckets.iter().enumerate() {
+        if count > 0 {
+            let (low, high) = bucket_bounds(index);
+            assert!(low <= high);
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+        }
+    }
+}
+
+#[test]
+fn the_top_bucket_saturates() {
+    let mut snapshot = HistogramSnapshot::new();
+    let giants = [1u64 << 62, (1 << 62) + 1, u64::MAX - 1, u64::MAX];
+    for &value in &giants {
+        assert_eq!(bucket_index(value), HISTOGRAM_BUCKETS - 1);
+        snapshot.record(value);
+    }
+    assert_eq!(snapshot.buckets[HISTOGRAM_BUCKETS - 1], giants.len() as u64);
+    assert_eq!(snapshot.max, u64::MAX);
+    assert_eq!(snapshot.min, 1 << 62);
+    // Quantiles stay clamped to the observed range even though the
+    // top bucket's nominal upper bound is u64::MAX.
+    for &q in &[0.01, 0.5, 0.999] {
+        let estimate = snapshot.quantile(q);
+        assert!((snapshot.min..=snapshot.max).contains(&estimate));
+    }
+    // The sum saturates instead of wrapping.
+    assert_eq!(snapshot.sum, u64::MAX);
+}
+
+#[test]
+fn json_round_trip_preserves_random_snapshots() {
+    let mut rng = SplitMix64::new(0xFACADE);
+    for _ in 0..30 {
+        let len = rng.below(100) as usize;
+        let (snapshot, _) = random_snapshot(&mut rng, len);
+        let back = HistogramSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back, snapshot);
+    }
+}

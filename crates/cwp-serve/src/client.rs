@@ -10,7 +10,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{metrics_request_line, Request, Response};
+use cwp_obs::json::Json;
 
 /// A blocking JSONL protocol client over TCP.
 pub struct Client {
@@ -74,7 +75,7 @@ impl Client {
         self.send(request)?;
         let response = self.recv()?;
         let answered = match &response {
-            Response::Ok { id, .. } => Some(*id),
+            Response::Ok { id, .. } | Response::Metrics { id, .. } => Some(*id),
             Response::Error { id, .. } => *id,
         };
         if answered.is_some() && answered != Some(request.id) {
@@ -84,6 +85,22 @@ impl Client {
             ));
         }
         Ok(response)
+    }
+
+    /// Requests a live metrics snapshot and blocks for it, matching on
+    /// `id`. Returns the snapshot object.
+    pub fn fetch_metrics(&mut self, id: u64) -> std::io::Result<Json> {
+        self.send_raw(&metrics_request_line(id))?;
+        match self.recv()? {
+            Response::Metrics {
+                id: answered,
+                snapshot,
+            } if answered == id => Ok(snapshot),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected metrics snapshot for id {id}, got {other:?}"),
+            )),
+        }
     }
 
     /// Pipelines `requests` and collects one response per unique id.
@@ -98,7 +115,7 @@ impl Client {
         while responses.len() < unique.len() {
             let response = self.recv()?;
             let id = match &response {
-                Response::Ok { id, .. } => Some(*id),
+                Response::Ok { id, .. } | Response::Metrics { id, .. } => Some(*id),
                 Response::Error { id, .. } => *id,
             };
             match id {

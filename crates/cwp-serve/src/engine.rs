@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
@@ -33,12 +33,14 @@ use cwp_core::store::TraceStore;
 use cwp_core::supervise::{backoff_delay, CancelToken, Supervisor};
 use cwp_mem::SplitMix64;
 use cwp_obs::event::{Event, Probe};
+use cwp_obs::json::Json;
 use cwp_obs::jsonl::JsonlWriter;
+use cwp_obs::metrics::{Counter, Gauge, Histogram, Registry, Span};
 use cwp_trace::{workloads, Scale};
 
 use crate::memo::MemoStore;
-use crate::protocol::{config_key, Reject, Request, Response, ResultSummary};
-use crate::queue::{AdmissionQueue, Entry};
+use crate::protocol::{config_key, Incoming, Reject, Response, ResultSummary, Timing};
+use crate::queue::{AdmissionQueue, Entry, PRIORITY_LEVELS};
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone)]
@@ -68,6 +70,10 @@ pub struct EngineConfig {
     pub memo_dir: Option<std::path::PathBuf>,
     /// Request-lifecycle event log (`None` = no log).
     pub events_path: Option<std::path::PathBuf>,
+    /// Periodic atomic metrics snapshot file (`None` = no snapshots).
+    pub metrics_path: Option<std::path::PathBuf>,
+    /// How often the snapshot file is rewritten.
+    pub metrics_period: Duration,
 }
 
 impl EngineConfig {
@@ -86,6 +92,8 @@ impl EngineConfig {
             fault_one_in: 0,
             memo_dir: None,
             events_path: None,
+            metrics_path: None,
+            metrics_period: Duration::from_secs(1),
         }
     }
 }
@@ -115,18 +123,54 @@ pub struct EngineStats {
     pub failed: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    admitted: AtomicU64,
-    shed: AtomicU64,
-    served: AtomicU64,
-    memo_hits: AtomicU64,
-    coalesced: AtomicU64,
-    degraded: AtomicU64,
-    deadline_expired: AtomicU64,
-    panics: AtomicU64,
-    retries: AtomicU64,
-    failed: AtomicU64,
+/// The engine's instrument set, registered by name in a
+/// [`Registry`] so one `registry.snapshot()` renders them all. The
+/// typed fields keep the hot paths free of name lookups.
+struct ServeMetrics {
+    registry: Registry,
+    admitted: Arc<Counter>,
+    shed: Arc<Counter>,
+    served: Arc<Counter>,
+    memo_hits: Arc<Counter>,
+    memo_misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    degraded: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    panics: Arc<Counter>,
+    retries: Arc<Counter>,
+    failed: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    queue_us: Arc<Histogram>,
+    prep_us: Arc<Histogram>,
+    sim_us: Arc<Histogram>,
+    memo_us: Arc<Histogram>,
+    total_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        ServeMetrics {
+            admitted: registry.counter("admitted"),
+            shed: registry.counter("shed"),
+            served: registry.counter("served"),
+            memo_hits: registry.counter("memo_hits"),
+            memo_misses: registry.counter("memo_misses"),
+            coalesced: registry.counter("coalesced"),
+            degraded: registry.counter("degraded"),
+            deadline_expired: registry.counter("deadline_expired"),
+            panics: registry.counter("panics"),
+            retries: registry.counter("retries"),
+            failed: registry.counter("failed"),
+            inflight: registry.gauge("inflight"),
+            queue_us: registry.histogram("queue_us"),
+            prep_us: registry.histogram("prep_us"),
+            sim_us: registry.histogram("sim_us"),
+            memo_us: registry.histogram("memo_us"),
+            total_us: registry.histogram("total_us"),
+            registry,
+        }
+    }
 }
 
 /// Supervisor payload: either a deadline armed for an admitted request
@@ -151,16 +195,19 @@ struct Shared {
     hashes: Mutex<HashMap<String, u64>>,
     clients: Mutex<HashMap<u64, Sender<Response>>>,
     supervisor: OnceLock<Arc<Supervisor<SupMsg>>>,
-    counters: Counters,
+    metrics: ServeMetrics,
     seq: AtomicU64,
     client_seq: AtomicU64,
     events: Option<Mutex<JsonlWriter<std::fs::File>>>,
+    /// Set on shutdown; stops the snapshot thread.
+    stopping: AtomicBool,
 }
 
 /// The serving engine. See the module docs for the design.
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    snapshotter: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Engine {
@@ -184,10 +231,11 @@ impl Engine {
             hashes: Mutex::new(HashMap::new()),
             clients: Mutex::new(HashMap::new()),
             supervisor: OnceLock::new(),
-            counters: Counters::default(),
+            metrics: ServeMetrics::new(),
             seq: AtomicU64::new(1),
             client_seq: AtomicU64::new(1),
             events,
+            stopping: AtomicBool::new(false),
             config,
         });
         let expired = Arc::downgrade(&shared);
@@ -219,9 +267,17 @@ impl Engine {
                     .expect("spawn worker")
             })
             .collect();
+        let snapshotter = shared.config.metrics_path.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cwp-serve-metrics".to_string())
+                .spawn(move || snapshot_loop(&shared, &path))
+                .expect("spawn snapshotter")
+        });
         Ok(Engine {
             shared,
             workers: Mutex::new(workers),
+            snapshotter: Mutex::new(snapshotter),
         })
     }
 
@@ -268,8 +324,20 @@ impl Engine {
         self.shared.queue.depth()
     }
 
+    /// One coherent JSON snapshot of the live telemetry: registry
+    /// counters/gauges/histograms plus queue, memo, and trace-store
+    /// state read at snapshot time. This is the object served to
+    /// `metrics` requests and written to the periodic snapshot file.
+    pub fn metrics_snapshot(&self) -> Json {
+        self.shared.metrics_snapshot()
+    }
+
     /// Stops accepting work, drains the queue, and joins the workers.
     pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        if let Some(snapshotter) = self.snapshotter.lock().expect("snapshotter lock").take() {
+            let _ = snapshotter.join();
+        }
         self.shared.queue.close();
         let workers: Vec<_> = self
             .workers
@@ -318,12 +386,25 @@ impl Shared {
     }
 
     fn submit(&self, client: u64, line: &str) {
-        let request = match Request::from_line(line) {
+        let request = match Incoming::from_line(line) {
             Err((id, reject)) => {
                 self.respond(client, Response::Error { id, reject });
                 return;
             }
-            Ok(request) => request,
+            // Metrics requests are read-only and answered inline,
+            // bypassing admission: telemetry must stay reachable
+            // precisely when the queue is full.
+            Ok(Incoming::Metrics { id }) => {
+                self.respond(
+                    client,
+                    Response::Metrics {
+                        id,
+                        snapshot: self.metrics_snapshot(),
+                    },
+                );
+                return;
+            }
+            Ok(Incoming::Sim(request)) => request,
         };
         if workloads::by_name(&request.workload).is_none() {
             let detail = format!("unknown workload {:?}", request.workload);
@@ -348,7 +429,7 @@ impl Shared {
             client,
             request,
             attempt: 1,
-            admitted: Instant::now(),
+            span: Span::begin(seq),
             cancel: cancel.clone(),
         };
         // Register before admitting so a fast worker can never complete
@@ -365,7 +446,8 @@ impl Shared {
         );
         match self.queue.admit(entry) {
             Ok(depth) => {
-                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                self.metrics.admitted.inc();
+                self.metrics.inflight.add(1);
                 self.emit(Event::RequestAdmitted {
                     request: seq,
                     depth: depth.min(u32::MAX as usize) as u32,
@@ -374,7 +456,7 @@ impl Shared {
             Err(shed) => {
                 self.sup().complete(seq); // roll back the registration
                 let retry_after_ms = shed.retry_after_ms();
-                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shed.inc();
                 self.emit(Event::RequestShed {
                     request: seq,
                     retry_after_ms,
@@ -405,9 +487,8 @@ impl Shared {
             return; // retries are never registered with a deadline
         };
         cancel.cancel();
-        self.counters
-            .deadline_expired
-            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.deadline_expired.inc();
+        self.metrics.inflight.sub(1);
         self.emit(Event::RequestDeadline {
             request: seq,
             deadline_ms,
@@ -430,34 +511,43 @@ impl Shared {
     }
 
     /// Settles an entry with a successful result. Returns silently if
-    /// the deadline watchdog got there first.
+    /// the deadline watchdog got there first. `coalesced_batch` is the
+    /// size of the banked pass that actually served the entry (0 or 1
+    /// = served alone); the `req_coalesced` event is emitted here, at
+    /// settlement, so the event stream and the `coalesced` counter
+    /// agree exactly even when batch members peel off to memo hits or
+    /// retries.
     fn settle_ok(
         &self,
         entry: &Entry,
         result: ResultSummary,
         memo_hit: bool,
         degraded: bool,
-        coalesced: bool,
+        coalesced_batch: usize,
     ) {
         if self.sup().complete(entry.seq).is_none() {
             return; // deadline already answered
         }
-        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        let coalesced = coalesced_batch > 1;
+        self.metrics.served.inc();
+        self.metrics.inflight.sub(1);
         if memo_hit {
-            self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.memo_hits.inc();
         }
         if degraded {
-            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.metrics.degraded.inc();
             self.emit(Event::RequestDegraded { request: entry.seq });
         }
         if coalesced {
-            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.metrics.coalesced.inc();
+            self.emit(Event::RequestCoalesced {
+                request: entry.seq,
+                batch: coalesced_batch.min(u32::MAX as usize) as u32,
+            });
         }
-        let wall_ms = entry
-            .admitted
-            .elapsed()
-            .as_millis()
-            .min(u128::from(u64::MAX)) as u64;
+        let total = entry.span.total();
+        self.metrics.total_us.record_duration(total);
+        let wall_ms = total.as_millis().min(u128::from(u64::MAX)) as u64;
         self.respond(
             entry.client,
             Response::Ok {
@@ -467,6 +557,10 @@ impl Shared {
                 degraded,
                 coalesced,
                 wall_ms,
+                timing: Timing {
+                    trace: entry.seq,
+                    stages: entry.span.breakdown_us(),
+                },
             },
         );
         self.queue.done(entry.client);
@@ -477,7 +571,8 @@ impl Shared {
         if self.sup().complete(entry.seq).is_none() {
             return;
         }
-        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.failed.inc();
+        self.metrics.inflight.sub(1);
         self.respond(
             entry.client,
             Response::Error {
@@ -499,22 +594,92 @@ impl Shared {
 
     fn stats(&self) -> EngineStats {
         EngineStats {
-            admitted: self.counters.admitted.load(Ordering::Relaxed),
-            shed: self.counters.shed.load(Ordering::Relaxed),
-            served: self.counters.served.load(Ordering::Relaxed),
-            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
-            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
-            degraded: self.counters.degraded.load(Ordering::Relaxed),
-            deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
-            panics: self.counters.panics.load(Ordering::Relaxed),
-            retries: self.counters.retries.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
+            admitted: self.metrics.admitted.value(),
+            shed: self.metrics.shed.value(),
+            served: self.metrics.served.value(),
+            memo_hits: self.metrics.memo_hits.value(),
+            coalesced: self.metrics.coalesced.value(),
+            degraded: self.metrics.degraded.value(),
+            deadline_expired: self.metrics.deadline_expired.value(),
+            panics: self.metrics.panics.value(),
+            retries: self.metrics.retries.value(),
+            failed: self.metrics.failed.value(),
+        }
+    }
+
+    /// Renders the registry snapshot plus live queue / memo /
+    /// trace-store state as one JSON object.
+    fn metrics_snapshot(&self) -> Json {
+        let mut snapshot = self.metrics.registry.snapshot();
+        let depths = self.queue.depths();
+        let (inflight_clients, inflight_total) = self.queue.inflight();
+        let queue = {
+            let mut pairs: Vec<(String, Json)> = (0..PRIORITY_LEVELS)
+                .map(|level| (format!("depth_p{level}"), Json::UInt(depths[level] as u64)))
+                .collect();
+            pairs.push(("depth".to_string(), Json::UInt(self.queue.depth() as u64)));
+            pairs.push((
+                "inflight_clients".to_string(),
+                Json::UInt(inflight_clients as u64),
+            ));
+            pairs.push((
+                "inflight_total".to_string(),
+                Json::UInt(inflight_total as u64),
+            ));
+            Json::Obj(pairs)
+        };
+        let memo = Json::obj([("entries", Json::UInt(self.memo.len() as u64))]);
+        let store = Json::obj([
+            ("bytes", Json::UInt(self.store.used_bytes())),
+            ("recordings", Json::UInt(self.store.recordings())),
+            ("evictions", Json::UInt(self.store.evictions())),
+            ("hits", Json::UInt(self.store.hits())),
+            ("misses", Json::UInt(self.store.misses())),
+        ]);
+        if let Json::Obj(pairs) = &mut snapshot {
+            pairs.push(("queue".to_string(), queue));
+            pairs.push(("memo".to_string(), memo));
+            pairs.push(("store".to_string(), store));
+        }
+        snapshot
+    }
+}
+
+/// Rewrites the snapshot file every `metrics_period` with a
+/// write-then-rename so readers never observe a torn snapshot. A final
+/// snapshot is written on shutdown.
+fn snapshot_loop(shared: &Shared, path: &std::path::Path) {
+    let tick = Duration::from_millis(25);
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < shared.config.metrics_period {
+            if shared.stopping.load(Ordering::Relaxed) {
+                let _ = write_snapshot_atomic(path, &shared.metrics_snapshot());
+                return;
+            }
+            std::thread::sleep(tick);
+            waited += tick;
+        }
+        if let Err(e) = write_snapshot_atomic(path, &shared.metrics_snapshot()) {
+            cwp_obs::obs_warn!("metrics snapshot write failed: {e}");
         }
     }
 }
 
+/// Atomically replaces `path` with the rendered snapshot.
+fn write_snapshot_atomic(path: &std::path::Path, snapshot: &Json) -> std::io::Result<()> {
+    let mut line = String::new();
+    snapshot.write(&mut line);
+    line.push('\n');
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, line)?;
+    std::fs::rename(&tmp, path)
+}
+
 fn worker_loop(shared: &Shared) {
-    while let Some(leader) = shared.queue.pop() {
+    while let Some(mut leader) = shared.queue.pop() {
+        let waited = leader.span.mark("queue");
+        shared.metrics.queue_us.record_duration(waited);
         if leader.cancel.is_cancelled() {
             // Deadline fired while queued; the watchdog already
             // responded and paid the queue debt.
@@ -539,18 +704,12 @@ fn serve_batch(shared: &Shared, leader: Entry) {
                     && e.request.config.fault_rate_ppm() == 0
                     && !e.cancel.is_cancelled()
             });
-        batch.extend(followers);
-    }
-    let coalesced = batch.len() > 1;
-    if coalesced {
-        for entry in &batch {
-            shared.emit(Event::RequestCoalesced {
-                request: entry.seq,
-                batch: batch.len().min(u32::MAX as usize) as u32,
-            });
+        for mut follower in followers {
+            let waited = follower.span.mark("queue");
+            shared.metrics.queue_us.record_duration(waited);
+            batch.push(follower);
         }
     }
-
     let workload = workloads::by_name(&name).expect("validated at submit");
     let trace = shared.store.get_or_record(workload.as_ref());
     let degraded = trace.is_none();
@@ -577,13 +736,26 @@ fn serve_batch(shared: &Shared, leader: Entry) {
     };
 
     // Memo pass: answer hits immediately, collect misses for the sim.
+    // The trace fetch above is billed to every batch member as `prep`
+    // (on a cold store it records the whole trace).
     let mut misses: Vec<(Entry, String)> = Vec::new();
-    for entry in batch {
+    for mut entry in batch {
+        let prep = entry.span.mark("prep");
+        shared.metrics.prep_us.record_duration(prep);
         let key = config_key(&entry.request.config);
         let hit = trace_hash.and_then(|hash| shared.memo.get(hash, &key));
         match hit {
-            Some(result) => shared.settle_ok(&entry, result, true, false, false),
-            None => misses.push((entry, key)),
+            Some(result) => {
+                let looked_up = entry.span.mark("memo");
+                shared.metrics.memo_us.record_duration(looked_up);
+                // A memo hit is served alone even when it arrived in a
+                // coalesced drain: it never rode the banked pass.
+                shared.settle_ok(&entry, result, true, false, 1);
+            }
+            None => {
+                shared.metrics.memo_misses.inc();
+                misses.push((entry, key));
+            }
         }
     }
     if misses.is_empty() {
@@ -625,7 +797,7 @@ fn serve_batch(shared: &Shared, leader: Entry) {
 
     match outcome {
         Err(_) => {
-            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.panics.inc();
             for (entry, _) in misses {
                 retry_or_fail(shared, entry);
             }
@@ -645,7 +817,12 @@ fn serve_batch(shared: &Shared, leader: Entry) {
         Ok(Some(outcomes)) => {
             let results: Vec<ResultSummary> =
                 outcomes.iter().map(ResultSummary::from_outcome).collect();
-            for (entry, key) in misses {
+            // Entries that reached the simulation together form the
+            // coalesced set; memo hits peeled off above don't count.
+            let pass_size = misses.len();
+            for (mut entry, key) in misses {
+                let simmed = entry.span.mark("sim");
+                shared.metrics.sim_us.record_duration(simmed);
                 let index = unique_keys
                     .iter()
                     .position(|k| k == &key)
@@ -656,7 +833,9 @@ fn serve_batch(shared: &Shared, leader: Entry) {
                         cwp_obs::obs_warn!("memo journal write failed: {e}");
                     }
                 }
-                shared.settle_ok(&entry, result, false, degraded, coalesced);
+                let journaled = entry.span.mark("memo");
+                shared.metrics.memo_us.record_duration(journaled);
+                shared.settle_ok(&entry, result, false, degraded, pass_size);
             }
         }
     }
@@ -683,7 +862,7 @@ fn retry_or_fail(shared: &Shared, entry: Entry) {
         entry.seq,
         entry.attempt,
     );
-    shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.retries.inc();
     let mut next = entry;
     next.attempt += 1;
     shared

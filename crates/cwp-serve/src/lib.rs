@@ -303,6 +303,86 @@ mod tests {
     }
 
     #[test]
+    fn metrics_requests_answer_with_a_reconciling_snapshot() {
+        let engine = test_engine(|_| {});
+        let (client, responses) = engine.attach_client();
+        for id in 0..3 {
+            engine.submit(client, &request(id, "ccom", 4096).to_line());
+        }
+        for _ in 0..3 {
+            let response = responses.recv_timeout(Duration::from_secs(60)).unwrap();
+            // Every served response carries a causal id and a timing
+            // breakdown whose stages sum to at most wall time.
+            match response {
+                Response::Ok {
+                    wall_ms, timing, ..
+                } => {
+                    assert!(timing.trace > 0, "span id must be the engine seq");
+                    assert!(timing.stage_us("queue").is_some(), "timing: {timing:?}");
+                    let stage_sum_us: u64 = timing.stages.iter().map(|(_, us)| *us).sum();
+                    assert!(stage_sum_us / 1000 <= wall_ms + 1);
+                }
+                other => panic!("expected Ok, got {other:?}"),
+            }
+        }
+        engine.submit(client, "{\"id\": 99, \"metrics\": true}");
+        let snapshot = match responses.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Response::Metrics { id: 99, snapshot } => snapshot,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        let stats = engine.stats();
+        let counter = |name: &str| {
+            snapshot
+                .get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(cwp_obs::Json::as_u64)
+                .unwrap_or_else(|| panic!("snapshot missing counter {name:?}: {snapshot:?}"))
+        };
+        assert_eq!(counter("admitted"), stats.admitted);
+        assert_eq!(counter("served"), stats.served);
+        assert_eq!(counter("memo_hits"), stats.memo_hits);
+        assert_eq!(counter("shed"), stats.shed);
+        // Latency histograms saw every served request.
+        let total_count = snapshot
+            .get("histograms")
+            .and_then(|h| h.get("total_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(cwp_obs::Json::as_u64)
+            .unwrap();
+        assert_eq!(total_count, stats.served);
+        // Live sections are present with sane values.
+        assert!(snapshot.get("queue").unwrap().get("depth").is_some());
+        assert!(snapshot.get("memo").unwrap().get("entries").is_some());
+        assert!(snapshot.get("store").unwrap().get("bytes").is_some());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn the_snapshot_file_is_written_atomically_and_parses() {
+        let dir = std::env::temp_dir().join(format!("cwp-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let engine = test_engine(|c| {
+            c.metrics_path = Some(path.clone());
+            c.metrics_period = Duration::from_millis(30);
+        });
+        let (client, responses) = engine.attach_client();
+        engine.submit(client, &request(1, "ccom", 4096).to_line());
+        responses.recv_timeout(Duration::from_secs(60)).unwrap();
+        engine.shutdown(); // writes a final snapshot
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snapshot = cwp_obs::Json::parse(text.trim()).unwrap();
+        assert_eq!(
+            snapshot
+                .get("counters")
+                .and_then(|c| c.get("served"))
+                .and_then(cwp_obs::Json::as_u64),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn the_tcp_server_round_trips_requests() {
         let engine = Arc::new(test_engine(|_| {}));
         let mut server = crate::Server::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();

@@ -169,7 +169,65 @@ impl ResultSummary {
     }
 }
 
-/// A response line: either a served result or a typed rejection.
+/// The per-request timing breakdown attached to every served
+/// response: the server-wide causal request id (the span id threaded
+/// through admit → queue → coalesce → simulate → memo → respond) plus
+/// the accumulated per-stage microseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Timing {
+    /// The server-wide causal request id (the engine's sequence
+    /// number; unique across clients, stable across retries).
+    pub trace: u64,
+    /// `(stage, microseconds)` pairs in first-marked order. Stages a
+    /// request passes through more than once (a retry waits in
+    /// `queue` again) accumulate into one pair.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl Timing {
+    /// The microseconds recorded for `stage`, if it was marked.
+    pub fn stage_us(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, us)| *us)
+    }
+
+    /// Encodes the breakdown as a JSON object of `stage: us` pairs.
+    pub fn stages_json(&self) -> Json {
+        Json::Obj(
+            self.stages
+                .iter()
+                .map(|(name, us)| (name.clone(), Json::UInt(*us)))
+                .collect(),
+        )
+    }
+
+    /// Decodes `trace`/`timing` fields from a response object. Both
+    /// are optional on the wire (a pre-telemetry server omits them),
+    /// decoding to an empty breakdown.
+    pub fn from_response_json(json: &Json) -> Result<Timing, String> {
+        let trace = json.get("trace").and_then(Json::as_u64).unwrap_or(0);
+        let stages = match json.get("timing") {
+            None => Vec::new(),
+            Some(Json::Obj(pairs)) => {
+                let mut stages = Vec::with_capacity(pairs.len());
+                for (name, value) in pairs {
+                    let us = value
+                        .as_u64()
+                        .ok_or_else(|| format!("timing stage {name:?} must be unsigned"))?;
+                    stages.push((name.clone(), us));
+                }
+                stages
+            }
+            Some(_) => return Err("response field \"timing\" must be an object".to_string()),
+        };
+        Ok(Timing { trace, stages })
+    }
+}
+
+/// A response line: a served result, a metrics snapshot, or a typed
+/// rejection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The request was served.
@@ -186,6 +244,15 @@ pub enum Response {
         coalesced: bool,
         /// Wall-clock service time observed by the server, in ms.
         wall_ms: u64,
+        /// The causal id and per-stage timing breakdown.
+        timing: Timing,
+    },
+    /// Answer to a `metrics` request: one coherent telemetry snapshot.
+    Metrics {
+        /// Echo of the request id.
+        id: u64,
+        /// The snapshot object (see `Engine::metrics_snapshot`).
+        snapshot: Json,
     },
     /// The request was rejected or failed.
     Error {
@@ -207,6 +274,7 @@ impl Response {
                 degraded,
                 coalesced,
                 wall_ms,
+                timing,
             } => Json::obj([
                 ("id", Json::UInt(*id)),
                 ("ok", Json::Bool(true)),
@@ -215,6 +283,13 @@ impl Response {
                 ("degraded", Json::Bool(*degraded)),
                 ("coalesced", Json::Bool(*coalesced)),
                 ("wall_ms", Json::UInt(*wall_ms)),
+                ("trace", Json::UInt(timing.trace)),
+                ("timing", timing.stages_json()),
+            ]),
+            Response::Metrics { id, snapshot } => Json::obj([
+                ("id", Json::UInt(*id)),
+                ("ok", Json::Bool(true)),
+                ("metrics", snapshot.clone()),
             ]),
             Response::Error { id, reject } => {
                 let id_json = match id {
@@ -260,6 +335,12 @@ impl Response {
                 .get("id")
                 .and_then(Json::as_u64)
                 .ok_or("response missing field \"id\"")?;
+            if let Some(snapshot) = json.get("metrics") {
+                return Ok(Response::Metrics {
+                    id,
+                    snapshot: snapshot.clone(),
+                });
+            }
             let result = ResultSummary::from_json(
                 json.get("result")
                     .ok_or("response missing field \"result\"")?,
@@ -279,6 +360,7 @@ impl Response {
                     .get("wall_ms")
                     .and_then(Json::as_u64)
                     .ok_or("response missing field \"wall_ms\"")?,
+                timing: Timing::from_response_json(json)?,
             })
         } else {
             let id = json.get("id").and_then(Json::as_u64);
@@ -546,6 +628,75 @@ impl Request {
     }
 }
 
+/// One parsed request line: a simulation request, or a control request
+/// for the live telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A simulation request.
+    Sim(Request),
+    /// `{"id": N, "metrics": true}` — answer with one coherent
+    /// metrics snapshot. Metrics requests bypass admission control:
+    /// they are read-only and must stay answerable under overload.
+    Metrics {
+        /// Client-chosen identifier echoed back in the response.
+        id: u64,
+    },
+}
+
+/// The wire line for a metrics request.
+pub fn metrics_request_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"metrics\":true}}")
+}
+
+impl Incoming {
+    /// Parses one wire line, enforcing the size cap. A line carrying a
+    /// `metrics` field is a control request (its only other legal
+    /// field is `id`); anything else follows [`Request::from_line`].
+    pub fn from_line(line: &str) -> Result<Incoming, (Option<u64>, Reject)> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err((
+                None,
+                Reject::BadRequest {
+                    detail: format!(
+                        "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte cap",
+                        line.len()
+                    ),
+                },
+            ));
+        }
+        let json = Json::parse(line).map_err(|e| {
+            (
+                None,
+                Reject::BadRequest {
+                    detail: format!("malformed request line: {e}"),
+                },
+            )
+        })?;
+        if json.get("metrics").is_none() {
+            return Request::from_json(&json).map(Incoming::Sim);
+        }
+        let id = json.get("id").and_then(Json::as_u64);
+        let bad = |detail: String| (id, Reject::BadRequest { detail });
+        let pairs = match &json {
+            Json::Obj(pairs) => pairs,
+            _ => return Err(bad("request must be a JSON object".to_string())),
+        };
+        for (key, _) in pairs {
+            if key != "id" && key != "metrics" {
+                return Err(bad(format!("unknown metrics request field {key:?}")));
+            }
+        }
+        if json.get("metrics").and_then(Json::as_bool) != Some(true) {
+            return Err(bad(
+                "request field \"metrics\" must be the boolean true".to_string()
+            ));
+        }
+        let id =
+            id.ok_or_else(|| bad("metrics request missing unsigned field \"id\"".to_string()))?;
+        Ok(Incoming::Metrics { id })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -647,6 +798,10 @@ mod tests {
             degraded: false,
             coalesced: true,
             wall_ms: 12,
+            timing: Timing {
+                trace: 99,
+                stages: vec![("queue".to_string(), 1500), ("sim".to_string(), 10_400)],
+            },
         };
         let errors = [
             Response::Error {
@@ -674,6 +829,84 @@ mod tests {
             let back = Response::from_line(&response.to_line()).unwrap();
             assert_eq!(back, response);
         }
+    }
+
+    #[test]
+    fn metrics_lines_parse_as_control_requests() {
+        match Incoming::from_line(&metrics_request_line(17)) {
+            Ok(Incoming::Metrics { id: 17 }) => {}
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        // A plain simulation line still parses as Sim.
+        let request = Request {
+            id: 1,
+            workload: "ccom".to_string(),
+            config: sample_config(),
+            deadline_ms: None,
+            priority: 0,
+        };
+        match Incoming::from_line(&request.to_line()) {
+            Ok(Incoming::Sim(parsed)) => assert_eq!(parsed, request),
+            other => panic!("expected Sim, got {other:?}"),
+        }
+        // Malformed metrics lines map to typed rejections.
+        for line in [
+            "{\"metrics\": true}",                                    // missing id
+            "{\"id\": 1, \"metrics\": false}",                        // not true
+            "{\"id\": 1, \"metrics\": 1}",                            // wrong type
+            "{\"id\": 1, \"metrics\": true, \"x\": 2}",               // unknown field
+            "{\"id\": 1, \"metrics\": true, \"workload\": \"ccom\"}", // mixed
+        ] {
+            match Incoming::from_line(line) {
+                Err((_, Reject::BadRequest { .. })) => {}
+                other => panic!("line {line:?} gave {other:?}, expected BadRequest"),
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        let response = Response::Metrics {
+            id: 4,
+            snapshot: Json::obj([(
+                "counters",
+                Json::obj([("served", Json::UInt(9)), ("shed", Json::UInt(2))]),
+            )]),
+        };
+        let back = Response::from_line(&response.to_line()).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn timing_is_optional_on_the_wire_for_old_servers() {
+        // A pre-telemetry Ok line (no trace/timing) still decodes,
+        // with an empty breakdown.
+        let outcome = simulate(
+            workloads::by_name("ccom").unwrap().as_ref(),
+            Scale::Test,
+            &sample_config(),
+        );
+        let modern = Response::Ok {
+            id: 3,
+            result: ResultSummary::from_outcome(&outcome),
+            memo_hit: false,
+            degraded: false,
+            coalesced: false,
+            wall_ms: 5,
+            timing: Timing::default(),
+        };
+        let mut line = modern.to_line();
+        line = line.replace(",\"trace\":0,\"timing\":{}", "");
+        assert!(!line.contains("timing"), "stripped line: {line}");
+        let back = Response::from_line(&line).unwrap();
+        assert_eq!(back, modern);
+        // And stage lookups work on a decoded breakdown.
+        let timing = Timing {
+            trace: 1,
+            stages: vec![("queue".to_string(), 7)],
+        };
+        assert_eq!(timing.stage_us("queue"), Some(7));
+        assert_eq!(timing.stage_us("sim"), None);
     }
 
     #[test]

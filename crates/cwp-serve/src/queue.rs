@@ -10,9 +10,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
-use std::time::Instant;
 
 use cwp_core::supervise::CancelToken;
+use cwp_obs::metrics::Span;
 
 use crate::protocol::Request;
 
@@ -31,8 +31,9 @@ pub struct Entry {
     pub request: Request,
     /// Attempt number, starting at 1; bumped on panic retries.
     pub attempt: u32,
-    /// When the request was admitted.
-    pub admitted: Instant,
+    /// The causal timing span, begun at admission; stages accumulate
+    /// as the entry moves through queue → coalesce → simulate → memo.
+    pub span: Span,
     /// Cooperative cancellation flag shared with the deadline watchdog.
     pub cancel: CancelToken,
 }
@@ -192,6 +193,20 @@ impl AdmissionQueue {
         self.state.lock().expect("queue lock").len
     }
 
+    /// Queued entries per priority level, lowest priority first.
+    pub fn depths(&self) -> [usize; PRIORITY_LEVELS] {
+        let state = self.state.lock().expect("queue lock");
+        std::array::from_fn(|level| state.levels[level].len())
+    }
+
+    /// `(clients with in-flight requests, total in-flight requests)`.
+    /// In-flight covers admitted-but-unsettled work, queued or being
+    /// served.
+    pub fn inflight(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("queue lock");
+        (state.inflight.len(), state.inflight.values().sum())
+    }
+
     /// Closes the queue: `pop` returns `None` once drained.
     pub fn close(&self) {
         self.state.lock().expect("queue lock").closed = true;
@@ -223,7 +238,7 @@ mod tests {
                 priority,
             },
             attempt: 1,
-            admitted: Instant::now(),
+            span: Span::begin(seq),
             cancel: CancelToken::new(),
         }
     }
@@ -287,6 +302,23 @@ mod tests {
         assert!(queue.admit(entry(2, 1, 0)).is_err());
         queue.requeue(popped); // a retry of seq 1 must always fit
         assert_eq!(queue.pop().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn depths_and_inflight_mirror_queue_state() {
+        let queue = AdmissionQueue::new(10, 10);
+        queue.admit(entry(1, 1, 0)).unwrap();
+        queue.admit(entry(2, 1, 3)).unwrap();
+        queue.admit(entry(3, 2, 3)).unwrap();
+        assert_eq!(queue.depths(), [1, 0, 0, 2]);
+        assert_eq!(queue.inflight(), (2, 3));
+        // Popping moves work out of the queue but it stays in flight
+        // until `done` settles it.
+        queue.pop().unwrap();
+        assert_eq!(queue.depths(), [1, 0, 0, 1]);
+        assert_eq!(queue.inflight(), (2, 3));
+        queue.done(1);
+        assert_eq!(queue.inflight(), (2, 2));
     }
 
     #[test]

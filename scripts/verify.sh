@@ -100,6 +100,7 @@ cmp "$FUZZ_DIR/plain.md" "$FUZZ_DIR/audited.md" \
 echo "==> cwp-serve load + chaos gate (admission, panics, kill-and-resume, warm rps)"
 SERVE=target/release/cwp-serve
 LOAD=target/release/cwp-load
+TOP=target/release/cwp-top
 SERVE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cwp-verify-serve.XXXXXX")
 trap 'rm -rf "$TRACE_DIR" "$KILL_DIR" "$REPLAY_DIR" "$FUZZ_DIR" "$SERVE_DIR"; \
      kill "$SERVE_PID" 2>/dev/null || true' EXIT
@@ -120,10 +121,52 @@ start_serve() {
 # 1k+ requests with duplicates and 1-in-16 injected worker panics: the
 # load generator exits nonzero on any lost response, unexpected failure,
 # or result-digest divergence.
-start_serve --workers 4 --fault-one-in 16 --max-attempts 4 --seed 7
+start_serve --workers 4 --fault-one-in 16 --max-attempts 4 --seed 7 \
+    --metrics-file "$SERVE_DIR/metrics.json" --metrics-period-ms 100
 "$LOAD" --addr "$SERVE_ADDR" --requests 1200 --clients 4 --warmup \
-    --out results/BENCH_serve.json > /dev/null \
+    --out results/BENCH_serve.json > /dev/null &
+LOAD_PID=$!
+# Mid-load: metrics requests bypass admission, so a snapshot must come
+# back even while the server is saturated with the bench traffic.
+"$TOP" --addr "$SERVE_ADDR" --raw > "$SERVE_DIR/midload.json" \
+    || { echo "verify: metrics request failed mid-load" >&2; exit 1; }
+grep -q '"counters"' "$SERVE_DIR/midload.json" \
+    || { echo "verify: mid-load metrics snapshot malformed" >&2; exit 1; }
+wait "$LOAD_PID" \
     || { echo "verify: cwp-load run failed against faulty server" >&2; exit 1; }
+# Post-load: every response has been drained, so the server's counters
+# must reconcile exactly with the load generator's own accounting.
+"$TOP" --addr "$SERVE_ADDR" --raw > "$SERVE_DIR/final.json" \
+    || { echo "verify: metrics request failed post-load" >&2; exit 1; }
+num() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" "$1" | head -n 1; }
+M_ADMITTED=$(num "$SERVE_DIR/final.json" admitted)
+M_SERVED=$(num "$SERVE_DIR/final.json" served)
+M_SHED=$(num "$SERVE_DIR/final.json" shed)
+M_FAILED=$(num "$SERVE_DIR/final.json" failed)
+M_DEADLINE=$(num "$SERVE_DIR/final.json" deadline_expired)
+L_OK=$(sed -n 's/.*"ok":\([0-9]*\).*/\1/p' results/BENCH_serve.json | head -n 1)
+L_SHED=$(num results/BENCH_serve.json shed_retries)
+L_FAILED=$(num results/BENCH_serve.json failed)
+L_DEADLINE=$(num results/BENCH_serve.json deadline_exceeded)
+L_WARMUP=$(num results/BENCH_serve.json warmup_requests)
+[ "${M_SERVED:-0}" -eq "$((L_OK + L_WARMUP))" ] \
+    || { echo "verify: served $M_SERVED != load ok $L_OK + warmup $L_WARMUP" >&2; exit 1; }
+[ "${M_SHED:-0}" -eq "${L_SHED:-1}" ] \
+    || { echo "verify: shed counter $M_SHED != load shed_retries $L_SHED" >&2; exit 1; }
+SENT=$((L_OK + L_WARMUP + L_SHED + L_FAILED + L_DEADLINE))
+[ "$((M_ADMITTED + M_SHED))" -eq "$SENT" ] \
+    || { echo "verify: admitted $M_ADMITTED + shed $M_SHED != $SENT sent" >&2; exit 1; }
+[ "$M_ADMITTED" -eq "$((M_SERVED + M_FAILED + M_DEADLINE))" ] \
+    || { echo "verify: admitted $M_ADMITTED != served+failed+deadline" >&2; exit 1; }
+# The periodic snapshot file must appear (first write lands one
+# --metrics-period-ms after startup) and hold the same shape.
+TRIES=0
+until grep -q '"counters"' "$SERVE_DIR/metrics.json" 2>/dev/null; do
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -gt 50 ] \
+        && { echo "verify: --metrics-file snapshot missing or malformed" >&2; exit 1; }
+    sleep 0.1
+done
 # Kill-and-resume: SIGKILL the warm server, restart on the same memo
 # dir, and demand the whole grid comes back memoized and consistent.
 kill -9 "$SERVE_PID" 2>/dev/null || true
@@ -141,9 +184,15 @@ kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 # Warm-path throughput regression gate: the benched run must clear
-# 10k requests/s (release build, all-memoized sweep points).
+# 10k requests/s (release build, all-memoized sweep points), and its
+# p99 latency must stay under a generous 250ms ceiling.
 RPS=$(sed -n 's/.*"requests_per_second":\([0-9]*\)[.,}].*/\1/p' results/BENCH_serve.json)
 [ "${RPS:-0}" -ge 10000 ] \
     || { echo "verify: warm serve throughput ${RPS:-0} rps below the 10k floor" >&2; exit 1; }
+P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' results/BENCH_serve.json | head -n 1)
+[ -n "${P99:-}" ] \
+    || { echo "verify: BENCH_serve.json is missing p99_us" >&2; exit 1; }
+[ "$P99" -le 250000 ] \
+    || { echo "verify: bench p99 ${P99}us above the 250ms ceiling" >&2; exit 1; }
 
 echo "verify: OK"

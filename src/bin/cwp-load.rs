@@ -3,7 +3,7 @@
 //! ```text
 //! cwp-load --addr HOST:PORT [--requests N] [--clients N] [--window N]
 //!          [--workloads ccom,grr,...] [--deadline-ms N] [--warmup]
-//!          [--seed N] [--out FILE]
+//!          [--seed N] [--out FILE] [--quiet]
 //! ```
 //!
 //! Each client thread pipelines windows of requests drawn from a
@@ -17,8 +17,15 @@
 //! seen for that sweep point — any divergence (a lost write, a torn
 //! memo entry, a non-deterministic replay) is a hard error. Exits
 //! nonzero on digest mismatches, unexpected failures, or transport
-//! errors, so harnesses can gate on it. The run summary is printed as
-//! one JSON object on stdout (and written to `--out` when given).
+//! errors, so harnesses can gate on it — `--quiet` suppresses the
+//! report but never the exit code. The run summary is printed as one
+//! JSON object on stdout (and written to `--out` when given).
+//!
+//! The timed run records every response's client-observed latency in a
+//! log2 histogram (warm-up traffic is excluded) and reports
+//! percentiles plus a time breakdown separating connection setup
+//! (client-side), queue wait, and compute, the latter two taken from
+//! the server's per-response timing stages.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -29,12 +36,13 @@ use std::time::{Duration, Instant};
 
 use cwp::cache::{CacheConfig, WriteHitPolicy, WriteMissPolicy};
 use cwp::mem::SplitMix64;
-use cwp::obs::Json;
+use cwp::obs::{Histogram, Json};
 use cwp::serve::{Client, Reject, Request, Response};
 
 fn usage() -> &'static str {
     "usage: cwp-load --addr HOST:PORT [--requests N] [--clients N] [--window N]\n  \
-     [--workloads ccom,grr,...] [--deadline-ms N] [--warmup] [--seed N] [--out FILE]"
+     [--workloads ccom,grr,...] [--deadline-ms N] [--warmup] [--seed N] [--out FILE]\n  \
+     [--quiet]"
 }
 
 /// One sweep point: a workload plus a cache configuration.
@@ -97,8 +105,19 @@ struct Run {
     window: usize,
     deadline_ms: Option<u64>,
     seed: u64,
+    quiet: bool,
     totals: Totals,
     digests: Mutex<HashMap<String, u64>>,
+    /// Client-observed latency of every timed-run response, in µs
+    /// (warm-up traffic never records here).
+    latency: Histogram,
+    /// Time spent establishing timed-run connections, in µs.
+    connect_us: AtomicU64,
+    /// Server-reported queue wait summed over timed-run responses, µs.
+    queue_us: AtomicU64,
+    /// Server-reported simulation time summed over timed-run
+    /// responses, µs (memo hits contribute nothing here).
+    compute_us: AtomicU64,
 }
 
 impl Run {
@@ -110,7 +129,11 @@ impl Run {
             }
             Some(expected) if *expected == digest => {}
             Some(expected) => {
-                eprintln!("cwp-load: digest mismatch for {key}: {digest:#x} != {expected:#x}");
+                // --quiet mutes the report, never the accounting: the
+                // mismatch still drives a nonzero exit.
+                if !self.quiet {
+                    eprintln!("cwp-load: digest mismatch for {key}: {digest:#x} != {expected:#x}");
+                }
                 self.totals
                     .digest_mismatches
                     .fetch_add(1, Ordering::Relaxed);
@@ -120,6 +143,7 @@ impl Run {
 
     /// Drives one client connection through its request quota.
     fn client_loop(&self, thread: u64) {
+        let connect_started = Instant::now();
         let mut client = match Client::connect(&self.addr) {
             Ok(client) => client,
             Err(e) => {
@@ -128,12 +152,20 @@ impl Run {
                 return;
             }
         };
+        self.connect_us.fetch_add(
+            connect_started
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
         let _ = client.set_recv_timeout(Some(Duration::from_secs(120)));
         let mut rng = SplitMix64::seed_from_u64(self.seed ^ (thread.wrapping_mul(0x9e37)));
         let mut next_id = 1u64;
         let mut issued = 0u64;
-        // id -> grid index for every request still awaiting a response.
-        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        // id -> (grid index, send time) for every request still
+        // awaiting a response.
+        let mut outstanding: HashMap<u64, (usize, Instant)> = HashMap::new();
         // Shed requests waiting to be resent (grid index, not-before).
         let mut parked: Vec<(usize, Instant)> = Vec::new();
         while issued < self.quota || !outstanding.is_empty() || !parked.is_empty() {
@@ -181,7 +213,7 @@ impl Run {
         &self,
         client: &mut Client,
         next_id: &mut u64,
-        outstanding: &mut HashMap<u64, usize>,
+        outstanding: &mut HashMap<u64, (usize, Instant)>,
         index: usize,
     ) -> bool {
         let point = &self.grid[index];
@@ -196,7 +228,7 @@ impl Run {
         };
         match client.send(&request) {
             Ok(()) => {
-                outstanding.insert(id, index);
+                outstanding.insert(id, (index, Instant::now()));
                 true
             }
             Err(e) => {
@@ -210,7 +242,7 @@ impl Run {
     fn account(
         &self,
         response: &Response,
-        outstanding: &mut HashMap<u64, usize>,
+        outstanding: &mut HashMap<u64, (usize, Instant)>,
         parked: &mut Vec<(usize, Instant)>,
     ) {
         match response {
@@ -220,10 +252,19 @@ impl Run {
                 memo_hit,
                 degraded,
                 coalesced,
+                timing,
                 ..
             } => {
-                if let Some(index) = outstanding.remove(id) {
+                if let Some((index, sent_at)) = outstanding.remove(id) {
                     self.check_digest(&self.grid[index].key, result.digest);
+                    self.latency
+                        .record(sent_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+                if let Some(us) = timing.stage_us("queue") {
+                    self.queue_us.fetch_add(us, Ordering::Relaxed);
+                }
+                if let Some(us) = timing.stage_us("sim") {
+                    self.compute_us.fetch_add(us, Ordering::Relaxed);
                 }
                 self.totals.ok.fetch_add(1, Ordering::Relaxed);
                 if *memo_hit {
@@ -236,8 +277,11 @@ impl Run {
                     self.totals.coalesced.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            // The load generator never asks for metrics snapshots; an
+            // unsolicited one is ignored.
+            Response::Metrics { .. } => {}
             Response::Error { id, reject } => {
-                let index = id.and_then(|id| outstanding.remove(&id));
+                let index = id.and_then(|id| outstanding.remove(&id)).map(|(i, _)| i);
                 match reject {
                     Reject::Overloaded { retry_after_ms } => {
                         self.totals.shed_retries.fetch_add(1, Ordering::Relaxed);
@@ -273,6 +317,7 @@ fn main() -> ExitCode {
     let mut warmup = false;
     let mut seed = 0x10adu64;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
 
     macro_rules! next_value {
         ($flag:expr) => {
@@ -307,6 +352,7 @@ fn main() -> ExitCode {
             "--warmup" => warmup = true,
             "--seed" => seed = next_number!("--seed"),
             "--out" => out = Some(next_value!("--out").into()),
+            "--quiet" => quiet = true,
             "--workloads" => {
                 let list = next_value!("--workloads");
                 names = Vec::new();
@@ -348,9 +394,15 @@ fn main() -> ExitCode {
         window,
         deadline_ms,
         seed,
+        quiet,
         totals: Totals::default(),
         digests: Mutex::new(HashMap::new()),
+        latency: Histogram::new(),
+        connect_us: AtomicU64::new(0),
+        queue_us: AtomicU64::new(0),
+        compute_us: AtomicU64::new(0),
     };
+    let warmup_requests = if warmup { run.grid.len() as u64 } else { 0 };
 
     if warmup {
         // Prime the server's trace store and memo with one pass over
@@ -405,6 +457,8 @@ fn main() -> ExitCode {
     } else {
         ok as f64 * 1000.0 / wall_ms as f64
     };
+    let latency = run.latency.snapshot();
+    let (p50, p90, p99, p999) = latency.percentiles();
     let summary = Json::obj([
         ("requests", Json::UInt(run.quota * clients)),
         ("clients", Json::UInt(clients)),
@@ -435,10 +489,45 @@ fn main() -> ExitCode {
         ("digest_mismatches", Json::UInt(mismatches)),
         ("wall_ms", Json::UInt(wall_ms)),
         ("requests_per_second", Json::Num(rps)),
+        ("warmup_requests", Json::UInt(warmup_requests)),
+        ("p50_us", Json::UInt(p50)),
+        ("p99_us", Json::UInt(p99)),
+        (
+            "latency",
+            Json::obj([
+                ("count", Json::UInt(latency.count)),
+                (
+                    "min_us",
+                    Json::UInt(if latency.count == 0 { 0 } else { latency.min }),
+                ),
+                ("max_us", Json::UInt(latency.max)),
+                ("mean_us", Json::Num(latency.mean())),
+                ("p50_us", Json::UInt(p50)),
+                ("p90_us", Json::UInt(p90)),
+                ("p99_us", Json::UInt(p99)),
+                ("p999_us", Json::UInt(p999)),
+            ]),
+        ),
+        (
+            "breakdown",
+            Json::obj([
+                (
+                    "connect_us",
+                    Json::UInt(run.connect_us.load(Ordering::Relaxed)),
+                ),
+                ("queue_us", Json::UInt(run.queue_us.load(Ordering::Relaxed))),
+                (
+                    "compute_us",
+                    Json::UInt(run.compute_us.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
     ]);
     let mut text = String::new();
     summary.write(&mut text);
-    println!("{text}");
+    if !quiet {
+        println!("{text}");
+    }
     if let Some(path) = out {
         let mut file = match std::fs::File::create(&path) {
             Ok(file) => file,

@@ -6,6 +6,7 @@
 //!           [--max-attempts N] [--max-batch N] [--seed N]
 //!           [--fault-one-in N] [--trace-budget-mb N]
 //!           [--memo-dir DIR] [--events FILE]
+//!           [--metrics-file FILE] [--metrics-period-ms N]
 //! ```
 //!
 //! Speaks the JSONL protocol (one request per line, one response per
@@ -26,7 +27,8 @@ fn usage() -> &'static str {
     "usage: cwp-serve [--addr HOST:PORT] [--stdin] [--scale test|quick|paper]\n  \
      [--workers N] [--queue-capacity N] [--per-client N] [--max-attempts N]\n  \
      [--max-batch N] [--seed N] [--fault-one-in N] [--trace-budget-mb N]\n  \
-     [--memo-dir DIR] [--events FILE]"
+     [--memo-dir DIR] [--events FILE] [--metrics-file FILE]\n  \
+     [--metrics-period-ms N]"
 }
 
 fn parse_scale(text: &str) -> Option<Scale> {
@@ -97,6 +99,10 @@ fn main() -> ExitCode {
             }
             "--memo-dir" => config.memo_dir = Some(next_value!("--memo-dir").into()),
             "--events" => config.events_path = Some(next_value!("--events").into()),
+            "--metrics-file" => config.metrics_path = Some(next_value!("--metrics-file").into()),
+            "--metrics-period-ms" => {
+                config.metrics_period = Duration::from_millis(next_number!("--metrics-period-ms"));
+            }
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;

@@ -1,0 +1,255 @@
+//! `cwp-top` — one-screen live summary of a running `cwp-serve`.
+//!
+//! ```text
+//! cwp-top --addr HOST:PORT | --file FILE
+//!         [--interval-ms N] [--once] [--raw]
+//! ```
+//!
+//! Fetches a metrics snapshot either live (a `{"id":N,"metrics":true}`
+//! request over the JSONL protocol — answered even when the server is
+//! shedding load, since metrics bypass admission) or from the atomic
+//! snapshot file a server writes under `--metrics-file`. By default it
+//! redraws once a second like `top`; `--once` renders a single screen
+//! and exits, and `--raw` prints the snapshot JSON verbatim (one line,
+//! implies `--once`) so scripts can parse it.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cwp::obs::{HistogramSnapshot, Json};
+use cwp::serve::Client;
+
+fn usage() -> &'static str {
+    "usage: cwp-top --addr HOST:PORT | --file FILE\n  \
+     [--interval-ms N] [--once] [--raw]"
+}
+
+/// Where a snapshot comes from: a live server or a snapshot file.
+enum Source {
+    Addr(String),
+    File(std::path::PathBuf),
+}
+
+impl Source {
+    fn fetch(&self, next_id: &mut u64) -> Result<Json, String> {
+        match self {
+            Source::Addr(addr) => {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                *next_id += 1;
+                client
+                    .fetch_metrics(*next_id)
+                    .map_err(|e| format!("metrics request: {e}"))
+            }
+            Source::File(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                Json::parse(text.trim()).map_err(|e| format!("parse {}: {e}", path.display()))
+            }
+        }
+    }
+}
+
+fn counter(snapshot: &Json, name: &str) -> u64 {
+    snapshot
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn section_u64(snapshot: &Json, section: &str, name: &str) -> u64 {
+    snapshot
+        .get(section)
+        .and_then(|s| s.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Formats a microsecond value for a fixed-width column: `-` when the
+/// histogram was empty, `1.2ms` past a millisecond, else `345us`.
+fn us(value: u64, empty: bool) -> String {
+    if empty {
+        "-".to_string()
+    } else if value >= 10_000 {
+        format!("{:.1}ms", value as f64 / 1000.0)
+    } else {
+        format!("{value}us")
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", hits as f64 * 100.0 / total as f64)
+    }
+}
+
+/// Renders the one-screen summary.
+fn render(snapshot: &Json) -> String {
+    let mut screen = String::new();
+    let admitted = counter(snapshot, "admitted");
+    let served = counter(snapshot, "served");
+    let shed = counter(snapshot, "shed");
+    let failed = counter(snapshot, "failed");
+    let deadline = counter(snapshot, "deadline_expired");
+    let degraded = counter(snapshot, "degraded");
+    let coalesced = counter(snapshot, "coalesced");
+    let panics = counter(snapshot, "panics");
+    let retries = counter(snapshot, "retries");
+    let memo_hits = counter(snapshot, "memo_hits");
+    let memo_misses = counter(snapshot, "memo_misses");
+    screen.push_str("cwp-serve telemetry\n");
+    screen.push_str(&format!(
+        "requests  admitted {admitted}  served {served}  shed {shed}  failed {failed}  \
+         deadline {deadline}\n"
+    ));
+    screen.push_str(&format!(
+        "flags     degraded {degraded}  coalesced {coalesced}  panics {panics}  \
+         retries {retries}\n"
+    ));
+    screen.push_str(&format!(
+        "memo      hit {memo_hits}  miss {memo_misses}  ratio {}  entries {}\n",
+        ratio(memo_hits, memo_misses),
+        section_u64(snapshot, "memo", "entries"),
+    ));
+    let store_hits = section_u64(snapshot, "store", "hits");
+    let store_misses = section_u64(snapshot, "store", "misses");
+    screen.push_str(&format!(
+        "store     {} KiB  recordings {}  evictions {}  hit ratio {}\n",
+        section_u64(snapshot, "store", "bytes") / 1024,
+        section_u64(snapshot, "store", "recordings"),
+        section_u64(snapshot, "store", "evictions"),
+        ratio(store_hits, store_misses),
+    ));
+    screen.push_str(&format!(
+        "queue     depth {}  (p0 {} p1 {} p2 {} p3 {})  inflight {} over {} client(s)\n",
+        section_u64(snapshot, "queue", "depth"),
+        section_u64(snapshot, "queue", "depth_p0"),
+        section_u64(snapshot, "queue", "depth_p1"),
+        section_u64(snapshot, "queue", "depth_p2"),
+        section_u64(snapshot, "queue", "depth_p3"),
+        section_u64(snapshot, "queue", "inflight_total"),
+        section_u64(snapshot, "queue", "inflight_clients"),
+    ));
+    screen.push_str(&format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "stage", "count", "mean", "p50", "p90", "p99", "max"
+    ));
+    if let Some(Json::Obj(histograms)) = snapshot.get("histograms") {
+        for (name, rendered) in histograms {
+            let Some(h) = HistogramSnapshot::from_json(rendered) else {
+                continue;
+            };
+            let empty = h.count == 0;
+            let (p50, p90, p99, _) = h.percentiles();
+            screen.push_str(&format!(
+                "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                name,
+                h.count,
+                us(h.mean() as u64, empty),
+                us(p50, empty),
+                us(p90, empty),
+                us(p99, empty),
+                us(if empty { 0 } else { h.max }, empty),
+            ));
+        }
+    }
+    screen
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr: Option<String> = None;
+    let mut file: Option<std::path::PathBuf> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut raw = false;
+
+    macro_rules! next_value {
+        ($flag:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("cwp-top: {} needs a value\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(next_value!("--addr")),
+            "--file" => file = Some(next_value!("--file").into()),
+            "--interval-ms" => match next_value!("--interval-ms").parse::<u64>() {
+                Ok(ms) => interval = Duration::from_millis(ms.max(50)),
+                Err(_) => {
+                    eprintln!(
+                        "cwp-top: --interval-ms needs an unsigned number\n{}",
+                        usage()
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--once" => once = true,
+            "--raw" => raw = true,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cwp-top: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let source = match (addr, file) {
+        (Some(addr), None) => Source::Addr(addr),
+        (None, Some(path)) => Source::File(path),
+        _ => {
+            eprintln!(
+                "cwp-top: exactly one of --addr or --file is required\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut next_id = 0u64;
+    loop {
+        let snapshot = match source.fetch(&mut next_id) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("cwp-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Writes ignore errors so a closed pipe (`cwp-top ... | head`)
+        // ends the program quietly instead of panicking.
+        if raw {
+            let mut line = String::new();
+            snapshot.write(&mut line);
+            line.push('\n');
+            let _ = std::io::stdout().write_all(line.as_bytes());
+            return ExitCode::SUCCESS;
+        }
+        if once {
+            let _ = std::io::stdout().write_all(render(&snapshot).as_bytes());
+            return ExitCode::SUCCESS;
+        }
+        // Clear the screen and home the cursor, like `top`.
+        let mut stdout = std::io::stdout();
+        if stdout
+            .write_all(format!("\x1b[2J\x1b[H{}", render(&snapshot)).as_bytes())
+            .is_err()
+        {
+            return ExitCode::SUCCESS;
+        }
+        let _ = stdout.flush();
+        std::thread::sleep(interval);
+    }
+}

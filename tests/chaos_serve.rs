@@ -293,6 +293,125 @@ fn tiny_deadlines_produce_typed_deadline_exceeded() {
 }
 
 #[test]
+fn lifecycle_events_reconcile_exactly_with_the_metrics_snapshot() {
+    let dir = temp_dir("events");
+    let events_path = dir.join("events.jsonl");
+    let server = ServerProcess::spawn(&[
+        "--workers",
+        "1",
+        "--queue-capacity",
+        "4",
+        "--per-client",
+        "1000",
+        "--max-batch",
+        "4",
+        "--events",
+        events_path.to_str().unwrap(),
+    ]);
+    let mut client = Client::connect(&server.addr).unwrap();
+    client
+        .set_recv_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // Occupy the single worker, admit one request whose deadline has
+    // already passed, then burst same-workload requests into the
+    // 4-deep queue: the doomed one expires while queued, the surplus
+    // sheds, and the queued survivors coalesce into banked passes when
+    // the worker frees up.
+    let busy = Request {
+        id: 1,
+        workload: "liver".to_string(),
+        config: CacheConfig::builder().size_bytes(16384).build().unwrap(),
+        deadline_ms: None,
+        priority: 3,
+    };
+    client.send(&busy).unwrap();
+    let doomed = Request {
+        id: 2,
+        workload: "ccom".to_string(),
+        config: CacheConfig::builder().size_bytes(2048).build().unwrap(),
+        deadline_ms: Some(0),
+        priority: 0,
+    };
+    client.send(&doomed).unwrap();
+    let burst = 8u64;
+    for n in 0..burst {
+        let request = Request {
+            id: 3 + n,
+            workload: "ccom".to_string(),
+            config: CacheConfig::builder()
+                .size_bytes(1 << (9 + (n % 5) as u32))
+                .build()
+                .unwrap(),
+            deadline_ms: None,
+            priority: 0,
+        };
+        client.send(&request).unwrap();
+    }
+    // Exactly one response per request, whatever its fate.
+    let mut answered = 0u64;
+    while answered < burst + 2 {
+        match client.recv().unwrap() {
+            Response::Ok { .. }
+            | Response::Error {
+                id: Some(_),
+                reject:
+                    Reject::Overloaded { .. } | Reject::DeadlineExceeded { .. } | Reject::Failed { .. },
+            } => answered += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // Every lifecycle counter settles before its response is sent, so
+    // once all responses are in, a snapshot taken over the same
+    // protocol is final for this traffic.
+    let snapshot = client.fetch_metrics(10_000).unwrap();
+    let counter = |name: &str| {
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(cwp::obs::Json::as_u64)
+            .unwrap_or_else(|| panic!("snapshot missing counter {name:?}"))
+    };
+
+    // Count lifecycle tags in the event stream. Events are written
+    // unbuffered before the response they precede, so the file is
+    // complete by now too.
+    let text = std::fs::read_to_string(&events_path).unwrap();
+    let mut tags: HashMap<String, u64> = HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let json = cwp::obs::Json::parse(line).unwrap();
+        let tag = json
+            .get("ev")
+            .and_then(cwp::obs::Json::as_str)
+            .expect("event line carries an ev tag")
+            .to_string();
+        *tags.entry(tag).or_insert(0) += 1;
+    }
+    let events = |tag: &str| tags.get(tag).copied().unwrap_or(0);
+
+    // The five request-lifecycle event totals must equal the metrics
+    // counters exactly — not approximately.
+    assert_eq!(events("req_admitted"), counter("admitted"));
+    assert_eq!(events("req_shed"), counter("shed"));
+    assert_eq!(events("req_deadline"), counter("deadline_expired"));
+    assert_eq!(events("req_degraded"), counter("degraded"));
+    assert_eq!(events("req_coalesced"), counter("coalesced"));
+    // And the traffic actually exercised the interesting paths.
+    assert!(counter("admitted") > 0, "nothing was admitted");
+    assert!(counter("shed") > 0, "an 8-burst into a 4-queue must shed");
+    assert!(
+        counter("deadline_expired") > 0,
+        "the expired deadline must be counted"
+    );
+    assert_eq!(
+        counter("admitted"),
+        counter("served") + counter("deadline_expired") + counter("failed"),
+        "every admitted request settles exactly once"
+    );
+}
+
+#[test]
 fn sigkill_and_resume_loses_nothing_and_matches_direct_simulation() {
     let memo_dir = temp_dir("memo");
     let memo_arg = memo_dir.to_str().unwrap();
