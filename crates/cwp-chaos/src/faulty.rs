@@ -1,0 +1,497 @@
+//! [`FaultyIo`]: a seeded fault-injecting [`ChaosIo`] wrapper.
+//!
+//! The storage counterpart of `cwp_mem::FaultyNextLevel`: every
+//! operation rolls a SplitMix64-driven schedule and may fail with a
+//! typed fault instead of (or after partially) reaching the inner
+//! backend. A fixed `(plan, seed)` pair yields the same fault sites on
+//! every run, which is what lets verify.sh gate on chaos runs.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use cwp_mem::SplitMix64;
+use cwp_obs::event::{Event, IoFaultKind, IoOp};
+
+use crate::io::{ChaosIo, RealIo};
+
+/// Per-fault-kind injection rates, in parts per million per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for the SplitMix64 schedule.
+    pub seed: u64,
+    /// A write fails after persisting only a prefix.
+    pub torn_ppm: u32,
+    /// A read returns only a prefix of the file.
+    pub short_read_ppm: u32,
+    /// A mutation fails with `ENOSPC`.
+    pub no_space_ppm: u32,
+    /// Any operation fails with `EINTR` (transient; a retry re-rolls).
+    pub interrupted_ppm: u32,
+    /// The commit rename of an atomic replace fails, leaving the
+    /// temporary file behind.
+    pub rename_ppm: u32,
+    /// A write reports success but persists only a prefix — a lost
+    /// fsync, the one fault the caller cannot observe at write time.
+    pub fsync_loss_ppm: u32,
+}
+
+impl FaultPlan {
+    /// Every fault kind at the same `rate_ppm`.
+    pub fn uniform(rate_ppm: u32, seed: u64) -> Self {
+        let rate = rate_ppm.min(1_000_000);
+        FaultPlan {
+            seed,
+            torn_ppm: rate,
+            short_read_ppm: rate,
+            no_space_ppm: rate,
+            interrupted_ppm: rate,
+            rename_ppm: rate,
+            fsync_loss_ppm: rate,
+        }
+    }
+
+    /// Only transient `EINTR` faults — every operation eventually
+    /// succeeds under retry, so recovery loops must converge.
+    pub fn transient_only(rate_ppm: u32, seed: u64) -> Self {
+        FaultPlan {
+            interrupted_ppm: rate_ppm.min(1_000_000),
+            ..FaultPlan::uniform(0, seed)
+        }
+    }
+
+    /// Terminal faults only (torn, `ENOSPC`, rename failure): every
+    /// injected fault is visible to the caller as a hard error.
+    pub fn terminal_only(rate_ppm: u32, seed: u64) -> Self {
+        let rate = rate_ppm.min(1_000_000);
+        FaultPlan {
+            seed,
+            torn_ppm: rate,
+            short_read_ppm: 0,
+            no_space_ppm: rate,
+            interrupted_ppm: 0,
+            rename_ppm: rate,
+            fsync_loss_ppm: 0,
+        }
+    }
+}
+
+/// Counters kept by a [`FaultyIo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoFaultStats {
+    /// Operations attempted (including retries the caller makes).
+    pub ops: u64,
+    /// Writes failed after persisting a prefix.
+    pub torn_writes: u64,
+    /// Reads that returned a prefix.
+    pub short_reads: u64,
+    /// Operations failed with `ENOSPC`.
+    pub no_space: u64,
+    /// Operations failed with `EINTR`.
+    pub interrupted: u64,
+    /// Renames failed.
+    pub rename_failures: u64,
+    /// Writes acknowledged but partially lost.
+    pub fsync_losses: u64,
+}
+
+impl IoFaultStats {
+    /// Total faults injected.
+    pub fn injected(&self) -> u64 {
+        self.torn_writes
+            + self.short_reads
+            + self.no_space
+            + self.interrupted
+            + self.rename_failures
+            + self.fsync_losses
+    }
+}
+
+/// An observer for injected faults (the [`cwp_obs::Probe`] trait is not
+/// object-safe, so the injector takes a plain callback).
+pub type FaultObserver = Arc<dyn Fn(Event) + Send + Sync>;
+
+struct FaultState {
+    rng: SplitMix64,
+    stats: IoFaultStats,
+}
+
+/// Wraps any [`ChaosIo`] and injects storage faults from a seeded
+/// schedule.
+///
+/// # Examples
+///
+/// ```
+/// use cwp_chaos::{ChaosIo, FaultPlan, FaultyIo};
+/// use std::path::Path;
+///
+/// let io = FaultyIo::wrapping(cwp_chaos::MemIo::new(), FaultPlan::uniform(500_000, 7));
+/// let mut failures = 0;
+/// for i in 0..32 {
+///     if io.write(Path::new("/j"), format!("line{i}\n").as_bytes()).is_err() {
+///         failures += 1;
+///     }
+/// }
+/// assert!(failures > 0, "half of all ops should fault");
+/// assert_eq!(io.stats().injected() > 0, true);
+/// ```
+pub struct FaultyIo<I = RealIo> {
+    inner: I,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+    observer: Option<FaultObserver>,
+}
+
+impl FaultyIo<RealIo> {
+    /// Injects faults over the real filesystem.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyIo::wrapping(RealIo, plan)
+    }
+}
+
+impl<I: ChaosIo> FaultyIo<I> {
+    /// Injects faults over `inner`.
+    pub fn wrapping(inner: I, plan: FaultPlan) -> Self {
+        FaultyIo {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                rng: SplitMix64::seed_from_u64(plan.seed),
+                stats: IoFaultStats::default(),
+            }),
+            observer: None,
+        }
+    }
+
+    /// Attaches an observer that receives one [`Event::IoFault`] per
+    /// injected fault.
+    pub fn with_observer(mut self, observer: FaultObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> IoFaultStats {
+        self.lock().stats
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // A panicked holder can only have been mid-injection; the rng
+        // and counters are still coherent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn emit(&self, op: IoOp, fault: IoFaultKind, bytes: u64) {
+        if let Some(observer) = &self.observer {
+            observer(Event::IoFault { op, fault, bytes });
+        }
+    }
+
+    /// Rolls the schedule for one operation: the first firing fault in
+    /// plan order wins. Counts the op and any injected fault.
+    fn roll(&self, op: IoOp, len: usize) -> Option<(IoFaultKind, usize)> {
+        let mut state = self.lock();
+        state.stats.ops += 1;
+        let mutates = !matches!(op, IoOp::Read);
+        let candidates: &[(IoFaultKind, u32)] = &[
+            (IoFaultKind::Interrupted, self.plan.interrupted_ppm),
+            (
+                IoFaultKind::NoSpace,
+                if mutates { self.plan.no_space_ppm } else { 0 },
+            ),
+            (
+                IoFaultKind::Torn,
+                if op == IoOp::Write {
+                    self.plan.torn_ppm
+                } else {
+                    0
+                },
+            ),
+            (
+                IoFaultKind::FsyncLost,
+                if op == IoOp::Write {
+                    self.plan.fsync_loss_ppm
+                } else {
+                    0
+                },
+            ),
+            (
+                IoFaultKind::ShortRead,
+                if op == IoOp::Read {
+                    self.plan.short_read_ppm
+                } else {
+                    0
+                },
+            ),
+            (
+                IoFaultKind::RenameFailed,
+                if op == IoOp::Rename {
+                    self.plan.rename_ppm
+                } else {
+                    0
+                },
+            ),
+        ];
+        for &(kind, ppm) in candidates {
+            if ppm > 0 && state.rng.gen_ratio(ppm, 1_000_000) {
+                // Cut point for partial-data faults: 0..len bytes survive.
+                let cut = if len > 0 {
+                    state.rng.below(len as u64) as usize
+                } else {
+                    0
+                };
+                match kind {
+                    IoFaultKind::Torn => state.stats.torn_writes += 1,
+                    IoFaultKind::ShortRead => state.stats.short_reads += 1,
+                    IoFaultKind::NoSpace => state.stats.no_space += 1,
+                    IoFaultKind::Interrupted => state.stats.interrupted += 1,
+                    IoFaultKind::RenameFailed => state.stats.rename_failures += 1,
+                    IoFaultKind::FsyncLost => state.stats.fsync_losses += 1,
+                }
+                drop(state);
+                self.emit(op, kind, cut as u64);
+                return Some((kind, cut));
+            }
+        }
+        None
+    }
+}
+
+fn fault_error(kind: IoFaultKind, detail: String) -> io::Error {
+    let io_kind = match kind {
+        IoFaultKind::Torn => io::ErrorKind::WriteZero,
+        IoFaultKind::ShortRead => io::ErrorKind::UnexpectedEof,
+        IoFaultKind::NoSpace => io::ErrorKind::StorageFull,
+        IoFaultKind::Interrupted => io::ErrorKind::Interrupted,
+        IoFaultKind::RenameFailed => io::ErrorKind::ResourceBusy,
+        IoFaultKind::FsyncLost => io::ErrorKind::Other,
+    };
+    io::Error::new(io_kind, format!("injected {}: {detail}", kind.tag()))
+}
+
+impl<I: ChaosIo> ChaosIo for FaultyIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let data = self.inner.read(path)?;
+        match self.roll(IoOp::Read, data.len()) {
+            Some((IoFaultKind::Interrupted, _)) => Err(fault_error(
+                IoFaultKind::Interrupted,
+                path.display().to_string(),
+            )),
+            Some((IoFaultKind::ShortRead, cut)) => {
+                let mut data = data;
+                data.truncate(cut);
+                Ok(data)
+            }
+            _ => Ok(data),
+        }
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        match self.roll(IoOp::Write, data.len()) {
+            Some((IoFaultKind::Interrupted, _)) => Err(fault_error(
+                IoFaultKind::Interrupted,
+                path.display().to_string(),
+            )),
+            Some((IoFaultKind::NoSpace, _)) => Err(fault_error(
+                IoFaultKind::NoSpace,
+                path.display().to_string(),
+            )),
+            Some((IoFaultKind::Torn, cut)) => {
+                self.inner.write(path, &data[..cut])?;
+                Err(fault_error(
+                    IoFaultKind::Torn,
+                    format!(
+                        "{}: {cut} of {} bytes persisted",
+                        path.display(),
+                        data.len()
+                    ),
+                ))
+            }
+            Some((IoFaultKind::FsyncLost, cut)) => {
+                // The caller sees success; the device kept only a prefix.
+                self.inner.write(path, &data[..cut])
+            }
+            _ => self.inner.write(path, data),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.roll(IoOp::Rename, 0) {
+            Some((IoFaultKind::Interrupted, _)) => Err(fault_error(
+                IoFaultKind::Interrupted,
+                from.display().to_string(),
+            )),
+            Some((IoFaultKind::NoSpace, _)) => Err(fault_error(
+                IoFaultKind::NoSpace,
+                from.display().to_string(),
+            )),
+            Some((IoFaultKind::RenameFailed, _)) => Err(fault_error(
+                IoFaultKind::RenameFailed,
+                format!("{} -> {}", from.display(), to.display()),
+            )),
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.roll(IoOp::CreateDir, 0) {
+            Some((IoFaultKind::Interrupted, _)) => Err(fault_error(
+                IoFaultKind::Interrupted,
+                path.display().to_string(),
+            )),
+            Some((IoFaultKind::NoSpace, _)) => Err(fault_error(
+                IoFaultKind::NoSpace,
+                path.display().to_string(),
+            )),
+            _ => self.inner.create_dir_all(path),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.roll(IoOp::Remove, 0) {
+            Some((IoFaultKind::Interrupted, _)) => Err(fault_error(
+                IoFaultKind::Interrupted,
+                path.display().to_string(),
+            )),
+            Some((IoFaultKind::NoSpace, _)) => Err(fault_error(
+                IoFaultKind::NoSpace,
+                path.display().to_string(),
+            )),
+            _ => self.inner.remove_file(path),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memio::MemIo;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let io = FaultyIo::wrapping(MemIo::new(), FaultPlan::uniform(0, 1));
+        io.write(&p("/a"), b"hello").unwrap();
+        assert_eq!(io.read(&p("/a")).unwrap(), b"hello");
+        io.rename(&p("/a"), &p("/b")).unwrap();
+        assert!(io.exists(&p("/b")));
+        assert_eq!(io.stats().injected(), 0);
+        assert_eq!(io.stats().ops, 3);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let run = |seed| {
+            let io = FaultyIo::wrapping(MemIo::new(), FaultPlan::uniform(300_000, seed));
+            for i in 0..64u32 {
+                let _ = io.write(&p("/f"), &[i as u8; 64]);
+                let _ = io.read(&p("/f"));
+                let _ = io.rename(&p("/f"), &p("/g"));
+                let _ = io.rename(&p("/g"), &p("/f"));
+            }
+            io.stats()
+        };
+        assert_eq!(run(0x1993), run(0x1993));
+        assert_ne!(run(0x1993), run(0x1994), "different seeds should differ");
+    }
+
+    #[test]
+    fn torn_writes_persist_a_strict_prefix_and_fail_typed() {
+        let mem = std::sync::Arc::new(MemIo::new());
+        let io = FaultyIo::wrapping(
+            mem.clone(),
+            FaultPlan {
+                seed: 3,
+                torn_ppm: 1_000_000,
+                ..FaultPlan::uniform(0, 3)
+            },
+        );
+        let data = b"0123456789abcdef";
+        let err = io.write(&p("/t"), data).unwrap_err();
+        assert_eq!(crate::VfsError::classify(&err), crate::VfsError::Torn);
+        let kept = mem.file(&p("/t")).unwrap();
+        assert!(kept.len() < data.len(), "a strict prefix survives");
+        assert_eq!(&data[..kept.len()], &kept[..]);
+        assert_eq!(io.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn fsync_loss_acks_but_keeps_only_a_prefix() {
+        let mem = std::sync::Arc::new(MemIo::new());
+        let io = FaultyIo::wrapping(
+            mem.clone(),
+            FaultPlan {
+                seed: 9,
+                fsync_loss_ppm: 1_000_000,
+                ..FaultPlan::uniform(0, 9)
+            },
+        );
+        io.write(&p("/j"), b"abcdefgh").unwrap();
+        let kept = mem.file(&p("/j")).unwrap();
+        assert!(kept.len() < 8, "the tail never reached the device");
+        assert_eq!(io.stats().fsync_losses, 1);
+    }
+
+    #[test]
+    fn rename_failure_leaves_the_source_in_place() {
+        let mem = std::sync::Arc::new(MemIo::new());
+        let io = FaultyIo::wrapping(
+            mem.clone(),
+            FaultPlan {
+                seed: 5,
+                rename_ppm: 1_000_000,
+                ..FaultPlan::uniform(0, 5)
+            },
+        );
+        io.write(&p("/x.tmp"), b"new").unwrap();
+        let err = io.rename(&p("/x.tmp"), &p("/x")).unwrap_err();
+        assert_eq!(
+            crate::VfsError::classify(&err),
+            crate::VfsError::RenameFailed
+        );
+        assert!(mem.file(&p("/x.tmp")).is_some(), "tmp file left behind");
+        assert!(mem.file(&p("/x")).is_none());
+    }
+
+    #[test]
+    fn transient_only_plans_converge_under_retry() {
+        let io = FaultyIo::wrapping(MemIo::new(), FaultPlan::transient_only(400_000, 0xd1));
+        for i in 0..100u32 {
+            crate::retry_interrupted(|| io.write(&p("/j"), &i.to_le_bytes())).unwrap();
+        }
+        assert!(io.stats().interrupted > 0, "the injector must fire");
+        assert_eq!(io.stats().injected(), io.stats().interrupted);
+    }
+
+    #[test]
+    fn observer_sees_one_event_per_injected_fault() {
+        let seen = std::sync::Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let io = FaultyIo::wrapping(MemIo::new(), FaultPlan::uniform(500_000, 0xab)).with_observer(
+            std::sync::Arc::new(move |event| {
+                assert!(matches!(event, Event::IoFault { .. }));
+                seen2.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..50 {
+            let _ = io.write(&p("/w"), b"data bytes here");
+            let _ = io.read(&p("/w"));
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), io.stats().injected());
+        assert!(io.stats().injected() > 0);
+    }
+}

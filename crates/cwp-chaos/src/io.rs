@@ -1,0 +1,354 @@
+//! The [`ChaosIo`] seam: whole-file storage operations every durable
+//! artifact writes through.
+//!
+//! The trait is deliberately whole-file (read all, write all, rename):
+//! every durable artifact in the workspace already works that way —
+//! journals are rewritten atomically via write-then-rename, traces and
+//! snapshots are single buffered writes — so the seam captures every
+//! byte that reaches disk without imposing a stream abstraction the
+//! callers don't use.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Whole-file storage operations, the seam fault injection threads
+/// through. [`RealIo`] is the passthrough default.
+pub trait ChaosIo: Send + Sync {
+    /// Reads the entire file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error (`NotFound`, injected faults).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates or truncates `path` and writes `data` in full.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error. A failed write may have
+    /// persisted a prefix of `data` (a torn write).
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (the commit step of
+    /// write-then-rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error; on failure `from` is left
+    /// in place.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates `path` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's I/O error.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists (file or directory).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+impl<T: ChaosIo + ?Sized> ChaosIo for &T {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        (**self).write(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        (**self).create_dir_all(path)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        (**self).remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
+}
+
+impl<T: ChaosIo + ?Sized> ChaosIo for Arc<T> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        (**self).write(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        (**self).create_dir_all(path)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        (**self).remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
+}
+
+/// A cloneable, `Debug`-able handle to a shared [`ChaosIo`] backend,
+/// so `#[derive(Debug, Clone)]` config structs can carry the seam
+/// without naming a concrete backend type.
+#[derive(Clone)]
+pub struct IoHandle(Arc<dyn ChaosIo>);
+
+impl IoHandle {
+    /// Wraps an already-shared backend.
+    pub fn new(io: Arc<dyn ChaosIo>) -> Self {
+        IoHandle(io)
+    }
+
+    /// The passthrough backend ([`RealIo`]).
+    pub fn real() -> Self {
+        IoHandle(Arc::new(RealIo))
+    }
+
+    /// A fresh clone of the inner shared backend.
+    pub fn arc(&self) -> Arc<dyn ChaosIo> {
+        Arc::clone(&self.0)
+    }
+}
+
+impl Default for IoHandle {
+    fn default() -> Self {
+        IoHandle::real()
+    }
+}
+
+impl std::fmt::Debug for IoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("IoHandle(..)")
+    }
+}
+
+impl ChaosIo for IoHandle {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.0.read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.0.write(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.0.rename(from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.0.create_dir_all(path)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.0.remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        self.0.exists(path)
+    }
+}
+
+/// The passthrough backend: plain `std::fs`, byte-for-byte what the
+/// code did before the seam existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl ChaosIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The typed classification of a storage failure, recovered from the
+/// `io::Error` kinds the fault injector (and real filesystems) produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VfsError {
+    /// The file does not exist.
+    NotFound,
+    /// The device is out of space (`ENOSPC`).
+    NoSpace,
+    /// The call was interrupted (`EINTR`); retrying may succeed.
+    Interrupted,
+    /// A write persisted only a prefix of its bytes.
+    Torn,
+    /// A read returned fewer bytes than the file holds.
+    ShortRead,
+    /// The commit rename of an atomic replace failed.
+    RenameFailed,
+    /// Any other I/O failure.
+    Other,
+}
+
+impl VfsError {
+    /// Classifies an `io::Error` by kind.
+    pub fn classify(error: &io::Error) -> VfsError {
+        match error.kind() {
+            io::ErrorKind::NotFound => VfsError::NotFound,
+            io::ErrorKind::StorageFull => VfsError::NoSpace,
+            io::ErrorKind::Interrupted => VfsError::Interrupted,
+            io::ErrorKind::WriteZero => VfsError::Torn,
+            io::ErrorKind::UnexpectedEof => VfsError::ShortRead,
+            io::ErrorKind::ResourceBusy => VfsError::RenameFailed,
+            _ => VfsError::Other,
+        }
+    }
+
+    /// Whether a retry of the same call can reasonably succeed.
+    pub fn is_transient(self) -> bool {
+        matches!(self, VfsError::Interrupted)
+    }
+}
+
+/// Maximum automatic retries of an `EINTR`-interrupted call.
+const EINTR_RETRIES: u32 = 8;
+
+/// Runs `op`, retrying up to a small bound while it fails with
+/// `ErrorKind::Interrupted` — the `EINTR` loop every robust I/O call
+/// site needs, centralized.
+///
+/// # Errors
+///
+/// Returns the last error once the retry bound is exhausted, and any
+/// non-transient error immediately.
+pub fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempts = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempts < EINTR_RETRIES => {
+                attempts += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Reads a file as UTF-8 text through the seam.
+///
+/// # Errors
+///
+/// Propagates backend errors; non-UTF-8 content is `InvalidData`.
+pub fn read_to_string(io: &dyn ChaosIo, path: &Path) -> io::Result<String> {
+    let bytes = retry_interrupted(|| io.read(path))?;
+    String::from_utf8(bytes).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+/// Writes `data` atomically through the seam: a `.tmp` sibling first,
+/// then a rename over `path` — so a crash or injected fault at any
+/// boundary leaves either the old complete file or the new one.
+///
+/// # Errors
+///
+/// Propagates backend errors from the write or the commit rename (the
+/// `EINTR` retry loop is applied to both steps).
+pub fn write_atomic(io: &dyn ChaosIo, path: &Path, data: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    retry_interrupted(|| io.write(&tmp, data))?;
+    retry_interrupted(|| io.rename(&tmp, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_io_round_trips_through_the_seam() {
+        let dir = std::env::temp_dir().join(format!("cwp-chaos-real-{}", std::process::id()));
+        let io = RealIo;
+        io.create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        assert!(!io.exists(&path));
+        write_atomic(&io, &path, b"payload").unwrap();
+        assert!(io.exists(&path));
+        assert_eq!(io.read(&path).unwrap(), b"payload");
+        assert_eq!(read_to_string(&io, &path).unwrap(), "payload");
+        assert!(
+            !io.exists(&path.with_file_name("artifact.bin.tmp")),
+            "the tmp sibling is renamed away"
+        );
+        io.remove_file(&path).unwrap();
+        assert!(!io.exists(&path));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn classify_maps_the_injected_error_kinds() {
+        let cases = [
+            (io::ErrorKind::NotFound, VfsError::NotFound),
+            (io::ErrorKind::StorageFull, VfsError::NoSpace),
+            (io::ErrorKind::Interrupted, VfsError::Interrupted),
+            (io::ErrorKind::WriteZero, VfsError::Torn),
+            (io::ErrorKind::UnexpectedEof, VfsError::ShortRead),
+            (io::ErrorKind::ResourceBusy, VfsError::RenameFailed),
+            (io::ErrorKind::PermissionDenied, VfsError::Other),
+        ];
+        for (kind, want) in cases {
+            let got = VfsError::classify(&io::Error::new(kind, "x"));
+            assert_eq!(got, want, "{kind:?}");
+        }
+        assert!(VfsError::Interrupted.is_transient());
+        assert!(!VfsError::NoSpace.is_transient());
+    }
+
+    #[test]
+    fn retry_interrupted_retries_eintr_but_not_real_errors() {
+        let mut calls = 0;
+        let out: io::Result<u32> = retry_interrupted(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out: io::Result<u32> = retry_interrupted(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::StorageFull, "enospc"))
+        });
+        assert_eq!(out.unwrap_err().kind(), io::ErrorKind::StorageFull);
+        assert_eq!(calls, 1, "terminal errors are not retried");
+
+        let mut calls = 0;
+        let out: io::Result<u32> = retry_interrupted(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+        });
+        assert_eq!(out.unwrap_err().kind(), io::ErrorKind::Interrupted);
+        assert_eq!(calls, 9, "bounded: initial attempt + 8 retries");
+    }
+}

@@ -1,0 +1,80 @@
+//! JSONL helpers threaded through the [`ChaosIo`] seam.
+//!
+//! Byte-for-byte the same formats as `cwp_obs::{read_jsonl_tolerant,
+//! write_jsonl_atomic}` — they share the pure parse/render halves — but
+//! every byte moves through a [`ChaosIo`] backend, so journals can be
+//! exercised under injected faults and in-memory crash exploration.
+
+use std::io;
+use std::path::Path;
+
+use cwp_obs::json::Json;
+use cwp_obs::jsonl::{parse_jsonl_tolerant, render_jsonl, JsonlDocument};
+
+use crate::io::{read_to_string, retry_interrupted, ChaosIo};
+
+/// Reads a JSONL file through the seam, tolerating a torn final line —
+/// the exact contract of [`cwp_obs::read_jsonl_tolerant`].
+///
+/// # Errors
+///
+/// Fails on backend I/O errors or malformed JSON before the final line.
+pub fn read_jsonl_tolerant_io(io: &dyn ChaosIo, path: &Path) -> io::Result<JsonlDocument> {
+    let text = read_to_string(io, path)?;
+    parse_jsonl_tolerant(&text, &path.display().to_string())
+}
+
+/// Writes a JSONL file atomically through the seam (`.tmp` sibling,
+/// then rename) — the exact contract of [`cwp_obs::write_jsonl_atomic`].
+///
+/// # Errors
+///
+/// Fails on backend I/O errors from the write or the commit rename.
+pub fn write_jsonl_atomic_io(io: &dyn ChaosIo, path: &Path, lines: &[Json]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    retry_interrupted(|| io.write(&tmp, render_jsonl(lines).as_bytes()))?;
+    retry_interrupted(|| io.rename(&tmp, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memio::MemIo;
+    use std::path::PathBuf;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn io_threaded_jsonl_matches_the_fs_backed_format() {
+        let mem = MemIo::new();
+        let lines = vec![
+            Json::obj([("a", Json::UInt(1))]),
+            Json::obj([("b", Json::Str("two".into()))]),
+        ];
+        write_jsonl_atomic_io(&mem, &p("/j.jsonl"), &lines).unwrap();
+        assert_eq!(
+            mem.file(&p("/j.jsonl")).unwrap(),
+            cwp_obs::render_jsonl(&lines).into_bytes(),
+        );
+        assert!(!mem.exists(&p("/j.jsonl.tmp")), "tmp renamed away");
+        let doc = read_jsonl_tolerant_io(&mem, &p("/j.jsonl")).unwrap();
+        assert_eq!(doc.lines, lines);
+        assert!(!doc.truncated);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_through_the_seam() {
+        let mem = MemIo::new();
+        mem.write(&p("/j.jsonl"), b"{\"a\":1}\n{\"b\":").unwrap();
+        let doc = read_jsonl_tolerant_io(&mem, &p("/j.jsonl")).unwrap();
+        assert_eq!(doc.lines.len(), 1);
+        assert!(doc.truncated);
+    }
+}

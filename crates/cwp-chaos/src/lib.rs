@@ -1,0 +1,45 @@
+//! Storage chaos: deterministic I/O fault injection and crash-point
+//! exploration for the workspace's durable artifacts.
+//!
+//! The simulator's durability layer — the serve memo journal, the
+//! runner's checkpoint journal, recorded trace files, and metrics
+//! snapshot files — makes crash-consistency promises (lenient reload of
+//! a torn final line, atomic write-then-rename) that until now were
+//! only exercised by a single SIGKILL test. This crate holds those
+//! promises to the same standard the simulator applies to the memory
+//! hierarchy it models:
+//!
+//! - [`ChaosIo`]: the seam. A whole-file I/O trait every durable
+//!   artifact writes through, with [`RealIo`] as the passthrough
+//!   default, so production code keeps its exact behavior.
+//! - [`FaultyIo`]: a seeded wrapper injecting torn writes, short reads,
+//!   `ENOSPC`, `EINTR`, rename failure, and fsync loss from a
+//!   SplitMix64 schedule — the storage counterpart of
+//!   `cwp_mem::FaultyNextLevel`'s transit faults.
+//! - [`MemIo`]: an in-memory filesystem that journals every mutation,
+//!   from which [`crash_points`] enumerates every write boundary of a
+//!   run — including torn-prefix states — and rebuilds the filesystem
+//!   a crash at that boundary would leave behind.
+//! - [`explore`]: the harness that drives a recovery check over every
+//!   enumerated crash point under a fixed seed budget.
+//!
+//! Everything is deterministic: a fixed `(seed, plan)` pair yields the
+//! same fault schedule and the same crash points on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod explore;
+pub mod faulty;
+pub mod io;
+pub mod jsonl;
+pub mod memio;
+
+pub use explore::{explore, ExploreReport};
+pub use faulty::{FaultPlan, FaultyIo, IoFaultStats};
+pub use io::{
+    read_to_string, retry_interrupted, write_atomic, ChaosIo, IoHandle, RealIo, VfsError,
+};
+pub use jsonl::{read_jsonl_tolerant_io, write_jsonl_atomic_io};
+pub use memio::{crash_points, CrashPoint, MemIo, MemOp};

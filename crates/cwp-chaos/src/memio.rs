@@ -1,0 +1,384 @@
+//! [`MemIo`]: an in-memory filesystem that journals every mutation,
+//! and [`crash_points`]: the enumeration of every state a crash could
+//! leave that filesystem in.
+//!
+//! Because every durable artifact writes through [`ChaosIo`], running a
+//! component against a [`MemIo`] captures its complete write history as
+//! an ordered list of [`MemOp`]s. A crash can then be simulated *at
+//! every boundary* of that history — after any prefix of the ops, plus
+//! torn-prefix states where the next write persisted only some of its
+//! bytes — and the component restarted against the rebuilt filesystem
+//! to check its recovery contract. This turns "we survived one SIGKILL"
+//! into "we survive a crash at every write boundary of the run".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use cwp_mem::SplitMix64;
+
+use crate::io::ChaosIo;
+
+/// One journaled mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemOp {
+    /// A whole-file create-or-truncate write.
+    Write {
+        /// Destination path.
+        path: PathBuf,
+        /// The full content written.
+        data: Vec<u8>,
+    },
+    /// An atomic rename.
+    Rename {
+        /// Source path.
+        from: PathBuf,
+        /// Destination path.
+        to: PathBuf,
+    },
+    /// A file removal.
+    Remove {
+        /// The removed path.
+        path: PathBuf,
+    },
+    /// A directory creation.
+    CreateDir {
+        /// The created path.
+        path: PathBuf,
+    },
+}
+
+impl MemOp {
+    /// A short human label for explorer failure messages.
+    fn describe(&self) -> String {
+        match self {
+            MemOp::Write { path, data } => {
+                format!("write {} ({} bytes)", path.display(), data.len())
+            }
+            MemOp::Rename { from, to } => {
+                format!("rename {} -> {}", from.display(), to.display())
+            }
+            MemOp::Remove { path } => format!("remove {}", path.display()),
+            MemOp::CreateDir { path } => format!("create_dir {}", path.display()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct MemState {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: BTreeSet<PathBuf>,
+    journal: Vec<MemOp>,
+}
+
+impl MemState {
+    /// Applies `op` to the filesystem maps (without journaling).
+    fn apply(&mut self, op: &MemOp) -> io::Result<()> {
+        match op {
+            MemOp::Write { path, data } => {
+                self.files.insert(path.clone(), data.clone());
+            }
+            MemOp::Rename { from, to } => {
+                let data = self.files.remove(from).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("rename source missing: {}", from.display()),
+                    )
+                })?;
+                self.files.insert(to.clone(), data);
+            }
+            MemOp::Remove { path } => {
+                if self.files.remove(path).is_none() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("remove target missing: {}", path.display()),
+                    ));
+                }
+            }
+            MemOp::CreateDir { path } => {
+                self.dirs.insert(path.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory [`ChaosIo`] backend that journals every mutation.
+#[derive(Default)]
+pub struct MemIo {
+    state: Mutex<MemState>,
+}
+
+impl MemIo {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        MemIo::default()
+    }
+
+    /// Rebuilds the filesystem a crash would leave behind: the first
+    /// `ops[..applied]` fully applied, plus — if `torn` names a write in
+    /// `ops[applied..]` — that write's first `torn.1` bytes.
+    ///
+    /// The rebuilt filesystem journals its own mutations from scratch,
+    /// so a restarted component can itself be explored.
+    pub fn replay(ops: &[MemOp], applied: usize, torn: Option<(usize, usize)>) -> MemIo {
+        let mut state = MemState::default();
+        for op in &ops[..applied.min(ops.len())] {
+            // Replaying a previously-journaled history cannot fail.
+            let _ = state.apply(op);
+        }
+        if let Some((index, cut)) = torn {
+            if let Some(MemOp::Write { path, data }) = ops.get(index) {
+                let cut = cut.min(data.len());
+                state.files.insert(path.clone(), data[..cut].to_vec());
+            }
+        }
+        state.journal.clear();
+        MemIo {
+            state: Mutex::new(state),
+        }
+    }
+
+    /// A deep copy of the current filesystem state with an empty
+    /// journal — the restart point for re-opening a component at a
+    /// crash state without mutating the original.
+    pub fn fork(&self) -> MemIo {
+        let state = self.lock();
+        MemIo {
+            state: Mutex::new(MemState {
+                files: state.files.clone(),
+                dirs: state.dirs.clone(),
+                journal: Vec::new(),
+            }),
+        }
+    }
+
+    /// The journaled mutations, in order.
+    pub fn journal(&self) -> Vec<MemOp> {
+        self.lock().journal.clone()
+    }
+
+    /// Number of journaled mutations.
+    pub fn op_count(&self) -> usize {
+        self.lock().journal.len()
+    }
+
+    /// The content of `path`, if present.
+    pub fn file(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().files.get(path).cloned()
+    }
+
+    /// Snapshot of every file (for assertions).
+    pub fn files(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        self.lock().files.clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl ChaosIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.lock().files.get(path).cloned().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file: {}", path.display()),
+            )
+        })
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut state = self.lock();
+        let op = MemOp::Write {
+            path: path.to_path_buf(),
+            data: data.to_vec(),
+        };
+        state.apply(&op)?;
+        state.journal.push(op);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let op = MemOp::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        };
+        state.apply(&op)?;
+        state.journal.push(op);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let op = MemOp::CreateDir {
+            path: path.to_path_buf(),
+        };
+        state.apply(&op)?;
+        state.journal.push(op);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        let op = MemOp::Remove {
+            path: path.to_path_buf(),
+        };
+        state.apply(&op)?;
+        state.journal.push(op);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let state = self.lock();
+        state.files.contains_key(path)
+            || state.dirs.contains(path)
+            || state.files.keys().any(|f| f.starts_with(path) && f != path)
+    }
+}
+
+/// One simulated crash state: the filesystem as a crash at this
+/// boundary would leave it.
+pub struct CrashPoint {
+    /// Human-readable boundary description (op index, op, torn cut).
+    pub label: String,
+    /// Ops from the recorded history fully applied before the crash.
+    pub applied: usize,
+    /// The rebuilt filesystem.
+    pub io: MemIo,
+}
+
+/// Enumerates every crash state of a recorded mutation history:
+///
+/// - one boundary state per prefix `ops[..k]`, `k = 0..=len` (a crash
+///   *between* ops — which also covers a failed atomic rename, since
+///   renames either happen or don't);
+/// - for every write op, torn states where only a prefix of its bytes
+///   reached the device: the 1-byte cut, the all-but-one cut, and one
+///   seeded interior cut.
+///
+/// The enumeration is deterministic for a fixed `(ops, seed)`.
+pub fn crash_points(ops: &[MemOp], seed: u64) -> Vec<CrashPoint> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut points = Vec::new();
+    for k in 0..=ops.len() {
+        points.push(CrashPoint {
+            label: match k {
+                0 => "before any op".to_string(),
+                _ => format!("after op {} ({})", k - 1, ops[k - 1].describe()),
+            },
+            applied: k,
+            io: MemIo::replay(ops, k, None),
+        });
+        if let Some(MemOp::Write { data, .. }) = ops.get(k) {
+            if data.len() >= 2 {
+                let mut cuts = vec![1, data.len() - 1];
+                cuts.push(1 + rng.below((data.len() - 1) as u64) as usize);
+                cuts.sort_unstable();
+                cuts.dedup();
+                for cut in cuts {
+                    points.push(CrashPoint {
+                        label: format!("torn op {} ({}) at {cut} bytes", k, ops[k].describe()),
+                        applied: k,
+                        io: MemIo::replay(ops, k, Some((k, cut))),
+                    });
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn mem_io_behaves_like_a_filesystem() {
+        let io = MemIo::new();
+        io.create_dir_all(&p("/run")).unwrap();
+        assert!(io.exists(&p("/run")));
+        io.write(&p("/run/j"), b"one").unwrap();
+        assert_eq!(io.read(&p("/run/j")).unwrap(), b"one");
+        io.write(&p("/run/j.tmp"), b"two").unwrap();
+        io.rename(&p("/run/j.tmp"), &p("/run/j")).unwrap();
+        assert_eq!(io.read(&p("/run/j")).unwrap(), b"two");
+        assert!(!io.exists(&p("/run/j.tmp")));
+        assert!(io.exists(&p("/run")), "parent of a live file exists");
+        io.remove_file(&p("/run/j")).unwrap();
+        assert!(io.read(&p("/run/j")).is_err());
+        assert_eq!(io.op_count(), 5);
+    }
+
+    #[test]
+    fn rename_of_a_missing_source_fails_and_is_not_journaled() {
+        let io = MemIo::new();
+        assert!(io.rename(&p("/a"), &p("/b")).is_err());
+        assert!(io.remove_file(&p("/a")).is_err());
+        assert_eq!(io.op_count(), 0);
+    }
+
+    #[test]
+    fn replay_rebuilds_any_prefix() {
+        let io = MemIo::new();
+        io.write(&p("/j"), b"v1").unwrap();
+        io.write(&p("/j.tmp"), b"v2-longer").unwrap();
+        io.rename(&p("/j.tmp"), &p("/j")).unwrap();
+        let ops = io.journal();
+
+        let at0 = MemIo::replay(&ops, 0, None);
+        assert!(at0.file(&p("/j")).is_none());
+        let at1 = MemIo::replay(&ops, 1, None);
+        assert_eq!(at1.file(&p("/j")).unwrap(), b"v1");
+        let at2 = MemIo::replay(&ops, 2, None);
+        assert_eq!(at2.file(&p("/j")).unwrap(), b"v1");
+        assert_eq!(at2.file(&p("/j.tmp")).unwrap(), b"v2-longer");
+        let at3 = MemIo::replay(&ops, 3, None);
+        assert_eq!(at3.file(&p("/j")).unwrap(), b"v2-longer");
+        assert!(at3.file(&p("/j.tmp")).is_none());
+
+        // Torn second write: only a prefix of the tmp file survives.
+        let torn = MemIo::replay(&ops, 1, Some((1, 3)));
+        assert_eq!(torn.file(&p("/j")).unwrap(), b"v1");
+        assert_eq!(torn.file(&p("/j.tmp")).unwrap(), b"v2-");
+        assert_eq!(torn.op_count(), 0, "replayed state journals from scratch");
+    }
+
+    #[test]
+    fn crash_points_cover_every_boundary_and_torn_writes() {
+        let io = MemIo::new();
+        io.create_dir_all(&p("/d")).unwrap();
+        io.write(&p("/d/f"), b"abcdef").unwrap();
+        io.rename(&p("/d/f"), &p("/d/g")).unwrap();
+        let ops = io.journal();
+        let points = crash_points(&ops, 42);
+        // 4 boundaries + up to 3 torn cuts for the one write.
+        let boundaries = points
+            .iter()
+            .filter(|c| !c.label.starts_with("torn"))
+            .count();
+        let torn: Vec<_> = points
+            .iter()
+            .filter(|c| c.label.starts_with("torn"))
+            .collect();
+        assert_eq!(boundaries, ops.len() + 1);
+        assert!((2..=3).contains(&torn.len()), "1, len-1, and a seeded cut");
+        for point in &torn {
+            let kept = point.io.file(&p("/d/f")).unwrap();
+            assert!(kept.len() < 6 && !kept.is_empty());
+            assert_eq!(&b"abcdef"[..kept.len()], &kept[..]);
+        }
+        // Determinism.
+        let again = crash_points(&ops, 42);
+        assert_eq!(
+            points.iter().map(|c| c.label.clone()).collect::<Vec<_>>(),
+            again.iter().map(|c| c.label.clone()).collect::<Vec<_>>(),
+        );
+    }
+}

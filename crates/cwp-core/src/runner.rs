@@ -30,7 +30,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cwp_obs::jsonl::{read_jsonl_tolerant, write_jsonl_atomic};
+use cwp_chaos::{
+    read_jsonl_tolerant_io, retry_interrupted, write_jsonl_atomic_io, ChaosIo, IoHandle,
+};
+use cwp_obs::metrics::Registry;
 use cwp_obs::{obs_debug, obs_info, obs_warn, Event, Json, JsonlWriter, Probe};
 use cwp_trace::Scale;
 
@@ -366,6 +369,13 @@ pub struct RunnerConfig {
     /// [`Lab::enable_audit`]). Outcomes are unchanged; a violated
     /// invariant panics inside the job and surfaces as a failed run.
     pub audit: bool,
+    /// Storage backend every checkpoint write and reload goes through.
+    /// The default is the real filesystem; tests and the chaos harness
+    /// substitute a fault-injecting backend here.
+    pub io: IoHandle,
+    /// When set, the runner exports its `checkpoint_corrupt_lines`
+    /// counter into this registry on resume reload.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl RunnerConfig {
@@ -385,6 +395,8 @@ impl RunnerConfig {
             trace_store: None,
             job_delay: None,
             audit: false,
+            io: IoHandle::real(),
+            registry: None,
         }
     }
 }
@@ -606,7 +618,12 @@ impl Runner {
             .map(|d| d.join(JOURNAL_FILE));
         if self.config.resume {
             if let Some(path) = &journal_path {
-                let replayed = load_journal(path)?;
+                let (replayed, corrupt_lines) = load_journal(&self.config.io, path)?;
+                if let Some(registry) = &self.config.registry {
+                    registry
+                        .counter("checkpoint_corrupt_lines")
+                        .add(corrupt_lines);
+                }
                 for (idx, job) in jobs.iter().enumerate() {
                     if let Some(mut prior) = replayed.get(&job.id).cloned() {
                         prior.outcome = JobOutcome::Skipped;
@@ -626,7 +643,7 @@ impl Runner {
         // journal; a probe write failure only loses observability.
         let mut probe: Option<JsonlWriter<std::fs::File>> = match &self.config.journal_dir {
             Some(dir) => {
-                std::fs::create_dir_all(dir)?;
+                retry_interrupted(|| self.config.io.create_dir_all(dir))?;
                 Some(JsonlWriter::new(
                     std::fs::File::create(dir.join(RUNNER_EVENTS_FILE))?,
                     None,
@@ -731,7 +748,7 @@ impl Runner {
             results[idx] = Some(result);
             if let Some(path) = &journal_path {
                 let lines: Vec<Json> = results.iter().flatten().map(JobResult::to_json).collect();
-                write_jsonl_atomic(path, &lines)?;
+                write_jsonl_atomic_io(&self.config.io, path, &lines)?;
             }
             Ok(())
         };
@@ -891,13 +908,16 @@ impl Runner {
 }
 
 /// Reads the checkpoint journal tolerantly, returning finished (`ok`)
-/// results keyed by job id. A missing journal is an empty map; a torn
-/// final line is tolerated (the crash the journal exists to survive).
-fn load_journal(path: &Path) -> io::Result<HashMap<String, JobResult>> {
-    if !path.exists() {
-        return Ok(HashMap::new());
+/// results keyed by job id plus the number of corrupt lines skipped. A
+/// missing journal is an empty map; a torn final line is tolerated
+/// (the crash the journal exists to survive); mid-journal lines that
+/// parse as JSON but not as a [`JobResult`] are counted, warned about
+/// once, and skipped rather than silently dropped.
+fn load_journal(io: &dyn ChaosIo, path: &Path) -> io::Result<(HashMap<String, JobResult>, u64)> {
+    if !io.exists(path) {
+        return Ok((HashMap::new(), 0));
     }
-    let doc = read_jsonl_tolerant(path)?;
+    let doc = read_jsonl_tolerant_io(io, path)?;
     if doc.truncated {
         obs_warn!(
             "{}: journal ends in a partially-written line; ignoring it",
@@ -905,14 +925,24 @@ fn load_journal(path: &Path) -> io::Result<HashMap<String, JobResult>> {
         );
     }
     let mut map = HashMap::new();
+    let mut corrupt_lines = 0u64;
     for line in &doc.lines {
-        if let Some(result) = JobResult::from_json(line) {
-            if result.outcome == JobOutcome::Ok {
-                map.insert(result.id.clone(), result);
+        match JobResult::from_json(line) {
+            Some(result) => {
+                if result.outcome == JobOutcome::Ok {
+                    map.insert(result.id.clone(), result);
+                }
             }
+            None => corrupt_lines += 1,
         }
     }
-    Ok(map)
+    if corrupt_lines > 0 {
+        obs_warn!(
+            "{}: skipped {corrupt_lines} corrupt checkpoint line(s) on reload",
+            path.display()
+        );
+    }
+    Ok((map, corrupt_lines))
 }
 
 #[cfg(test)]
@@ -1141,8 +1171,9 @@ mod tests {
 
         // The journal now records both as ok, so a third resume skips
         // everything (resume-of-a-resume).
-        let journal = load_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        let (journal, corrupt) = load_journal(&cwp_chaos::RealIo, &dir.join(JOURNAL_FILE)).unwrap();
         assert_eq!(journal.len(), 2);
+        assert_eq!(corrupt, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1166,9 +1197,84 @@ mod tests {
         .write(&mut text);
         text.push_str("\n{\"job\":\"torn\",\"outco");
         std::fs::write(&path, text).unwrap();
-        let journal = load_journal(&path).unwrap();
+        let (journal, corrupt) = load_journal(&cwp_chaos::RealIo, &path).unwrap();
         assert_eq!(journal.len(), 1);
         assert!(journal.contains_key("whole"));
+        assert_eq!(
+            corrupt, 0,
+            "a torn final line is truncation, not corruption"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_lines_are_counted_and_exported_on_resume() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = String::new();
+        JobResult {
+            id: "whole".to_string(),
+            title: "t".to_string(),
+            outcome: JobOutcome::Ok,
+            attempts: 1,
+            wall_ms: 1,
+            wait_ms: 0,
+            error: None,
+            tables: vec![RenderedTable::from_table(&table_for("whole"))],
+            replayed: false,
+        }
+        .to_json()
+        .write(&mut text);
+        // Valid JSON, but not a JobResult: the lenient reader used to
+        // skip these silently; now they are counted.
+        text.push_str(
+            "\n{\"not\":\"a job result\"}\n{\"job\":\"half\",\"outcome\":\"nonsense\"}\n",
+        );
+        std::fs::write(&path, text).unwrap();
+
+        let (journal, corrupt) = load_journal(&cwp_chaos::RealIo, &path).unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(corrupt, 2);
+
+        // A resumed run exports the count into the caller's registry.
+        let registry = Arc::new(Registry::new());
+        let mut c = config();
+        c.journal_dir = Some(dir.clone());
+        c.resume = true;
+        c.registry = Some(Arc::clone(&registry));
+        let summary = Runner::new(c)
+            .run(vec![Job::new(
+                "whole",
+                "must not re-run",
+                1,
+                |_lab| -> Result<Vec<Table>, String> {
+                    panic!("resume must not re-run a journaled job")
+                },
+            )])
+            .unwrap();
+        assert_eq!(summary.results[0].outcome, JobOutcome::Skipped);
+        assert_eq!(registry.counter("checkpoint_corrupt_lines").value(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_checkpoint_journal_survives_a_fault_injecting_backend() {
+        use cwp_chaos::{FaultPlan, FaultyIo};
+
+        let dir = tmpdir("faulty-journal");
+        // Transient-only faults: EINTR storms the retry loops absorb.
+        let io = Arc::new(FaultyIo::new(FaultPlan::transient_only(200_000, 0xC4A0)));
+        let mut c = config();
+        c.journal_dir = Some(dir.clone());
+        c.io = IoHandle::new(io);
+        let jobs: Vec<Job> = ["a", "b", "c"].iter().map(|id| ok_job(id)).collect();
+        let summary = Runner::new(c).run(jobs).unwrap();
+        assert_eq!(summary.count(JobOutcome::Ok), 3);
+
+        // The journal on disk is complete and replayable.
+        let (journal, corrupt) = load_journal(&cwp_chaos::RealIo, &dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.len(), 3);
+        assert_eq!(corrupt, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -361,6 +361,117 @@ mod tests {
     }
 
     #[test]
+    fn cancel_is_idempotent_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        token.cancel(); // double-cancel must be a harmless no-op
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn backoff_bounds_hold_for_every_seed_stream_and_attempt() {
+        let base = Duration::from_millis(10);
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..25u64 {
+            for stream in 0..4u64 {
+                for attempt in 1..=6u32 {
+                    let exp = base * (1 << (attempt - 1));
+                    let delay = backoff_delay(base, seed, stream, attempt);
+                    assert_eq!(
+                        delay,
+                        backoff_delay(base, seed, stream, attempt),
+                        "backoff must be deterministic for {seed}/{stream}/{attempt}"
+                    );
+                    assert!(
+                        delay >= exp / 2 && delay < exp * 3 / 2,
+                        "{seed}/{stream}/{attempt}: {delay:?} outside [{:?}, {:?})",
+                        exp / 2,
+                        exp * 3 / 2
+                    );
+                    distinct.insert(delay);
+                }
+            }
+        }
+        // Jitter must actually spread the schedule, not collapse it.
+        assert!(
+            distinct.len() > 300,
+            "only {} distinct delays",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn settling_a_racing_deadline_has_exactly_one_winner_per_key() {
+        const KEYS: u64 = 200;
+        let expired = Arc::new(Mutex::new(Vec::new()));
+        let sup: Supervisor<u64> = Supervisor::spawn(
+            "test-sup-race",
+            {
+                let expired = Arc::clone(&expired);
+                move |key, _| expired.lock().expect("expired lock").push(key)
+            },
+            |_| {},
+        );
+        let now = Instant::now();
+        for key in 0..KEYS {
+            // Deadlines staggered right around "now" so completion
+            // genuinely races expiry.
+            sup.register(key, Some(now + Duration::from_micros(500 * (key % 8))), key);
+        }
+        let completed: Vec<u64> = (0..KEYS).filter(|k| sup.complete(*k).is_some()).collect();
+        // Every key not completed must eventually expire; none may do
+        // both, none may vanish.
+        let give_up = Instant::now() + Duration::from_secs(5);
+        loop {
+            let expired_so_far = expired.lock().expect("expired lock").len();
+            if expired_so_far + completed.len() == KEYS as usize {
+                break;
+            }
+            assert!(
+                Instant::now() < give_up,
+                "lost keys: {} completed + {expired_so_far} expired of {KEYS}",
+                completed.len()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let expired = expired.lock().expect("expired lock");
+        for key in 0..KEYS {
+            let was_completed = completed.contains(&key);
+            let was_expired = expired.contains(&key);
+            assert!(
+                was_completed ^ was_expired,
+                "key {key}: completed={was_completed} expired={was_expired}"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drops_pending_releases() {
+        let (tx, rx) = mpsc::channel();
+        let sup: Supervisor<u32> = Supervisor::spawn(
+            "test-sup-shutdown",
+            |_, _| {},
+            move |p| {
+                let _ = tx.send(p);
+            },
+        );
+        sup.release_after(Instant::now() + Duration::from_millis(30), 7);
+        sup.shutdown();
+        sup.shutdown(); // second shutdown must be a no-op
+        assert!(
+            rx.recv_timeout(Duration::from_millis(150)).is_err(),
+            "a pending release must be dropped on shutdown"
+        );
+        // The state map stays usable after shutdown (Engine::drop calls
+        // shutdown after a drain already stopped the supervisor).
+        sup.register(1, None, 0);
+        assert_eq!(sup.complete(1), Some(0));
+    }
+
+    #[test]
     fn entries_without_deadlines_wait_forever() {
         let (tx, rx) = mpsc::channel();
         let sup: Supervisor<u32> = Supervisor::spawn(

@@ -52,6 +52,40 @@ pub enum FaultOutcome {
     DataLoss,
 }
 
+/// The filesystem operation an injected I/O fault landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// A whole-file read.
+    Read,
+    /// A whole-file create-or-truncate write.
+    Write,
+    /// An atomic rename (the commit step of write-then-rename).
+    Rename,
+    /// A directory creation.
+    CreateDir,
+    /// A file removal.
+    Remove,
+}
+
+/// The kind of fault the chaos I/O layer injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFaultKind {
+    /// A write failed after persisting only a prefix of its bytes.
+    Torn,
+    /// A read returned only a prefix of the file.
+    ShortRead,
+    /// The device reported out of space (`ENOSPC`).
+    NoSpace,
+    /// The call was interrupted (`EINTR`); a retry may succeed.
+    Interrupted,
+    /// The rename step of an atomic replace failed, leaving the
+    /// temporary file behind.
+    RenameFailed,
+    /// The write reported success but its bytes never reached the
+    /// device — the signature of a lost fsync.
+    FsyncLost,
+}
+
 /// One observable simulator event.
 ///
 /// Variants mirror the counters in `CacheStats`, `Traffic`,
@@ -275,6 +309,30 @@ pub enum Event {
         request: u64,
         /// Requests served by the single pass (including the leader).
         batch: u32,
+    },
+    /// The chaos I/O layer injected a storage fault.
+    IoFault {
+        /// The filesystem operation the fault landed on.
+        op: IoOp,
+        /// The kind of fault injected.
+        fault: IoFaultKind,
+        /// Bytes the operation carried (bytes actually persisted for a
+        /// torn write, bytes returned for a short read, 0 otherwise).
+        bytes: u64,
+    },
+    /// The serve front end began a graceful drain: admission stopped
+    /// and queued work is being shed.
+    DrainBegin {
+        /// Entries waiting in the queue when the drain began.
+        queued: u32,
+    },
+    /// A graceful drain finished: in-flight work settled, the memo
+    /// journal and a final metrics snapshot were flushed.
+    DrainDone {
+        /// Queued entries shed with a retry hint during the drain.
+        shed: u32,
+        /// In-flight entries that completed normally during the drain.
+        completed: u32,
     },
 }
 

@@ -7,7 +7,9 @@
 
 use std::io::{self, BufRead, Write};
 
-use crate::event::{AccessKind, Event, FaultOutcome, FetchCause, Probe, WriteMissAction};
+use crate::event::{
+    AccessKind, Event, FaultOutcome, FetchCause, IoFaultKind, IoOp, Probe, WriteMissAction,
+};
 use crate::json::Json;
 
 impl AccessKind {
@@ -90,6 +92,56 @@ impl FaultOutcome {
     }
 }
 
+impl IoOp {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Rename => "rename",
+            IoOp::CreateDir => "create_dir",
+            IoOp::Remove => "remove",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "read" => Some(IoOp::Read),
+            "write" => Some(IoOp::Write),
+            "rename" => Some(IoOp::Rename),
+            "create_dir" => Some(IoOp::CreateDir),
+            "remove" => Some(IoOp::Remove),
+            _ => None,
+        }
+    }
+}
+
+impl IoFaultKind {
+    /// The stable string tag used in exported traces.
+    pub fn tag(self) -> &'static str {
+        match self {
+            IoFaultKind::Torn => "torn",
+            IoFaultKind::ShortRead => "short_read",
+            IoFaultKind::NoSpace => "no_space",
+            IoFaultKind::Interrupted => "interrupted",
+            IoFaultKind::RenameFailed => "rename_failed",
+            IoFaultKind::FsyncLost => "fsync_lost",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "torn" => Some(IoFaultKind::Torn),
+            "short_read" => Some(IoFaultKind::ShortRead),
+            "no_space" => Some(IoFaultKind::NoSpace),
+            "interrupted" => Some(IoFaultKind::Interrupted),
+            "rename_failed" => Some(IoFaultKind::RenameFailed),
+            "fsync_lost" => Some(IoFaultKind::FsyncLost),
+            _ => None,
+        }
+    }
+}
+
 impl Event {
     /// The `"ev"` tag identifying this variant in exported traces.
     pub fn tag(&self) -> &'static str {
@@ -122,12 +174,15 @@ impl Event {
             Event::RequestDeadline { .. } => "req_deadline",
             Event::RequestDegraded { .. } => "req_degraded",
             Event::RequestCoalesced { .. } => "req_coalesced",
+            Event::IoFault { .. } => "io_fault",
+            Event::DrainBegin { .. } => "drain_begin",
+            Event::DrainDone { .. } => "drain_done",
         }
     }
 
     /// All `"ev"` tags, in declaration order — the schema the offline
     /// validator checks traces against.
-    pub const TAGS: [&'static str; 28] = [
+    pub const TAGS: [&'static str; 31] = [
         "access",
         "read_hit",
         "read_miss",
@@ -156,6 +211,9 @@ impl Event {
         "req_deadline",
         "req_degraded",
         "req_coalesced",
+        "io_fault",
+        "drain_begin",
+        "drain_done",
     ];
 
     /// Converts the event to its JSON object form (without a `seq`).
@@ -309,6 +367,20 @@ impl Event {
                 ("request", Json::UInt(request)),
                 ("batch", Json::UInt(u64::from(batch))),
             ]),
+            Event::IoFault { op, fault, bytes } => Json::obj([
+                ev,
+                ("op", Json::Str(op.tag().to_string())),
+                ("fault", Json::Str(fault.tag().to_string())),
+                ("bytes", Json::UInt(bytes)),
+            ]),
+            Event::DrainBegin { queued } => {
+                Json::obj([ev, ("queued", Json::UInt(u64::from(queued)))])
+            }
+            Event::DrainDone { shed, completed } => Json::obj([
+                ev,
+                ("shed", Json::UInt(u64::from(shed))),
+                ("completed", Json::UInt(u64::from(completed))),
+            ]),
         }
     }
 
@@ -436,6 +508,18 @@ impl Event {
                 request: u64_of("request")?,
                 batch: u32_of("batch")?,
             },
+            "io_fault" => Event::IoFault {
+                op: IoOp::from_tag(str_of("op")?)?,
+                fault: IoFaultKind::from_tag(str_of("fault")?)?,
+                bytes: u64_of("bytes")?,
+            },
+            "drain_begin" => Event::DrainBegin {
+                queued: u32_of("queued")?,
+            },
+            "drain_done" => Event::DrainDone {
+                shed: u32_of("shed")?,
+                completed: u32_of("completed")?,
+            },
             _ => return None,
         })
     }
@@ -557,6 +641,18 @@ pub struct JsonlDocument {
 /// error message names the offending line number.
 pub fn read_jsonl_tolerant(path: &std::path::Path) -> io::Result<JsonlDocument> {
     let text = std::fs::read_to_string(path)?;
+    parse_jsonl_tolerant(&text, &path.display().to_string())
+}
+
+/// The pure parsing half of [`read_jsonl_tolerant`]: same torn-final-line
+/// tolerance, but over text already in memory. `origin` names the source
+/// in error messages (usually a path). This is the seam the chaos I/O
+/// layer threads alternative storage backends through.
+///
+/// # Errors
+///
+/// Fails on malformed JSON before the final line.
+pub fn parse_jsonl_tolerant(text: &str, origin: &str) -> io::Result<JsonlDocument> {
     let numbered: Vec<(usize, &str)> = text
         .lines()
         .enumerate()
@@ -576,7 +672,7 @@ pub fn read_jsonl_tolerant(path: &std::path::Path) -> io::Result<JsonlDocument> 
             Err(e) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("{}: line {}: {e}", path.display(), lineno + 1),
+                    format!("{origin}: line {}: {e}", lineno + 1),
                 ));
             }
         }
@@ -585,6 +681,17 @@ pub fn read_jsonl_tolerant(path: &std::path::Path) -> io::Result<JsonlDocument> 
         lines,
         truncated: false,
     })
+}
+
+/// Renders JSONL lines to the exact text [`write_jsonl_atomic`] persists
+/// — one compact JSON object per line, each newline-terminated.
+pub fn render_jsonl(lines: &[Json]) -> String {
+    let mut text = String::new();
+    for line in lines {
+        line.write(&mut text);
+        text.push('\n');
+    }
+    text
 }
 
 /// Writes a JSONL file atomically: the lines go to a `.tmp` sibling
@@ -601,12 +708,7 @@ pub fn write_jsonl_atomic(path: &std::path::Path, lines: &[Json]) -> io::Result<
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    let mut text = String::new();
-    for line in lines {
-        line.write(&mut text);
-        text.push('\n');
-    }
-    std::fs::write(&tmp, text)?;
+    std::fs::write(&tmp, render_jsonl(lines))?;
     std::fs::rename(&tmp, path)
 }
 
@@ -726,6 +828,16 @@ mod tests {
             Event::RequestCoalesced {
                 request: 11,
                 batch: 6,
+            },
+            Event::IoFault {
+                op: IoOp::Write,
+                fault: IoFaultKind::Torn,
+                bytes: 37,
+            },
+            Event::DrainBegin { queued: 5 },
+            Event::DrainDone {
+                shed: 5,
+                completed: 2,
             },
         ]
     }

@@ -43,11 +43,14 @@ pub mod sampler;
 pub mod schema;
 
 pub use event::{
-    AccessKind, CountingProbe, Event, FaultOutcome, FetchCause, NullProbe, Probe, RecordingProbe,
-    Tee, WriteMissAction,
+    AccessKind, CountingProbe, Event, FaultOutcome, FetchCause, IoFaultKind, IoOp, NullProbe,
+    Probe, RecordingProbe, Tee, WriteMissAction,
 };
 pub use json::{Json, JsonError};
-pub use jsonl::{read_events, read_jsonl_tolerant, write_jsonl_atomic, JsonlDocument, JsonlWriter};
+pub use jsonl::{
+    parse_jsonl_tolerant, read_events, read_jsonl_tolerant, render_jsonl, write_jsonl_atomic,
+    JsonlDocument, JsonlWriter,
+};
 pub use log::{enabled, level, set_level, Level};
 pub use manifest::{git_revision, RunManifest, MANIFEST_OUTCOMES};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span};

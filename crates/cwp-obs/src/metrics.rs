@@ -435,6 +435,19 @@ pub struct Registry {
     histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
 }
 
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn len<T>(m: &Mutex<Vec<T>>) -> usize {
+            m.lock().map(|v| v.len()).unwrap_or(0)
+        }
+        f.debug_struct("Registry")
+            .field("counters", &len(&self.counters))
+            .field("gauges", &len(&self.gauges))
+            .field("histograms", &len(&self.histograms))
+            .finish()
+    }
+}
+
 fn get_or_insert<T: Default>(list: &Mutex<Vec<(String, Arc<T>)>>, name: &str) -> Arc<T> {
     let mut list = list.lock().expect("registry lock");
     if let Some((_, existing)) = list.iter().find(|(n, _)| n == name) {

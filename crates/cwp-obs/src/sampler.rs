@@ -502,8 +502,9 @@ impl Probe for WindowSampler {
                     cur.transit_retried += 1;
                 }
             }
-            // Runner job and serve request lifecycle events are not
-            // per-access; they carry no window-summable counter.
+            // Runner job, serve request lifecycle, and storage chaos
+            // events are not per-access; they carry no window-summable
+            // counter.
             Event::JobStart { .. }
             | Event::JobRetry { .. }
             | Event::JobEnd { .. }
@@ -511,7 +512,10 @@ impl Probe for WindowSampler {
             | Event::RequestShed { .. }
             | Event::RequestDeadline { .. }
             | Event::RequestDegraded { .. }
-            | Event::RequestCoalesced { .. } => {}
+            | Event::RequestCoalesced { .. }
+            | Event::IoFault { .. }
+            | Event::DrainBegin { .. }
+            | Event::DrainDone { .. } => {}
         }
         self.touched = true;
     }

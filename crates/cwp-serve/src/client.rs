@@ -10,7 +10,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::protocol::{metrics_request_line, Request, Response};
+use crate::protocol::{metrics_request_line, shutdown_request_line, Request, Response};
 use cwp_obs::json::Json;
 
 /// A blocking JSONL protocol client over TCP.
@@ -75,7 +75,9 @@ impl Client {
         self.send(request)?;
         let response = self.recv()?;
         let answered = match &response {
-            Response::Ok { id, .. } | Response::Metrics { id, .. } => Some(*id),
+            Response::Ok { id, .. } | Response::Metrics { id, .. } | Response::Draining { id } => {
+                Some(*id)
+            }
             Response::Error { id, .. } => *id,
         };
         if answered.is_some() && answered != Some(request.id) {
@@ -103,6 +105,19 @@ impl Client {
         }
     }
 
+    /// Asks the server to begin a graceful drain and blocks for the
+    /// `Draining` acknowledgement, matching on `id`.
+    pub fn request_shutdown(&mut self, id: u64) -> std::io::Result<()> {
+        self.send_raw(&shutdown_request_line(id))?;
+        match self.recv()? {
+            Response::Draining { id: answered } if answered == id => Ok(()),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected draining ack for id {id}, got {other:?}"),
+            )),
+        }
+    }
+
     /// Pipelines `requests` and collects one response per unique id.
     /// Returns a map from request id to its response; stops early on a
     /// transport error after draining what arrived.
@@ -115,7 +130,9 @@ impl Client {
         while responses.len() < unique.len() {
             let response = self.recv()?;
             let id = match &response {
-                Response::Ok { id, .. } | Response::Metrics { id, .. } => Some(*id),
+                Response::Ok { id, .. }
+                | Response::Metrics { id, .. }
+                | Response::Draining { id } => Some(*id),
                 Response::Error { id, .. } => *id,
             };
             match id {

@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cwp_chaos::{ChaosIo, IoHandle};
 use cwp_core::sim::{simulate, simulate_many_cancellable};
 use cwp_core::store::TraceStore;
 use cwp_core::supervise::{backoff_delay, CancelToken, Supervisor};
@@ -74,6 +75,10 @@ pub struct EngineConfig {
     pub metrics_path: Option<std::path::PathBuf>,
     /// How often the snapshot file is rewritten.
     pub metrics_period: Duration,
+    /// Storage backend for every durable artifact (memo journal,
+    /// metrics snapshot). The default is the real filesystem; chaos
+    /// tests substitute a fault-injecting backend.
+    pub io: IoHandle,
 }
 
 impl EngineConfig {
@@ -94,6 +99,7 @@ impl EngineConfig {
             events_path: None,
             metrics_path: None,
             metrics_period: Duration::from_secs(1),
+            io: IoHandle::real(),
         }
     }
 }
@@ -139,6 +145,7 @@ struct ServeMetrics {
     panics: Arc<Counter>,
     retries: Arc<Counter>,
     failed: Arc<Counter>,
+    memo_corrupt_lines: Arc<Counter>,
     inflight: Arc<Gauge>,
     queue_us: Arc<Histogram>,
     prep_us: Arc<Histogram>,
@@ -162,6 +169,7 @@ impl ServeMetrics {
             panics: registry.counter("panics"),
             retries: registry.counter("retries"),
             failed: registry.counter("failed"),
+            memo_corrupt_lines: registry.counter("memo_corrupt_lines"),
             inflight: registry.gauge("inflight"),
             queue_us: registry.histogram("queue_us"),
             prep_us: registry.histogram("prep_us"),
@@ -201,6 +209,26 @@ struct Shared {
     events: Option<Mutex<JsonlWriter<std::fs::File>>>,
     /// Set on shutdown; stops the snapshot thread.
     stopping: AtomicBool,
+    /// Set when a graceful drain begins: new simulation requests are
+    /// shed with a retry hint instead of admitted, and caught panics
+    /// fail immediately instead of scheduling a backoff retry.
+    draining: AtomicBool,
+    /// Set by a `shutdown` control request; the process's supervision
+    /// loop polls it and runs the drain.
+    drain_requested: AtomicBool,
+}
+
+/// What a graceful [`Engine::drain`] did: how deep the queue was when
+/// the drain began, how many waiting requests were shed with retry
+/// hints, and how many in-flight requests completed during the drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Queue depth when the drain began.
+    pub queued: u32,
+    /// Waiting requests shed with `overloaded` + retry hint.
+    pub shed: u32,
+    /// Requests served to completion during the drain.
+    pub completed: u32,
 }
 
 /// The serving engine. See the module docs for the design.
@@ -214,7 +242,7 @@ impl Engine {
     /// Builds the engine and starts its worker pool and watchdog.
     pub fn start(config: EngineConfig) -> std::io::Result<Engine> {
         let memo = match &config.memo_dir {
-            Some(dir) => MemoStore::open(dir)?,
+            Some(dir) => MemoStore::open_with_io(dir, config.io.arc())?,
             None => MemoStore::ephemeral(),
         };
         let events = match &config.events_path {
@@ -224,6 +252,8 @@ impl Engine {
             }
             None => None,
         };
+        let metrics = ServeMetrics::new();
+        metrics.memo_corrupt_lines.add(memo.corrupt_lines());
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(config.queue_capacity, config.per_client_inflight),
             store: TraceStore::with_budget(config.scale, config.trace_budget_bytes),
@@ -231,11 +261,13 @@ impl Engine {
             hashes: Mutex::new(HashMap::new()),
             clients: Mutex::new(HashMap::new()),
             supervisor: OnceLock::new(),
-            metrics: ServeMetrics::new(),
+            metrics,
             seq: AtomicU64::new(1),
             client_seq: AtomicU64::new(1),
             events,
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
             config,
         });
         let expired = Arc::downgrade(&shared);
@@ -332,6 +364,124 @@ impl Engine {
         self.shared.metrics_snapshot()
     }
 
+    /// `true` once a wire `shutdown` request has asked for a graceful
+    /// drain. The process's supervision loop polls this and calls
+    /// [`Engine::drain`].
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Gracefully drains the engine: stops admitting (new requests are
+    /// shed with a retry hint), sheds every queued-but-unstarted
+    /// request the same way, lets in-flight work complete, flushes the
+    /// memo journal, writes the final metrics snapshot, and joins all
+    /// threads. Idempotent; concurrent callers race on one flag and
+    /// the loser returns immediately (the winner's join still
+    /// completes the drain).
+    ///
+    /// Every response acknowledged before the drain stays durable: the
+    /// memo flush rewrites the journal from the settled in-memory
+    /// state, retrying around injected transient faults.
+    pub fn drain(&self) -> DrainStats {
+        let shared = &self.shared;
+        if shared.draining.swap(true, Ordering::SeqCst) {
+            return DrainStats::default();
+        }
+        let queued = shared.queue.depth();
+        let served_before = shared.metrics.served.value();
+        shared.emit(Event::DrainBegin {
+            queued: queued.min(u32::MAX as usize) as u32,
+        });
+
+        // Shed everything still waiting in the queue. Entries whose
+        // deadline already fired were answered by the watchdog; the
+        // `complete` race keeps us silent for those.
+        let waiting = shared.queue.drain_matching(usize::MAX, |_| true);
+        let mut shed = 0u32;
+        for entry in waiting {
+            if shared.sup().complete(entry.seq).is_none() {
+                continue;
+            }
+            shed += 1;
+            let retry_after_ms = shared.queue.shed_hint();
+            shared.metrics.shed.inc();
+            shared.metrics.inflight.sub(1);
+            shared.emit(Event::RequestShed {
+                request: entry.seq,
+                retry_after_ms,
+            });
+            shared.respond(
+                entry.client,
+                Response::Error {
+                    id: Some(entry.request.id),
+                    reject: Reject::Overloaded { retry_after_ms },
+                },
+            );
+            shared.queue.done(entry.client);
+        }
+
+        // In-flight work: close the queue so workers exit after their
+        // current batch, then wait for them.
+        shared.queue.close();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        // A backoff retry scheduled just before the drain began may
+        // re-enter the queue after the workers exited; settle those now
+        // rather than leaving their clients waiting forever.
+        for entry in shared.queue.drain_matching(usize::MAX, |_| true) {
+            shared.settle_failed(
+                &entry,
+                "server drained before a scheduled retry could run".to_string(),
+            );
+        }
+
+        // Flush durable state. The journal is already consistent (every
+        // put rewrote it atomically); the flush re-commits it and is
+        // retried so a transient injected fault mid-drain cannot lose
+        // acknowledged results.
+        let mut flushed = Ok(());
+        for _ in 0..3 {
+            flushed = shared.memo.flush();
+            if flushed.is_ok() {
+                break;
+            }
+        }
+        if let Err(e) = flushed {
+            cwp_obs::obs_warn!("memo flush on drain failed: {e}");
+        }
+
+        let completed = shared
+            .metrics
+            .served
+            .value()
+            .saturating_sub(served_before)
+            .min(u64::from(u32::MAX)) as u32;
+        shared.emit(Event::DrainDone { shed, completed });
+
+        // Final metrics snapshot (the snapshot thread writes one on
+        // its way out), then the watchdog.
+        shared.stopping.store(true, Ordering::Relaxed);
+        if let Some(snapshotter) = self.snapshotter.lock().expect("snapshotter lock").take() {
+            let _ = snapshotter.join();
+        }
+        if let Some(sup) = shared.supervisor.get() {
+            sup.shutdown();
+        }
+        DrainStats {
+            queued: queued.min(u32::MAX as usize) as u32,
+            shed,
+            completed,
+        }
+    }
+
     /// Stops accepting work, drains the queue, and joins the workers.
     pub fn shutdown(&self) {
         self.shared.stopping.store(true, Ordering::Relaxed);
@@ -404,8 +554,34 @@ impl Shared {
                 );
                 return;
             }
+            // A shutdown request is acked immediately; the process's
+            // supervision loop observes the flag and runs the drain.
+            Ok(Incoming::Shutdown { id }) => {
+                self.drain_requested.store(true, Ordering::SeqCst);
+                self.respond(client, Response::Draining { id });
+                return;
+            }
             Ok(Incoming::Sim(request)) => request,
         };
+        // A draining engine admits nothing: every new simulation
+        // request is shed with a retry hint so clients fail over.
+        if self.draining.load(Ordering::SeqCst) {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let retry_after_ms = self.queue.shed_hint();
+            self.metrics.shed.inc();
+            self.emit(Event::RequestShed {
+                request: seq,
+                retry_after_ms,
+            });
+            self.respond(
+                client,
+                Response::Error {
+                    id: Some(request.id),
+                    reject: Reject::Overloaded { retry_after_ms },
+                },
+            );
+            return;
+        }
         if workloads::by_name(&request.workload).is_none() {
             let detail = format!("unknown workload {:?}", request.workload);
             self.respond(
@@ -650,30 +826,47 @@ impl Shared {
 /// snapshot is written on shutdown.
 fn snapshot_loop(shared: &Shared, path: &std::path::Path) {
     let tick = Duration::from_millis(25);
+    let io = &shared.config.io;
     loop {
         let mut waited = Duration::ZERO;
         while waited < shared.config.metrics_period {
             if shared.stopping.load(Ordering::Relaxed) {
-                let _ = write_snapshot_atomic(path, &shared.metrics_snapshot());
+                // The final snapshot must survive injected faults: it
+                // is what harnesses reconcile against, so retry a few
+                // times before giving up.
+                let mut wrote = Ok(());
+                for _ in 0..3 {
+                    wrote = write_snapshot_atomic(io, path, &shared.metrics_snapshot());
+                    if wrote.is_ok() {
+                        break;
+                    }
+                }
+                if let Err(e) = wrote {
+                    cwp_obs::obs_warn!("final metrics snapshot write failed: {e}");
+                }
                 return;
             }
             std::thread::sleep(tick);
             waited += tick;
         }
-        if let Err(e) = write_snapshot_atomic(path, &shared.metrics_snapshot()) {
+        if let Err(e) = write_snapshot_atomic(io, path, &shared.metrics_snapshot()) {
             cwp_obs::obs_warn!("metrics snapshot write failed: {e}");
         }
     }
 }
 
-/// Atomically replaces `path` with the rendered snapshot.
-fn write_snapshot_atomic(path: &std::path::Path, snapshot: &Json) -> std::io::Result<()> {
+/// Atomically replaces `path` with the rendered snapshot via the
+/// write-then-rename helper, so readers (and crashes) never observe a
+/// torn snapshot.
+fn write_snapshot_atomic(
+    io: &dyn ChaosIo,
+    path: &std::path::Path,
+    snapshot: &Json,
+) -> std::io::Result<()> {
     let mut line = String::new();
     snapshot.write(&mut line);
     line.push('\n');
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, line)?;
-    std::fs::rename(&tmp, path)
+    cwp_chaos::write_atomic(io, path, line.as_bytes())
 }
 
 fn worker_loop(shared: &Shared) {
@@ -854,6 +1047,15 @@ fn retry_or_fail(shared: &Shared, entry: Entry) {
             shared.config.max_attempts
         );
         shared.settle_failed(&entry, detail);
+        return;
+    }
+    // A draining engine has no future in which a backoff retry could
+    // run: settle now so the client is never left waiting.
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.settle_failed(
+            &entry,
+            "worker panicked while the server was draining".to_string(),
+        );
         return;
     }
     let delay = backoff_delay(

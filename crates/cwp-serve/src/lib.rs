@@ -36,9 +36,11 @@ pub mod queue;
 pub mod server;
 
 pub use client::Client;
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{DrainStats, Engine, EngineConfig, EngineStats};
 pub use memo::MemoStore;
-pub use protocol::{Reject, Request, Response, ResultSummary, MAX_LINE_BYTES};
+pub use protocol::{
+    shutdown_request_line, Reject, Request, Response, ResultSummary, MAX_LINE_BYTES,
+};
 pub use queue::AdmissionQueue;
 pub use server::{serve_stdin, Server};
 
@@ -383,6 +385,148 @@ mod tests {
     }
 
     #[test]
+    fn drain_answers_every_request_exactly_once_and_reports_the_split() {
+        let engine = test_engine(|c| {
+            c.workers = 1;
+            c.queue_capacity = 64;
+            c.per_client_inflight = 1000;
+        });
+        let (client, responses) = engine.attach_client();
+        for id in 0..12 {
+            engine.submit(client, &request(id, "ccom", 1 << (7 + (id % 6))).to_line());
+        }
+        let stats = engine.drain();
+        let mut ok = 0u32;
+        let mut shed = 0u32;
+        for _ in 0..12 {
+            match responses.recv_timeout(Duration::from_secs(60)).unwrap() {
+                Response::Ok { .. } => ok += 1,
+                Response::Error {
+                    reject: Reject::Overloaded { retry_after_ms },
+                    ..
+                } => {
+                    assert!(retry_after_ms >= 25, "shed must carry a retry hint");
+                    shed += 1;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(ok + shed, 12, "every request gets exactly one response");
+        assert_eq!(stats.completed, ok);
+        assert_eq!(stats.shed, shed);
+        assert!(shed > 0, "a 12-burst on one worker must shed on drain");
+        // A request submitted after the drain is shed immediately.
+        engine.submit(client, &request(99, "ccom", 4096).to_line());
+        match responses.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Response::Error {
+                id: Some(99),
+                reject: Reject::Overloaded { .. },
+            } => {}
+            other => panic!("expected post-drain shed, got {other:?}"),
+        }
+        // Drain is idempotent: the loser of the race reports nothing.
+        assert_eq!(engine.drain(), crate::engine::DrainStats::default());
+    }
+
+    #[test]
+    fn a_shutdown_request_acks_draining_and_raises_the_flag() {
+        let engine = test_engine(|_| {});
+        let (client, responses) = engine.attach_client();
+        assert!(!engine.drain_requested());
+        engine.submit(client, "{\"id\": 7, \"shutdown\": true}");
+        match responses.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Response::Draining { id: 7 } => {}
+            other => panic!("expected Draining ack, got {other:?}"),
+        }
+        assert!(engine.drain_requested());
+        engine.drain();
+    }
+
+    #[test]
+    fn drain_under_injected_io_faults_keeps_acknowledged_results_durable() {
+        use cwp_chaos::{FaultPlan, FaultyIo, IoHandle, RealIo};
+
+        let dir = std::env::temp_dir().join(format!("cwp-drain-chaos-{}", std::process::id()));
+        let memo_dir = dir.join("memo");
+        let metrics_path = dir.join("metrics.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let faulty = Arc::new(FaultyIo::new(FaultPlan::transient_only(100_000, 0xD4A1)));
+        let engine = test_engine(|c| {
+            c.workers = 1;
+            c.memo_dir = Some(memo_dir.clone());
+            c.metrics_path = Some(metrics_path.clone());
+            c.metrics_period = Duration::from_millis(20);
+            c.io = IoHandle::new(Arc::clone(&faulty) as Arc<dyn cwp_chaos::ChaosIo>);
+        });
+        let (client, responses) = engine.attach_client();
+        for id in 0..8 {
+            engine.submit(client, &request(id, "ccom", 1 << (7 + (id % 8))).to_line());
+        }
+        // Let some work land, then drain with faults still firing.
+        let first = responses.recv_timeout(Duration::from_secs(60)).unwrap();
+        engine.drain();
+        let mut acknowledged = vec![first];
+        while let Ok(response) = responses.recv_timeout(Duration::from_secs(10)) {
+            acknowledged.push(response);
+        }
+        let ok_count = acknowledged
+            .iter()
+            .filter(|r| matches!(r, Response::Ok { .. }))
+            .count();
+        assert!(ok_count >= 1);
+        assert_eq!(acknowledged.len(), 8, "every request answered during drain");
+
+        // Every acknowledged Ok is durable: a fresh store over the same
+        // journal (no faults) reloads at least that many clean entries.
+        let reloaded = crate::MemoStore::open_with_io(&memo_dir, Arc::new(RealIo)).unwrap();
+        assert_eq!(reloaded.corrupt_lines(), 0, "journal must never tear");
+        let distinct_ok: std::collections::HashSet<u64> = acknowledged
+            .iter()
+            .filter_map(|r| match r {
+                Response::Ok { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            reloaded.len() >= distinct_ok.len(),
+            "memo lost acknowledged results: {} < {}",
+            reloaded.len(),
+            distinct_ok.len()
+        );
+        // The final snapshot is atomic: present means parseable.
+        if let Ok(text) = std::fs::read_to_string(&metrics_path) {
+            cwp_obs::Json::parse(text.trim()).expect("snapshot must parse");
+        }
+        assert!(
+            faulty.stats().injected() > 0,
+            "the fault plan never fired; the test proved nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_drained_memo_warm_starts_the_next_engine() {
+        let dir = std::env::temp_dir().join(format!("cwp-drain-warm-{}", std::process::id()));
+        let memo_dir = dir.join("memo");
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let engine = test_engine(|c| c.memo_dir = Some(memo_dir.clone()));
+            let (client, responses) = engine.attach_client();
+            engine.submit(client, &request(1, "ccom", 4096).to_line());
+            expect_ok(&responses.recv_timeout(Duration::from_secs(60)).unwrap());
+            engine.drain();
+        }
+        let engine = test_engine(|c| c.memo_dir = Some(memo_dir.clone()));
+        let (client, responses) = engine.attach_client();
+        engine.submit(client, &request(2, "ccom", 4096).to_line());
+        let response = responses.recv_timeout(Duration::from_secs(60)).unwrap();
+        let (_, memo_hit, _) = expect_ok(&response);
+        assert!(memo_hit, "a drained journal must warm-start the restart");
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn the_tcp_server_round_trips_requests() {
         let engine = Arc::new(test_engine(|_| {}));
         let mut server = crate::Server::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
@@ -406,5 +550,21 @@ mod tests {
         let (_, memo_hit, _) = expect_ok(&response);
         assert!(memo_hit, "same workload and config → memo hit");
         server.shutdown();
+    }
+
+    #[test]
+    fn a_tcp_shutdown_request_acks_and_the_server_drains_cleanly() {
+        let engine = Arc::new(test_engine(|_| {}));
+        let mut server = crate::Server::bind(Arc::clone(&engine), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let mut client = crate::Client::connect(&addr).unwrap();
+        expect_ok(&client.call(&request(1, "ccom", 2048)).unwrap());
+        client.request_shutdown(2).unwrap();
+        assert!(
+            engine.drain_requested(),
+            "the wire shutdown must raise the drain flag"
+        );
+        let stats = server.drain();
+        assert_eq!(stats.queued, 0, "an idle server has nothing queued");
     }
 }

@@ -10,15 +10,22 @@
 //! not fatal) because a SIGKILL can land mid-write of the temporary
 //! file before the rename — the previous complete journal is what the
 //! rename protects, and the lenient read guards against pre-rename
-//! interruptions of older, non-atomic writers.
+//! interruptions of older, non-atomic writers. Corrupt lines that are
+//! *not* the torn tail are counted in [`MemoStore::corrupt_lines`] and
+//! logged once, never silently dropped.
+//!
+//! All disk traffic moves through a [`ChaosIo`] backend ([`RealIo`] in
+//! production), which is what lets the chaos harness inject storage
+//! faults under the journal and crash-explore every write boundary.
 
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use cwp_chaos::{read_jsonl_tolerant_io, write_jsonl_atomic_io, ChaosIo, RealIo};
 use cwp_obs::json::Json;
-use cwp_obs::jsonl::{read_jsonl_tolerant, write_jsonl_atomic};
+use cwp_obs::obs_warn;
 
 use crate::protocol::ResultSummary;
 
@@ -28,7 +35,11 @@ pub const MEMO_FILE: &str = "memo.jsonl";
 /// A crash-safe `(trace_hash, config) -> result` store.
 pub struct MemoStore {
     path: Option<PathBuf>,
+    io: Arc<dyn ChaosIo>,
     entries: Mutex<HashMap<(u64, String), ResultSummary>>,
+    /// Journal lines skipped on reload because they failed to decode
+    /// (excluding a torn final line, which is the expected crash tail).
+    corrupt_lines: u64,
 }
 
 impl MemoStore {
@@ -36,36 +47,74 @@ impl MemoStore {
     pub fn ephemeral() -> Self {
         MemoStore {
             path: None,
+            io: Arc::new(RealIo),
             entries: Mutex::new(HashMap::new()),
+            corrupt_lines: 0,
         }
     }
 
     /// Opens (or creates) the journal under `dir`, replaying any
     /// entries a previous incarnation of the server persisted.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or mid-file journal corruption.
     pub fn open(dir: &Path) -> io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        MemoStore::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// As [`MemoStore::open`], but with every disk operation routed
+    /// through `io` — the chaos-injection seam.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or mid-file journal corruption.
+    pub fn open_with_io(dir: &Path, io: Arc<dyn ChaosIo>) -> io::Result<Self> {
+        cwp_chaos::retry_interrupted(|| io.create_dir_all(dir))?;
         let path = dir.join(MEMO_FILE);
         let mut entries = HashMap::new();
-        if path.exists() {
-            let doc = read_jsonl_tolerant(&path)?;
+        let mut corrupt_lines = 0u64;
+        if io.exists(&path) {
+            let doc = read_jsonl_tolerant_io(&io, &path)?;
             for line in &doc.lines {
-                if let Some(entry) = decode_entry(line) {
-                    let (hash, key, result) = entry;
+                if let Some((hash, key, result)) = decode_entry(line) {
                     entries.insert((hash, key), result);
+                } else {
+                    corrupt_lines += 1;
                 }
+            }
+            if corrupt_lines > 0 {
+                obs_warn!(
+                    "memo journal {}: skipped {corrupt_lines} corrupt line(s) on reload",
+                    path.display()
+                );
             }
         }
         Ok(MemoStore {
             path: Some(path),
+            io,
             entries: Mutex::new(entries),
+            corrupt_lines,
         })
+    }
+
+    /// Journal lines that failed to decode on reload (torn final line
+    /// excluded). Exported as the `memo_corrupt_lines` counter.
+    pub fn corrupt_lines(&self) -> u64 {
+        self.corrupt_lines
+    }
+
+    /// Locks the entry map, recovering from poisoning: a writer that
+    /// panicked between map insert and journal write leaves a coherent
+    /// map (at worst an entry the journal doesn't have yet), and one
+    /// panicked writer must not take down every later memo lookup.
+    fn entries(&self) -> MutexGuard<'_, HashMap<(u64, String), ResultSummary>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Looks up a memoized result.
     pub fn get(&self, trace_hash: u64, config_key: &str) -> Option<ResultSummary> {
-        self.entries
-            .lock()
-            .expect("memo lock")
+        self.entries()
             .get(&(trace_hash, config_key.to_string()))
             .cloned()
     }
@@ -73,6 +122,11 @@ impl MemoStore {
     /// Inserts a result and, when backed by disk, rewrites the journal
     /// atomically. Re-inserting an existing key is a no-op (no journal
     /// churn), which keeps duplicate in-flight computations cheap.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the journal rewrite fails; the in-memory entry is
+    /// kept, so a later insert retries the full journal.
     pub fn put(
         &self,
         trace_hash: u64,
@@ -80,7 +134,7 @@ impl MemoStore {
         result: ResultSummary,
     ) -> io::Result<()> {
         let lines = {
-            let mut entries = self.entries.lock().expect("memo lock");
+            let mut entries = self.entries();
             if entries.get(&(trace_hash, config_key.clone())) == Some(&result) {
                 return Ok(());
             }
@@ -106,12 +160,41 @@ impl MemoStore {
             }
         };
         let path = self.path.as_ref().expect("checked above");
-        write_jsonl_atomic(path, &lines)
+        write_jsonl_atomic_io(&self.io, path, &lines)
+    }
+
+    /// Rewrites the journal from the current in-memory entries — the
+    /// drain-time flush that makes every acknowledged response durable
+    /// even if its original `put` lost a race with an injected fault.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the journal rewrite fails.
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let lines = {
+            let entries = self.entries();
+            let mut lines: Vec<Json> = entries
+                .iter()
+                .map(|((hash, key), result)| encode_entry(*hash, key, result))
+                .collect();
+            lines.sort_by(|a, b| {
+                let mut sa = String::new();
+                let mut sb = String::new();
+                a.write(&mut sa);
+                b.write(&mut sb);
+                sa.cmp(&sb)
+            });
+            lines
+        };
+        write_jsonl_atomic_io(&self.io, path, &lines)
     }
 
     /// Number of memoized results.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("memo lock").len()
+        self.entries().len()
     }
 
     /// `true` when nothing has been memoized yet.
@@ -191,6 +274,7 @@ mod tests {
         fs::write(&path, &text[..cut]).unwrap();
         let store = MemoStore::open(&dir).unwrap();
         assert_eq!(store.len(), 1, "only the intact line survives");
+        assert_eq!(store.corrupt_lines(), 0, "a torn tail is not corruption");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -211,6 +295,64 @@ mod tests {
             .unwrap();
         assert_eq!(before, after);
         assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_mid_journal_lines_are_counted_not_silently_skipped() {
+        let dir = std::env::temp_dir().join(format!("cwp-memo-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let store = MemoStore::open(&dir).unwrap();
+            store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+            store.put(2, "cfg-b".to_string(), sample(22)).unwrap();
+        }
+        // Valid JSON lines that are not memo entries: decodable by the
+        // tolerant reader, undecodable as entries.
+        let path = dir.join(MEMO_FILE);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.insert_str(
+            0,
+            "{\"not\":\"a memo entry\"}\n{\"trace\":\"wrong type\"}\n",
+        );
+        fs::write(&path, text).unwrap();
+        let store = MemoStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2, "intact entries still load");
+        assert_eq!(store.corrupt_lines(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_poisoned_lock_does_not_take_down_later_lookups() {
+        let store = std::sync::Arc::new(MemoStore::ephemeral());
+        store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+        // Poison the entries mutex by panicking while holding it.
+        let poisoner = store.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.entries.lock().unwrap();
+            panic!("poison the memo lock");
+        })
+        .join();
+        assert!(store.entries.lock().is_err(), "the lock really is poisoned");
+        // Every operation still works.
+        assert_eq!(store.get(1, "cfg-a").unwrap().digest, 11);
+        store.put(2, "cfg-b".to_string(), sample(22)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+        store.flush().unwrap();
+    }
+
+    #[test]
+    fn flush_persists_in_memory_entries_identically_to_puts() {
+        let dir = std::env::temp_dir().join(format!("cwp-memo-flush-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = MemoStore::open(&dir).unwrap();
+        store.put(1, "cfg-a".to_string(), sample(11)).unwrap();
+        store.put(2, "cfg-b".to_string(), sample(22)).unwrap();
+        let journal = fs::read_to_string(dir.join(MEMO_FILE)).unwrap();
+        store.flush().unwrap();
+        let after = fs::read_to_string(dir.join(MEMO_FILE)).unwrap();
+        assert_eq!(journal, after, "flush rewrites the same bytes");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -254,6 +254,13 @@ pub enum Response {
         /// The snapshot object (see `Engine::metrics_snapshot`).
         snapshot: Json,
     },
+    /// Acknowledgement of a `shutdown` request: the drain has begun.
+    /// Queued requests are shed with retry hints; in-flight work
+    /// completes; then the server flushes its durable state and exits.
+    Draining {
+        /// Echo of the request id.
+        id: u64,
+    },
     /// The request was rejected or failed.
     Error {
         /// Echo of the request id when one could be parsed.
@@ -290,6 +297,11 @@ impl Response {
                 ("id", Json::UInt(*id)),
                 ("ok", Json::Bool(true)),
                 ("metrics", snapshot.clone()),
+            ]),
+            Response::Draining { id } => Json::obj([
+                ("id", Json::UInt(*id)),
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(true)),
             ]),
             Response::Error { id, reject } => {
                 let id_json = match id {
@@ -340,6 +352,9 @@ impl Response {
                     id,
                     snapshot: snapshot.clone(),
                 });
+            }
+            if json.get("draining").and_then(Json::as_bool) == Some(true) {
+                return Ok(Response::Draining { id });
             }
             let result = ResultSummary::from_json(
                 json.get("result")
@@ -641,6 +656,14 @@ pub enum Incoming {
         /// Client-chosen identifier echoed back in the response.
         id: u64,
     },
+    /// `{"id": N, "shutdown": true}` — begin a graceful drain: stop
+    /// admitting, shed the waiting queue with retry hints, complete
+    /// in-flight work, flush durable state, and exit cleanly. The ack
+    /// is sent immediately; the drain proceeds asynchronously.
+    Shutdown {
+        /// Client-chosen identifier echoed back in the response.
+        id: u64,
+    },
 }
 
 /// The wire line for a metrics request.
@@ -648,10 +671,16 @@ pub fn metrics_request_line(id: u64) -> String {
     format!("{{\"id\":{id},\"metrics\":true}}")
 }
 
+/// The wire line for a graceful-shutdown request.
+pub fn shutdown_request_line(id: u64) -> String {
+    format!("{{\"id\":{id},\"shutdown\":true}}")
+}
+
 impl Incoming {
     /// Parses one wire line, enforcing the size cap. A line carrying a
-    /// `metrics` field is a control request (its only other legal
-    /// field is `id`); anything else follows [`Request::from_line`].
+    /// `metrics` or `shutdown` field is a control request (its only
+    /// other legal field is `id`); anything else follows
+    /// [`Request::from_line`].
     pub fn from_line(line: &str) -> Result<Incoming, (Option<u64>, Reject)> {
         if line.len() > MAX_LINE_BYTES {
             return Err((
@@ -672,9 +701,13 @@ impl Incoming {
                 },
             )
         })?;
-        if json.get("metrics").is_none() {
+        let control = if json.get("metrics").is_some() {
+            "metrics"
+        } else if json.get("shutdown").is_some() {
+            "shutdown"
+        } else {
             return Request::from_json(&json).map(Incoming::Sim);
-        }
+        };
         let id = json.get("id").and_then(Json::as_u64);
         let bad = |detail: String| (id, Reject::BadRequest { detail });
         let pairs = match &json {
@@ -682,18 +715,21 @@ impl Incoming {
             _ => return Err(bad("request must be a JSON object".to_string())),
         };
         for (key, _) in pairs {
-            if key != "id" && key != "metrics" {
-                return Err(bad(format!("unknown metrics request field {key:?}")));
+            if key != "id" && key != control {
+                return Err(bad(format!("unknown {control} request field {key:?}")));
             }
         }
-        if json.get("metrics").and_then(Json::as_bool) != Some(true) {
-            return Err(bad(
-                "request field \"metrics\" must be the boolean true".to_string()
-            ));
+        if json.get(control).and_then(Json::as_bool) != Some(true) {
+            return Err(bad(format!(
+                "request field {control:?} must be the boolean true"
+            )));
         }
         let id =
-            id.ok_or_else(|| bad("metrics request missing unsigned field \"id\"".to_string()))?;
-        Ok(Incoming::Metrics { id })
+            id.ok_or_else(|| bad(format!("{control} request missing unsigned field \"id\"")))?;
+        Ok(match control {
+            "metrics" => Incoming::Metrics { id },
+            _ => Incoming::Shutdown { id },
+        })
     }
 }
 
@@ -862,6 +898,29 @@ mod tests {
                 other => panic!("line {line:?} gave {other:?}, expected BadRequest"),
             }
         }
+    }
+
+    #[test]
+    fn shutdown_lines_parse_as_control_requests() {
+        match Incoming::from_line(&shutdown_request_line(9)) {
+            Ok(Incoming::Shutdown { id: 9 }) => {}
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
+        for line in [
+            "{\"shutdown\": true}",                               // missing id
+            "{\"id\": 1, \"shutdown\": false}",                   // not true
+            "{\"id\": 1, \"shutdown\": 1}",                       // wrong type
+            "{\"id\": 1, \"shutdown\": true, \"x\": 2}",          // unknown field
+            "{\"id\": 1, \"shutdown\": true, \"metrics\": true}", // mixed controls
+        ] {
+            match Incoming::from_line(line) {
+                Err((_, Reject::BadRequest { .. })) => {}
+                other => panic!("line {line:?} gave {other:?}, expected BadRequest"),
+            }
+        }
+        // The drain ack round-trips.
+        let ack = Response::Draining { id: 9 };
+        assert_eq!(Response::from_line(&ack.to_line()).unwrap(), ack);
     }
 
     #[test]

@@ -218,6 +218,13 @@ impl AdmissionQueue {
     fn retry_hint(&self, depth: usize) -> u64 {
         25 + 5 * depth as u64
     }
+
+    /// The retry hint a request shed right now would carry — the same
+    /// depth-proportional backoff [`Shed`] rejections use. A draining
+    /// engine attaches this to the requests it refuses.
+    pub fn shed_hint(&self) -> u64 {
+        self.retry_hint(self.depth())
+    }
 }
 
 #[cfg(test)]

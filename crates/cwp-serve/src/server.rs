@@ -77,15 +77,33 @@ impl Server {
     /// Stops accepting connections and shuts the engine down. Open
     /// connections wind down as their clients disconnect.
     pub fn shutdown(&mut self) {
+        if self.stop_accepting() {
+            self.engine.shutdown();
+        }
+    }
+
+    /// Gracefully drains: stops accepting new connections, then runs
+    /// [`Engine::drain`] — in-flight work completes, the waiting queue
+    /// is shed with retry hints, and durable state (memo journal,
+    /// final metrics snapshot) is flushed. Returns the drain outcome.
+    pub fn drain(&mut self) -> crate::engine::DrainStats {
+        if !self.stop_accepting() {
+            return crate::engine::DrainStats::default();
+        }
+        self.engine.drain()
+    }
+
+    /// Stops the accept loop. Returns `false` when already stopped.
+    fn stop_accepting(&mut self) -> bool {
         if self.stop.swap(true, Ordering::AcqRel) {
-            return;
+            return false;
         }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
-        self.engine.shutdown();
+        true
     }
 }
 

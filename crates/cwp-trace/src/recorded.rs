@@ -41,6 +41,8 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
+use cwp_chaos::ChaosIo;
+
 use crate::io::{TraceReader, TraceWriter};
 use crate::record::{AccessKind, MemRef};
 use crate::scale::Scale;
@@ -204,8 +206,22 @@ impl RecordedTrace {
     ///
     /// Returns any I/O error from creating or writing the file.
     pub fn save(&self, path: &Path) -> io::Result<u64> {
-        let file = std::fs::File::create(path)?;
-        self.write_to(file)
+        self.save_with(&cwp_chaos::RealIo, path)
+    }
+
+    /// As [`RecordedTrace::save`], through a [`ChaosIo`] backend. The
+    /// file is committed with write-then-rename, so a crash (or an
+    /// injected fault) at any boundary leaves either the previous
+    /// complete trace or the new one — never a torn file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the backend's write or commit rename.
+    pub fn save_with(&self, io: &dyn ChaosIo, path: &Path) -> io::Result<u64> {
+        let mut bytes = Vec::new();
+        let records = self.write_to(&mut bytes)?;
+        cwp_chaos::write_atomic(io, path, &bytes)?;
+        Ok(records)
     }
 
     /// As [`RecordedTrace::save`], onto any writer.
@@ -234,9 +250,22 @@ impl RecordedTrace {
     /// for a bad header, corrupt record, or truncated file, and
     /// [`TraceFileError::Io`] for underlying I/O failures.
     pub fn load(path: &Path) -> Result<Self, TraceFileError> {
+        Self::load_with(&cwp_chaos::RealIo, path)
+    }
+
+    /// As [`RecordedTrace::load`], through a [`ChaosIo`] backend. The
+    /// whole file is read first (with the backend's `EINTR` retry
+    /// loop), then decoded; a short read or corrupt content surfaces as
+    /// [`TraceFileError::Malformed`], never as a silently truncated
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`RecordedTrace::load`].
+    pub fn load_with(io: &dyn ChaosIo, path: &Path) -> Result<Self, TraceFileError> {
         let classify = |e: io::Error| TraceFileError::classify(path, e);
-        let file = std::fs::File::open(path).map_err(classify)?;
-        Self::read_from(file).map_err(classify)
+        let bytes = cwp_chaos::retry_interrupted(|| io.read(path)).map_err(classify)?;
+        Self::read_from(&bytes[..]).map_err(classify)
     }
 
     /// As [`RecordedTrace::load`], from any reader. Errors are plain
@@ -634,6 +663,54 @@ mod tests {
         assert!(matches!(e, TraceFileError::Malformed { .. }), "{e}");
         assert!(e.to_string().contains("corrupt trace file"), "{e}");
         assert_eq!(e.path(), truncated.as_path());
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chaos_backend_round_trips_or_fails_typed_never_truncates() {
+        use cwp_chaos::{FaultPlan, FaultyIo};
+
+        let dir = std::env::temp_dir().join(format!("cwp-recorded-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grr.cwptrc");
+        let w = workloads::grr();
+        let trace = RecordedTrace::record(w.as_ref(), Scale::Test);
+
+        // Transient-only faults: the EINTR retry loops absorb them and
+        // the round trip is exact.
+        let flaky = FaultyIo::new(FaultPlan::transient_only(200_000, 0x7AC3));
+        trace.save_with(&flaky, &path).unwrap();
+        assert_eq!(RecordedTrace::load_with(&flaky, &path).unwrap(), trace);
+
+        // Every fault kind at a high rate: each attempt either round
+        // trips exactly or fails with a typed error — a load never
+        // silently returns fewer records than were saved.
+        let hostile = FaultyIo::new(FaultPlan::uniform(120_000, 0x0DDC0FFE));
+        let mut exact = 0;
+        for _ in 0..50 {
+            if trace.save_with(&hostile, &path).is_err() {
+                continue; // nothing committed; path holds an old complete trace
+            }
+            match RecordedTrace::load_with(&hostile, &path) {
+                Ok(loaded) => {
+                    assert_eq!(loaded, trace, "a successful load is byte-exact");
+                    exact += 1;
+                }
+                Err(e) => assert!(
+                    matches!(
+                        e,
+                        TraceFileError::Io { .. } | TraceFileError::Malformed { .. }
+                    ),
+                    "{e}"
+                ),
+            }
+        }
+        assert!(exact > 0, "some round trips survive the fault storm");
+        assert!(
+            hostile.stats().injected() > 0,
+            "the storm actually injected faults"
+        );
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

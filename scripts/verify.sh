@@ -195,4 +195,42 @@ P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' results/BENCH_serve.json | head -n
 [ "$P99" -le 250000 ] \
     || { echo "verify: bench p99 ${P99}us above the 250ms ceiling" >&2; exit 1; }
 
+echo "==> crash-point explorer (every durable artifact, fixed seed)"
+# Records each component's real write history, crashes it at every write
+# boundary (torn-prefix states included), restarts it, and asserts the
+# documented recovery contract. 805471 == 0xC4A5F, the seed the
+# exhaustive tests in tests/crash_points.rs pin as well.
+CRASH=target/release/cwp-crash
+"$CRASH" --seed 805471 > "$SERVE_DIR/crash.jsonl" \
+    || { echo "verify: cwp-crash found a recovery-contract violation" >&2; exit 1; }
+[ "$(grep -c '"skipped":0' "$SERVE_DIR/crash.jsonl")" -eq 4 ] \
+    || { echo "verify: crash exploration was not exhaustive" >&2; exit 1; }
+
+echo "==> graceful drain smoke (SIGTERM mid-load: exit 0 + drain summary)"
+start_serve --workers 2
+"$LOAD" --addr "$SERVE_ADDR" --requests 400 --clients 2 --quiet \
+    > /dev/null 2>&1 &
+LOAD_PID=$!
+sleep 0.3
+kill -TERM "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" \
+    || { echo "verify: SIGTERMed server did not exit 0" >&2; exit 1; }
+grep -q 'drained (completed' "$SERVE_DIR/serve.err" \
+    || { echo "verify: drained server printed no drain summary" >&2; exit 1; }
+# The load generator may have lost its server mid-run; its exit status
+# is not part of this gate.
+wait "$LOAD_PID" 2>/dev/null || true
+SERVE_PID=""
+# Everything the drained server acknowledged must come back memoized.
+start_serve --workers 2
+"$LOAD" --addr "$SERVE_ADDR" --requests 200 --clients 1 \
+    > "$SERVE_DIR/post-drain.json" \
+    || { echo "verify: cwp-load failed after a graceful drain" >&2; exit 1; }
+POST_DRAIN_HITS=$(sed -n 's/.*"memo_hits":\([0-9]*\).*/\1/p' "$SERVE_DIR/post-drain.json")
+[ "${POST_DRAIN_HITS:-0}" -gt 0 ] \
+    || { echo "verify: post-drain server resumed cold (no memo hits)" >&2; exit 1; }
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
 echo "verify: OK"

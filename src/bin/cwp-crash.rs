@@ -1,0 +1,111 @@
+//! `cwp-crash` — the crash-point explorer gate.
+//!
+//! ```text
+//! cwp-crash [--seed N] [--budget N]
+//!           [--artifact memo|checkpoint|trace|snapshot|all]
+//! ```
+//!
+//! For each durable artifact (serve memo journal, runner checkpoint,
+//! recorded trace files, metrics snapshots) this records the
+//! component's complete write history, simulates a crash at every
+//! write boundary — torn-prefix states included — and restarts the
+//! component at each, asserting its documented recovery contract (see
+//! `cwp::crash`). Prints one JSON report line per artifact and exits
+//! nonzero on the first contract violation, so CI can gate on it.
+//!
+//! The exploration is deterministic for a fixed `--seed`; `--budget`
+//! caps the crash states checked per artifact (endpoints always kept).
+
+use std::process::ExitCode;
+
+use cwp::crash::{
+    explore_all, explore_checkpoint, explore_memo, explore_snapshot, explore_trace, ArtifactReport,
+};
+
+fn usage() -> &'static str {
+    "usage: cwp-crash [--seed N] [--budget N]\n  \
+     [--artifact memo|checkpoint|trace|snapshot|all]"
+}
+
+fn report(reports: &[ArtifactReport]) {
+    for r in reports {
+        let mut line = String::new();
+        r.to_json().write(&mut line);
+        println!("{line}");
+    }
+}
+
+fn main() -> ExitCode {
+    // The checkpoint driver restarts the runner at every crash point;
+    // its per-resume progress lines are noise here. CWP_LOG still wins
+    // when set explicitly.
+    if std::env::var_os("CWP_LOG").is_none() {
+        cwp::obs::log::set_level(cwp::obs::log::Level::Warn);
+    }
+
+    let mut args = std::env::args().skip(1);
+    let mut seed = 0xC4A5Fu64;
+    let mut budget = usize::MAX;
+    let mut artifact = "all".to_string();
+
+    macro_rules! next_value {
+        ($flag:expr) => {
+            match args.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("cwp-crash: {} needs a value\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    macro_rules! next_number {
+        ($flag:expr) => {
+            match next_value!($flag).parse::<u64>() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("cwp-crash: {} needs an unsigned number\n{}", $flag, usage());
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => seed = next_number!("--seed"),
+            "--budget" => budget = next_number!("--budget") as usize,
+            "--artifact" => artifact = next_value!("--artifact"),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cwp-crash: unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match artifact.as_str() {
+        "all" => explore_all(seed, budget),
+        "memo" => explore_memo(seed, budget).map(|r| vec![r]),
+        "checkpoint" => explore_checkpoint(seed, budget).map(|r| vec![r]),
+        "trace" => explore_trace(seed, budget).map(|r| vec![r]),
+        "snapshot" => explore_snapshot(seed, budget).map(|r| vec![r]),
+        other => {
+            eprintln!("cwp-crash: unknown artifact {other:?}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(reports) => {
+            report(&reports);
+            ExitCode::SUCCESS
+        }
+        Err(violation) => {
+            eprintln!("cwp-crash: recovery contract violated: {violation}");
+            ExitCode::FAILURE
+        }
+    }
+}

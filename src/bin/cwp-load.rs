@@ -96,6 +96,7 @@ struct Totals {
     bad_request: AtomicU64,
     transport_errors: AtomicU64,
     digest_mismatches: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 struct Run {
@@ -118,6 +119,10 @@ struct Run {
     /// Server-reported simulation time summed over timed-run
     /// responses, µs (memo hits contribute nothing here).
     compute_us: AtomicU64,
+    /// The most recent `retry_after_ms` hint any thread saw — a
+    /// draining server attaches one to every shed request, and a
+    /// reconnecting client honors it before dialing back in.
+    retry_hint_ms: AtomicU64,
 }
 
 impl Run {
@@ -163,6 +168,10 @@ impl Run {
         let mut rng = SplitMix64::seed_from_u64(self.seed ^ (thread.wrapping_mul(0x9e37)));
         let mut next_id = 1u64;
         let mut issued = 0u64;
+        // One reconnect per client thread: enough to ride out a
+        // draining server's connection close without masking a server
+        // that is genuinely gone.
+        let mut reconnects_left = 1u32;
         // id -> (grid index, send time) for every request still
         // awaiting a response.
         let mut outstanding: HashMap<u64, (usize, Instant)> = HashMap::new();
@@ -171,24 +180,61 @@ impl Run {
         while issued < self.quota || !outstanding.is_empty() || !parked.is_empty() {
             // Re-send parked (shed) requests whose backoff elapsed.
             let now = Instant::now();
+            let mut transport_error: Option<std::io::Error> = None;
             let mut still_parked = Vec::new();
             for (index, not_before) in parked.drain(..) {
-                if now >= not_before && outstanding.len() < self.window {
-                    if self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
-                        continue;
+                if transport_error.is_none() && now >= not_before && outstanding.len() < self.window
+                {
+                    match self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
+                        Ok(()) => continue,
+                        // The send failed before the point entered the
+                        // window; keep it parked so the resend (after a
+                        // reconnect) cannot lose it.
+                        Err(e) => transport_error = Some(e),
                     }
-                    return; // transport error already counted
                 }
                 still_parked.push((index, not_before));
             }
             parked = still_parked;
+            if let Some(error) = transport_error {
+                if self.reconnect_or_give_up(
+                    &mut client,
+                    &mut outstanding,
+                    &mut parked,
+                    &mut reconnects_left,
+                    &error,
+                ) {
+                    continue;
+                }
+                return;
+            }
             // Top the window up with fresh requests.
+            let mut transport_error = None;
             while issued < self.quota && outstanding.len() < self.window {
                 let index = rng.below(self.grid.len() as u64) as usize;
-                if !self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
-                    return;
+                match self.send_point(&mut client, &mut next_id, &mut outstanding, index) {
+                    Ok(()) => issued += 1,
+                    Err(e) => {
+                        // The point still counts against the quota but
+                        // parks for resend after the reconnect.
+                        parked.push((index, Instant::now()));
+                        issued += 1;
+                        transport_error = Some(e);
+                        break;
+                    }
                 }
-                issued += 1;
+            }
+            if let Some(error) = transport_error {
+                if self.reconnect_or_give_up(
+                    &mut client,
+                    &mut outstanding,
+                    &mut parked,
+                    &mut reconnects_left,
+                    &error,
+                ) {
+                    continue;
+                }
+                return;
             }
             if outstanding.is_empty() {
                 if let Some(soonest) = parked.iter().map(|(_, t)| *t).min() {
@@ -199,13 +245,63 @@ impl Run {
             // Drain one response.
             let response = match client.recv() {
                 Ok(response) => response,
-                Err(e) => {
-                    eprintln!("cwp-load: recv failed: {e}");
-                    self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+                Err(error) => {
+                    if self.reconnect_or_give_up(
+                        &mut client,
+                        &mut outstanding,
+                        &mut parked,
+                        &mut reconnects_left,
+                        &error,
+                    ) {
+                        continue;
+                    }
                     return;
                 }
             };
             self.account(&response, &mut outstanding, &mut parked);
+        }
+    }
+
+    /// Handles a transport failure (ECONNRESET/EPIPE from a draining
+    /// server, typically): reconnects once per client thread after
+    /// honoring the last `retry_after_ms` hint, re-parking every
+    /// outstanding request for resend on the fresh connection. Returns
+    /// `false` once the reconnect budget is spent or the new connection
+    /// fails — the error is then fatal and counted.
+    fn reconnect_or_give_up(
+        &self,
+        client: &mut Client,
+        outstanding: &mut HashMap<u64, (usize, Instant)>,
+        parked: &mut Vec<(usize, Instant)>,
+        budget: &mut u32,
+        error: &std::io::Error,
+    ) -> bool {
+        if *budget == 0 {
+            eprintln!("cwp-load: transport error: {error}");
+            self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *budget -= 1;
+        let hint = self.retry_hint_ms.load(Ordering::Relaxed).clamp(25, 500);
+        std::thread::sleep(Duration::from_millis(hint));
+        match Client::connect(&self.addr) {
+            Ok(fresh) => {
+                *client = fresh;
+                let _ = client.set_recv_timeout(Some(Duration::from_secs(120)));
+                // Responses for the old connection's in-flight requests
+                // are gone with it; resend those points immediately.
+                let now = Instant::now();
+                for (_, (index, _)) in outstanding.drain() {
+                    parked.push((index, now));
+                }
+                self.totals.reconnects.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(reconnect_error) => {
+                eprintln!("cwp-load: reconnect after {error} failed: {reconnect_error}");
+                self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
     }
 
@@ -215,7 +311,7 @@ impl Run {
         next_id: &mut u64,
         outstanding: &mut HashMap<u64, (usize, Instant)>,
         index: usize,
-    ) -> bool {
+    ) -> std::io::Result<()> {
         let point = &self.grid[index];
         let id = *next_id;
         *next_id += 1;
@@ -226,17 +322,9 @@ impl Run {
             deadline_ms: self.deadline_ms,
             priority: (id % 4) as u8,
         };
-        match client.send(&request) {
-            Ok(()) => {
-                outstanding.insert(id, (index, Instant::now()));
-                true
-            }
-            Err(e) => {
-                eprintln!("cwp-load: send failed: {e}");
-                self.totals.transport_errors.fetch_add(1, Ordering::Relaxed);
-                false
-            }
-        }
+        client.send(&request)?;
+        outstanding.insert(id, (index, Instant::now()));
+        Ok(())
     }
 
     fn account(
@@ -277,13 +365,14 @@ impl Run {
                     self.totals.coalesced.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            // The load generator never asks for metrics snapshots; an
-            // unsolicited one is ignored.
-            Response::Metrics { .. } => {}
+            // The load generator never asks for metrics snapshots or
+            // shutdown; unsolicited control acks are ignored.
+            Response::Metrics { .. } | Response::Draining { .. } => {}
             Response::Error { id, reject } => {
                 let index = id.and_then(|id| outstanding.remove(&id)).map(|(i, _)| i);
                 match reject {
                     Reject::Overloaded { retry_after_ms } => {
+                        self.retry_hint_ms.store(*retry_after_ms, Ordering::Relaxed);
                         self.totals.shed_retries.fetch_add(1, Ordering::Relaxed);
                         if let Some(index) = index {
                             let pause = Duration::from_millis((*retry_after_ms).min(100));
@@ -401,6 +490,7 @@ fn main() -> ExitCode {
         connect_us: AtomicU64::new(0),
         queue_us: AtomicU64::new(0),
         compute_us: AtomicU64::new(0),
+        retry_hint_ms: AtomicU64::new(25),
     };
     let warmup_requests = if warmup { run.grid.len() as u64 } else { 0 };
 
@@ -486,6 +576,10 @@ fn main() -> ExitCode {
         ("failed", Json::UInt(failed)),
         ("bad_request", Json::UInt(bad)),
         ("transport_errors", Json::UInt(transport)),
+        (
+            "reconnects",
+            Json::UInt(totals.reconnects.load(Ordering::Relaxed)),
+        ),
         ("digest_mismatches", Json::UInt(mismatches)),
         ("wall_ms", Json::UInt(wall_ms)),
         ("requests_per_second", Json::Num(rps)),

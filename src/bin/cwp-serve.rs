@@ -12,11 +12,18 @@
 //! Speaks the JSONL protocol (one request per line, one response per
 //! line) over TCP, or over stdin/stdout with `--stdin`. On startup the
 //! TCP mode prints `LISTENING <addr>` on stdout so harnesses binding
-//! port 0 can discover the ephemeral port. Runs until killed; with a
-//! `--memo-dir`, a killed server resumes warm from its journal.
+//! port 0 can discover the ephemeral port.
+//!
+//! SIGTERM/SIGINT (or a `{"id":N,"shutdown":true}` protocol request)
+//! triggers a graceful drain: new work is shed with retry hints,
+//! in-flight work completes, the memo journal and final metrics
+//! snapshot are flushed, and the process exits 0. SIGKILL still works
+//! as the crash path — with a `--memo-dir`, a killed server resumes
+//! warm from its journal.
 
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,6 +36,30 @@ fn usage() -> &'static str {
      [--max-batch N] [--seed N] [--fault-one-in N] [--trace-budget-mb N]\n  \
      [--memo-dir DIR] [--events FILE] [--metrics-file FILE]\n  \
      [--metrics-period-ms N]"
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by the serve loop.
+static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_signal: i32) {
+    DRAIN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM and SIGINT to [`DRAIN_SIGNAL`]. Registration
+/// failures are ignored: the signals then keep their default
+/// terminate disposition, which is the pre-drain behavior.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: the handler only stores to a static atomic, which is
+    // async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
 }
 
 fn parse_scale(text: &str) -> Option<Scale> {
@@ -122,13 +153,21 @@ fn main() -> ExitCode {
         }
     };
 
+    install_signal_handlers();
+
     if stdin_mode {
         serve_stdin(&engine);
-        engine.shutdown();
+        // A `shutdown` request (or a signal racing EOF) gets the full
+        // drain — flushes durable state and sheds nothing silently.
+        if DRAIN_SIGNAL.load(Ordering::SeqCst) || engine.drain_requested() {
+            engine.drain();
+        } else {
+            engine.shutdown();
+        }
         return ExitCode::SUCCESS;
     }
 
-    let server = match Server::bind(Arc::clone(&engine), &addr) {
+    let mut server = match Server::bind(Arc::clone(&engine), &addr) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cwp-serve: failed to bind {addr}: {e}");
@@ -137,10 +176,20 @@ fn main() -> ExitCode {
     };
     println!("LISTENING {}", server.local_addr());
     let _ = std::io::stdout().flush();
-    // Serve until killed. The chaos harness relies on SIGKILL leaving
-    // the memo journal consistent (atomic write-then-rename), so there
-    // is deliberately no graceful-shutdown signal handling here.
+    // Serve until asked to stop: SIGTERM/SIGINT or a protocol-level
+    // shutdown request begins a graceful drain and exits 0. SIGKILL
+    // remains the crash path the chaos harness relies on — atomic
+    // write-then-rename keeps the memo journal consistent without any
+    // shutdown cooperation.
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        if DRAIN_SIGNAL.load(Ordering::SeqCst) || engine.drain_requested() {
+            let stats = server.drain();
+            eprintln!(
+                "cwp-serve: drained (completed {}, shed {})",
+                stats.completed, stats.shed
+            );
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
 }

@@ -1,0 +1,323 @@
+//! Crash-point exploration drivers for every durable artifact.
+//!
+//! Each driver records one component's complete write history against
+//! an in-memory [`MemIo`](cwp_chaos::MemIo), then — via
+//! [`cwp_chaos::explore`] — simulates a crash at every write boundary
+//! of that history (including torn-prefix states) and restarts the
+//! component against the rebuilt filesystem, asserting its documented
+//! recovery contract:
+//!
+//! - **memo** ([`explore_memo`]): the reloaded memo journal is a clean
+//!   prefix of the acknowledged puts — never corrupt, never containing
+//!   an entry that was not acknowledged.
+//! - **checkpoint** ([`explore_checkpoint`]): a `--resume` run from any
+//!   crash state settles every job and reproduces the uninterrupted
+//!   run's rendered tables byte-for-byte, with zero corrupt journal
+//!   lines.
+//! - **trace** ([`explore_trace`]): a saved trace either loads
+//!   byte-identical to the original or fails with a typed
+//!   [`TraceFileError`] — it never silently truncates.
+//! - **snapshot** ([`explore_snapshot`]): the metrics snapshot file is
+//!   either absent or one complete, parseable generation.
+//!
+//! The drivers are shared by the `cwp-crash` binary (the CI gate) and
+//! the `crash_points` integration tests. Everything is deterministic
+//! for a fixed `(seed, budget)`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cwp_cache::CacheConfig;
+use cwp_chaos::{explore, ChaosIo, ExploreReport, IoHandle, MemIo};
+use cwp_core::runner::{Job, JobOutcome, Runner, RunnerConfig};
+use cwp_core::{Cell, Table};
+use cwp_obs::metrics::Registry;
+use cwp_obs::Json;
+use cwp_serve::{Engine, EngineConfig, MemoStore, Request, Response, ResultSummary};
+use cwp_trace::{workloads, RecordedTrace, Scale, TraceFileError};
+
+/// One artifact's exploration outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactReport {
+    /// Artifact name: `memo`, `checkpoint`, `trace`, or `snapshot`.
+    pub artifact: &'static str,
+    /// Mutation ops the recorded history held.
+    pub ops: usize,
+    /// What the exploration covered.
+    pub report: ExploreReport,
+}
+
+impl ArtifactReport {
+    /// The report as one JSON object (the `cwp-crash` output line).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("artifact", Json::Str(self.artifact.to_string())),
+            ("ops", Json::UInt(self.ops as u64)),
+            ("checked", Json::UInt(self.report.checked as u64)),
+            ("torn", Json::UInt(self.report.torn as u64)),
+            ("skipped", Json::UInt(self.report.skipped as u64)),
+        ])
+    }
+}
+
+/// A real simulation summary to memoize (value content does not matter
+/// to the journal contract, but a genuine one keeps the encoding path
+/// honest).
+fn sample_summary() -> ResultSummary {
+    let config = CacheConfig::builder()
+        .size_bytes(1024)
+        .build()
+        .expect("valid config");
+    let outcome = cwp_core::sim::simulate(workloads::ccom().as_ref(), Scale::Test, &config);
+    ResultSummary::from_outcome(&outcome)
+}
+
+/// Explores every crash state of a sequence of acknowledged memo puts.
+///
+/// # Errors
+///
+/// Returns the first recovery-contract violation, labeled with the
+/// crash point that exposed it.
+pub fn explore_memo(seed: u64, budget: usize) -> Result<ArtifactReport, String> {
+    let recorder = Arc::new(MemIo::new());
+    let dir = PathBuf::from("/memo");
+    let store = MemoStore::open_with_io(&dir, Arc::clone(&recorder) as Arc<dyn ChaosIo>)
+        .map_err(|e| format!("memo open: {e}"))?;
+    let summary = sample_summary();
+    let mut acknowledged: Vec<(u64, String)> = Vec::new();
+    for i in 0..5u64 {
+        let key = format!("cfg-{i}");
+        store
+            .put(0xC0FFEE + i, key.clone(), summary.clone())
+            .map_err(|e| format!("memo put {i}: {e}"))?;
+        acknowledged.push((0xC0FFEE + i, key));
+    }
+    let ops = recorder.journal();
+    let report = explore(&ops, seed, budget, |point| {
+        let reloaded = MemoStore::open_with_io(&dir, Arc::new(point.io.fork()))
+            .map_err(|e| format!("memo reopen: {e}"))?;
+        if reloaded.corrupt_lines() != 0 {
+            return Err(format!(
+                "memo journal corrupt after crash: {} line(s)",
+                reloaded.corrupt_lines()
+            ));
+        }
+        // Puts were sequential and each rewrote the journal atomically,
+        // so any crash state must reload exactly the first k puts.
+        let n = reloaded.len();
+        if n > acknowledged.len() {
+            return Err(format!("memo reloaded {n} entries, acknowledged fewer"));
+        }
+        for (hash, key) in &acknowledged[..n] {
+            if reloaded.get(*hash, key).as_ref() != Some(&summary) {
+                return Err(format!(
+                    "memo reload is not a prefix of acknowledged puts (missing {key} at size {n})"
+                ));
+            }
+        }
+        Ok(())
+    })?;
+    Ok(ArtifactReport {
+        artifact: "memo",
+        ops: ops.len(),
+        report,
+    })
+}
+
+fn checkpoint_job(index: usize) -> Job {
+    let id = format!("job-{index}");
+    let title = format!("crash-explorer job {index}");
+    Job::new(id.clone(), title, 1, move |_lab| {
+        let mut table = Table::new(&id, format!("{id} table"), "x");
+        table.columns(["value"]);
+        table.row("row", [Cell::Num(index as f64 + 0.5)]);
+        Ok(vec![table])
+    })
+}
+
+/// Rendered-output fingerprint used to compare a resumed run against
+/// the uninterrupted baseline.
+fn run_fingerprint(results: &[cwp_core::JobResult]) -> Vec<(String, String)> {
+    results
+        .iter()
+        .map(|r| {
+            let rendered: String = r
+                .tables
+                .iter()
+                .map(|t| format!("{}\n{}", t.markdown, t.csv))
+                .collect();
+            (r.id.clone(), rendered)
+        })
+        .collect()
+}
+
+/// Explores every crash state of a journaled runner grid and asserts a
+/// `--resume` from each reproduces the uninterrupted run byte-for-byte.
+///
+/// # Errors
+///
+/// Returns the first recovery-contract violation, labeled with the
+/// crash point that exposed it.
+pub fn explore_checkpoint(seed: u64, budget: usize) -> Result<ArtifactReport, String> {
+    // The journal goes through MemIo, but the runner's event stream
+    // (`runner.jsonl`, observability-only) uses the real filesystem, so
+    // the journal dir must exist there too.
+    let dir = std::env::temp_dir().join(format!("cwp-crash-ckpt-{}-{seed:x}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("tmp dir: {e}"))?;
+    let recorder = Arc::new(MemIo::new());
+    let jobs = || (0..4).map(checkpoint_job).collect::<Vec<_>>();
+
+    let mut config = RunnerConfig::new(Scale::Test);
+    config.journal_dir = Some(dir.clone());
+    config.io = IoHandle::new(Arc::clone(&recorder) as Arc<dyn ChaosIo>);
+    let baseline = Runner::new(config)
+        .run(jobs())
+        .map_err(|e| format!("baseline run: {e}"))?;
+    let expected = run_fingerprint(&baseline.results);
+
+    let ops = recorder.journal();
+    let result = explore(&ops, seed, budget, |point| {
+        let registry = Arc::new(Registry::new());
+        let mut config = RunnerConfig::new(Scale::Test);
+        config.journal_dir = Some(dir.clone());
+        config.resume = true;
+        config.io = IoHandle::new(Arc::new(point.io.fork()) as Arc<dyn ChaosIo>);
+        config.registry = Some(Arc::clone(&registry));
+        let resumed = Runner::new(config)
+            .run(jobs())
+            .map_err(|e| format!("resumed run: {e}"))?;
+        let corrupt = registry.counter("checkpoint_corrupt_lines").value();
+        if corrupt != 0 {
+            return Err(format!(
+                "checkpoint reload counted {corrupt} corrupt line(s)"
+            ));
+        }
+        for r in &resumed.results {
+            if !matches!(r.outcome, JobOutcome::Ok | JobOutcome::Skipped) {
+                return Err(format!("job {} settled {:?} on resume", r.id, r.outcome));
+            }
+        }
+        if run_fingerprint(&resumed.results) != expected {
+            return Err("resumed output diverged from the uninterrupted run".to_string());
+        }
+        Ok(())
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(ArtifactReport {
+        artifact: "checkpoint",
+        ops: ops.len(),
+        report: result?,
+    })
+}
+
+/// Explores every crash state of a trace save and asserts each load is
+/// byte-identical or a typed failure — never a silent truncation.
+///
+/// # Errors
+///
+/// Returns the first recovery-contract violation, labeled with the
+/// crash point that exposed it.
+pub fn explore_trace(seed: u64, budget: usize) -> Result<ArtifactReport, String> {
+    let trace = RecordedTrace::record(workloads::grr().as_ref(), Scale::Test);
+    let mut original = Vec::new();
+    trace
+        .write_to(&mut original)
+        .map_err(|e| format!("render trace: {e}"))?;
+    let recorder = MemIo::new();
+    let path = PathBuf::from("/traces/grr.cwptrc");
+    trace
+        .save_with(&recorder, &path)
+        .map_err(|e| format!("trace save: {e}"))?;
+    let ops = recorder.journal();
+    let report = explore(&ops, seed, budget, |point| {
+        match RecordedTrace::load_with(&point.io, &path) {
+            Ok(loaded) => {
+                let mut bytes = Vec::new();
+                loaded
+                    .write_to(&mut bytes)
+                    .map_err(|e| format!("re-render: {e}"))?;
+                if bytes != original {
+                    return Err("loaded trace differs from the saved original".to_string());
+                }
+                Ok(())
+            }
+            // Typed failure is the contract for any incomplete state.
+            Err(TraceFileError::Io { .. } | TraceFileError::Malformed { .. }) => Ok(()),
+        }
+    })?;
+    Ok(ArtifactReport {
+        artifact: "trace",
+        ops: ops.len(),
+        report,
+    })
+}
+
+/// Explores every crash state of the serve engine's metrics snapshot
+/// writer and asserts the snapshot file is always absent or one
+/// complete, parseable generation.
+///
+/// # Errors
+///
+/// Returns the first recovery-contract violation, labeled with the
+/// crash point that exposed it.
+pub fn explore_snapshot(seed: u64, budget: usize) -> Result<ArtifactReport, String> {
+    let recorder = Arc::new(MemIo::new());
+    let path = PathBuf::from("/metrics.json");
+    let mut config = EngineConfig::new(Scale::Test);
+    config.workers = 1;
+    config.metrics_path = Some(path.clone());
+    config.metrics_period = Duration::from_millis(10);
+    config.io = IoHandle::new(Arc::clone(&recorder) as Arc<dyn ChaosIo>);
+    let engine = Engine::start(config).map_err(|e| format!("engine start: {e}"))?;
+    let (client, responses) = engine.attach_client();
+    let request = Request {
+        id: 1,
+        workload: "ccom".to_string(),
+        config: CacheConfig::builder()
+            .size_bytes(4096)
+            .build()
+            .expect("valid config"),
+        deadline_ms: None,
+        priority: 0,
+    };
+    engine.submit(client, &request.to_line());
+    match responses.recv_timeout(Duration::from_secs(60)) {
+        Ok(Response::Ok { .. }) => {}
+        other => return Err(format!("serve request failed: {other:?}")),
+    }
+    engine.shutdown(); // writes the final snapshot through the recorder
+    let ops = recorder.journal();
+    let report = explore(&ops, seed, budget, |point| match point.io.file(&path) {
+        None => Ok(()),
+        Some(bytes) => {
+            let text = String::from_utf8(bytes).map_err(|e| format!("snapshot not UTF-8: {e}"))?;
+            let snapshot =
+                Json::parse(text.trim()).map_err(|e| format!("snapshot does not parse: {e}"))?;
+            if snapshot.get("counters").is_none() {
+                return Err("snapshot parses but has no counters section".to_string());
+            }
+            Ok(())
+        }
+    })?;
+    Ok(ArtifactReport {
+        artifact: "snapshot",
+        ops: ops.len(),
+        report,
+    })
+}
+
+/// Runs all four artifact explorations under one seed and budget.
+///
+/// # Errors
+///
+/// Returns the first recovery-contract violation, prefixed with the
+/// artifact that exposed it.
+pub fn explore_all(seed: u64, budget: usize) -> Result<Vec<ArtifactReport>, String> {
+    Ok(vec![
+        explore_memo(seed, budget).map_err(|e| format!("memo: {e}"))?,
+        explore_checkpoint(seed, budget).map_err(|e| format!("checkpoint: {e}"))?,
+        explore_trace(seed, budget).map_err(|e| format!("trace: {e}"))?,
+        explore_snapshot(seed, budget).map_err(|e| format!("snapshot: {e}"))?,
+    ])
+}

@@ -23,9 +23,12 @@
 //! * [`cpu`] — a MultiTitan-style RISC interpreter and assembler: run real
 //!   programs (or your own assembly) against any cache hierarchy.
 //! * [`serve`] — a fault-tolerant simulation-as-a-service front end:
-//!   admission control, deadlines, crash-safe memoization, and graceful
-//!   degradation over a JSONL protocol (see the `cwp-serve` and
-//!   `cwp-load` binaries).
+//!   admission control, deadlines, crash-safe memoization, graceful
+//!   drain, and graceful degradation over a JSONL protocol (see the
+//!   `cwp-serve` and `cwp-load` binaries).
+//! * [`chaos`] — deterministic storage-fault injection and crash-point
+//!   enumeration; [`crash`] holds the per-artifact exploration drivers
+//!   behind the `cwp-crash` binary.
 //!
 //! # Quickstart
 //!
@@ -49,8 +52,11 @@
 //! # }
 //! ```
 
+pub mod crash;
+
 pub use cwp_buffers as buffers;
 pub use cwp_cache as cache;
+pub use cwp_chaos as chaos;
 pub use cwp_core as core;
 pub use cwp_cpu as cpu;
 pub use cwp_mem as mem;

@@ -1,0 +1,56 @@
+//! Crash-point exploration over every durable artifact.
+//!
+//! These drive the shared `cwp::crash` drivers exhaustively (no budget
+//! cap) under a fixed seed: every write boundary of each component's
+//! recorded history — including torn-prefix states — is simulated as a
+//! crash, the component is restarted against the rebuilt filesystem,
+//! and its documented recovery contract is asserted. The same drivers
+//! gate CI via the `cwp-crash` binary with a fixed seed budget.
+
+use cwp::crash;
+
+const SEED: u64 = 0xC4A5F;
+
+#[test]
+fn the_memo_journal_reloads_a_clean_prefix_at_every_crash_point() {
+    let report = crash::explore_memo(SEED, usize::MAX).unwrap();
+    assert_eq!(report.report.skipped, 0, "exploration must be exhaustive");
+    assert!(
+        report.report.checked > report.ops,
+        "boundaries + torn states"
+    );
+    assert!(report.report.torn > 0, "torn-prefix states must be covered");
+}
+
+#[test]
+fn a_resumed_checkpoint_run_is_byte_identical_at_every_crash_point() {
+    let report = crash::explore_checkpoint(SEED, usize::MAX).unwrap();
+    assert_eq!(report.report.skipped, 0);
+    assert!(report.report.torn > 0);
+}
+
+#[test]
+fn a_saved_trace_round_trips_or_fails_typed_at_every_crash_point() {
+    let report = crash::explore_trace(SEED, usize::MAX).unwrap();
+    assert_eq!(report.report.skipped, 0);
+    assert!(report.report.torn > 0);
+}
+
+#[test]
+fn the_metrics_snapshot_is_complete_or_absent_at_every_crash_point() {
+    let report = crash::explore_snapshot(SEED, usize::MAX).unwrap();
+    assert_eq!(report.report.skipped, 0);
+    assert!(report.report.torn > 0);
+}
+
+#[test]
+fn a_budget_subsamples_but_still_covers_the_endpoints() {
+    let exhaustive = crash::explore_memo(SEED, usize::MAX).unwrap();
+    let capped = crash::explore_memo(SEED, 8).unwrap();
+    assert_eq!(capped.report.checked, 8);
+    assert_eq!(
+        capped.report.skipped,
+        exhaustive.report.checked - 8,
+        "budget accounting must reconcile with the exhaustive run"
+    );
+}

@@ -1,0 +1,155 @@
+//! End-to-end graceful-drain smoke: SIGTERM a loaded `cwp-serve`
+//! process and hold it to the drain contract — exit code 0, every
+//! response received before the connection closed is typed (served or
+//! shed with a retry hint), every *acknowledged* result durable in the
+//! memo journal (a warm restart answers it from memo), and the final
+//! metrics snapshot reconciling with what the client observed.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cwp::cache::CacheConfig;
+use cwp::obs::Json;
+use cwp::serve::{Client, Reject, Request, Response};
+
+fn request(id: u64, size: u32) -> Request {
+    Request {
+        id,
+        workload: "ccom".to_string(),
+        config: CacheConfig::builder()
+            .size_bytes(size)
+            .line_bytes(16)
+            .build()
+            .unwrap(),
+        deadline_ms: None,
+        priority: 0,
+    }
+}
+
+/// Spawns the real `cwp-serve` binary and reads its `LISTENING` line.
+fn spawn_server(dir: &std::path::Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cwp-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--scale",
+            "test",
+            "--workers",
+            "2",
+            "--memo-dir",
+        ])
+        .arg(dir.join("memo"))
+        .arg("--metrics-file")
+        .arg(dir.join("metrics.json"))
+        .args(["--metrics-period-ms", "50"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cwp-serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTENING line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn sigterm_mid_load_drains_cleanly_and_loses_no_acknowledged_result() {
+    let dir = std::env::temp_dir().join(format!("cwp-drain-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut child, addr) = spawn_server(&dir);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .set_recv_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    // A couple of fully-acknowledged requests before the signal…
+    let sizes: Vec<u32> = (0..4).map(|i| 1024 << i).collect();
+    let mut acknowledged = Vec::new();
+    for (i, size) in sizes.iter().enumerate() {
+        match client.call(&request(i as u64 + 1, *size)).expect("call") {
+            Response::Ok { .. } => acknowledged.push(*size),
+            other => panic!("warm request rejected: {other:?}"),
+        }
+    }
+    // …then a burst still in flight when SIGTERM lands.
+    for id in 100..130u64 {
+        client
+            .send(&request(id, 1024 << (id % 6)))
+            .expect("burst send");
+    }
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+
+    // Until the server closes the connection, every response must be
+    // typed: served, shed-with-hint, or failed-with-detail (a worker
+    // the drain interrupted) — never silence or garbage.
+    let mut served_on_wire = 0u64;
+    loop {
+        match client.recv() {
+            Ok(Response::Ok { .. }) => served_on_wire += 1,
+            Ok(Response::Error {
+                reject: Reject::Overloaded { retry_after_ms },
+                ..
+            }) => assert!(retry_after_ms >= 25),
+            Ok(Response::Error {
+                reject: Reject::Failed { .. },
+                ..
+            }) => {}
+            Ok(other) => panic!("unexpected drain response: {other:?}"),
+            Err(_) => break, // connection closed: the server exited
+        }
+    }
+
+    let status = child.wait().expect("wait for cwp-serve");
+    assert!(
+        status.success(),
+        "a drained server must exit 0, got {status:?}"
+    );
+
+    // The final metrics snapshot exists, parses, and reconciles: the
+    // server served at least every Ok response that reached the wire.
+    let text = std::fs::read_to_string(dir.join("metrics.json")).expect("final snapshot written");
+    let snapshot = Json::parse(text.trim()).expect("snapshot parses");
+    let served = snapshot
+        .get("counters")
+        .and_then(|c| c.get("served"))
+        .and_then(Json::as_u64)
+        .expect("served counter");
+    assert!(
+        served >= acknowledged.len() as u64 + served_on_wire,
+        "snapshot served={served} < observed {}",
+        acknowledged.len() as u64 + served_on_wire
+    );
+
+    // Warm restart: everything acknowledged before the signal must be
+    // answered from the memo journal the drain flushed.
+    let (mut child, addr) = spawn_server(&dir);
+    let mut client = Client::connect(&addr).expect("reconnect");
+    client
+        .set_recv_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    for (i, size) in acknowledged.iter().enumerate() {
+        match client.call(&request(500 + i as u64, *size)).expect("call") {
+            Response::Ok { memo_hit, .. } => {
+                assert!(memo_hit, "acknowledged result for size {size} not durable")
+            }
+            other => panic!("warm-restart request rejected: {other:?}"),
+        }
+    }
+    client.request_shutdown(999).expect("graceful shutdown ack");
+    let status = child.wait().expect("wait for drained server");
+    assert!(status.success(), "wire-requested drain must exit 0");
+    let _ = std::fs::remove_dir_all(&dir);
+}
